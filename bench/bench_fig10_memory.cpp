@@ -1,0 +1,71 @@
+// E8 — Fig. 10: memory profile of the PowerPlanningDL flow over time for
+// ibmpg2 and ibmpg6 (the paper used `mprof`; we sample VmRSS).
+#include <algorithm>
+#include <iostream>
+
+#include "bench_support.hpp"
+#include "common/csv.hpp"
+#include "common/memory.hpp"
+#include "common/table.hpp"
+
+using namespace ppdl;
+
+namespace {
+
+void run_one(const std::string& name, const benchsupport::BenchContext& ctx) {
+  MemorySampler sampler(/*period_ms=*/20);
+  const core::FlowResult flow =
+      core::run_flow(name, benchsupport::flow_options(ctx));
+  sampler.stop();
+  const std::vector<MemorySample> samples = sampler.samples();
+
+  std::cout << "--- Fig. 10 (" << name << ") — RSS over the flow ---\n";
+  if (samples.empty()) {
+    std::cout << "(no samples)\n";
+    return;
+  }
+  const Real peak = sampler.peak_mib();
+
+  // Down-sample to ~20 timeline rows with sparkline bars.
+  ConsoleTable t({"t (s)", "RSS (MiB)", "profile"});
+  const std::size_t step = std::max<std::size_t>(1, samples.size() / 20);
+  for (std::size_t i = 0; i < samples.size(); i += step) {
+    const auto bar = static_cast<std::size_t>(
+        40.0 * samples[i].rss_mib / std::max(peak, 1.0));
+    t.add_row({ConsoleTable::fmt(samples[i].t_seconds, 2),
+               ConsoleTable::fmt(samples[i].rss_mib, 0),
+               std::string(bar, '#')});
+  }
+  t.print(std::cout);
+  std::cout << "peak RSS " << ConsoleTable::fmt(peak, 0) << " MiB over "
+            << ConsoleTable::fmt(samples.back().t_seconds, 1)
+            << " s (flow: " << flow.interconnects << " interconnects)\n\n";
+
+  if (!ctx.csv_dir.empty()) {
+    CsvWriter csv(ctx.csv_dir + "/fig10_" + name + ".csv",
+                  {"t_seconds", "rss_mib"});
+    for (const MemorySample& s : samples) {
+      csv.write_row({s.t_seconds, s.rss_mib});
+    }
+    std::cout << "CSV written to " << ctx.csv_dir << "/fig10_" << name
+              << ".csv\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_fig10_memory", "Fig. 10: memory profile of the flow");
+  benchsupport::BenchContext ctx;
+  if (!benchsupport::parse_common(argc, argv, "Fig. 10",
+                                  "memory profile (ibmpg2, ibmpg6)", cli, ctx,
+                                  /*default_scale=*/0.05)) {
+    return 0;
+  }
+  run_one("ibmpg2", ctx);
+  run_one("ibmpg6", ctx);
+  std::cout << "Expected shape: memory ramps during grid build + training, "
+               "plateaus through prediction; ibmpg6 peaks higher than "
+               "ibmpg2.\n";
+  return 0;
+}

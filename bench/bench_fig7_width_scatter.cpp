@@ -1,0 +1,107 @@
+// E2 — Fig. 7: predicted vs golden PG width for ibmpg2.
+//   (a) correlation scatter: predictions hug the diagonal;
+//   (b) signed error histogram: mass concentrated at 0, thinning tails.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_support.hpp"
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+using namespace ppdl;
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_fig7_width_scatter",
+                "Fig. 7: width prediction correlation & error histogram");
+  benchsupport::BenchContext ctx;
+  if (!benchsupport::parse_common(argc, argv, "Fig. 7",
+                                  "width prediction quality (ibmpg2)", cli,
+                                  ctx)) {
+    return 0;
+  }
+
+  const core::FlowResult flow =
+      core::run_flow("ibmpg2", benchsupport::flow_options(ctx));
+
+  // --- Fig. 7(a): correlation ------------------------------------------------
+  std::cout << "Fig. 7(a) — predicted vs golden width correlation:\n";
+  ConsoleTable corr({"metric", "value"});
+  corr.add_row({"interconnects", std::to_string(flow.interconnects)});
+  corr.add_row({"Pearson correlation",
+                ConsoleTable::fmt(flow.width_pearson, 4)});
+  corr.add_row({"r2 score", ConsoleTable::fmt(flow.width_r2, 4)});
+  corr.add_row({"MSE (um^2)", ConsoleTable::fmt(flow.width_mse, 4)});
+  corr.print(std::cout);
+
+  // Binned scatter (10 quantile bins of golden width -> mean prediction).
+  std::vector<std::size_t> order(flow.golden_widths.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return flow.golden_widths[a] < flow.golden_widths[b];
+  });
+  std::cout << "\nbinned diagonal (golden-width decile -> mean golden, mean "
+               "predicted, um):\n";
+  ConsoleTable bins({"decile", "golden", "predicted"});
+  const std::size_t per = std::max<std::size_t>(1, order.size() / 10);
+  for (std::size_t d = 0; d < 10; ++d) {
+    const std::size_t lo = d * per;
+    const std::size_t hi = std::min(order.size(), lo + per);
+    if (lo >= hi) {
+      break;
+    }
+    Real g = 0.0;
+    Real p = 0.0;
+    for (std::size_t k = lo; k < hi; ++k) {
+      g += flow.golden_widths[order[k]];
+      p += flow.predicted_widths[order[k]];
+    }
+    const auto n = static_cast<Real>(hi - lo);
+    bins.add_row({std::to_string(d + 1), ConsoleTable::fmt(g / n, 3),
+                  ConsoleTable::fmt(p / n, 3)});
+  }
+  bins.print(std::cout);
+
+  // --- Fig. 7(b): signed error histogram --------------------------------------
+  std::vector<Real> errors(flow.golden_widths.size());
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    errors[i] = flow.golden_widths[i] - flow.predicted_widths[i];
+  }
+  const Summary esum = summarize(errors);
+  const Real span = std::max(std::abs(esum.min), std::abs(esum.max));
+  const Histogram hist = make_histogram(errors, -span, span, 17);
+  std::cout << "\nFig. 7(b) — golden − predicted width error histogram "
+               "(um):\n";
+  ConsoleTable htab({"bin center (um)", "count", "bar"});
+  Index peak = 0;
+  for (const Index c : hist.counts) {
+    peak = std::max(peak, c);
+  }
+  for (Index b = 0; b < static_cast<Index>(hist.counts.size()); ++b) {
+    const Index count = hist.counts[static_cast<std::size_t>(b)];
+    const auto bar_len = static_cast<std::size_t>(
+        40.0 * static_cast<Real>(count) / static_cast<Real>(std::max<Index>(peak, 1)));
+    htab.add_row({ConsoleTable::fmt(hist.bin_center(b), 3),
+                  std::to_string(count), std::string(bar_len, '#')});
+  }
+  htab.print(std::cout);
+  std::cout << "mean error " << ConsoleTable::fmt(esum.mean, 4)
+            << " um, p95 |error| about "
+            << ConsoleTable::fmt(std::max(std::abs(esum.p95), std::abs(esum.p50)), 3)
+            << " um\n";
+
+  if (!ctx.csv_dir.empty()) {
+    CsvWriter csv(ctx.csv_dir + "/fig7_scatter.csv",
+                  {"golden_um", "predicted_um"});
+    for (std::size_t i = 0; i < flow.golden_widths.size(); ++i) {
+      csv.write_row({flow.golden_widths[i], flow.predicted_widths[i]});
+    }
+    std::cout << "CSV written to " << ctx.csv_dir << "/fig7_scatter.csv\n";
+  }
+
+  std::cout << "\nExpected shape: histogram peaks at 0 and decays on both "
+               "sides; binned scatter follows the diagonal.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// E10 — google-benchmark microbenchmarks of the NN substrate: forward
+// inference, backward pass, and one Adam step on the paper's architecture
+// (3 inputs → 10 hidden layers → 1 output). These underpin the DL side of
+// the Table IV cost model (inference is linear in batch rows).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "nn/loss.hpp"
+#include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
+
+using namespace ppdl;
+
+namespace {
+
+nn::Matrix random_batch(Index rows, Index cols, U64 seed) {
+  Rng rng(seed);
+  nn::Matrix m(rows, cols);
+  for (Real& v : m.data()) {
+    v = rng.normal();
+  }
+  return m;
+}
+
+void BM_MlpForward(benchmark::State& state) {
+  Rng rng(1);
+  nn::Mlp mlp(nn::MlpConfig::paper_default(3, 1, 10, state.range(1)), rng);
+  const nn::Matrix x = random_batch(state.range(0), 3, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp.predict(x));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MlpForward)
+    ->ArgsProduct({{256, 4096, 65536}, {16, 32}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MlpTrainStep(benchmark::State& state) {
+  Rng rng(3);
+  nn::Mlp mlp(nn::MlpConfig::paper_default(3, 1, 10, 16), rng);
+  const nn::Matrix x = random_batch(state.range(0), 3, 4);
+  const nn::Matrix y = random_batch(state.range(0), 1, 5);
+  nn::AdamOptimizer adam(1e-3);
+  const std::vector<nn::ParamSlot> slots = mlp.parameter_slots();
+  for (auto _ : state) {
+    const nn::Matrix pred = mlp.forward(x, /*train=*/true);
+    mlp.backward(nn::loss_gradient(pred, y, nn::Loss::kMse));
+    adam.step(slots);
+    benchmark::DoNotOptimize(pred.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MlpTrainStep)
+    ->Arg(128)
+    ->Arg(512)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AdamStepOnly(benchmark::State& state) {
+  Rng rng(6);
+  nn::Mlp mlp(nn::MlpConfig::paper_default(3, 1, 10, 32), rng);
+  // One real backward fills the gradients, then time the optimizer alone.
+  const nn::Matrix x = random_batch(64, 3, 7);
+  const nn::Matrix y = random_batch(64, 1, 8);
+  const nn::Matrix pred = mlp.forward(x, true);
+  mlp.backward(nn::loss_gradient(pred, y, nn::Loss::kMse));
+  nn::AdamOptimizer adam(1e-3);
+  const std::vector<nn::ParamSlot> slots = mlp.parameter_slots();
+  for (auto _ : state) {
+    adam.step(slots);
+  }
+  state.SetItemsProcessed(state.iterations() * mlp.parameter_count());
+}
+BENCHMARK(BM_AdamStepOnly)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

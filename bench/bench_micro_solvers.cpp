@@ -1,0 +1,91 @@
+// E9 — google-benchmark microbenchmarks of the solver substrate: SpMV, MNA
+// assembly, CG per preconditioner, and the Kirchhoff tree predictor. These
+// underpin the Table IV cost model (conventional analysis is super-linear,
+// tree prediction is ~linear).
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "analysis/ir_solver.hpp"
+#include "analysis/mna.hpp"
+#include "core/benchmarks.hpp"
+#include "core/ir_predictor.hpp"
+#include "grid/generator.hpp"
+
+using namespace ppdl;
+
+namespace {
+
+/// Cached replica per scale-in-thousandths so setup cost is paid once.
+const grid::GeneratedBenchmark& cached_bench(Index scale_milli) {
+  static std::map<Index, grid::GeneratedBenchmark> cache;
+  const auto it = cache.find(scale_milli);
+  if (it != cache.end()) {
+    return it->second;
+  }
+  core::BenchmarkOptions opts;
+  opts.scale = static_cast<Real>(scale_milli) / 1000.0;
+  opts.seed = 7;
+  auto [pos, inserted] =
+      cache.emplace(scale_milli, core::make_benchmark("ibmpg2", opts));
+  return pos->second;
+}
+
+void BM_MnaAssembly(benchmark::State& state) {
+  const grid::GeneratedBenchmark& bench = cached_bench(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::assemble_mna(bench.grid));
+  }
+  state.SetLabel(std::to_string(bench.grid.node_count()) + " nodes");
+}
+BENCHMARK(BM_MnaAssembly)->Arg(10)->Arg(20)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_SpMV(benchmark::State& state) {
+  const grid::GeneratedBenchmark& bench = cached_bench(state.range(0));
+  const analysis::MnaSystem sys = analysis::assemble_mna(bench.grid);
+  std::vector<Real> x(static_cast<std::size_t>(sys.free_count), 1.0);
+  std::vector<Real> y(x.size());
+  for (auto _ : state) {
+    sys.g_reduced.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * sys.g_reduced.nnz());
+}
+BENCHMARK(BM_SpMV)->Arg(10)->Arg(20)->Arg(40)->Unit(benchmark::kMicrosecond);
+
+void BM_CgSolve(benchmark::State& state) {
+  const grid::GeneratedBenchmark& bench = cached_bench(state.range(0));
+  analysis::IrAnalysisOptions opts;
+  opts.preconditioner = static_cast<linalg::PreconditionerKind>(state.range(1));
+  for (auto _ : state) {
+    const analysis::IrAnalysisResult res =
+        analysis::analyze_ir_drop(bench.grid, opts);
+    benchmark::DoNotOptimize(res.worst_ir_drop);
+  }
+  state.SetLabel(std::to_string(bench.grid.node_count()) + " nodes");
+}
+BENCHMARK(BM_CgSolve)
+    ->ArgsProduct({{10, 20, 40},
+                   {static_cast<long>(linalg::PreconditionerKind::kNone),
+                    static_cast<long>(linalg::PreconditionerKind::kJacobi),
+                    static_cast<long>(linalg::PreconditionerKind::kIc0)}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KirchhoffPredict(benchmark::State& state) {
+  const grid::GeneratedBenchmark& bench = cached_bench(state.range(0));
+  const core::KirchhoffIrPredictor predictor;
+  for (auto _ : state) {
+    const core::IrPrediction p = predictor.predict(bench.grid);
+    benchmark::DoNotOptimize(p.worst_ir_drop);
+  }
+  state.SetLabel(std::to_string(bench.grid.node_count()) + " nodes");
+}
+BENCHMARK(BM_KirchhoffPredict)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

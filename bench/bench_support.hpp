@@ -1,0 +1,72 @@
+// Shared plumbing for the table/figure reproduction benches.
+//
+// Every bench accepts:
+//   --scale=<f>     grid scale relative to the paper-size specs (default
+//                   keeps single-core wall time in seconds, not hours)
+//   --seed=<n>      generator seed
+//   --epochs=<n>    training epochs for the DL model
+//   --csv-dir=<d>   where to drop CSV series for external plotting ("" = off)
+//
+// Output convention: each bench prints the paper's table/figure as an ASCII
+// table (or map) with a header naming the experiment, so
+// `for b in build/bench/*; do $b; done` regenerates the whole evaluation.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/logging.hpp"
+#include "core/flow.hpp"
+
+namespace ppdl::benchsupport {
+
+struct BenchContext {
+  Real scale = 0.05;
+  U64 seed = 42;
+  Index epochs = 40;
+  std::string csv_dir;
+  bool quick = false;
+};
+
+/// Registers the common flags, parses, and fills a context.
+/// Returns false (after printing usage) when --help was requested.
+inline bool parse_common(int argc, const char* const* argv,
+                         const std::string& name, const std::string& what,
+                         CliParser& cli, BenchContext& ctx,
+                         Real default_scale = 0.05) {
+  cli.add_flag("scale", "grid scale vs paper-size specs (0,1]",
+               std::to_string(default_scale));
+  cli.add_flag("seed", "generator seed", "42");
+  cli.add_flag("epochs", "DL training epochs", "40");
+  cli.add_flag("csv-dir", "directory for CSV dumps (empty = off)", "");
+  cli.add_switch("quick", "shrink everything for a fast smoke run");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    return false;
+  }
+  ctx.scale = cli.get_real("scale");
+  ctx.seed = static_cast<U64>(cli.get_int("seed"));
+  ctx.epochs = cli.get_int("epochs");
+  ctx.csv_dir = cli.get("csv-dir");
+  ctx.quick = cli.get_bool("quick");
+  if (ctx.quick) {
+    ctx.scale = std::min(ctx.scale, 0.02);
+    ctx.epochs = std::min<Index>(ctx.epochs, 15);
+  }
+  std::cout << "=== " << name << " — " << what << " ===\n";
+  std::cout << "(scale " << ctx.scale << " of paper-size grids, seed "
+            << ctx.seed << ", " << ctx.epochs << " training epochs)\n\n";
+  return true;
+}
+
+/// Flow options shared by the reproduction benches.
+inline core::FlowOptions flow_options(const BenchContext& ctx) {
+  core::FlowOptions o;
+  o.benchmark.scale = ctx.scale;
+  o.benchmark.seed = ctx.seed;
+  o.model.train.epochs = ctx.epochs;
+  return o;
+}
+
+}  // namespace ppdl::benchsupport

@@ -1,0 +1,78 @@
+// EM-aware sizing and sign-off: explores the reliability side of the
+// framework. Sweeps the EM limit Jmax, re-plans the same grid for each
+// setting, and reports the metal cost of reliability plus Black's-equation
+// lifetime estimates — paper eq. (4) in action.
+#include <iostream>
+
+#include "analysis/em.hpp"
+#include "analysis/ir_solver.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/benchmarks.hpp"
+#include "core/flow.hpp"
+#include "planner/conventional_planner.hpp"
+
+using namespace ppdl;
+
+namespace {
+
+Real metal_area(const grid::PowerGrid& pg) {
+  Real area = 0.0;
+  for (Index b = 0; b < pg.branch_count(); ++b) {
+    const grid::Branch& br = pg.branch(b);
+    if (br.kind == grid::BranchKind::kWire) {
+      area += br.length * br.width;
+    }
+  }
+  return area;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("em_signoff", "EM-aware sizing: reliability vs metal cost");
+  cli.add_flag("scale", "grid scale vs the paper-size spec", "0.03");
+  try {
+    cli.parse(argc, argv);
+  } catch (const CliError& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  if (cli.help_requested()) {
+    return 0;
+  }
+
+  core::BenchmarkOptions bopts;
+  bopts.scale = cli.get_real("scale");
+  const grid::GeneratedBenchmark bench = core::make_benchmark("ibmpg1", bopts);
+  std::cout << "ibmpg1 replica: " << bench.grid.node_count() << " nodes, "
+            << "auto-calibrated Jmax = "
+            << ConsoleTable::fmt(bench.spec.jmax, 4) << " A/um\n\n";
+
+  ConsoleTable t({"Jmax (x auto)", "converged", "iterations",
+                  "EM violations", "min MTTF (hours)",
+                  "metal area (x1e6 um^2)"});
+  for (const Real factor : {2.0, 1.0, 0.5, 0.25}) {
+    grid::PowerGrid pg = bench.grid;
+    planner::PlannerOptions opts = core::planner_options_for(bench.spec, 60);
+    opts.update.jmax = bench.spec.jmax * factor;
+    const planner::PlannerResult planned =
+        planner::run_conventional_planner(pg, opts);
+
+    const analysis::IrAnalysisResult ir = analysis::analyze_ir_drop(pg);
+    const auto violations = analysis::check_em(pg, ir, opts.update.jmax);
+    const analysis::EmMttfReport mttf = analysis::em_mttf_report(pg, ir);
+
+    t.add_row({ConsoleTable::fmt(factor, 2),
+               planned.converged ? "yes" : "NO",
+               std::to_string(planned.iterations),
+               std::to_string(violations.size()),
+               ConsoleTable::fmt(mttf.min_mttf_hours, 0),
+               ConsoleTable::fmt(metal_area(pg) / 1e6, 2)});
+  }
+  t.print(std::cout);
+  std::cout << "\nTakeaway: tightening Jmax buys EM lifetime (higher MTTF) "
+               "at the cost of routing metal — the reliability trade-off the "
+               "planner automates.\n";
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Incremental redesign: the use case the paper recommends PowerPlanningDL
+// for. A team iterates on a chip; every spin tweaks block currents a little.
+// Train once on the signed-off design, then answer each "what does the grid
+// look like for THIS spin?" with a prediction instead of a planner run.
+//
+// This example trains one model, then sweeps five design spins of increasing
+// perturbation and reports prediction quality and time per spin.
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/benchmarks.hpp"
+#include "core/flow.hpp"
+#include "core/ir_predictor.hpp"
+#include "core/ppdl_model.hpp"
+#include "grid/perturb.hpp"
+#include "planner/conventional_planner.hpp"
+
+using namespace ppdl;
+
+int main(int argc, char** argv) {
+  CliParser cli("incremental_redesign",
+                "train once, predict many design spins");
+  cli.add_flag("scale", "grid scale vs the paper-size spec", "0.04");
+  cli.add_flag("spins", "number of design spins to simulate", "5");
+  try {
+    cli.parse(argc, argv);
+  } catch (const CliError& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  if (cli.help_requested()) {
+    return 0;
+  }
+
+  // --- one-time setup: golden design + training -----------------------------
+  core::BenchmarkOptions bopts;
+  bopts.scale = cli.get_real("scale");
+  grid::GeneratedBenchmark bench = core::make_benchmark("ibmpg2", bopts);
+  const planner::PlannerOptions popts =
+      core::planner_options_for(bench.spec, 40);
+
+  std::cout << "planning the golden design (" << bench.grid.node_count()
+            << " nodes)...\n";
+  grid::PowerGrid golden = bench.grid;
+  const planner::PlannerResult planned =
+      planner::run_conventional_planner(golden, popts);
+  std::cout << "golden: " << (planned.converged ? "converged" : "STUCK")
+            << " in " << planned.iterations << " iterations, worst IR "
+            << ConsoleTable::fmt(planned.final_analysis.worst_ir_drop * 1e3, 1)
+            << " mV\n";
+
+  std::cout << "training the width model on the golden design...\n";
+  core::PowerPlanningDL model;
+  const core::TrainReport report = model.fit(golden);
+  std::cout << "trained in " << ConsoleTable::fmt(report.train_seconds, 1)
+            << " s (offline, once)\n\n";
+
+  core::KirchhoffIrPredictor ir;
+  ir.calibrate(golden, planned.final_analysis.node_ir_drop);
+
+  // --- per-spin predictions ---------------------------------------------------
+  const Index spins = cli.get_int("spins");
+  ConsoleTable t({"spin", "gamma", "predict time (s)", "width r2",
+                  "predicted worst IR (mV)", "verified worst IR (mV)",
+                  "planner redesign (s)"});
+  for (Index spin = 1; spin <= spins; ++spin) {
+    const Real gamma = 0.05 + 0.05 * static_cast<Real>(spin - 1);
+    grid::PowerGrid next = grid::perturbed_copy(
+        golden, grid::PerturbationKind::kBoth, gamma,
+        static_cast<U64>(1000 + spin), bench.spec.ir_limit_mv * 1e-3);
+
+    // DL path: widths + IR, no solver.
+    const Timer predict_timer;
+    const core::WidthPrediction widths = model.predict(next);
+    core::PowerPlanningDL::apply_widths(next, widths);
+    const core::IrPrediction drop = ir.predict(next);
+    const Real predict_seconds = predict_timer.seconds();
+
+    // Reference: what the conventional flow would have done.
+    grid::PowerGrid reference = next;
+    reference.reset_wire_widths();
+    const Timer planner_timer;
+    planner::run_conventional_planner(reference, popts);
+    const Real planner_seconds = planner_timer.seconds();
+
+    std::vector<Real> truth;
+    std::vector<Real> pred;
+    std::vector<Real> by_branch(
+        static_cast<std::size_t>(next.branch_count()), 0.0);
+    for (std::size_t i = 0; i < widths.branch.size(); ++i) {
+      by_branch[static_cast<std::size_t>(widths.branch[i])] =
+          widths.predicted[i];
+    }
+    for (Index b = 0; b < reference.branch_count(); ++b) {
+      if (reference.branch(b).kind == grid::BranchKind::kWire) {
+        truth.push_back(reference.branch(b).width);
+        pred.push_back(by_branch[static_cast<std::size_t>(b)]);
+      }
+    }
+
+    // Verification solve of the DL-designed grid (not part of the DL time;
+    // shown to make the prediction's honesty visible).
+    const analysis::IrAnalysisResult verified = analysis::analyze_ir_drop(next);
+
+    t.add_row({std::to_string(spin),
+               ConsoleTable::fmt(gamma * 100, 0) + "%",
+               ConsoleTable::fmt(predict_seconds, 4),
+               ConsoleTable::fmt(r2_score(truth, pred), 3),
+               ConsoleTable::fmt(drop.worst_ir_drop * 1e3, 1),
+               ConsoleTable::fmt(verified.worst_ir_drop * 1e3, 1),
+               ConsoleTable::fmt(planner_seconds, 4)});
+  }
+  t.print(std::cout);
+  std::cout << "\nTakeaway: prediction time is flat per spin while accuracy "
+               "degrades gracefully with spin size — use DL for small spins, "
+               "re-plan when the design moves far.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "analysis/dual_rail.hpp"
+
+#include "common/check.hpp"
+
+namespace ppdl::analysis {
+
+DualRailResult analyze_dual_rail(const grid::PowerGrid& vdd_net,
+                                 const grid::PowerGrid& gnd_net,
+                                 const IrAnalysisOptions& options) {
+  PPDL_REQUIRE(vdd_net.node_count() == gnd_net.node_count(),
+               "dual-rail analysis needs topology-matched nets");
+  DualRailResult result;
+  result.vdd = analyze_ir_drop(vdd_net, options);
+  result.gnd = analyze_ir_drop(gnd_net, options);
+
+  result.total_noise.resize(result.vdd.node_ir_drop.size());
+  result.worst_noise = 0.0;
+  result.worst_node = -1;
+  for (std::size_t v = 0; v < result.total_noise.size(); ++v) {
+    const Real noise =
+        result.vdd.node_ir_drop[v] + result.gnd.node_ir_drop[v];
+    result.total_noise[v] = noise;
+    if (noise > result.worst_noise) {
+      result.worst_noise = noise;
+      result.worst_node = static_cast<Index>(v);
+    }
+  }
+  return result;
+}
+
+grid::PowerGrid make_ground_mirror(const grid::PowerGrid& vdd_net) {
+  grid::PowerGrid gnd;
+  gnd.set_name(vdd_net.name() + "_gnd");
+  gnd.set_vdd(vdd_net.vdd());
+  gnd.set_die(vdd_net.die());
+  for (const grid::Layer& layer : vdd_net.layers()) {
+    gnd.add_layer(layer);
+  }
+  for (Index v = 0; v < vdd_net.node_count(); ++v) {
+    gnd.add_node(vdd_net.node(v).pos, vdd_net.node(v).layer);
+  }
+  for (Index b = 0; b < vdd_net.branch_count(); ++b) {
+    const grid::Branch& br = vdd_net.branch(b);
+    if (br.kind == grid::BranchKind::kWire) {
+      gnd.add_wire(br.n1, br.n2, br.layer, br.length, br.width);
+    } else {
+      gnd.add_via(br.n1, br.n2, br.layer, br.via_resistance);
+    }
+  }
+  // Return currents mirror the draw currents; pad sites coincide.
+  for (const grid::CurrentLoad& load : vdd_net.loads()) {
+    gnd.add_load(load.node, load.amps);
+  }
+  for (const grid::Pad& pad : vdd_net.pads()) {
+    gnd.add_pad(pad.node, pad.voltage);
+  }
+  return gnd;
+}
+
+}  // namespace ppdl::analysis

@@ -1,0 +1,45 @@
+// Dual-rail supply-noise analysis: VDD droop plus ground bounce.
+//
+// The IBM PG benchmarks contain both a VDD and a GND network. Each rail is
+// an independent linear resistive problem — the GND net solves exactly like
+// a VDD net, with node "drops" reading as ground bounce — and the effective
+// supply noise a cell sees is the SUM of the two: its rail-to-rail voltage
+// is Vdd − droop(vdd node) − bounce(gnd node).
+//
+// This module analyzes a matched pair of rails and reports the combined
+// noise. make_ground_mirror() builds the conventional matched GND net
+// (same topology and sizing as the VDD net) when only one net was
+// generated or parsed.
+#pragma once
+
+#include <vector>
+
+#include "analysis/ir_solver.hpp"
+#include "common/types.hpp"
+#include "grid/power_grid.hpp"
+
+namespace ppdl::analysis {
+
+struct DualRailResult {
+  IrAnalysisResult vdd;            ///< droop analysis of the VDD net
+  IrAnalysisResult gnd;            ///< bounce analysis of the GND net
+  std::vector<Real> total_noise;   ///< per node: droop + bounce, V
+  Real worst_noise = 0.0;          ///< V
+  Index worst_node = -1;
+};
+
+/// Analyzes both rails and combines per-node noise. The two grids must be
+/// topology-matched (equal node counts, corresponding indices), which is
+/// what make_ground_mirror() produces.
+DualRailResult analyze_dual_rail(const grid::PowerGrid& vdd_net,
+                                 const grid::PowerGrid& gnd_net,
+                                 const IrAnalysisOptions& options = {});
+
+/// Builds the matched GND net for a VDD net: identical topology, layers and
+/// widths, the same load pattern (the current a cell draws from VDD returns
+/// through GND), and pads at the same sites. Electrically the GND net is
+/// modeled in the same "drop" convention, so its analysis directly reads as
+/// bounce.
+grid::PowerGrid make_ground_mirror(const grid::PowerGrid& vdd_net);
+
+}  // namespace ppdl::analysis

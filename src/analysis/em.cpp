@@ -1,0 +1,63 @@
+#include "analysis/em.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace ppdl::analysis {
+
+std::vector<EmViolation> check_em(const grid::PowerGrid& pg,
+                                  const IrAnalysisResult& analysis,
+                                  Real jmax) {
+  PPDL_REQUIRE(jmax > 0.0, "jmax must be > 0");
+  PPDL_REQUIRE(static_cast<Index>(analysis.branch_density.size()) ==
+                   pg.branch_count(),
+               "analysis does not match grid");
+  std::vector<EmViolation> violations;
+  for (Index bi = 0; bi < pg.branch_count(); ++bi) {
+    if (pg.branch(bi).kind != grid::BranchKind::kWire) {
+      continue;
+    }
+    const Real density = analysis.branch_density[static_cast<std::size_t>(bi)];
+    if (density > jmax) {
+      violations.push_back({bi, density, jmax});
+    }
+  }
+  return violations;
+}
+
+Real blacks_mttf_hours(Real j_per_um, const BlacksParams& params) {
+  if (j_per_um <= 0.0) {
+    return std::numeric_limits<Real>::infinity();
+  }
+  constexpr Real kBoltzmannEvPerK = 8.617333262e-5;
+  return params.prefactor *
+         std::pow(j_per_um, -params.current_exponent) *
+         std::exp(params.activation_ev /
+                  (kBoltzmannEvPerK * params.temperature_k));
+}
+
+EmMttfReport em_mttf_report(const grid::PowerGrid& pg,
+                            const IrAnalysisResult& analysis,
+                            const BlacksParams& params) {
+  PPDL_REQUIRE(static_cast<Index>(analysis.branch_density.size()) ==
+                   pg.branch_count(),
+               "analysis does not match grid");
+  EmMttfReport report;
+  report.min_mttf_hours = std::numeric_limits<Real>::infinity();
+  for (Index bi = 0; bi < pg.branch_count(); ++bi) {
+    if (pg.branch(bi).kind != grid::BranchKind::kWire) {
+      continue;
+    }
+    const Real mttf = blacks_mttf_hours(
+        analysis.branch_density[static_cast<std::size_t>(bi)], params);
+    if (mttf < report.min_mttf_hours) {
+      report.min_mttf_hours = mttf;
+      report.limiting_branch = bi;
+    }
+  }
+  return report;
+}
+
+}  // namespace ppdl::analysis

@@ -1,0 +1,49 @@
+// Electromigration assessment.
+//
+// The paper's EM constraint is eq. (4): Iᵢ / wᵢ ≤ Jmax per wire. We check it
+// from an IR analysis and additionally report a Black's-equation median
+// time-to-failure estimate per wire, which the sign-off report surfaces.
+#pragma once
+
+#include <vector>
+
+#include "analysis/ir_solver.hpp"
+#include "common/types.hpp"
+#include "grid/power_grid.hpp"
+
+namespace ppdl::analysis {
+
+struct EmViolation {
+  Index branch = -1;
+  Real density = 0.0;  ///< A/µm
+  Real limit = 0.0;
+};
+
+/// Wires violating |I|/w > jmax. `analysis` must come from the same grid.
+std::vector<EmViolation> check_em(const grid::PowerGrid& pg,
+                                  const IrAnalysisResult& analysis,
+                                  Real jmax);
+
+/// Black's-equation parameters. MTTF = A · J^(−n) · exp(Ea / (k·T)).
+struct BlacksParams {
+  Real prefactor = 1e3;       ///< A, scaling constant (hours·(A/µm)^n)
+  Real current_exponent = 2;  ///< n, typically 1–2
+  Real activation_ev = 0.7;   ///< Ea, eV (Cu interconnect ballpark)
+  Real temperature_k = 378.15;  ///< 105 °C worst-case junction temperature
+};
+
+/// Median time to failure in hours for a wire at current density `j_per_um`
+/// (A/µm). Returns +inf for j <= 0.
+Real blacks_mttf_hours(Real j_per_um, const BlacksParams& params = {});
+
+/// Minimum MTTF over all wires of the grid (the EM-limiting wire).
+struct EmMttfReport {
+  Real min_mttf_hours = 0.0;
+  Index limiting_branch = -1;
+};
+
+EmMttfReport em_mttf_report(const grid::PowerGrid& pg,
+                            const IrAnalysisResult& analysis,
+                            const BlacksParams& params = {});
+
+}  // namespace ppdl::analysis

@@ -1,0 +1,123 @@
+#include "analysis/ir_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/csv.hpp"
+
+namespace ppdl::analysis {
+
+Real IrMap::at(Index x, Index y) const {
+  PPDL_REQUIRE(x >= 0 && x < width && y >= 0 && y < height,
+               "IR map index out of range");
+  return mv[static_cast<std::size_t>(y * width + x)];
+}
+
+Real IrMap::min_mv() const {
+  PPDL_REQUIRE(!mv.empty(), "empty IR map");
+  return *std::min_element(mv.begin(), mv.end());
+}
+
+Real IrMap::max_mv() const {
+  PPDL_REQUIRE(!mv.empty(), "empty IR map");
+  return *std::max_element(mv.begin(), mv.end());
+}
+
+IrMap rasterize_ir_map(const grid::PowerGrid& pg,
+                       const std::vector<Real>& node_ir_drop, Index width,
+                       Index height) {
+  PPDL_REQUIRE(width > 0 && height > 0, "raster dimensions must be > 0");
+  PPDL_REQUIRE(static_cast<Index>(node_ir_drop.size()) == pg.node_count(),
+               "node drop vector size mismatch");
+  IrMap map;
+  map.width = width;
+  map.height = height;
+  map.mv.assign(static_cast<std::size_t>(width * height), -1.0);
+
+  const grid::Rect die = pg.die();
+  const Real cell_w = die.width() / static_cast<Real>(width);
+  const Real cell_h = die.height() / static_cast<Real>(height);
+
+  for (Index v = 0; v < pg.node_count(); ++v) {
+    const grid::Point p = pg.node(v).pos;
+    Index cx = static_cast<Index>((p.x - die.x0) / cell_w);
+    Index cy = static_cast<Index>((p.y - die.y0) / cell_h);
+    cx = std::clamp<Index>(cx, 0, width - 1);
+    cy = std::clamp<Index>(cy, 0, height - 1);
+    Real& cell = map.mv[static_cast<std::size_t>(cy * width + cx)];
+    cell = std::max(cell, node_ir_drop[static_cast<std::size_t>(v)] * 1e3);
+  }
+
+  // Fill empty cells (-1) by multi-source BFS from all filled cells.
+  std::queue<std::pair<Index, Index>> frontier;
+  for (Index y = 0; y < height; ++y) {
+    for (Index x = 0; x < width; ++x) {
+      if (map.mv[static_cast<std::size_t>(y * width + x)] >= 0.0) {
+        frontier.emplace(x, y);
+      }
+    }
+  }
+  PPDL_REQUIRE(!frontier.empty(), "no node fell inside the raster");
+  while (!frontier.empty()) {
+    const auto [x, y] = frontier.front();
+    frontier.pop();
+    const Real value = map.mv[static_cast<std::size_t>(y * width + x)];
+    const Index dx[] = {1, -1, 0, 0};
+    const Index dy[] = {0, 0, 1, -1};
+    for (int d = 0; d < 4; ++d) {
+      const Index nx = x + dx[d];
+      const Index ny = y + dy[d];
+      if (nx < 0 || nx >= width || ny < 0 || ny >= height) {
+        continue;
+      }
+      Real& cell = map.mv[static_cast<std::size_t>(ny * width + nx)];
+      if (cell < 0.0) {
+        cell = value;
+        frontier.emplace(nx, ny);
+      }
+    }
+  }
+  return map;
+}
+
+std::string render_ascii(const IrMap& map, Index max_cols) {
+  PPDL_REQUIRE(max_cols > 0, "max_cols must be > 0");
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  constexpr Index kRampSize = static_cast<Index>(sizeof(kRamp) - 2);
+
+  const Real lo = map.min_mv();
+  const Real hi = map.max_mv();
+  const Real span = (hi > lo) ? (hi - lo) : 1.0;
+
+  // Down-sample columns/rows if the raster is wider than the console.
+  const Index step = std::max<Index>(1, (map.width + max_cols - 1) / max_cols);
+
+  std::ostringstream os;
+  for (Index y = map.height - 1; y >= 0; y -= step) {
+    for (Index x = 0; x < map.width; x += step) {
+      const Real t = (map.at(x, y) - lo) / span;
+      const Index level = std::clamp<Index>(
+          static_cast<Index>(std::lround(t * static_cast<Real>(kRampSize))),
+          0, kRampSize);
+      os << kRamp[static_cast<std::size_t>(level)];
+    }
+    os << '\n';
+  }
+  os << "legend: ' ' = " << lo << " mV … '@' = " << hi << " mV\n";
+  return os.str();
+}
+
+void write_ir_map_csv(const IrMap& map, const std::string& path) {
+  CsvWriter csv(path, {"x", "y", "ir_mv"});
+  for (Index y = 0; y < map.height; ++y) {
+    for (Index x = 0; x < map.width; ++x) {
+      csv.write_row({static_cast<Real>(x), static_cast<Real>(y),
+                     map.at(x, y)});
+    }
+  }
+}
+
+}  // namespace ppdl::analysis

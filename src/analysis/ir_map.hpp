@@ -1,0 +1,41 @@
+// IR-drop map rasterization (paper Fig. 8): project per-node IR drops onto
+// a regular W×H raster over the die for heat-map style reporting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/ir_solver.hpp"
+#include "common/types.hpp"
+#include "grid/power_grid.hpp"
+
+namespace ppdl::analysis {
+
+/// Row-major raster of IR-drop values in millivolts. Cell (0,0) is the
+/// bottom-left of the die (y grows upward, matching the paper's plots).
+struct IrMap {
+  Index width = 0;
+  Index height = 0;
+  std::vector<Real> mv;  ///< width*height values
+
+  Real at(Index x, Index y) const;
+  Real min_mv() const;
+  Real max_mv() const;
+};
+
+/// Rasterizes node IR drops. Each cell takes the maximum drop of the nodes
+/// it contains; empty cells are filled by nearest-filled-neighbour dilation
+/// so the map is dense like the paper's plots.
+IrMap rasterize_ir_map(const grid::PowerGrid& pg,
+                       const std::vector<Real>& node_ir_drop, Index width,
+                       Index height);
+
+/// Renders the map as an ASCII heat map (one glyph per cell, ramp
+/// " .:-=+*#%@" from min to max) with a legend — the console stand-in for
+/// the paper's colour plots.
+std::string render_ascii(const IrMap& map, Index max_cols = 64);
+
+/// Writes "x,y,ir_mv" rows for external plotting.
+void write_ir_map_csv(const IrMap& map, const std::string& path);
+
+}  // namespace ppdl::analysis

@@ -1,0 +1,91 @@
+#include "analysis/ir_solver.hpp"
+
+#include <cmath>
+
+#include "analysis/mna.hpp"
+#include "common/check.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/ordering.hpp"
+
+namespace ppdl::analysis {
+
+IrAnalysisResult analyze_ir_drop(const grid::PowerGrid& pg,
+                                 const IrAnalysisOptions& options) {
+  IrAnalysisResult result;
+  const Timer timer;
+
+  const MnaSystem sys = assemble_mna(pg);
+
+  if (options.solver == SolverKind::kCholesky) {
+    const linalg::SparseCholesky factorization(
+        sys.g_reduced, linalg::rcm_ordering(sys.g_reduced));
+    result.converged = true;  // direct solve: exact up to round-off
+    result.node_voltage =
+        expand_solution(sys, factorization.solve(sys.rhs));
+  } else {
+    linalg::CgOptions cg;
+    cg.tolerance = options.cg_tolerance;
+    cg.preconditioner = options.preconditioner;
+
+    std::optional<std::vector<Real>> x0;
+    if (!options.initial_voltages.empty()) {
+      PPDL_REQUIRE(static_cast<Index>(options.initial_voltages.size()) ==
+                       pg.node_count(),
+                   "warm-start voltage size mismatch");
+      std::vector<Real> reduced(static_cast<std::size_t>(sys.free_count));
+      for (Index f = 0; f < sys.free_count; ++f) {
+        reduced[static_cast<std::size_t>(f)] =
+            options.initial_voltages[static_cast<std::size_t>(
+                sys.node_of_free[static_cast<std::size_t>(f)])];
+      }
+      x0 = std::move(reduced);
+    }
+
+    linalg::CgResult cg_result =
+        linalg::conjugate_gradient(sys.g_reduced, sys.rhs, cg, std::move(x0));
+    result.cg_iterations = cg_result.iterations;
+    result.converged = cg_result.converged;
+    result.node_voltage = expand_solution(sys, std::move(cg_result.x));
+  }
+
+  // IR drop per node, worst case over the grid.
+  const Real vdd = pg.vdd();
+  result.node_ir_drop.resize(result.node_voltage.size());
+  result.worst_ir_drop = 0.0;
+  result.worst_node = -1;
+  for (std::size_t v = 0; v < result.node_voltage.size(); ++v) {
+    const Real drop = vdd - result.node_voltage[v];
+    result.node_ir_drop[v] = drop;
+    if (drop > result.worst_ir_drop) {
+      result.worst_ir_drop = drop;
+      result.worst_node = static_cast<Index>(v);
+    }
+  }
+
+  // Branch currents (Ohm's law) and wire current densities (eq. (4)).
+  result.branch_current.resize(static_cast<std::size_t>(pg.branch_count()));
+  result.branch_density.assign(static_cast<std::size_t>(pg.branch_count()),
+                               0.0);
+  result.worst_density = 0.0;
+  result.worst_density_branch = -1;
+  for (Index bi = 0; bi < pg.branch_count(); ++bi) {
+    const grid::Branch& b = pg.branch(bi);
+    const Real dv = result.node_voltage[static_cast<std::size_t>(b.n1)] -
+                    result.node_voltage[static_cast<std::size_t>(b.n2)];
+    const Real current = dv / pg.branch_resistance(bi);
+    result.branch_current[static_cast<std::size_t>(bi)] = current;
+    if (b.kind == grid::BranchKind::kWire) {
+      const Real density = std::abs(current) / b.width;
+      result.branch_density[static_cast<std::size_t>(bi)] = density;
+      if (density > result.worst_density) {
+        result.worst_density = density;
+        result.worst_density_branch = bi;
+      }
+    }
+  }
+
+  result.solve_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace ppdl::analysis

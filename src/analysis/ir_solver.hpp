@@ -1,0 +1,50 @@
+// Static IR-drop analysis: solve the grid, report node drops, branch
+// currents and current densities. This is the expensive step the paper's
+// conventional flow iterates and the DL flow avoids.
+#pragma once
+
+#include <vector>
+
+#include "common/timer.hpp"
+#include "common/types.hpp"
+#include "grid/power_grid.hpp"
+#include "linalg/cg.hpp"
+
+namespace ppdl::analysis {
+
+/// How the reduced SPD system is solved.
+enum class SolverKind {
+  kCg,        ///< preconditioned conjugate gradient (default; scales best)
+  kCholesky,  ///< sparse direct Cholesky with RCM ordering (small/medium
+              ///< grids, or many solves against one matrix)
+};
+
+struct IrAnalysisOptions {
+  SolverKind solver = SolverKind::kCg;
+  Real cg_tolerance = 1e-8;
+  linalg::PreconditionerKind preconditioner =
+      linalg::PreconditionerKind::kIc0;
+  /// Warm-start the CG from a previous node-voltage solution if provided
+  /// (ignored by the direct solver).
+  std::vector<Real> initial_voltages;
+};
+
+struct IrAnalysisResult {
+  std::vector<Real> node_voltage;       ///< per node, V
+  std::vector<Real> node_ir_drop;       ///< vdd − v, per node, V
+  std::vector<Real> branch_current;     ///< per branch, A (signed, n1 -> n2)
+  std::vector<Real> branch_density;     ///< per wire branch, A/µm (0 on vias)
+  Real worst_ir_drop = 0.0;             ///< V
+  Index worst_node = -1;
+  Real worst_density = 0.0;             ///< A/µm over wire branches
+  Index worst_density_branch = -1;
+  Index cg_iterations = 0;
+  Real solve_seconds = 0.0;
+  bool converged = false;
+};
+
+/// Full static analysis of the grid at its current widths/loads/pads.
+IrAnalysisResult analyze_ir_drop(const grid::PowerGrid& pg,
+                                 const IrAnalysisOptions& options = {});
+
+}  // namespace ppdl::analysis

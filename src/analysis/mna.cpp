@@ -1,0 +1,95 @@
+#include "analysis/mna.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "linalg/coo.hpp"
+
+namespace ppdl::analysis {
+
+MnaSystem assemble_mna(const grid::PowerGrid& pg) {
+  const Index n = pg.node_count();
+  MnaSystem sys;
+  sys.free_of_node.assign(static_cast<std::size_t>(n), -1);
+  sys.pad_voltage.assign(static_cast<std::size_t>(n), 0.0);
+
+  std::vector<bool> is_pad(static_cast<std::size_t>(n), false);
+  for (const grid::Pad& pad : pg.pads()) {
+    const auto node = static_cast<std::size_t>(pad.node);
+    if (is_pad[node]) {
+      PPDL_REQUIRE(std::abs(sys.pad_voltage[node] - pad.voltage) < 1e-12,
+                   "conflicting pad voltages on one node");
+    }
+    is_pad[node] = true;
+    sys.pad_voltage[node] = pad.voltage;
+  }
+
+  sys.node_of_free.reserve(static_cast<std::size_t>(n));
+  for (Index v = 0; v < n; ++v) {
+    if (!is_pad[static_cast<std::size_t>(v)]) {
+      sys.free_of_node[static_cast<std::size_t>(v)] =
+          static_cast<Index>(sys.node_of_free.size());
+      sys.node_of_free.push_back(v);
+    }
+  }
+  sys.free_count = static_cast<Index>(sys.node_of_free.size());
+  PPDL_ENSURE(sys.free_count < n, "grid has no pads — system is singular");
+
+  // Loads draw current out of the grid: b_i = −Σ I_load(i).
+  sys.rhs.assign(static_cast<std::size_t>(sys.free_count), 0.0);
+  for (const grid::CurrentLoad& load : pg.loads()) {
+    const Index f = sys.free_of_node[static_cast<std::size_t>(load.node)];
+    if (f >= 0) {
+      sys.rhs[static_cast<std::size_t>(f)] -= load.amps;
+    }
+    // A load on a pad node is supplied directly by the pad; no equation.
+  }
+
+  linalg::CooMatrix coo(sys.free_count, sys.free_count);
+  coo.reserve(4 * pg.branch_count());
+  for (Index bi = 0; bi < pg.branch_count(); ++bi) {
+    const grid::Branch& b = pg.branch(bi);
+    const Real g = 1.0 / pg.branch_resistance(bi);
+    const Index f1 = sys.free_of_node[static_cast<std::size_t>(b.n1)];
+    const Index f2 = sys.free_of_node[static_cast<std::size_t>(b.n2)];
+    const bool pad1 = f1 < 0;
+    const bool pad2 = f2 < 0;
+    if (pad1 && pad2) {
+      continue;  // resistor between two pads carries no unknown
+    }
+    if (!pad1) {
+      coo.add(f1, f1, g);
+    }
+    if (!pad2) {
+      coo.add(f2, f2, g);
+    }
+    if (!pad1 && !pad2) {
+      coo.add(f1, f2, -g);
+      coo.add(f2, f1, -g);
+    } else if (pad1) {
+      // b.n1 pinned: move G_rp · v_p to the RHS.
+      sys.rhs[static_cast<std::size_t>(f2)] +=
+          g * sys.pad_voltage[static_cast<std::size_t>(b.n1)];
+    } else {
+      sys.rhs[static_cast<std::size_t>(f1)] +=
+          g * sys.pad_voltage[static_cast<std::size_t>(b.n2)];
+    }
+  }
+  sys.g_reduced = linalg::CsrMatrix::from_coo(coo);
+  return sys;
+}
+
+std::vector<Real> expand_solution(const MnaSystem& sys,
+                                  std::vector<Real> reduced) {
+  PPDL_REQUIRE(static_cast<Index>(reduced.size()) == sys.free_count,
+               "reduced solution size mismatch");
+  std::vector<Real> full(sys.free_of_node.size(), 0.0);
+  for (std::size_t v = 0; v < sys.free_of_node.size(); ++v) {
+    const Index f = sys.free_of_node[v];
+    full[v] = (f >= 0) ? reduced[static_cast<std::size_t>(f)]
+                       : sys.pad_voltage[v];
+  }
+  return full;
+}
+
+}  // namespace ppdl::analysis

@@ -1,0 +1,42 @@
+// Modified nodal analysis assembly for static (DC) power-grid analysis.
+//
+// Supply pads pin their nodes to known voltages (Dirichlet conditions), so
+// instead of augmenting the system with source rows we eliminate pad nodes:
+//
+//   G_rr · v_r = b_r − G_rp · v_p
+//
+// where r indexes free nodes and p pad nodes. G_rr stays symmetric positive
+// definite (the grid is a connected resistive mesh with at least one pad),
+// which lets the conjugate-gradient solver with IC(0) preconditioning do the
+// heavy lifting.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "grid/power_grid.hpp"
+#include "linalg/csr.hpp"
+
+namespace ppdl::analysis {
+
+/// The assembled reduced system plus the index maps needed to scatter the
+/// solution back onto grid nodes.
+struct MnaSystem {
+  linalg::CsrMatrix g_reduced;      ///< G_rr, SPD
+  std::vector<Real> rhs;            ///< b_r − G_rp · v_p
+  std::vector<Index> free_of_node;  ///< node -> free index, or -1 for pads
+  std::vector<Index> node_of_free;  ///< free index -> node
+  std::vector<Real> pad_voltage;    ///< node -> pinned voltage (0 if free)
+  Index free_count = 0;
+};
+
+/// Assemble the reduced MNA system for the grid's present widths/loads/pads.
+/// When the same node carries several pads, their voltages must agree.
+MnaSystem assemble_mna(const grid::PowerGrid& pg);
+
+/// Scatter a reduced solution onto all grid nodes (pads get their pinned
+/// voltage).
+std::vector<Real> expand_solution(const MnaSystem& sys,
+                                  std::vector<Real> reduced);
+
+}  // namespace ppdl::analysis

@@ -1,0 +1,28 @@
+#include "analysis/vectorless.hpp"
+
+#include "common/check.hpp"
+
+namespace ppdl::analysis {
+
+VectorlessResult vectorless_bound(const grid::PowerGrid& pg,
+                                  const grid::Floorplan& floorplan,
+                                  Real budget_factor,
+                                  const IrAnalysisOptions& options) {
+  PPDL_REQUIRE(budget_factor >= 1.0, "budget factor must be >= 1");
+
+  // Pessimistic assignment: every load scaled to its block's guard-banded
+  // budget. Loads were produced from block densities, so a uniform inflation
+  // by budget_factor realizes "all blocks at full budget at once".
+  grid::PowerGrid pessimistic = pg;
+  for (Index i = 0; i < pessimistic.load_count(); ++i) {
+    pessimistic.scale_load(i, budget_factor);
+  }
+  (void)floorplan;  // budgets are already folded into the loads
+
+  VectorlessResult result;
+  result.analysis = analyze_ir_drop(pessimistic, options);
+  result.worst_ir_bound = result.analysis.worst_ir_drop;
+  return result;
+}
+
+}  // namespace ppdl::analysis

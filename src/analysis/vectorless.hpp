@@ -1,0 +1,33 @@
+// Early vectorless power-grid analysis (paper Fig. 1, "Early Vectorless
+// Power Grid Analysis").
+//
+// Before placement fixes exact per-node currents, only block-level current
+// budgets are known. This module bounds the worst-case IR drop by solving
+// the grid under the pessimistic assignment: each block's full budget is
+// drawn at the block's grid nodes simultaneously. This is a safe upper bound
+// for any intra-block current distribution that respects the budget, and it
+// exercises the same solver path as vectored analysis.
+#pragma once
+
+#include <vector>
+
+#include "analysis/ir_solver.hpp"
+#include "common/types.hpp"
+#include "grid/floorplan.hpp"
+#include "grid/power_grid.hpp"
+
+namespace ppdl::analysis {
+
+struct VectorlessResult {
+  Real worst_ir_bound = 0.0;  ///< upper bound on worst-case drop, V
+  IrAnalysisResult analysis;  ///< the pessimistic-assignment solve
+};
+
+/// Bounds worst-case IR drop given per-block budgets. `budget_factor`
+/// inflates block currents (e.g. 1.2 = 20% guard band).
+VectorlessResult vectorless_bound(const grid::PowerGrid& pg,
+                                  const grid::Floorplan& floorplan,
+                                  Real budget_factor = 1.2,
+                                  const IrAnalysisOptions& options = {});
+
+}  // namespace ppdl::analysis

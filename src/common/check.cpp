@@ -1,0 +1,17 @@
+#include "common/check.hpp"
+
+#include <sstream>
+
+namespace ppdl::detail {
+
+void contract_failed(const char* kind, const char* expr, const char* file,
+                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw ContractViolation(os.str());
+}
+
+}  // namespace ppdl::detail

@@ -1,0 +1,58 @@
+// Precondition / invariant checking in the spirit of GSL Expects/Ensures.
+//
+// PPDL_REQUIRE  — precondition on a public API boundary; always on.
+// PPDL_ENSURE   — postcondition / invariant; always on.
+// PPDL_ASSERT   — internal consistency; compiled out in NDEBUG builds.
+//
+// Violations throw ppdl::ContractViolation so that tests can assert on them
+// and library users get a diagnosable error instead of UB.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ppdl {
+
+/// Thrown when a contract (precondition, postcondition, invariant) fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_failed(const char* kind, const char* expr,
+                                  const char* file, int line,
+                                  const std::string& msg);
+}  // namespace detail
+
+}  // namespace ppdl
+
+#define PPDL_REQUIRE(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::ppdl::detail::contract_failed("precondition", #expr, __FILE__,       \
+                                      __LINE__, (msg));                      \
+    }                                                                        \
+  } while (false)
+
+#define PPDL_ENSURE(expr, msg)                                               \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::ppdl::detail::contract_failed("postcondition", #expr, __FILE__,      \
+                                      __LINE__, (msg));                      \
+    }                                                                        \
+  } while (false)
+
+#ifdef NDEBUG
+#define PPDL_ASSERT(expr, msg) \
+  do {                         \
+  } while (false)
+#else
+#define PPDL_ASSERT(expr, msg)                                               \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::ppdl::detail::contract_failed("assertion", #expr, __FILE__,          \
+                                      __LINE__, (msg));                      \
+    }                                                                        \
+  } while (false)
+#endif

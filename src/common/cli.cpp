@@ -1,0 +1,126 @@
+#include "common/cli.hpp"
+
+#include <iostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace ppdl {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::add_flag(const std::string& name, const std::string& help,
+                         const std::string& default_value) {
+  PPDL_REQUIRE(!flags_.contains(name), "duplicate flag: " + name);
+  flags_[name] = Flag{help, default_value, /*is_switch=*/false};
+}
+
+void CliParser::add_switch(const std::string& name, const std::string& help) {
+  PPDL_REQUIRE(!flags_.contains(name), "duplicate switch: " + name);
+  flags_[name] = Flag{help, "false", /*is_switch=*/true};
+}
+
+void CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      std::cout << usage();
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw CliError("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      throw CliError("unknown flag: --" + name + "\n" + usage());
+    }
+    if (it->second.is_switch) {
+      it->second.value = has_value ? value : "true";
+    } else {
+      if (!has_value) {
+        if (i + 1 >= argc) {
+          throw CliError("flag --" + name + " expects a value");
+        }
+        value = argv[++i];
+      }
+      it->second.value = value;
+    }
+  }
+}
+
+const CliParser::Flag& CliParser::find(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    throw CliError("flag not registered: " + name);
+  }
+  return it->second;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  return find(name).value;
+}
+
+Real CliParser::get_real(const std::string& name) const {
+  const std::string& v = find(name).value;
+  try {
+    std::size_t pos = 0;
+    const Real r = std::stod(v, &pos);
+    if (pos != v.size()) {
+      throw std::invalid_argument(v);
+    }
+    return r;
+  } catch (const std::exception&) {
+    throw CliError("flag --" + name + " is not a number: " + v);
+  }
+}
+
+Index CliParser::get_int(const std::string& name) const {
+  const std::string& v = find(name).value;
+  try {
+    std::size_t pos = 0;
+    const long long r = std::stoll(v, &pos);
+    if (pos != v.size()) {
+      throw std::invalid_argument(v);
+    }
+    return static_cast<Index>(r);
+  } catch (const std::exception&) {
+    throw CliError("flag --" + name + " is not an integer: " + v);
+  }
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string& v = find(name).value;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "no" || v == "off") {
+    return false;
+  }
+  throw CliError("flag --" + name + " is not a boolean: " + v);
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name;
+    if (!flag.is_switch) {
+      os << "=<value>";
+    }
+    os << "\n      " << flag.help << " (default: " << flag.value << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace ppdl

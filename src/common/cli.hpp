@@ -1,0 +1,64 @@
+// Tiny declarative command-line flag parser used by benches and examples.
+//
+//   CliParser cli("bench_table4", "Reproduces Table IV");
+//   cli.add_flag("scale", "grid scale factor in (0,1]", "0.05");
+//   cli.parse(argc, argv);                  // throws CliError on bad input
+//   double s = cli.get_real("scale");
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ppdl {
+
+/// Thrown on malformed command lines or unknown flags.
+class CliError : public std::runtime_error {
+ public:
+  explicit CliError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  /// Register a flag with a default value. Flags are passed as
+  /// --name=value or --name value.
+  void add_flag(const std::string& name, const std::string& help,
+                const std::string& default_value);
+
+  /// Register a boolean switch (--name sets it true).
+  void add_switch(const std::string& name, const std::string& help);
+
+  /// Parse argv. Recognizes --help (prints usage, sets help_requested()).
+  void parse(int argc, const char* const* argv);
+
+  bool help_requested() const { return help_requested_; }
+
+  std::string get(const std::string& name) const;
+  Real get_real(const std::string& name) const;
+  Index get_int(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Render usage text.
+  std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string value;
+    bool is_switch = false;
+  };
+
+  const Flag& find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace ppdl

@@ -1,0 +1,64 @@
+#include "common/csv.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace ppdl {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), arity_(header.size()) {
+  PPDL_REQUIRE(!header.empty(), "CSV header must not be empty");
+  PPDL_REQUIRE(out_.good(), "cannot open CSV file: " + path);
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i > 0) {
+      out_ << ',';
+    }
+    out_ << escape(header[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  PPDL_REQUIRE(fields.size() == arity_, "CSV row arity mismatch");
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) {
+      out_ << ',';
+    }
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::write_row(const std::vector<Real>& fields) {
+  std::vector<std::string> s;
+  s.reserve(fields.size());
+  for (const Real f : fields) {
+    std::ostringstream os;
+    os << f;
+    s.push_back(os.str());
+  }
+  write_row(s);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) {
+    return field;
+  }
+  std::string quoted = "\"";
+  for (const char c : field) {
+    if (c == '"') {
+      quoted += "\"\"";
+    } else {
+      quoted += c;
+    }
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace ppdl

@@ -1,0 +1,39 @@
+// CSV emission for bench outputs (so plots can be regenerated externally).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ppdl {
+
+/// Streams rows to a CSV file. Fields containing commas/quotes/newlines are
+/// quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Append a row of string fields; must match the header arity.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Append a row of numeric fields; must match the header arity.
+  void write_row(const std::vector<Real>& fields);
+
+  /// Rows written so far (excluding the header).
+  Index rows_written() const { return rows_; }
+
+  /// True if the underlying stream is healthy.
+  bool good() const { return out_.good(); }
+
+ private:
+  static std::string escape(const std::string& field);
+
+  std::ofstream out_;
+  std::size_t arity_;
+  Index rows_ = 0;
+};
+
+}  // namespace ppdl

@@ -1,0 +1,50 @@
+// Minimal leveled logging to stderr.
+//
+// The library itself is silent by default (Info threshold suppresses Debug);
+// benches and examples raise verbosity via set_log_level().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ppdl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set the global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+
+/// Current threshold.
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}  // namespace detail
+
+/// Stream-style log line: LogLine(LogLevel::kInfo) << "solved in " << n;
+/// The message is emitted (with level prefix) when the LogLine is destroyed.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::log_emit(level_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace ppdl
+
+#define PPDL_LOG_DEBUG ::ppdl::LogLine(::ppdl::LogLevel::kDebug)
+#define PPDL_LOG_INFO ::ppdl::LogLine(::ppdl::LogLevel::kInfo)
+#define PPDL_LOG_WARN ::ppdl::LogLine(::ppdl::LogLevel::kWarn)
+#define PPDL_LOG_ERROR ::ppdl::LogLine(::ppdl::LogLevel::kError)

@@ -1,0 +1,78 @@
+#include "common/memory.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/timer.hpp"
+
+namespace ppdl {
+
+namespace {
+
+/// Reads a "VmRSS:  1234 kB"-style field from /proc/self/status, in MiB.
+Real read_status_field_mib(const std::string& field) {
+  std::ifstream status("/proc/self/status");
+  if (!status.good()) {
+    return 0.0;
+  }
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind(field, 0) == 0) {
+      std::istringstream is(line.substr(field.size()));
+      Real kb = 0.0;
+      is >> kb;
+      return kb / 1024.0;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Real current_rss_mib() { return read_status_field_mib("VmRSS:"); }
+
+Real peak_rss_mib() { return read_status_field_mib("VmHWM:"); }
+
+MemorySampler::MemorySampler(Index period_ms)
+    : thread_([this, period_ms] { run(period_ms); }) {}
+
+MemorySampler::~MemorySampler() { stop(); }
+
+void MemorySampler::stop() {
+  stop_flag_.store(true);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+std::vector<MemorySample> MemorySampler::samples() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return samples_;
+}
+
+Real MemorySampler::peak_mib() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Real peak = 0.0;
+  for (const auto& s : samples_) {
+    peak = std::max(peak, s.rss_mib);
+  }
+  return peak;
+}
+
+void MemorySampler::run(Index period_ms) {
+  const Timer timer;
+  while (!stop_flag_.load()) {
+    MemorySample sample;
+    sample.t_seconds = timer.seconds();
+    sample.rss_mib = current_rss_mib();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      samples_.push_back(sample);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(period_ms));
+  }
+}
+
+}  // namespace ppdl

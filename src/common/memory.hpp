@@ -1,0 +1,57 @@
+// Process-memory introspection, replacing the paper's `mprof` profiler.
+//
+// current_rss_mib()/peak_rss_mib() read /proc/self/status (Linux).
+// MemorySampler runs a background thread that samples RSS on a fixed period,
+// producing the timeline plotted in Fig. 10.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ppdl {
+
+/// Resident set size of this process in MiB; 0 if unavailable.
+Real current_rss_mib();
+
+/// Peak resident set size (VmHWM) in MiB; 0 if unavailable.
+Real peak_rss_mib();
+
+/// One point of a sampled memory timeline.
+struct MemorySample {
+  Real t_seconds = 0.0;
+  Real rss_mib = 0.0;
+};
+
+/// Samples RSS on a background thread every `period_ms` until stop().
+/// Reproduces mprof-style "memory vs time" curves (paper Fig. 10).
+class MemorySampler {
+ public:
+  explicit MemorySampler(Index period_ms = 50);
+  ~MemorySampler();
+
+  MemorySampler(const MemorySampler&) = delete;
+  MemorySampler& operator=(const MemorySampler&) = delete;
+
+  /// Stop sampling (idempotent). Called by the destructor.
+  void stop();
+
+  /// Samples collected so far (safe to call after stop()).
+  std::vector<MemorySample> samples() const;
+
+  /// Maximum sampled RSS in MiB (0 if no samples).
+  Real peak_mib() const;
+
+ private:
+  void run(Index period_ms);
+
+  mutable std::mutex mutex_;
+  std::vector<MemorySample> samples_;
+  std::atomic<bool> stop_flag_{false};
+  std::thread thread_;
+};
+
+}  // namespace ppdl

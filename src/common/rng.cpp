@@ -1,0 +1,45 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ppdl {
+
+Index Rng::uniform_int(Index lo, Index hi) {
+  PPDL_REQUIRE(lo <= hi, "uniform_int: empty range");
+  const U64 span = static_cast<U64>(hi - lo) + 1;
+  // Rejection sampling to avoid modulo bias.
+  const U64 limit = span * (~0ULL / span);
+  U64 x = next_u64();
+  while (x >= limit) {
+    x = next_u64();
+  }
+  return lo + static_cast<Index>(x % span);
+}
+
+Real Rng::normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  // Box–Muller; guard against log(0).
+  Real u1 = uniform();
+  while (u1 <= 0.0) {
+    u1 = uniform();
+  }
+  const Real u2 = uniform();
+  const Real mag = std::sqrt(-2.0 * std::log(u1));
+  const Real angle = 2.0 * std::numbers::pi_v<Real> * u2;
+  spare_ = mag * std::sin(angle);
+  has_spare_ = true;
+  return mag * std::cos(angle);
+}
+
+void Rng::shuffle(std::vector<Index>& v) {
+  for (Index i = static_cast<Index>(v.size()) - 1; i > 0; --i) {
+    const Index j = uniform_int(0, i);
+    std::swap(v[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(j)]);
+  }
+}
+
+}  // namespace ppdl

@@ -1,0 +1,155 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ppdl {
+
+Real mean(std::span<const Real> v) {
+  PPDL_REQUIRE(!v.empty(), "mean of empty span");
+  Real sum = 0.0;
+  for (const Real x : v) {
+    sum += x;
+  }
+  return sum / static_cast<Real>(v.size());
+}
+
+Real variance(std::span<const Real> v) {
+  PPDL_REQUIRE(!v.empty(), "variance of empty span");
+  const Real m = mean(v);
+  Real acc = 0.0;
+  for (const Real x : v) {
+    const Real d = x - m;
+    acc += d * d;
+  }
+  return acc / static_cast<Real>(v.size());
+}
+
+Real stddev(std::span<const Real> v) { return std::sqrt(variance(v)); }
+
+Real mse(std::span<const Real> y, std::span<const Real> yhat) {
+  PPDL_REQUIRE(y.size() == yhat.size(), "mse: size mismatch");
+  PPDL_REQUIRE(!y.empty(), "mse of empty spans");
+  Real acc = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const Real d = y[i] - yhat[i];
+    acc += d * d;
+  }
+  return acc / static_cast<Real>(y.size());
+}
+
+Real rmse(std::span<const Real> y, std::span<const Real> yhat) {
+  return std::sqrt(mse(y, yhat));
+}
+
+Real mae(std::span<const Real> y, std::span<const Real> yhat) {
+  PPDL_REQUIRE(y.size() == yhat.size(), "mae: size mismatch");
+  PPDL_REQUIRE(!y.empty(), "mae of empty spans");
+  Real acc = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    acc += std::abs(y[i] - yhat[i]);
+  }
+  return acc / static_cast<Real>(y.size());
+}
+
+Real r2_score(std::span<const Real> y, std::span<const Real> yhat) {
+  PPDL_REQUIRE(y.size() == yhat.size(), "r2_score: size mismatch");
+  PPDL_REQUIRE(!y.empty(), "r2_score of empty spans");
+  const Real m = mean(y);
+  Real ss_res = 0.0;
+  Real ss_tot = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const Real r = y[i] - yhat[i];
+    const Real t = y[i] - m;
+    ss_res += r * r;
+    ss_tot += t * t;
+  }
+  if (ss_tot == 0.0) {
+    return ss_res == 0.0 ? 1.0 : 0.0;
+  }
+  return 1.0 - ss_res / ss_tot;
+}
+
+Real pearson(std::span<const Real> x, std::span<const Real> y) {
+  PPDL_REQUIRE(x.size() == y.size(), "pearson: size mismatch");
+  PPDL_REQUIRE(!x.empty(), "pearson of empty spans");
+  const Real mx = mean(x);
+  const Real my = mean(y);
+  Real sxy = 0.0;
+  Real sxx = 0.0;
+  Real syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const Real dx = x[i] - mx;
+    const Real dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) {
+    return 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+Real Histogram::bin_width() const {
+  return counts.empty() ? 0.0 : (hi - lo) / static_cast<Real>(counts.size());
+}
+
+Real Histogram::bin_center(Index b) const {
+  PPDL_REQUIRE(b >= 0 && b < static_cast<Index>(counts.size()),
+               "bin_center: bucket out of range");
+  return lo + (static_cast<Real>(b) + 0.5) * bin_width();
+}
+
+Index Histogram::total() const {
+  Index sum = 0;
+  for (const Index c : counts) {
+    sum += c;
+  }
+  return sum;
+}
+
+Histogram make_histogram(std::span<const Real> values, Real lo, Real hi,
+                         Index bins) {
+  PPDL_REQUIRE(bins > 0, "histogram needs at least one bin");
+  PPDL_REQUIRE(hi > lo, "histogram range must be non-empty");
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(static_cast<std::size_t>(bins), 0);
+  const Real width = (hi - lo) / static_cast<Real>(bins);
+  for (const Real v : values) {
+    Index b = static_cast<Index>(std::floor((v - lo) / width));
+    b = std::clamp<Index>(b, 0, bins - 1);
+    ++h.counts[static_cast<std::size_t>(b)];
+  }
+  return h;
+}
+
+Summary summarize(std::span<const Real> values) {
+  PPDL_REQUIRE(!values.empty(), "summarize of empty span");
+  std::vector<Real> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto pct = [&](Real p) {
+    const Real pos = p * static_cast<Real>(sorted.size() - 1);
+    const auto i = static_cast<std::size_t>(pos);
+    const Real frac = pos - static_cast<Real>(i);
+    if (i + 1 >= sorted.size()) {
+      return sorted.back();
+    }
+    return sorted[i] * (1.0 - frac) + sorted[i + 1] * frac;
+  };
+  Summary s;
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.mean = mean(values);
+  s.stddev = stddev(values);
+  s.p50 = pct(0.50);
+  s.p95 = pct(0.95);
+  s.p99 = pct(0.99);
+  return s;
+}
+
+}  // namespace ppdl

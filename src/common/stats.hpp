@@ -1,0 +1,70 @@
+// Statistics used by the evaluation: MSE, r² score (coefficient of
+// determination, Definition 1 of the paper), Pearson correlation, histograms.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ppdl {
+
+/// Arithmetic mean. Requires a non-empty span.
+Real mean(std::span<const Real> v);
+
+/// Population variance (divide by n). Requires a non-empty span.
+Real variance(std::span<const Real> v);
+
+/// Population standard deviation.
+Real stddev(std::span<const Real> v);
+
+/// Mean squared error between truth y and prediction yhat (paper eq. (10)).
+Real mse(std::span<const Real> y, std::span<const Real> yhat);
+
+/// Root mean squared error.
+Real rmse(std::span<const Real> y, std::span<const Real> yhat);
+
+/// Mean absolute error.
+Real mae(std::span<const Real> y, std::span<const Real> yhat);
+
+/// r² score (coefficient of determination): 1 - SS_res / SS_tot.
+/// Equals 1 for a perfect fit; can be negative for a fit worse than the mean.
+/// If y is constant, returns 1 when predictions match exactly and 0 otherwise.
+Real r2_score(std::span<const Real> y, std::span<const Real> yhat);
+
+/// Pearson correlation coefficient in [-1, 1]. Returns 0 when either input
+/// has zero variance.
+Real pearson(std::span<const Real> x, std::span<const Real> y);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets.
+/// Values outside the range are clamped into the edge buckets.
+struct Histogram {
+  Real lo = 0.0;
+  Real hi = 0.0;
+  std::vector<Index> counts;
+
+  /// Bucket width.
+  Real bin_width() const;
+  /// Center of bucket b.
+  Real bin_center(Index b) const;
+  /// Total number of samples recorded.
+  Index total() const;
+};
+
+Histogram make_histogram(std::span<const Real> values, Real lo, Real hi,
+                         Index bins);
+
+/// Summary of a sample: min/max/mean/stddev and selected percentiles.
+struct Summary {
+  Real min = 0.0;
+  Real max = 0.0;
+  Real mean = 0.0;
+  Real stddev = 0.0;
+  Real p50 = 0.0;
+  Real p95 = 0.0;
+  Real p99 = 0.0;
+};
+
+Summary summarize(std::span<const Real> values);
+
+}  // namespace ppdl

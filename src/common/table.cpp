@@ -1,0 +1,64 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace ppdl {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  PPDL_REQUIRE(!header_.empty(), "table header must not be empty");
+}
+
+void ConsoleTable::add_row(std::vector<std::string> row) {
+  PPDL_REQUIRE(row.size() == header_.size(), "table row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string ConsoleTable::fmt(Real value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void ConsoleTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto rule = [&] {
+    os << '+';
+    for (const std::size_t w : widths) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  const auto emit = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+
+  rule();
+  emit(header_);
+  rule();
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  rule();
+}
+
+}  // namespace ppdl

@@ -1,0 +1,39 @@
+// Console table rendering — benches print paper tables in this format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ppdl {
+
+/// Accumulates rows and prints an aligned ASCII table:
+///
+///   +---------+--------------+----------+
+///   | circuit | conventional | speedup  |
+///   +---------+--------------+----------+
+///   | ibmpg1  | 6.85         | 1.92x    |
+///   +---------+--------------+----------+
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> header);
+
+  /// Append a row; must match the header arity.
+  void add_row(std::vector<std::string> row);
+
+  /// Format a Real with fixed precision (helper for callers).
+  static std::string fmt(Real value, int precision = 2);
+
+  /// Render to a stream.
+  void print(std::ostream& os) const;
+
+  Index row_count() const { return static_cast<Index>(rows_.size()); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ppdl

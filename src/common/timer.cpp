@@ -1,0 +1,26 @@
+#include "common/timer.hpp"
+
+namespace ppdl {
+
+void PhaseTimer::add(const std::string& phase, Real seconds) {
+  auto [it, inserted] = totals_.try_emplace(phase, 0.0);
+  if (inserted) {
+    order_.push_back(phase);
+  }
+  it->second += seconds;
+}
+
+Real PhaseTimer::total(const std::string& phase) const {
+  const auto it = totals_.find(phase);
+  return it == totals_.end() ? 0.0 : it->second;
+}
+
+Real PhaseTimer::grand_total() const {
+  Real sum = 0.0;
+  for (const auto& [name, secs] : totals_) {
+    sum += secs;
+  }
+  return sum;
+}
+
+}  // namespace ppdl

@@ -1,0 +1,72 @@
+// Monotonic wall-clock timing used by the convergence-time experiments
+// (Table IV) and by benches that report phase breakdowns.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ppdl {
+
+/// Simple monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart from now.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  Real seconds() const {
+    return std::chrono::duration<Real>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  Real millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named phase timings, e.g. {"assemble", "solve", "widen"}.
+/// Used to report where conventional-planner time goes.
+class PhaseTimer {
+ public:
+  /// Add `seconds` to the named phase (creates it on first use).
+  void add(const std::string& phase, Real seconds);
+
+  /// Total seconds recorded for a phase (0 if never recorded).
+  Real total(const std::string& phase) const;
+
+  /// Sum over all phases.
+  Real grand_total() const;
+
+  /// Phases in first-recorded order.
+  const std::vector<std::string>& phases() const { return order_; }
+
+ private:
+  std::unordered_map<std::string, Real> totals_;
+  std::vector<std::string> order_;
+};
+
+/// RAII helper: times a scope and adds it to a PhaseTimer on destruction.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimer& sink, std::string phase)
+      : sink_(sink), phase_(std::move(phase)) {}
+  ~ScopedPhase() { sink_.add(phase_, timer_.seconds()); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer& sink_;
+  std::string phase_;
+  Timer timer_;
+};
+
+}  // namespace ppdl

@@ -1,0 +1,20 @@
+// Fundamental scalar and index types shared across all PowerPlanningDL modules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ppdl {
+
+/// Floating-point scalar used throughout the numeric stack.
+using Real = double;
+
+/// Index type for nodes, branches, matrix rows, dataset rows.
+/// Signed so that subtraction and reverse loops are well defined
+/// (per C++ Core Guidelines ES.100/ES.102 prefer signed arithmetic).
+using Index = std::int64_t;
+
+/// Unsigned 64-bit used only for RNG state and hashing.
+using U64 = std::uint64_t;
+
+}  // namespace ppdl

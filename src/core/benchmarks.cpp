@@ -1,0 +1,55 @@
+#include "core/benchmarks.hpp"
+
+#include "analysis/ir_solver.hpp"
+#include "common/check.hpp"
+#include "common/logging.hpp"
+
+namespace ppdl::core {
+
+grid::GeneratedBenchmark make_benchmark(const std::string& name,
+                                        const BenchmarkOptions& options) {
+  const auto spec = grid::find_ibmpg_spec(name);
+  PPDL_REQUIRE(spec.has_value(), "unknown benchmark: " + name);
+  return make_benchmark(*spec, options);
+}
+
+grid::GeneratedBenchmark make_benchmark(const grid::GridSpec& spec,
+                                        const BenchmarkOptions& options) {
+  grid::GeneratedBenchmark bench =
+      grid::generate_power_grid(spec, options.scale, options.seed);
+  if (!options.calibrate) {
+    return bench;
+  }
+  PPDL_REQUIRE(options.initial_violation_factor > 0.0,
+               "violation factor must be > 0");
+
+  // One analysis at initial widths; drops are linear in loads, so a single
+  // global load scaling lands the worst-case drop on target.
+  const analysis::IrAnalysisResult initial =
+      analysis::analyze_ir_drop(bench.grid);
+  PPDL_REQUIRE(initial.worst_ir_drop > 0.0,
+               "initial analysis found no IR drop — no loads?");
+  const Real target_drop =
+      bench.spec.ir_limit_mv * 1e-3 * options.initial_violation_factor;
+  const Real factor = target_drop / initial.worst_ir_drop;
+  for (Index i = 0; i < bench.grid.load_count(); ++i) {
+    bench.grid.scale_load(i, factor);
+  }
+  bench.floorplan.scale_currents(factor);
+  bench.spec.total_current *= factor;
+
+  if (options.auto_jmax) {
+    PPDL_REQUIRE(options.em_headroom > 0.0, "EM headroom must be > 0");
+    // Branch currents are linear in loads, so the calibrated grid's worst
+    // density is the measured one scaled by the same factor.
+    const Real worst_density = initial.worst_density * factor;
+    PPDL_REQUIRE(worst_density > 0.0, "no current density measured");
+    bench.spec.jmax = options.em_headroom * worst_density;
+  }
+
+  PPDL_LOG_DEBUG << bench.spec.name << ": calibrated loads by " << factor
+                 << " for initial worst drop " << target_drop * 1e3 << " mV";
+  return bench;
+}
+
+}  // namespace ppdl::core

@@ -1,0 +1,40 @@
+// Benchmark instantiation with electrical calibration.
+//
+// Generates an IBM-PG replica at a chosen scale and calibrates its load
+// currents so the un-planned grid (initial widths) violates the IR limit by
+// a controlled factor. Because node voltages are linear in the load vector,
+// one analysis suffices to hit the target exactly. This gives the
+// conventional planner realistic work to do at every scale, which in turn
+// yields spatially varying golden widths for the DL model to learn.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "grid/generator.hpp"
+
+namespace ppdl::core {
+
+struct BenchmarkOptions {
+  Real scale = 0.05;   ///< fraction of the paper-scale node count
+  U64 seed = 42;
+  bool calibrate = true;
+  /// Initial worst-case IR drop as a multiple of the spec's limit.
+  Real initial_violation_factor = 2.5;
+  /// Also scale the spec's EM limit to the grid's actual current scale so
+  /// eq. (4) is binding but satisfiable: jmax = em_headroom × the worst
+  /// initial current density.
+  bool auto_jmax = true;
+  Real em_headroom = 0.7;
+};
+
+/// Generates and calibrates the named IBM-PG replica.
+/// Throws ContractViolation for unknown names.
+grid::GeneratedBenchmark make_benchmark(const std::string& name,
+                                        const BenchmarkOptions& options = {});
+
+/// Same, from an explicit spec.
+grid::GeneratedBenchmark make_benchmark(const grid::GridSpec& spec,
+                                        const BenchmarkOptions& options = {});
+
+}  // namespace ppdl::core

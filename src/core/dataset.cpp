@@ -1,0 +1,65 @@
+#include "core/dataset.hpp"
+
+#include "common/check.hpp"
+#include "nn/trainer.hpp"
+
+namespace ppdl::core {
+
+std::vector<Dataset> build_layer_datasets(const grid::PowerGrid& pg,
+                                          const FeatureSet& set,
+                                          const FeatureExtractor& extractor) {
+  const std::vector<InterconnectFeatures> rows = extractor.extract(pg);
+
+  std::vector<Dataset> out;
+  for (Index layer = 0; layer < pg.layer_count(); ++layer) {
+    std::vector<InterconnectFeatures> layer_rows;
+    for (const InterconnectFeatures& f : rows) {
+      if (pg.branch(f.branch).layer == layer) {
+        layer_rows.push_back(f);
+      }
+    }
+    if (layer_rows.empty()) {
+      continue;
+    }
+    Dataset d;
+    d.layer = layer;
+    d.x = FeatureExtractor::to_matrix(layer_rows, set);
+    d.y = FeatureExtractor::width_targets(pg, layer_rows);
+    d.branch.reserve(layer_rows.size());
+    for (const InterconnectFeatures& f : layer_rows) {
+      d.branch.push_back(f.branch);
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+Dataset build_dataset(const grid::PowerGrid& pg, const FeatureSet& set,
+                      const FeatureExtractor& extractor) {
+  const std::vector<InterconnectFeatures> rows = extractor.extract(pg);
+  PPDL_REQUIRE(!rows.empty(), "grid has no wire branches");
+  Dataset d;
+  d.x = FeatureExtractor::to_matrix(rows, set);
+  d.y = FeatureExtractor::width_targets(pg, rows);
+  d.branch.reserve(rows.size());
+  for (const InterconnectFeatures& f : rows) {
+    d.branch.push_back(f.branch);
+  }
+  return d;
+}
+
+Dataset take_rows(const Dataset& d, const std::vector<Index>& rows) {
+  Dataset out;
+  out.layer = d.layer;
+  out.x = nn::gather_rows(d.x, rows);
+  out.y = nn::gather_rows(d.y, rows);
+  out.branch.reserve(rows.size());
+  for (const Index r : rows) {
+    PPDL_REQUIRE(r >= 0 && r < static_cast<Index>(d.branch.size()),
+                 "take_rows: row out of range");
+    out.branch.push_back(d.branch[static_cast<std::size_t>(r)]);
+  }
+  return out;
+}
+
+}  // namespace ppdl::core

@@ -1,0 +1,38 @@
+// Training/test dataset construction (paper Fig. 2 and §IV-D).
+//
+// Training data comes from a golden design: the conventional planner's
+// converged widths paired with the grid's features. Test data comes from a
+// γ-perturbed copy of the same design (§IV-D).
+#pragma once
+
+#include <vector>
+
+#include "core/features.hpp"
+#include "grid/power_grid.hpp"
+#include "nn/activation.hpp"
+
+namespace ppdl::core {
+
+/// A regression dataset over PG interconnects of a single layer population.
+struct Dataset {
+  nn::Matrix x;                 ///< rows × feature-count
+  nn::Matrix y;                 ///< rows × 1, widths in µm
+  std::vector<Index> branch;    ///< row -> wire branch index in the grid
+  Index layer = -1;             ///< the metal layer this population covers
+};
+
+/// Builds one dataset per layer that has wire branches, from the grid's
+/// current widths (call after the conventional planner for golden data).
+std::vector<Dataset> build_layer_datasets(const grid::PowerGrid& pg,
+                                          const FeatureSet& set,
+                                          const FeatureExtractor& extractor);
+
+/// Builds a single dataset over ALL wires regardless of layer (used by the
+/// Table I feature study on a single-layer-like population).
+Dataset build_dataset(const grid::PowerGrid& pg, const FeatureSet& set,
+                      const FeatureExtractor& extractor);
+
+/// Row subset helper.
+Dataset take_rows(const Dataset& d, const std::vector<Index>& rows);
+
+}  // namespace ppdl::core

@@ -1,0 +1,232 @@
+#include "core/experiments.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "nn/trainer.hpp"
+
+namespace ppdl::core {
+
+namespace {
+
+/// Study population for the Table I / Fig. 4(b) experiments: the layer whose
+/// golden (tapered) widths vary the most — the planner's primary sizing
+/// target. Within one layer a single coordinate explains only part of the
+/// width field (the stripe coordinate picks the line, the along-line
+/// coordinate tracks the taper), Id is informative everywhere, and the
+/// combination wins — the paper's Table I ordering.
+Dataset golden_study_dataset(const grid::PowerGrid& golden,
+                             const FeatureSet& set,
+                             const FeatureExtractor& extractor) {
+  std::vector<Dataset> per_layer =
+      build_layer_datasets(golden, set, extractor);
+  PPDL_REQUIRE(!per_layer.empty(), "golden grid has no wires");
+  std::size_t best = 0;
+  Real best_spread = -1.0;
+  for (std::size_t i = 0; i < per_layer.size(); ++i) {
+    const nn::Matrix& y = per_layer[i].y;
+    std::vector<Real> v;
+    v.reserve(static_cast<std::size_t>(y.rows()));
+    for (Index r = 0; r < y.rows(); ++r) {
+      v.push_back(y(r, 0));
+    }
+    const Real m = mean(v);
+    const Real spread = m > 0.0 ? stddev(v) / m : 0.0;
+    if (spread > best_spread) {
+      best_spread = spread;
+      best = i;
+    }
+  }
+  return std::move(per_layer[best]);
+}
+
+/// Trains an MLP on the dataset with an 80/20 split; returns (r2, test
+/// predictions, test targets, test row order).
+struct SubsetFit {
+  Real r2 = 0.0;
+  std::vector<Real> y_true;
+  std::vector<Real> y_pred;
+  std::vector<Index> rows;  ///< dataset row index of each test sample
+};
+
+SubsetFit fit_subset(const Dataset& d, const PpdlModelConfig& config,
+                     U64 split_seed) {
+  PPDL_REQUIRE(d.x.rows() >= 10, "dataset too small for a split study");
+  Rng rng(split_seed);
+  std::vector<Index> order(static_cast<std::size_t>(d.x.rows()));
+  for (Index i = 0; i < d.x.rows(); ++i) {
+    order[static_cast<std::size_t>(i)] = i;
+  }
+  rng.shuffle(order);
+  const Index train_rows = (d.x.rows() * 8) / 10;
+  std::vector<Index> train_idx(order.begin(), order.begin() + train_rows);
+  std::vector<Index> test_idx(order.begin() + train_rows, order.end());
+
+  const nn::Matrix x_train = nn::gather_rows(d.x, train_idx);
+  const nn::Matrix y_train = nn::gather_rows(d.y, train_idx);
+  const nn::Matrix x_test = nn::gather_rows(d.x, test_idx);
+  const nn::Matrix y_test = nn::gather_rows(d.y, test_idx);
+
+  nn::StandardScaler xs;
+  nn::StandardScaler ys;
+  xs.fit(x_train);
+  ys.fit(y_train);
+
+  Rng init(config.init_seed);
+  nn::Mlp mlp(nn::MlpConfig::paper_default(d.x.cols(), 1,
+                                           config.hidden_layers,
+                                           config.hidden_units),
+              init);
+  nn::train(mlp, xs.transform(x_train), ys.transform(y_train), config.train);
+
+  const nn::Matrix pred = ys.inverse_transform(mlp.predict(xs.transform(x_test)));
+  SubsetFit fit;
+  fit.rows = test_idx;
+  fit.y_true.reserve(static_cast<std::size_t>(y_test.rows()));
+  fit.y_pred.reserve(static_cast<std::size_t>(y_test.rows()));
+  for (Index r = 0; r < y_test.rows(); ++r) {
+    fit.y_true.push_back(y_test(r, 0));
+    fit.y_pred.push_back(pred(r, 0));
+  }
+  fit.r2 = r2_score(fit.y_true, fit.y_pred);
+  return fit;
+}
+
+struct LabeledSet {
+  std::string label;
+  FeatureSet set;
+};
+
+const std::vector<LabeledSet>& labeled_sets() {
+  static const std::vector<LabeledSet> sets = {
+      {"X coordinate", FeatureSet::only_x()},
+      {"Y coordinate", FeatureSet::only_y()},
+      {"Id", FeatureSet::only_id()},
+      {"Combined", FeatureSet::combined()},
+  };
+  return sets;
+}
+
+}  // namespace
+
+std::vector<FeatureR2> feature_r2_study(const grid::PowerGrid& golden,
+                                        const PpdlModelConfig& config,
+                                        U64 split_seed) {
+  const FeatureExtractor extractor(config.feature_window_pitches);
+  std::vector<FeatureR2> out;
+  for (const LabeledSet& ls : labeled_sets()) {
+    const Dataset d = golden_study_dataset(golden, ls.set, extractor);
+    FeatureR2 row;
+    row.label = ls.label;
+    row.set = ls.set;
+    row.r2 = fit_subset(d, config, split_seed).r2;
+    out.push_back(row);
+  }
+  return out;
+}
+
+std::vector<R2Series> interconnect_r2_series(const grid::PowerGrid& golden,
+                                             const PpdlModelConfig& config,
+                                             Index total_interconnects,
+                                             Index chunk_size,
+                                             U64 split_seed) {
+  PPDL_REQUIRE(chunk_size > 1, "chunk size must exceed 1");
+  const FeatureExtractor extractor(config.feature_window_pitches);
+  std::vector<R2Series> out;
+  for (const LabeledSet& ls : labeled_sets()) {
+    const Dataset d = golden_study_dataset(golden, ls.set, extractor);
+    const SubsetFit fit = fit_subset(d, config, split_seed);
+
+    // Order the test samples by interconnect (dataset row) index so the
+    // series walks the grid like the paper's Fig. 4(b) x-axis.
+    std::vector<std::size_t> by_row(fit.rows.size());
+    for (std::size_t i = 0; i < by_row.size(); ++i) {
+      by_row[i] = i;
+    }
+    std::sort(by_row.begin(), by_row.end(), [&](std::size_t a, std::size_t b) {
+      return fit.rows[a] < fit.rows[b];
+    });
+
+    R2Series series;
+    series.label = ls.label;
+    const Index limit = std::min<Index>(
+        total_interconnects, static_cast<Index>(by_row.size()));
+    for (Index start = 0; start + chunk_size <= limit; start += chunk_size) {
+      std::vector<Real> yt;
+      std::vector<Real> yp;
+      yt.reserve(static_cast<std::size_t>(chunk_size));
+      yp.reserve(static_cast<std::size_t>(chunk_size));
+      for (Index k = start; k < start + chunk_size; ++k) {
+        yt.push_back(fit.y_true[by_row[static_cast<std::size_t>(k)]]);
+        yp.push_back(fit.y_pred[by_row[static_cast<std::size_t>(k)]]);
+      }
+      series.r2.push_back(r2_score(yt, yp));
+      series.position.push_back(start + chunk_size / 2);
+    }
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+std::vector<PerturbationPoint> perturbation_sweep(
+    const grid::GeneratedBenchmark& bench, const FlowOptions& base,
+    const std::vector<Real>& gammas,
+    const std::vector<grid::PerturbationKind>& kinds) {
+  PPDL_REQUIRE(!gammas.empty() && !kinds.empty(), "empty sweep");
+
+  // Shared offline phase: golden design + trained model.
+  const planner::PlannerOptions planner_opts =
+      planner_options_for(bench.spec, base.planner_max_iterations);
+  grid::PowerGrid golden = bench.grid;
+  planner::run_conventional_planner(golden, planner_opts);
+  PowerPlanningDL model(base.model);
+  model.fit(golden);
+
+  std::vector<PerturbationPoint> points;
+  for (const grid::PerturbationKind kind : kinds) {
+    for (const Real gamma : gammas) {
+      const grid::PowerGrid perturbed =
+          grid::perturbed_copy(golden, kind, gamma, base.perturb_seed,
+                               bench.spec.ir_limit_mv * 1e-3);
+
+      // Conventional redesign (from the un-planned widths) gives the
+      // reference widths for this spec.
+      grid::PowerGrid reference = perturbed;
+      reference.reset_wire_widths();
+      planner::run_conventional_planner(reference, planner_opts);
+
+      grid::PowerGrid dl_grid = perturbed;
+      const WidthPrediction prediction = model.predict(dl_grid);
+      PowerPlanningDL::apply_widths(dl_grid, prediction);
+
+      std::vector<Real> golden_w;
+      std::vector<Real> predicted_w;
+      std::vector<Real> pred_by_branch(
+          static_cast<std::size_t>(dl_grid.branch_count()), 0.0);
+      for (std::size_t i = 0; i < prediction.branch.size(); ++i) {
+        pred_by_branch[static_cast<std::size_t>(prediction.branch[i])] =
+            prediction.predicted[i];
+      }
+      for (Index bi = 0; bi < reference.branch_count(); ++bi) {
+        if (reference.branch(bi).kind == grid::BranchKind::kWire) {
+          golden_w.push_back(reference.branch(bi).width);
+          predicted_w.push_back(pred_by_branch[static_cast<std::size_t>(bi)]);
+        }
+      }
+
+      PerturbationPoint point;
+      point.kind = kind;
+      point.gamma = gamma;
+      const Real var = variance(golden_w);
+      point.mse_pct =
+          var > 0.0 ? 100.0 * mse(golden_w, predicted_w) / var : 0.0;
+      point.r2 = r2_score(golden_w, predicted_w);
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
+}  // namespace ppdl::core

@@ -1,0 +1,60 @@
+// Experiment helpers for the paper's studies:
+//   * Table I / Fig. 4(b): r² of individual input features vs the width.
+//   * Fig. 9: MSE(%) vs perturbation size γ for three perturbation kinds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/benchmarks.hpp"
+#include "core/flow.hpp"
+#include "core/ppdl_model.hpp"
+#include "grid/perturb.hpp"
+
+namespace ppdl::core {
+
+/// One row of the Table I study.
+struct FeatureR2 {
+  std::string label;   ///< "X coordinate", "Y coordinate", "Id", "Combined"
+  FeatureSet set;
+  Real r2 = 0.0;       ///< held-out r² of an MLP trained on this subset
+};
+
+/// Trains one regressor per feature subset on the golden design's
+/// bottom-layer interconnects and reports held-out r² (80/20 split).
+std::vector<FeatureR2> feature_r2_study(const grid::PowerGrid& golden,
+                                        const PpdlModelConfig& config,
+                                        U64 split_seed = 5);
+
+/// Fig. 4(b): r² evaluated over consecutive chunks of interconnects —
+/// series[i] is the r² of chunk i (chunk_size interconnects each) for one
+/// feature subset.
+struct R2Series {
+  std::string label;
+  std::vector<Real> r2;         ///< per chunk
+  std::vector<Index> position;  ///< chunk-centre interconnect number
+};
+
+std::vector<R2Series> interconnect_r2_series(const grid::PowerGrid& golden,
+                                             const PpdlModelConfig& config,
+                                             Index total_interconnects = 1000,
+                                             Index chunk_size = 50,
+                                             U64 split_seed = 5);
+
+/// One point of the Fig. 9 sweep.
+struct PerturbationPoint {
+  grid::PerturbationKind kind;
+  Real gamma = 0.0;
+  Real mse_pct = 0.0;  ///< 100·MSE/Var(golden widths)
+  Real r2 = 0.0;
+};
+
+/// Runs the flow across γ values and perturbation kinds on one benchmark.
+/// The golden design and the trained model are shared across points; only
+/// the perturbation (and the conventional redesign it forces) varies.
+std::vector<PerturbationPoint> perturbation_sweep(
+    const grid::GeneratedBenchmark& bench, const FlowOptions& base,
+    const std::vector<Real>& gammas,
+    const std::vector<grid::PerturbationKind>& kinds);
+
+}  // namespace ppdl::core

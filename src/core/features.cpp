@@ -1,0 +1,123 @@
+#include "core/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace ppdl::core {
+
+FeatureExtractor::FeatureExtractor(Real window_pitches)
+    : window_pitches_(window_pitches) {
+  PPDL_REQUIRE(window_pitches > 0.0, "window must be positive");
+}
+
+std::vector<InterconnectFeatures> FeatureExtractor::extract(
+    const grid::PowerGrid& pg) const {
+  // Estimate the load-layer pitch from the die extent and the number of
+  // distinct load positions per axis; fall back to 1/50 of the die.
+  const grid::Rect die = pg.die();
+  PPDL_REQUIRE(die.width() > 0 && die.height() > 0, "grid has no die outline");
+
+  // Spatial binning of loads for O(1) window queries.
+  // Bin size = window radius; summing a 3×3 block of bins then covers at
+  // least the window and at most twice it, which is fine for a locality
+  // feature.
+  Real bin = std::max(die.width(), die.height()) / 50.0;
+  {
+    // Prefer the true load pitch when derivable from load positions.
+    std::vector<Real> xs;
+    xs.reserve(pg.loads().size());
+    for (const grid::CurrentLoad& load : pg.loads()) {
+      xs.push_back(pg.node(load.node).pos.x);
+    }
+    std::sort(xs.begin(), xs.end());
+    xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+    if (xs.size() > 1) {
+      const Real pitch = die.width() / static_cast<Real>(xs.size());
+      bin = std::max(pitch * window_pitches_, 1e-6);
+    }
+  }
+
+  const auto nx = static_cast<Index>(std::ceil(die.width() / bin)) + 1;
+  const auto ny = static_cast<Index>(std::ceil(die.height() / bin)) + 1;
+  std::unordered_map<Index, Real> bins;  // key = by * nx + bx
+  bins.reserve(pg.loads().size());
+  const auto bin_of = [&](grid::Point p) {
+    Index bx = static_cast<Index>((p.x - die.x0) / bin);
+    Index by = static_cast<Index>((p.y - die.y0) / bin);
+    bx = std::clamp<Index>(bx, 0, nx - 1);
+    by = std::clamp<Index>(by, 0, ny - 1);
+    return by * nx + bx;
+  };
+  for (const grid::CurrentLoad& load : pg.loads()) {
+    bins[bin_of(pg.node(load.node).pos)] += load.amps;
+  }
+
+  std::vector<InterconnectFeatures> rows;
+  rows.reserve(static_cast<std::size_t>(pg.wire_count()));
+  for (Index bi = 0; bi < pg.branch_count(); ++bi) {
+    if (pg.branch(bi).kind != grid::BranchKind::kWire) {
+      continue;
+    }
+    const grid::Point c = pg.branch_center(bi);
+    InterconnectFeatures f;
+    f.branch = bi;
+    f.x = c.x;
+    f.y = c.y;
+    // 3×3 bin neighbourhood sum around the centre.
+    Index bx = static_cast<Index>((c.x - die.x0) / bin);
+    Index by = static_cast<Index>((c.y - die.y0) / bin);
+    bx = std::clamp<Index>(bx, 0, nx - 1);
+    by = std::clamp<Index>(by, 0, ny - 1);
+    Real id = 0.0;
+    for (Index dy = -1; dy <= 1; ++dy) {
+      for (Index dx = -1; dx <= 1; ++dx) {
+        const Index qx = bx + dx;
+        const Index qy = by + dy;
+        if (qx < 0 || qx >= nx || qy < 0 || qy >= ny) {
+          continue;
+        }
+        const auto it = bins.find(qy * nx + qx);
+        if (it != bins.end()) {
+          id += it->second;
+        }
+      }
+    }
+    f.id = id;
+    rows.push_back(f);
+  }
+  return rows;
+}
+
+nn::Matrix FeatureExtractor::to_matrix(
+    const std::vector<InterconnectFeatures>& rows, const FeatureSet& set) {
+  PPDL_REQUIRE(set.count() > 0, "feature set must select something");
+  nn::Matrix m(static_cast<Index>(rows.size()), set.count());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    Index c = 0;
+    const auto ri = static_cast<Index>(r);
+    if (set.use_x) {
+      m(ri, c++) = rows[r].x;
+    }
+    if (set.use_y) {
+      m(ri, c++) = rows[r].y;
+    }
+    if (set.use_id) {
+      m(ri, c++) = rows[r].id;
+    }
+  }
+  return m;
+}
+
+nn::Matrix FeatureExtractor::width_targets(
+    const grid::PowerGrid& pg, const std::vector<InterconnectFeatures>& rows) {
+  nn::Matrix y(static_cast<Index>(rows.size()), 1);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    y(static_cast<Index>(r), 0) = pg.branch(rows[r].branch).width;
+  }
+  return y;
+}
+
+}  // namespace ppdl::core

@@ -1,0 +1,65 @@
+// Feature extraction (paper §IV-B).
+//
+// For every PG interconnect (wire branch) the paper's quadruple is
+// (X coordinate, Y coordinate, Id, wᵢ): the segment's location, the local
+// switching-current activity beneath it, and its width. Id is computed by
+// summing the grid's current loads inside a small spatial window around the
+// segment centre — the discrete analogue of "the current obtained from the
+// switching activity of the functional blocks having (X, Y) coordinate".
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "grid/power_grid.hpp"
+#include "nn/activation.hpp"
+
+namespace ppdl::core {
+
+/// Which input features feed the regressor — used by the Table I / Fig. 4(b)
+/// feature-selection study.
+struct FeatureSet {
+  bool use_x = true;
+  bool use_y = true;
+  bool use_id = true;
+
+  Index count() const {
+    return (use_x ? 1 : 0) + (use_y ? 1 : 0) + (use_id ? 1 : 0);
+  }
+  static FeatureSet combined() { return {true, true, true}; }
+  static FeatureSet only_x() { return {true, false, false}; }
+  static FeatureSet only_y() { return {false, true, false}; }
+  static FeatureSet only_id() { return {false, false, true}; }
+};
+
+/// Per-wire raw features, before scaling.
+struct InterconnectFeatures {
+  Index branch = -1;  ///< wire branch index in the grid
+  Real x = 0.0;       ///< centre X, µm
+  Real y = 0.0;       ///< centre Y, µm
+  Real id = 0.0;      ///< local switching current, A
+};
+
+/// Extracts features for every wire branch of the grid. The Id window is
+/// `window_pitches` × the load-layer pitch on each side (default one pitch,
+/// i.e. a 3×3-cell neighbourhood).
+class FeatureExtractor {
+ public:
+  explicit FeatureExtractor(Real window_pitches = 1.0);
+
+  /// Extract features for all wire branches (order: ascending branch index).
+  std::vector<InterconnectFeatures> extract(const grid::PowerGrid& pg) const;
+
+  /// Dense feature matrix for the given subset (columns in X, Y, Id order).
+  static nn::Matrix to_matrix(const std::vector<InterconnectFeatures>& rows,
+                              const FeatureSet& set);
+
+  /// Width targets for the same wires, one column, µm.
+  static nn::Matrix width_targets(const grid::PowerGrid& pg,
+                                  const std::vector<InterconnectFeatures>& rows);
+
+ private:
+  Real window_pitches_;
+};
+
+}  // namespace ppdl::core

@@ -1,0 +1,140 @@
+#include "core/flow.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+
+namespace ppdl::core {
+
+planner::PlannerOptions planner_options_for(const grid::GridSpec& spec,
+                                            Index max_iterations) {
+  planner::PlannerOptions opts;
+  opts.update.ir_limit = spec.ir_limit_mv * 1e-3;
+  opts.update.jmax = spec.jmax;
+  opts.max_iterations = max_iterations;
+  return opts;
+}
+
+FlowResult run_flow(const std::string& benchmark_name,
+                    const FlowOptions& options) {
+  const grid::GeneratedBenchmark bench =
+      make_benchmark(benchmark_name, options.benchmark);
+  return run_flow(bench, options);
+}
+
+FlowResult run_flow(const grid::GeneratedBenchmark& bench,
+                    const FlowOptions& options) {
+  FlowResult result;
+  result.name = bench.spec.name;
+  result.nodes = bench.grid.node_count();
+  result.interconnects = bench.grid.wire_count();
+
+  const planner::PlannerOptions planner_opts =
+      planner_options_for(bench.spec, options.planner_max_iterations);
+
+  // --- Phase 1: golden design (offline historical data) --------------------
+  grid::PowerGrid golden = bench.grid;
+  result.golden_planner = planner::run_conventional_planner(golden,
+                                                            planner_opts);
+  PPDL_LOG_INFO << bench.spec.name << ": golden design "
+                << (result.golden_planner.converged ? "converged" : "STUCK")
+                << " in " << result.golden_planner.iterations
+                << " iterations ("
+                << result.golden_planner.total_seconds << " s)";
+
+  // --- Phase 2: training (offline) ------------------------------------------
+  PowerPlanningDL model(options.model);
+  result.training = model.fit(golden);
+
+  KirchhoffIrPredictor ir_predictor;
+  ir_predictor.calibrate(golden,
+                         result.golden_planner.final_analysis.node_ir_drop);
+  result.ir_correction = ir_predictor.correction();
+
+  // --- Phase 3: new (perturbed) specification -------------------------------
+  // The perturbed spec starts from the golden design with new currents and
+  // pad voltages — the paper's incremental-redesign scenario.
+  const grid::PowerGrid perturbed = grid::perturbed_copy(
+      golden, options.perturbation, options.gamma, options.perturb_seed,
+      bench.spec.ir_limit_mv * 1e-3);
+
+  // --- Phase 4: conventional redesign ---------------------------------------
+  // The conventional flow designs the new specification from scratch: the
+  // planner starts at the un-planned (layer-default) widths, exactly the
+  // loop PowerPlanningDL short-circuits.
+  {
+    // Best case (as Table IV reports): one iteration of the design cycle —
+    // one full analysis plus one width update.
+    grid::PowerGrid one_iter = perturbed;
+    one_iter.reset_wire_widths();
+    planner::PlannerOptions single = planner_opts;
+    single.max_iterations = 1;
+    const Timer timer;
+    planner::PlannerResult one = planner::run_conventional_planner(one_iter,
+                                                                   single);
+    result.conventional_seconds = timer.seconds();
+  }
+  {
+    grid::PowerGrid full = perturbed;
+    full.reset_wire_widths();
+    result.perturbed_planner =
+        planner::run_conventional_planner(full, planner_opts);
+    result.conventional_full_seconds = result.perturbed_planner.total_seconds;
+    result.worst_ir_conventional =
+        result.perturbed_planner.final_analysis.worst_ir_drop;
+
+    // Converged widths are the golden reference for prediction quality.
+    result.golden_widths.reserve(
+        static_cast<std::size_t>(full.wire_count()));
+    for (Index bi = 0; bi < full.branch_count(); ++bi) {
+      if (full.branch(bi).kind == grid::BranchKind::kWire) {
+        result.golden_widths.push_back(full.branch(bi).width);
+      }
+    }
+  }
+
+  // --- Phase 5: PowerPlanningDL ----------------------------------------------
+  grid::PowerGrid dl_grid = perturbed;
+  result.prediction = model.predict(dl_grid);
+  PowerPlanningDL::apply_widths(dl_grid, result.prediction);
+  result.dl_ir = ir_predictor.predict(dl_grid);
+  result.dl_seconds =
+      result.prediction.predict_seconds + result.dl_ir.predict_seconds;
+  result.worst_ir_dl = result.dl_ir.worst_ir_drop;
+
+  // Align prediction order with branch index order for the comparison.
+  {
+    std::vector<Real> pred_by_branch(
+        static_cast<std::size_t>(dl_grid.branch_count()), 0.0);
+    for (std::size_t i = 0; i < result.prediction.branch.size(); ++i) {
+      pred_by_branch[static_cast<std::size_t>(result.prediction.branch[i])] =
+          result.prediction.predicted[i];
+    }
+    result.predicted_widths.reserve(result.golden_widths.size());
+    for (Index bi = 0; bi < dl_grid.branch_count(); ++bi) {
+      if (dl_grid.branch(bi).kind == grid::BranchKind::kWire) {
+        result.predicted_widths.push_back(
+            pred_by_branch[static_cast<std::size_t>(bi)]);
+      }
+    }
+  }
+  PPDL_ENSURE(result.predicted_widths.size() == result.golden_widths.size(),
+              "width comparison arrays misaligned");
+
+  result.width_mse = mse(result.golden_widths, result.predicted_widths);
+  result.width_r2 = r2_score(result.golden_widths, result.predicted_widths);
+  result.width_pearson =
+      pearson(result.golden_widths, result.predicted_widths);
+  const Real var = variance(result.golden_widths);
+  result.width_mse_pct = var > 0.0 ? 100.0 * result.width_mse / var : 0.0;
+
+  PPDL_LOG_INFO << bench.spec.name << ": r2 " << result.width_r2 << ", MSE "
+                << result.width_mse << " um^2, speedup " << result.speedup()
+                << "x";
+  return result;
+}
+
+}  // namespace ppdl::core

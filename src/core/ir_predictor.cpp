@@ -1,0 +1,247 @@
+#include "core/ir_predictor.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/check.hpp"
+
+namespace ppdl::core {
+
+KirchhoffIrPredictor::Forest KirchhoffIrPredictor::build_forest(
+    const grid::PowerGrid& pg) {
+  const Index n = pg.node_count();
+
+  // Adjacency over branches (CSR-style).
+  struct Edge {
+    Index to;
+    Index branch;
+  };
+  std::vector<Index> head(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<Edge> edges(2 * static_cast<std::size_t>(pg.branch_count()));
+  for (Index bi = 0; bi < pg.branch_count(); ++bi) {
+    const grid::Branch& b = pg.branch(bi);
+    ++head[static_cast<std::size_t>(b.n1) + 1];
+    ++head[static_cast<std::size_t>(b.n2) + 1];
+  }
+  for (Index v = 0; v < n; ++v) {
+    head[static_cast<std::size_t>(v) + 1] += head[static_cast<std::size_t>(v)];
+  }
+  {
+    std::vector<Index> cursor(head.begin(), head.end() - 1);
+    for (Index bi = 0; bi < pg.branch_count(); ++bi) {
+      const grid::Branch& b = pg.branch(bi);
+      edges[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(b.n1)]++)] = {b.n2, bi};
+      edges[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(b.n2)]++)] = {b.n1, bi};
+    }
+  }
+
+  std::vector<Real> resistance(static_cast<std::size_t>(pg.branch_count()));
+  for (Index bi = 0; bi < pg.branch_count(); ++bi) {
+    resistance[static_cast<std::size_t>(bi)] = pg.branch_resistance(bi);
+  }
+
+  // Multi-source Dijkstra from pads, edge weight = branch resistance.
+  constexpr Real kInf = std::numeric_limits<Real>::infinity();
+  Forest forest;
+  forest.node_count = n;
+  forest.branch_count = pg.branch_count();
+  forest.parent.assign(static_cast<std::size_t>(n), -1);
+  forest.parent_branch.assign(static_cast<std::size_t>(n), -1);
+  forest.order.reserve(static_cast<std::size_t>(n));
+
+  std::vector<Real> dist(static_cast<std::size_t>(n), kInf);
+  using HeapItem = std::pair<Real, Index>;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (const grid::Pad& pad : pg.pads()) {
+    if (dist[static_cast<std::size_t>(pad.node)] > 0.0) {
+      dist[static_cast<std::size_t>(pad.node)] = 0.0;
+      heap.emplace(0.0, pad.node);
+    }
+  }
+  PPDL_REQUIRE(!heap.empty(), "grid has no pads");
+
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(v)]) {
+      continue;  // stale entry
+    }
+    forest.order.push_back(v);
+    for (Index e = head[static_cast<std::size_t>(v)];
+         e < head[static_cast<std::size_t>(v) + 1]; ++e) {
+      const Edge& edge = edges[static_cast<std::size_t>(e)];
+      const Real nd = d + resistance[static_cast<std::size_t>(edge.branch)];
+      if (nd < dist[static_cast<std::size_t>(edge.to)]) {
+        dist[static_cast<std::size_t>(edge.to)] = nd;
+        forest.parent[static_cast<std::size_t>(edge.to)] = v;
+        forest.parent_branch[static_cast<std::size_t>(edge.to)] = edge.branch;
+        heap.emplace(nd, edge.to);
+      }
+    }
+  }
+  return forest;
+}
+
+IrPrediction KirchhoffIrPredictor::evaluate_forest(const grid::PowerGrid& pg,
+                                                   const Forest& forest) {
+  PPDL_REQUIRE(forest.node_count == pg.node_count() &&
+                   forest.branch_count == pg.branch_count(),
+               "forest does not match grid");
+  const Index n = pg.node_count();
+
+  // Bottom-up: subtree demand flows through the parent branch (KCL on the
+  // forest, eqs. (7)–(9)).
+  std::vector<Real> subtree_current = pg.node_load_vector();
+  for (auto it = forest.order.rbegin(); it != forest.order.rend(); ++it) {
+    const Index v = *it;
+    const Index p = forest.parent[static_cast<std::size_t>(v)];
+    if (p >= 0) {
+      subtree_current[static_cast<std::size_t>(p)] +=
+          subtree_current[static_cast<std::size_t>(v)];
+    }
+  }
+
+  // Top-down: drop(v) = drop(parent) + I·R of the connecting branch, with
+  // resistances taken from the grid's PRESENT widths.
+  IrPrediction out;
+  out.node_ir_drop.assign(static_cast<std::size_t>(n), 0.0);
+  for (const Index v : forest.order) {
+    const Index p = forest.parent[static_cast<std::size_t>(v)];
+    if (p < 0) {
+      continue;  // pad root: zero resistive drop relative to the pad
+    }
+    const Real r = pg.branch_resistance(
+        forest.parent_branch[static_cast<std::size_t>(v)]);
+    out.node_ir_drop[static_cast<std::size_t>(v)] =
+        out.node_ir_drop[static_cast<std::size_t>(p)] +
+        subtree_current[static_cast<std::size_t>(v)] * r;
+  }
+
+  // Pads below Vdd (perturbed pad voltages) add their sag to their subtree.
+  const Real vdd = pg.vdd();
+  std::vector<Real> pad_offset(static_cast<std::size_t>(n), 0.0);
+  for (const grid::Pad& pad : pg.pads()) {
+    pad_offset[static_cast<std::size_t>(pad.node)] = vdd - pad.voltage;
+  }
+  for (const Index v : forest.order) {
+    const Index p = forest.parent[static_cast<std::size_t>(v)];
+    if (p >= 0) {
+      pad_offset[static_cast<std::size_t>(v)] =
+          pad_offset[static_cast<std::size_t>(p)];
+    }
+  }
+  out.worst_ir_drop = 0.0;
+  out.worst_node = -1;
+  for (const Index v : forest.order) {
+    Real& d = out.node_ir_drop[static_cast<std::size_t>(v)];
+    d += pad_offset[static_cast<std::size_t>(v)];
+    if (d > out.worst_ir_drop) {
+      out.worst_ir_drop = d;
+      out.worst_node = v;
+    }
+  }
+  return out;
+}
+
+IrPrediction KirchhoffIrPredictor::predict_raw(
+    const grid::PowerGrid& pg) const {
+  const Timer timer;
+  IrPrediction out;
+  if (calibrated_ && forest_.node_count == pg.node_count() &&
+      forest_.branch_count == pg.branch_count()) {
+    out = evaluate_forest(pg, forest_);
+  } else {
+    const Forest forest = build_forest(pg);
+    out = evaluate_forest(pg, forest);
+  }
+  out.predict_seconds = timer.seconds();
+  return out;
+}
+
+void KirchhoffIrPredictor::calibrate(
+    const grid::PowerGrid& golden,
+    const std::vector<Real>& golden_node_drops) {
+  PPDL_REQUIRE(static_cast<Index>(golden_node_drops.size()) ==
+                   golden.node_count(),
+               "golden drop vector does not match grid");
+  forest_ = build_forest(golden);
+  calibrated_ = true;
+  const IrPrediction raw = evaluate_forest(golden, forest_);
+  PPDL_REQUIRE(raw.worst_ir_drop > 0.0,
+               "raw estimate is zero — grid carries no current");
+
+  Real golden_worst = 0.0;
+  for (const Real d : golden_node_drops) {
+    golden_worst = std::max(golden_worst, d);
+  }
+  PPDL_REQUIRE(golden_worst > 0.0, "golden worst drop must be > 0");
+  correction_ = golden_worst / raw.worst_ir_drop;
+
+  // Per-node ratios where the raw estimate carries signal. Nodes whose
+  // forest subtree draws no current have raw ≈ 0 although mesh coupling
+  // gives them a real drop; those get an additive term instead — the golden
+  // drop, rescaled at predict time by the total-load ratio (drops are
+  // linear in the load vector).
+  node_correction_.assign(golden_node_drops.size(), correction_);
+  node_offset_.assign(golden_node_drops.size(), 0.0);
+  golden_total_load_ = golden.total_load_current();
+  // Nodes whose raw estimate is a meaningful fraction of the worst drop
+  // carry stable signal: their true/raw ratio transfers (the frozen forest
+  // keeps raw smooth in widths/loads). Below the threshold the ratio is
+  // noise-amplifying — a 1e-4-of-worst raw drop doubling under a ±10% load
+  // shuffle would multiply straight into the prediction — so those nodes
+  // use the additive load-scaled term instead.
+  const Real signal_floor = 0.01 * raw.worst_ir_drop;
+  for (std::size_t v = 0; v < golden_node_drops.size(); ++v) {
+    if (raw.node_ir_drop[v] > signal_floor) {
+      node_correction_[v] = std::clamp(
+          golden_node_drops[v] / raw.node_ir_drop[v], 0.0, 100.0);
+    } else {
+      node_correction_[v] = 0.0;
+      node_offset_[v] = golden_node_drops[v];
+    }
+  }
+}
+
+void KirchhoffIrPredictor::calibrate(const grid::PowerGrid& golden,
+                                     Real golden_worst_drop) {
+  PPDL_REQUIRE(golden_worst_drop > 0.0, "golden worst drop must be > 0");
+  forest_ = build_forest(golden);
+  calibrated_ = true;
+  const IrPrediction raw = evaluate_forest(golden, forest_);
+  PPDL_REQUIRE(raw.worst_ir_drop > 0.0,
+               "raw estimate is zero — grid carries no current");
+  correction_ = golden_worst_drop / raw.worst_ir_drop;
+  node_correction_.clear();
+  node_offset_.clear();
+}
+
+IrPrediction KirchhoffIrPredictor::predict(const grid::PowerGrid& pg) const {
+  IrPrediction p = predict_raw(pg);
+  const bool per_node =
+      static_cast<Index>(node_correction_.size()) == pg.node_count();
+  const Real load_scale =
+      (per_node && golden_total_load_ > 0.0)
+          ? pg.total_load_current() / golden_total_load_
+          : 1.0;
+  p.worst_ir_drop = 0.0;
+  p.worst_node = -1;
+  for (std::size_t v = 0; v < p.node_ir_drop.size(); ++v) {
+    if (per_node) {
+      p.node_ir_drop[v] = p.node_ir_drop[v] * node_correction_[v] +
+                          node_offset_[v] * load_scale;
+    } else {
+      p.node_ir_drop[v] *= correction_;
+    }
+    if (p.node_ir_drop[v] > p.worst_ir_drop) {
+      p.worst_ir_drop = p.node_ir_drop[v];
+      p.worst_node = static_cast<Index>(v);
+    }
+  }
+  return p;
+}
+
+}  // namespace ppdl::core

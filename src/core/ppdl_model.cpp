@@ -1,0 +1,195 @@
+#include "core/ppdl_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+#include "nn/model_io.hpp"
+
+namespace ppdl::core {
+
+PowerPlanningDL::PowerPlanningDL(PpdlModelConfig config)
+    : config_(std::move(config)),
+      extractor_(config_.feature_window_pitches) {
+  PPDL_REQUIRE(config_.hidden_layers > 0 && config_.hidden_units > 0,
+               "model needs positive architecture sizes");
+}
+
+TrainReport PowerPlanningDL::fit(const grid::PowerGrid& golden) {
+  const Timer timer;
+  TrainReport report;
+  models_.clear();
+
+  const std::vector<Dataset> datasets =
+      build_layer_datasets(golden, config_.features, extractor_);
+  PPDL_REQUIRE(!datasets.empty(), "golden grid has no wires to learn from");
+
+  Rng rng(config_.init_seed);
+  for (const Dataset& all_rows : datasets) {
+    // Deterministic subsample when the layer population exceeds the cap.
+    Dataset sampled;
+    const Dataset* d = &all_rows;
+    if (config_.max_training_rows > 0 &&
+        all_rows.x.rows() > config_.max_training_rows) {
+      std::vector<Index> order(static_cast<std::size_t>(all_rows.x.rows()));
+      for (Index i = 0; i < all_rows.x.rows(); ++i) {
+        order[static_cast<std::size_t>(i)] = i;
+      }
+      Rng sample_rng(config_.init_seed ^ 0x5eedULL);
+      sample_rng.shuffle(order);
+      order.resize(static_cast<std::size_t>(config_.max_training_rows));
+      sampled = take_rows(all_rows, order);
+      d = &sampled;
+    }
+
+    nn::MlpConfig arch = nn::MlpConfig::paper_default(
+        config_.features.count(), 1, config_.hidden_layers,
+        config_.hidden_units);
+    LayerModel lm{nn::Mlp(arch, rng), {}, {}};
+
+    nn::Matrix targets = d->y;
+    if (config_.log_target) {
+      for (Real& v : targets.data()) {
+        PPDL_REQUIRE(v > 0.0, "log-target training requires positive widths");
+        v = std::log(v);
+      }
+    }
+    lm.x_scaler.fit(d->x);
+    lm.y_scaler.fit(targets);
+    const nn::Matrix xs = lm.x_scaler.transform(d->x);
+    const nn::Matrix ys = lm.y_scaler.transform(targets);
+
+    LayerFit fit;
+    fit.layer = d->layer;
+    fit.rows = d->x.rows();
+    fit.history = nn::train(lm.mlp, xs, ys, config_.train);
+    report.layers.push_back(std::move(fit));
+
+    models_.emplace(d->layer, std::move(lm));
+  }
+  report.train_seconds = timer.seconds();
+  return report;
+}
+
+WidthPrediction PowerPlanningDL::predict(const grid::PowerGrid& pg) const {
+  PPDL_REQUIRE(trained(), "predict called before fit");
+  const Timer timer;
+  WidthPrediction out;
+
+  const std::vector<Dataset> datasets =
+      build_layer_datasets(pg, config_.features, extractor_);
+  for (const Dataset& d : datasets) {
+    const auto it = models_.find(d.layer);
+    if (it == models_.end()) {
+      // Unseen layer: fall back to its default width.
+      const Real w = pg.layer(d.layer).default_width;
+      for (const Index bi : d.branch) {
+        out.branch.push_back(bi);
+        out.predicted.push_back(w);
+      }
+      continue;
+    }
+    const LayerModel& lm = it->second;
+    const nn::Matrix xs = lm.x_scaler.transform(d.x);
+    const nn::Matrix zs = lm.mlp.predict(xs);
+    const nn::Matrix ys = lm.y_scaler.inverse_transform(zs);
+    for (Index r = 0; r < ys.rows(); ++r) {
+      out.branch.push_back(d.branch[static_cast<std::size_t>(r)]);
+      Real w = config_.log_target ? std::exp(ys(r, 0)) : ys(r, 0);
+      // A regressor can emit non-physical widths in the tail; floor at a
+      // sliver of the layer default so resistances stay finite.
+      const Real floor_w = pg.layer(d.layer).default_width * 0.05;
+      out.predicted.push_back(std::max(w, floor_w));
+    }
+  }
+  out.predict_seconds = timer.seconds();
+  return out;
+}
+
+void PowerPlanningDL::save(std::ostream& out) const {
+  PPDL_REQUIRE(trained(), "cannot save an untrained model");
+  out << "ppdl-model 1\n";
+  out << "features " << (config_.features.use_x ? 1 : 0) << ' '
+      << (config_.features.use_y ? 1 : 0) << ' '
+      << (config_.features.use_id ? 1 : 0) << "\n";
+  out << "log_target " << (config_.log_target ? 1 : 0) << "\n";
+  out << "window " << config_.feature_window_pitches << "\n";
+  out << "layers " << models_.size() << "\n";
+  for (const auto& [layer, lm] : models_) {
+    out << "layer_model " << layer << "\n";
+    nn::save_model(lm.mlp, out);
+    nn::save_scaler(lm.x_scaler, out);
+    nn::save_scaler(lm.y_scaler, out);
+  }
+}
+
+void PowerPlanningDL::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  PPDL_REQUIRE(out.good(), "cannot open model file for writing: " + path);
+  save(out);
+}
+
+PowerPlanningDL PowerPlanningDL::load(std::istream& in) {
+  std::string tok;
+  Index version = 0;
+  if (!(in >> tok >> version) || tok != "ppdl-model" || version != 1) {
+    throw nn::ModelIoError("not a PowerPlanningDL model file");
+  }
+  PpdlModelConfig config;
+  int use_x = 0;
+  int use_y = 0;
+  int use_id = 0;
+  int log_target = 0;
+  if (!(in >> tok >> use_x >> use_y >> use_id) || tok != "features") {
+    throw nn::ModelIoError("malformed features line");
+  }
+  config.features = FeatureSet{use_x != 0, use_y != 0, use_id != 0};
+  if (!(in >> tok >> log_target) || tok != "log_target") {
+    throw nn::ModelIoError("malformed log_target line");
+  }
+  config.log_target = log_target != 0;
+  if (!(in >> tok >> config.feature_window_pitches) || tok != "window") {
+    throw nn::ModelIoError("malformed window line");
+  }
+  Index layer_count = 0;
+  if (!(in >> tok >> layer_count) || tok != "layers" || layer_count <= 0) {
+    throw nn::ModelIoError("malformed layers line");
+  }
+
+  PowerPlanningDL model(config);
+  for (Index i = 0; i < layer_count; ++i) {
+    Index layer = -1;
+    if (!(in >> tok >> layer) || tok != "layer_model" || layer < 0) {
+      throw nn::ModelIoError("malformed layer_model header");
+    }
+    nn::Mlp mlp = nn::load_model(in);
+    if (mlp.config().inputs != config.features.count()) {
+      throw nn::ModelIoError("layer model input width mismatch");
+    }
+    nn::StandardScaler xs = nn::load_scaler(in);
+    nn::StandardScaler ys = nn::load_scaler(in);
+    model.models_.emplace(layer,
+                          LayerModel{std::move(mlp), std::move(xs),
+                                     std::move(ys)});
+  }
+  return model;
+}
+
+PowerPlanningDL PowerPlanningDL::load_file(const std::string& path) {
+  std::ifstream in(path);
+  PPDL_REQUIRE(in.good(), "cannot open model file: " + path);
+  return load(in);
+}
+
+void PowerPlanningDL::apply_widths(grid::PowerGrid& pg,
+                                   const WidthPrediction& prediction) {
+  PPDL_REQUIRE(prediction.branch.size() == prediction.predicted.size(),
+               "prediction arrays mismatch");
+  for (std::size_t i = 0; i < prediction.branch.size(); ++i) {
+    pg.set_wire_width(prediction.branch[i], prediction.predicted[i]);
+  }
+}
+
+}  // namespace ppdl::core

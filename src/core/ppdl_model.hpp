@@ -1,0 +1,116 @@
+// The PowerPlanningDL width predictor (paper §IV-C, Problem 1).
+//
+// A neural-network multi-target regressor mapping (X, Y, Id) to the
+// interconnect width wᵢ, with 10 hidden layers (the paper's
+// hyperparameter-optimized depth) trained with Adam on MSE loss.
+//
+// One sub-model is trained per metal layer: each layer's interconnect
+// population has its own width regime (M1 ~1 µm vs M7 ~6 µm), and the
+// paper's 3-feature interface carries no layer information, so mixing
+// populations would put an irreducible floor under the error. Features and
+// targets are standard-scaled per sub-model.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/dataset.hpp"
+#include "core/features.hpp"
+#include "nn/mlp.hpp"
+#include "nn/scaler.hpp"
+#include "nn/trainer.hpp"
+
+namespace ppdl::core {
+
+struct PpdlModelConfig {
+  FeatureSet features = FeatureSet::combined();
+  Index hidden_layers = 10;   ///< paper: 10
+  Index hidden_units = 16;
+  nn::TrainOptions train;
+  Real feature_window_pitches = 1.0;
+  U64 init_seed = 7;
+  /// Cap on training rows per layer sub-model (deterministic subsample);
+  /// 0 = unlimited. Million-interconnect grids train on a sample — the
+  /// width field is smooth, so a sample pins it down.
+  Index max_training_rows = 20000;
+  /// Regress log(width) instead of width. Width distributions are heavily
+  /// right-skewed (a few hot, very wide rails dominate worst-case IR);
+  /// log-space training makes errors multiplicative, which protects exactly
+  /// those tail widths. Metrics are still reported in µm.
+  bool log_target = true;
+
+  PpdlModelConfig() {
+    train.epochs = 40;
+    train.batch_size = 128;
+    train.learning_rate = 1e-3;
+    train.optimizer = nn::OptimizerKind::kAdam;
+    train.loss = nn::Loss::kMse;
+    train.early_stopping_patience = 8;
+  }
+};
+
+/// Per-layer training diagnostics.
+struct LayerFit {
+  Index layer = -1;
+  Index rows = 0;
+  nn::TrainHistory history;
+};
+
+struct TrainReport {
+  std::vector<LayerFit> layers;
+  Real train_seconds = 0.0;
+};
+
+/// Width prediction over a whole grid.
+struct WidthPrediction {
+  std::vector<Index> branch;      ///< wire branch ids, all layers
+  std::vector<Real> predicted;    ///< µm, clamped to be positive
+  Real predict_seconds = 0.0;
+};
+
+class PowerPlanningDL {
+ public:
+  explicit PowerPlanningDL(PpdlModelConfig config = {});
+
+  const PpdlModelConfig& config() const { return config_; }
+
+  /// Train on a golden design (grid with planner-converged widths).
+  TrainReport fit(const grid::PowerGrid& golden);
+
+  /// True once fit() has run.
+  bool trained() const { return !models_.empty(); }
+
+  /// Predict widths for every wire of `pg` (typically the perturbed grid).
+  /// Layers unseen at training time fall back to the layer default width.
+  WidthPrediction predict(const grid::PowerGrid& pg) const;
+
+  /// Apply a prediction onto a grid (clamping to design-legal positives).
+  static void apply_widths(grid::PowerGrid& pg,
+                           const WidthPrediction& prediction);
+
+  /// Persist the trained model (all layer sub-models + scalers + the
+  /// feature/target configuration) in a line-oriented text format, so a
+  /// planning session can reuse a model trained in an earlier run.
+  void save(std::ostream& out) const;
+  void save_file(const std::string& path) const;
+
+  /// Restore a trained model. Throws nn::ModelIoError on malformed input.
+  static PowerPlanningDL load(std::istream& in);
+  static PowerPlanningDL load_file(const std::string& path);
+
+ private:
+  struct LayerModel {
+    nn::Mlp mlp;
+    nn::StandardScaler x_scaler;
+    nn::StandardScaler y_scaler;
+  };
+
+  PpdlModelConfig config_;
+  FeatureExtractor extractor_;
+  std::map<Index, LayerModel> models_;  ///< keyed by layer index
+};
+
+}  // namespace ppdl::core

@@ -1,0 +1,94 @@
+#include "grid/floorplan.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ppdl::grid {
+
+void Floorplan::add_block(FunctionalBlock block) {
+  PPDL_REQUIRE(block.bounds.width() > 0 && block.bounds.height() > 0,
+               "block must have positive area");
+  PPDL_REQUIRE(block.bounds.x0 >= die_.x0 && block.bounds.x1 <= die_.x1 &&
+                   block.bounds.y0 >= die_.y0 && block.bounds.y1 <= die_.y1,
+               "block outside die");
+  PPDL_REQUIRE(block.switching_current >= 0.0,
+               "block current must be >= 0");
+  blocks_.push_back(std::move(block));
+}
+
+const FunctionalBlock& Floorplan::block(Index i) const {
+  PPDL_REQUIRE(i >= 0 && i < block_count(), "block index out of range");
+  return blocks_[static_cast<std::size_t>(i)];
+}
+
+Real Floorplan::total_current() const {
+  Real sum = 0.0;
+  for (const FunctionalBlock& b : blocks_) {
+    sum += b.switching_current;
+  }
+  return sum;
+}
+
+Real Floorplan::current_density_at(Point p) const {
+  for (const FunctionalBlock& b : blocks_) {
+    if (b.bounds.contains(p)) {
+      return b.switching_current / b.bounds.area();
+    }
+  }
+  return 0.0;
+}
+
+void Floorplan::scale_currents(Real factor) {
+  PPDL_REQUIRE(factor > 0.0, "current scale factor must be > 0");
+  for (FunctionalBlock& b : blocks_) {
+    b.switching_current *= factor;
+  }
+}
+
+Floorplan make_synthetic_floorplan(Rect die, Index nx, Index ny,
+                                   Real total_current, Rng& rng) {
+  PPDL_REQUIRE(nx > 0 && ny > 0, "floorplan grid must be non-empty");
+  PPDL_REQUIRE(total_current > 0.0, "total current must be > 0");
+  Floorplan fp(die);
+
+  const Real cell_w = die.width() / static_cast<Real>(nx);
+  const Real cell_h = die.height() / static_cast<Real>(ny);
+
+  // Draw per-block weights first so currents can be normalized to the total.
+  std::vector<Real> weights;
+  weights.reserve(static_cast<std::size_t>(nx * ny));
+  Real weight_sum = 0.0;
+  for (Index i = 0; i < nx * ny; ++i) {
+    // exp(N(0, 0.8)) gives a realistic heavy-tailed activity spread: a few
+    // hot blocks, many cool ones.
+    const Real w = std::exp(rng.normal(0.0, 0.8));
+    weights.push_back(w);
+    weight_sum += w;
+  }
+
+  Index k = 0;
+  for (Index ix = 0; ix < nx; ++ix) {
+    for (Index iy = 0; iy < ny; ++iy, ++k) {
+      // Jitter the block inside its cell: 70–95% cell utilization.
+      const Real util = rng.uniform(0.70, 0.95);
+      const Real bw = cell_w * util;
+      const Real bh = cell_h * util;
+      const Real slack_x = cell_w - bw;
+      const Real slack_y = cell_h - bh;
+      const Real x0 = die.x0 + static_cast<Real>(ix) * cell_w +
+                      rng.uniform(0.0, slack_x);
+      const Real y0 = die.y0 + static_cast<Real>(iy) * cell_h +
+                      rng.uniform(0.0, slack_y);
+      FunctionalBlock block;
+      block.name = "blk_" + std::to_string(ix) + "_" + std::to_string(iy);
+      block.bounds = Rect{x0, y0, x0 + bw, y0 + bh};
+      block.switching_current =
+          total_current * weights[static_cast<std::size_t>(k)] / weight_sum;
+      fp.add_block(std::move(block));
+    }
+  }
+  return fp;
+}
+
+}  // namespace ppdl::grid

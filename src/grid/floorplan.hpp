@@ -1,0 +1,59 @@
+// Floorplan of functional blocks with switching-current activity.
+//
+// The paper's features (X, Y, Id) come from "the planned floorplan of the
+// underlying functional blocks and its switching current activity (Id),
+// obtained from the front-end phase in a VCD file". We model the VCD-derived
+// data as a per-block switching current; block currents are distributed onto
+// the grid's bottom-layer nodes under each block's rectangle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "grid/geometry.hpp"
+
+namespace ppdl::grid {
+
+struct FunctionalBlock {
+  std::string name;
+  Rect bounds;
+  Real switching_current = 0.0;  ///< total Id of the block, A
+};
+
+/// A placed floorplan: non-overlapping blocks inside a die outline.
+class Floorplan {
+ public:
+  explicit Floorplan(Rect die) : die_(die) {}
+
+  const Rect& die() const { return die_; }
+
+  /// Add a block; its bounds must be inside the die.
+  void add_block(FunctionalBlock block);
+
+  Index block_count() const { return static_cast<Index>(blocks_.size()); }
+  const FunctionalBlock& block(Index i) const;
+  const std::vector<FunctionalBlock>& blocks() const { return blocks_; }
+
+  /// Sum of all block switching currents.
+  Real total_current() const;
+
+  /// Switching-current surface density at a point (A/µm²): the density of
+  /// the containing block, or 0 outside any block.
+  Real current_density_at(Point p) const;
+
+  /// Scale every block's switching current (used by perturbation).
+  void scale_currents(Real factor);
+
+ private:
+  Rect die_;
+  std::vector<FunctionalBlock> blocks_;
+};
+
+/// Generates a synthetic floorplan: a jittered grid of `nx × ny` blocks with
+/// log-normal-ish current spread, totalling `total_current` amps.
+Floorplan make_synthetic_floorplan(Rect die, Index nx, Index ny,
+                                   Real total_current, Rng& rng);
+
+}  // namespace ppdl::grid

@@ -1,0 +1,258 @@
+#include "grid/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.hpp"
+
+namespace ppdl::grid {
+
+namespace {
+
+/// Stripe count after scaling, clamped to a structural minimum.
+Index scaled(Index count, Real scale, Index minimum) {
+  const auto s = static_cast<Index>(
+      std::llround(static_cast<Real>(count) * std::sqrt(scale)));
+  return std::max(s, minimum);
+}
+
+}  // namespace
+
+GeneratedBenchmark generate_power_grid(const GridSpec& spec, Real scale,
+                                       U64 seed) {
+  PPDL_REQUIRE(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+  PPDL_REQUIRE(spec.m1_stripes > 1 && spec.m4_stripes > 1 &&
+                   spec.m7_stripes > 0,
+               "spec needs at least 2x2 stripes");
+
+  GridSpec s = spec;
+  s.m1_stripes = scaled(spec.m1_stripes, scale, 8);
+  s.m4_stripes = scaled(spec.m4_stripes, scale, 8);
+  s.m7_stripes = scaled(spec.m7_stripes, scale, 3);
+  s.blocks_x = scaled(spec.blocks_x, scale, 2);
+  s.blocks_y = scaled(spec.blocks_y, scale, 2);
+  s.total_current =
+      spec.total_current * static_cast<Real>(s.m1_stripes * s.m4_stripes) /
+      static_cast<Real>(spec.m1_stripes * spec.m4_stripes);
+
+  Rng rng(seed);
+  const Rect die{0.0, 0.0, s.die_w, s.die_h};
+
+  PowerGrid pg;
+  pg.set_name(s.name);
+  pg.set_vdd(s.vdd);
+  pg.set_die(die);
+
+  const Index m1 = pg.add_layer(
+      Layer{"M1", /*horizontal=*/true, s.m1_rho, s.m1_width});
+  const Index m4 = pg.add_layer(
+      Layer{"M4", /*horizontal=*/false, s.m4_rho, s.m4_width});
+  const Index m7 = pg.add_layer(
+      Layer{"M7", /*horizontal=*/true, s.m7_rho, s.m7_width});
+
+  // Stripe coordinates.
+  const auto stripe_coords = [](Index count, Real extent) {
+    std::vector<Real> cs(static_cast<std::size_t>(count));
+    for (Index i = 0; i < count; ++i) {
+      cs[static_cast<std::size_t>(i)] =
+          extent * (static_cast<Real>(i) + 0.5) / static_cast<Real>(count);
+    }
+    return cs;
+  };
+  const std::vector<Real> ys1 = stripe_coords(s.m1_stripes, s.die_h);
+  const std::vector<Real> xs4 = stripe_coords(s.m4_stripes, s.die_w);
+  const std::vector<Real> ys7 = stripe_coords(s.m7_stripes, s.die_h);
+
+  // --- M1 nodes and horizontal wires ---------------------------------------
+  // n1(i, j) at (xs4[j], ys1[i]).
+  std::vector<Index> n1(static_cast<std::size_t>(s.m1_stripes * s.m4_stripes));
+  const auto n1_at = [&](Index i, Index j) -> Index& {
+    return n1[static_cast<std::size_t>(i * s.m4_stripes + j)];
+  };
+  for (Index i = 0; i < s.m1_stripes; ++i) {
+    for (Index j = 0; j < s.m4_stripes; ++j) {
+      n1_at(i, j) = pg.add_node(
+          Point{xs4[static_cast<std::size_t>(j)],
+                ys1[static_cast<std::size_t>(i)]},
+          m1);
+    }
+  }
+  for (Index i = 0; i < s.m1_stripes; ++i) {
+    for (Index j = 0; j + 1 < s.m4_stripes; ++j) {
+      const Real len = xs4[static_cast<std::size_t>(j + 1)] -
+                       xs4[static_cast<std::size_t>(j)];
+      pg.add_wire(n1_at(i, j), n1_at(i, j + 1), m1, len, s.m1_width);
+    }
+  }
+
+  // --- M7 nodes and horizontal wires ---------------------------------------
+  std::vector<Index> n7(static_cast<std::size_t>(s.m7_stripes * s.m4_stripes));
+  const auto n7_at = [&](Index k, Index j) -> Index& {
+    return n7[static_cast<std::size_t>(k * s.m4_stripes + j)];
+  };
+  for (Index k = 0; k < s.m7_stripes; ++k) {
+    for (Index j = 0; j < s.m4_stripes; ++j) {
+      n7_at(k, j) = pg.add_node(
+          Point{xs4[static_cast<std::size_t>(j)],
+                ys7[static_cast<std::size_t>(k)]},
+          m7);
+    }
+  }
+  for (Index k = 0; k < s.m7_stripes; ++k) {
+    for (Index j = 0; j + 1 < s.m4_stripes; ++j) {
+      const Real len = xs4[static_cast<std::size_t>(j + 1)] -
+                       xs4[static_cast<std::size_t>(j)];
+      pg.add_wire(n7_at(k, j), n7_at(k, j + 1), m7, len, s.m7_width);
+    }
+  }
+
+  // --- M4 vertical stripes: nodes at every crossing, vias up and down ------
+  // Crossings with coincident y (an M1 stripe aligned with an M7 stripe)
+  // share a single M4 node.
+  constexpr Real kCoincidentEps = 1e-9;
+  for (Index j = 0; j < s.m4_stripes; ++j) {
+    // (y, m1 stripe index or -1, m7 stripe index or -1)
+    std::map<Real, std::pair<Index, Index>> crossings;
+    for (Index i = 0; i < s.m1_stripes; ++i) {
+      crossings[ys1[static_cast<std::size_t>(i)]] = {i, -1};
+    }
+    for (Index k = 0; k < s.m7_stripes; ++k) {
+      const Real y = ys7[static_cast<std::size_t>(k)];
+      // Snap to an existing M1 crossing when coincident.
+      auto it = crossings.lower_bound(y - kCoincidentEps);
+      if (it != crossings.end() && std::abs(it->first - y) <= kCoincidentEps) {
+        it->second.second = k;
+      } else {
+        crossings[y] = {-1, k};
+      }
+    }
+
+    Index prev_node = -1;
+    Real prev_y = 0.0;
+    for (const auto& [y, which] : crossings) {
+      const Index node =
+          pg.add_node(Point{xs4[static_cast<std::size_t>(j)], y}, m4);
+      if (which.first >= 0) {
+        pg.add_via(n1_at(which.first, j), node, m4, s.via_resistance);
+      }
+      if (which.second >= 0) {
+        pg.add_via(node, n7_at(which.second, j), m7, s.via_resistance);
+      }
+      if (prev_node >= 0) {
+        pg.add_wire(prev_node, node, m4, y - prev_y, s.m4_width);
+      }
+      prev_node = node;
+      prev_y = y;
+    }
+  }
+
+  // --- pads on the top layer ------------------------------------------------
+  PPDL_REQUIRE(s.pad_pitch > 0, "pad pitch must be > 0");
+  for (Index k = 0; k < s.m7_stripes; ++k) {
+    for (Index j = 0; j < s.m4_stripes; j += s.pad_pitch) {
+      pg.add_pad(n7_at(k, j), s.vdd);
+    }
+  }
+
+  // --- floorplan-driven switching-current loads on M1 -----------------------
+  Floorplan fp = make_synthetic_floorplan(die, s.blocks_x, s.blocks_y,
+                                          s.total_current, rng);
+  const Real pitch_x = s.die_w / static_cast<Real>(s.m4_stripes);
+  const Real pitch_y = s.die_h / static_cast<Real>(s.m1_stripes);
+  std::vector<std::pair<Index, Real>> raw_loads;
+  Real raw_sum = 0.0;
+  for (Index i = 0; i < s.m1_stripes; ++i) {
+    for (Index j = 0; j < s.m4_stripes; ++j) {
+      const Point p{xs4[static_cast<std::size_t>(j)],
+                    ys1[static_cast<std::size_t>(i)]};
+      const Real density = fp.current_density_at(p);
+      if (density <= 0.0) {
+        continue;
+      }
+      // Tributary area of this node, with ±10% activity jitter standing in
+      // for cycle-to-cycle VCD variation.
+      const Real amps =
+          density * pitch_x * pitch_y * rng.uniform(0.9, 1.1);
+      raw_loads.emplace_back(n1_at(i, j), amps);
+      raw_sum += amps;
+    }
+  }
+  PPDL_ENSURE(raw_sum > 0.0, "floorplan produced no load current");
+  const Real norm = s.total_current / raw_sum;
+  for (const auto& [node, amps] : raw_loads) {
+    pg.add_load(node, amps * norm);
+  }
+
+  pg.validate();
+
+  GeneratedBenchmark out{std::move(pg), std::move(fp), std::move(s), scale};
+  return out;
+}
+
+const std::vector<GridSpec>& ibmpg_specs() {
+  static const std::vector<GridSpec> specs = [] {
+    std::vector<GridSpec> v;
+
+    const auto base = [](const char* name, Index m1, Index m4, Index m7,
+                         Index pad_pitch, Real amps, Real ir_mv,
+                         Index pn, Index pr, Index pv, Index pi) {
+      GridSpec g;
+      g.name = name;
+      g.m1_stripes = m1;
+      g.m4_stripes = m4;
+      g.m7_stripes = m7;
+      g.pad_pitch = pad_pitch;
+      g.total_current = amps;
+      g.ir_limit_mv = ir_mv;
+      g.paper_nodes = pn;
+      g.paper_resistors = pr;
+      g.paper_sources = pv;
+      g.paper_loads = pi;
+      return g;
+    };
+
+    // Stripe counts chosen so 2·m4·(m1+m7) ≈ the paper's node count
+    // (Table II); IR limits chosen so the conventional planner converges
+    // near the paper's Table III worst-case IR values.
+    v.push_back(base("ibmpg1", 120, 120, 8, 4, 12.0, 70.0,
+                     30638, 30027, 14308, 10774));
+    v.push_back(base("ibmpg2", 250, 250, 8, 4, 18.0, 36.5,
+                     127238, 208325, 330, 37926));
+    v.push_back(base("ibmpg3", 650, 650, 12, 4, 30.0, 18.2,
+                     851584, 1401572, 955, 201054));
+    v.push_back(base("ibmpg4", 690, 690, 12, 4, 24.0, 4.1,
+                     953583, 1560645, 962, 276976));
+    // ibmpg5/6/new2 are dense-pad (flip-chip-like) grids: pad on every
+    // top-layer crossing.
+    v.push_back(base("ibmpg5", 730, 730, 16, 1, 30.0, 4.4,
+                     1079310, 1076848, 539087, 540800));
+    v.push_back(base("ibmpg6", 910, 910, 16, 1, 40.0, 13.2,
+                     1670494, 1649002, 836239, 761484));
+    v.push_back(base("ibmpgnew1", 850, 850, 16, 4, 36.0, 20.0,
+                     1461036, 2352355, 955, 357930));
+    v.push_back(base("ibmpgnew2", 850, 850, 16, 1, 36.0, 15.0,
+                     1461039, 1422830, 930216, 357930));
+
+    // Per-benchmark flavour: block granularity grows with size.
+    v[2].blocks_x = v[2].blocks_y = 12;
+    v[3].blocks_x = v[3].blocks_y = 12;
+    v[4].blocks_x = v[4].blocks_y = 14;
+    v[5].blocks_x = v[5].blocks_y = 16;
+    v[6].blocks_x = v[6].blocks_y = 16;
+    v[7].blocks_x = v[7].blocks_y = 16;
+    return v;
+  }();
+  return specs;
+}
+
+std::optional<GridSpec> find_ibmpg_spec(const std::string& name) {
+  for (const GridSpec& spec : ibmpg_specs()) {
+    if (spec.name == name) {
+      return spec;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ppdl::grid

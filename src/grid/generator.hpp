@@ -1,0 +1,83 @@
+// Synthetic IBM-power-grid-style benchmark generator.
+//
+// The real IBM PG benchmarks [Nassif, ASPDAC'08] are processor extractions
+// distributed as SPICE netlists and are not redistributable, so this module
+// synthesizes structurally equivalent grids: a three-layer stripe mesh
+// (fine horizontal M1, vertical M4, coarse horizontal M7), vias at stripe
+// crossings, Vdd pads on the top layer, and switching-current loads on M1
+// nodes induced by a synthetic floorplan. Each named spec targets the
+// published statistics of its namesake (Table II of the paper) at scale 1.0;
+// a scale factor shrinks stripe counts by √scale so node counts scale
+// roughly linearly.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "grid/floorplan.hpp"
+#include "grid/power_grid.hpp"
+
+namespace ppdl::grid {
+
+/// Parameters of one synthetic benchmark at scale = 1.0.
+struct GridSpec {
+  std::string name;
+
+  // Geometry.
+  Real die_w = 10000.0;  ///< µm
+  Real die_h = 10000.0;  ///< µm
+  Index m1_stripes = 100;   ///< horizontal stripes on the bottom layer
+  Index m4_stripes = 100;   ///< vertical stripes on the middle layer
+  Index m7_stripes = 10;    ///< horizontal stripes on the top layer
+  Index pad_pitch = 4;      ///< a pad on every pad_pitch-th M7 crossing
+
+  // Electrical.
+  Real vdd = 1.8;            ///< V
+  Real total_current = 10.0; ///< A of switching demand, at scale 1
+  Real m1_rho = 0.08;        ///< Ω/sq
+  Real m4_rho = 0.04;
+  Real m7_rho = 0.02;
+  Real via_resistance = 0.5;  ///< Ω
+  Real m1_width = 1.0;        ///< initial widths, µm
+  Real m4_width = 2.0;
+  Real m7_width = 6.0;
+
+  // Floorplan.
+  Index blocks_x = 8;
+  Index blocks_y = 8;
+
+  // Reliability targets used by the planner.
+  Real ir_limit_mv = 70.0;  ///< allowed worst-case static IR drop
+  Real jmax = 1.0;          ///< A per µm of wire width (EM limit, eq. (4))
+
+  // Published statistics of the namesake benchmark (for reporting only).
+  Index paper_nodes = 0;
+  Index paper_resistors = 0;
+  Index paper_sources = 0;
+  Index paper_loads = 0;
+};
+
+/// A generated benchmark: the grid plus the floorplan that produced its
+/// loads (kept so feature extraction can query block activity).
+struct GeneratedBenchmark {
+  PowerGrid grid;
+  Floorplan floorplan;
+  GridSpec spec;   ///< spec after scaling was applied
+  Real scale = 1.0;
+};
+
+/// Generates a grid from a spec. `scale` in (0, 1] shrinks stripe counts by
+/// √scale (so #nodes ≈ scale × paper size). Deterministic for a fixed seed.
+GeneratedBenchmark generate_power_grid(const GridSpec& spec, Real scale,
+                                       U64 seed);
+
+/// Registry of the eight IBM PG benchmark replicas (Table II).
+const std::vector<GridSpec>& ibmpg_specs();
+
+/// Look up a spec by name ("ibmpg1" … "ibmpgnew2"); nullopt if unknown.
+std::optional<GridSpec> find_ibmpg_spec(const std::string& name);
+
+}  // namespace ppdl::grid

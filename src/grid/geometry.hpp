@@ -1,0 +1,43 @@
+// 2-D geometry primitives for floorplans and grid layout (units: micrometres).
+#pragma once
+
+#include <algorithm>
+
+#include "common/types.hpp"
+
+namespace ppdl::grid {
+
+struct Point {
+  Real x = 0.0;
+  Real y = 0.0;
+};
+
+/// Axis-aligned rectangle [x0, x1] × [y0, y1].
+struct Rect {
+  Real x0 = 0.0;
+  Real y0 = 0.0;
+  Real x1 = 0.0;
+  Real y1 = 0.0;
+
+  Real width() const { return x1 - x0; }
+  Real height() const { return y1 - y0; }
+  Real area() const { return width() * height(); }
+  Point center() const { return {(x0 + x1) / 2, (y0 + y1) / 2}; }
+
+  bool contains(Point p) const {
+    return p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+  }
+
+  bool intersects(const Rect& o) const {
+    return x0 <= o.x1 && o.x0 <= x1 && y0 <= o.y1 && o.y0 <= y1;
+  }
+
+  /// Intersection area with another rectangle (0 if disjoint).
+  Real overlap_area(const Rect& o) const {
+    const Real w = std::min(x1, o.x1) - std::max(x0, o.x0);
+    const Real h = std::min(y1, o.y1) - std::max(y0, o.y0);
+    return (w > 0 && h > 0) ? w * h : 0.0;
+  }
+};
+
+}  // namespace ppdl::grid

@@ -1,0 +1,333 @@
+#include "grid/netlist.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace ppdl::grid {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// Splits a line on whitespace.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) {
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+/// Parses "n<layer>_<x>_<y>" (nanometres); returns false if not convention.
+bool parse_node_name(const std::string& name, Index& layer, Point& pos) {
+  if (name.size() < 2 || (name[0] != 'n' && name[0] != 'N')) {
+    return false;
+  }
+  const auto u1 = name.find('_');
+  if (u1 == std::string::npos) {
+    return false;
+  }
+  const auto u2 = name.find('_', u1 + 1);
+  if (u2 == std::string::npos) {
+    return false;
+  }
+  try {
+    std::size_t pos1 = 0;
+    std::size_t pos2 = 0;
+    std::size_t pos3 = 0;
+    const std::string layer_s = name.substr(1, u1 - 1);
+    const std::string x_s = name.substr(u1 + 1, u2 - u1 - 1);
+    const std::string y_s = name.substr(u2 + 1);
+    const long long l = std::stoll(layer_s, &pos1);
+    const long long x_nm = std::stoll(x_s, &pos2);
+    const long long y_nm = std::stoll(y_s, &pos3);
+    if (pos1 != layer_s.size() || pos2 != x_s.size() || pos3 != y_s.size()) {
+      return false;
+    }
+    layer = static_cast<Index>(l);
+    pos.x = static_cast<Real>(x_nm) * 1e-3;  // nm -> µm
+    pos.y = static_cast<Real>(y_nm) * 1e-3;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+Real parse_spice_value(const std::string& token) {
+  if (token.empty()) {
+    throw NetlistError("empty value token");
+  }
+  std::size_t pos = 0;
+  Real value = 0.0;
+  try {
+    value = std::stod(token, &pos);
+  } catch (const std::exception&) {
+    throw NetlistError("malformed value: " + token);
+  }
+  std::string suffix = lower(token.substr(pos));
+  if (suffix.empty()) {
+    return value;
+  }
+  if (suffix == "meg") {
+    return value * 1e6;
+  }
+  switch (suffix[0]) {
+    case 'f':
+      return value * 1e-15;
+    case 'p':
+      return value * 1e-12;
+    case 'n':
+      return value * 1e-9;
+    case 'u':
+      return value * 1e-6;
+    case 'm':
+      return value * 1e-3;
+    case 'k':
+      return value * 1e3;
+    case 'g':
+      return value * 1e9;
+    case 't':
+      return value * 1e12;
+    default:
+      throw NetlistError("unknown value suffix: " + token);
+  }
+}
+
+std::string format_node_name(const Node& node) {
+  const auto nm = [](Real um) {
+    return static_cast<long long>(std::llround(um * 1e3));
+  };
+  std::ostringstream os;
+  os << 'n' << node.layer << '_' << nm(node.pos.x) << '_' << nm(node.pos.y);
+  return os.str();
+}
+
+void write_netlist(const PowerGrid& pg, std::ostream& out) {
+  // max_digits10 so electrical values survive the round trip exactly.
+  out << std::setprecision(17);
+  out << "* " << pg.name() << " — synthetic IBM-PG-style power grid\n";
+  out << "* nodes=" << pg.node_count() << " resistors=" << pg.branch_count()
+      << " vsources=" << pg.pad_count() << " isources=" << pg.load_count()
+      << "\n";
+  Index rid = 1;
+  for (Index i = 0; i < pg.branch_count(); ++i) {
+    const Branch& b = pg.branch(i);
+    out << 'R' << rid++ << ' ' << format_node_name(pg.node(b.n1)) << ' '
+        << format_node_name(pg.node(b.n2)) << ' ' << pg.branch_resistance(i)
+        << '\n';
+  }
+  Index vid = 1;
+  for (const Pad& pad : pg.pads()) {
+    out << 'V' << vid++ << ' ' << format_node_name(pg.node(pad.node))
+        << " 0 " << pad.voltage << '\n';
+  }
+  Index iid = 1;
+  for (const CurrentLoad& load : pg.loads()) {
+    out << 'I' << iid++ << ' ' << format_node_name(pg.node(load.node))
+        << " 0 " << load.amps << '\n';
+  }
+  out << ".op\n.end\n";
+}
+
+void write_netlist_file(const PowerGrid& pg, const std::string& path) {
+  std::ofstream out(path);
+  PPDL_REQUIRE(out.good(), "cannot open netlist for writing: " + path);
+  write_netlist(pg, out);
+}
+
+PowerGrid parse_netlist(std::istream& in, const std::string& name) {
+  PowerGrid pg;
+  pg.set_name(name);
+
+  // Default three-layer stack mirroring the generator; extended on demand.
+  std::vector<Layer> layers = {
+      Layer{"M1", true, 0.08, 1.0},
+      Layer{"M4", false, 0.04, 2.0},
+      Layer{"M7", true, 0.02, 6.0},
+  };
+  // Layers indexed by name digit: 1 -> 0, 4 -> 1, 7 -> 2 is too magic;
+  // instead node-name layer indices are used directly, growing the stack.
+  Index max_layer_seen = 2;
+
+  struct PendingResistor {
+    Index n1;
+    Index n2;
+    Real ohms;
+  };
+  std::vector<PendingResistor> resistors;
+  std::vector<std::pair<Index, Real>> vsources;
+  std::vector<std::pair<Index, Real>> isources;
+
+  std::unordered_map<std::string, Index> node_ids;
+  std::vector<Index> node_layer;
+  std::vector<Point> node_pos;
+  const auto intern_node = [&](const std::string& node_name) -> Index {
+    const auto it = node_ids.find(node_name);
+    if (it != node_ids.end()) {
+      return it->second;
+    }
+    Index layer = 0;
+    Point pos{0.0, 0.0};
+    parse_node_name(node_name, layer, pos);
+    if (layer < 0) {
+      throw NetlistError("negative layer in node name: " + node_name);
+    }
+    max_layer_seen = std::max(max_layer_seen, layer);
+    const Index id = static_cast<Index>(node_layer.size());
+    node_ids.emplace(node_name, id);
+    node_layer.push_back(layer);
+    node_pos.push_back(pos);
+    return id;
+  };
+
+  std::string line;
+  Index line_no = 0;
+  Real max_voltage = 0.0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '*') {
+      continue;
+    }
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) {
+      continue;
+    }
+    const char head = static_cast<char>(std::tolower(
+        static_cast<unsigned char>(tokens[0][0])));
+    if (head == '.') {
+      const std::string directive = lower(tokens[0]);
+      if (directive == ".end") {
+        break;
+      }
+      continue;  // .op and friends are ignored
+    }
+    if (tokens.size() < 4) {
+      throw NetlistError("line " + std::to_string(line_no) +
+                         ": expected 4 tokens: " + line);
+    }
+    const std::string& a = tokens[1];
+    const std::string& b = tokens[2];
+    const Real value = parse_spice_value(tokens[3]);
+    switch (head) {
+      case 'r': {
+        if (a == "0" || b == "0") {
+          throw NetlistError("line " + std::to_string(line_no) +
+                             ": resistor to ground is not a power-grid element");
+        }
+        resistors.push_back({intern_node(a), intern_node(b), value});
+        break;
+      }
+      case 'v': {
+        const std::string& node = (a == "0") ? b : a;
+        if (node == "0") {
+          throw NetlistError("line " + std::to_string(line_no) +
+                             ": vsource between ground and ground");
+        }
+        vsources.emplace_back(intern_node(node), std::abs(value));
+        max_voltage = std::max(max_voltage, std::abs(value));
+        break;
+      }
+      case 'i': {
+        const std::string& node = (a == "0") ? b : a;
+        if (node == "0") {
+          throw NetlistError("line " + std::to_string(line_no) +
+                             ": isource between ground and ground");
+        }
+        isources.emplace_back(intern_node(node), std::abs(value));
+        break;
+      }
+      default:
+        throw NetlistError("line " + std::to_string(line_no) +
+                           ": unsupported element: " + tokens[0]);
+    }
+  }
+
+  for (Index l = 0; l <= max_layer_seen; ++l) {
+    if (l < static_cast<Index>(layers.size())) {
+      pg.add_layer(layers[static_cast<std::size_t>(l)]);
+    } else {
+      pg.add_layer(Layer{"M" + std::to_string(l), l % 2 == 0, 0.04, 2.0});
+    }
+  }
+  for (std::size_t i = 0; i < node_layer.size(); ++i) {
+    pg.add_node(node_pos[i], node_layer[i]);
+  }
+  if (max_voltage > 0.0) {
+    pg.set_vdd(max_voltage);
+  }
+  // Die outline: bounding box of the parsed nodes (plus half a typical
+  // pitch of margin so edge nodes are interior).
+  if (!node_pos.empty()) {
+    Rect die{node_pos[0].x, node_pos[0].y, node_pos[0].x, node_pos[0].y};
+    for (const Point& p : node_pos) {
+      die.x0 = std::min(die.x0, p.x);
+      die.y0 = std::min(die.y0, p.y);
+      die.x1 = std::max(die.x1, p.x);
+      die.y1 = std::max(die.y1, p.y);
+    }
+    const Real margin_x = std::max(die.width() * 0.02, 1.0);
+    const Real margin_y = std::max(die.height() * 0.02, 1.0);
+    die.x0 -= margin_x;
+    die.x1 += margin_x;
+    die.y0 -= margin_y;
+    die.y1 += margin_y;
+    pg.set_die(die);
+  }
+
+  for (const PendingResistor& r : resistors) {
+    if (r.ohms <= 0.0) {
+      throw NetlistError("non-positive resistance in netlist");
+    }
+    const Node& u = pg.node(r.n1);
+    const Node& v = pg.node(r.n2);
+    const Real dx = u.pos.x - v.pos.x;
+    const Real dy = u.pos.y - v.pos.y;
+    const Real dist = std::sqrt(dx * dx + dy * dy);
+    if (u.layer == v.layer && dist > 1e-9) {
+      // Reconstruct wire geometry: w = ρ l / R.
+      const Real rho = pg.layer(u.layer).sheet_rho;
+      const Real width = rho * dist / r.ohms;
+      pg.add_wire(r.n1, r.n2, u.layer, dist, width);
+    } else {
+      pg.add_via(r.n1, r.n2, std::max(u.layer, v.layer), r.ohms);
+    }
+  }
+  for (const auto& [node, volts] : vsources) {
+    pg.add_pad(node, volts);
+  }
+  for (const auto& [node, amps] : isources) {
+    pg.add_load(node, amps);
+  }
+  return pg;
+}
+
+PowerGrid parse_netlist_file(const std::string& path) {
+  std::ifstream in(path);
+  PPDL_REQUIRE(in.good(), "cannot open netlist: " + path);
+  // The file stem names the grid.
+  std::string name = path;
+  if (const auto slash = name.find_last_of('/'); slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  if (const auto dot = name.find_last_of('.'); dot != std::string::npos) {
+    name = name.substr(0, dot);
+  }
+  return parse_netlist(in, name);
+}
+
+}  // namespace ppdl::grid

@@ -1,0 +1,52 @@
+// SPICE-subset netlist I/O in the IBM power-grid benchmark style.
+//
+// Format (one element per line, '*' comments, case-insensitive prefixes):
+//   R<id> <node1> <node2> <resistance>
+//   I<id> <node>  0       <current>      (load, flowing node -> ground)
+//   V<id> <node>  0       <voltage>      (supply pad)
+//   .op / .end
+//
+// Node names follow the benchmark convention n<layer>_<x>_<y> with integer
+// nanometre coordinates; unknown names are accepted and placed at the
+// origin of layer 0. Values accept SPICE magnitude suffixes (p n u m k meg).
+//
+// This makes the library interoperable with the real (non-redistributable)
+// IBM PG netlists: drop a file in, parse it, and every analysis/planning/
+// DL path works on it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "grid/power_grid.hpp"
+
+namespace ppdl::grid {
+
+/// Thrown on malformed netlist input.
+class NetlistError : public std::runtime_error {
+ public:
+  explicit NetlistError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Writes the grid as a SPICE netlist. Wire resistances are computed from
+/// geometry; vias are written as plain resistors.
+void write_netlist(const PowerGrid& pg, std::ostream& out);
+void write_netlist_file(const PowerGrid& pg, const std::string& path);
+
+/// Parses a netlist into a PowerGrid.
+///
+/// Same-layer resistors whose endpoints are a positive distance apart are
+/// reconstructed as wires (width inferred as w = ρ·l/R with the layer's
+/// sheet ρ); all other resistors become vias. Three default layers
+/// (M1/M4/M7) are created unless node names reference more.
+PowerGrid parse_netlist(std::istream& in, const std::string& name = "netlist");
+PowerGrid parse_netlist_file(const std::string& path);
+
+/// Parses a SPICE value with optional magnitude suffix ("1.5k", "10u",
+/// "2meg"). Throws NetlistError on malformed input.
+Real parse_spice_value(const std::string& token);
+
+/// Renders a node name in the benchmark convention: n<layer>_<x-nm>_<y-nm>.
+std::string format_node_name(const Node& node);
+
+}  // namespace ppdl::grid

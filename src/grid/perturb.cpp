@@ -1,0 +1,55 @@
+#include "grid/perturb.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace ppdl::grid {
+
+std::string to_string(PerturbationKind kind) {
+  switch (kind) {
+    case PerturbationKind::kNodeVoltages:
+      return "node voltages";
+    case PerturbationKind::kCurrentWorkloads:
+      return "current workloads";
+    case PerturbationKind::kBoth:
+      return "both";
+  }
+  return "?";
+}
+
+void perturb_grid(PowerGrid& pg, PerturbationKind kind, Real gamma, U64 seed,
+                  Real pad_voltage_budget) {
+  PPDL_REQUIRE(gamma >= 0.0 && gamma < 1.0, "gamma must be in [0, 1)");
+  PPDL_REQUIRE(pad_voltage_budget >= 0.0,
+               "pad voltage budget must be >= 0");
+  Rng rng(seed);
+  const bool do_loads = kind == PerturbationKind::kCurrentWorkloads ||
+                        kind == PerturbationKind::kBoth;
+  const bool do_pads = kind == PerturbationKind::kNodeVoltages ||
+                       kind == PerturbationKind::kBoth;
+  if (do_loads) {
+    for (Index i = 0; i < pg.load_count(); ++i) {
+      pg.scale_load(i, rng.uniform(1.0 - gamma, 1.0 + gamma));
+    }
+  }
+  if (do_pads) {
+    // One common-mode rail sag for the whole net (see header).
+    const Real delta = rng.uniform(-gamma, gamma) * pad_voltage_budget;
+    for (Index i = 0; i < pg.pad_count(); ++i) {
+      const Real volts = pg.pads()[static_cast<std::size_t>(i)].voltage;
+      const Real factor = std::max((volts + delta) / volts, 1e-6);
+      pg.scale_pad_voltage(i, factor);
+    }
+  }
+}
+
+PowerGrid perturbed_copy(const PowerGrid& pg, PerturbationKind kind,
+                         Real gamma, U64 seed, Real pad_voltage_budget) {
+  PowerGrid copy = pg;
+  perturb_grid(copy, kind, gamma, seed, pad_voltage_budget);
+  return copy;
+}
+
+}  // namespace ppdl::grid

@@ -1,0 +1,173 @@
+#include "grid/power_grid.hpp"
+
+#include <queue>
+
+namespace ppdl::grid {
+
+Index PowerGrid::add_layer(const Layer& layer) {
+  PPDL_REQUIRE(layer.sheet_rho > 0.0, "layer sheet resistance must be > 0");
+  PPDL_REQUIRE(layer.default_width > 0.0, "layer default width must be > 0");
+  layers_.push_back(layer);
+  return layer_count() - 1;
+}
+
+Index PowerGrid::add_node(Point pos, Index layer) {
+  PPDL_REQUIRE(layer >= 0 && layer < layer_count(),
+               "node layer out of range");
+  nodes_.push_back(Node{pos, layer});
+  return node_count() - 1;
+}
+
+Index PowerGrid::add_wire(Index n1, Index n2, Index layer, Real length,
+                          Real width) {
+  PPDL_REQUIRE(n1 >= 0 && n1 < node_count(), "wire n1 out of range");
+  PPDL_REQUIRE(n2 >= 0 && n2 < node_count(), "wire n2 out of range");
+  PPDL_REQUIRE(n1 != n2, "wire endpoints must differ");
+  PPDL_REQUIRE(layer >= 0 && layer < layer_count(), "wire layer out of range");
+  PPDL_REQUIRE(length > 0.0, "wire length must be > 0");
+  PPDL_REQUIRE(width > 0.0, "wire width must be > 0");
+  Branch b;
+  b.n1 = n1;
+  b.n2 = n2;
+  b.kind = BranchKind::kWire;
+  b.layer = layer;
+  b.length = length;
+  b.width = width;
+  branches_.push_back(b);
+  ++wire_count_;
+  return branch_count() - 1;
+}
+
+Index PowerGrid::add_via(Index n1, Index n2, Index upper_layer,
+                         Real resistance) {
+  PPDL_REQUIRE(n1 >= 0 && n1 < node_count(), "via n1 out of range");
+  PPDL_REQUIRE(n2 >= 0 && n2 < node_count(), "via n2 out of range");
+  PPDL_REQUIRE(n1 != n2, "via endpoints must differ");
+  PPDL_REQUIRE(resistance > 0.0, "via resistance must be > 0");
+  Branch b;
+  b.n1 = n1;
+  b.n2 = n2;
+  b.kind = BranchKind::kVia;
+  b.layer = upper_layer;
+  b.via_resistance = resistance;
+  branches_.push_back(b);
+  return branch_count() - 1;
+}
+
+void PowerGrid::add_load(Index node, Real amps) {
+  PPDL_REQUIRE(node >= 0 && node < node_count(), "load node out of range");
+  PPDL_REQUIRE(amps >= 0.0, "load current must be >= 0");
+  loads_.push_back(CurrentLoad{node, amps});
+}
+
+void PowerGrid::add_pad(Index node, Real voltage) {
+  PPDL_REQUIRE(node >= 0 && node < node_count(), "pad node out of range");
+  PPDL_REQUIRE(voltage > 0.0, "pad voltage must be > 0");
+  pads_.push_back(Pad{node, voltage});
+}
+
+void PowerGrid::set_wire_width(Index branch, Real width) {
+  Branch& b = branches_[checked(branch, branch_count())];
+  PPDL_REQUIRE(b.kind == BranchKind::kWire, "cannot size a via");
+  PPDL_REQUIRE(width > 0.0, "wire width must be > 0");
+  b.width = width;
+}
+
+void PowerGrid::reset_wire_widths() {
+  for (Branch& b : branches_) {
+    if (b.kind == BranchKind::kWire) {
+      b.width = layers_[static_cast<std::size_t>(b.layer)].default_width;
+    }
+  }
+}
+
+void PowerGrid::scale_load(Index load, Real factor) {
+  PPDL_REQUIRE(factor > 0.0, "load scale factor must be > 0");
+  loads_[checked(load, load_count())].amps *= factor;
+}
+
+void PowerGrid::scale_pad_voltage(Index pad, Real factor) {
+  PPDL_REQUIRE(factor > 0.0, "pad voltage scale factor must be > 0");
+  pads_[checked(pad, pad_count())].voltage *= factor;
+}
+
+Real PowerGrid::branch_resistance(Index i) const {
+  const Branch& b = branches_[checked(i, branch_count())];
+  if (b.kind == BranchKind::kVia) {
+    return b.via_resistance;
+  }
+  const Layer& layer = layers_[checked(b.layer, layer_count())];
+  return layer.sheet_rho * b.length / b.width;
+}
+
+Point PowerGrid::branch_center(Index i) const {
+  const Branch& b = branches_[checked(i, branch_count())];
+  const Point p1 = nodes_[checked(b.n1, node_count())].pos;
+  const Point p2 = nodes_[checked(b.n2, node_count())].pos;
+  return {(p1.x + p2.x) / 2, (p1.y + p2.y) / 2};
+}
+
+Real PowerGrid::total_load_current() const {
+  Real sum = 0.0;
+  for (const CurrentLoad& load : loads_) {
+    sum += load.amps;
+  }
+  return sum;
+}
+
+std::vector<Real> PowerGrid::node_load_vector() const {
+  std::vector<Real> demand(static_cast<std::size_t>(node_count()), 0.0);
+  for (const CurrentLoad& load : loads_) {
+    demand[static_cast<std::size_t>(load.node)] += load.amps;
+  }
+  return demand;
+}
+
+void PowerGrid::validate() const {
+  PPDL_ENSURE(!layers_.empty(), "grid has no layers");
+  PPDL_ENSURE(!nodes_.empty(), "grid has no nodes");
+  PPDL_ENSURE(!pads_.empty(), "grid has no supply pads");
+
+  for (const Branch& b : branches_) {
+    PPDL_ENSURE(b.n1 >= 0 && b.n1 < node_count(), "branch n1 out of range");
+    PPDL_ENSURE(b.n2 >= 0 && b.n2 < node_count(), "branch n2 out of range");
+    if (b.kind == BranchKind::kWire) {
+      PPDL_ENSURE(b.width > 0.0 && b.length > 0.0,
+                  "wire with non-positive geometry");
+    } else {
+      PPDL_ENSURE(b.via_resistance > 0.0, "via with non-positive resistance");
+    }
+  }
+
+  // Every node with a load must be able to reach a pad (otherwise the MNA
+  // system is singular). BFS over the branch graph from all pads.
+  std::vector<std::vector<Index>> adj(static_cast<std::size_t>(node_count()));
+  for (const Branch& b : branches_) {
+    adj[static_cast<std::size_t>(b.n1)].push_back(b.n2);
+    adj[static_cast<std::size_t>(b.n2)].push_back(b.n1);
+  }
+  std::vector<bool> reach(static_cast<std::size_t>(node_count()), false);
+  std::queue<Index> queue;
+  for (const Pad& pad : pads_) {
+    if (!reach[static_cast<std::size_t>(pad.node)]) {
+      reach[static_cast<std::size_t>(pad.node)] = true;
+      queue.push(pad.node);
+    }
+  }
+  while (!queue.empty()) {
+    const Index v = queue.front();
+    queue.pop();
+    for (const Index u : adj[static_cast<std::size_t>(v)]) {
+      if (!reach[static_cast<std::size_t>(u)]) {
+        reach[static_cast<std::size_t>(u)] = true;
+        queue.push(u);
+      }
+    }
+  }
+  for (const CurrentLoad& load : loads_) {
+    PPDL_ENSURE(reach[static_cast<std::size_t>(load.node)],
+                "load node not connected to any pad");
+  }
+}
+
+}  // namespace ppdl::grid

@@ -1,0 +1,150 @@
+// The on-chip power-grid data model.
+//
+// A PowerGrid is a resistive mesh over metal layers:
+//   * Node          — an electrical node with a position and a layer.
+//   * Branch        — a resistor between two nodes. Wire branches carry
+//                     geometry (length, width) and derive their resistance
+//                     from the layer sheet resistance; via branches have a
+//                     fixed resistance. Wire branches are the paper's
+//                     "PG interconnects" — the unit of width prediction.
+//   * CurrentLoad   — switching-current demand (Id) attached to a node,
+//                     produced by the functional blocks beneath the grid.
+//   * Pad           — a supply connection pinning a node to Vdd.
+//
+// Widths live on wire branches; the conventional planner sizes them and the
+// DL model predicts them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "grid/geometry.hpp"
+
+namespace ppdl::grid {
+
+/// Metal layer description. Stripes on a layer share direction and sheet rho.
+struct Layer {
+  std::string name;          ///< e.g. "M1"
+  bool horizontal = true;    ///< stripe direction
+  Real sheet_rho = 0.02;     ///< sheet resistance, Ω/sq
+  Real default_width = 1.0;  ///< initial stripe width, µm
+};
+
+struct Node {
+  Point pos;
+  Index layer = 0;
+};
+
+enum class BranchKind { kWire, kVia };
+
+struct Branch {
+  Index n1 = 0;
+  Index n2 = 0;
+  BranchKind kind = BranchKind::kWire;
+  Index layer = 0;     ///< wire: owning layer; via: upper layer index
+  Real length = 0.0;   ///< wire only, µm
+  Real width = 0.0;    ///< wire only, µm (sized by planner / predicted by DL)
+  Real via_resistance = 0.0;  ///< via only, Ω
+};
+
+struct CurrentLoad {
+  Index node = 0;
+  Real amps = 0.0;  ///< switching current demand Id
+};
+
+struct Pad {
+  Index node = 0;
+  Real voltage = 0.0;  ///< supply voltage at this pad (ideally Vdd)
+};
+
+/// A power grid network (single net, VDD by convention).
+class PowerGrid {
+ public:
+  PowerGrid() = default;
+
+  // --- construction -------------------------------------------------------
+  void set_name(std::string name) { name_ = std::move(name); }
+  void set_vdd(Real vdd) { vdd_ = vdd; }
+  void set_die(Rect die) { die_ = die; }
+
+  Index add_layer(const Layer& layer);
+  Index add_node(Point pos, Index layer);
+  /// Adds a wire resistor; resistance derives from layer rho, length, width.
+  Index add_wire(Index n1, Index n2, Index layer, Real length, Real width);
+  /// Adds a via resistor with explicit resistance.
+  Index add_via(Index n1, Index n2, Index upper_layer, Real resistance);
+  void add_load(Index node, Real amps);
+  void add_pad(Index node, Real voltage);
+
+  // --- accessors -----------------------------------------------------------
+  const std::string& name() const { return name_; }
+  Real vdd() const { return vdd_; }
+  const Rect& die() const { return die_; }
+
+  Index node_count() const { return static_cast<Index>(nodes_.size()); }
+  Index branch_count() const { return static_cast<Index>(branches_.size()); }
+  Index load_count() const { return static_cast<Index>(loads_.size()); }
+  Index pad_count() const { return static_cast<Index>(pads_.size()); }
+  Index layer_count() const { return static_cast<Index>(layers_.size()); }
+  /// Number of sizable wire branches (the paper's "#interconnects").
+  Index wire_count() const { return wire_count_; }
+
+  const Node& node(Index i) const { return nodes_[checked(i, node_count())]; }
+  const Branch& branch(Index i) const {
+    return branches_[checked(i, branch_count())];
+  }
+  const Layer& layer(Index i) const {
+    return layers_[checked(i, layer_count())];
+  }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Branch>& branches() const { return branches_; }
+  const std::vector<CurrentLoad>& loads() const { return loads_; }
+  const std::vector<Pad>& pads() const { return pads_; }
+  const std::vector<Layer>& layers() const { return layers_; }
+
+  // --- mutation used by planner / perturbation ----------------------------
+  /// Set the width of a wire branch (µm). Must be a wire, width > 0.
+  void set_wire_width(Index branch, Real width);
+  /// Reset every wire to its layer's default width (the un-planned design).
+  void reset_wire_widths();
+  /// Scale a load's current by `factor` (> 0).
+  void scale_load(Index load, Real factor);
+  /// Scale a pad's voltage by `factor` (> 0).
+  void scale_pad_voltage(Index pad, Real factor);
+
+  // --- derived electrical quantities ---------------------------------------
+  /// Resistance of branch i in Ω (wire: ρ·l/w, via: fixed).
+  Real branch_resistance(Index i) const;
+  /// Midpoint of branch i (feature X, Y of the paper).
+  Point branch_center(Index i) const;
+  /// Total switching current demand (sum of loads), A.
+  Real total_load_current() const;
+
+  /// Sum over loads attached to node (0 if none). O(#loads) — callers
+  /// needing many lookups should build node_load_vector() once.
+  std::vector<Real> node_load_vector() const;
+
+  /// Sanity checks: valid endpoints, positive widths/resistances, at least
+  /// one pad, connected pads... Throws ContractViolation on failure.
+  void validate() const;
+
+ private:
+  static std::size_t checked(Index i, Index n) {
+    PPDL_REQUIRE(i >= 0 && i < n, "index out of range");
+    return static_cast<std::size_t>(i);
+  }
+
+  std::string name_;
+  Real vdd_ = 1.8;
+  Rect die_;
+  std::vector<Layer> layers_;
+  std::vector<Node> nodes_;
+  std::vector<Branch> branches_;
+  std::vector<CurrentLoad> loads_;
+  std::vector<Pad> pads_;
+  Index wire_count_ = 0;
+};
+
+}  // namespace ppdl::grid

@@ -1,0 +1,85 @@
+#include "linalg/cg.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace ppdl::linalg {
+
+CgResult conjugate_gradient(const CsrMatrix& a, std::span<const Real> b,
+                            const CgOptions& options,
+                            std::optional<std::vector<Real>> x0) {
+  PPDL_REQUIRE(a.rows() == a.cols(), "CG needs a square matrix");
+  PPDL_REQUIRE(static_cast<Index>(b.size()) == a.rows(),
+               "CG: rhs size mismatch");
+  const Index n = a.rows();
+  const Index max_iter =
+      options.max_iterations > 0 ? options.max_iterations : 2 * n;
+
+  CgResult result;
+  result.x = x0.has_value() ? std::move(*x0)
+                            : std::vector<Real>(static_cast<std::size_t>(n), 0.0);
+  PPDL_REQUIRE(static_cast<Index>(result.x.size()) == n,
+               "CG: x0 size mismatch");
+
+  const Real bnorm = norm2(b);
+  if (bnorm == 0.0) {
+    // Homogeneous system: x = 0 is exact.
+    result.x.assign(static_cast<std::size_t>(n), 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  const auto precond = make_preconditioner(options.preconditioner, a);
+
+  std::vector<Real> r(static_cast<std::size_t>(n));
+  a.multiply(result.x, r);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    r[i] = b[i] - r[i];
+  }
+
+  std::vector<Real> z(static_cast<std::size_t>(n));
+  precond->apply(r, z);
+  std::vector<Real> p = z;
+  std::vector<Real> ap(static_cast<std::size_t>(n));
+
+  Real rz = dot(r, z);
+  Real rel = norm2(r) / bnorm;
+  result.relative_residual = rel;
+  if (rel <= options.tolerance) {
+    result.converged = true;
+    return result;
+  }
+
+  for (Index it = 1; it <= max_iter; ++it) {
+    a.multiply(p, ap);
+    const Real pap = dot(p, ap);
+    PPDL_ENSURE(pap > 0.0, "CG: matrix not positive definite (pᵀAp <= 0)");
+    const Real alpha = rz / pap;
+    axpy(alpha, p, result.x);
+    axpy(-alpha, ap, r);
+
+    rel = norm2(r) / bnorm;
+    result.iterations = it;
+    result.relative_residual = rel;
+    if (options.observer) {
+      options.observer(it, rel);
+    }
+    if (rel <= options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+
+    precond->apply(r, z);
+    const Real rz_next = dot(r, z);
+    const Real beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      p[i] = z[i] + beta * p[i];
+    }
+  }
+  return result;
+}
+
+}  // namespace ppdl::linalg

@@ -1,0 +1,39 @@
+// Conjugate gradient solver (plain and preconditioned) for SPD systems —
+// the workhorse of power-grid analysis.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "linalg/csr.hpp"
+#include "linalg/preconditioner.hpp"
+
+namespace ppdl::linalg {
+
+struct CgOptions {
+  /// Relative residual tolerance: stop when ||r|| <= tol * ||b||.
+  Real tolerance = 1e-8;
+  /// Hard iteration cap (0 means 2 * n).
+  Index max_iterations = 0;
+  PreconditionerKind preconditioner = PreconditionerKind::kIc0;
+  /// Optional per-iteration observer (iteration, relative residual).
+  std::function<void(Index, Real)> observer;
+};
+
+struct CgResult {
+  std::vector<Real> x;
+  Index iterations = 0;
+  Real relative_residual = 0.0;
+  bool converged = false;
+};
+
+/// Solve A x = b for SPD A. `x0` (if given) seeds the iteration — the
+/// conventional planner warm-starts from the previous solution.
+CgResult conjugate_gradient(const CsrMatrix& a, std::span<const Real> b,
+                            const CgOptions& options = {},
+                            std::optional<std::vector<Real>> x0 = {});
+
+}  // namespace ppdl::linalg

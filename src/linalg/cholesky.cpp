@@ -1,0 +1,157 @@
+#include "linalg/cholesky.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "linalg/ordering.hpp"
+
+namespace ppdl::linalg {
+
+SparseCholesky::SparseCholesky(const CsrMatrix& a,
+                               std::optional<std::vector<Index>> perm) {
+  PPDL_REQUIRE(a.rows() == a.cols(), "Cholesky needs a square matrix");
+  n_ = a.rows();
+  if (perm.has_value()) {
+    PPDL_REQUIRE(static_cast<Index>(perm->size()) == n_,
+                 "permutation size mismatch");
+    perm_ = std::move(*perm);
+    inv_perm_ = invert_permutation(perm_);
+    factor(a.permuted_symmetric(perm_));
+  } else {
+    factor(a);
+  }
+}
+
+void SparseCholesky::factor(const CsrMatrix& a) {
+  // Envelope (profile) Cholesky: row i of L occupies the contiguous column
+  // range [first[i], i], where first[i] is the first nonzero column of A's
+  // row i. Factorization creates no fill outside the envelope, so the
+  // profile fixed by A is exact. Pair with RCM to keep the envelope tight.
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto vl = a.values();
+
+  std::vector<Index> first(static_cast<std::size_t>(n_));
+  for (Index i = 0; i < n_; ++i) {
+    Index lo = i;
+    for (Index k = rp[static_cast<std::size_t>(i)];
+         k < rp[static_cast<std::size_t>(i) + 1]; ++k) {
+      const Index c = ci[static_cast<std::size_t>(k)];
+      if (c <= i) {
+        lo = std::min(lo, c);
+      }
+    }
+    first[static_cast<std::size_t>(i)] = lo;
+  }
+
+  row_ptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (Index i = 0; i < n_; ++i) {
+    row_ptr_[static_cast<std::size_t>(i) + 1] =
+        row_ptr_[static_cast<std::size_t>(i)] +
+        (i - first[static_cast<std::size_t>(i)] + 1);
+  }
+  values_.assign(static_cast<std::size_t>(row_ptr_.back()), 0.0);
+  col_idx_.resize(values_.size());
+  for (Index i = 0; i < n_; ++i) {
+    Index at = row_ptr_[static_cast<std::size_t>(i)];
+    for (Index c = first[static_cast<std::size_t>(i)]; c <= i; ++c, ++at) {
+      col_idx_[static_cast<std::size_t>(at)] = c;
+    }
+  }
+
+  const auto lval = [&](Index i, Index k) -> Real& {
+    return values_[static_cast<std::size_t>(
+        row_ptr_[static_cast<std::size_t>(i)] +
+        (k - first[static_cast<std::size_t>(i)]))];
+  };
+
+  // Scatter buffer for A's lower row.
+  std::vector<Real> arow(static_cast<std::size_t>(n_), 0.0);
+  for (Index i = 0; i < n_; ++i) {
+    const Index fi = first[static_cast<std::size_t>(i)];
+    for (Index k = rp[static_cast<std::size_t>(i)];
+         k < rp[static_cast<std::size_t>(i) + 1]; ++k) {
+      const Index c = ci[static_cast<std::size_t>(k)];
+      if (c <= i) {
+        arow[static_cast<std::size_t>(c)] = vl[static_cast<std::size_t>(k)];
+      }
+    }
+
+    for (Index j = fi; j <= i; ++j) {
+      Real sum = arow[static_cast<std::size_t>(j)];
+      const Index fj = first[static_cast<std::size_t>(j)];
+      const Index klo = std::max(fi, fj);
+      for (Index k = klo; k < j; ++k) {
+        sum -= lval(i, k) * lval(j, k);
+      }
+      if (j < i) {
+        lval(i, j) = sum / lval(j, j);
+      } else {
+        PPDL_REQUIRE(sum > 0.0,
+                     "Cholesky pivot non-positive — matrix not SPD");
+        lval(i, i) = std::sqrt(sum);
+      }
+    }
+
+    // Clear the scatter buffer for the next row.
+    for (Index k = rp[static_cast<std::size_t>(i)];
+         k < rp[static_cast<std::size_t>(i) + 1]; ++k) {
+      const Index c = ci[static_cast<std::size_t>(k)];
+      if (c <= i) {
+        arow[static_cast<std::size_t>(c)] = 0.0;
+      }
+    }
+  }
+}
+
+std::vector<Real> SparseCholesky::solve(std::span<const Real> b) const {
+  PPDL_REQUIRE(static_cast<Index>(b.size()) == n_,
+               "Cholesky solve: size mismatch");
+  std::vector<Real> x(static_cast<std::size_t>(n_));
+  if (perm_.empty()) {
+    std::copy(b.begin(), b.end(), x.begin());
+  } else {
+    for (Index i = 0; i < n_; ++i) {
+      x[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])] =
+          b[static_cast<std::size_t>(i)];
+    }
+  }
+
+  // Forward: L z = b.
+  for (Index i = 0; i < n_; ++i) {
+    const Index beg = row_ptr_[static_cast<std::size_t>(i)];
+    const Index end = row_ptr_[static_cast<std::size_t>(i) + 1];
+    Real acc = x[static_cast<std::size_t>(i)];
+    for (Index k = beg; k < end - 1; ++k) {
+      acc -= values_[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+    }
+    x[static_cast<std::size_t>(i)] =
+        acc / values_[static_cast<std::size_t>(end - 1)];
+  }
+  // Backward: Lᵀ y = z.
+  for (Index i = n_ - 1; i >= 0; --i) {
+    const Index beg = row_ptr_[static_cast<std::size_t>(i)];
+    const Index end = row_ptr_[static_cast<std::size_t>(i) + 1];
+    const Real yi =
+        x[static_cast<std::size_t>(i)] / values_[static_cast<std::size_t>(end - 1)];
+    x[static_cast<std::size_t>(i)] = yi;
+    for (Index k = beg; k < end - 1; ++k) {
+      x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])] -=
+          values_[static_cast<std::size_t>(k)] * yi;
+    }
+  }
+
+  if (perm_.empty()) {
+    return x;
+  }
+  std::vector<Real> out(static_cast<std::size_t>(n_));
+  for (Index i = 0; i < n_; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        x[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])];
+  }
+  return out;
+}
+
+}  // namespace ppdl::linalg

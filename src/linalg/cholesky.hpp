@@ -1,0 +1,48 @@
+// Sparse Cholesky factorization (up-looking, with symbolic analysis via the
+// elimination tree) for SPD systems — the direct-solver alternative to CG.
+//
+// Intended for small/medium power grids and for repeated solves against one
+// matrix (the factorization is reusable; each solve is two triangular
+// sweeps). Combine with rcm_ordering() to keep fill-in acceptable on mesh
+// matrices; factor() accepts an optional symmetric permutation.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "linalg/csr.hpp"
+
+namespace ppdl::linalg {
+
+/// Factorization A = L Lᵀ of a sparse SPD matrix (optionally permuted).
+class SparseCholesky {
+ public:
+  /// Factors `a`. When `perm` is given (perm[old] = new), the matrix is
+  /// symmetrically permuted first and solves transparently un-permute.
+  /// Throws ContractViolation if a pivot is non-positive (not SPD).
+  explicit SparseCholesky(const CsrMatrix& a,
+                          std::optional<std::vector<Index>> perm = {});
+
+  /// Solve A x = b.
+  std::vector<Real> solve(std::span<const Real> b) const;
+
+  Index dimension() const { return n_; }
+  /// Stored nonzeros in L (fill-in indicator).
+  Index factor_nnz() const { return static_cast<Index>(values_.size()); }
+
+ private:
+  void factor(const CsrMatrix& a);
+
+  Index n_ = 0;
+  // L in CSR, rows sorted by column, diagonal entry last in each row.
+  std::vector<Index> row_ptr_;
+  std::vector<Index> col_idx_;
+  std::vector<Real> values_;
+  // Optional permutation (perm_[old] = new) and its inverse.
+  std::vector<Index> perm_;
+  std::vector<Index> inv_perm_;
+};
+
+}  // namespace ppdl::linalg

@@ -1,0 +1,22 @@
+#include "linalg/coo.hpp"
+
+#include "common/check.hpp"
+
+namespace ppdl::linalg {
+
+CooMatrix::CooMatrix(Index rows, Index cols) : rows_(rows), cols_(cols) {
+  PPDL_REQUIRE(rows >= 0 && cols >= 0, "matrix dimensions must be >= 0");
+}
+
+void CooMatrix::add(Index row, Index col, Real value) {
+  PPDL_REQUIRE(row >= 0 && row < rows_, "COO add: row out of range");
+  PPDL_REQUIRE(col >= 0 && col < cols_, "COO add: col out of range");
+  entries_.push_back(Triplet{row, col, value});
+}
+
+void CooMatrix::add_symmetric_pair(Index i, Index j, Real value) {
+  add(i, j, value);
+  add(j, i, value);
+}
+
+}  // namespace ppdl::linalg

@@ -1,0 +1,45 @@
+// Coordinate-format (triplet) sparse matrix — the assembly format.
+//
+// MNA stamping appends (row, col, value) triplets; duplicates are summed
+// when converting to CSR, which matches circuit-stamping semantics exactly.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ppdl::linalg {
+
+struct Triplet {
+  Index row = 0;
+  Index col = 0;
+  Real value = 0.0;
+};
+
+/// Append-only triplet matrix.
+class CooMatrix {
+ public:
+  CooMatrix(Index rows, Index cols);
+
+  /// Add `value` at (row, col); duplicates accumulate on CSR conversion.
+  void add(Index row, Index col, Real value);
+
+  /// Convenience for symmetric stamping: adds at (i,j) and (j,i).
+  void add_symmetric_pair(Index i, Index j, Real value);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index nnz() const { return static_cast<Index>(entries_.size()); }
+
+  const std::vector<Triplet>& entries() const { return entries_; }
+
+  /// Pre-allocate for `n` triplets.
+  void reserve(Index n) { entries_.reserve(static_cast<std::size_t>(n)); }
+
+ private:
+  Index rows_;
+  Index cols_;
+  std::vector<Triplet> entries_;
+};
+
+}  // namespace ppdl::linalg

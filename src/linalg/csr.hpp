@@ -1,0 +1,61 @@
+// Compressed sparse row matrix — the compute format for SpMV and solvers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "linalg/coo.hpp"
+
+namespace ppdl::linalg {
+
+/// Immutable-structure CSR matrix. Values can be updated in place, which the
+/// conventional planner uses when only conductances change between
+/// iterations (same sparsity pattern, new widths).
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Build from triplets; duplicate (row, col) entries are summed.
+  static CsrMatrix from_coo(const CooMatrix& coo);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index nnz() const { return static_cast<Index>(values_.size()); }
+
+  std::span<const Index> row_ptr() const { return row_ptr_; }
+  std::span<const Index> col_idx() const { return col_idx_; }
+  std::span<const Real> values() const { return values_; }
+  std::span<Real> mutable_values() { return values_; }
+
+  /// y = A * x. x.size() == cols(), y.size() == rows().
+  void multiply(std::span<const Real> x, std::span<Real> y) const;
+
+  /// Returns A * x as a new vector.
+  std::vector<Real> multiply(std::span<const Real> x) const;
+
+  /// Main diagonal (missing entries are 0).
+  std::vector<Real> diagonal() const;
+
+  /// Value at (row, col); 0 if not stored. O(log nnz_row) via binary search.
+  Real at(Index row, Index col) const;
+
+  /// True if the matrix equals its transpose exactly.
+  bool is_symmetric(Real tol = 0.0) const;
+
+  /// Transposed copy.
+  CsrMatrix transposed() const;
+
+  /// Symmetric permutation B = P A Pᵀ, i.e. B(p(i), p(j)) = A(i, j),
+  /// where `perm[i]` gives the new index of old row i. Requires square A.
+  CsrMatrix permuted_symmetric(std::span<const Index> perm) const;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Index> row_ptr_;
+  std::vector<Index> col_idx_;
+  std::vector<Real> values_;
+};
+
+}  // namespace ppdl::linalg

@@ -1,0 +1,70 @@
+// Dense row-major matrix with LDLᵀ factorization.
+//
+// Used for small systems (unit-test references, per-region reduced models)
+// and reused by the NN stack for weight storage semantics tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ppdl::linalg {
+
+/// Row-major dense matrix of Real.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(Index rows, Index cols, Real fill = 0.0);
+
+  static DenseMatrix identity(Index n);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+
+  Real& operator()(Index r, Index c);
+  Real operator()(Index r, Index c) const;
+
+  std::span<Real> row(Index r);
+  std::span<const Real> row(Index r) const;
+
+  std::span<const Real> data() const { return data_; }
+  std::span<Real> data() { return data_; }
+
+  /// this * other.
+  DenseMatrix multiply(const DenseMatrix& other) const;
+
+  /// this * x for a vector x.
+  std::vector<Real> multiply(std::span<const Real> x) const;
+
+  /// Transposed copy.
+  DenseMatrix transposed() const;
+
+  /// Frobenius norm.
+  Real frobenius_norm() const;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Real> data_;
+};
+
+/// LDLᵀ factorization of a symmetric matrix (no pivoting — intended for
+/// SPD or quasi-definite systems such as reduced conductance matrices).
+/// Throws ContractViolation if a pivot underflows `pivot_tol`.
+class LdltFactorization {
+ public:
+  explicit LdltFactorization(const DenseMatrix& a, Real pivot_tol = 1e-14);
+
+  /// Solve A x = b.
+  std::vector<Real> solve(std::span<const Real> b) const;
+
+  Index dimension() const { return n_; }
+
+ private:
+  Index n_;
+  DenseMatrix l_;          // unit lower triangular
+  std::vector<Real> d_;    // diagonal of D
+};
+
+}  // namespace ppdl::linalg

@@ -1,0 +1,157 @@
+#include "linalg/ordering.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.hpp"
+
+namespace ppdl::linalg {
+
+namespace {
+
+/// Node degree from CSR structure (self-loops excluded).
+Index degree(const CsrMatrix& a, Index v) {
+  Index d = 0;
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  for (Index k = rp[static_cast<std::size_t>(v)];
+       k < rp[static_cast<std::size_t>(v) + 1]; ++k) {
+    if (ci[static_cast<std::size_t>(k)] != v) {
+      ++d;
+    }
+  }
+  return d;
+}
+
+/// BFS from `start`; returns the last-discovered minimum-degree node of the
+/// deepest level (pseudo-peripheral heuristic) and marks visited nodes.
+Index pseudo_peripheral(const CsrMatrix& a, Index start,
+                        const std::vector<bool>& assigned) {
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  Index current = start;
+  Index last_depth = -1;
+  for (int pass = 0; pass < 4; ++pass) {
+    std::vector<Index> depth(static_cast<std::size_t>(a.rows()), -1);
+    std::queue<Index> queue;
+    depth[static_cast<std::size_t>(current)] = 0;
+    queue.push(current);
+    Index deepest = current;
+    while (!queue.empty()) {
+      const Index v = queue.front();
+      queue.pop();
+      for (Index k = rp[static_cast<std::size_t>(v)];
+           k < rp[static_cast<std::size_t>(v) + 1]; ++k) {
+        const Index u = ci[static_cast<std::size_t>(k)];
+        if (u == v || assigned[static_cast<std::size_t>(u)] ||
+            depth[static_cast<std::size_t>(u)] >= 0) {
+          continue;
+        }
+        depth[static_cast<std::size_t>(u)] =
+            depth[static_cast<std::size_t>(v)] + 1;
+        queue.push(u);
+        if (depth[static_cast<std::size_t>(u)] >
+                depth[static_cast<std::size_t>(deepest)] ||
+            (depth[static_cast<std::size_t>(u)] ==
+                 depth[static_cast<std::size_t>(deepest)] &&
+             degree(a, u) < degree(a, deepest))) {
+          deepest = u;
+        }
+      }
+    }
+    if (depth[static_cast<std::size_t>(deepest)] <= last_depth) {
+      break;
+    }
+    last_depth = depth[static_cast<std::size_t>(deepest)];
+    current = deepest;
+  }
+  return current;
+}
+
+}  // namespace
+
+std::vector<Index> rcm_ordering(const CsrMatrix& a) {
+  PPDL_REQUIRE(a.rows() == a.cols(), "RCM needs a square matrix");
+  const Index n = a.rows();
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+
+  std::vector<Index> order;  // Cuthill–McKee order (to be reversed).
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<bool> assigned(static_cast<std::size_t>(n), false);
+
+  for (Index seed = 0; seed < n; ++seed) {
+    if (assigned[static_cast<std::size_t>(seed)]) {
+      continue;
+    }
+    const Index start = pseudo_peripheral(a, seed, assigned);
+    std::queue<Index> queue;
+    queue.push(start);
+    assigned[static_cast<std::size_t>(start)] = true;
+    while (!queue.empty()) {
+      const Index v = queue.front();
+      queue.pop();
+      order.push_back(v);
+      std::vector<Index> nbrs;
+      for (Index k = rp[static_cast<std::size_t>(v)];
+           k < rp[static_cast<std::size_t>(v) + 1]; ++k) {
+        const Index u = ci[static_cast<std::size_t>(k)];
+        if (u != v && !assigned[static_cast<std::size_t>(u)]) {
+          nbrs.push_back(u);
+          assigned[static_cast<std::size_t>(u)] = true;
+        }
+      }
+      std::sort(nbrs.begin(), nbrs.end(), [&](Index x, Index y) {
+        return degree(a, x) < degree(a, y);
+      });
+      for (const Index u : nbrs) {
+        queue.push(u);
+      }
+    }
+  }
+
+  PPDL_ENSURE(static_cast<Index>(order.size()) == n,
+              "RCM did not visit every node");
+  // Reverse, then express as perm[old] = new.
+  std::vector<Index> perm(static_cast<std::size_t>(n));
+  for (Index pos = 0; pos < n; ++pos) {
+    const Index old = order[static_cast<std::size_t>(n - 1 - pos)];
+    perm[static_cast<std::size_t>(old)] = pos;
+  }
+  return perm;
+}
+
+Index bandwidth(const CsrMatrix& a) {
+  Index bw = 0;
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  for (Index r = 0; r < a.rows(); ++r) {
+    for (Index k = rp[static_cast<std::size_t>(r)];
+         k < rp[static_cast<std::size_t>(r) + 1]; ++k) {
+      bw = std::max(bw, std::abs(r - ci[static_cast<std::size_t>(k)]));
+    }
+  }
+  return bw;
+}
+
+std::vector<Index> invert_permutation(std::span<const Index> perm) {
+  std::vector<Index> inv(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    PPDL_REQUIRE(perm[i] >= 0 && perm[i] < static_cast<Index>(perm.size()),
+                 "invalid permutation entry");
+    inv[static_cast<std::size_t>(perm[i])] = static_cast<Index>(i);
+  }
+  return inv;
+}
+
+std::vector<Real> apply_permutation(std::span<const Index> perm,
+                                    std::span<const Real> v) {
+  PPDL_REQUIRE(perm.size() == v.size(), "permutation size mismatch");
+  std::vector<Real> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[static_cast<std::size_t>(perm[i])] = v[i];
+  }
+  return out;
+}
+
+}  // namespace ppdl::linalg

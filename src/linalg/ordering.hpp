@@ -1,0 +1,29 @@
+// Reverse Cuthill–McKee ordering: bandwidth reduction for sparse SPD
+// matrices. Improves IC(0) quality and cache behaviour of SpMV on mesh
+// matrices; exposed as an ablation knob for the solver benchmarks.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "linalg/csr.hpp"
+
+namespace ppdl::linalg {
+
+/// Computes the RCM permutation of a symmetric-pattern matrix.
+/// Returns `perm` where perm[old_index] = new_index. Disconnected
+/// components are each ordered from a pseudo-peripheral start node.
+std::vector<Index> rcm_ordering(const CsrMatrix& a);
+
+/// Half-bandwidth of the matrix: max |i - j| over stored entries.
+Index bandwidth(const CsrMatrix& a);
+
+/// Inverse of a permutation given as perm[old] = new.
+std::vector<Index> invert_permutation(std::span<const Index> perm);
+
+/// Apply perm[old] = new to a vector: out[perm[i]] = v[i].
+std::vector<Real> apply_permutation(std::span<const Index> perm,
+                                    std::span<const Real> v);
+
+}  // namespace ppdl::linalg

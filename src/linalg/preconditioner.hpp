@@ -1,0 +1,73 @@
+// Preconditioners for the conjugate-gradient solver.
+//
+// Power-grid conductance matrices are SPD M-matrices; Jacobi works but IC(0)
+// (zero fill-in incomplete Cholesky) cuts iteration counts several-fold on
+// large meshes — this is the default for the conventional-planner analysis.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "linalg/csr.hpp"
+
+namespace ppdl::linalg {
+
+/// Interface: z = M⁻¹ r for a fixed matrix A captured at construction.
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+
+  /// Apply the preconditioner: out = M⁻¹ r.
+  virtual void apply(std::span<const Real> r, std::span<Real> out) const = 0;
+
+  /// Human-readable name for reports.
+  virtual const char* name() const = 0;
+};
+
+/// Identity (no preconditioning).
+class IdentityPreconditioner final : public Preconditioner {
+ public:
+  void apply(std::span<const Real> r, std::span<Real> out) const override;
+  const char* name() const override { return "none"; }
+};
+
+/// Diagonal (Jacobi): out_i = r_i / A_ii.
+class JacobiPreconditioner final : public Preconditioner {
+ public:
+  explicit JacobiPreconditioner(const CsrMatrix& a);
+  void apply(std::span<const Real> r, std::span<Real> out) const override;
+  const char* name() const override { return "jacobi"; }
+
+ private:
+  std::vector<Real> inv_diag_;
+};
+
+/// Zero fill-in incomplete Cholesky: A ≈ L Lᵀ with the sparsity of tril(A).
+/// Breakdown (non-positive pivot) is repaired by diagonal shifting, which is
+/// safe for the diagonally dominant matrices produced by MNA.
+class Ic0Preconditioner final : public Preconditioner {
+ public:
+  explicit Ic0Preconditioner(const CsrMatrix& a);
+  void apply(std::span<const Real> r, std::span<Real> out) const override;
+  const char* name() const override { return "ic0"; }
+
+ private:
+  // Lower-triangular factor in CSR (rows sorted by column, diagonal last).
+  Index n_ = 0;
+  std::vector<Index> row_ptr_;
+  std::vector<Index> col_idx_;
+  std::vector<Real> values_;
+};
+
+enum class PreconditionerKind { kNone, kJacobi, kIc0 };
+
+/// Factory.
+std::unique_ptr<Preconditioner> make_preconditioner(PreconditionerKind kind,
+                                                    const CsrMatrix& a);
+
+/// Parse "none" / "jacobi" / "ic0"; throws ContractViolation otherwise.
+PreconditionerKind parse_preconditioner(const std::string& name);
+
+}  // namespace ppdl::linalg

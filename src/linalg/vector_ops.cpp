@@ -1,0 +1,59 @@
+#include "linalg/vector_ops.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ppdl::linalg {
+
+Real dot(std::span<const Real> x, std::span<const Real> y) {
+  PPDL_REQUIRE(x.size() == y.size(), "dot: size mismatch");
+  Real acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += x[i] * y[i];
+  }
+  return acc;
+}
+
+Real norm2(std::span<const Real> x) { return std::sqrt(dot(x, x)); }
+
+Real norm_inf(std::span<const Real> x) {
+  Real m = 0.0;
+  for (const Real v : x) {
+    m = std::max(m, std::abs(v));
+  }
+  return m;
+}
+
+void axpy(Real alpha, std::span<const Real> x, std::span<Real> y) {
+  PPDL_REQUIRE(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+void scale(Real alpha, std::span<Real> x) {
+  for (Real& v : x) {
+    v *= alpha;
+  }
+}
+
+std::vector<Real> subtract(std::span<const Real> x, std::span<const Real> y) {
+  PPDL_REQUIRE(x.size() == y.size(), "subtract: size mismatch");
+  std::vector<Real> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = x[i] - y[i];
+  }
+  return out;
+}
+
+void hadamard(std::span<const Real> x, std::span<const Real> y,
+              std::span<Real> out) {
+  PPDL_REQUIRE(x.size() == y.size() && x.size() == out.size(),
+               "hadamard: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = x[i] * y[i];
+  }
+}
+
+}  // namespace ppdl::linalg

@@ -1,0 +1,33 @@
+// Dense vector kernels used by the iterative solvers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ppdl::linalg {
+
+/// Dot product. Sizes must match.
+Real dot(std::span<const Real> x, std::span<const Real> y);
+
+/// Euclidean norm.
+Real norm2(std::span<const Real> x);
+
+/// Infinity norm.
+Real norm_inf(std::span<const Real> x);
+
+/// y += alpha * x (sizes must match).
+void axpy(Real alpha, std::span<const Real> x, std::span<Real> y);
+
+/// x *= alpha.
+void scale(Real alpha, std::span<Real> x);
+
+/// out = x - y element-wise (sizes must match).
+std::vector<Real> subtract(std::span<const Real> x, std::span<const Real> y);
+
+/// Hadamard (element-wise) product into out (sizes must match).
+void hadamard(std::span<const Real> x, std::span<const Real> y,
+              std::span<Real> out);
+
+}  // namespace ppdl::linalg

@@ -1,0 +1,101 @@
+#include "nn/activation.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ppdl::nn {
+
+namespace {
+constexpr Real kLeakySlope = 0.01;
+}
+
+std::string to_string(Activation a) {
+  switch (a) {
+    case Activation::kIdentity:
+      return "identity";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kLeakyRelu:
+      return "leaky_relu";
+    case Activation::kTanh:
+      return "tanh";
+    case Activation::kSigmoid:
+      return "sigmoid";
+  }
+  return "?";
+}
+
+Activation parse_activation(const std::string& name) {
+  if (name == "identity") {
+    return Activation::kIdentity;
+  }
+  if (name == "relu") {
+    return Activation::kRelu;
+  }
+  if (name == "leaky_relu") {
+    return Activation::kLeakyRelu;
+  }
+  if (name == "tanh") {
+    return Activation::kTanh;
+  }
+  if (name == "sigmoid") {
+    return Activation::kSigmoid;
+  }
+  PPDL_REQUIRE(false, "unknown activation: " + name);
+  return Activation::kIdentity;  // unreachable
+}
+
+Real activate(Real x, Activation a) {
+  switch (a) {
+    case Activation::kIdentity:
+      return x;
+    case Activation::kRelu:
+      return x > 0.0 ? x : 0.0;
+    case Activation::kLeakyRelu:
+      return x > 0.0 ? x : kLeakySlope * x;
+    case Activation::kTanh:
+      return std::tanh(x);
+    case Activation::kSigmoid:
+      return 1.0 / (1.0 + std::exp(-x));
+  }
+  return x;
+}
+
+Real activate_grad(Real x, Activation a) {
+  switch (a) {
+    case Activation::kIdentity:
+      return 1.0;
+    case Activation::kRelu:
+      return x > 0.0 ? 1.0 : 0.0;
+    case Activation::kLeakyRelu:
+      return x > 0.0 ? 1.0 : kLeakySlope;
+    case Activation::kTanh: {
+      const Real t = std::tanh(x);
+      return 1.0 - t * t;
+    }
+    case Activation::kSigmoid: {
+      const Real s = 1.0 / (1.0 + std::exp(-x));
+      return s * (1.0 - s);
+    }
+  }
+  return 1.0;
+}
+
+void apply_activation(Matrix& m, Activation a) {
+  for (Real& v : m.data()) {
+    v = activate(v, a);
+  }
+}
+
+Matrix activation_gradient(const Matrix& z, Activation a) {
+  Matrix g(z.rows(), z.cols());
+  const auto src = z.data();
+  auto dst = g.data();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = activate_grad(src[i], a);
+  }
+  return g;
+}
+
+}  // namespace ppdl::nn

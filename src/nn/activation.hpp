@@ -1,0 +1,31 @@
+// Element-wise activation functions and their derivatives.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "linalg/dense.hpp"
+
+namespace ppdl::nn {
+
+/// Matrix type shared across the NN stack (row-major dense, Real scalar).
+using Matrix = linalg::DenseMatrix;
+
+enum class Activation { kIdentity, kRelu, kLeakyRelu, kTanh, kSigmoid };
+
+std::string to_string(Activation a);
+Activation parse_activation(const std::string& name);
+
+/// Scalar forward value.
+Real activate(Real x, Activation a);
+
+/// Derivative dσ/dx at pre-activation x.
+Real activate_grad(Real x, Activation a);
+
+/// In-place element-wise application to a matrix.
+void apply_activation(Matrix& m, Activation a);
+
+/// Element-wise derivative matrix evaluated at pre-activations `z`.
+Matrix activation_gradient(const Matrix& z, Activation a);
+
+}  // namespace ppdl::nn

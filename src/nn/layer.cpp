@@ -1,0 +1,98 @@
+#include "nn/layer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ppdl::nn {
+
+DenseLayer::DenseLayer(Index in_features, Index out_features,
+                       Activation activation, Rng& rng)
+    : weights_(in_features, out_features),
+      bias_(1, out_features),
+      activation_(activation),
+      grad_weights_(in_features, out_features),
+      grad_bias_(1, out_features) {
+  PPDL_REQUIRE(in_features > 0 && out_features > 0,
+               "layer dimensions must be > 0");
+  // He-uniform: U(−√(6/fan_in), +√(6/fan_in)).
+  const Real bound = std::sqrt(6.0 / static_cast<Real>(in_features));
+  for (Real& w : weights_.data()) {
+    w = rng.uniform(-bound, bound);
+  }
+}
+
+Matrix DenseLayer::forward(const Matrix& x, bool train) {
+  PPDL_REQUIRE(x.cols() == weights_.rows(), "layer forward: shape mismatch");
+  Matrix z = x.multiply(weights_);
+  for (Index r = 0; r < z.rows(); ++r) {
+    for (Index c = 0; c < z.cols(); ++c) {
+      z(r, c) += bias_(0, c);
+    }
+  }
+  if (train) {
+    cached_input_ = x;
+    cached_preact_ = z;
+    has_cache_ = true;
+  }
+  apply_activation(z, activation_);
+  return z;
+}
+
+Matrix DenseLayer::apply(const Matrix& x) const {
+  PPDL_REQUIRE(x.cols() == weights_.rows(), "layer apply: shape mismatch");
+  Matrix z = x.multiply(weights_);
+  for (Index r = 0; r < z.rows(); ++r) {
+    for (Index c = 0; c < z.cols(); ++c) {
+      z(r, c) += bias_(0, c);
+    }
+  }
+  apply_activation(z, activation_);
+  return z;
+}
+
+Matrix DenseLayer::backward(const Matrix& grad_out) {
+  PPDL_REQUIRE(has_cache_, "backward without cached forward pass");
+  PPDL_REQUIRE(grad_out.rows() == cached_preact_.rows() &&
+                   grad_out.cols() == cached_preact_.cols(),
+               "layer backward: shape mismatch");
+
+  // δ = grad_out ⊙ σ'(z)
+  Matrix delta = activation_gradient(cached_preact_, activation_);
+  {
+    auto d = delta.data();
+    const auto g = grad_out.data();
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      d[i] *= g[i];
+    }
+  }
+
+  // dW = xᵀ δ ; db = column sums of δ ; dx = δ Wᵀ.
+  // Gradients are written in place: optimizer ParamSlot spans captured once
+  // must stay valid across training steps.
+  std::fill(grad_weights_.data().begin(), grad_weights_.data().end(), 0.0);
+  for (Index r = 0; r < cached_input_.rows(); ++r) {
+    for (Index i = 0; i < grad_weights_.rows(); ++i) {
+      const Real xi = cached_input_(r, i);
+      if (xi == 0.0) {
+        continue;
+      }
+      for (Index j = 0; j < grad_weights_.cols(); ++j) {
+        grad_weights_(i, j) += xi * delta(r, j);
+      }
+    }
+  }
+  for (Index c = 0; c < grad_bias_.cols(); ++c) {
+    Real acc = 0.0;
+    for (Index r = 0; r < delta.rows(); ++r) {
+      acc += delta(r, c);
+    }
+    grad_bias_(0, c) = acc;
+  }
+  Matrix grad_in = delta.multiply(weights_.transposed());
+  has_cache_ = false;
+  return grad_in;
+}
+
+}  // namespace ppdl::nn

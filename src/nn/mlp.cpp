@@ -1,0 +1,81 @@
+#include "nn/mlp.hpp"
+
+#include "common/check.hpp"
+
+namespace ppdl::nn {
+
+MlpConfig MlpConfig::paper_default(Index inputs, Index outputs,
+                                   Index hidden_layers, Index hidden_units) {
+  MlpConfig c;
+  c.inputs = inputs;
+  c.outputs = outputs;
+  c.hidden.assign(static_cast<std::size_t>(hidden_layers), hidden_units);
+  return c;
+}
+
+Mlp::Mlp(const MlpConfig& config, Rng& rng) : config_(config) {
+  PPDL_REQUIRE(config.inputs > 0 && config.outputs > 0,
+               "MLP needs positive input/output sizes");
+  Index in = config.inputs;
+  for (const Index units : config.hidden) {
+    PPDL_REQUIRE(units > 0, "hidden layer size must be > 0");
+    layers_.emplace_back(in, units, config.hidden_activation, rng);
+    in = units;
+  }
+  layers_.emplace_back(in, config.outputs, config.output_activation, rng);
+}
+
+DenseLayer& Mlp::layer(Index i) {
+  PPDL_REQUIRE(i >= 0 && i < layer_count(), "layer index out of range");
+  return layers_[static_cast<std::size_t>(i)];
+}
+
+const DenseLayer& Mlp::layer(Index i) const {
+  PPDL_REQUIRE(i >= 0 && i < layer_count(), "layer index out of range");
+  return layers_[static_cast<std::size_t>(i)];
+}
+
+Matrix Mlp::forward(const Matrix& x, bool train) {
+  PPDL_REQUIRE(x.cols() == config_.inputs, "MLP forward: input size mismatch");
+  Matrix h = x;
+  for (DenseLayer& layer : layers_) {
+    h = layer.forward(h, train);
+  }
+  return h;
+}
+
+Matrix Mlp::predict(const Matrix& x) const {
+  PPDL_REQUIRE(x.cols() == config_.inputs, "MLP predict: input size mismatch");
+  Matrix h = x;
+  for (const DenseLayer& layer : layers_) {
+    h = layer.apply(h);
+  }
+  return h;
+}
+
+void Mlp::backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    grad = it->backward(grad);
+  }
+}
+
+std::vector<ParamSlot> Mlp::parameter_slots() {
+  std::vector<ParamSlot> slots;
+  slots.reserve(layers_.size() * 2);
+  for (DenseLayer& layer : layers_) {
+    slots.push_back({layer.weights().data(), layer.weight_grad().data()});
+    slots.push_back({layer.bias().data(), layer.bias_grad().data()});
+  }
+  return slots;
+}
+
+Index Mlp::parameter_count() const {
+  Index total = 0;
+  for (const DenseLayer& layer : layers_) {
+    total += layer.parameter_count();
+  }
+  return total;
+}
+
+}  // namespace ppdl::nn

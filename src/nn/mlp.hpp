@@ -1,0 +1,58 @@
+// Multi-layer perceptron for multi-target regression.
+//
+// The paper's model: input (X, Y, Id) → 10 hidden layers → width(s).
+// Hidden layers use ReLU, the output layer is linear (regression).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace ppdl::nn {
+
+struct MlpConfig {
+  Index inputs = 3;
+  Index outputs = 1;
+  std::vector<Index> hidden;  ///< units per hidden layer
+  Activation hidden_activation = Activation::kRelu;
+  Activation output_activation = Activation::kIdentity;
+
+  /// The paper's architecture: 10 hidden layers (hyperparameter-optimized).
+  static MlpConfig paper_default(Index inputs = 3, Index outputs = 1,
+                                 Index hidden_layers = 10,
+                                 Index hidden_units = 32);
+};
+
+class Mlp {
+ public:
+  Mlp(const MlpConfig& config, Rng& rng);
+
+  const MlpConfig& config() const { return config_; }
+  Index layer_count() const { return static_cast<Index>(layers_.size()); }
+  DenseLayer& layer(Index i);
+  const DenseLayer& layer(Index i) const;
+
+  /// Forward pass. `train` caches intermediates for a following backward().
+  Matrix forward(const Matrix& x, bool train = false);
+
+  /// Inference-only forward (no caching; usable on const models).
+  Matrix predict(const Matrix& x) const;
+
+  /// Backpropagate dL/dŷ through the net, filling every layer's gradients.
+  void backward(const Matrix& grad_output);
+
+  /// Parameter/gradient views for the optimizer (order stable across calls).
+  std::vector<ParamSlot> parameter_slots();
+
+  /// Total trainable scalar count.
+  Index parameter_count() const;
+
+ private:
+  MlpConfig config_;
+  std::vector<DenseLayer> layers_;
+};
+
+}  // namespace ppdl::nn

@@ -1,0 +1,207 @@
+#include "nn/model_io.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace ppdl::nn {
+
+namespace {
+
+/// Reals are serialized as hexfloat for exact round-tripping.
+void write_real(std::ostream& out, Real v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  out << buf;
+}
+
+Real read_real(std::istream& in) {
+  std::string tok;
+  if (!(in >> tok)) {
+    throw ModelIoError("unexpected end of model file");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const Real v = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0') {
+    throw ModelIoError("malformed real: " + tok);
+  }
+  return v;
+}
+
+void expect_token(std::istream& in, const std::string& expected) {
+  std::string tok;
+  if (!(in >> tok) || tok != expected) {
+    throw ModelIoError("expected '" + expected + "', got '" + tok + "'");
+  }
+}
+
+void write_matrix(std::ostream& out, const Matrix& m) {
+  out << m.rows() << ' ' << m.cols() << '\n';
+  for (Index r = 0; r < m.rows(); ++r) {
+    for (Index c = 0; c < m.cols(); ++c) {
+      if (c > 0) {
+        out << ' ';
+      }
+      write_real(out, m(r, c));
+    }
+    out << '\n';
+  }
+}
+
+Matrix read_matrix(std::istream& in) {
+  Index rows = 0;
+  Index cols = 0;
+  if (!(in >> rows >> cols) || rows < 0 || cols < 0) {
+    throw ModelIoError("malformed matrix header");
+  }
+  Matrix m(rows, cols);
+  for (Index r = 0; r < rows; ++r) {
+    for (Index c = 0; c < cols; ++c) {
+      m(r, c) = read_real(in);
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+void save_model(const Mlp& model, std::ostream& out) {
+  const MlpConfig& cfg = model.config();
+  out << "ppdl-mlp 1\n";
+  out << "inputs " << cfg.inputs << "\n";
+  out << "outputs " << cfg.outputs << "\n";
+  out << "hidden";
+  for (const Index h : cfg.hidden) {
+    out << ' ' << h;
+  }
+  out << "\n";
+  out << "hidden_activation " << to_string(cfg.hidden_activation) << "\n";
+  out << "output_activation " << to_string(cfg.output_activation) << "\n";
+  out << "layers " << model.layer_count() << "\n";
+  for (Index i = 0; i < model.layer_count(); ++i) {
+    const DenseLayer& layer = model.layer(i);
+    out << "layer " << i << "\n";
+    write_matrix(out, layer.weights());
+    write_matrix(out, layer.bias());
+  }
+}
+
+void save_model_file(const Mlp& model, const std::string& path) {
+  std::ofstream out(path);
+  PPDL_REQUIRE(out.good(), "cannot open model file for writing: " + path);
+  save_model(model, out);
+}
+
+Mlp load_model(std::istream& in) {
+  expect_token(in, "ppdl-mlp");
+  Index version = 0;
+  if (!(in >> version) || version != 1) {
+    throw ModelIoError("unsupported model version");
+  }
+  MlpConfig cfg;
+  expect_token(in, "inputs");
+  in >> cfg.inputs;
+  expect_token(in, "outputs");
+  in >> cfg.outputs;
+  expect_token(in, "hidden");
+  // Hidden sizes run until the next keyword.
+  cfg.hidden.clear();
+  std::string tok;
+  while (in >> tok) {
+    if (tok == "hidden_activation") {
+      break;
+    }
+    try {
+      cfg.hidden.push_back(static_cast<Index>(std::stoll(tok)));
+    } catch (const std::exception&) {
+      throw ModelIoError("malformed hidden size: " + tok);
+    }
+  }
+  if (tok != "hidden_activation") {
+    throw ModelIoError("missing hidden_activation");
+  }
+  in >> tok;
+  cfg.hidden_activation = parse_activation(tok);
+  expect_token(in, "output_activation");
+  in >> tok;
+  cfg.output_activation = parse_activation(tok);
+  expect_token(in, "layers");
+  Index layer_count = 0;
+  in >> layer_count;
+  if (layer_count != static_cast<Index>(cfg.hidden.size()) + 1) {
+    throw ModelIoError("layer count inconsistent with hidden sizes");
+  }
+
+  Rng rng(0);  // init values are overwritten below
+  Mlp model(cfg, rng);
+  for (Index i = 0; i < layer_count; ++i) {
+    expect_token(in, "layer");
+    Index idx = 0;
+    in >> idx;
+    if (idx != i) {
+      throw ModelIoError("layer index out of order");
+    }
+    Matrix w = read_matrix(in);
+    Matrix b = read_matrix(in);
+    DenseLayer& layer = model.layer(i);
+    if (w.rows() != layer.weights().rows() ||
+        w.cols() != layer.weights().cols() ||
+        b.cols() != layer.bias().cols() || b.rows() != 1) {
+      throw ModelIoError("weight shape mismatch in model file");
+    }
+    layer.weights() = std::move(w);
+    layer.bias() = std::move(b);
+  }
+  return model;
+}
+
+Mlp load_model_file(const std::string& path) {
+  std::ifstream in(path);
+  PPDL_REQUIRE(in.good(), "cannot open model file: " + path);
+  return load_model(in);
+}
+
+void save_scaler(const StandardScaler& scaler, std::ostream& out) {
+  PPDL_REQUIRE(scaler.fitted(), "cannot save an unfitted scaler");
+  out << "ppdl-scaler 1\n" << scaler.mean().size() << "\n";
+  for (const Real m : scaler.mean()) {
+    write_real(out, m);
+    out << ' ';
+  }
+  out << "\n";
+  for (const Real s : scaler.scale()) {
+    write_real(out, s);
+    out << ' ';
+  }
+  out << "\n";
+}
+
+StandardScaler load_scaler(std::istream& in) {
+  expect_token(in, "ppdl-scaler");
+  Index version = 0;
+  if (!(in >> version) || version != 1) {
+    throw ModelIoError("unsupported scaler version");
+  }
+  Index n = 0;
+  if (!(in >> n) || n <= 0) {
+    throw ModelIoError("malformed scaler size");
+  }
+  std::vector<Real> mean(static_cast<std::size_t>(n));
+  std::vector<Real> scale(static_cast<std::size_t>(n));
+  for (Real& v : mean) {
+    v = read_real(in);
+  }
+  for (Real& v : scale) {
+    v = read_real(in);
+  }
+  StandardScaler scaler;
+  scaler.restore(std::move(mean), std::move(scale));
+  return scaler;
+}
+
+}  // namespace ppdl::nn

@@ -1,0 +1,32 @@
+// Text serialization of trained models (architecture + weights + scalers),
+// so a planning session can reuse a model trained in an earlier run —
+// the paper's "historical data" workflow.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/mlp.hpp"
+#include "nn/scaler.hpp"
+
+namespace ppdl::nn {
+
+/// Thrown on malformed model files.
+class ModelIoError : public std::runtime_error {
+ public:
+  explicit ModelIoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Writes architecture and weights in a line-oriented text format.
+void save_model(const Mlp& model, std::ostream& out);
+void save_model_file(const Mlp& model, const std::string& path);
+
+/// Reads a model back. Weights are restored exactly (hex float encoding).
+Mlp load_model(std::istream& in);
+Mlp load_model_file(const std::string& path);
+
+/// Scaler persistence (mean/scale pairs).
+void save_scaler(const StandardScaler& scaler, std::ostream& out);
+StandardScaler load_scaler(std::istream& in);
+
+}  // namespace ppdl::nn

@@ -1,0 +1,112 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ppdl::nn {
+
+SgdOptimizer::SgdOptimizer(Real learning_rate) : lr_(learning_rate) {
+  PPDL_REQUIRE(learning_rate > 0.0, "learning rate must be > 0");
+}
+
+void SgdOptimizer::step(const std::vector<ParamSlot>& slots) {
+  for (const ParamSlot& slot : slots) {
+    PPDL_REQUIRE(slot.value.size() == slot.grad.size(),
+                 "param/grad size mismatch");
+    for (std::size_t i = 0; i < slot.value.size(); ++i) {
+      slot.value[i] -= lr_ * slot.grad[i];
+    }
+  }
+}
+
+MomentumOptimizer::MomentumOptimizer(Real learning_rate, Real momentum)
+    : lr_(learning_rate), momentum_(momentum) {
+  PPDL_REQUIRE(learning_rate > 0.0, "learning rate must be > 0");
+  PPDL_REQUIRE(momentum >= 0.0 && momentum < 1.0, "momentum must be in [0,1)");
+}
+
+void MomentumOptimizer::step(const std::vector<ParamSlot>& slots) {
+  if (velocity_.empty()) {
+    for (const ParamSlot& slot : slots) {
+      velocity_.emplace_back(slot.value.size(), 0.0);
+    }
+  }
+  PPDL_REQUIRE(velocity_.size() == slots.size(),
+               "optimizer slot structure changed between steps");
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    const ParamSlot& slot = slots[s];
+    std::vector<Real>& vel = velocity_[s];
+    PPDL_REQUIRE(vel.size() == slot.value.size(),
+                 "optimizer slot size changed between steps");
+    for (std::size_t i = 0; i < slot.value.size(); ++i) {
+      vel[i] = momentum_ * vel[i] - lr_ * slot.grad[i];
+      slot.value[i] += vel[i];
+    }
+  }
+}
+
+AdamOptimizer::AdamOptimizer(Real learning_rate, Real beta1, Real beta2,
+                             Real epsilon)
+    : lr_(learning_rate), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {
+  PPDL_REQUIRE(learning_rate > 0.0, "learning rate must be > 0");
+  PPDL_REQUIRE(beta1 >= 0.0 && beta1 < 1.0, "beta1 must be in [0,1)");
+  PPDL_REQUIRE(beta2 >= 0.0 && beta2 < 1.0, "beta2 must be in [0,1)");
+  PPDL_REQUIRE(epsilon > 0.0, "epsilon must be > 0");
+}
+
+void AdamOptimizer::step(const std::vector<ParamSlot>& slots) {
+  if (m_.empty()) {
+    for (const ParamSlot& slot : slots) {
+      m_.emplace_back(slot.value.size(), 0.0);
+      v_.emplace_back(slot.value.size(), 0.0);
+    }
+  }
+  PPDL_REQUIRE(m_.size() == slots.size(),
+               "optimizer slot structure changed between steps");
+  ++t_;
+  const Real bc1 = 1.0 - std::pow(beta1_, static_cast<Real>(t_));
+  const Real bc2 = 1.0 - std::pow(beta2_, static_cast<Real>(t_));
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    const ParamSlot& slot = slots[s];
+    std::vector<Real>& m = m_[s];
+    std::vector<Real>& v = v_[s];
+    PPDL_REQUIRE(m.size() == slot.value.size(),
+                 "optimizer slot size changed between steps");
+    for (std::size_t i = 0; i < slot.value.size(); ++i) {
+      const Real g = slot.grad[i];
+      m[i] = beta1_ * m[i] + (1.0 - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.0 - beta2_) * g * g;
+      const Real m_hat = m[i] / bc1;
+      const Real v_hat = v[i] / bc2;
+      slot.value[i] -= lr_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+std::string to_string(OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::kSgd:
+      return "sgd";
+    case OptimizerKind::kMomentum:
+      return "momentum";
+    case OptimizerKind::kAdam:
+      return "adam";
+  }
+  return "?";
+}
+
+std::unique_ptr<Optimizer> make_optimizer(OptimizerKind kind,
+                                          Real learning_rate) {
+  switch (kind) {
+    case OptimizerKind::kSgd:
+      return std::make_unique<SgdOptimizer>(learning_rate);
+    case OptimizerKind::kMomentum:
+      return std::make_unique<MomentumOptimizer>(learning_rate);
+    case OptimizerKind::kAdam:
+      return std::make_unique<AdamOptimizer>(learning_rate);
+  }
+  PPDL_ENSURE(false, "unknown optimizer kind");
+}
+
+}  // namespace ppdl::nn

@@ -1,0 +1,76 @@
+// First-order optimizers. The paper trains with Adam [Kingma & Ba 2014];
+// SGD and momentum exist as baselines for the training ablation.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ppdl::nn {
+
+/// A flat view of one parameter tensor and its gradient.
+struct ParamSlot {
+  std::span<Real> value;
+  std::span<const Real> grad;
+};
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Apply one update step. The slot list must be identical (same tensors,
+  /// same order, same sizes) on every call.
+  virtual void step(const std::vector<ParamSlot>& slots) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+class SgdOptimizer final : public Optimizer {
+ public:
+  explicit SgdOptimizer(Real learning_rate);
+  void step(const std::vector<ParamSlot>& slots) override;
+  const char* name() const override { return "sgd"; }
+
+ private:
+  Real lr_;
+};
+
+class MomentumOptimizer final : public Optimizer {
+ public:
+  MomentumOptimizer(Real learning_rate, Real momentum = 0.9);
+  void step(const std::vector<ParamSlot>& slots) override;
+  const char* name() const override { return "momentum"; }
+
+ private:
+  Real lr_;
+  Real momentum_;
+  std::vector<std::vector<Real>> velocity_;
+};
+
+class AdamOptimizer final : public Optimizer {
+ public:
+  explicit AdamOptimizer(Real learning_rate, Real beta1 = 0.9,
+                         Real beta2 = 0.999, Real epsilon = 1e-8);
+  void step(const std::vector<ParamSlot>& slots) override;
+  const char* name() const override { return "adam"; }
+
+ private:
+  Real lr_;
+  Real beta1_;
+  Real beta2_;
+  Real epsilon_;
+  Index t_ = 0;
+  std::vector<std::vector<Real>> m_;
+  std::vector<std::vector<Real>> v_;
+};
+
+enum class OptimizerKind { kSgd, kMomentum, kAdam };
+
+std::string to_string(OptimizerKind kind);
+std::unique_ptr<Optimizer> make_optimizer(OptimizerKind kind,
+                                          Real learning_rate);
+
+}  // namespace ppdl::nn

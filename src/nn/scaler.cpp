@@ -1,0 +1,114 @@
+#include "nn/scaler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ppdl::nn {
+
+void StandardScaler::fit(const Matrix& x) {
+  PPDL_REQUIRE(x.rows() > 0, "cannot fit scaler on empty data");
+  const Index cols = x.cols();
+  mean_.assign(static_cast<std::size_t>(cols), 0.0);
+  scale_.assign(static_cast<std::size_t>(cols), 1.0);
+  for (Index c = 0; c < cols; ++c) {
+    Real sum = 0.0;
+    for (Index r = 0; r < x.rows(); ++r) {
+      sum += x(r, c);
+    }
+    const Real mu = sum / static_cast<Real>(x.rows());
+    Real var = 0.0;
+    for (Index r = 0; r < x.rows(); ++r) {
+      const Real d = x(r, c) - mu;
+      var += d * d;
+    }
+    var /= static_cast<Real>(x.rows());
+    mean_[static_cast<std::size_t>(c)] = mu;
+    scale_[static_cast<std::size_t>(c)] = var > 0.0 ? std::sqrt(var) : 1.0;
+  }
+}
+
+Matrix StandardScaler::transform(const Matrix& x) const {
+  PPDL_REQUIRE(fitted(), "scaler not fitted");
+  PPDL_REQUIRE(x.cols() == static_cast<Index>(mean_.size()),
+               "scaler transform: column mismatch");
+  Matrix z(x.rows(), x.cols());
+  for (Index r = 0; r < x.rows(); ++r) {
+    for (Index c = 0; c < x.cols(); ++c) {
+      const auto cu = static_cast<std::size_t>(c);
+      z(r, c) = (x(r, c) - mean_[cu]) / scale_[cu];
+    }
+  }
+  return z;
+}
+
+Matrix StandardScaler::inverse_transform(const Matrix& z) const {
+  PPDL_REQUIRE(fitted(), "scaler not fitted");
+  PPDL_REQUIRE(z.cols() == static_cast<Index>(mean_.size()),
+               "scaler inverse: column mismatch");
+  Matrix x(z.rows(), z.cols());
+  for (Index r = 0; r < z.rows(); ++r) {
+    for (Index c = 0; c < z.cols(); ++c) {
+      const auto cu = static_cast<std::size_t>(c);
+      x(r, c) = z(r, c) * scale_[cu] + mean_[cu];
+    }
+  }
+  return x;
+}
+
+void StandardScaler::restore(std::vector<Real> mean, std::vector<Real> scale) {
+  PPDL_REQUIRE(mean.size() == scale.size(), "scaler restore: size mismatch");
+  for (const Real s : scale) {
+    PPDL_REQUIRE(s > 0.0, "scaler restore: non-positive scale");
+  }
+  mean_ = std::move(mean);
+  scale_ = std::move(scale);
+}
+
+void MinMaxScaler::fit(const Matrix& x) {
+  PPDL_REQUIRE(x.rows() > 0, "cannot fit scaler on empty data");
+  const Index cols = x.cols();
+  min_.assign(static_cast<std::size_t>(cols), 0.0);
+  span_.assign(static_cast<std::size_t>(cols), 1.0);
+  for (Index c = 0; c < cols; ++c) {
+    Real lo = x(0, c);
+    Real hi = x(0, c);
+    for (Index r = 1; r < x.rows(); ++r) {
+      lo = std::min(lo, x(r, c));
+      hi = std::max(hi, x(r, c));
+    }
+    min_[static_cast<std::size_t>(c)] = lo;
+    span_[static_cast<std::size_t>(c)] = (hi > lo) ? (hi - lo) : 1.0;
+  }
+}
+
+Matrix MinMaxScaler::transform(const Matrix& x) const {
+  PPDL_REQUIRE(fitted(), "scaler not fitted");
+  PPDL_REQUIRE(x.cols() == static_cast<Index>(min_.size()),
+               "scaler transform: column mismatch");
+  Matrix z(x.rows(), x.cols());
+  for (Index r = 0; r < x.rows(); ++r) {
+    for (Index c = 0; c < x.cols(); ++c) {
+      const auto cu = static_cast<std::size_t>(c);
+      z(r, c) = (x(r, c) - min_[cu]) / span_[cu];
+    }
+  }
+  return z;
+}
+
+Matrix MinMaxScaler::inverse_transform(const Matrix& z) const {
+  PPDL_REQUIRE(fitted(), "scaler not fitted");
+  PPDL_REQUIRE(z.cols() == static_cast<Index>(min_.size()),
+               "scaler inverse: column mismatch");
+  Matrix x(z.rows(), z.cols());
+  for (Index r = 0; r < z.rows(); ++r) {
+    for (Index c = 0; c < z.cols(); ++c) {
+      const auto cu = static_cast<std::size_t>(c);
+      x(r, c) = z(r, c) * span_[cu] + min_[cu];
+    }
+  }
+  return x;
+}
+
+}  // namespace ppdl::nn

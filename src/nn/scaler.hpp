@@ -1,0 +1,42 @@
+// Feature scaling. Fitted on training data, applied to train and test alike.
+#pragma once
+
+#include <vector>
+
+#include "nn/activation.hpp"
+
+namespace ppdl::nn {
+
+/// z = (x − μ) / σ per column. Constant columns scale by 1.
+class StandardScaler {
+ public:
+  void fit(const Matrix& x);
+  Matrix transform(const Matrix& x) const;
+  Matrix inverse_transform(const Matrix& z) const;
+  bool fitted() const { return !mean_.empty(); }
+
+  const std::vector<Real>& mean() const { return mean_; }
+  const std::vector<Real>& scale() const { return scale_; }
+
+  /// Restore from serialized state.
+  void restore(std::vector<Real> mean, std::vector<Real> scale);
+
+ private:
+  std::vector<Real> mean_;
+  std::vector<Real> scale_;
+};
+
+/// z = (x − min) / (max − min) per column, into [0, 1].
+class MinMaxScaler {
+ public:
+  void fit(const Matrix& x);
+  Matrix transform(const Matrix& x) const;
+  Matrix inverse_transform(const Matrix& z) const;
+  bool fitted() const { return !min_.empty(); }
+
+ private:
+  std::vector<Real> min_;
+  std::vector<Real> span_;
+};
+
+}  // namespace ppdl::nn

@@ -1,0 +1,124 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ppdl::nn {
+
+Matrix slice_rows(const Matrix& m, Index begin, Index end) {
+  PPDL_REQUIRE(begin >= 0 && begin <= end && end <= m.rows(),
+               "slice_rows: bad range");
+  Matrix out(end - begin, m.cols());
+  for (Index r = begin; r < end; ++r) {
+    std::copy(m.row(r).begin(), m.row(r).end(), out.row(r - begin).begin());
+  }
+  return out;
+}
+
+Matrix gather_rows(const Matrix& m, const std::vector<Index>& rows) {
+  Matrix out(static_cast<Index>(rows.size()), m.cols());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    PPDL_REQUIRE(rows[i] >= 0 && rows[i] < m.rows(),
+                 "gather_rows: index out of range");
+    std::copy(m.row(rows[i]).begin(), m.row(rows[i]).end(),
+              out.row(static_cast<Index>(i)).begin());
+  }
+  return out;
+}
+
+TrainHistory train(Mlp& model, const Matrix& x, const Matrix& y,
+                   const TrainOptions& options) {
+  PPDL_REQUIRE(x.rows() == y.rows(), "train: x/y row mismatch");
+  PPDL_REQUIRE(x.rows() > 0, "train: empty dataset");
+  PPDL_REQUIRE(x.cols() == model.config().inputs,
+               "train: input width mismatch");
+  PPDL_REQUIRE(y.cols() == model.config().outputs,
+               "train: output width mismatch");
+  PPDL_REQUIRE(options.epochs > 0 && options.batch_size > 0,
+               "train: epochs and batch size must be > 0");
+  PPDL_REQUIRE(options.validation_fraction >= 0.0 &&
+                   options.validation_fraction < 1.0,
+               "train: validation fraction must be in [0,1)");
+
+  Rng rng(options.shuffle_seed);
+
+  // Shuffled split into train / validation.
+  std::vector<Index> order(static_cast<std::size_t>(x.rows()));
+  for (Index i = 0; i < x.rows(); ++i) {
+    order[static_cast<std::size_t>(i)] = i;
+  }
+  rng.shuffle(order);
+
+  const Index val_rows = static_cast<Index>(
+      static_cast<Real>(x.rows()) * options.validation_fraction);
+  const Index train_rows = x.rows() - val_rows;
+  PPDL_REQUIRE(train_rows > 0, "train: validation split leaves no data");
+
+  std::vector<Index> train_idx(order.begin(), order.begin() + train_rows);
+  std::vector<Index> val_idx(order.begin() + train_rows, order.end());
+  const Matrix x_train = gather_rows(x, train_idx);
+  const Matrix y_train = gather_rows(y, train_idx);
+  const Matrix x_val = val_rows > 0 ? gather_rows(x, val_idx) : Matrix();
+  const Matrix y_val = val_rows > 0 ? gather_rows(y, val_idx) : Matrix();
+
+  const auto optimizer = make_optimizer(options.optimizer,
+                                        options.learning_rate);
+  const std::vector<ParamSlot> slots = model.parameter_slots();
+
+  TrainHistory history;
+  Real best_val = -1.0;
+  Index since_best = 0;
+
+  std::vector<Index> batch_order(static_cast<std::size_t>(train_rows));
+  for (Index i = 0; i < train_rows; ++i) {
+    batch_order[static_cast<std::size_t>(i)] = i;
+  }
+
+  for (Index epoch = 1; epoch <= options.epochs; ++epoch) {
+    rng.shuffle(batch_order);
+    Real epoch_loss = 0.0;
+    Index batches = 0;
+    for (Index start = 0; start < train_rows; start += options.batch_size) {
+      const Index stop = std::min(start + options.batch_size, train_rows);
+      std::vector<Index> batch(batch_order.begin() + start,
+                               batch_order.begin() + stop);
+      const Matrix xb = gather_rows(x_train, batch);
+      const Matrix yb = gather_rows(y_train, batch);
+
+      const Matrix pred = model.forward(xb, /*train=*/true);
+      epoch_loss += loss_value(pred, yb, options.loss);
+      ++batches;
+      model.backward(loss_gradient(pred, yb, options.loss));
+      optimizer->step(slots);
+    }
+    epoch_loss /= static_cast<Real>(std::max<Index>(batches, 1));
+    history.train_loss.push_back(epoch_loss);
+
+    Real val_loss = -1.0;
+    if (val_rows > 0) {
+      const Matrix val_pred = model.predict(x_val);
+      val_loss = loss_value(val_pred, y_val, options.loss);
+    }
+    history.val_loss.push_back(val_loss);
+    history.epochs_run = epoch;
+
+    if (options.on_epoch) {
+      options.on_epoch(epoch, epoch_loss, val_loss);
+    }
+
+    if (val_rows > 0 && options.early_stopping_patience > 0) {
+      if (best_val < 0.0 || val_loss < best_val) {
+        best_val = val_loss;
+        since_best = 0;
+      } else if (++since_best >= options.early_stopping_patience) {
+        history.early_stopped = true;
+        break;
+      }
+    }
+  }
+  history.best_val_loss = best_val;
+  return history;
+}
+
+}  // namespace ppdl::nn

@@ -1,0 +1,46 @@
+// Mini-batch training loop with validation split and early stopping.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/mlp.hpp"
+
+namespace ppdl::nn {
+
+struct TrainOptions {
+  Index epochs = 100;
+  Index batch_size = 64;
+  Real learning_rate = 1e-3;
+  OptimizerKind optimizer = OptimizerKind::kAdam;
+  Loss loss = Loss::kMse;
+  /// Fraction of rows held out for validation (0 disables validation).
+  Real validation_fraction = 0.1;
+  /// Stop after this many epochs without validation improvement
+  /// (0 disables early stopping; requires validation_fraction > 0).
+  Index early_stopping_patience = 10;
+  U64 shuffle_seed = 1;
+  /// Called after each epoch: (epoch, train loss, validation loss or -1).
+  std::function<void(Index, Real, Real)> on_epoch;
+};
+
+struct TrainHistory {
+  std::vector<Real> train_loss;  ///< per epoch
+  std::vector<Real> val_loss;    ///< per epoch (-1 when no validation)
+  Index epochs_run = 0;
+  bool early_stopped = false;
+  Real best_val_loss = -1.0;
+};
+
+/// Trains `model` on rows of (x, y). Deterministic for a fixed seed.
+TrainHistory train(Mlp& model, const Matrix& x, const Matrix& y,
+                   const TrainOptions& options = {});
+
+/// Convenience: sliced copy of rows [begin, end) of m.
+Matrix slice_rows(const Matrix& m, Index begin, Index end);
+
+/// Gathers the given rows of m into a new matrix.
+Matrix gather_rows(const Matrix& m, const std::vector<Index>& rows);
+
+}  // namespace ppdl::nn

@@ -1,0 +1,163 @@
+#include "planner/conventional_planner.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+#include "grid/design_rules.hpp"
+
+namespace ppdl::planner {
+
+namespace {
+
+/// Width-relaxation pass: scale every sized wire back toward the margin and
+/// verify; retries with progressively weaker relaxation. Leaves the grid at
+/// the best accepted state and updates `result` accordingly.
+void polish_widths(grid::PowerGrid& pg, const PlannerOptions& options,
+                   analysis::IrAnalysisOptions& solver,
+                   PlannerResult& result) {
+  const Real limit = options.update.ir_limit;
+  const Real worst = result.final_analysis.worst_ir_drop;
+  if (worst >= limit * options.polish_margin) {
+    return;  // already at the margin; nothing to reclaim
+  }
+  // Drops scale roughly with 1/width, so this factor lands the worst drop
+  // near polish_margin × limit.
+  const Real base_factor = worst / (limit * options.polish_margin);
+
+  std::vector<Real> sized(static_cast<std::size_t>(pg.branch_count()), 0.0);
+  bool anything_to_relax = false;
+  for (Index b = 0; b < pg.branch_count(); ++b) {
+    const grid::Branch& br = pg.branch(b);
+    if (br.kind == grid::BranchKind::kWire) {
+      sized[static_cast<std::size_t>(b)] = br.width;
+      anything_to_relax |=
+          br.width > pg.layer(br.layer).default_width * (1.0 + 1e-9);
+    }
+  }
+  if (!anything_to_relax) {
+    return;  // nothing was sized above its baseline; no metal to reclaim
+  }
+
+  for (Index attempt = 0; attempt < options.polish_attempts; ++attempt) {
+    // factor, then √factor, then ∜factor, … approaching 1 (no relaxation).
+    const Real f = std::pow(
+        base_factor, 1.0 / static_cast<Real>(Index{1} << attempt));
+    for (Index b = 0; b < pg.branch_count(); ++b) {
+      const grid::Branch& br = pg.branch(b);
+      if (br.kind != grid::BranchKind::kWire) {
+        continue;
+      }
+      // Never relax below the layer default (the unplanned baseline), the
+      // design-rule minimum, or the EM width for the last known current.
+      const grid::Layer& layer = pg.layer(br.layer);
+      const Real em_floor =
+          options.update.em_safety *
+          std::abs(result.final_analysis
+                       .branch_current[static_cast<std::size_t>(b)]) /
+          options.update.jmax;
+      const Real w = std::max(
+          {sized[static_cast<std::size_t>(b)] * f, layer.default_width,
+           em_floor, grid::min_width(layer, options.update.rules)});
+      pg.set_wire_width(b, w);
+    }
+    analysis::IrAnalysisResult verify = analysis::analyze_ir_drop(pg, solver);
+    result.analysis_seconds += verify.solve_seconds;
+    ++result.iterations;
+    if (options.warm_start) {
+      solver.initial_voltages = verify.node_voltage;
+    }
+    const bool ok = verify.worst_ir_drop <= limit &&
+                    verify.worst_density <= options.update.jmax;
+    IterationTrace trace;
+    trace.iteration = result.iterations;
+    trace.worst_ir_drop = verify.worst_ir_drop;
+    trace.worst_density = verify.worst_density;
+    trace.solve_seconds = verify.solve_seconds;
+    trace.wires_widened = 0;
+    result.trace.push_back(trace);
+    if (ok) {
+      result.final_analysis = std::move(verify);
+      return;
+    }
+  }
+  // No relaxation verified: restore the converged (unpolished) widths.
+  for (Index b = 0; b < pg.branch_count(); ++b) {
+    if (pg.branch(b).kind == grid::BranchKind::kWire) {
+      pg.set_wire_width(b, sized[static_cast<std::size_t>(b)]);
+    }
+  }
+}
+
+}  // namespace
+
+PlannerResult run_conventional_planner(grid::PowerGrid& pg,
+                                       const PlannerOptions& options) {
+  PPDL_REQUIRE(options.max_iterations > 0, "need at least one iteration");
+  PlannerResult result;
+  const Timer timer;
+
+  analysis::IrAnalysisOptions solver = options.solver;
+  WidthUpdateState state;
+  for (Index it = 1; it <= options.max_iterations; ++it) {
+    analysis::IrAnalysisResult analysis = analysis::analyze_ir_drop(pg, solver);
+    result.analysis_seconds += analysis.solve_seconds;
+    if (options.warm_start) {
+      solver.initial_voltages = analysis.node_voltage;
+    }
+
+    const bool ir_ok = analysis.worst_ir_drop <= options.update.ir_limit;
+    const bool em_ok = analysis.worst_density <= options.update.jmax;
+
+    IterationTrace trace;
+    trace.iteration = it;
+    trace.worst_ir_drop = analysis.worst_ir_drop;
+    trace.worst_density = analysis.worst_density;
+    trace.solve_seconds = analysis.solve_seconds;
+
+    if (ir_ok && em_ok) {
+      trace.wires_widened = 0;
+      result.trace.push_back(trace);
+      result.converged = true;
+      result.iterations = it;
+      result.final_analysis = std::move(analysis);
+      break;
+    }
+
+    trace.wires_widened = update_widths(pg, analysis, options.update, state);
+    result.trace.push_back(trace);
+    result.iterations = it;
+    result.final_analysis = std::move(analysis);
+
+    PPDL_LOG_DEBUG << pg.name() << " planner iter " << it << ": worst IR "
+                   << trace.worst_ir_drop * 1e3 << " mV, worst J "
+                   << trace.worst_density << " A/um, widened "
+                   << trace.wires_widened;
+
+    if (trace.wires_widened == 0) {
+      // Width bounds exhausted while violations persist: stuck.
+      break;
+    }
+  }
+
+  // If the loop ended by widening on its last allowed iteration, the final
+  // analysis predates the last update; re-verify so callers see the truth.
+  if (!result.converged && !result.trace.empty() &&
+      result.trace.back().wires_widened > 0) {
+    analysis::IrAnalysisResult analysis = analysis::analyze_ir_drop(pg, solver);
+    result.analysis_seconds += analysis.solve_seconds;
+    result.converged = analysis.worst_ir_drop <= options.update.ir_limit &&
+                       analysis.worst_density <= options.update.jmax;
+    result.final_analysis = std::move(analysis);
+  }
+
+  if (options.polish && result.converged) {
+    polish_widths(pg, options, solver, result);
+  }
+
+  result.total_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace ppdl::planner

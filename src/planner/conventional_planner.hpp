@@ -1,0 +1,58 @@
+// The conventional power-planning baseline (paper Fig. 1).
+//
+// Iterates: analyze the grid (the expensive full solve) → check IR and EM
+// margins → widen violating wires → repeat, until sign-off margins hold or
+// an iteration cap is reached. The resulting widths are the "golden" design
+// the DL model is trained on, and the loop's wall time is the
+// "Conventional" column of Table IV.
+#pragma once
+
+#include <vector>
+
+#include "analysis/ir_solver.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+#include "grid/power_grid.hpp"
+#include "planner/width_optimizer.hpp"
+
+namespace ppdl::planner {
+
+struct PlannerOptions {
+  WidthUpdateOptions update;
+  analysis::IrAnalysisOptions solver;
+  Index max_iterations = 40;
+  /// Warm-start each iteration's CG from the previous solution.
+  bool warm_start = true;
+  /// After convergence, relax sized widths back toward the margin (the
+  /// widening loop overshoots by a trajectory-dependent factor; recovering
+  /// the overshoot reclaims metal and pins the design at a reproducible
+  /// operating point — drop ≈ polish_margin × limit). Each relaxation trial
+  /// is verified with a full analysis, like a real ECO loop.
+  bool polish = true;
+  Real polish_margin = 0.97;
+  Index polish_attempts = 3;
+};
+
+struct IterationTrace {
+  Index iteration = 0;
+  Real worst_ir_drop = 0.0;
+  Real worst_density = 0.0;
+  Index wires_widened = 0;
+  Real solve_seconds = 0.0;
+};
+
+struct PlannerResult {
+  bool converged = false;
+  Index iterations = 0;
+  Real total_seconds = 0.0;       ///< wall time of the whole loop
+  Real analysis_seconds = 0.0;    ///< time inside the solver
+  analysis::IrAnalysisResult final_analysis;
+  std::vector<IterationTrace> trace;
+};
+
+/// Runs the conventional loop in place: `pg`'s wire widths are updated to
+/// the converged (golden) design.
+PlannerResult run_conventional_planner(grid::PowerGrid& pg,
+                                       const PlannerOptions& options = {});
+
+}  // namespace ppdl::planner

@@ -1,0 +1,49 @@
+#include "planner/sign_off.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace ppdl::planner {
+
+SignOffReport run_sign_off(const grid::PowerGrid& pg,
+                           const SignOffOptions& options) {
+  SignOffReport report;
+
+  const analysis::IrAnalysisResult analysis =
+      analysis::analyze_ir_drop(pg, options.solver);
+  report.worst_ir_drop = analysis.worst_ir_drop;
+  report.worst_density = analysis.worst_density;
+  report.ir_ok = analysis.worst_ir_drop <= options.ir_limit;
+
+  const auto em_violations = analysis::check_em(pg, analysis, options.jmax);
+  report.em_violation_count = static_cast<Index>(em_violations.size());
+  report.em_ok = em_violations.empty();
+  report.min_mttf_hours =
+      analysis::em_mttf_report(pg, analysis, options.blacks).min_mttf_hours;
+
+  report.drc_violations = grid::check_design_rules(pg, options.rules);
+  report.drc_violation_count = static_cast<Index>(report.drc_violations.size());
+  report.drc_ok = report.drc_violations.empty();
+
+  report.signed_off = report.ir_ok && report.em_ok && report.drc_ok;
+  return report;
+}
+
+std::string SignOffReport::render() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  os << "=== power planning sign-off ===\n";
+  os << "  worst IR drop : " << worst_ir_drop * 1e3 << " mV ("
+     << (ir_ok ? "OK" : "VIOLATION") << ")\n";
+  os << "  worst density : " << worst_density << " A/um, " << em_violation_count
+     << " EM violations (" << (em_ok ? "OK" : "VIOLATION") << ")\n";
+  os << "  min EM MTTF   : " << std::setprecision(0) << min_mttf_hours
+     << " hours\n" << std::setprecision(2);
+  os << "  design rules  : " << drc_violation_count << " violations ("
+     << (drc_ok ? "OK" : "VIOLATION") << ")\n";
+  os << "  verdict       : " << (signed_off ? "SIGNED OFF" : "REJECTED")
+     << "\n";
+  return os.str();
+}
+
+}  // namespace ppdl::planner

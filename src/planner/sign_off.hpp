@@ -1,0 +1,49 @@
+// Power-planning sign-off verification (the final gate of paper Fig. 1).
+//
+// A design signs off when, under a fresh full analysis:
+//   * worst-case IR drop is within the allowed margin,
+//   * no wire violates the EM current-density limit (eq. (4)),
+//   * all design rules hold (width bounds, spacing, Wcore budget).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/em.hpp"
+#include "analysis/ir_solver.hpp"
+#include "common/types.hpp"
+#include "grid/design_rules.hpp"
+#include "grid/power_grid.hpp"
+
+namespace ppdl::planner {
+
+struct SignOffOptions {
+  Real ir_limit = 0.07;  ///< V
+  Real jmax = 1.0;       ///< A/µm
+  grid::DesignRules rules;
+  analysis::IrAnalysisOptions solver;
+  analysis::BlacksParams blacks;
+};
+
+struct SignOffReport {
+  bool ir_ok = false;
+  bool em_ok = false;
+  bool drc_ok = false;
+  bool signed_off = false;
+
+  Real worst_ir_drop = 0.0;   ///< V
+  Real worst_density = 0.0;   ///< A/µm
+  Real min_mttf_hours = 0.0;  ///< Black's-equation EM lifetime bound
+  Index em_violation_count = 0;
+  Index drc_violation_count = 0;
+  std::vector<grid::RuleViolation> drc_violations;
+
+  /// Multi-line human-readable report.
+  std::string render() const;
+};
+
+/// Runs the full verification and returns the report.
+SignOffReport run_sign_off(const grid::PowerGrid& pg,
+                           const SignOffOptions& options = {});
+
+}  // namespace ppdl::planner

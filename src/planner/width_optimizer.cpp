@@ -1,0 +1,227 @@
+#include "planner/width_optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ppdl::planner {
+
+std::string to_string(WidthUpdateStrategy strategy) {
+  switch (strategy) {
+    case WidthUpdateStrategy::kProportional:
+      return "proportional";
+    case WidthUpdateStrategy::kUniform:
+      return "uniform";
+    case WidthUpdateStrategy::kWorstRegion:
+      return "worst-region";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Drop threshold below which a node counts as violation-free.
+bool has_violation(const analysis::IrAnalysisResult& analysis,
+                   const WidthUpdateOptions& options) {
+  return analysis.worst_ir_drop > options.ir_limit ||
+         analysis.worst_density > options.jmax;
+}
+
+Index update_proportional(grid::PowerGrid& pg,
+                          const analysis::IrAnalysisResult& analysis,
+                          const WidthUpdateOptions& options,
+                          WidthUpdateState& state) {
+  // Initialize the density target at the EM-legal maximum: any tighter and
+  // we are spending metal beyond what eq. (4) requires.
+  if (state.j_target <= 0.0) {
+    state.j_target = options.jmax / options.em_safety;
+  }
+  // Tighten the target when the grid still violates the IR margin. Current
+  // redistributes only mildly as widths grow (the topology fixes the flow
+  // pattern), so drops scale roughly with 1/width ∝ J_target. If the sizing
+  // pass changes nothing (the target is still looser than present widths),
+  // keep tightening within this call so every update makes progress.
+  const bool violating = analysis.worst_ir_drop > options.ir_limit;
+  if (violating) {
+    // Tighten 5% past the proportional estimate: drops respond slightly
+    // sub-linearly to widening (current re-routes into the widened wires),
+    // and without the overshoot the loop limps through an asymptotic tail
+    // of sub-percent improvements. The polish pass reclaims any excess.
+    const Real ratio = options.ir_limit / analysis.worst_ir_drop;
+    state.j_target *= std::max(ratio * 0.95, options.max_tighten);
+  }
+
+  // Tapered sizing needs the stripes with their segments ordered along the
+  // line (topology is immutable during planning, so build them once).
+  if (options.per_stripe && state.stripes.empty()) {
+    for (Index layer = 0; layer < pg.layer_count(); ++layer) {
+      const bool horizontal = pg.layer(layer).horizontal;
+      for (auto& [coord, branches] : grid::stripes_of_layer(pg, layer)) {
+        std::sort(branches.begin(), branches.end(),
+                  [&](Index a, Index b) {
+                    const grid::Point ca = pg.branch_center(a);
+                    const grid::Point cb = pg.branch_center(b);
+                    return horizontal ? ca.x < cb.x : ca.y < cb.y;
+                  });
+        state.stripes.push_back(std::move(branches));
+      }
+    }
+  }
+
+  // w_target per wire from its own current; -1 marks vias/untouched.
+  std::vector<Real> target(static_cast<std::size_t>(pg.branch_count()), -1.0);
+
+  constexpr int kMaxTightenings = 64;
+  for (int attempt = 0; attempt < kMaxTightenings; ++attempt) {
+    Index changed = 0;
+    if (options.per_stripe) {
+      // Rolling maximum along each line: segments inherit the worst
+      // requirement within the taper window around them.
+      for (const std::vector<Index>& stripe : state.stripes) {
+        const auto n = static_cast<Index>(stripe.size());
+        const Index window = std::max<Index>(
+            1, static_cast<Index>(options.taper_window_fraction *
+                                  static_cast<Real>(n)));
+        std::vector<Real> raw(static_cast<std::size_t>(n));
+        for (Index i = 0; i < n; ++i) {
+          const Real current = std::abs(
+              analysis.branch_current[static_cast<std::size_t>(
+                  stripe[static_cast<std::size_t>(i)])]);
+          raw[static_cast<std::size_t>(i)] = current / state.j_target;
+        }
+        for (Index i = 0; i < n; ++i) {
+          Real smoothed = 0.0;
+          const Index lo = std::max<Index>(0, i - window);
+          const Index hi = std::min<Index>(n - 1, i + window);
+          for (Index k = lo; k <= hi; ++k) {
+            smoothed = std::max(smoothed, raw[static_cast<std::size_t>(k)]);
+          }
+          target[static_cast<std::size_t>(stripe[static_cast<std::size_t>(i)])] =
+              smoothed;
+        }
+      }
+    } else {
+      for (Index bi = 0; bi < pg.branch_count(); ++bi) {
+        if (pg.branch(bi).kind != grid::BranchKind::kWire) {
+          continue;
+        }
+        const Real current =
+            std::abs(analysis.branch_current[static_cast<std::size_t>(bi)]);
+        target[static_cast<std::size_t>(bi)] = current / state.j_target;
+      }
+    }
+
+    for (Index bi = 0; bi < pg.branch_count(); ++bi) {
+      const grid::Branch& b = pg.branch(bi);
+      if (b.kind != grid::BranchKind::kWire ||
+          target[static_cast<std::size_t>(bi)] < 0.0) {
+        continue;
+      }
+      const Real w_new = std::max(
+          b.width, grid::clamp_width(target[static_cast<std::size_t>(bi)],
+                                     pg.layer(b.layer), options.rules));
+      if (w_new > b.width * (1.0 + 1e-12)) {
+        pg.set_wire_width(bi, w_new);
+        ++changed;
+      }
+    }
+    if (changed > 0 || !violating) {
+      return changed;
+    }
+    state.j_target *= options.max_tighten;
+    if (state.j_target <= 0.0) {
+      break;
+    }
+  }
+  return 0;  // width bounds are genuinely exhausted
+}
+
+Index update_uniform(grid::PowerGrid& pg,
+                     const analysis::IrAnalysisResult& analysis,
+                     const WidthUpdateOptions& options) {
+  if (!has_violation(analysis, options)) {
+    return 0;
+  }
+  Index changed = 0;
+  for (Index bi = 0; bi < pg.branch_count(); ++bi) {
+    const grid::Branch& b = pg.branch(bi);
+    if (b.kind != grid::BranchKind::kWire) {
+      continue;
+    }
+    const Real w_new = grid::clamp_width(b.width * options.uniform_factor,
+                                         pg.layer(b.layer), options.rules);
+    if (w_new > b.width * (1.0 + 1e-12)) {
+      pg.set_wire_width(bi, w_new);
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+Index update_worst_region(grid::PowerGrid& pg,
+                          const analysis::IrAnalysisResult& analysis,
+                          const WidthUpdateOptions& options) {
+  if (!has_violation(analysis, options)) {
+    return 0;
+  }
+  // Threshold: the (1 - worst_fraction) quantile of node drops.
+  std::vector<Real> drops = analysis.node_ir_drop;
+  const auto k = static_cast<std::size_t>(
+      static_cast<Real>(drops.size()) * (1.0 - options.worst_fraction));
+  const auto kth = std::min(k, drops.size() - 1);
+  std::nth_element(drops.begin(), drops.begin() + static_cast<std::ptrdiff_t>(kth),
+                   drops.end());
+  const Real threshold = drops[kth];
+
+  Index changed = 0;
+  for (Index bi = 0; bi < pg.branch_count(); ++bi) {
+    const grid::Branch& b = pg.branch(bi);
+    if (b.kind != grid::BranchKind::kWire) {
+      continue;
+    }
+    const Real drop = std::max(
+        analysis.node_ir_drop[static_cast<std::size_t>(b.n1)],
+        analysis.node_ir_drop[static_cast<std::size_t>(b.n2)]);
+    const Real current =
+        std::abs(analysis.branch_current[static_cast<std::size_t>(bi)]);
+    const Real w_em = options.em_safety * current / options.jmax;
+    Real w_target = std::max(b.width, w_em);
+    if (drop >= threshold) {
+      w_target = std::max(w_target, b.width * options.uniform_factor);
+    }
+    const Real w_new = std::max(
+        b.width,
+        grid::clamp_width(w_target, pg.layer(b.layer), options.rules));
+    if (w_new > b.width * (1.0 + 1e-12)) {
+      pg.set_wire_width(bi, w_new);
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+Index update_widths(grid::PowerGrid& pg,
+                    const analysis::IrAnalysisResult& analysis,
+                    const WidthUpdateOptions& options,
+                    WidthUpdateState& state) {
+  PPDL_REQUIRE(options.ir_limit > 0.0, "ir_limit must be > 0");
+  PPDL_REQUIRE(options.jmax > 0.0, "jmax must be > 0");
+  PPDL_REQUIRE(static_cast<Index>(analysis.node_ir_drop.size()) ==
+                   pg.node_count(),
+               "analysis does not match grid");
+  switch (options.strategy) {
+    case WidthUpdateStrategy::kProportional:
+      return update_proportional(pg, analysis, options, state);
+    case WidthUpdateStrategy::kUniform:
+      return update_uniform(pg, analysis, options);
+    case WidthUpdateStrategy::kWorstRegion:
+      return update_worst_region(pg, analysis, options);
+  }
+  PPDL_ENSURE(false, "unknown width-update strategy");
+}
+
+}  // namespace ppdl::planner

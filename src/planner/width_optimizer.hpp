@@ -1,0 +1,73 @@
+// Width-update rules for the conventional planner's inner loop.
+//
+// Three strategies are provided; kProportional is the default and the two
+// others exist as ablation baselines (bench_ablation):
+//   * kProportional — current-density-target sizing: each wire is sized to
+//     w = |I| / J_target, and the global density target J_target tightens by
+//     the ratio (IR limit / worst drop) whenever the grid still violates.
+//     Widths end up proportional to the local current each segment carries —
+//     which both meets the margins quickly and produces the spatially smooth
+//     golden widths the DL model learns. J_target starts at the EM-legal
+//     maximum, so eq. (4) holds by construction.
+//   * kUniform     — widen every wire by a fixed factor while any violation
+//     exists. The classic "overdesign" answer; burns routing area.
+//   * kWorstRegion — widen only wires touching the worst decile of node
+//     drops (plus EM floors). Cheapest per iteration, needs more iterations
+//     and can stall when the bottleneck is outside the worst region.
+#pragma once
+
+#include <string>
+
+#include "analysis/ir_solver.hpp"
+#include "common/types.hpp"
+#include "grid/design_rules.hpp"
+#include "grid/power_grid.hpp"
+
+namespace ppdl::planner {
+
+enum class WidthUpdateStrategy { kProportional, kUniform, kWorstRegion };
+
+std::string to_string(WidthUpdateStrategy strategy);
+
+struct WidthUpdateOptions {
+  WidthUpdateStrategy strategy = WidthUpdateStrategy::kProportional;
+  Real ir_limit = 0.07;        ///< allowed worst-case drop, V
+  Real jmax = 1.0;             ///< EM density limit, A/µm
+  Real em_safety = 1.2;        ///< margin multiplier on the EM width
+  Real uniform_factor = 1.25;  ///< kUniform growth per iteration
+  Real worst_fraction = 0.10;  ///< kWorstRegion: fraction of nodes targeted
+  /// kProportional: max per-iteration tightening of J_target (0.5 = the
+  /// target may shrink to half its value in one step). Bounding the step
+  /// keeps the loop genuinely iterative, like real sizing flows.
+  Real max_tighten = 0.5;
+  /// kProportional: size power-grid lines with tapering — each segment gets
+  /// the rolling maximum of the current-based requirement over a window of
+  /// neighbouring segments along its stripe. This is how real rails are
+  /// drawn (wide near pads/hot regions, tapering outward), it keeps the
+  /// width field smooth in space (which is what makes the golden design
+  /// learnable from (X, Y, Id)), and the window's ends recover the paper's
+  /// per-line eq. (3) regime. false = raw per-segment sizing (ablation).
+  bool per_stripe = true;
+  /// Taper window as a fraction of the stripe's segment count (each side).
+  Real taper_window_fraction = 0.15;
+  grid::DesignRules rules;
+};
+
+/// Mutable state threaded through the planner's iterations.
+struct WidthUpdateState {
+  /// kProportional's global density target, A/µm. Negative = uninitialized
+  /// (set to jmax/em_safety on first use).
+  Real j_target = -1.0;
+  /// Lazily built stripes for tapered sizing: each stripe's wire branches in
+  /// order along the line.
+  std::vector<std::vector<Index>> stripes;
+};
+
+/// Applies one width update in place. Widths only grow (monotone widening,
+/// clamped to the design rules). Returns the number of wires changed.
+Index update_widths(grid::PowerGrid& pg,
+                    const analysis::IrAnalysisResult& analysis,
+                    const WidthUpdateOptions& options,
+                    WidthUpdateState& state);
+
+}  // namespace ppdl::planner

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "analysis/dual_rail.hpp"
+#include "support/fixtures.hpp"
+
+namespace ppdl::analysis {
+namespace {
+
+TEST(DualRail, MirrorPreservesTopologyAndSizing) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const grid::PowerGrid gnd = make_ground_mirror(bench.grid);
+  EXPECT_EQ(gnd.node_count(), bench.grid.node_count());
+  EXPECT_EQ(gnd.branch_count(), bench.grid.branch_count());
+  EXPECT_EQ(gnd.load_count(), bench.grid.load_count());
+  EXPECT_EQ(gnd.pad_count(), bench.grid.pad_count());
+  for (Index b = 0; b < gnd.branch_count(); ++b) {
+    EXPECT_DOUBLE_EQ(gnd.branch_resistance(b),
+                     bench.grid.branch_resistance(b));
+  }
+  EXPECT_NO_THROW(gnd.validate());
+  EXPECT_EQ(gnd.name(), bench.grid.name() + "_gnd");
+}
+
+TEST(DualRail, MatchedMirrorDoublesTheNoise) {
+  // With an identical mirror, bounce equals droop node for node, so total
+  // noise is exactly twice the single-rail drop.
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const grid::PowerGrid gnd = make_ground_mirror(bench.grid);
+  const DualRailResult result = analyze_dual_rail(bench.grid, gnd);
+  ASSERT_TRUE(result.vdd.converged);
+  ASSERT_TRUE(result.gnd.converged);
+  EXPECT_NEAR(result.worst_noise, 2.0 * result.vdd.worst_ir_drop,
+              1e-6 * result.worst_noise);
+  for (std::size_t v = 0; v < result.total_noise.size(); ++v) {
+    EXPECT_NEAR(result.total_noise[v], 2.0 * result.vdd.node_ir_drop[v],
+                1e-9 + 1e-6 * result.total_noise[v]);
+  }
+}
+
+TEST(DualRail, StrongerGndGridReducesTotalNoise) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  grid::PowerGrid gnd = make_ground_mirror(bench.grid);
+  const Real matched = analyze_dual_rail(bench.grid, gnd).worst_noise;
+  // Widen every GND wire 4x: bounce shrinks, total noise must drop.
+  for (Index b = 0; b < gnd.branch_count(); ++b) {
+    if (gnd.branch(b).kind == grid::BranchKind::kWire) {
+      gnd.set_wire_width(b, gnd.branch(b).width * 4.0);
+    }
+  }
+  const Real reinforced = analyze_dual_rail(bench.grid, gnd).worst_noise;
+  EXPECT_LT(reinforced, matched);
+  // But never below the VDD-only floor.
+  EXPECT_GT(reinforced,
+            analyze_ir_drop(bench.grid).worst_ir_drop * (1.0 - 1e-9));
+}
+
+TEST(DualRail, MismatchedTopologyThrows) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const grid::PowerGrid chain = testsupport::make_chain_grid(5, 0.01);
+  EXPECT_THROW(analyze_dual_rail(bench.grid, chain), ContractViolation);
+}
+
+TEST(DualRail, WorstNodeIsConsistent) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const grid::PowerGrid gnd = make_ground_mirror(bench.grid);
+  const DualRailResult result = analyze_dual_rail(bench.grid, gnd);
+  ASSERT_GE(result.worst_node, 0);
+  EXPECT_DOUBLE_EQ(
+      result.total_noise[static_cast<std::size_t>(result.worst_node)],
+      result.worst_noise);
+}
+
+}  // namespace
+}  // namespace ppdl::analysis

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "analysis/em.hpp"
+#include "support/fixtures.hpp"
+
+namespace ppdl::analysis {
+namespace {
+
+TEST(Em, NoViolationsUnderLooseLimit) {
+  const grid::PowerGrid pg = testsupport::make_chain_grid(4, 0.01);
+  const IrAnalysisResult res = analyze_ir_drop(pg);
+  // Density is 0.01 A/µm everywhere; limit of 1 A/µm passes.
+  EXPECT_TRUE(check_em(pg, res, 1.0).empty());
+}
+
+TEST(Em, AllWiresViolateUnderTightLimit) {
+  const grid::PowerGrid pg = testsupport::make_chain_grid(4, 0.01);
+  const IrAnalysisResult res = analyze_ir_drop(pg);
+  const auto violations = check_em(pg, res, 0.005);
+  EXPECT_EQ(static_cast<Index>(violations.size()), pg.wire_count());
+  for (const EmViolation& v : violations) {
+    EXPECT_NEAR(v.density, 0.01, 1e-9);
+    EXPECT_DOUBLE_EQ(v.limit, 0.005);
+  }
+}
+
+TEST(Em, WideningClearsViolation) {
+  grid::PowerGrid pg = testsupport::make_chain_grid(3, 0.01);
+  {
+    const IrAnalysisResult res = analyze_ir_drop(pg);
+    EXPECT_FALSE(check_em(pg, res, 0.008).empty());
+  }
+  for (Index b = 0; b < pg.branch_count(); ++b) {
+    pg.set_wire_width(b, 2.0);  // density halves to 0.005
+  }
+  const IrAnalysisResult res = analyze_ir_drop(pg);
+  EXPECT_TRUE(check_em(pg, res, 0.008).empty());
+}
+
+TEST(Em, InvalidLimitThrows) {
+  const grid::PowerGrid pg = testsupport::make_chain_grid(3, 0.01);
+  const IrAnalysisResult res = analyze_ir_drop(pg);
+  EXPECT_THROW(check_em(pg, res, 0.0), ContractViolation);
+}
+
+TEST(Blacks, MttfDecreasesWithDensity) {
+  const BlacksParams params;
+  const Real slow = blacks_mttf_hours(0.1, params);
+  const Real fast = blacks_mttf_hours(1.0, params);
+  EXPECT_GT(slow, fast);
+}
+
+TEST(Blacks, InverseSquareLawWithDefaultExponent) {
+  const BlacksParams params;  // n = 2
+  const Real a = blacks_mttf_hours(1.0, params);
+  const Real b = blacks_mttf_hours(2.0, params);
+  EXPECT_NEAR(a / b, 4.0, 1e-9);
+}
+
+TEST(Blacks, ZeroCurrentLivesForever) {
+  EXPECT_TRUE(std::isinf(blacks_mttf_hours(0.0)));
+  EXPECT_TRUE(std::isinf(blacks_mttf_hours(-1.0)));
+}
+
+TEST(Blacks, HotterIsShorter) {
+  BlacksParams cool;
+  cool.temperature_k = 300.0;
+  BlacksParams hot;
+  hot.temperature_k = 400.0;
+  EXPECT_GT(blacks_mttf_hours(0.5, cool), blacks_mttf_hours(0.5, hot));
+}
+
+TEST(EmMttfReport, FindsLimitingWire) {
+  grid::PowerGrid pg = testsupport::make_chain_grid(4, 0.01);
+  pg.set_wire_width(1, 0.5);  // doubles that wire's density
+  const IrAnalysisResult res = analyze_ir_drop(pg);
+  const EmMttfReport report = em_mttf_report(pg, res);
+  EXPECT_EQ(report.limiting_branch, 1);
+  EXPECT_GT(report.min_mttf_hours, 0.0);
+  EXPECT_FALSE(std::isinf(report.min_mttf_hours));
+}
+
+}  // namespace
+}  // namespace ppdl::analysis

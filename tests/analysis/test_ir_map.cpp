@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "analysis/ir_map.hpp"
+#include "support/fixtures.hpp"
+
+namespace ppdl::analysis {
+namespace {
+
+TEST(IrMap, RasterHasRequestedDimensions) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const IrAnalysisResult res = analyze_ir_drop(bench.grid);
+  const IrMap map = rasterize_ir_map(bench.grid, res.node_ir_drop, 20, 20);
+  EXPECT_EQ(map.width, 20);
+  EXPECT_EQ(map.height, 20);
+  EXPECT_EQ(map.mv.size(), 400u);
+}
+
+TEST(IrMap, AllCellsFilledAfterDilation) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const IrAnalysisResult res = analyze_ir_drop(bench.grid);
+  const IrMap map = rasterize_ir_map(bench.grid, res.node_ir_drop, 32, 32);
+  for (const Real v : map.mv) {
+    EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(IrMap, MaxCellMatchesWorstDrop) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const IrAnalysisResult res = analyze_ir_drop(bench.grid);
+  const IrMap map = rasterize_ir_map(bench.grid, res.node_ir_drop, 25, 25);
+  EXPECT_NEAR(map.max_mv(), res.worst_ir_drop * 1e3, 1e-9);
+}
+
+TEST(IrMap, ChainGradientRunsLeftToRight) {
+  // Pad on the left, load on the right: drops should not decrease along x.
+  const grid::PowerGrid pg = testsupport::make_chain_grid(8, 0.01);
+  const IrAnalysisResult res = analyze_ir_drop(pg);
+  const IrMap map = rasterize_ir_map(pg, res.node_ir_drop, 8, 1);
+  for (Index x = 1; x < map.width; ++x) {
+    EXPECT_GE(map.at(x, 0), map.at(x - 1, 0) - 1e-12);
+  }
+}
+
+TEST(IrMap, AtRejectsOutOfRange) {
+  const grid::PowerGrid pg = testsupport::make_chain_grid(4, 0.01);
+  const IrAnalysisResult res = analyze_ir_drop(pg);
+  const IrMap map = rasterize_ir_map(pg, res.node_ir_drop, 4, 2);
+  EXPECT_THROW(map.at(4, 0), ContractViolation);
+  EXPECT_THROW(map.at(0, 2), ContractViolation);
+  EXPECT_THROW(map.at(-1, 0), ContractViolation);
+}
+
+TEST(IrMap, AsciiRenderingHasLegendAndRows) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const IrAnalysisResult res = analyze_ir_drop(bench.grid);
+  const IrMap map = rasterize_ir_map(bench.grid, res.node_ir_drop, 16, 16);
+  const std::string art = render_ascii(map);
+  EXPECT_NE(art.find("legend:"), std::string::npos);
+  EXPECT_NE(art.find('@'), std::string::npos);
+  // 16 rows + legend line.
+  Index lines = 0;
+  for (const char c : art) {
+    lines += (c == '\n') ? 1 : 0;
+  }
+  EXPECT_EQ(lines, 17);
+}
+
+TEST(IrMap, CsvExportHasHeaderAndAllCells) {
+  const grid::PowerGrid pg = testsupport::make_chain_grid(4, 0.01);
+  const IrAnalysisResult res = analyze_ir_drop(pg);
+  const IrMap map = rasterize_ir_map(pg, res.node_ir_drop, 4, 2);
+  const std::string path = std::string(::testing::TempDir()) + "irmap.csv";
+  write_ir_map_csv(map, path);
+  std::ifstream in(path);
+  std::string line;
+  Index rows = 0;
+  while (std::getline(in, line)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, 1 + 4 * 2);
+}
+
+TEST(IrMap, SizeMismatchThrows) {
+  const grid::PowerGrid pg = testsupport::make_chain_grid(4, 0.01);
+  const std::vector<Real> wrong(3, 0.0);
+  EXPECT_THROW(rasterize_ir_map(pg, wrong, 4, 4), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ppdl::analysis

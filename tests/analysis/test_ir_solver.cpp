@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/ir_solver.hpp"
+#include "grid/generator.hpp"
+#include "support/fixtures.hpp"
+
+namespace ppdl::analysis {
+namespace {
+
+TEST(IrSolver, ChainMatchesAnalyticalSolution) {
+  // Chain with load I at the end: every segment carries I, so drop at node k
+  // is I · k · R.
+  const Real amps = 0.01;
+  const grid::PowerGrid pg = testsupport::make_chain_grid(5, amps);
+  const IrAnalysisResult res = analyze_ir_drop(pg);
+  ASSERT_TRUE(res.converged);
+  const Real r = testsupport::chain_segment_resistance();
+  for (Index k = 0; k < 5; ++k) {
+    EXPECT_NEAR(res.node_ir_drop[static_cast<std::size_t>(k)],
+                amps * static_cast<Real>(k) * r, 1e-9);
+  }
+  EXPECT_NEAR(res.worst_ir_drop, amps * 4 * r, 1e-9);
+  EXPECT_EQ(res.worst_node, 4);
+}
+
+TEST(IrSolver, BranchCurrentsEqualLoadOnChain) {
+  const Real amps = 0.02;
+  const grid::PowerGrid pg = testsupport::make_chain_grid(4, amps);
+  const IrAnalysisResult res = analyze_ir_drop(pg);
+  for (Index b = 0; b < pg.branch_count(); ++b) {
+    EXPECT_NEAR(std::abs(res.branch_current[static_cast<std::size_t>(b)]),
+                amps, 1e-9);
+    EXPECT_NEAR(res.branch_density[static_cast<std::size_t>(b)], amps, 1e-9)
+        << "width is 1 µm so density == current";
+  }
+}
+
+TEST(IrSolver, WideningAWireReducesDrop) {
+  grid::PowerGrid pg = testsupport::make_chain_grid(4, 0.02);
+  const Real before = analyze_ir_drop(pg).worst_ir_drop;
+  pg.set_wire_width(0, 4.0);
+  const Real after = analyze_ir_drop(pg).worst_ir_drop;
+  EXPECT_LT(after, before);
+}
+
+TEST(IrSolver, KclHoldsAtEveryFreeNode) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const grid::PowerGrid& pg = bench.grid;
+  const IrAnalysisResult res = analyze_ir_drop(pg);
+  ASSERT_TRUE(res.converged);
+
+  std::vector<Real> net(static_cast<std::size_t>(pg.node_count()), 0.0);
+  for (Index b = 0; b < pg.branch_count(); ++b) {
+    const grid::Branch& br = pg.branch(b);
+    const Real i = res.branch_current[static_cast<std::size_t>(b)];
+    net[static_cast<std::size_t>(br.n1)] -= i;
+    net[static_cast<std::size_t>(br.n2)] += i;
+  }
+  for (const grid::CurrentLoad& load : pg.loads()) {
+    net[static_cast<std::size_t>(load.node)] -= load.amps;
+  }
+  std::vector<bool> is_pad(static_cast<std::size_t>(pg.node_count()), false);
+  for (const grid::Pad& pad : pg.pads()) {
+    is_pad[static_cast<std::size_t>(pad.node)] = true;
+  }
+  const Real tol = 1e-6 * pg.total_load_current();
+  for (Index v = 0; v < pg.node_count(); ++v) {
+    if (!is_pad[static_cast<std::size_t>(v)]) {
+      EXPECT_NEAR(net[static_cast<std::size_t>(v)], 0.0, tol);
+    }
+  }
+}
+
+TEST(IrSolver, PadCurrentsSumToTotalLoad) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const grid::PowerGrid& pg = bench.grid;
+  const IrAnalysisResult res = analyze_ir_drop(pg);
+
+  std::vector<bool> is_pad(static_cast<std::size_t>(pg.node_count()), false);
+  for (const grid::Pad& pad : pg.pads()) {
+    is_pad[static_cast<std::size_t>(pad.node)] = true;
+  }
+  Real delivered = 0.0;
+  for (Index b = 0; b < pg.branch_count(); ++b) {
+    const grid::Branch& br = pg.branch(b);
+    const Real i = res.branch_current[static_cast<std::size_t>(b)];
+    const bool pad1 = is_pad[static_cast<std::size_t>(br.n1)];
+    const bool pad2 = is_pad[static_cast<std::size_t>(br.n2)];
+    if (pad1 && !pad2) {
+      delivered += i;
+    } else if (pad2 && !pad1) {
+      delivered -= i;
+    }
+  }
+  EXPECT_NEAR(delivered, pg.total_load_current(),
+              1e-6 * pg.total_load_current());
+}
+
+TEST(IrSolver, VoltagesBoundedByVddAndPositive) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const IrAnalysisResult res = analyze_ir_drop(bench.grid);
+  for (const Real v : res.node_voltage) {
+    EXPECT_LE(v, bench.grid.vdd() + 1e-9);
+    EXPECT_GT(v, 0.0);
+  }
+}
+
+TEST(IrSolver, WarmStartConvergesFaster) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  IrAnalysisOptions opts;
+  opts.preconditioner = linalg::PreconditionerKind::kJacobi;
+  const IrAnalysisResult cold = analyze_ir_drop(bench.grid, opts);
+  IrAnalysisOptions warm = opts;
+  warm.initial_voltages = cold.node_voltage;
+  const IrAnalysisResult again = analyze_ir_drop(bench.grid, warm);
+  EXPECT_LT(again.cg_iterations, cold.cg_iterations);
+}
+
+TEST(IrSolver, DropScalesLinearlyWithLoads) {
+  grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const Real base = analyze_ir_drop(bench.grid).worst_ir_drop;
+  for (Index i = 0; i < bench.grid.load_count(); ++i) {
+    bench.grid.scale_load(i, 2.0);
+  }
+  const Real doubled = analyze_ir_drop(bench.grid).worst_ir_drop;
+  EXPECT_NEAR(doubled, 2.0 * base, 1e-6 * doubled);
+}
+
+TEST(IrSolver, CholeskySolverMatchesCg) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  IrAnalysisOptions cg;
+  IrAnalysisOptions direct;
+  direct.solver = SolverKind::kCholesky;
+  const IrAnalysisResult a = analyze_ir_drop(bench.grid, cg);
+  const IrAnalysisResult b = analyze_ir_drop(bench.grid, direct);
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  EXPECT_NEAR(a.worst_ir_drop, b.worst_ir_drop, 1e-6 * a.worst_ir_drop);
+  for (std::size_t v = 0; v < a.node_voltage.size(); ++v) {
+    EXPECT_NEAR(a.node_voltage[v], b.node_voltage[v], 1e-6);
+  }
+}
+
+TEST(IrSolver, CholeskyOnChainIsExact) {
+  const Real amps = 0.01;
+  const grid::PowerGrid pg = testsupport::make_chain_grid(5, amps);
+  IrAnalysisOptions direct;
+  direct.solver = SolverKind::kCholesky;
+  const IrAnalysisResult res = analyze_ir_drop(pg, direct);
+  const Real r = testsupport::chain_segment_resistance();
+  for (Index k = 0; k < 5; ++k) {
+    EXPECT_NEAR(res.node_ir_drop[static_cast<std::size_t>(k)],
+                amps * static_cast<Real>(k) * r, 1e-12);
+  }
+}
+
+TEST(IrSolver, ReportsSolveTime) {
+  const grid::PowerGrid pg = testsupport::make_chain_grid(10, 0.01);
+  const IrAnalysisResult res = analyze_ir_drop(pg);
+  EXPECT_GT(res.solve_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace ppdl::analysis

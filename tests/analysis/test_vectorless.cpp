@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "analysis/vectorless.hpp"
+#include "support/fixtures.hpp"
+
+namespace ppdl::analysis {
+namespace {
+
+TEST(Vectorless, BoundDominatesVectoredAnalysis) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const IrAnalysisResult vectored = analyze_ir_drop(bench.grid);
+  const VectorlessResult bound =
+      vectorless_bound(bench.grid, bench.floorplan, 1.2);
+  EXPECT_GE(bound.worst_ir_bound, vectored.worst_ir_drop);
+}
+
+TEST(Vectorless, UnitBudgetFactorEqualsVectored) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const IrAnalysisResult vectored = analyze_ir_drop(bench.grid);
+  const VectorlessResult bound =
+      vectorless_bound(bench.grid, bench.floorplan, 1.0);
+  EXPECT_NEAR(bound.worst_ir_bound, vectored.worst_ir_drop,
+              1e-9 + 1e-6 * vectored.worst_ir_drop);
+}
+
+TEST(Vectorless, BoundScalesWithBudgetFactor) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const VectorlessResult a =
+      vectorless_bound(bench.grid, bench.floorplan, 1.0);
+  const VectorlessResult b =
+      vectorless_bound(bench.grid, bench.floorplan, 1.5);
+  EXPECT_NEAR(b.worst_ir_bound, 1.5 * a.worst_ir_bound,
+              1e-6 * b.worst_ir_bound);
+}
+
+TEST(Vectorless, RejectsSubUnityBudget) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  EXPECT_THROW(vectorless_bound(bench.grid, bench.floorplan, 0.9),
+               ContractViolation);
+}
+
+TEST(Vectorless, OriginalGridUntouched) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const Real before = bench.grid.total_load_current();
+  vectorless_bound(bench.grid, bench.floorplan, 1.3);
+  EXPECT_DOUBLE_EQ(bench.grid.total_load_current(), before);
+}
+
+}  // namespace
+}  // namespace ppdl::analysis

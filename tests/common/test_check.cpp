@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace ppdl {
+namespace {
+
+TEST(Check, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(PPDL_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(Check, RequireThrowsOnFalse) {
+  EXPECT_THROW(PPDL_REQUIRE(false, "always fails"), ContractViolation);
+}
+
+TEST(Check, EnsureThrowsOnFalse) {
+  EXPECT_THROW(PPDL_ENSURE(false, "postcondition"), ContractViolation);
+}
+
+TEST(Check, MessageContainsExpressionAndText) {
+  try {
+    PPDL_REQUIRE(2 < 1, "two is not less than one");
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+  }
+}
+
+TEST(Check, EnsureMessageSaysPostcondition) {
+  try {
+    PPDL_ENSURE(false, "x");
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("postcondition"), std::string::npos);
+  }
+}
+
+TEST(Check, SideEffectsEvaluatedOnce) {
+  int calls = 0;
+  const auto count = [&calls] {
+    ++calls;
+    return true;
+  };
+  PPDL_REQUIRE(count(), "called once");
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace ppdl

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/check.hpp"
+#include "common/cli.hpp"
+
+namespace ppdl {
+namespace {
+
+TEST(Cli, DefaultsApplyWithoutArguments) {
+  CliParser cli("prog", "test");
+  cli.add_flag("scale", "scale factor", "0.5");
+  const std::array<const char*, 1> argv{"prog"};
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_DOUBLE_EQ(cli.get_real("scale"), 0.5);
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  CliParser cli("prog", "test");
+  cli.add_flag("scale", "scale factor", "0.5");
+  const std::array<const char*, 2> argv{"prog", "--scale=0.25"};
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_DOUBLE_EQ(cli.get_real("scale"), 0.25);
+}
+
+TEST(Cli, ParsesSeparateValueForm) {
+  CliParser cli("prog", "test");
+  cli.add_flag("name", "benchmark name", "ibmpg1");
+  const std::array<const char*, 3> argv{"prog", "--name", "ibmpg6"};
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(cli.get("name"), "ibmpg6");
+}
+
+TEST(Cli, SwitchDefaultsFalseAndSets) {
+  CliParser cli("prog", "test");
+  cli.add_switch("full", "run at paper scale");
+  EXPECT_FALSE(cli.get_bool("full"));
+  const std::array<const char*, 2> argv{"prog", "--full"};
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(cli.get_bool("full"));
+}
+
+TEST(Cli, IntParsing) {
+  CliParser cli("prog", "test");
+  cli.add_flag("epochs", "training epochs", "60");
+  const std::array<const char*, 2> argv{"prog", "--epochs=120"};
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(cli.get_int("epochs"), 120);
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  CliParser cli("prog", "test");
+  const std::array<const char*, 2> argv{"prog", "--bogus=1"};
+  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+               CliError);
+}
+
+TEST(Cli, MissingValueThrows) {
+  CliParser cli("prog", "test");
+  cli.add_flag("scale", "s", "1");
+  const std::array<const char*, 2> argv{"prog", "--scale"};
+  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+               CliError);
+}
+
+TEST(Cli, MalformedNumberThrows) {
+  CliParser cli("prog", "test");
+  cli.add_flag("scale", "s", "1");
+  const std::array<const char*, 2> argv{"prog", "--scale=abc"};
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_THROW(cli.get_real("scale"), CliError);
+}
+
+TEST(Cli, PositionalArgumentRejected) {
+  CliParser cli("prog", "test");
+  const std::array<const char*, 2> argv{"prog", "positional"};
+  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+               CliError);
+}
+
+TEST(Cli, DuplicateFlagRegistrationThrows) {
+  CliParser cli("prog", "test");
+  cli.add_flag("x", "x", "1");
+  EXPECT_THROW(cli.add_flag("x", "again", "2"), ContractViolation);
+}
+
+TEST(Cli, UsageListsFlags) {
+  CliParser cli("prog", "description here");
+  cli.add_flag("alpha", "the alpha flag", "3");
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("alpha"), std::string::npos);
+  EXPECT_NE(usage.find("description here"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppdl

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/csv.hpp"
+
+namespace ppdl {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = temp_path("basic.csv");
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.write_row({std::string("1"), std::string("2")});
+    csv.write_row(std::vector<Real>{3.5, 4.0});
+    EXPECT_EQ(csv.rows_written(), 2);
+  }
+  EXPECT_EQ(read_file(path), "a,b\n1,2\n3.5,4\n");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  const std::string path = temp_path("escape.csv");
+  {
+    CsvWriter csv(path, {"text"});
+    csv.write_row({std::string("hello, world")});
+    csv.write_row({std::string("say \"hi\"")});
+  }
+  EXPECT_EQ(read_file(path), "text\n\"hello, world\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, RejectsArityMismatch) {
+  const std::string path = temp_path("arity.csv");
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.write_row({std::string("only one")}), ContractViolation);
+}
+
+TEST(Csv, RejectsEmptyHeader) {
+  const std::string path = temp_path("empty.csv");
+  EXPECT_THROW(CsvWriter(path, {}), ContractViolation);
+}
+
+TEST(Csv, RejectsUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ppdl

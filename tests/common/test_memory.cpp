@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/memory.hpp"
+
+namespace ppdl {
+namespace {
+
+TEST(Memory, CurrentRssIsPositiveOnLinux) {
+  EXPECT_GT(current_rss_mib(), 0.0);
+}
+
+TEST(Memory, PeakRssAtLeastCurrent) {
+  EXPECT_GE(peak_rss_mib(), current_rss_mib() * 0.5);
+  EXPECT_GT(peak_rss_mib(), 0.0);
+}
+
+TEST(Memory, SamplerCollectsMonotoneTimestamps) {
+  MemorySampler sampler(/*period_ms=*/5);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  sampler.stop();
+  const std::vector<MemorySample> samples = sampler.samples();
+  ASSERT_GE(samples.size(), 3u);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].t_seconds, samples[i - 1].t_seconds);
+  }
+  for (const MemorySample& s : samples) {
+    EXPECT_GT(s.rss_mib, 0.0);
+  }
+}
+
+TEST(Memory, SamplerSeesAllocationGrowth) {
+  MemorySampler sampler(/*period_ms=*/2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // Allocate and touch ~64 MiB.
+  std::vector<char> hog(64 << 20, 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sampler.stop();
+  EXPECT_GT(sampler.peak_mib(), sampler.samples().front().rss_mib + 32.0);
+  EXPECT_GT(hog.back(), 0);
+}
+
+TEST(Memory, StopIsIdempotent) {
+  MemorySampler sampler(5);
+  sampler.stop();
+  sampler.stop();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ppdl

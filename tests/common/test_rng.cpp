@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace ppdl {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.next_u64() == b.next_u64()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const Real u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const Real u = rng.uniform(-3.0, 5.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.5);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(42);
+  std::vector<Real> xs(20000);
+  for (Real& x : xs) {
+    x = rng.uniform();
+  }
+  EXPECT_NEAR(mean(xs), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const Index v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSinglePoint) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, UniformIntRejectsEmptyRange) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_int(5, 4), ContractViolation);
+}
+
+TEST(Rng, NormalMomentsMatchStandard) {
+  Rng rng(99);
+  std::vector<Real> xs(50000);
+  for (Real& x : xs) {
+    x = rng.normal();
+  }
+  EXPECT_NEAR(mean(xs), 0.0, 0.02);
+  EXPECT_NEAR(stddev(xs), 1.0, 0.02);
+}
+
+TEST(Rng, NormalScalesAndShifts) {
+  Rng rng(100);
+  std::vector<Real> xs(50000);
+  for (Real& x : xs) {
+    x = rng.normal(10.0, 2.0);
+  }
+  EXPECT_NEAR(mean(xs), 10.0, 0.05);
+  EXPECT_NEAR(stddev(xs), 2.0, 0.05);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(3);
+  std::vector<Index> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<Index> orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(3);
+  std::vector<Index> v(100);
+  for (Index i = 0; i < 100; ++i) {
+    v[static_cast<std::size_t>(i)] = i;
+  }
+  const std::vector<Index> orig = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, orig);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(77);
+  Rng child = a.fork();
+  // The fork must not replay the parent's sequence.
+  Rng b(77);
+  b.next_u64();  // parent consumed one value to fork
+  int same = 0;
+  for (int i = 0; i < 32; ++i) {
+    same += (child.next_u64() == b.next_u64()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace ppdl

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace ppdl {
+namespace {
+
+TEST(Stats, MeanOfConstant) {
+  const std::vector<Real> v{4.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 4.0);
+}
+
+TEST(Stats, MeanSimple) {
+  const std::vector<Real> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Stats, MeanOfEmptyThrows) {
+  const std::vector<Real> v;
+  EXPECT_THROW(mean(v), ContractViolation);
+}
+
+TEST(Stats, VarianceAndStddev) {
+  const std::vector<Real> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(variance(v), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(v), 2.0);
+}
+
+TEST(Stats, MseZeroForIdentical) {
+  const std::vector<Real> y{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mse(y, y), 0.0);
+}
+
+TEST(Stats, MseKnownValue) {
+  const std::vector<Real> y{1.0, 2.0};
+  const std::vector<Real> p{2.0, 4.0};
+  EXPECT_DOUBLE_EQ(mse(y, p), (1.0 + 4.0) / 2.0);
+  EXPECT_DOUBLE_EQ(rmse(y, p), std::sqrt(2.5));
+}
+
+TEST(Stats, MseSizeMismatchThrows) {
+  const std::vector<Real> y{1.0, 2.0};
+  const std::vector<Real> p{1.0};
+  EXPECT_THROW(mse(y, p), ContractViolation);
+}
+
+TEST(Stats, MaeKnownValue) {
+  const std::vector<Real> y{0.0, 0.0};
+  const std::vector<Real> p{1.0, -3.0};
+  EXPECT_DOUBLE_EQ(mae(y, p), 2.0);
+}
+
+TEST(Stats, R2PerfectFitIsOne) {
+  const std::vector<Real> y{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r2_score(y, y), 1.0);
+}
+
+TEST(Stats, R2MeanPredictorIsZero) {
+  const std::vector<Real> y{1.0, 2.0, 3.0};
+  const std::vector<Real> p{2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(r2_score(y, p), 0.0);
+}
+
+TEST(Stats, R2WorseThanMeanIsNegative) {
+  const std::vector<Real> y{1.0, 2.0, 3.0};
+  const std::vector<Real> p{3.0, 2.0, 1.0};
+  EXPECT_LT(r2_score(y, p), 0.0);
+}
+
+TEST(Stats, R2ConstantTargetEdgeCases) {
+  const std::vector<Real> y{5.0, 5.0};
+  const std::vector<Real> exact{5.0, 5.0};
+  const std::vector<Real> off{5.0, 6.0};
+  EXPECT_DOUBLE_EQ(r2_score(y, exact), 1.0);
+  EXPECT_DOUBLE_EQ(r2_score(y, off), 0.0);
+}
+
+TEST(Stats, PearsonPerfectPositive) {
+  const std::vector<Real> x{1.0, 2.0, 3.0};
+  const std::vector<Real> y{2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectNegative) {
+  const std::vector<Real> x{1.0, 2.0, 3.0};
+  const std::vector<Real> y{6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonZeroVarianceIsZero) {
+  const std::vector<Real> x{1.0, 1.0, 1.0};
+  const std::vector<Real> y{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Stats, HistogramCountsAndClamping) {
+  const std::vector<Real> v{-10.0, 0.1, 0.2, 0.55, 0.9, 10.0};
+  const Histogram h = make_histogram(v, 0.0, 1.0, 2);
+  ASSERT_EQ(h.counts.size(), 2u);
+  // -10 clamps into bucket 0; 10 clamps into bucket 1.
+  EXPECT_EQ(h.counts[0], 3);
+  EXPECT_EQ(h.counts[1], 3);
+  EXPECT_EQ(h.total(), 6);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.bin_center(1), 0.75);
+}
+
+TEST(Stats, HistogramRejectsBadArguments) {
+  const std::vector<Real> v{1.0};
+  EXPECT_THROW(make_histogram(v, 0.0, 1.0, 0), ContractViolation);
+  EXPECT_THROW(make_histogram(v, 1.0, 1.0, 4), ContractViolation);
+}
+
+TEST(Stats, SummaryPercentilesSorted) {
+  std::vector<Real> v;
+  for (int i = 100; i >= 1; --i) {
+    v.push_back(static_cast<Real>(i));
+  }
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_GT(s.p95, s.p50);
+  EXPECT_GT(s.p99, s.p95);
+  EXPECT_NEAR(s.mean, 50.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace ppdl

@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/table.hpp"
+
+namespace ppdl {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  ConsoleTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name        |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name |"), std::string::npos);
+  EXPECT_NE(out.find("+-"), std::string::npos);
+}
+
+TEST(Table, RowCountTracks) {
+  ConsoleTable t({"a"});
+  EXPECT_EQ(t.row_count(), 0);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  ConsoleTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only"}), ContractViolation);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(ConsoleTable({}), ContractViolation);
+}
+
+TEST(Table, FmtFixesPrecision) {
+  EXPECT_EQ(ConsoleTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(ConsoleTable::fmt(2.0, 0), "2");
+  EXPECT_EQ(ConsoleTable::fmt(1.005e3, 1), "1005.0");
+}
+
+}  // namespace
+}  // namespace ppdl

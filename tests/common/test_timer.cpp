@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/timer.hpp"
+
+namespace ppdl {
+namespace {
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const Real s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+}
+
+TEST(Timer, ResetRestartsClock) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.015);
+}
+
+TEST(Timer, MillisMatchesSeconds) {
+  Timer t;
+  const Real s = t.seconds();
+  const Real ms = t.millis();
+  EXPECT_GE(ms, s * 1e3);
+}
+
+TEST(PhaseTimer, AccumulatesByName) {
+  PhaseTimer pt;
+  pt.add("solve", 1.0);
+  pt.add("solve", 2.0);
+  pt.add("assemble", 0.5);
+  EXPECT_DOUBLE_EQ(pt.total("solve"), 3.0);
+  EXPECT_DOUBLE_EQ(pt.total("assemble"), 0.5);
+  EXPECT_DOUBLE_EQ(pt.grand_total(), 3.5);
+}
+
+TEST(PhaseTimer, UnknownPhaseIsZero) {
+  PhaseTimer pt;
+  EXPECT_DOUBLE_EQ(pt.total("nothing"), 0.0);
+}
+
+TEST(PhaseTimer, PhasesKeepFirstUseOrder) {
+  PhaseTimer pt;
+  pt.add("b", 1.0);
+  pt.add("a", 1.0);
+  pt.add("b", 1.0);
+  ASSERT_EQ(pt.phases().size(), 2u);
+  EXPECT_EQ(pt.phases()[0], "b");
+  EXPECT_EQ(pt.phases()[1], "a");
+}
+
+TEST(ScopedPhase, RecordsOnDestruction) {
+  PhaseTimer pt;
+  {
+    ScopedPhase scope(pt, "work");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(pt.total("work"), 0.0);
+}
+
+}  // namespace
+}  // namespace ppdl

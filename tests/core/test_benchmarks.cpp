@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "analysis/ir_solver.hpp"
+#include "core/benchmarks.hpp"
+
+namespace ppdl::core {
+namespace {
+
+BenchmarkOptions tiny_options() {
+  BenchmarkOptions o;
+  o.scale = 0.01;
+  o.seed = 7;
+  return o;
+}
+
+TEST(Benchmarks, UnknownNameThrows) {
+  EXPECT_THROW(make_benchmark("ibmpg42", tiny_options()), ContractViolation);
+}
+
+TEST(Benchmarks, CalibrationHitsViolationTarget) {
+  BenchmarkOptions o = tiny_options();
+  o.initial_violation_factor = 2.0;
+  const grid::GeneratedBenchmark bench = make_benchmark("ibmpg1", o);
+  const analysis::IrAnalysisResult res = analysis::analyze_ir_drop(bench.grid);
+  const Real target = bench.spec.ir_limit_mv * 1e-3 * 2.0;
+  EXPECT_NEAR(res.worst_ir_drop, target, 0.01 * target);
+}
+
+TEST(Benchmarks, AutoJmaxBindsButSatisfiable) {
+  const grid::GeneratedBenchmark bench = make_benchmark("ibmpg1", tiny_options());
+  const analysis::IrAnalysisResult res = analysis::analyze_ir_drop(bench.grid);
+  // jmax = headroom × worst density → initial design violates EM (shape of a
+  // realistic unplanned grid) but widening can fix it.
+  EXPECT_GT(res.worst_density, bench.spec.jmax);
+  EXPECT_LT(bench.spec.jmax, res.worst_density * 1.01);
+  EXPECT_GT(bench.spec.jmax, 0.0);
+}
+
+TEST(Benchmarks, NoCalibrationLeavesSpecCurrent) {
+  BenchmarkOptions o = tiny_options();
+  o.calibrate = false;
+  const grid::GeneratedBenchmark bench = make_benchmark("ibmpg1", o);
+  // The generator normalizes loads to the (scaled) spec current.
+  EXPECT_NEAR(bench.grid.total_load_current(), bench.spec.total_current,
+              1e-9);
+}
+
+TEST(Benchmarks, DeterministicAcrossCalls) {
+  const grid::GeneratedBenchmark a = make_benchmark("ibmpg2", tiny_options());
+  const grid::GeneratedBenchmark b = make_benchmark("ibmpg2", tiny_options());
+  ASSERT_EQ(a.grid.load_count(), b.grid.load_count());
+  for (Index i = 0; i < a.grid.load_count(); ++i) {
+    EXPECT_DOUBLE_EQ(a.grid.loads()[static_cast<std::size_t>(i)].amps,
+                     b.grid.loads()[static_cast<std::size_t>(i)].amps);
+  }
+  EXPECT_DOUBLE_EQ(a.spec.jmax, b.spec.jmax);
+}
+
+TEST(Benchmarks, FloorplanCurrentsTrackCalibration) {
+  const grid::GeneratedBenchmark bench = make_benchmark("ibmpg1", tiny_options());
+  EXPECT_NEAR(bench.floorplan.total_current(), bench.spec.total_current,
+              0.01 * bench.spec.total_current);
+}
+
+TEST(Benchmarks, AllEightSpecsGenerateAtTinyScale) {
+  for (const grid::GridSpec& spec : grid::ibmpg_specs()) {
+    BenchmarkOptions o = tiny_options();
+    const grid::GeneratedBenchmark bench = make_benchmark(spec, o);
+    EXPECT_NO_THROW(bench.grid.validate()) << spec.name;
+    EXPECT_GT(bench.grid.wire_count(), 0) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace ppdl::core

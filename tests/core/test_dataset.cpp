@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/dataset.hpp"
+#include "support/fixtures.hpp"
+
+namespace ppdl::core {
+namespace {
+
+TEST(Dataset, PerLayerDatasetsCoverAllWires) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const FeatureExtractor extractor;
+  const auto datasets =
+      build_layer_datasets(bench.grid, FeatureSet::combined(), extractor);
+  ASSERT_EQ(datasets.size(), 3u);  // M1, M4, M7 all carry wires
+  Index total = 0;
+  std::set<Index> layers;
+  for (const Dataset& d : datasets) {
+    total += d.x.rows();
+    layers.insert(d.layer);
+    EXPECT_EQ(d.x.rows(), d.y.rows());
+    EXPECT_EQ(d.x.rows(), static_cast<Index>(d.branch.size()));
+    EXPECT_EQ(d.x.cols(), 3);
+  }
+  EXPECT_EQ(total, bench.grid.wire_count());
+  EXPECT_EQ(layers.size(), 3u);
+}
+
+TEST(Dataset, LayerDatasetsAreHomogeneous) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const FeatureExtractor extractor;
+  const auto datasets =
+      build_layer_datasets(bench.grid, FeatureSet::combined(), extractor);
+  for (const Dataset& d : datasets) {
+    for (const Index bi : d.branch) {
+      EXPECT_EQ(bench.grid.branch(bi).layer, d.layer);
+    }
+  }
+}
+
+TEST(Dataset, FlatDatasetCoversAllWires) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const FeatureExtractor extractor;
+  const Dataset d =
+      build_dataset(bench.grid, FeatureSet::combined(), extractor);
+  EXPECT_EQ(d.x.rows(), bench.grid.wire_count());
+  EXPECT_EQ(d.layer, -1);
+}
+
+TEST(Dataset, TargetsArePositiveWidths) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const FeatureExtractor extractor;
+  const Dataset d =
+      build_dataset(bench.grid, FeatureSet::combined(), extractor);
+  for (Index r = 0; r < d.y.rows(); ++r) {
+    EXPECT_GT(d.y(r, 0), 0.0);
+  }
+}
+
+TEST(Dataset, TakeRowsSelectsSubset) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const FeatureExtractor extractor;
+  const Dataset d =
+      build_dataset(bench.grid, FeatureSet::combined(), extractor);
+  const Dataset sub = take_rows(d, {0, 2, 4});
+  EXPECT_EQ(sub.x.rows(), 3);
+  EXPECT_EQ(sub.branch.size(), 3u);
+  EXPECT_EQ(sub.branch[0], d.branch[0]);
+  EXPECT_EQ(sub.branch[1], d.branch[2]);
+  EXPECT_DOUBLE_EQ(sub.y(2, 0), d.y(4, 0));
+}
+
+TEST(Dataset, TakeRowsOutOfRangeThrows) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const FeatureExtractor extractor;
+  const Dataset d =
+      build_dataset(bench.grid, FeatureSet::combined(), extractor);
+  EXPECT_THROW(take_rows(d, {d.x.rows()}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ppdl::core

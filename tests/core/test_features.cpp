@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "core/features.hpp"
+#include "support/fixtures.hpp"
+
+namespace ppdl::core {
+namespace {
+
+TEST(FeatureSet, CountsSelectedFeatures) {
+  EXPECT_EQ(FeatureSet::combined().count(), 3);
+  EXPECT_EQ(FeatureSet::only_x().count(), 1);
+  EXPECT_EQ(FeatureSet::only_y().count(), 1);
+  EXPECT_EQ(FeatureSet::only_id().count(), 1);
+}
+
+TEST(FeatureExtractor, OneRowPerWire) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const FeatureExtractor extractor;
+  const auto rows = extractor.extract(bench.grid);
+  EXPECT_EQ(static_cast<Index>(rows.size()), bench.grid.wire_count());
+}
+
+TEST(FeatureExtractor, CoordinatesAreBranchCenters) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const FeatureExtractor extractor;
+  const auto rows = extractor.extract(bench.grid);
+  for (const InterconnectFeatures& f : rows) {
+    const grid::Point c = bench.grid.branch_center(f.branch);
+    EXPECT_DOUBLE_EQ(f.x, c.x);
+    EXPECT_DOUBLE_EQ(f.y, c.y);
+    EXPECT_GE(f.id, 0.0);
+  }
+}
+
+TEST(FeatureExtractor, IdTracksLocalLoad) {
+  // Chain grid with one load at the far end: wires near the load must see a
+  // larger Id than wires near the pad.
+  grid::PowerGrid pg = testsupport::make_chain_grid(20, 0.05);
+  const FeatureExtractor extractor;
+  const auto rows = extractor.extract(pg);
+  ASSERT_EQ(rows.size(), 19u);
+  EXPECT_GT(rows.back().id, rows.front().id);
+  EXPECT_GT(rows.back().id, 0.0);
+}
+
+TEST(FeatureExtractor, IdScalesWithLoads) {
+  grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const FeatureExtractor extractor;
+  const auto before = extractor.extract(bench.grid);
+  for (Index i = 0; i < bench.grid.load_count(); ++i) {
+    bench.grid.scale_load(i, 2.0);
+  }
+  const auto after = extractor.extract(bench.grid);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(after[i].id, 2.0 * before[i].id, 1e-9);
+  }
+}
+
+TEST(FeatureExtractor, ToMatrixRespectsSubset) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const FeatureExtractor extractor;
+  const auto rows = extractor.extract(bench.grid);
+
+  const nn::Matrix all = FeatureExtractor::to_matrix(rows, FeatureSet::combined());
+  EXPECT_EQ(all.cols(), 3);
+  const nn::Matrix only_id =
+      FeatureExtractor::to_matrix(rows, FeatureSet::only_id());
+  EXPECT_EQ(only_id.cols(), 1);
+  EXPECT_DOUBLE_EQ(only_id(0, 0), rows[0].id);
+  const nn::Matrix xy =
+      FeatureExtractor::to_matrix(rows, FeatureSet{true, true, false});
+  EXPECT_EQ(xy.cols(), 2);
+  EXPECT_DOUBLE_EQ(xy(0, 0), rows[0].x);
+  EXPECT_DOUBLE_EQ(xy(0, 1), rows[0].y);
+}
+
+TEST(FeatureExtractor, EmptySubsetThrows) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const FeatureExtractor extractor;
+  const auto rows = extractor.extract(bench.grid);
+  EXPECT_THROW(
+      FeatureExtractor::to_matrix(rows, FeatureSet{false, false, false}),
+      ContractViolation);
+}
+
+TEST(FeatureExtractor, WidthTargetsMatchGrid) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const FeatureExtractor extractor;
+  const auto rows = extractor.extract(bench.grid);
+  const nn::Matrix y = FeatureExtractor::width_targets(bench.grid, rows);
+  EXPECT_EQ(y.rows(), static_cast<Index>(rows.size()));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(y(static_cast<Index>(i), 0),
+                     bench.grid.branch(rows[i].branch).width);
+  }
+}
+
+TEST(FeatureExtractor, InvalidWindowThrows) {
+  EXPECT_THROW(FeatureExtractor{0.0}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace ppdl::core

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "core/flow.hpp"
+#include "support/fixtures.hpp"
+
+namespace ppdl::core {
+namespace {
+
+FlowOptions fast_flow_options() {
+  FlowOptions o;
+  o.benchmark.scale = 0.02;
+  o.benchmark.seed = 21;
+  o.model.hidden_layers = 6;
+  o.model.hidden_units = 24;
+  o.model.train.epochs = 50;
+  return o;
+}
+
+/// One full flow, shared by the assertions below (runs the planner twice and
+/// trains a model — worth amortizing).
+const FlowResult& shared_flow() {
+  static const FlowResult result = run_flow("ibmpg1", fast_flow_options());
+  return result;
+}
+
+TEST(Flow, GoldenPhaseConverges) {
+  EXPECT_TRUE(shared_flow().golden_planner.converged);
+  EXPECT_GT(shared_flow().golden_planner.iterations, 1);
+}
+
+TEST(Flow, ConventionalRedesignMeetsMargin) {
+  const FlowResult& r = shared_flow();
+  EXPECT_TRUE(r.perturbed_planner.converged);
+  EXPECT_LE(r.worst_ir_conventional, 70e-3 * 1.001);
+}
+
+TEST(Flow, PredictionQualityIsReasonable) {
+  const FlowResult& r = shared_flow();
+  // Thresholds are deliberately loose: this is a ~600-node grid with a
+  // deliberately small model; paper-scale quality is checked by the benches.
+  EXPECT_GT(r.width_r2, 0.35);
+  EXPECT_GT(r.width_pearson, 0.6);
+  EXPECT_LT(r.width_mse_pct, 70.0);
+}
+
+TEST(Flow, DlIrDropIsNearConventional) {
+  const FlowResult& r = shared_flow();
+  // Paper Table III: predictions land within a few mV of conventional.
+  EXPECT_NEAR(r.worst_ir_dl, r.worst_ir_conventional,
+              0.35 * r.worst_ir_conventional);
+}
+
+TEST(Flow, TimesArePositiveAndComparable) {
+  const FlowResult& r = shared_flow();
+  EXPECT_GT(r.conventional_seconds, 0.0);
+  EXPECT_GT(r.conventional_full_seconds, 0.0);
+  EXPECT_GT(r.dl_seconds, 0.0);
+  EXPECT_GT(r.speedup(), 0.0);
+  EXPECT_GT(r.full_speedup(), 0.0);
+}
+
+TEST(Flow, ComparisonArraysAligned) {
+  const FlowResult& r = shared_flow();
+  EXPECT_EQ(r.golden_widths.size(), r.predicted_widths.size());
+  EXPECT_EQ(static_cast<Index>(r.golden_widths.size()), r.interconnects);
+}
+
+TEST(Flow, TrainingHappensOncePerLayer) {
+  const FlowResult& r = shared_flow();
+  EXPECT_EQ(r.training.layers.size(), 3u);
+  EXPECT_GT(r.ir_correction, 0.0);
+  EXPECT_LE(r.ir_correction, 1.5);
+}
+
+TEST(Flow, DefaultPerturbationIsLoadsOnly) {
+  // §V-A of the paper: the headline experiments modify current loads.
+  const FlowOptions defaults;
+  EXPECT_EQ(defaults.perturbation, grid::PerturbationKind::kCurrentWorkloads);
+  EXPECT_DOUBLE_EQ(defaults.gamma, 0.10);
+}
+
+TEST(Flow, SpeedupAccessorsConsistent) {
+  const FlowResult& r = shared_flow();
+  EXPECT_NEAR(r.speedup(), r.conventional_seconds / r.dl_seconds, 1e-12);
+  EXPECT_NEAR(r.full_speedup(),
+              r.conventional_full_seconds / r.dl_seconds, 1e-12);
+}
+
+TEST(Flow, LargerGammaDegradesAccuracy) {
+  FlowOptions small = fast_flow_options();
+  small.gamma = 0.05;
+  FlowOptions large = fast_flow_options();
+  large.gamma = 0.30;
+  const FlowResult a = run_flow("ibmpg1", small);
+  const FlowResult b = run_flow("ibmpg1", large);
+  // Fig. 9's trend: more perturbation, more width-prediction error.
+  EXPECT_LE(a.width_mse_pct, b.width_mse_pct * 1.2);
+}
+
+}  // namespace
+}  // namespace ppdl::core

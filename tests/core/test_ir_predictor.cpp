@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/ir_solver.hpp"
+#include "common/rng.hpp"
+#include "core/ir_predictor.hpp"
+#include "support/fixtures.hpp"
+
+namespace ppdl::core {
+namespace {
+
+TEST(IrPredictor, ExactOnChain) {
+  // A chain is its own spanning tree, so the Kirchhoff estimate is exact.
+  const Real amps = 0.01;
+  const grid::PowerGrid pg = testsupport::make_chain_grid(6, amps);
+  const KirchhoffIrPredictor predictor;
+  const IrPrediction p = predictor.predict(pg);
+  const Real r = testsupport::chain_segment_resistance();
+  for (Index k = 0; k < 6; ++k) {
+    EXPECT_NEAR(p.node_ir_drop[static_cast<std::size_t>(k)],
+                amps * static_cast<Real>(k) * r, 1e-12);
+  }
+  EXPECT_EQ(p.worst_node, 5);
+}
+
+TEST(IrPredictor, RawEstimateIsPessimisticOnMesh) {
+  // Tree routing ignores parallel paths, so the uncalibrated estimate must
+  // dominate the true solve on a meshed grid.
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const analysis::IrAnalysisResult truth = analysis::analyze_ir_drop(bench.grid);
+  const KirchhoffIrPredictor predictor;  // correction = 1
+  const IrPrediction raw = predictor.predict(bench.grid);
+  EXPECT_GE(raw.worst_ir_drop, truth.worst_ir_drop * 0.99);
+}
+
+TEST(IrPredictor, CalibrationMatchesGoldenWorstDrop) {
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const analysis::IrAnalysisResult truth = analysis::analyze_ir_drop(bench.grid);
+  KirchhoffIrPredictor predictor;
+  predictor.calibrate(bench.grid, truth.worst_ir_drop);
+  const IrPrediction p = predictor.predict(bench.grid);
+  EXPECT_NEAR(p.worst_ir_drop, truth.worst_ir_drop,
+              1e-9 + 1e-9 * truth.worst_ir_drop);
+  EXPECT_LT(predictor.correction(), 1.0 + 1e-12);
+}
+
+TEST(IrPredictor, CalibratedPredictionTracksPerturbedTruth) {
+  grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const analysis::IrAnalysisResult golden = analysis::analyze_ir_drop(bench.grid);
+  KirchhoffIrPredictor predictor;
+  predictor.calibrate(bench.grid, golden.worst_ir_drop);
+
+  // Scale all loads by 1.3: truth scales linearly, so must the prediction.
+  for (Index i = 0; i < bench.grid.load_count(); ++i) {
+    bench.grid.scale_load(i, 1.3);
+  }
+  const analysis::IrAnalysisResult truth = analysis::analyze_ir_drop(bench.grid);
+  const IrPrediction p = predictor.predict(bench.grid);
+  EXPECT_NEAR(p.worst_ir_drop, truth.worst_ir_drop,
+              0.02 * truth.worst_ir_drop);
+}
+
+TEST(IrPredictor, MuchFasterThanFullSolveAtScale) {
+  core::BenchmarkOptions opts;
+  opts.scale = 0.04;
+  opts.seed = 3;
+  const grid::GeneratedBenchmark bench = core::make_benchmark("ibmpg2", opts);
+  const analysis::IrAnalysisResult truth = analysis::analyze_ir_drop(bench.grid);
+  const KirchhoffIrPredictor predictor;
+  const IrPrediction p = predictor.predict(bench.grid);
+  EXPECT_LT(p.predict_seconds, truth.solve_seconds);
+}
+
+TEST(IrPredictor, PerturbedPadVoltagesRaiseDrops) {
+  grid::PowerGrid pg = testsupport::make_chain_grid(4, 0.01);
+  KirchhoffIrPredictor predictor;
+  const Real base = predictor.predict(pg).worst_ir_drop;
+  pg.scale_pad_voltage(0, (1.8 - 0.05) / 1.8);  // pad sags by 50 mV
+  const Real sagged = predictor.predict(pg).worst_ir_drop;
+  EXPECT_NEAR(sagged, base + 0.05, 1e-9);
+}
+
+TEST(IrPredictor, CalibrationRejectsBadInput) {
+  const grid::PowerGrid pg = testsupport::make_chain_grid(4, 0.01);
+  KirchhoffIrPredictor predictor;
+  EXPECT_THROW(predictor.calibrate(pg, 0.0), ContractViolation);
+}
+
+TEST(IrPredictor, FrozenForestMakesCalibrationTransferSmooth) {
+  // After calibration, predictions on a width-perturbed copy of the same
+  // topology must stay close to the true solve: the frozen routing forest
+  // keeps the estimate continuous in widths (a re-routed forest would not).
+  grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const analysis::IrAnalysisResult golden = analysis::analyze_ir_drop(bench.grid);
+  KirchhoffIrPredictor predictor;
+  predictor.calibrate(bench.grid, golden.node_ir_drop);
+
+  // Nudge every wire width by ±5% deterministically.
+  Rng rng(77);
+  grid::PowerGrid nudged = bench.grid;
+  for (Index b = 0; b < nudged.branch_count(); ++b) {
+    if (nudged.branch(b).kind == grid::BranchKind::kWire) {
+      nudged.set_wire_width(b,
+                            nudged.branch(b).width * rng.uniform(0.95, 1.05));
+    }
+  }
+  const analysis::IrAnalysisResult truth = analysis::analyze_ir_drop(nudged);
+  const IrPrediction p = predictor.predict(nudged);
+  EXPECT_NEAR(p.worst_ir_drop, truth.worst_ir_drop,
+              0.15 * truth.worst_ir_drop);
+}
+
+TEST(IrPredictor, PerNodeCalibrationReproducesGoldenField) {
+  grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const analysis::IrAnalysisResult golden = analysis::analyze_ir_drop(bench.grid);
+  KirchhoffIrPredictor predictor;
+  predictor.calibrate(bench.grid, golden.node_ir_drop);
+  const IrPrediction p = predictor.predict(bench.grid);
+  // On the calibration grid itself the per-node map is essentially exact
+  // (up to the ratio clamp on numerically tiny nodes).
+  Real worst_err = 0.0;
+  for (std::size_t v = 0; v < p.node_ir_drop.size(); ++v) {
+    worst_err = std::max(worst_err,
+                         std::abs(p.node_ir_drop[v] - golden.node_ir_drop[v]));
+  }
+  EXPECT_LT(worst_err, 0.05 * golden.worst_ir_drop);
+}
+
+TEST(IrPredictor, FallsBackToDynamicForestOnNewTopology) {
+  grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const analysis::IrAnalysisResult golden = analysis::analyze_ir_drop(bench.grid);
+  KirchhoffIrPredictor predictor;
+  predictor.calibrate(bench.grid, golden.node_ir_drop);
+  // A different grid (chain) has a different node count: global fallback.
+  const grid::PowerGrid chain = testsupport::make_chain_grid(7, 0.01);
+  EXPECT_NO_THROW(predictor.predict(chain));
+}
+
+TEST(IrPredictor, GridWithoutPadsThrows) {
+  grid::PowerGrid pg;
+  pg.add_layer(grid::Layer{"M1", true, 0.02, 1.0});
+  pg.add_node(grid::Point{0, 0}, 0);
+  const KirchhoffIrPredictor predictor;
+  EXPECT_THROW(predictor.predict(pg), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ppdl::core

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hpp"
+#include "core/flow.hpp"
+#include "nn/model_io.hpp"
+#include "core/ppdl_model.hpp"
+#include "planner/conventional_planner.hpp"
+#include "support/fixtures.hpp"
+
+namespace ppdl::core {
+namespace {
+
+PpdlModelConfig fast_config() {
+  PpdlModelConfig c;
+  c.hidden_layers = 4;
+  c.hidden_units = 16;
+  c.train.epochs = 25;
+  return c;
+}
+
+/// Golden design shared across tests (planner is deterministic).
+const grid::PowerGrid& golden_grid() {
+  static const grid::PowerGrid golden = [] {
+    grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+    planner::PlannerOptions opts = planner_options_for(bench.spec, 40);
+    planner::run_conventional_planner(bench.grid, opts);
+    return bench.grid;
+  }();
+  return golden;
+}
+
+TEST(PpdlModel, TrainsOneSubModelPerLayer) {
+  PowerPlanningDL model(fast_config());
+  const TrainReport report = model.fit(golden_grid());
+  EXPECT_TRUE(model.trained());
+  EXPECT_EQ(report.layers.size(), 3u);
+  EXPECT_GT(report.train_seconds, 0.0);
+  for (const LayerFit& fit : report.layers) {
+    EXPECT_GT(fit.rows, 0);
+    EXPECT_GT(fit.history.epochs_run, 0);
+    // Training reduced the (scaled) loss.
+    EXPECT_LT(fit.history.train_loss.back(),
+              fit.history.train_loss.front());
+  }
+}
+
+TEST(PpdlModel, PredictBeforeFitThrows) {
+  PowerPlanningDL model(fast_config());
+  EXPECT_THROW(model.predict(golden_grid()), ContractViolation);
+}
+
+TEST(PpdlModel, PredictionCoversEveryWire) {
+  PowerPlanningDL model(fast_config());
+  model.fit(golden_grid());
+  const WidthPrediction p = model.predict(golden_grid());
+  EXPECT_EQ(static_cast<Index>(p.branch.size()), golden_grid().wire_count());
+  EXPECT_EQ(p.branch.size(), p.predicted.size());
+  for (const Real w : p.predicted) {
+    EXPECT_GT(w, 0.0);
+  }
+  EXPECT_GT(p.predict_seconds, 0.0);
+}
+
+TEST(PpdlModel, FitsTrainingGridWell) {
+  PowerPlanningDL model(fast_config());
+  model.fit(golden_grid());
+  const WidthPrediction p = model.predict(golden_grid());
+
+  std::vector<Real> truth;
+  std::vector<Real> pred;
+  for (std::size_t i = 0; i < p.branch.size(); ++i) {
+    truth.push_back(golden_grid().branch(p.branch[i]).width);
+    pred.push_back(p.predicted[i]);
+  }
+  EXPECT_GT(r2_score(truth, pred), 0.6);
+}
+
+TEST(PpdlModel, ApplyWidthsWritesIntoGrid) {
+  PowerPlanningDL model(fast_config());
+  model.fit(golden_grid());
+  grid::PowerGrid target = golden_grid();
+  target.reset_wire_widths();
+  const WidthPrediction p = model.predict(target);
+  PowerPlanningDL::apply_widths(target, p);
+  for (std::size_t i = 0; i < p.branch.size(); ++i) {
+    EXPECT_DOUBLE_EQ(target.branch(p.branch[i]).width, p.predicted[i]);
+  }
+}
+
+TEST(PpdlModel, DeterministicTraining) {
+  PowerPlanningDL a(fast_config());
+  PowerPlanningDL b(fast_config());
+  a.fit(golden_grid());
+  b.fit(golden_grid());
+  const WidthPrediction pa = a.predict(golden_grid());
+  const WidthPrediction pb = b.predict(golden_grid());
+  ASSERT_EQ(pa.predicted.size(), pb.predicted.size());
+  for (std::size_t i = 0; i < pa.predicted.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pa.predicted[i], pb.predicted[i]);
+  }
+}
+
+TEST(PpdlModel, SingleFeatureConfigWorks) {
+  PpdlModelConfig c = fast_config();
+  c.features = FeatureSet::only_id();
+  PowerPlanningDL model(c);
+  model.fit(golden_grid());
+  const WidthPrediction p = model.predict(golden_grid());
+  EXPECT_EQ(static_cast<Index>(p.branch.size()), golden_grid().wire_count());
+}
+
+TEST(PpdlModel, InvalidConfigThrows) {
+  PpdlModelConfig c = fast_config();
+  c.hidden_layers = 0;
+  EXPECT_THROW(PowerPlanningDL{c}, ContractViolation);
+}
+
+TEST(PpdlModel, SaveLoadRoundTripPreservesPredictions) {
+  PowerPlanningDL model(fast_config());
+  model.fit(golden_grid());
+  std::stringstream ss;
+  model.save(ss);
+  const PowerPlanningDL loaded = PowerPlanningDL::load(ss);
+
+  const WidthPrediction a = model.predict(golden_grid());
+  const WidthPrediction b = loaded.predict(golden_grid());
+  ASSERT_EQ(a.predicted.size(), b.predicted.size());
+  for (std::size_t i = 0; i < a.predicted.size(); ++i) {
+    EXPECT_EQ(a.predicted[i], b.predicted[i]);  // hexfloat: bit-exact
+  }
+}
+
+TEST(PpdlModel, SaveUntrainedThrows) {
+  PowerPlanningDL model(fast_config());
+  std::stringstream ss;
+  EXPECT_THROW(model.save(ss), ContractViolation);
+}
+
+TEST(PpdlModel, LoadGarbageThrows) {
+  std::istringstream in("definitely not a model\n");
+  EXPECT_THROW(PowerPlanningDL::load(in), nn::ModelIoError);
+}
+
+TEST(PpdlModel, LoadTruncatedThrows) {
+  PowerPlanningDL model(fast_config());
+  model.fit(golden_grid());
+  std::ostringstream os;
+  model.save(os);
+  const std::string text = os.str();
+  std::istringstream in(text.substr(0, text.size() / 3));
+  EXPECT_THROW(PowerPlanningDL::load(in), nn::ModelIoError);
+}
+
+TEST(PpdlModel, LogTargetOffStillWorks) {
+  PpdlModelConfig c = fast_config();
+  c.log_target = false;
+  PowerPlanningDL model(c);
+  model.fit(golden_grid());
+  const WidthPrediction p = model.predict(golden_grid());
+  EXPECT_EQ(static_cast<Index>(p.branch.size()), golden_grid().wire_count());
+  for (const Real w : p.predicted) {
+    EXPECT_GT(w, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace ppdl::core

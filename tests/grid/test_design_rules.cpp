@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "grid/design_rules.hpp"
+#include "grid/generator.hpp"
+#include "support/fixtures.hpp"
+
+namespace ppdl::grid {
+namespace {
+
+TEST(DesignRules, WidthBoundsFromLayerDefaults) {
+  const Layer layer{"M1", true, 0.02, 2.0};
+  const DesignRules rules;  // factors 0.5 / 20
+  EXPECT_DOUBLE_EQ(min_width(layer, rules), 1.0);
+  EXPECT_DOUBLE_EQ(max_width(layer, rules), 40.0);
+}
+
+TEST(DesignRules, ClampWidth) {
+  const Layer layer{"M1", true, 0.02, 1.0};
+  const DesignRules rules;
+  EXPECT_DOUBLE_EQ(clamp_width(0.1, layer, rules), 0.5);
+  EXPECT_DOUBLE_EQ(clamp_width(100.0, layer, rules), 20.0);
+  EXPECT_DOUBLE_EQ(clamp_width(5.0, layer, rules), 5.0);
+}
+
+TEST(DesignRules, WidthStepSnapsUpOnly) {
+  const Layer layer{"M1", true, 0.02, 1.0};
+  DesignRules rules;
+  rules.width_step = 0.25;
+  // 1.01 snaps up to 1.25, never down to 1.0.
+  EXPECT_DOUBLE_EQ(clamp_width(1.01, layer, rules), 1.25);
+  // Already legal widths stay put.
+  EXPECT_DOUBLE_EQ(clamp_width(1.50, layer, rules), 1.50);
+  // Minimum is enforced before snapping.
+  EXPECT_DOUBLE_EQ(clamp_width(0.1, layer, rules), 0.5);
+  // The maximum still caps the result.
+  EXPECT_DOUBLE_EQ(clamp_width(1000.0, layer, rules), 20.0);
+}
+
+TEST(DesignRules, ZeroStepMeansContinuousWidths) {
+  const Layer layer{"M1", true, 0.02, 1.0};
+  const DesignRules rules;  // width_step = 0
+  EXPECT_DOUBLE_EQ(clamp_width(1.2345, layer, rules), 1.2345);
+}
+
+TEST(DesignRules, CleanGridHasNoViolations) {
+  const PowerGrid pg = testsupport::make_chain_grid(5, 0.01);
+  const auto violations = check_design_rules(pg, DesignRules{});
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(DesignRules, DetectsWidthTooSmallAndTooLarge) {
+  PowerGrid pg = testsupport::make_chain_grid(5, 0.01);
+  pg.set_wire_width(0, 0.01);  // below 0.5 minimum
+  pg.set_wire_width(1, 99.0);  // above 20 maximum
+  const auto violations = check_design_rules(pg, DesignRules{});
+  // A 99 µm wire on a 10 µm-tall die also trips the Wcore budget, so expect
+  // at least the two width violations with the right branches.
+  bool saw_small = false;
+  bool saw_large = false;
+  for (const RuleViolation& v : violations) {
+    saw_small |= v.type == ViolationType::kWidthTooSmall && v.branch == 0;
+    saw_large |= v.type == ViolationType::kWidthTooLarge && v.branch == 1;
+  }
+  EXPECT_TRUE(saw_small);
+  EXPECT_TRUE(saw_large);
+}
+
+TEST(DesignRules, StripesOfLayerGroupsByCoordinate) {
+  // Stripe counts stay above the generator's structural minimum of 8 so the
+  // requested counts are used verbatim.
+  GridSpec spec;
+  spec.name = "drc";
+  spec.m1_stripes = 12;
+  spec.m4_stripes = 12;
+  spec.m7_stripes = 3;
+  const GeneratedBenchmark b = generate_power_grid(spec, 1.0, 2);
+  const auto stripes = stripes_of_layer(b.grid, 0);
+  EXPECT_EQ(static_cast<Index>(stripes.size()), spec.m1_stripes);
+  for (const auto& [coord, branches] : stripes) {
+    EXPECT_EQ(static_cast<Index>(branches.size()), spec.m4_stripes - 1);
+  }
+}
+
+TEST(DesignRules, WcoreViolationWhenStripesBloat) {
+  // Narrow die, few stripes, blow widths up to the max: Σ(w+s) > Wcore.
+  PowerGrid pg;
+  pg.set_die(Rect{0, 0, 100, 20});
+  const Index layer = pg.add_layer(Layer{"M1", true, 0.02, 2.0});
+  // Two horizontal stripes at y=5 and y=15.
+  const Index a0 = pg.add_node(Point{0, 5}, layer);
+  const Index a1 = pg.add_node(Point{100, 5}, layer);
+  const Index b0 = pg.add_node(Point{0, 15}, layer);
+  const Index b1 = pg.add_node(Point{100, 15}, layer);
+  pg.add_wire(a0, a1, layer, 100.0, 2.0);
+  pg.add_wire(b0, b1, layer, 100.0, 2.0);
+  pg.add_via(a0, b0, layer, 0.1);
+  pg.add_pad(a0, 1.8);
+
+  EXPECT_TRUE(check_design_rules(pg, DesignRules{}).empty());
+
+  // 20 µm each (while the die is 20 µm tall): must trip Wcore and spacing.
+  pg.set_wire_width(0, 20.0);
+  pg.set_wire_width(1, 20.0);
+  const auto violations = check_design_rules(pg, DesignRules{});
+  bool saw_wcore = false;
+  bool saw_spacing = false;
+  for (const auto& v : violations) {
+    saw_wcore |= v.type == ViolationType::kWcore;
+    saw_spacing |= v.type == ViolationType::kSpacing;
+  }
+  EXPECT_TRUE(saw_wcore);
+  EXPECT_TRUE(saw_spacing);
+}
+
+TEST(DesignRules, GeneratedGridPassesAtDefaults) {
+  GridSpec spec;
+  spec.name = "drc2";
+  spec.m1_stripes = 10;
+  spec.m4_stripes = 10;
+  spec.m7_stripes = 3;
+  const GeneratedBenchmark b = generate_power_grid(spec, 1.0, 4);
+  EXPECT_TRUE(check_design_rules(b.grid, DesignRules{}).empty());
+}
+
+}  // namespace
+}  // namespace ppdl::grid

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "grid/floorplan.hpp"
+
+namespace ppdl::grid {
+namespace {
+
+TEST(Floorplan, AddAndQueryBlocks) {
+  Floorplan fp(Rect{0, 0, 100, 100});
+  fp.add_block({"a", Rect{0, 0, 10, 10}, 0.5});
+  fp.add_block({"b", Rect{50, 50, 60, 70}, 1.5});
+  EXPECT_EQ(fp.block_count(), 2);
+  EXPECT_DOUBLE_EQ(fp.total_current(), 2.0);
+  EXPECT_EQ(fp.block(1).name, "b");
+}
+
+TEST(Floorplan, RejectsBlockOutsideDie) {
+  Floorplan fp(Rect{0, 0, 10, 10});
+  EXPECT_THROW(fp.add_block({"x", Rect{5, 5, 15, 8}, 0.1}),
+               ppdl::ContractViolation);
+}
+
+TEST(Floorplan, RejectsDegenerateBlock) {
+  Floorplan fp(Rect{0, 0, 10, 10});
+  EXPECT_THROW(fp.add_block({"x", Rect{5, 5, 5, 8}, 0.1}),
+               ppdl::ContractViolation);
+  EXPECT_THROW(fp.add_block({"x", Rect{1, 1, 2, 2}, -0.5}),
+               ppdl::ContractViolation);
+}
+
+TEST(Floorplan, DensityInsideAndOutsideBlocks) {
+  Floorplan fp(Rect{0, 0, 100, 100});
+  fp.add_block({"a", Rect{0, 0, 10, 10}, 2.0});  // density 0.02 A/µm²
+  EXPECT_DOUBLE_EQ(fp.current_density_at(Point{5, 5}), 0.02);
+  EXPECT_DOUBLE_EQ(fp.current_density_at(Point{50, 50}), 0.0);
+}
+
+TEST(Floorplan, ScaleCurrents) {
+  Floorplan fp(Rect{0, 0, 100, 100});
+  fp.add_block({"a", Rect{0, 0, 10, 10}, 2.0});
+  fp.scale_currents(0.5);
+  EXPECT_DOUBLE_EQ(fp.total_current(), 1.0);
+  EXPECT_THROW(fp.scale_currents(0.0), ppdl::ContractViolation);
+}
+
+TEST(Floorplan, BlockIndexOutOfRangeThrows) {
+  Floorplan fp(Rect{0, 0, 10, 10});
+  EXPECT_THROW(fp.block(0), ppdl::ContractViolation);
+}
+
+TEST(SyntheticFloorplan, ProducesRequestedGridOfBlocks) {
+  Rng rng(4);
+  const Floorplan fp =
+      make_synthetic_floorplan(Rect{0, 0, 1000, 1000}, 4, 3, 5.0, rng);
+  EXPECT_EQ(fp.block_count(), 12);
+  EXPECT_NEAR(fp.total_current(), 5.0, 1e-9);
+}
+
+TEST(SyntheticFloorplan, BlocksStayInsideDieAndDisjointCells) {
+  Rng rng(8);
+  const Rect die{0, 0, 800, 800};
+  const Floorplan fp = make_synthetic_floorplan(die, 4, 4, 1.0, rng);
+  for (Index i = 0; i < fp.block_count(); ++i) {
+    const Rect& b = fp.block(i).bounds;
+    EXPECT_GE(b.x0, die.x0);
+    EXPECT_LE(b.x1, die.x1);
+    EXPECT_GE(b.y0, die.y0);
+    EXPECT_LE(b.y1, die.y1);
+  }
+  // Blocks in distinct cells must not overlap.
+  for (Index i = 0; i < fp.block_count(); ++i) {
+    for (Index j = i + 1; j < fp.block_count(); ++j) {
+      EXPECT_DOUBLE_EQ(
+          fp.block(i).bounds.overlap_area(fp.block(j).bounds), 0.0);
+    }
+  }
+}
+
+TEST(SyntheticFloorplan, DeterministicForSeed) {
+  Rng rng1(42);
+  Rng rng2(42);
+  const Floorplan a =
+      make_synthetic_floorplan(Rect{0, 0, 100, 100}, 2, 2, 1.0, rng1);
+  const Floorplan b =
+      make_synthetic_floorplan(Rect{0, 0, 100, 100}, 2, 2, 1.0, rng2);
+  for (Index i = 0; i < a.block_count(); ++i) {
+    EXPECT_DOUBLE_EQ(a.block(i).bounds.x0, b.block(i).bounds.x0);
+    EXPECT_DOUBLE_EQ(a.block(i).switching_current,
+                     b.block(i).switching_current);
+  }
+}
+
+TEST(SyntheticFloorplan, HeavyTailedActivitySpread) {
+  Rng rng(21);
+  const Floorplan fp =
+      make_synthetic_floorplan(Rect{0, 0, 1000, 1000}, 8, 8, 10.0, rng);
+  Real max_cur = 0.0;
+  for (Index i = 0; i < fp.block_count(); ++i) {
+    max_cur = std::max(max_cur, fp.block(i).switching_current);
+  }
+  const Real mean_cur = fp.total_current() / static_cast<Real>(fp.block_count());
+  // A few hot blocks: the max should clearly exceed the mean.
+  EXPECT_GT(max_cur, 1.5 * mean_cur);
+}
+
+}  // namespace
+}  // namespace ppdl::grid

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+#include "grid/generator.hpp"
+
+namespace ppdl::grid {
+namespace {
+
+GridSpec small_spec() {
+  GridSpec s;
+  s.name = "unit";
+  s.m1_stripes = 12;
+  s.m4_stripes = 12;
+  s.m7_stripes = 3;
+  s.pad_pitch = 4;
+  s.total_current = 1.0;
+  s.blocks_x = 3;
+  s.blocks_y = 3;
+  return s;
+}
+
+TEST(Generator, ProducesValidGrid) {
+  const GeneratedBenchmark b = generate_power_grid(small_spec(), 1.0, 1);
+  EXPECT_NO_THROW(b.grid.validate());
+  EXPECT_GT(b.grid.node_count(), 0);
+  EXPECT_GT(b.grid.wire_count(), 0);
+  EXPECT_GT(b.grid.pad_count(), 0);
+  EXPECT_GT(b.grid.load_count(), 0);
+}
+
+TEST(Generator, NodeCountMatchesStructure) {
+  const GridSpec s = small_spec();
+  const GeneratedBenchmark b = generate_power_grid(s, 1.0, 1);
+  // M1: m1*m4 crossings; M7: m7*m4; M4: one node per crossing along each
+  // stripe (coincident y merges into a single node).
+  const Index m1_nodes = s.m1_stripes * s.m4_stripes;
+  const Index m7_nodes = s.m7_stripes * s.m4_stripes;
+  EXPECT_GE(b.grid.node_count(), m1_nodes + m7_nodes + m1_nodes);
+  EXPECT_LE(b.grid.node_count(),
+            m1_nodes + m7_nodes + m1_nodes + m7_nodes);
+}
+
+TEST(Generator, TotalLoadMatchesSpec) {
+  const GeneratedBenchmark b = generate_power_grid(small_spec(), 1.0, 1);
+  EXPECT_NEAR(b.grid.total_load_current(), b.spec.total_current, 1e-9);
+}
+
+TEST(Generator, DeterministicForSeed) {
+  const GeneratedBenchmark a = generate_power_grid(small_spec(), 1.0, 77);
+  const GeneratedBenchmark b = generate_power_grid(small_spec(), 1.0, 77);
+  ASSERT_EQ(a.grid.node_count(), b.grid.node_count());
+  ASSERT_EQ(a.grid.load_count(), b.grid.load_count());
+  for (Index i = 0; i < a.grid.load_count(); ++i) {
+    EXPECT_DOUBLE_EQ(a.grid.loads()[static_cast<std::size_t>(i)].amps,
+                     b.grid.loads()[static_cast<std::size_t>(i)].amps);
+  }
+}
+
+TEST(Generator, SeedChangesLoads) {
+  const GeneratedBenchmark a = generate_power_grid(small_spec(), 1.0, 1);
+  const GeneratedBenchmark b = generate_power_grid(small_spec(), 1.0, 2);
+  ASSERT_EQ(a.grid.load_count(), b.grid.load_count());
+  bool any_diff = false;
+  for (Index i = 0; i < a.grid.load_count(); ++i) {
+    any_diff |= a.grid.loads()[static_cast<std::size_t>(i)].amps !=
+                b.grid.loads()[static_cast<std::size_t>(i)].amps;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, ScaleShrinksNodeCountRoughlyLinearly) {
+  GridSpec s = small_spec();
+  s.m1_stripes = 64;
+  s.m4_stripes = 64;
+  s.m7_stripes = 8;
+  const GeneratedBenchmark full = generate_power_grid(s, 1.0, 3);
+  const GeneratedBenchmark quarter = generate_power_grid(s, 0.25, 3);
+  const Real ratio = static_cast<Real>(quarter.grid.node_count()) /
+                     static_cast<Real>(full.grid.node_count());
+  EXPECT_GT(ratio, 0.15);
+  EXPECT_LT(ratio, 0.40);
+}
+
+TEST(Generator, ScaleOutOfRangeThrows) {
+  EXPECT_THROW(generate_power_grid(small_spec(), 0.0, 1),
+               ppdl::ContractViolation);
+  EXPECT_THROW(generate_power_grid(small_spec(), 1.5, 1),
+               ppdl::ContractViolation);
+}
+
+TEST(Generator, PadsSitOnTopLayer) {
+  const GeneratedBenchmark b = generate_power_grid(small_spec(), 1.0, 1);
+  const Index top = b.grid.layer_count() - 1;
+  for (const Pad& pad : b.grid.pads()) {
+    EXPECT_EQ(b.grid.node(pad.node).layer, top);
+    EXPECT_DOUBLE_EQ(pad.voltage, b.spec.vdd);
+  }
+}
+
+TEST(Generator, LoadsSitOnBottomLayer) {
+  const GeneratedBenchmark b = generate_power_grid(small_spec(), 1.0, 1);
+  for (const CurrentLoad& load : b.grid.loads()) {
+    EXPECT_EQ(b.grid.node(load.node).layer, 0);
+    EXPECT_GT(load.amps, 0.0);
+  }
+}
+
+TEST(Generator, ViasConnectAdjacentLayers) {
+  const GeneratedBenchmark b = generate_power_grid(small_spec(), 1.0, 1);
+  Index via_count = 0;
+  for (Index i = 0; i < b.grid.branch_count(); ++i) {
+    const Branch& br = b.grid.branch(i);
+    if (br.kind == BranchKind::kVia) {
+      ++via_count;
+      EXPECT_NE(b.grid.node(br.n1).layer, b.grid.node(br.n2).layer);
+    }
+  }
+  EXPECT_GT(via_count, 0);
+}
+
+TEST(Generator, IbmpgRegistryHasAllEight) {
+  const auto& specs = ibmpg_specs();
+  ASSERT_EQ(specs.size(), 8u);
+  std::set<std::string> names;
+  for (const GridSpec& s : specs) {
+    names.insert(s.name);
+    EXPECT_GT(s.paper_nodes, 0);
+    EXPECT_GT(s.paper_resistors, 0);
+    EXPECT_GT(s.ir_limit_mv, 0.0);
+  }
+  EXPECT_TRUE(names.contains("ibmpg1"));
+  EXPECT_TRUE(names.contains("ibmpg6"));
+  EXPECT_TRUE(names.contains("ibmpgnew2"));
+}
+
+TEST(Generator, RegistrySizesAreMonotoneLikeThePaper) {
+  // ibmpg1 < ibmpg2 < ibmpg3 in node count at equal scale.
+  const auto pg1 = find_ibmpg_spec("ibmpg1");
+  const auto pg2 = find_ibmpg_spec("ibmpg2");
+  const auto pg3 = find_ibmpg_spec("ibmpg3");
+  ASSERT_TRUE(pg1 && pg2 && pg3);
+  EXPECT_LT(pg1->m1_stripes, pg2->m1_stripes);
+  EXPECT_LT(pg2->m1_stripes, pg3->m1_stripes);
+}
+
+TEST(Generator, FindUnknownSpecReturnsNullopt) {
+  EXPECT_FALSE(find_ibmpg_spec("ibmpg99").has_value());
+}
+
+TEST(Generator, TargetNodeCountApproximatesPaperAtScaleOne) {
+  // 2·m4·(m1+m7) should be within 15% of the published node count.
+  for (const GridSpec& s : ibmpg_specs()) {
+    const Real predicted =
+        2.0 * static_cast<Real>(s.m4_stripes) *
+        static_cast<Real>(s.m1_stripes + s.m7_stripes);
+    const Real ratio = predicted / static_cast<Real>(s.paper_nodes);
+    EXPECT_GT(ratio, 0.85) << s.name;
+    EXPECT_LT(ratio, 1.15) << s.name;
+  }
+}
+
+}  // namespace
+}  // namespace ppdl::grid

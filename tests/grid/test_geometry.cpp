@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "grid/geometry.hpp"
+
+namespace ppdl::grid {
+namespace {
+
+TEST(Rect, DimensionsAndCenter) {
+  const Rect r{1.0, 2.0, 5.0, 10.0};
+  EXPECT_DOUBLE_EQ(r.width(), 4.0);
+  EXPECT_DOUBLE_EQ(r.height(), 8.0);
+  EXPECT_DOUBLE_EQ(r.area(), 32.0);
+  EXPECT_DOUBLE_EQ(r.center().x, 3.0);
+  EXPECT_DOUBLE_EQ(r.center().y, 6.0);
+}
+
+TEST(Rect, ContainsInclusiveBoundary) {
+  const Rect r{0.0, 0.0, 1.0, 1.0};
+  EXPECT_TRUE(r.contains(Point{0.0, 0.0}));
+  EXPECT_TRUE(r.contains(Point{1.0, 1.0}));
+  EXPECT_TRUE(r.contains(Point{0.5, 0.5}));
+  EXPECT_FALSE(r.contains(Point{1.1, 0.5}));
+  EXPECT_FALSE(r.contains(Point{0.5, -0.1}));
+}
+
+TEST(Rect, Intersects) {
+  const Rect a{0.0, 0.0, 2.0, 2.0};
+  const Rect b{1.0, 1.0, 3.0, 3.0};
+  const Rect c{5.0, 5.0, 6.0, 6.0};
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(b.intersects(a));
+  EXPECT_FALSE(a.intersects(c));
+  // Edge contact counts as intersection.
+  const Rect d{2.0, 0.0, 3.0, 1.0};
+  EXPECT_TRUE(a.intersects(d));
+}
+
+TEST(Rect, OverlapArea) {
+  const Rect a{0.0, 0.0, 2.0, 2.0};
+  const Rect b{1.0, 1.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(a.overlap_area(b), 1.0);
+  const Rect c{10.0, 10.0, 11.0, 11.0};
+  EXPECT_DOUBLE_EQ(a.overlap_area(c), 0.0);
+  // Self-overlap equals area.
+  EXPECT_DOUBLE_EQ(a.overlap_area(a), a.area());
+}
+
+}  // namespace
+}  // namespace ppdl::grid

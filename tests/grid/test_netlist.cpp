@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "grid/generator.hpp"
+#include "grid/netlist.hpp"
+#include "support/fixtures.hpp"
+
+namespace ppdl::grid {
+namespace {
+
+TEST(SpiceValue, PlainNumbers) {
+  EXPECT_DOUBLE_EQ(parse_spice_value("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(parse_spice_value("-2"), -2.0);
+  EXPECT_DOUBLE_EQ(parse_spice_value("1e-3"), 1e-3);
+}
+
+TEST(SpiceValue, MagnitudeSuffixes) {
+  EXPECT_DOUBLE_EQ(parse_spice_value("1k"), 1e3);
+  EXPECT_DOUBLE_EQ(parse_spice_value("2meg"), 2e6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("3m"), 3e-3);
+  EXPECT_DOUBLE_EQ(parse_spice_value("4u"), 4e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("5n"), 5e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_value("6p"), 6e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_value("7g"), 7e9);
+}
+
+TEST(SpiceValue, MalformedThrows) {
+  EXPECT_THROW(parse_spice_value(""), NetlistError);
+  EXPECT_THROW(parse_spice_value("abc"), NetlistError);
+  EXPECT_THROW(parse_spice_value("1.5z"), NetlistError);
+}
+
+TEST(NodeName, FormatUsesLayerAndNanometres) {
+  Node n;
+  n.layer = 2;
+  n.pos = Point{12.5, 0.001};
+  EXPECT_EQ(format_node_name(n), "n2_12500_1");
+}
+
+TEST(Netlist, WriteContainsAllElements) {
+  const PowerGrid pg = testsupport::make_chain_grid(3, 0.01);
+  std::ostringstream os;
+  write_netlist(pg, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("R1 "), std::string::npos);
+  EXPECT_NE(text.find("R2 "), std::string::npos);
+  EXPECT_NE(text.find("V1 "), std::string::npos);
+  EXPECT_NE(text.find("I1 "), std::string::npos);
+  EXPECT_NE(text.find(".end"), std::string::npos);
+}
+
+TEST(Netlist, RoundTripPreservesElectricalStructure) {
+  const PowerGrid original = testsupport::make_chain_grid(4, 0.02);
+  std::stringstream ss;
+  write_netlist(original, ss);
+  const PowerGrid parsed = parse_netlist(ss, "roundtrip");
+
+  EXPECT_EQ(parsed.node_count(), original.node_count());
+  EXPECT_EQ(parsed.branch_count(), original.branch_count());
+  EXPECT_EQ(parsed.pad_count(), original.pad_count());
+  EXPECT_EQ(parsed.load_count(), original.load_count());
+  EXPECT_DOUBLE_EQ(parsed.vdd(), original.vdd());
+  // Resistances survive the trip (widths are re-derived from ρ·l/R).
+  for (Index i = 0; i < parsed.branch_count(); ++i) {
+    EXPECT_NEAR(parsed.branch_resistance(i), original.branch_resistance(i),
+                1e-9);
+  }
+}
+
+TEST(Netlist, RoundTripOnGeneratedGrid) {
+  GridSpec spec;
+  spec.name = "io";
+  spec.m1_stripes = 10;
+  spec.m4_stripes = 10;
+  spec.m7_stripes = 3;
+  spec.total_current = 0.5;
+  const GeneratedBenchmark bench = generate_power_grid(spec, 1.0, 9);
+  std::stringstream ss;
+  write_netlist(bench.grid, ss);
+  const PowerGrid parsed = parse_netlist(ss);
+  EXPECT_EQ(parsed.node_count(), bench.grid.node_count());
+  EXPECT_EQ(parsed.branch_count(), bench.grid.branch_count());
+  EXPECT_NEAR(parsed.total_load_current(), bench.grid.total_load_current(),
+              1e-9);
+  EXPECT_NO_THROW(parsed.validate());
+}
+
+TEST(Netlist, ParsesHandwrittenDeck) {
+  std::istringstream in(
+      "* tiny deck\n"
+      "R1 n0_0_0 n0_1000_0 2.0\n"
+      "r2 n0_1000_0 n0_2000_0 2.0\n"
+      "V1 n0_0_0 0 1.8\n"
+      "i1 n0_2000_0 0 10m\n"
+      ".op\n"
+      ".end\n");
+  const PowerGrid pg = parse_netlist(in, "hand");
+  EXPECT_EQ(pg.node_count(), 3);
+  EXPECT_EQ(pg.branch_count(), 2);
+  EXPECT_EQ(pg.pad_count(), 1);
+  EXPECT_EQ(pg.load_count(), 1);
+  EXPECT_NEAR(pg.loads()[0].amps, 0.01, 1e-12);
+  EXPECT_DOUBLE_EQ(pg.vdd(), 1.8);
+  // Same-layer spaced resistor becomes a wire with inferred width.
+  EXPECT_EQ(pg.branch(0).kind, BranchKind::kWire);
+  EXPECT_NO_THROW(pg.validate());
+}
+
+TEST(Netlist, ParsedGridGetsDieOutlineFromNodes) {
+  const PowerGrid original = testsupport::make_chain_grid(5, 0.01);
+  std::stringstream ss;
+  write_netlist(original, ss);
+  const PowerGrid parsed = parse_netlist(ss);
+  // The die must cover every node with a little margin.
+  EXPECT_GT(parsed.die().width(), 0.0);
+  EXPECT_GT(parsed.die().height(), 0.0);
+  for (Index v = 0; v < parsed.node_count(); ++v) {
+    EXPECT_TRUE(parsed.die().contains(parsed.node(v).pos));
+  }
+}
+
+TEST(Netlist, HighPrecisionValuesSurviveRoundTrip) {
+  PowerGrid pg = testsupport::make_chain_grid(3, 0.0123456789012345);
+  std::stringstream ss;
+  write_netlist(pg, ss);
+  const PowerGrid parsed = parse_netlist(ss);
+  EXPECT_DOUBLE_EQ(parsed.loads()[0].amps, 0.0123456789012345);
+}
+
+TEST(Netlist, UnknownNodeNamesFallBackToVia) {
+  std::istringstream in(
+      "R1 top bottom 1.0\n"
+      "V1 top 0 1.0\n"
+      ".end\n");
+  const PowerGrid pg = parse_netlist(in);
+  EXPECT_EQ(pg.branch(0).kind, BranchKind::kVia);
+  EXPECT_DOUBLE_EQ(pg.branch_resistance(0), 1.0);
+}
+
+TEST(Netlist, MalformedLineThrows) {
+  std::istringstream in("R1 n0_0_0 n0_1_0\n");
+  EXPECT_THROW(parse_netlist(in), NetlistError);
+}
+
+TEST(Netlist, UnsupportedElementThrows) {
+  std::istringstream in("C1 n0_0_0 n0_1_0 1p\n");
+  EXPECT_THROW(parse_netlist(in), NetlistError);
+}
+
+TEST(Netlist, ResistorToGroundRejected) {
+  std::istringstream in("R1 n0_0_0 0 1.0\n");
+  EXPECT_THROW(parse_netlist(in), NetlistError);
+}
+
+TEST(Netlist, StopsAtEndDirective) {
+  std::istringstream in(
+      "V1 n0_0_0 0 1.8\n"
+      "R1 n0_0_0 n0_1000_0 1.0\n"
+      ".end\n"
+      "garbage beyond end\n");
+  EXPECT_NO_THROW(parse_netlist(in));
+}
+
+}  // namespace
+}  // namespace ppdl::grid

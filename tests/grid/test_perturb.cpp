@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "grid/perturb.hpp"
+#include "support/fixtures.hpp"
+
+namespace ppdl::grid {
+namespace {
+
+constexpr Real kBudget = 0.07;  // 70 mV IR budget for pad perturbations
+
+TEST(Perturb, CurrentWorkloadsStayWithinGamma) {
+  PowerGrid pg = testsupport::make_chain_grid(5, 0.02);
+  pg.add_load(1, 0.05);
+  pg.add_load(2, 0.01);
+  const PowerGrid p = perturbed_copy(pg, PerturbationKind::kCurrentWorkloads,
+                                     0.10, 7, kBudget);
+  for (Index i = 0; i < pg.load_count(); ++i) {
+    const Real ratio = p.loads()[static_cast<std::size_t>(i)].amps /
+                       pg.loads()[static_cast<std::size_t>(i)].amps;
+    EXPECT_GE(ratio, 0.90);
+    EXPECT_LE(ratio, 1.10);
+  }
+  // Pads untouched by this kind.
+  EXPECT_DOUBLE_EQ(p.pads()[0].voltage, pg.pads()[0].voltage);
+}
+
+TEST(Perturb, NodeVoltagesStayWithinBudget) {
+  PowerGrid pg = testsupport::make_chain_grid(5, 0.02);
+  const PowerGrid p = perturbed_copy(pg, PerturbationKind::kNodeVoltages,
+                                     0.30, 7, kBudget);
+  const Real delta = std::abs(p.pads()[0].voltage - pg.pads()[0].voltage);
+  EXPECT_LE(delta, 0.30 * kBudget + 1e-12);
+  // Loads untouched by this kind.
+  EXPECT_DOUBLE_EQ(p.loads()[0].amps, pg.loads()[0].amps);
+}
+
+TEST(Perturb, BothTouchesLoadsAndPads) {
+  PowerGrid pg = testsupport::make_chain_grid(5, 0.02);
+  const PowerGrid p =
+      perturbed_copy(pg, PerturbationKind::kBoth, 0.20, 11, kBudget);
+  EXPECT_NE(p.loads()[0].amps, pg.loads()[0].amps);
+  EXPECT_NE(p.pads()[0].voltage, pg.pads()[0].voltage);
+}
+
+TEST(Perturb, ZeroGammaIsIdentity) {
+  PowerGrid pg = testsupport::make_chain_grid(4, 0.02);
+  const PowerGrid p =
+      perturbed_copy(pg, PerturbationKind::kBoth, 0.0, 3, kBudget);
+  EXPECT_DOUBLE_EQ(p.loads()[0].amps, pg.loads()[0].amps);
+  EXPECT_DOUBLE_EQ(p.pads()[0].voltage, pg.pads()[0].voltage);
+}
+
+TEST(Perturb, DeterministicForSeed) {
+  PowerGrid pg = testsupport::make_chain_grid(4, 0.02);
+  const PowerGrid a =
+      perturbed_copy(pg, PerturbationKind::kBoth, 0.15, 5, kBudget);
+  const PowerGrid b =
+      perturbed_copy(pg, PerturbationKind::kBoth, 0.15, 5, kBudget);
+  EXPECT_DOUBLE_EQ(a.loads()[0].amps, b.loads()[0].amps);
+  EXPECT_DOUBLE_EQ(a.pads()[0].voltage, b.pads()[0].voltage);
+}
+
+TEST(Perturb, SeedChangesOutcome) {
+  PowerGrid pg = testsupport::make_chain_grid(4, 0.02);
+  const PowerGrid a =
+      perturbed_copy(pg, PerturbationKind::kBoth, 0.15, 5, kBudget);
+  const PowerGrid b =
+      perturbed_copy(pg, PerturbationKind::kBoth, 0.15, 6, kBudget);
+  EXPECT_NE(a.loads()[0].amps, b.loads()[0].amps);
+}
+
+TEST(Perturb, OriginalUntouchedByCopy) {
+  PowerGrid pg = testsupport::make_chain_grid(4, 0.02);
+  const Real before = pg.loads()[0].amps;
+  perturbed_copy(pg, PerturbationKind::kBoth, 0.25, 9, kBudget);
+  EXPECT_DOUBLE_EQ(pg.loads()[0].amps, before);
+}
+
+TEST(Perturb, InvalidGammaThrows) {
+  PowerGrid pg = testsupport::make_chain_grid(3, 0.02);
+  EXPECT_THROW(
+      perturb_grid(pg, PerturbationKind::kBoth, -0.1, 1, kBudget),
+      ppdl::ContractViolation);
+  EXPECT_THROW(perturb_grid(pg, PerturbationKind::kBoth, 1.0, 1, kBudget),
+               ppdl::ContractViolation);
+}
+
+TEST(Perturb, RailSagIsCommonMode) {
+  // All pads must sag by the same voltage delta (see header rationale).
+  grid::PowerGrid pg = testsupport::make_chain_grid(6, 0.02);
+  pg.add_pad(2, 1.8);
+  pg.add_pad(4, 1.8);
+  const PowerGrid p = perturbed_copy(pg, PerturbationKind::kNodeVoltages,
+                                     0.25, 13, kBudget);
+  const Real delta0 = p.pads()[0].voltage - pg.pads()[0].voltage;
+  for (std::size_t i = 1; i < p.pads().size(); ++i) {
+    EXPECT_NEAR(p.pads()[i].voltage - pg.pads()[i].voltage, delta0, 1e-12);
+  }
+}
+
+TEST(Perturb, LoadPerturbationIsPerLoad) {
+  grid::PowerGrid pg = testsupport::make_chain_grid(6, 0.02);
+  pg.add_load(1, 0.02);
+  pg.add_load(2, 0.02);
+  pg.add_load(3, 0.02);
+  const PowerGrid p = perturbed_copy(
+      pg, PerturbationKind::kCurrentWorkloads, 0.25, 13, kBudget);
+  // Not all loads move by the same factor.
+  const Real f0 = p.loads()[0].amps / pg.loads()[0].amps;
+  bool differs = false;
+  for (std::size_t i = 1; i < p.loads().size(); ++i) {
+    differs |= std::abs(p.loads()[i].amps / pg.loads()[i].amps - f0) > 1e-6;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Perturb, KindNames) {
+  EXPECT_EQ(to_string(PerturbationKind::kNodeVoltages), "node voltages");
+  EXPECT_EQ(to_string(PerturbationKind::kCurrentWorkloads),
+            "current workloads");
+  EXPECT_EQ(to_string(PerturbationKind::kBoth), "both");
+}
+
+}  // namespace
+}  // namespace ppdl::grid

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "grid/power_grid.hpp"
+#include "support/fixtures.hpp"
+
+namespace ppdl::grid {
+namespace {
+
+TEST(PowerGrid, BuildCountsAndAccessors) {
+  const PowerGrid pg = testsupport::make_chain_grid(4, 0.01);
+  EXPECT_EQ(pg.node_count(), 4);
+  EXPECT_EQ(pg.branch_count(), 3);
+  EXPECT_EQ(pg.wire_count(), 3);
+  EXPECT_EQ(pg.pad_count(), 1);
+  EXPECT_EQ(pg.load_count(), 1);
+  EXPECT_EQ(pg.layer_count(), 1);
+  EXPECT_EQ(pg.name(), "chain");
+}
+
+TEST(PowerGrid, WireResistanceFromGeometry) {
+  const PowerGrid pg = testsupport::make_chain_grid(3, 0.01);
+  // R = ρ l / w = 0.02 * 100 / 1 = 2 Ω.
+  EXPECT_DOUBLE_EQ(pg.branch_resistance(0), 2.0);
+}
+
+TEST(PowerGrid, WidthChangesResistance) {
+  PowerGrid pg = testsupport::make_chain_grid(3, 0.01);
+  pg.set_wire_width(0, 4.0);
+  EXPECT_DOUBLE_EQ(pg.branch_resistance(0), 0.5);
+}
+
+TEST(PowerGrid, ViaResistanceFixed) {
+  PowerGrid pg;
+  pg.add_layer(Layer{"M1", true, 0.02, 1.0});
+  pg.add_layer(Layer{"M2", false, 0.02, 1.0});
+  pg.add_node(Point{0, 0}, 0);
+  pg.add_node(Point{0, 0}, 1);
+  const Index via = pg.add_via(0, 1, 1, 0.75);
+  EXPECT_DOUBLE_EQ(pg.branch_resistance(via), 0.75);
+  EXPECT_EQ(pg.wire_count(), 0);
+  EXPECT_THROW(pg.set_wire_width(via, 2.0), ContractViolation);
+}
+
+TEST(PowerGrid, BranchCenterIsMidpoint) {
+  const PowerGrid pg = testsupport::make_chain_grid(2, 0.01);
+  const Point c = pg.branch_center(0);
+  EXPECT_DOUBLE_EQ(c.x, 50.0);
+  EXPECT_DOUBLE_EQ(c.y, 5.0);
+}
+
+TEST(PowerGrid, TotalAndPerNodeLoads) {
+  PowerGrid pg = testsupport::make_chain_grid(3, 0.02);
+  pg.add_load(1, 0.03);
+  pg.add_load(1, 0.01);
+  EXPECT_NEAR(pg.total_load_current(), 0.06, 1e-15);
+  const std::vector<Real> loads = pg.node_load_vector();
+  EXPECT_DOUBLE_EQ(loads[0], 0.0);
+  EXPECT_NEAR(loads[1], 0.04, 1e-15);
+  EXPECT_DOUBLE_EQ(loads[2], 0.02);
+}
+
+TEST(PowerGrid, ResetWireWidthsRestoresDefaults) {
+  PowerGrid pg = testsupport::make_chain_grid(3, 0.01);
+  pg.set_wire_width(0, 9.0);
+  pg.set_wire_width(1, 3.0);
+  pg.reset_wire_widths();
+  EXPECT_DOUBLE_EQ(pg.branch(0).width, 1.0);
+  EXPECT_DOUBLE_EQ(pg.branch(1).width, 1.0);
+}
+
+TEST(PowerGrid, ScaleLoadAndPadVoltage) {
+  PowerGrid pg = testsupport::make_chain_grid(3, 0.02);
+  pg.scale_load(0, 1.5);
+  EXPECT_NEAR(pg.loads()[0].amps, 0.03, 1e-15);
+  pg.scale_pad_voltage(0, 0.9);
+  EXPECT_NEAR(pg.pads()[0].voltage, 1.8 * 0.9, 1e-15);
+  EXPECT_THROW(pg.scale_load(0, 0.0), ContractViolation);
+  EXPECT_THROW(pg.scale_load(5, 1.1), ContractViolation);
+}
+
+TEST(PowerGrid, InvalidConstructionThrows) {
+  PowerGrid pg;
+  pg.add_layer(Layer{"M1", true, 0.02, 1.0});
+  pg.add_node(Point{0, 0}, 0);
+  pg.add_node(Point{100, 0}, 0);
+  EXPECT_THROW(pg.add_wire(0, 0, 0, 100.0, 1.0), ContractViolation);
+  EXPECT_THROW(pg.add_wire(0, 5, 0, 100.0, 1.0), ContractViolation);
+  EXPECT_THROW(pg.add_wire(0, 1, 0, -1.0, 1.0), ContractViolation);
+  EXPECT_THROW(pg.add_wire(0, 1, 0, 100.0, 0.0), ContractViolation);
+  EXPECT_THROW(pg.add_node(Point{0, 0}, 3), ContractViolation);
+  EXPECT_THROW(pg.add_pad(0, 0.0), ContractViolation);
+  EXPECT_THROW(pg.add_load(0, -0.1), ContractViolation);
+}
+
+TEST(PowerGrid, ValidateAcceptsHealthyGrid) {
+  const PowerGrid pg = testsupport::make_chain_grid(5, 0.01);
+  EXPECT_NO_THROW(pg.validate());
+}
+
+TEST(PowerGrid, ValidateRejectsGridWithoutPads) {
+  PowerGrid pg;
+  pg.add_layer(Layer{"M1", true, 0.02, 1.0});
+  pg.add_node(Point{0, 0}, 0);
+  EXPECT_THROW(pg.validate(), ContractViolation);
+}
+
+TEST(PowerGrid, ValidateRejectsUnreachableLoad) {
+  PowerGrid pg = testsupport::make_chain_grid(3, 0.01);
+  // An isolated node with a load, not connected to the chain.
+  const Index orphan = pg.add_node(Point{500.0, 5.0}, 0);
+  pg.add_load(orphan, 0.01);
+  EXPECT_THROW(pg.validate(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ppdl::grid

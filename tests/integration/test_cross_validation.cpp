@@ -1,0 +1,77 @@
+// Cross-validation sweeps over all eight benchmark specs: independent
+// implementations must agree with each other on every replica.
+//   * SPICE round-trip: write → parse must preserve the electrical system
+//     (node/branch counts, resistances, the solved IR field).
+//   * Solver cross-check: direct sparse Cholesky and IC(0)-PCG must produce
+//     the same node voltages.
+//   * Tree-estimate bound: the Kirchhoff forest estimate dominates the true
+//     solve on every topology.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/ir_solver.hpp"
+#include "core/benchmarks.hpp"
+#include "core/ir_predictor.hpp"
+#include "grid/netlist.hpp"
+
+namespace ppdl {
+namespace {
+
+class EveryBenchmark : public ::testing::TestWithParam<const char*> {
+ protected:
+  grid::GeneratedBenchmark make() const {
+    core::BenchmarkOptions opts;
+    opts.scale = 0.01;
+    opts.seed = 2024;
+    return core::make_benchmark(GetParam(), opts);
+  }
+};
+
+TEST_P(EveryBenchmark, NetlistRoundTripPreservesTheIrField) {
+  const grid::GeneratedBenchmark bench = make();
+  std::stringstream ss;
+  grid::write_netlist(bench.grid, ss);
+  const grid::PowerGrid parsed = grid::parse_netlist(ss, GetParam());
+
+  ASSERT_EQ(parsed.node_count(), bench.grid.node_count());
+  ASSERT_EQ(parsed.branch_count(), bench.grid.branch_count());
+
+  const analysis::IrAnalysisResult a = analysis::analyze_ir_drop(bench.grid);
+  const analysis::IrAnalysisResult b = analysis::analyze_ir_drop(parsed);
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  EXPECT_NEAR(a.worst_ir_drop, b.worst_ir_drop,
+              1e-6 * a.worst_ir_drop + 1e-12);
+}
+
+TEST_P(EveryBenchmark, DirectAndIterativeSolversAgree) {
+  const grid::GeneratedBenchmark bench = make();
+  analysis::IrAnalysisOptions cg;
+  cg.cg_tolerance = 1e-10;
+  analysis::IrAnalysisOptions direct;
+  direct.solver = analysis::SolverKind::kCholesky;
+  const analysis::IrAnalysisResult a = analysis::analyze_ir_drop(bench.grid, cg);
+  const analysis::IrAnalysisResult b =
+      analysis::analyze_ir_drop(bench.grid, direct);
+  for (std::size_t v = 0; v < a.node_voltage.size(); ++v) {
+    EXPECT_NEAR(a.node_voltage[v], b.node_voltage[v], 1e-6);
+  }
+}
+
+TEST_P(EveryBenchmark, TreeEstimateDominatesTruth) {
+  const grid::GeneratedBenchmark bench = make();
+  const analysis::IrAnalysisResult truth = analysis::analyze_ir_drop(bench.grid);
+  const core::KirchhoffIrPredictor predictor;
+  const core::IrPrediction estimate = predictor.predict(bench.grid);
+  EXPECT_GE(estimate.worst_ir_drop, truth.worst_ir_drop * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllReplicas, EveryBenchmark,
+                         ::testing::Values("ibmpg1", "ibmpg2", "ibmpg3",
+                                           "ibmpg4", "ibmpg5", "ibmpg6",
+                                           "ibmpgnew1", "ibmpgnew2"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace ppdl

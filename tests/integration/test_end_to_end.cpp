@@ -1,0 +1,158 @@
+// Integration tests exercising the full stack across module boundaries:
+// generator → netlist IO → planner → DL model → fast IR prediction →
+// sign-off, the way a downstream user composes the library.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiments.hpp"
+#include "core/flow.hpp"
+#include "grid/netlist.hpp"
+#include "nn/model_io.hpp"
+#include "planner/sign_off.hpp"
+#include "support/fixtures.hpp"
+
+namespace ppdl {
+namespace {
+
+TEST(EndToEnd, NetlistRoundTripThenFullFlow) {
+  // Generate → serialize to SPICE → parse back → run the whole flow on the
+  // parsed grid. Proves real IBMPG decks would work end to end.
+  grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  std::stringstream ss;
+  grid::write_netlist(bench.grid, ss);
+  grid::PowerGrid parsed = grid::parse_netlist(ss, "ibmpg1-io");
+
+  planner::PlannerOptions opts =
+      core::planner_options_for(bench.spec, 40);
+  const planner::PlannerResult planned =
+      planner::run_conventional_planner(parsed, opts);
+  EXPECT_TRUE(planned.converged);
+
+  core::PpdlModelConfig mc;
+  mc.hidden_layers = 3;
+  mc.hidden_units = 12;
+  mc.train.epochs = 15;
+  core::PowerPlanningDL model(mc);
+  model.fit(parsed);
+  const core::WidthPrediction p = model.predict(parsed);
+  EXPECT_EQ(static_cast<Index>(p.branch.size()), parsed.wire_count());
+}
+
+TEST(EndToEnd, DlDesignPassesRelaxedSignOff) {
+  // The DL-predicted design will not be sign-off perfect (that is the
+  // paper's stated trade-off) but must be close: verify against a margin
+  // 30% looser than the planner's.
+  core::FlowOptions opts;
+  opts.benchmark.scale = 0.02;
+  opts.benchmark.seed = 33;
+  opts.model.hidden_layers = 6;
+  opts.model.hidden_units = 24;
+  opts.model.train.epochs = 50;
+
+  const grid::GeneratedBenchmark bench =
+      core::make_benchmark("ibmpg1", opts.benchmark);
+  const core::FlowResult flow = core::run_flow(bench, opts);
+
+  grid::PowerGrid dl_design = bench.grid;
+  planner::PlannerOptions popts = core::planner_options_for(bench.spec, 40);
+  planner::run_conventional_planner(dl_design, popts);
+  // Perturb and apply the DL widths.
+  grid::PowerGrid perturbed = grid::perturbed_copy(
+      dl_design, opts.perturbation, opts.gamma, opts.perturb_seed,
+      bench.spec.ir_limit_mv * 1e-3);
+  core::PowerPlanningDL model(opts.model);
+  model.fit(dl_design);
+  const core::WidthPrediction prediction = model.predict(perturbed);
+  core::PowerPlanningDL::apply_widths(perturbed, prediction);
+
+  planner::SignOffOptions sopts;
+  sopts.ir_limit = bench.spec.ir_limit_mv * 1e-3 * 1.4;
+  sopts.jmax = bench.spec.jmax * 1.4;
+  // Width prediction may exceed DRC max in the tail; check IR/EM only.
+  const planner::SignOffReport report = planner::run_sign_off(perturbed, sopts);
+  EXPECT_TRUE(report.ir_ok) << report.render();
+  EXPECT_LT(flow.width_mse_pct, 60.0);
+}
+
+TEST(EndToEnd, ModelPersistsAcrossSessions) {
+  // Train on the golden design, save, load, and verify identical
+  // predictions — the "historical data" reuse story.
+  grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  planner::PlannerOptions opts = core::planner_options_for(bench.spec, 40);
+  planner::run_conventional_planner(bench.grid, opts);
+
+  const core::FeatureExtractor extractor;
+  const core::Dataset d = core::build_layer_datasets(
+      bench.grid, core::FeatureSet::combined(), extractor)[0];
+
+  nn::StandardScaler xs;
+  nn::StandardScaler ys;
+  xs.fit(d.x);
+  ys.fit(d.y);
+  Rng rng(3);
+  nn::Mlp mlp(nn::MlpConfig::paper_default(3, 1, 3, 12), rng);
+  nn::TrainOptions topts;
+  topts.epochs = 10;
+  nn::train(mlp, xs.transform(d.x), ys.transform(d.y), topts);
+
+  std::stringstream model_file;
+  nn::save_model(mlp, model_file);
+  std::stringstream scaler_file;
+  nn::save_scaler(xs, scaler_file);
+
+  nn::Mlp loaded = nn::load_model(model_file);
+  const nn::StandardScaler xs2 = nn::load_scaler(scaler_file);
+  const nn::Matrix a = mlp.predict(xs.transform(d.x));
+  const nn::Matrix b = loaded.predict(xs2.transform(d.x));
+  for (Index r = 0; r < a.rows(); ++r) {
+    EXPECT_EQ(a(r, 0), b(r, 0));
+  }
+}
+
+TEST(EndToEnd, FeatureStudyRanksCombinedHighest) {
+  // Table I's qualitative claim: the combined (X, Y, Id) features beat any
+  // single feature. Needs a grid large enough for the held-out split to be
+  // statistically meaningful.
+  core::BenchmarkOptions bo;
+  bo.scale = 0.02;
+  bo.seed = 12345;
+  grid::GeneratedBenchmark bench = core::make_benchmark("ibmpg1", bo);
+  planner::PlannerOptions opts = core::planner_options_for(bench.spec, 40);
+  planner::run_conventional_planner(bench.grid, opts);
+
+  core::PpdlModelConfig mc;
+  mc.hidden_layers = 4;
+  mc.hidden_units = 24;
+  mc.train.epochs = 60;
+  mc.train.batch_size = 32;
+  const auto rows = core::feature_r2_study(bench.grid, mc);
+  ASSERT_EQ(rows.size(), 4u);
+  Real best_single = -1e9;
+  Real combined = 0.0;
+  for (const core::FeatureR2& row : rows) {
+    if (row.label == "Combined") {
+      combined = row.r2;
+    } else {
+      best_single = std::max(best_single, row.r2);
+    }
+  }
+  EXPECT_GT(combined, best_single);
+  EXPECT_GT(combined, 0.5);
+}
+
+TEST(EndToEnd, PerturbationSweepTrendsUpward) {
+  grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  core::FlowOptions base;
+  base.model.hidden_layers = 3;
+  base.model.hidden_units = 12;
+  base.model.train.epochs = 15;
+  const auto points = core::perturbation_sweep(
+      bench, base, {0.10, 0.30}, {grid::PerturbationKind::kBoth});
+  ASSERT_EQ(points.size(), 2u);
+  // Larger γ must not materially improve accuracy.
+  EXPECT_LE(points[0].mse_pct, points[1].mse_pct * 1.25);
+}
+
+}  // namespace
+}  // namespace ppdl

@@ -1,0 +1,164 @@
+// Property-style parameterized sweeps over grid sizes, seeds, and solver
+// settings: invariants that must hold for ANY generated power grid.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "analysis/ir_solver.hpp"
+#include "core/ir_predictor.hpp"
+#include "grid/generator.hpp"
+#include "grid/perturb.hpp"
+#include "planner/conventional_planner.hpp"
+
+namespace ppdl {
+namespace {
+
+grid::GridSpec sized_spec(Index stripes) {
+  grid::GridSpec s;
+  s.name = "prop_" + std::to_string(stripes);
+  s.m1_stripes = stripes;
+  s.m4_stripes = stripes;
+  s.m7_stripes = std::max<Index>(3, stripes / 6);
+  s.total_current = 0.002 * static_cast<Real>(stripes * stripes);
+  s.blocks_x = 3;
+  s.blocks_y = 3;
+  return s;
+}
+
+class GridProperty
+    : public ::testing::TestWithParam<std::tuple<Index, U64>> {};
+
+TEST_P(GridProperty, GeneratedGridIsAnalyzableAndPhysical) {
+  const auto [stripes, seed] = GetParam();
+  const grid::GeneratedBenchmark bench =
+      grid::generate_power_grid(sized_spec(stripes), 1.0, seed);
+  bench.grid.validate();
+
+  const analysis::IrAnalysisResult res = analysis::analyze_ir_drop(bench.grid);
+  ASSERT_TRUE(res.converged);
+
+  // 1. Every voltage lies in (0, Vdd]; drops are non-negative.
+  for (std::size_t v = 0; v < res.node_voltage.size(); ++v) {
+    EXPECT_GT(res.node_voltage[v], 0.0);
+    EXPECT_LE(res.node_voltage[v], bench.grid.vdd() + 1e-9);
+    EXPECT_GE(res.node_ir_drop[v], -1e-9);
+  }
+  // 2. Superposition: energy balances — power delivered by pads equals power
+  //    consumed by resistors plus power absorbed by loads.
+  Real resistor_power = 0.0;
+  for (Index b = 0; b < bench.grid.branch_count(); ++b) {
+    const Real i = res.branch_current[static_cast<std::size_t>(b)];
+    resistor_power += i * i * bench.grid.branch_resistance(b);
+  }
+  Real load_power = 0.0;
+  for (const grid::CurrentLoad& load : bench.grid.loads()) {
+    load_power +=
+        load.amps * res.node_voltage[static_cast<std::size_t>(load.node)];
+  }
+  Real pad_power = 0.0;
+  {
+    std::vector<Real> injected(static_cast<std::size_t>(bench.grid.node_count()),
+                               0.0);
+    for (Index b = 0; b < bench.grid.branch_count(); ++b) {
+      const grid::Branch& br = bench.grid.branch(b);
+      const Real i = res.branch_current[static_cast<std::size_t>(b)];
+      injected[static_cast<std::size_t>(br.n1)] += i;
+      injected[static_cast<std::size_t>(br.n2)] -= i;
+    }
+    for (const grid::Pad& pad : bench.grid.pads()) {
+      pad_power += injected[static_cast<std::size_t>(pad.node)] * pad.voltage;
+    }
+  }
+  EXPECT_NEAR(pad_power, resistor_power + load_power,
+              1e-6 * std::max(pad_power, 1e-12));
+}
+
+TEST_P(GridProperty, TreeEstimateDominatesTrueDrop) {
+  const auto [stripes, seed] = GetParam();
+  const grid::GeneratedBenchmark bench =
+      grid::generate_power_grid(sized_spec(stripes), 1.0, seed);
+  const analysis::IrAnalysisResult truth = analysis::analyze_ir_drop(bench.grid);
+  const core::KirchhoffIrPredictor predictor;
+  const core::IrPrediction estimate = predictor.predict(bench.grid);
+  EXPECT_GE(estimate.worst_ir_drop, truth.worst_ir_drop * 0.999);
+}
+
+TEST_P(GridProperty, PlannerNeverLoosensAndRespectsBounds) {
+  const auto [stripes, seed] = GetParam();
+  grid::GeneratedBenchmark bench =
+      grid::generate_power_grid(sized_spec(stripes), 1.0, seed);
+
+  std::vector<Real> before;
+  for (Index b = 0; b < bench.grid.branch_count(); ++b) {
+    before.push_back(bench.grid.branch(b).width);
+  }
+  planner::PlannerOptions opts;
+  opts.update.ir_limit = 0.7 * analysis::analyze_ir_drop(bench.grid).worst_ir_drop;
+  opts.update.jmax = 1e9;  // IR-driven only for this property
+  planner::run_conventional_planner(bench.grid, opts);
+
+  const grid::DesignRules rules;
+  for (Index b = 0; b < bench.grid.branch_count(); ++b) {
+    const grid::Branch& br = bench.grid.branch(b);
+    if (br.kind != grid::BranchKind::kWire) {
+      continue;
+    }
+    EXPECT_GE(br.width, before[static_cast<std::size_t>(b)]);
+    EXPECT_LE(br.width,
+              grid::max_width(bench.grid.layer(br.layer), rules) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, GridProperty,
+    ::testing::Combine(::testing::Values<Index>(8, 12, 18),
+                       ::testing::Values<U64>(1, 99)),
+    [](const auto& info) {
+      return "s" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+class SolverTolerance : public ::testing::TestWithParam<Real> {};
+
+TEST_P(SolverTolerance, ResidualMeetsRequestedTolerance) {
+  const Real tol = GetParam();
+  const grid::GeneratedBenchmark bench =
+      grid::generate_power_grid(sized_spec(10), 1.0, 5);
+  analysis::IrAnalysisOptions opts;
+  opts.cg_tolerance = tol;
+  const analysis::IrAnalysisResult res = analysis::analyze_ir_drop(bench.grid, opts);
+  EXPECT_TRUE(res.converged);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tolerances, SolverTolerance,
+                         ::testing::Values(1e-4, 1e-6, 1e-8, 1e-10),
+                         [](const auto& info) {
+                           const int exp10 = static_cast<int>(
+                               -std::log10(info.param) + 0.5);
+                           return "tol1e" + std::to_string(exp10);
+                         });
+
+class PerturbationGamma : public ::testing::TestWithParam<Real> {};
+
+TEST_P(PerturbationGamma, TotalCurrentStaysWithinGammaBand) {
+  const Real gamma = GetParam();
+  grid::GeneratedBenchmark bench =
+      grid::generate_power_grid(sized_spec(10), 1.0, 6);
+  const Real before = bench.grid.total_load_current();
+  grid::perturb_grid(bench.grid, grid::PerturbationKind::kCurrentWorkloads,
+                     gamma, 17, 0.07);
+  const Real after = bench.grid.total_load_current();
+  EXPECT_GE(after, before * (1.0 - gamma));
+  EXPECT_LE(after, before * (1.0 + gamma));
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, PerturbationGamma,
+                         ::testing::Values(0.10, 0.15, 0.20, 0.25, 0.30),
+                         [](const auto& info) {
+                           return "g" + std::to_string(static_cast<int>(
+                                            info.param * 100 + 0.5));
+                         });
+
+}  // namespace
+}  // namespace ppdl

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "linalg/coo.hpp"
+#include "linalg/csr.hpp"
+
+namespace ppdl::linalg {
+namespace {
+
+TEST(Coo, TracksEntriesAndDimensions) {
+  CooMatrix coo(3, 4);
+  coo.add(0, 0, 1.0);
+  coo.add(2, 3, -2.0);
+  EXPECT_EQ(coo.rows(), 3);
+  EXPECT_EQ(coo.cols(), 4);
+  EXPECT_EQ(coo.nnz(), 2);
+}
+
+TEST(Coo, OutOfRangeThrows) {
+  CooMatrix coo(2, 2);
+  EXPECT_THROW(coo.add(2, 0, 1.0), ppdl::ContractViolation);
+  EXPECT_THROW(coo.add(0, -1, 1.0), ppdl::ContractViolation);
+}
+
+TEST(Coo, SymmetricPairAddsBoth) {
+  CooMatrix coo(3, 3);
+  coo.add_symmetric_pair(0, 2, 5.0);
+  EXPECT_EQ(coo.nnz(), 2);
+  const CsrMatrix m = CsrMatrix::from_coo(coo);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 0), 5.0);
+}
+
+TEST(Csr, FromCooMergesDuplicates) {
+  CooMatrix coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 0, 2.5);
+  coo.add(1, 0, -1.0);
+  const CsrMatrix m = CsrMatrix::from_coo(coo);
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+}
+
+TEST(Csr, RowsSortedByColumn) {
+  CooMatrix coo(1, 5);
+  coo.add(0, 4, 4.0);
+  coo.add(0, 1, 1.0);
+  coo.add(0, 3, 3.0);
+  const CsrMatrix m = CsrMatrix::from_coo(coo);
+  const auto cols = m.col_idx();
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_TRUE(cols[0] < cols[1] && cols[1] < cols[2]);
+}
+
+TEST(Csr, MultiplyMatchesManual) {
+  // [1 2; 3 4] * [5; 6] = [17; 39]
+  CooMatrix coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 1, 2.0);
+  coo.add(1, 0, 3.0);
+  coo.add(1, 1, 4.0);
+  const CsrMatrix m = CsrMatrix::from_coo(coo);
+  const std::vector<Real> x{5.0, 6.0};
+  const std::vector<Real> y = m.multiply(x);
+  EXPECT_DOUBLE_EQ(y[0], 17.0);
+  EXPECT_DOUBLE_EQ(y[1], 39.0);
+}
+
+TEST(Csr, MultiplyRectangular) {
+  CooMatrix coo(2, 3);
+  coo.add(0, 2, 1.0);
+  coo.add(1, 0, 2.0);
+  const CsrMatrix m = CsrMatrix::from_coo(coo);
+  const std::vector<Real> x{1.0, 10.0, 100.0};
+  const std::vector<Real> y = m.multiply(x);
+  EXPECT_DOUBLE_EQ(y[0], 100.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+}
+
+TEST(Csr, MultiplySizeMismatchThrows) {
+  CooMatrix coo(2, 3);
+  const CsrMatrix m = CsrMatrix::from_coo(coo);
+  const std::vector<Real> bad(2);
+  std::vector<Real> y(2);
+  EXPECT_THROW(m.multiply(bad, y), ppdl::ContractViolation);
+}
+
+TEST(Csr, DiagonalExtraction) {
+  CooMatrix coo(3, 3);
+  coo.add(0, 0, 2.0);
+  coo.add(1, 2, 9.0);
+  coo.add(2, 2, 4.0);
+  const CsrMatrix m = CsrMatrix::from_coo(coo);
+  const std::vector<Real> d = m.diagonal();
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+  EXPECT_DOUBLE_EQ(d[1], 0.0);
+  EXPECT_DOUBLE_EQ(d[2], 4.0);
+}
+
+TEST(Csr, SymmetryDetection) {
+  CooMatrix sym(2, 2);
+  sym.add_symmetric_pair(0, 1, 3.0);
+  sym.add(0, 0, 1.0);
+  EXPECT_TRUE(CsrMatrix::from_coo(sym).is_symmetric());
+
+  CooMatrix asym(2, 2);
+  asym.add(0, 1, 3.0);
+  EXPECT_FALSE(CsrMatrix::from_coo(asym).is_symmetric());
+}
+
+TEST(Csr, TransposeRoundTrip) {
+  CooMatrix coo(2, 3);
+  coo.add(0, 1, 5.0);
+  coo.add(1, 2, -2.0);
+  const CsrMatrix m = CsrMatrix::from_coo(coo);
+  const CsrMatrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t.at(2, 1), -2.0);
+  const CsrMatrix tt = t.transposed();
+  EXPECT_DOUBLE_EQ(tt.at(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(tt.at(1, 2), -2.0);
+}
+
+TEST(Csr, SymmetricPermutationPreservesValues) {
+  // 3-node chain matrix, permute reversal.
+  CooMatrix coo(3, 3);
+  coo.add(0, 0, 2.0);
+  coo.add(1, 1, 3.0);
+  coo.add(2, 2, 4.0);
+  coo.add_symmetric_pair(0, 1, -1.0);
+  coo.add_symmetric_pair(1, 2, -1.5);
+  const CsrMatrix m = CsrMatrix::from_coo(coo);
+  const std::vector<Index> perm{2, 1, 0};
+  const CsrMatrix p = m.permuted_symmetric(perm);
+  EXPECT_DOUBLE_EQ(p.at(2, 2), 2.0);
+  EXPECT_DOUBLE_EQ(p.at(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(p.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(p.at(2, 1), -1.0);
+  EXPECT_DOUBLE_EQ(p.at(0, 1), -1.5);
+  EXPECT_TRUE(p.is_symmetric());
+}
+
+TEST(Csr, EmptyMatrixBehaves) {
+  CooMatrix coo(3, 3);
+  const CsrMatrix m = CsrMatrix::from_coo(coo);
+  EXPECT_EQ(m.nnz(), 0);
+  const std::vector<Real> x{1.0, 2.0, 3.0};
+  const std::vector<Real> y = m.multiply(x);
+  for (const Real v : y) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace ppdl::linalg

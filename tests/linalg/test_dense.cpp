@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "linalg/dense.hpp"
+
+namespace ppdl::linalg {
+namespace {
+
+TEST(Dense, ConstructionAndIndexing) {
+  DenseMatrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(1, 2) = -4.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), -4.0);
+}
+
+TEST(Dense, IdentityIsDiagonal) {
+  const DenseMatrix eye = DenseMatrix::identity(3);
+  for (Index i = 0; i < 3; ++i) {
+    for (Index j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Dense, RowSpanReadsAndWrites) {
+  DenseMatrix m(2, 2);
+  auto row = m.row(1);
+  row[0] = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 7.0);
+  EXPECT_THROW(m.row(2), ppdl::ContractViolation);
+}
+
+TEST(Dense, MultiplyKnownProduct) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  DenseMatrix b(2, 2);
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  const DenseMatrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Dense, MultiplyIdentityIsNoop) {
+  Rng rng(1);
+  DenseMatrix a(3, 3);
+  for (Real& v : a.data()) {
+    v = rng.normal();
+  }
+  const DenseMatrix c = a.multiply(DenseMatrix::identity(3));
+  for (Index i = 0; i < 3; ++i) {
+    for (Index j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(c(i, j), a(i, j));
+    }
+  }
+}
+
+TEST(Dense, MultiplyInnerMismatchThrows) {
+  DenseMatrix a(2, 3);
+  DenseMatrix b(2, 2);
+  EXPECT_THROW(a.multiply(b), ppdl::ContractViolation);
+}
+
+TEST(Dense, MatVec) {
+  DenseMatrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 2) = 2;
+  a(1, 1) = 3;
+  const std::vector<Real> x{1.0, 10.0, 100.0};
+  const std::vector<Real> y = a.multiply(x);
+  EXPECT_DOUBLE_EQ(y[0], 201.0);
+  EXPECT_DOUBLE_EQ(y[1], 30.0);
+}
+
+TEST(Dense, TransposeSwapsIndices) {
+  DenseMatrix a(2, 3);
+  a(0, 1) = 5.0;
+  a(1, 2) = -3.0;
+  const DenseMatrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_DOUBLE_EQ(t(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t(2, 1), -3.0);
+}
+
+TEST(Dense, FrobeniusNorm) {
+  DenseMatrix a(1, 2);
+  a(0, 0) = 3.0;
+  a(0, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+}
+
+TEST(Ldlt, SolvesSpdSystem) {
+  // A = [4 1; 1 3], b = [1; 2] -> x = [1/11; 7/11]
+  DenseMatrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  const LdltFactorization f(a);
+  const std::vector<Real> b{1.0, 2.0};
+  const std::vector<Real> x = f.solve(b);
+  EXPECT_NEAR(x[0], 1.0 / 11.0, 1e-12);
+  EXPECT_NEAR(x[1], 7.0 / 11.0, 1e-12);
+}
+
+TEST(Ldlt, RandomSpdRoundTrip) {
+  Rng rng(9);
+  const Index n = 8;
+  // SPD via B Bᵀ + n·I.
+  DenseMatrix b(n, n);
+  for (Real& v : b.data()) {
+    v = rng.normal();
+  }
+  DenseMatrix a = b.multiply(b.transposed());
+  for (Index i = 0; i < n; ++i) {
+    a(i, i) += static_cast<Real>(n);
+  }
+  std::vector<Real> x_true(static_cast<std::size_t>(n));
+  for (Real& v : x_true) {
+    v = rng.normal();
+  }
+  const std::vector<Real> rhs = a.multiply(x_true);
+  const LdltFactorization f(a);
+  const std::vector<Real> x = f.solve(rhs);
+  for (Index i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)],
+                x_true[static_cast<std::size_t>(i)], 1e-9);
+  }
+}
+
+TEST(Ldlt, SingularMatrixThrows) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 1;
+  EXPECT_THROW(LdltFactorization{a}, ppdl::ContractViolation);
+}
+
+TEST(Ldlt, NonSquareThrows) {
+  DenseMatrix a(2, 3);
+  EXPECT_THROW(LdltFactorization{a}, ppdl::ContractViolation);
+}
+
+TEST(Ldlt, IndefiniteButNonsingularStillSolves) {
+  // LDLt without pivoting handles quasi-definite matrices like [-2 0; 0 3].
+  DenseMatrix a(2, 2);
+  a(0, 0) = -2;
+  a(1, 1) = 3;
+  const LdltFactorization f(a);
+  const std::vector<Real> x = f.solve(std::vector<Real>{2.0, 9.0});
+  EXPECT_NEAR(x[0], -1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ppdl::linalg

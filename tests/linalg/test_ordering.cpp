@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+#include "linalg/ordering.hpp"
+
+namespace ppdl::linalg {
+namespace {
+
+/// Path graph matrix with a deliberately scrambled node order.
+CsrMatrix scrambled_path(Index n, const std::vector<Index>& label) {
+  CooMatrix coo(n, n);
+  for (Index i = 0; i < n; ++i) {
+    coo.add(label[static_cast<std::size_t>(i)],
+            label[static_cast<std::size_t>(i)], 2.0);
+    if (i + 1 < n) {
+      coo.add_symmetric_pair(label[static_cast<std::size_t>(i)],
+                             label[static_cast<std::size_t>(i + 1)], -1.0);
+    }
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+TEST(Rcm, PermutationIsBijective) {
+  const std::vector<Index> label{3, 0, 4, 1, 5, 2};
+  const CsrMatrix a = scrambled_path(6, label);
+  const std::vector<Index> perm = rcm_ordering(a);
+  std::vector<Index> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (Index i = 0; i < 6; ++i) {
+    EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Rcm, ReducesBandwidthOfScrambledPath) {
+  // Scramble a 40-node path so the natural order has large bandwidth.
+  const Index n = 40;
+  std::vector<Index> label(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    // Interleave front/back: 0, 39, 1, 38, ...
+    label[static_cast<std::size_t>(i)] =
+        (i % 2 == 0) ? i / 2 : n - 1 - i / 2;
+  }
+  const CsrMatrix a = scrambled_path(n, label);
+  const Index bw_before = bandwidth(a);
+  const std::vector<Index> perm = rcm_ordering(a);
+  const CsrMatrix b = a.permuted_symmetric(perm);
+  const Index bw_after = bandwidth(b);
+  EXPECT_LT(bw_after, bw_before);
+  EXPECT_LE(bw_after, 2);  // a path graph can reach bandwidth 1
+}
+
+TEST(Rcm, HandlesDisconnectedComponents) {
+  CooMatrix coo(5, 5);
+  // Component {0,1}, component {2,3,4}.
+  coo.add(0, 0, 2.0);
+  coo.add(1, 1, 2.0);
+  coo.add_symmetric_pair(0, 1, -1.0);
+  coo.add(2, 2, 2.0);
+  coo.add(3, 3, 2.0);
+  coo.add(4, 4, 2.0);
+  coo.add_symmetric_pair(2, 3, -1.0);
+  coo.add_symmetric_pair(3, 4, -1.0);
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  const std::vector<Index> perm = rcm_ordering(a);
+  std::vector<Index> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (Index i = 0; i < 5; ++i) {
+    EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Rcm, SingleNodeGraph) {
+  CooMatrix coo(1, 1);
+  coo.add(0, 0, 1.0);
+  const std::vector<Index> perm = rcm_ordering(CsrMatrix::from_coo(coo));
+  ASSERT_EQ(perm.size(), 1u);
+  EXPECT_EQ(perm[0], 0);
+}
+
+TEST(Ordering, InvertPermutationRoundTrip) {
+  const std::vector<Index> perm{2, 0, 3, 1};
+  const std::vector<Index> inv = invert_permutation(perm);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(inv[static_cast<std::size_t>(perm[i])], static_cast<Index>(i));
+  }
+}
+
+TEST(Ordering, InvalidPermutationThrows) {
+  const std::vector<Index> bad{0, 5};
+  EXPECT_THROW(invert_permutation(bad), ppdl::ContractViolation);
+}
+
+TEST(Ordering, ApplyPermutationMovesValues) {
+  const std::vector<Index> perm{1, 2, 0};
+  const std::vector<Real> v{10.0, 20.0, 30.0};
+  const std::vector<Real> out = apply_permutation(perm, v);
+  EXPECT_DOUBLE_EQ(out[1], 10.0);
+  EXPECT_DOUBLE_EQ(out[2], 20.0);
+  EXPECT_DOUBLE_EQ(out[0], 30.0);
+}
+
+TEST(Ordering, BandwidthOfDiagonalIsZero) {
+  CooMatrix coo(3, 3);
+  for (Index i = 0; i < 3; ++i) {
+    coo.add(i, i, 1.0);
+  }
+  EXPECT_EQ(bandwidth(CsrMatrix::from_coo(coo)), 0);
+}
+
+}  // namespace
+}  // namespace ppdl::linalg

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace ppdl::linalg {
+namespace {
+
+TEST(VectorOps, DotProduct) {
+  const std::vector<Real> x{1.0, 2.0, 3.0};
+  const std::vector<Real> y{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), 32.0);
+}
+
+TEST(VectorOps, DotSizeMismatchThrows) {
+  const std::vector<Real> x{1.0};
+  const std::vector<Real> y{1.0, 2.0};
+  EXPECT_THROW(dot(x, y), ppdl::ContractViolation);
+}
+
+TEST(VectorOps, Norm2) {
+  const std::vector<Real> x{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(norm2(x), 5.0);
+}
+
+TEST(VectorOps, NormInf) {
+  const std::vector<Real> x{-7.0, 3.0, 5.0};
+  EXPECT_DOUBLE_EQ(norm_inf(x), 7.0);
+}
+
+TEST(VectorOps, NormOfEmptyIsZero) {
+  const std::vector<Real> x;
+  EXPECT_DOUBLE_EQ(norm2(x), 0.0);
+  EXPECT_DOUBLE_EQ(norm_inf(x), 0.0);
+}
+
+TEST(VectorOps, Axpy) {
+  const std::vector<Real> x{1.0, 2.0};
+  std::vector<Real> y{10.0, 20.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+}
+
+TEST(VectorOps, Scale) {
+  std::vector<Real> x{1.0, -2.0};
+  scale(-3.0, x);
+  EXPECT_DOUBLE_EQ(x[0], -3.0);
+  EXPECT_DOUBLE_EQ(x[1], 6.0);
+}
+
+TEST(VectorOps, Subtract) {
+  const std::vector<Real> x{5.0, 7.0};
+  const std::vector<Real> y{2.0, 10.0};
+  const std::vector<Real> d = subtract(x, y);
+  EXPECT_DOUBLE_EQ(d[0], 3.0);
+  EXPECT_DOUBLE_EQ(d[1], -3.0);
+}
+
+TEST(VectorOps, Hadamard) {
+  const std::vector<Real> x{2.0, 3.0};
+  const std::vector<Real> y{4.0, 5.0};
+  std::vector<Real> out(2);
+  hadamard(x, y, out);
+  EXPECT_DOUBLE_EQ(out[0], 8.0);
+  EXPECT_DOUBLE_EQ(out[1], 15.0);
+}
+
+}  // namespace
+}  // namespace ppdl::linalg

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "nn/loss.hpp"
+
+namespace ppdl::nn {
+namespace {
+
+Matrix row(std::initializer_list<Real> values) {
+  Matrix m(1, static_cast<Index>(values.size()));
+  Index c = 0;
+  for (const Real v : values) {
+    m(0, c++) = v;
+  }
+  return m;
+}
+
+TEST(Loss, MseValue) {
+  const Matrix pred = row({2.0, 4.0});
+  const Matrix target = row({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(loss_value(pred, target, Loss::kMse), (1.0 + 4.0) / 2.0);
+}
+
+TEST(Loss, MaeValue) {
+  const Matrix pred = row({2.0, -1.0});
+  const Matrix target = row({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(loss_value(pred, target, Loss::kMae), 1.5);
+}
+
+TEST(Loss, HuberQuadraticInside) {
+  const Matrix pred = row({0.5});
+  const Matrix target = row({0.0});
+  EXPECT_DOUBLE_EQ(loss_value(pred, target, Loss::kHuber, 1.0), 0.125);
+}
+
+TEST(Loss, HuberLinearOutside) {
+  const Matrix pred = row({3.0});
+  const Matrix target = row({0.0});
+  // δ(|d| − δ/2) = 1·(3 − 0.5) = 2.5
+  EXPECT_DOUBLE_EQ(loss_value(pred, target, Loss::kHuber, 1.0), 2.5);
+}
+
+TEST(Loss, ZeroForExactPrediction) {
+  const Matrix x = row({1.0, -2.0, 3.0});
+  for (const Loss loss : {Loss::kMse, Loss::kMae, Loss::kHuber}) {
+    EXPECT_DOUBLE_EQ(loss_value(x, x, loss), 0.0);
+  }
+}
+
+class LossGradients : public ::testing::TestWithParam<Loss> {};
+
+TEST_P(LossGradients, MatchesFiniteDifference) {
+  const Loss loss = GetParam();
+  Matrix pred(2, 2);
+  pred(0, 0) = 0.3;
+  pred(0, 1) = -1.2;
+  pred(1, 0) = 2.0;
+  pred(1, 1) = 0.4;
+  Matrix target(2, 2);
+  target(0, 0) = 0.0;
+  target(0, 1) = -1.0;
+  target(1, 0) = 2.5;
+  target(1, 1) = 0.4;  // zero error entry exercises kinks at 0
+
+  const Matrix grad = loss_gradient(pred, target, loss);
+  const Real h = 1e-7;
+  for (Index r = 0; r < 2; ++r) {
+    for (Index c = 0; c < 2; ++c) {
+      Matrix plus = pred;
+      Matrix minus = pred;
+      plus(r, c) += h;
+      minus(r, c) -= h;
+      const Real numeric = (loss_value(plus, target, loss) -
+                            loss_value(minus, target, loss)) /
+                           (2.0 * h);
+      EXPECT_NEAR(grad(r, c), numeric, 1e-5)
+          << to_string(loss) << " at (" << r << "," << c << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLosses, LossGradients,
+                         ::testing::Values(Loss::kMse, Loss::kMae,
+                                           Loss::kHuber),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(Loss, ShapeMismatchThrows) {
+  const Matrix a(2, 2);
+  const Matrix b(2, 3);
+  EXPECT_THROW(loss_value(a, b, Loss::kMse), ContractViolation);
+  EXPECT_THROW(loss_gradient(a, b, Loss::kMse), ContractViolation);
+}
+
+TEST(Loss, NameRoundTrip) {
+  for (const Loss loss : {Loss::kMse, Loss::kMae, Loss::kHuber}) {
+    EXPECT_EQ(parse_loss(to_string(loss)), loss);
+  }
+  EXPECT_THROW(parse_loss("cross_entropy"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ppdl::nn

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "nn/model_io.hpp"
+
+namespace ppdl::nn {
+namespace {
+
+Mlp make_model(U64 seed) {
+  Rng rng(seed);
+  MlpConfig c;
+  c.inputs = 3;
+  c.outputs = 2;
+  c.hidden = {5, 4};
+  c.hidden_activation = Activation::kTanh;
+  return Mlp(c, rng);
+}
+
+TEST(ModelIo, RoundTripPreservesPredictionsExactly) {
+  Mlp original = make_model(1);
+  std::stringstream ss;
+  save_model(original, ss);
+  Mlp loaded = load_model(ss);
+
+  Rng data_rng(2);
+  Matrix x(6, 3);
+  for (Real& v : x.data()) {
+    v = data_rng.normal();
+  }
+  const Matrix a = original.predict(x);
+  const Matrix b = loaded.predict(x);
+  for (Index r = 0; r < a.rows(); ++r) {
+    for (Index c = 0; c < a.cols(); ++c) {
+      // Hexfloat serialization: bit-exact round trip.
+      EXPECT_EQ(a(r, c), b(r, c));
+    }
+  }
+}
+
+TEST(ModelIo, RoundTripPreservesArchitecture) {
+  Mlp original = make_model(3);
+  std::stringstream ss;
+  save_model(original, ss);
+  const Mlp loaded = load_model(ss);
+  EXPECT_EQ(loaded.config().inputs, 3);
+  EXPECT_EQ(loaded.config().outputs, 2);
+  ASSERT_EQ(loaded.config().hidden.size(), 2u);
+  EXPECT_EQ(loaded.config().hidden[0], 5);
+  EXPECT_EQ(loaded.config().hidden[1], 4);
+  EXPECT_EQ(loaded.config().hidden_activation, Activation::kTanh);
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  const std::string path = std::string(::testing::TempDir()) + "model.txt";
+  Mlp original = make_model(4);
+  save_model_file(original, path);
+  Mlp loaded = load_model_file(path);
+  EXPECT_EQ(loaded.parameter_count(), original.parameter_count());
+}
+
+TEST(ModelIo, GarbageHeaderThrows) {
+  std::istringstream in("not-a-model 1\n");
+  EXPECT_THROW(load_model(in), ModelIoError);
+}
+
+TEST(ModelIo, WrongVersionThrows) {
+  std::istringstream in("ppdl-mlp 99\n");
+  EXPECT_THROW(load_model(in), ModelIoError);
+}
+
+TEST(ModelIo, TruncatedFileThrows) {
+  Mlp original = make_model(5);
+  std::ostringstream os;
+  save_model(original, os);
+  const std::string full = os.str();
+  std::istringstream in(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_model(in), ModelIoError);
+}
+
+TEST(ModelIo, ScalerRoundTrip) {
+  StandardScaler s;
+  Matrix x(3, 2);
+  x(0, 0) = 1;
+  x(1, 0) = 2;
+  x(2, 0) = 3;
+  x(0, 1) = -1;
+  x(1, 1) = 0;
+  x(2, 1) = 1;
+  s.fit(x);
+  std::stringstream ss;
+  save_scaler(s, ss);
+  const StandardScaler loaded = load_scaler(ss);
+  const Matrix a = s.transform(x);
+  const Matrix b = loaded.transform(x);
+  for (Index r = 0; r < 3; ++r) {
+    for (Index c = 0; c < 2; ++c) {
+      EXPECT_EQ(a(r, c), b(r, c));
+    }
+  }
+}
+
+TEST(ModelIo, UnfittedScalerSaveThrows) {
+  StandardScaler s;
+  std::ostringstream os;
+  EXPECT_THROW(save_scaler(s, os), ContractViolation);
+}
+
+TEST(ModelIo, ScalerGarbageThrows) {
+  std::istringstream in("ppdl-scaler 1\n-3\n");
+  EXPECT_THROW(load_scaler(in), ModelIoError);
+}
+
+}  // namespace
+}  // namespace ppdl::nn

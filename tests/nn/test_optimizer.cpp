@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "nn/optimizer.hpp"
+
+namespace ppdl::nn {
+namespace {
+
+/// Minimize f(x) = Σ (x_i − t_i)² with an optimizer; gradient = 2(x − t).
+std::vector<Real> minimize_quadratic(Optimizer& opt,
+                                     const std::vector<Real>& target,
+                                     Index steps) {
+  std::vector<Real> x(target.size(), 0.0);
+  std::vector<Real> grad(target.size(), 0.0);
+  for (Index s = 0; s < steps; ++s) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      grad[i] = 2.0 * (x[i] - target[i]);
+    }
+    const std::vector<ParamSlot> slots{{std::span<Real>(x),
+                                        std::span<const Real>(grad)}};
+    opt.step(slots);
+  }
+  return x;
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  SgdOptimizer opt(0.1);
+  const std::vector<Real> target{1.0, -2.0, 3.0};
+  const std::vector<Real> x = minimize_quadratic(opt, target, 200);
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    EXPECT_NEAR(x[i], target[i], 1e-6);
+  }
+}
+
+TEST(Momentum, ConvergesOnQuadratic) {
+  MomentumOptimizer opt(0.05, 0.9);
+  const std::vector<Real> target{0.5, 4.0};
+  const std::vector<Real> x = minimize_quadratic(opt, target, 300);
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    EXPECT_NEAR(x[i], target[i], 1e-4);
+  }
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  AdamOptimizer opt(0.1);
+  const std::vector<Real> target{-1.0, 2.5, 0.25};
+  const std::vector<Real> x = minimize_quadratic(opt, target, 500);
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    EXPECT_NEAR(x[i], target[i], 1e-3);
+  }
+}
+
+TEST(Adam, FirstStepIsBiasCorrectlyScaled) {
+  // With bias correction, the very first Adam step has magnitude ≈ lr
+  // regardless of gradient scale.
+  AdamOptimizer opt(0.01);
+  std::vector<Real> x{0.0};
+  const std::vector<Real> grad{1234.5};
+  const std::vector<ParamSlot> slots{{std::span<Real>(x),
+                                      std::span<const Real>(grad)}};
+  opt.step(slots);
+  EXPECT_NEAR(std::abs(x[0]), 0.01, 1e-6);
+}
+
+TEST(Adam, HandlesSparseZeroGradients) {
+  AdamOptimizer opt(0.1);
+  std::vector<Real> x{1.0};
+  const std::vector<Real> zero{0.0};
+  const std::vector<ParamSlot> slots{{std::span<Real>(x),
+                                      std::span<const Real>(zero)}};
+  for (int i = 0; i < 10; ++i) {
+    opt.step(slots);
+  }
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+}
+
+TEST(Optimizer, SlotStructureChangeThrows) {
+  AdamOptimizer opt(0.1);
+  std::vector<Real> a{0.0};
+  std::vector<Real> ga{1.0};
+  const std::vector<ParamSlot> one{{std::span<Real>(a),
+                                    std::span<const Real>(ga)}};
+  opt.step(one);
+  std::vector<Real> b{0.0, 0.0};
+  std::vector<Real> gb{1.0, 1.0};
+  const std::vector<ParamSlot> two{{std::span<Real>(a),
+                                    std::span<const Real>(ga)},
+                                   {std::span<Real>(b),
+                                    std::span<const Real>(gb)}};
+  EXPECT_THROW(opt.step(two), ContractViolation);
+}
+
+TEST(Optimizer, InvalidHyperparametersThrow) {
+  EXPECT_THROW(SgdOptimizer{0.0}, ContractViolation);
+  EXPECT_THROW(MomentumOptimizer(0.1, 1.0), ContractViolation);
+  EXPECT_THROW(AdamOptimizer(0.1, 1.0), ContractViolation);
+  EXPECT_THROW(AdamOptimizer(0.1, 0.9, 0.999, 0.0), ContractViolation);
+}
+
+TEST(Optimizer, FactoryMakesAllKinds) {
+  EXPECT_STREQ(make_optimizer(OptimizerKind::kSgd, 0.1)->name(), "sgd");
+  EXPECT_STREQ(make_optimizer(OptimizerKind::kMomentum, 0.1)->name(),
+               "momentum");
+  EXPECT_STREQ(make_optimizer(OptimizerKind::kAdam, 0.1)->name(), "adam");
+}
+
+TEST(Optimizer, MomentumFasterThanSgdOnIllConditioned) {
+  // f(x, y) = x² + 25 y²: plain SGD zig-zags on the steep axis.
+  const auto run = [](Optimizer& opt) {
+    std::vector<Real> x{5.0, 5.0};
+    std::vector<Real> grad(2);
+    for (int s = 0; s < 120; ++s) {
+      grad[0] = 2.0 * x[0];
+      grad[1] = 50.0 * x[1];
+      const std::vector<ParamSlot> slots{{std::span<Real>(x),
+                                          std::span<const Real>(grad)}};
+      opt.step(slots);
+    }
+    return x[0] * x[0] + 25.0 * x[1] * x[1];
+  };
+  SgdOptimizer sgd(0.02);
+  MomentumOptimizer momentum(0.02, 0.9);
+  const Real f_sgd = run(sgd);
+  const Real f_momentum = run(momentum);
+  EXPECT_LT(f_momentum, f_sgd);
+}
+
+}  // namespace
+}  // namespace ppdl::nn

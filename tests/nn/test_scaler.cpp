@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "nn/scaler.hpp"
+
+namespace ppdl::nn {
+namespace {
+
+Matrix sample_data() {
+  Matrix x(4, 2);
+  x(0, 0) = 1.0;
+  x(1, 0) = 2.0;
+  x(2, 0) = 3.0;
+  x(3, 0) = 4.0;
+  x(0, 1) = 10.0;
+  x(1, 1) = 10.0;
+  x(2, 1) = 10.0;
+  x(3, 1) = 10.0;  // constant column
+  return x;
+}
+
+TEST(StandardScaler, TransformedColumnsHaveZeroMeanUnitStd) {
+  const Matrix x = sample_data();
+  StandardScaler s;
+  s.fit(x);
+  const Matrix z = s.transform(x);
+  Real sum = 0.0;
+  Real sq = 0.0;
+  for (Index r = 0; r < 4; ++r) {
+    sum += z(r, 0);
+    sq += z(r, 0) * z(r, 0);
+  }
+  EXPECT_NEAR(sum / 4.0, 0.0, 1e-12);
+  EXPECT_NEAR(std::sqrt(sq / 4.0), 1.0, 1e-12);
+}
+
+TEST(StandardScaler, ConstantColumnMapsToZeroWithoutNan) {
+  const Matrix x = sample_data();
+  StandardScaler s;
+  s.fit(x);
+  const Matrix z = s.transform(x);
+  for (Index r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(z(r, 1), 0.0);
+  }
+}
+
+TEST(StandardScaler, InverseTransformRoundTrips) {
+  const Matrix x = sample_data();
+  StandardScaler s;
+  s.fit(x);
+  const Matrix back = s.inverse_transform(s.transform(x));
+  for (Index r = 0; r < x.rows(); ++r) {
+    for (Index c = 0; c < x.cols(); ++c) {
+      EXPECT_NEAR(back(r, c), x(r, c), 1e-12);
+    }
+  }
+}
+
+TEST(StandardScaler, UnfittedThrows) {
+  StandardScaler s;
+  EXPECT_FALSE(s.fitted());
+  EXPECT_THROW(s.transform(sample_data()), ContractViolation);
+  EXPECT_THROW(s.inverse_transform(sample_data()), ContractViolation);
+}
+
+TEST(StandardScaler, ColumnMismatchThrows) {
+  StandardScaler s;
+  s.fit(sample_data());
+  const Matrix wrong(2, 3);
+  EXPECT_THROW(s.transform(wrong), ContractViolation);
+}
+
+TEST(StandardScaler, RestoreRebuildsState) {
+  StandardScaler s;
+  s.restore({1.0, 2.0}, {3.0, 4.0});
+  EXPECT_TRUE(s.fitted());
+  Matrix x(1, 2);
+  x(0, 0) = 4.0;
+  x(0, 1) = 10.0;
+  const Matrix z = s.transform(x);
+  EXPECT_DOUBLE_EQ(z(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(z(0, 1), 2.0);
+  EXPECT_THROW(s.restore({1.0}, {0.0}), ContractViolation);
+}
+
+TEST(MinMaxScaler, MapsToUnitInterval) {
+  const Matrix x = sample_data();
+  MinMaxScaler s;
+  s.fit(x);
+  const Matrix z = s.transform(x);
+  EXPECT_DOUBLE_EQ(z(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(z(3, 0), 1.0);
+  for (Index r = 0; r < 4; ++r) {
+    EXPECT_GE(z(r, 0), 0.0);
+    EXPECT_LE(z(r, 0), 1.0);
+    EXPECT_DOUBLE_EQ(z(r, 1), 0.0);  // constant column
+  }
+}
+
+TEST(MinMaxScaler, InverseRoundTrips) {
+  Rng rng(3);
+  Matrix x(10, 3);
+  for (Real& v : x.data()) {
+    v = rng.uniform(-5.0, 5.0);
+  }
+  MinMaxScaler s;
+  s.fit(x);
+  const Matrix back = s.inverse_transform(s.transform(x));
+  for (Index r = 0; r < x.rows(); ++r) {
+    for (Index c = 0; c < x.cols(); ++c) {
+      EXPECT_NEAR(back(r, c), x(r, c), 1e-12);
+    }
+  }
+}
+
+TEST(MinMaxScaler, UnfittedThrows) {
+  MinMaxScaler s;
+  EXPECT_THROW(s.transform(sample_data()), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ppdl::nn

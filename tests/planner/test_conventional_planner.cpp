@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "planner/conventional_planner.hpp"
+#include "support/fixtures.hpp"
+
+namespace ppdl::planner {
+namespace {
+
+TEST(Planner, ConvergesOnTinyBenchmark) {
+  grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  PlannerOptions opts;
+  opts.update.ir_limit = bench.spec.ir_limit_mv * 1e-3;
+  opts.update.jmax = bench.spec.jmax;
+  const PlannerResult result = run_conventional_planner(bench.grid, opts);
+  ASSERT_TRUE(result.converged);
+  EXPECT_LE(result.final_analysis.worst_ir_drop, opts.update.ir_limit + 1e-9);
+  EXPECT_LE(result.final_analysis.worst_density, opts.update.jmax + 1e-9);
+  EXPECT_GT(result.iterations, 1);
+}
+
+TEST(Planner, AlreadyHealthyGridConvergesInOneIteration) {
+  grid::PowerGrid pg = testsupport::make_chain_grid(4, 0.0001);
+  PlannerOptions opts;
+  opts.update.ir_limit = 0.5;
+  const PlannerResult result = run_conventional_planner(pg, opts);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 1);
+  EXPECT_EQ(result.trace.size(), 1u);
+  EXPECT_EQ(result.trace[0].wires_widened, 0);
+}
+
+TEST(Planner, TraceWorstDropIsNonIncreasing) {
+  grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  PlannerOptions opts;
+  opts.update.ir_limit = bench.spec.ir_limit_mv * 1e-3;
+  opts.update.jmax = bench.spec.jmax;
+  const PlannerResult result = run_conventional_planner(bench.grid, opts);
+  // Widening can locally reroute current, so allow a small non-monotone
+  // wiggle; the overall trend must still be downward. Only the sizing phase
+  // counts — once the margin is met, the polish pass deliberately relaxes
+  // the drop back up toward the limit.
+  for (std::size_t i = 1; i < result.trace.size(); ++i) {
+    if (result.trace[i - 1].worst_ir_drop <= opts.update.ir_limit) {
+      break;
+    }
+    EXPECT_LE(result.trace[i].worst_ir_drop,
+              result.trace[i - 1].worst_ir_drop * 1.05);
+  }
+  EXPECT_LT(result.final_analysis.worst_ir_drop,
+            result.trace.front().worst_ir_drop);
+}
+
+TEST(Planner, ImpossibleMarginReportsStuckNotConverged) {
+  grid::PowerGrid pg = testsupport::make_chain_grid(6, 1.0);
+  PlannerOptions opts;
+  opts.update.ir_limit = 1e-9;  // unattainable
+  opts.max_iterations = 10;
+  const PlannerResult result = run_conventional_planner(pg, opts);
+  EXPECT_FALSE(result.converged);
+  EXPECT_GT(result.final_analysis.worst_ir_drop, opts.update.ir_limit);
+}
+
+TEST(Planner, IterationCapRespected) {
+  grid::GeneratedBenchmark bench =
+      testsupport::make_tiny_benchmark(/*violation_factor=*/8.0);
+  PlannerOptions opts;
+  opts.update.ir_limit = bench.spec.ir_limit_mv * 1e-3;
+  opts.update.jmax = bench.spec.jmax;
+  opts.max_iterations = 2;
+  const PlannerResult result = run_conventional_planner(bench.grid, opts);
+  EXPECT_LE(result.iterations, 2);
+}
+
+TEST(Planner, AccountsAnalysisTime) {
+  grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  PlannerOptions opts;
+  opts.update.ir_limit = bench.spec.ir_limit_mv * 1e-3;
+  opts.update.jmax = bench.spec.jmax;
+  const PlannerResult result = run_conventional_planner(bench.grid, opts);
+  EXPECT_GT(result.analysis_seconds, 0.0);
+  EXPECT_GE(result.total_seconds, result.analysis_seconds * 0.5);
+}
+
+TEST(Planner, WarmStartOffStillConverges) {
+  grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  PlannerOptions opts;
+  opts.update.ir_limit = bench.spec.ir_limit_mv * 1e-3;
+  opts.update.jmax = bench.spec.jmax;
+  opts.warm_start = false;
+  const PlannerResult result = run_conventional_planner(bench.grid, opts);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(Planner, GoldenWidthsVaryAcrossTheGrid) {
+  // The converged design must not be a uniform blanket: widths should track
+  // local current, which is what makes them learnable.
+  grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  PlannerOptions opts;
+  opts.update.ir_limit = bench.spec.ir_limit_mv * 1e-3;
+  opts.update.jmax = bench.spec.jmax;
+  run_conventional_planner(bench.grid, opts);
+  // At least one layer must show a clear width spread (the planner sizes
+  // where current concentrates; which layer that is depends on scale).
+  Real best_spread = 0.0;
+  for (Index layer = 0; layer < bench.grid.layer_count(); ++layer) {
+    Real min_w = 1e18;
+    Real max_w = 0.0;
+    for (Index b = 0; b < bench.grid.branch_count(); ++b) {
+      if (bench.grid.branch(b).kind == grid::BranchKind::kWire &&
+          bench.grid.branch(b).layer == layer) {
+        min_w = std::min(min_w, bench.grid.branch(b).width);
+        max_w = std::max(max_w, bench.grid.branch(b).width);
+      }
+    }
+    if (max_w > 0.0) {
+      best_spread = std::max(best_spread, max_w / min_w);
+    }
+  }
+  EXPECT_GT(best_spread, 1.2);
+}
+
+TEST(Planner, PolishLandsNearTheMargin) {
+  // With polish enabled (default), the converged design should sit close to
+  // the IR limit rather than arbitrarily below it — the width-relaxation
+  // pass reclaims the loop's overshoot.
+  grid::GeneratedBenchmark bench =
+      testsupport::make_tiny_benchmark(/*violation_factor=*/4.0);
+  PlannerOptions opts;
+  opts.update.ir_limit = bench.spec.ir_limit_mv * 1e-3;
+  opts.update.jmax = bench.spec.jmax;
+  const PlannerResult result = run_conventional_planner(bench.grid, opts);
+  ASSERT_TRUE(result.converged);
+  EXPECT_LE(result.final_analysis.worst_ir_drop, opts.update.ir_limit + 1e-9);
+  EXPECT_GE(result.final_analysis.worst_ir_drop, 0.80 * opts.update.ir_limit);
+}
+
+TEST(Planner, PolishSavesMetalVersusUnpolished) {
+  const auto metal = [](const grid::PowerGrid& pg) {
+    Real area = 0.0;
+    for (Index b = 0; b < pg.branch_count(); ++b) {
+      if (pg.branch(b).kind == grid::BranchKind::kWire) {
+        area += pg.branch(b).length * pg.branch(b).width;
+      }
+    }
+    return area;
+  };
+  grid::GeneratedBenchmark polished =
+      testsupport::make_tiny_benchmark(/*violation_factor=*/4.0);
+  grid::GeneratedBenchmark raw =
+      testsupport::make_tiny_benchmark(/*violation_factor=*/4.0);
+  PlannerOptions opts;
+  opts.update.ir_limit = polished.spec.ir_limit_mv * 1e-3;
+  opts.update.jmax = polished.spec.jmax;
+  run_conventional_planner(polished.grid, opts);
+  PlannerOptions no_polish = opts;
+  no_polish.polish = false;
+  run_conventional_planner(raw.grid, no_polish);
+  EXPECT_LE(metal(polished.grid), metal(raw.grid) * 1.0 + 1e-9);
+}
+
+TEST(Planner, RejectsZeroIterationBudget) {
+  grid::PowerGrid pg = testsupport::make_chain_grid(3, 0.01);
+  PlannerOptions opts;
+  opts.max_iterations = 0;
+  EXPECT_THROW(run_conventional_planner(pg, opts), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ppdl::planner

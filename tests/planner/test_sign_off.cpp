@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "planner/conventional_planner.hpp"
+#include "planner/sign_off.hpp"
+#include "support/fixtures.hpp"
+
+namespace ppdl::planner {
+namespace {
+
+TEST(SignOff, HealthyChainSignsOff) {
+  const grid::PowerGrid pg = testsupport::make_chain_grid(4, 0.001);
+  SignOffOptions opts;
+  opts.ir_limit = 0.1;
+  opts.jmax = 1.0;
+  const SignOffReport report = run_sign_off(pg, opts);
+  EXPECT_TRUE(report.ir_ok);
+  EXPECT_TRUE(report.em_ok);
+  EXPECT_TRUE(report.drc_ok);
+  EXPECT_TRUE(report.signed_off);
+}
+
+TEST(SignOff, IrViolationRejects) {
+  const grid::PowerGrid pg = testsupport::make_chain_grid(6, 0.05);
+  SignOffOptions opts;
+  opts.ir_limit = 0.01;
+  const SignOffReport report = run_sign_off(pg, opts);
+  EXPECT_FALSE(report.ir_ok);
+  EXPECT_FALSE(report.signed_off);
+  EXPECT_GT(report.worst_ir_drop, opts.ir_limit);
+}
+
+TEST(SignOff, EmViolationRejectsAndCounts) {
+  const grid::PowerGrid pg = testsupport::make_chain_grid(4, 0.5);
+  SignOffOptions opts;
+  opts.ir_limit = 10.0;  // IR fine
+  opts.jmax = 0.1;       // EM violated everywhere (density 0.5)
+  const SignOffReport report = run_sign_off(pg, opts);
+  EXPECT_FALSE(report.em_ok);
+  EXPECT_EQ(report.em_violation_count, pg.wire_count());
+  EXPECT_FALSE(report.signed_off);
+}
+
+TEST(SignOff, DrcViolationRejects) {
+  grid::PowerGrid pg = testsupport::make_chain_grid(4, 0.001);
+  pg.set_wire_width(0, 0.01);  // below minimum width
+  SignOffOptions opts;
+  opts.ir_limit = 1.0;
+  const SignOffReport report = run_sign_off(pg, opts);
+  EXPECT_FALSE(report.drc_ok);
+  EXPECT_GE(report.drc_violation_count, 1);
+  EXPECT_FALSE(report.signed_off);
+}
+
+TEST(SignOff, PlannerOutputSignsOff) {
+  grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  PlannerOptions popts;
+  popts.update.ir_limit = bench.spec.ir_limit_mv * 1e-3;
+  popts.update.jmax = bench.spec.jmax;
+  const PlannerResult planned = run_conventional_planner(bench.grid, popts);
+  ASSERT_TRUE(planned.converged);
+
+  SignOffOptions sopts;
+  sopts.ir_limit = popts.update.ir_limit;
+  sopts.jmax = popts.update.jmax;
+  const SignOffReport report = run_sign_off(bench.grid, sopts);
+  EXPECT_TRUE(report.signed_off) << report.render();
+}
+
+TEST(SignOff, RenderMentionsVerdict) {
+  const grid::PowerGrid pg = testsupport::make_chain_grid(4, 0.001);
+  SignOffOptions opts;
+  opts.ir_limit = 0.1;
+  const SignOffReport report = run_sign_off(pg, opts);
+  const std::string text = report.render();
+  EXPECT_NE(text.find("SIGNED OFF"), std::string::npos);
+  EXPECT_NE(text.find("worst IR drop"), std::string::npos);
+  EXPECT_NE(text.find("MTTF"), std::string::npos);
+}
+
+TEST(SignOff, ReportsFiniteMttf) {
+  const grid::PowerGrid pg = testsupport::make_chain_grid(4, 0.01);
+  const SignOffReport report = run_sign_off(pg);
+  EXPECT_GT(report.min_mttf_hours, 0.0);
+}
+
+}  // namespace
+}  // namespace ppdl::planner

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "analysis/ir_solver.hpp"
+#include "planner/width_optimizer.hpp"
+#include "support/fixtures.hpp"
+
+namespace ppdl::planner {
+namespace {
+
+WidthUpdateOptions chain_options(Real ir_limit_v) {
+  WidthUpdateOptions opts;
+  opts.ir_limit = ir_limit_v;
+  opts.jmax = 1.0;
+  return opts;
+}
+
+TEST(WidthOptimizer, NoChangeWhenMarginsHold) {
+  grid::PowerGrid pg = testsupport::make_chain_grid(4, 0.001);
+  const analysis::IrAnalysisResult res = analysis::analyze_ir_drop(pg);
+  // Worst drop = 0.001·3·2 = 6 mV; generous 100 mV limit.
+  WidthUpdateOptions opts = chain_options(0.1);
+  WidthUpdateState state;
+  EXPECT_EQ(update_widths(pg, res, opts, state), 0);
+}
+
+TEST(WidthOptimizer, ProportionalWidensUnderViolation) {
+  grid::PowerGrid pg = testsupport::make_chain_grid(6, 0.05);
+  const analysis::IrAnalysisResult res = analysis::analyze_ir_drop(pg);
+  // Worst drop = 0.05·5·2 = 500 mV; limit 50 mV → must widen.
+  WidthUpdateOptions opts = chain_options(0.05);
+  WidthUpdateState state;
+  const Index changed = update_widths(pg, res, opts, state);
+  EXPECT_GT(changed, 0);
+  for (Index b = 0; b < pg.branch_count(); ++b) {
+    EXPECT_GE(pg.branch(b).width, 1.0);
+  }
+}
+
+TEST(WidthOptimizer, WidthsAreMonotone) {
+  grid::PowerGrid pg = testsupport::make_chain_grid(6, 0.05);
+  std::vector<Real> before;
+  for (Index b = 0; b < pg.branch_count(); ++b) {
+    before.push_back(pg.branch(b).width);
+  }
+  const analysis::IrAnalysisResult res = analysis::analyze_ir_drop(pg);
+  WidthUpdateOptions opts = chain_options(0.01);
+  WidthUpdateState state;
+  update_widths(pg, res, opts, state);
+  for (Index b = 0; b < pg.branch_count(); ++b) {
+    EXPECT_GE(pg.branch(b).width, before[static_cast<std::size_t>(b)]);
+  }
+}
+
+TEST(WidthOptimizer, RespectsMaxWidthRule) {
+  grid::PowerGrid pg = testsupport::make_chain_grid(6, 10.0);  // huge load
+  const analysis::IrAnalysisResult res = analysis::analyze_ir_drop(pg);
+  WidthUpdateOptions opts = chain_options(1e-6);  // unreachable limit
+  WidthUpdateState state;
+  update_widths(pg, res, opts, state);
+  const Real max_w = grid::max_width(pg.layer(0), opts.rules);
+  for (Index b = 0; b < pg.branch_count(); ++b) {
+    EXPECT_LE(pg.branch(b).width, max_w + 1e-9);
+  }
+}
+
+TEST(WidthOptimizer, EmFloorAppliesEvenWithoutIrViolation) {
+  // Density 0.5 A/µm with jmax 0.4 violates EM although IR is fine.
+  grid::PowerGrid pg = testsupport::make_chain_grid(3, 0.5);
+  const analysis::IrAnalysisResult res = analysis::analyze_ir_drop(pg);
+  WidthUpdateOptions opts = chain_options(1e9);
+  opts.jmax = 0.4;
+  opts.em_safety = 1.0;
+  WidthUpdateState state;
+  const Index changed = update_widths(pg, res, opts, state);
+  EXPECT_GT(changed, 0);
+  // Sized to at least |I|/jmax = 1.25 µm.
+  for (Index b = 0; b < pg.branch_count(); ++b) {
+    EXPECT_GE(pg.branch(b).width, 1.25 - 1e-9);
+  }
+}
+
+TEST(WidthOptimizer, UniformWidensEverythingEqually) {
+  grid::PowerGrid pg = testsupport::make_chain_grid(5, 0.05);
+  const analysis::IrAnalysisResult res = analysis::analyze_ir_drop(pg);
+  WidthUpdateOptions opts = chain_options(0.01);
+  opts.strategy = WidthUpdateStrategy::kUniform;
+  WidthUpdateState state;
+  update_widths(pg, res, opts, state);
+  for (Index b = 0; b < pg.branch_count(); ++b) {
+    EXPECT_NEAR(pg.branch(b).width, opts.uniform_factor, 1e-12);
+  }
+}
+
+TEST(WidthOptimizer, UniformIsNoopWithoutViolation) {
+  grid::PowerGrid pg = testsupport::make_chain_grid(4, 0.0001);
+  const analysis::IrAnalysisResult res = analysis::analyze_ir_drop(pg);
+  WidthUpdateOptions opts = chain_options(0.5);
+  opts.strategy = WidthUpdateStrategy::kUniform;
+  WidthUpdateState state;
+  EXPECT_EQ(update_widths(pg, res, opts, state), 0);
+}
+
+TEST(WidthOptimizer, WorstRegionTargetsHotNodes) {
+  grid::PowerGrid pg = testsupport::make_chain_grid(10, 0.05);
+  const analysis::IrAnalysisResult res = analysis::analyze_ir_drop(pg);
+  WidthUpdateOptions opts = chain_options(0.01);
+  opts.strategy = WidthUpdateStrategy::kWorstRegion;
+  opts.worst_fraction = 0.2;
+  WidthUpdateState state;
+  const Index changed = update_widths(pg, res, opts, state);
+  EXPECT_GT(changed, 0);
+  // The far-end (hottest) wire must widen; the first wire (coolest, near the
+  // pad) should stay at EM-floor/initial width.
+  EXPECT_GT(pg.branch(pg.branch_count() - 1).width, 1.0);
+}
+
+TEST(WidthOptimizer, StrategyNames) {
+  EXPECT_EQ(to_string(WidthUpdateStrategy::kProportional), "proportional");
+  EXPECT_EQ(to_string(WidthUpdateStrategy::kUniform), "uniform");
+  EXPECT_EQ(to_string(WidthUpdateStrategy::kWorstRegion), "worst-region");
+}
+
+TEST(WidthOptimizer, InvalidOptionsThrow) {
+  grid::PowerGrid pg = testsupport::make_chain_grid(3, 0.01);
+  const analysis::IrAnalysisResult res = analysis::analyze_ir_drop(pg);
+  WidthUpdateState state;
+  WidthUpdateOptions bad = chain_options(0.0);
+  EXPECT_THROW(update_widths(pg, res, bad, state), ContractViolation);
+  WidthUpdateOptions bad2 = chain_options(0.05);
+  bad2.jmax = 0.0;
+  EXPECT_THROW(update_widths(pg, res, bad2, state), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ppdl::planner
