@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_ir_maps.dir/bench_fig8_ir_maps.cpp.o"
+  "CMakeFiles/bench_fig8_ir_maps.dir/bench_fig8_ir_maps.cpp.o.d"
+  "bench_fig8_ir_maps"
+  "bench_fig8_ir_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_ir_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

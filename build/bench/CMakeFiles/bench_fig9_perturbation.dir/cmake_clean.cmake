@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_perturbation.dir/bench_fig9_perturbation.cpp.o"
+  "CMakeFiles/bench_fig9_perturbation.dir/bench_fig9_perturbation.cpp.o.d"
+  "bench_fig9_perturbation"
+  "bench_fig9_perturbation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_perturbation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

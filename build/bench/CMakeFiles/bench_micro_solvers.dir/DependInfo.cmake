@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_solvers.cpp" "bench/CMakeFiles/bench_micro_solvers.dir/bench_micro_solvers.cpp.o" "gcc" "bench/CMakeFiles/bench_micro_solvers.dir/bench_micro_solvers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ppdl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/ppdl_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ppdl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ppdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/ppdl_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ppdl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ppdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

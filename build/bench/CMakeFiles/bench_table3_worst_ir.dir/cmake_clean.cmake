@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_worst_ir.dir/bench_table3_worst_ir.cpp.o"
+  "CMakeFiles/bench_table3_worst_ir.dir/bench_table3_worst_ir.cpp.o.d"
+  "bench_table3_worst_ir"
+  "bench_table3_worst_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_worst_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_grid_design.dir/custom_grid_design.cpp.o"
+  "CMakeFiles/custom_grid_design.dir/custom_grid_design.cpp.o.d"
+  "custom_grid_design"
+  "custom_grid_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_grid_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

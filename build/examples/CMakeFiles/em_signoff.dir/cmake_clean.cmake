@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/em_signoff.dir/em_signoff.cpp.o"
+  "CMakeFiles/em_signoff.dir/em_signoff.cpp.o.d"
+  "em_signoff"
+  "em_signoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/em_signoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

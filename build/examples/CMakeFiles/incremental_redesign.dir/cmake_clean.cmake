@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_redesign.dir/incremental_redesign.cpp.o"
+  "CMakeFiles/incremental_redesign.dir/incremental_redesign.cpp.o.d"
+  "incremental_redesign"
+  "incremental_redesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_redesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

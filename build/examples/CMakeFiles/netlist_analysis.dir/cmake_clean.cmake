@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_analysis.dir/netlist_analysis.cpp.o"
+  "CMakeFiles/netlist_analysis.dir/netlist_analysis.cpp.o.d"
+  "netlist_analysis"
+  "netlist_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dual_rail.cpp" "src/analysis/CMakeFiles/ppdl_analysis.dir/dual_rail.cpp.o" "gcc" "src/analysis/CMakeFiles/ppdl_analysis.dir/dual_rail.cpp.o.d"
+  "/root/repo/src/analysis/em.cpp" "src/analysis/CMakeFiles/ppdl_analysis.dir/em.cpp.o" "gcc" "src/analysis/CMakeFiles/ppdl_analysis.dir/em.cpp.o.d"
+  "/root/repo/src/analysis/ir_map.cpp" "src/analysis/CMakeFiles/ppdl_analysis.dir/ir_map.cpp.o" "gcc" "src/analysis/CMakeFiles/ppdl_analysis.dir/ir_map.cpp.o.d"
+  "/root/repo/src/analysis/ir_solver.cpp" "src/analysis/CMakeFiles/ppdl_analysis.dir/ir_solver.cpp.o" "gcc" "src/analysis/CMakeFiles/ppdl_analysis.dir/ir_solver.cpp.o.d"
+  "/root/repo/src/analysis/mna.cpp" "src/analysis/CMakeFiles/ppdl_analysis.dir/mna.cpp.o" "gcc" "src/analysis/CMakeFiles/ppdl_analysis.dir/mna.cpp.o.d"
+  "/root/repo/src/analysis/vectorless.cpp" "src/analysis/CMakeFiles/ppdl_analysis.dir/vectorless.cpp.o" "gcc" "src/analysis/CMakeFiles/ppdl_analysis.dir/vectorless.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ppdl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ppdl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/ppdl_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

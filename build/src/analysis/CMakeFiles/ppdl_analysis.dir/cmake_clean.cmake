@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdl_analysis.dir/dual_rail.cpp.o"
+  "CMakeFiles/ppdl_analysis.dir/dual_rail.cpp.o.d"
+  "CMakeFiles/ppdl_analysis.dir/em.cpp.o"
+  "CMakeFiles/ppdl_analysis.dir/em.cpp.o.d"
+  "CMakeFiles/ppdl_analysis.dir/ir_map.cpp.o"
+  "CMakeFiles/ppdl_analysis.dir/ir_map.cpp.o.d"
+  "CMakeFiles/ppdl_analysis.dir/ir_solver.cpp.o"
+  "CMakeFiles/ppdl_analysis.dir/ir_solver.cpp.o.d"
+  "CMakeFiles/ppdl_analysis.dir/mna.cpp.o"
+  "CMakeFiles/ppdl_analysis.dir/mna.cpp.o.d"
+  "CMakeFiles/ppdl_analysis.dir/vectorless.cpp.o"
+  "CMakeFiles/ppdl_analysis.dir/vectorless.cpp.o.d"
+  "libppdl_analysis.a"
+  "libppdl_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdl_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdl_common.dir/check.cpp.o"
+  "CMakeFiles/ppdl_common.dir/check.cpp.o.d"
+  "CMakeFiles/ppdl_common.dir/cli.cpp.o"
+  "CMakeFiles/ppdl_common.dir/cli.cpp.o.d"
+  "CMakeFiles/ppdl_common.dir/csv.cpp.o"
+  "CMakeFiles/ppdl_common.dir/csv.cpp.o.d"
+  "CMakeFiles/ppdl_common.dir/logging.cpp.o"
+  "CMakeFiles/ppdl_common.dir/logging.cpp.o.d"
+  "CMakeFiles/ppdl_common.dir/memory.cpp.o"
+  "CMakeFiles/ppdl_common.dir/memory.cpp.o.d"
+  "CMakeFiles/ppdl_common.dir/rng.cpp.o"
+  "CMakeFiles/ppdl_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ppdl_common.dir/stats.cpp.o"
+  "CMakeFiles/ppdl_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ppdl_common.dir/table.cpp.o"
+  "CMakeFiles/ppdl_common.dir/table.cpp.o.d"
+  "CMakeFiles/ppdl_common.dir/timer.cpp.o"
+  "CMakeFiles/ppdl_common.dir/timer.cpp.o.d"
+  "libppdl_common.a"
+  "libppdl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/benchmarks.cpp" "src/core/CMakeFiles/ppdl_core.dir/benchmarks.cpp.o" "gcc" "src/core/CMakeFiles/ppdl_core.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/core/dataset.cpp" "src/core/CMakeFiles/ppdl_core.dir/dataset.cpp.o" "gcc" "src/core/CMakeFiles/ppdl_core.dir/dataset.cpp.o.d"
+  "/root/repo/src/core/experiments.cpp" "src/core/CMakeFiles/ppdl_core.dir/experiments.cpp.o" "gcc" "src/core/CMakeFiles/ppdl_core.dir/experiments.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/ppdl_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/ppdl_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/flow.cpp" "src/core/CMakeFiles/ppdl_core.dir/flow.cpp.o" "gcc" "src/core/CMakeFiles/ppdl_core.dir/flow.cpp.o.d"
+  "/root/repo/src/core/ir_predictor.cpp" "src/core/CMakeFiles/ppdl_core.dir/ir_predictor.cpp.o" "gcc" "src/core/CMakeFiles/ppdl_core.dir/ir_predictor.cpp.o.d"
+  "/root/repo/src/core/ppdl_model.cpp" "src/core/CMakeFiles/ppdl_core.dir/ppdl_model.cpp.o" "gcc" "src/core/CMakeFiles/ppdl_core.dir/ppdl_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ppdl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ppdl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/ppdl_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ppdl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/ppdl_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ppdl_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdl_core.dir/benchmarks.cpp.o"
+  "CMakeFiles/ppdl_core.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/ppdl_core.dir/dataset.cpp.o"
+  "CMakeFiles/ppdl_core.dir/dataset.cpp.o.d"
+  "CMakeFiles/ppdl_core.dir/experiments.cpp.o"
+  "CMakeFiles/ppdl_core.dir/experiments.cpp.o.d"
+  "CMakeFiles/ppdl_core.dir/features.cpp.o"
+  "CMakeFiles/ppdl_core.dir/features.cpp.o.d"
+  "CMakeFiles/ppdl_core.dir/flow.cpp.o"
+  "CMakeFiles/ppdl_core.dir/flow.cpp.o.d"
+  "CMakeFiles/ppdl_core.dir/ir_predictor.cpp.o"
+  "CMakeFiles/ppdl_core.dir/ir_predictor.cpp.o.d"
+  "CMakeFiles/ppdl_core.dir/ppdl_model.cpp.o"
+  "CMakeFiles/ppdl_core.dir/ppdl_model.cpp.o.d"
+  "libppdl_core.a"
+  "libppdl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

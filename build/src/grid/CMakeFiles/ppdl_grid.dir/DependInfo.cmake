@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/design_rules.cpp" "src/grid/CMakeFiles/ppdl_grid.dir/design_rules.cpp.o" "gcc" "src/grid/CMakeFiles/ppdl_grid.dir/design_rules.cpp.o.d"
+  "/root/repo/src/grid/floorplan.cpp" "src/grid/CMakeFiles/ppdl_grid.dir/floorplan.cpp.o" "gcc" "src/grid/CMakeFiles/ppdl_grid.dir/floorplan.cpp.o.d"
+  "/root/repo/src/grid/generator.cpp" "src/grid/CMakeFiles/ppdl_grid.dir/generator.cpp.o" "gcc" "src/grid/CMakeFiles/ppdl_grid.dir/generator.cpp.o.d"
+  "/root/repo/src/grid/netlist.cpp" "src/grid/CMakeFiles/ppdl_grid.dir/netlist.cpp.o" "gcc" "src/grid/CMakeFiles/ppdl_grid.dir/netlist.cpp.o.d"
+  "/root/repo/src/grid/perturb.cpp" "src/grid/CMakeFiles/ppdl_grid.dir/perturb.cpp.o" "gcc" "src/grid/CMakeFiles/ppdl_grid.dir/perturb.cpp.o.d"
+  "/root/repo/src/grid/power_grid.cpp" "src/grid/CMakeFiles/ppdl_grid.dir/power_grid.cpp.o" "gcc" "src/grid/CMakeFiles/ppdl_grid.dir/power_grid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ppdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

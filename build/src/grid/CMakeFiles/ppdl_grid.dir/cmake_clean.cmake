@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdl_grid.dir/design_rules.cpp.o"
+  "CMakeFiles/ppdl_grid.dir/design_rules.cpp.o.d"
+  "CMakeFiles/ppdl_grid.dir/floorplan.cpp.o"
+  "CMakeFiles/ppdl_grid.dir/floorplan.cpp.o.d"
+  "CMakeFiles/ppdl_grid.dir/generator.cpp.o"
+  "CMakeFiles/ppdl_grid.dir/generator.cpp.o.d"
+  "CMakeFiles/ppdl_grid.dir/netlist.cpp.o"
+  "CMakeFiles/ppdl_grid.dir/netlist.cpp.o.d"
+  "CMakeFiles/ppdl_grid.dir/perturb.cpp.o"
+  "CMakeFiles/ppdl_grid.dir/perturb.cpp.o.d"
+  "CMakeFiles/ppdl_grid.dir/power_grid.cpp.o"
+  "CMakeFiles/ppdl_grid.dir/power_grid.cpp.o.d"
+  "libppdl_grid.a"
+  "libppdl_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdl_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/cg.cpp" "src/linalg/CMakeFiles/ppdl_linalg.dir/cg.cpp.o" "gcc" "src/linalg/CMakeFiles/ppdl_linalg.dir/cg.cpp.o.d"
+  "/root/repo/src/linalg/cholesky.cpp" "src/linalg/CMakeFiles/ppdl_linalg.dir/cholesky.cpp.o" "gcc" "src/linalg/CMakeFiles/ppdl_linalg.dir/cholesky.cpp.o.d"
+  "/root/repo/src/linalg/coo.cpp" "src/linalg/CMakeFiles/ppdl_linalg.dir/coo.cpp.o" "gcc" "src/linalg/CMakeFiles/ppdl_linalg.dir/coo.cpp.o.d"
+  "/root/repo/src/linalg/csr.cpp" "src/linalg/CMakeFiles/ppdl_linalg.dir/csr.cpp.o" "gcc" "src/linalg/CMakeFiles/ppdl_linalg.dir/csr.cpp.o.d"
+  "/root/repo/src/linalg/dense.cpp" "src/linalg/CMakeFiles/ppdl_linalg.dir/dense.cpp.o" "gcc" "src/linalg/CMakeFiles/ppdl_linalg.dir/dense.cpp.o.d"
+  "/root/repo/src/linalg/ordering.cpp" "src/linalg/CMakeFiles/ppdl_linalg.dir/ordering.cpp.o" "gcc" "src/linalg/CMakeFiles/ppdl_linalg.dir/ordering.cpp.o.d"
+  "/root/repo/src/linalg/preconditioner.cpp" "src/linalg/CMakeFiles/ppdl_linalg.dir/preconditioner.cpp.o" "gcc" "src/linalg/CMakeFiles/ppdl_linalg.dir/preconditioner.cpp.o.d"
+  "/root/repo/src/linalg/vector_ops.cpp" "src/linalg/CMakeFiles/ppdl_linalg.dir/vector_ops.cpp.o" "gcc" "src/linalg/CMakeFiles/ppdl_linalg.dir/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ppdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdl_linalg.dir/cg.cpp.o"
+  "CMakeFiles/ppdl_linalg.dir/cg.cpp.o.d"
+  "CMakeFiles/ppdl_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/ppdl_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/ppdl_linalg.dir/coo.cpp.o"
+  "CMakeFiles/ppdl_linalg.dir/coo.cpp.o.d"
+  "CMakeFiles/ppdl_linalg.dir/csr.cpp.o"
+  "CMakeFiles/ppdl_linalg.dir/csr.cpp.o.d"
+  "CMakeFiles/ppdl_linalg.dir/dense.cpp.o"
+  "CMakeFiles/ppdl_linalg.dir/dense.cpp.o.d"
+  "CMakeFiles/ppdl_linalg.dir/ordering.cpp.o"
+  "CMakeFiles/ppdl_linalg.dir/ordering.cpp.o.d"
+  "CMakeFiles/ppdl_linalg.dir/preconditioner.cpp.o"
+  "CMakeFiles/ppdl_linalg.dir/preconditioner.cpp.o.d"
+  "CMakeFiles/ppdl_linalg.dir/vector_ops.cpp.o"
+  "CMakeFiles/ppdl_linalg.dir/vector_ops.cpp.o.d"
+  "libppdl_linalg.a"
+  "libppdl_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdl_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/nn/CMakeFiles/ppdl_nn.dir/activation.cpp.o" "gcc" "src/nn/CMakeFiles/ppdl_nn.dir/activation.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/ppdl_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/ppdl_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/ppdl_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/ppdl_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/nn/CMakeFiles/ppdl_nn.dir/mlp.cpp.o" "gcc" "src/nn/CMakeFiles/ppdl_nn.dir/mlp.cpp.o.d"
+  "/root/repo/src/nn/model_io.cpp" "src/nn/CMakeFiles/ppdl_nn.dir/model_io.cpp.o" "gcc" "src/nn/CMakeFiles/ppdl_nn.dir/model_io.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/ppdl_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/ppdl_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/scaler.cpp" "src/nn/CMakeFiles/ppdl_nn.dir/scaler.cpp.o" "gcc" "src/nn/CMakeFiles/ppdl_nn.dir/scaler.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/ppdl_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/ppdl_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ppdl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ppdl_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdl_nn.dir/activation.cpp.o"
+  "CMakeFiles/ppdl_nn.dir/activation.cpp.o.d"
+  "CMakeFiles/ppdl_nn.dir/layer.cpp.o"
+  "CMakeFiles/ppdl_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/ppdl_nn.dir/loss.cpp.o"
+  "CMakeFiles/ppdl_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/ppdl_nn.dir/mlp.cpp.o"
+  "CMakeFiles/ppdl_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/ppdl_nn.dir/model_io.cpp.o"
+  "CMakeFiles/ppdl_nn.dir/model_io.cpp.o.d"
+  "CMakeFiles/ppdl_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/ppdl_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/ppdl_nn.dir/scaler.cpp.o"
+  "CMakeFiles/ppdl_nn.dir/scaler.cpp.o.d"
+  "CMakeFiles/ppdl_nn.dir/trainer.cpp.o"
+  "CMakeFiles/ppdl_nn.dir/trainer.cpp.o.d"
+  "libppdl_nn.a"
+  "libppdl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/planner/conventional_planner.cpp" "src/planner/CMakeFiles/ppdl_planner.dir/conventional_planner.cpp.o" "gcc" "src/planner/CMakeFiles/ppdl_planner.dir/conventional_planner.cpp.o.d"
+  "/root/repo/src/planner/sign_off.cpp" "src/planner/CMakeFiles/ppdl_planner.dir/sign_off.cpp.o" "gcc" "src/planner/CMakeFiles/ppdl_planner.dir/sign_off.cpp.o.d"
+  "/root/repo/src/planner/width_optimizer.cpp" "src/planner/CMakeFiles/ppdl_planner.dir/width_optimizer.cpp.o" "gcc" "src/planner/CMakeFiles/ppdl_planner.dir/width_optimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ppdl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ppdl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/ppdl_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ppdl_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdl_planner.dir/conventional_planner.cpp.o"
+  "CMakeFiles/ppdl_planner.dir/conventional_planner.cpp.o.d"
+  "CMakeFiles/ppdl_planner.dir/sign_off.cpp.o"
+  "CMakeFiles/ppdl_planner.dir/sign_off.cpp.o.d"
+  "CMakeFiles/ppdl_planner.dir/width_optimizer.cpp.o"
+  "CMakeFiles/ppdl_planner.dir/width_optimizer.cpp.o.d"
+  "libppdl_planner.a"
+  "libppdl_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdl_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

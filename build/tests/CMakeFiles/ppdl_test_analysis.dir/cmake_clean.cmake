@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdl_test_analysis.dir/analysis/test_dual_rail.cpp.o"
+  "CMakeFiles/ppdl_test_analysis.dir/analysis/test_dual_rail.cpp.o.d"
+  "CMakeFiles/ppdl_test_analysis.dir/analysis/test_em.cpp.o"
+  "CMakeFiles/ppdl_test_analysis.dir/analysis/test_em.cpp.o.d"
+  "CMakeFiles/ppdl_test_analysis.dir/analysis/test_ir_map.cpp.o"
+  "CMakeFiles/ppdl_test_analysis.dir/analysis/test_ir_map.cpp.o.d"
+  "CMakeFiles/ppdl_test_analysis.dir/analysis/test_ir_solver.cpp.o"
+  "CMakeFiles/ppdl_test_analysis.dir/analysis/test_ir_solver.cpp.o.d"
+  "CMakeFiles/ppdl_test_analysis.dir/analysis/test_mna.cpp.o"
+  "CMakeFiles/ppdl_test_analysis.dir/analysis/test_mna.cpp.o.d"
+  "CMakeFiles/ppdl_test_analysis.dir/analysis/test_vectorless.cpp.o"
+  "CMakeFiles/ppdl_test_analysis.dir/analysis/test_vectorless.cpp.o.d"
+  "ppdl_test_analysis"
+  "ppdl_test_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdl_test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

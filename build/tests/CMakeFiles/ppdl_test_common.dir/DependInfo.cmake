@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_check.cpp" "tests/CMakeFiles/ppdl_test_common.dir/common/test_check.cpp.o" "gcc" "tests/CMakeFiles/ppdl_test_common.dir/common/test_check.cpp.o.d"
+  "/root/repo/tests/common/test_cli.cpp" "tests/CMakeFiles/ppdl_test_common.dir/common/test_cli.cpp.o" "gcc" "tests/CMakeFiles/ppdl_test_common.dir/common/test_cli.cpp.o.d"
+  "/root/repo/tests/common/test_csv.cpp" "tests/CMakeFiles/ppdl_test_common.dir/common/test_csv.cpp.o" "gcc" "tests/CMakeFiles/ppdl_test_common.dir/common/test_csv.cpp.o.d"
+  "/root/repo/tests/common/test_memory.cpp" "tests/CMakeFiles/ppdl_test_common.dir/common/test_memory.cpp.o" "gcc" "tests/CMakeFiles/ppdl_test_common.dir/common/test_memory.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/ppdl_test_common.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/ppdl_test_common.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/ppdl_test_common.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/ppdl_test_common.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_table.cpp" "tests/CMakeFiles/ppdl_test_common.dir/common/test_table.cpp.o" "gcc" "tests/CMakeFiles/ppdl_test_common.dir/common/test_table.cpp.o.d"
+  "/root/repo/tests/common/test_timer.cpp" "tests/CMakeFiles/ppdl_test_common.dir/common/test_timer.cpp.o" "gcc" "tests/CMakeFiles/ppdl_test_common.dir/common/test_timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ppdl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/ppdl_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ppdl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ppdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/ppdl_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ppdl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ppdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

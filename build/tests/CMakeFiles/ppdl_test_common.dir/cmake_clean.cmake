@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdl_test_common.dir/common/test_check.cpp.o"
+  "CMakeFiles/ppdl_test_common.dir/common/test_check.cpp.o.d"
+  "CMakeFiles/ppdl_test_common.dir/common/test_cli.cpp.o"
+  "CMakeFiles/ppdl_test_common.dir/common/test_cli.cpp.o.d"
+  "CMakeFiles/ppdl_test_common.dir/common/test_csv.cpp.o"
+  "CMakeFiles/ppdl_test_common.dir/common/test_csv.cpp.o.d"
+  "CMakeFiles/ppdl_test_common.dir/common/test_memory.cpp.o"
+  "CMakeFiles/ppdl_test_common.dir/common/test_memory.cpp.o.d"
+  "CMakeFiles/ppdl_test_common.dir/common/test_rng.cpp.o"
+  "CMakeFiles/ppdl_test_common.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/ppdl_test_common.dir/common/test_stats.cpp.o"
+  "CMakeFiles/ppdl_test_common.dir/common/test_stats.cpp.o.d"
+  "CMakeFiles/ppdl_test_common.dir/common/test_table.cpp.o"
+  "CMakeFiles/ppdl_test_common.dir/common/test_table.cpp.o.d"
+  "CMakeFiles/ppdl_test_common.dir/common/test_timer.cpp.o"
+  "CMakeFiles/ppdl_test_common.dir/common/test_timer.cpp.o.d"
+  "ppdl_test_common"
+  "ppdl_test_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdl_test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdl_test_core.dir/core/test_benchmarks.cpp.o"
+  "CMakeFiles/ppdl_test_core.dir/core/test_benchmarks.cpp.o.d"
+  "CMakeFiles/ppdl_test_core.dir/core/test_dataset.cpp.o"
+  "CMakeFiles/ppdl_test_core.dir/core/test_dataset.cpp.o.d"
+  "CMakeFiles/ppdl_test_core.dir/core/test_features.cpp.o"
+  "CMakeFiles/ppdl_test_core.dir/core/test_features.cpp.o.d"
+  "CMakeFiles/ppdl_test_core.dir/core/test_flow.cpp.o"
+  "CMakeFiles/ppdl_test_core.dir/core/test_flow.cpp.o.d"
+  "CMakeFiles/ppdl_test_core.dir/core/test_ir_predictor.cpp.o"
+  "CMakeFiles/ppdl_test_core.dir/core/test_ir_predictor.cpp.o.d"
+  "CMakeFiles/ppdl_test_core.dir/core/test_ppdl_model.cpp.o"
+  "CMakeFiles/ppdl_test_core.dir/core/test_ppdl_model.cpp.o.d"
+  "ppdl_test_core"
+  "ppdl_test_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdl_test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/grid/test_design_rules.cpp" "tests/CMakeFiles/ppdl_test_grid.dir/grid/test_design_rules.cpp.o" "gcc" "tests/CMakeFiles/ppdl_test_grid.dir/grid/test_design_rules.cpp.o.d"
+  "/root/repo/tests/grid/test_floorplan.cpp" "tests/CMakeFiles/ppdl_test_grid.dir/grid/test_floorplan.cpp.o" "gcc" "tests/CMakeFiles/ppdl_test_grid.dir/grid/test_floorplan.cpp.o.d"
+  "/root/repo/tests/grid/test_generator.cpp" "tests/CMakeFiles/ppdl_test_grid.dir/grid/test_generator.cpp.o" "gcc" "tests/CMakeFiles/ppdl_test_grid.dir/grid/test_generator.cpp.o.d"
+  "/root/repo/tests/grid/test_geometry.cpp" "tests/CMakeFiles/ppdl_test_grid.dir/grid/test_geometry.cpp.o" "gcc" "tests/CMakeFiles/ppdl_test_grid.dir/grid/test_geometry.cpp.o.d"
+  "/root/repo/tests/grid/test_netlist.cpp" "tests/CMakeFiles/ppdl_test_grid.dir/grid/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/ppdl_test_grid.dir/grid/test_netlist.cpp.o.d"
+  "/root/repo/tests/grid/test_perturb.cpp" "tests/CMakeFiles/ppdl_test_grid.dir/grid/test_perturb.cpp.o" "gcc" "tests/CMakeFiles/ppdl_test_grid.dir/grid/test_perturb.cpp.o.d"
+  "/root/repo/tests/grid/test_power_grid.cpp" "tests/CMakeFiles/ppdl_test_grid.dir/grid/test_power_grid.cpp.o" "gcc" "tests/CMakeFiles/ppdl_test_grid.dir/grid/test_power_grid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ppdl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/ppdl_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ppdl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ppdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/ppdl_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ppdl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ppdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdl_test_grid.dir/grid/test_design_rules.cpp.o"
+  "CMakeFiles/ppdl_test_grid.dir/grid/test_design_rules.cpp.o.d"
+  "CMakeFiles/ppdl_test_grid.dir/grid/test_floorplan.cpp.o"
+  "CMakeFiles/ppdl_test_grid.dir/grid/test_floorplan.cpp.o.d"
+  "CMakeFiles/ppdl_test_grid.dir/grid/test_generator.cpp.o"
+  "CMakeFiles/ppdl_test_grid.dir/grid/test_generator.cpp.o.d"
+  "CMakeFiles/ppdl_test_grid.dir/grid/test_geometry.cpp.o"
+  "CMakeFiles/ppdl_test_grid.dir/grid/test_geometry.cpp.o.d"
+  "CMakeFiles/ppdl_test_grid.dir/grid/test_netlist.cpp.o"
+  "CMakeFiles/ppdl_test_grid.dir/grid/test_netlist.cpp.o.d"
+  "CMakeFiles/ppdl_test_grid.dir/grid/test_perturb.cpp.o"
+  "CMakeFiles/ppdl_test_grid.dir/grid/test_perturb.cpp.o.d"
+  "CMakeFiles/ppdl_test_grid.dir/grid/test_power_grid.cpp.o"
+  "CMakeFiles/ppdl_test_grid.dir/grid/test_power_grid.cpp.o.d"
+  "ppdl_test_grid"
+  "ppdl_test_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdl_test_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdl_test_integration.dir/integration/test_cross_validation.cpp.o"
+  "CMakeFiles/ppdl_test_integration.dir/integration/test_cross_validation.cpp.o.d"
+  "CMakeFiles/ppdl_test_integration.dir/integration/test_end_to_end.cpp.o"
+  "CMakeFiles/ppdl_test_integration.dir/integration/test_end_to_end.cpp.o.d"
+  "CMakeFiles/ppdl_test_integration.dir/integration/test_properties.cpp.o"
+  "CMakeFiles/ppdl_test_integration.dir/integration/test_properties.cpp.o.d"
+  "ppdl_test_integration"
+  "ppdl_test_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdl_test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

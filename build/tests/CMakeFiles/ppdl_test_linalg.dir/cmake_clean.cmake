@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdl_test_linalg.dir/linalg/test_cg.cpp.o"
+  "CMakeFiles/ppdl_test_linalg.dir/linalg/test_cg.cpp.o.d"
+  "CMakeFiles/ppdl_test_linalg.dir/linalg/test_cholesky.cpp.o"
+  "CMakeFiles/ppdl_test_linalg.dir/linalg/test_cholesky.cpp.o.d"
+  "CMakeFiles/ppdl_test_linalg.dir/linalg/test_coo_csr.cpp.o"
+  "CMakeFiles/ppdl_test_linalg.dir/linalg/test_coo_csr.cpp.o.d"
+  "CMakeFiles/ppdl_test_linalg.dir/linalg/test_dense.cpp.o"
+  "CMakeFiles/ppdl_test_linalg.dir/linalg/test_dense.cpp.o.d"
+  "CMakeFiles/ppdl_test_linalg.dir/linalg/test_ordering.cpp.o"
+  "CMakeFiles/ppdl_test_linalg.dir/linalg/test_ordering.cpp.o.d"
+  "CMakeFiles/ppdl_test_linalg.dir/linalg/test_preconditioner.cpp.o"
+  "CMakeFiles/ppdl_test_linalg.dir/linalg/test_preconditioner.cpp.o.d"
+  "CMakeFiles/ppdl_test_linalg.dir/linalg/test_vector_ops.cpp.o"
+  "CMakeFiles/ppdl_test_linalg.dir/linalg/test_vector_ops.cpp.o.d"
+  "ppdl_test_linalg"
+  "ppdl_test_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdl_test_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

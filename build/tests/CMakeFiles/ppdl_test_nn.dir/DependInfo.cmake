@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/test_activation.cpp" "tests/CMakeFiles/ppdl_test_nn.dir/nn/test_activation.cpp.o" "gcc" "tests/CMakeFiles/ppdl_test_nn.dir/nn/test_activation.cpp.o.d"
+  "/root/repo/tests/nn/test_layer.cpp" "tests/CMakeFiles/ppdl_test_nn.dir/nn/test_layer.cpp.o" "gcc" "tests/CMakeFiles/ppdl_test_nn.dir/nn/test_layer.cpp.o.d"
+  "/root/repo/tests/nn/test_loss.cpp" "tests/CMakeFiles/ppdl_test_nn.dir/nn/test_loss.cpp.o" "gcc" "tests/CMakeFiles/ppdl_test_nn.dir/nn/test_loss.cpp.o.d"
+  "/root/repo/tests/nn/test_mlp.cpp" "tests/CMakeFiles/ppdl_test_nn.dir/nn/test_mlp.cpp.o" "gcc" "tests/CMakeFiles/ppdl_test_nn.dir/nn/test_mlp.cpp.o.d"
+  "/root/repo/tests/nn/test_model_io.cpp" "tests/CMakeFiles/ppdl_test_nn.dir/nn/test_model_io.cpp.o" "gcc" "tests/CMakeFiles/ppdl_test_nn.dir/nn/test_model_io.cpp.o.d"
+  "/root/repo/tests/nn/test_optimizer.cpp" "tests/CMakeFiles/ppdl_test_nn.dir/nn/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/ppdl_test_nn.dir/nn/test_optimizer.cpp.o.d"
+  "/root/repo/tests/nn/test_scaler.cpp" "tests/CMakeFiles/ppdl_test_nn.dir/nn/test_scaler.cpp.o" "gcc" "tests/CMakeFiles/ppdl_test_nn.dir/nn/test_scaler.cpp.o.d"
+  "/root/repo/tests/nn/test_trainer.cpp" "tests/CMakeFiles/ppdl_test_nn.dir/nn/test_trainer.cpp.o" "gcc" "tests/CMakeFiles/ppdl_test_nn.dir/nn/test_trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ppdl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/ppdl_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ppdl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ppdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/ppdl_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ppdl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ppdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

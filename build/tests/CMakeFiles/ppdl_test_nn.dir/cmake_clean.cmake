@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdl_test_nn.dir/nn/test_activation.cpp.o"
+  "CMakeFiles/ppdl_test_nn.dir/nn/test_activation.cpp.o.d"
+  "CMakeFiles/ppdl_test_nn.dir/nn/test_layer.cpp.o"
+  "CMakeFiles/ppdl_test_nn.dir/nn/test_layer.cpp.o.d"
+  "CMakeFiles/ppdl_test_nn.dir/nn/test_loss.cpp.o"
+  "CMakeFiles/ppdl_test_nn.dir/nn/test_loss.cpp.o.d"
+  "CMakeFiles/ppdl_test_nn.dir/nn/test_mlp.cpp.o"
+  "CMakeFiles/ppdl_test_nn.dir/nn/test_mlp.cpp.o.d"
+  "CMakeFiles/ppdl_test_nn.dir/nn/test_model_io.cpp.o"
+  "CMakeFiles/ppdl_test_nn.dir/nn/test_model_io.cpp.o.d"
+  "CMakeFiles/ppdl_test_nn.dir/nn/test_optimizer.cpp.o"
+  "CMakeFiles/ppdl_test_nn.dir/nn/test_optimizer.cpp.o.d"
+  "CMakeFiles/ppdl_test_nn.dir/nn/test_scaler.cpp.o"
+  "CMakeFiles/ppdl_test_nn.dir/nn/test_scaler.cpp.o.d"
+  "CMakeFiles/ppdl_test_nn.dir/nn/test_trainer.cpp.o"
+  "CMakeFiles/ppdl_test_nn.dir/nn/test_trainer.cpp.o.d"
+  "ppdl_test_nn"
+  "ppdl_test_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdl_test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

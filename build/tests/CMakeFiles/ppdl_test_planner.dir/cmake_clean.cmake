@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdl_test_planner.dir/planner/test_conventional_planner.cpp.o"
+  "CMakeFiles/ppdl_test_planner.dir/planner/test_conventional_planner.cpp.o.d"
+  "CMakeFiles/ppdl_test_planner.dir/planner/test_sign_off.cpp.o"
+  "CMakeFiles/ppdl_test_planner.dir/planner/test_sign_off.cpp.o.d"
+  "CMakeFiles/ppdl_test_planner.dir/planner/test_width_optimizer.cpp.o"
+  "CMakeFiles/ppdl_test_planner.dir/planner/test_width_optimizer.cpp.o.d"
+  "ppdl_test_planner"
+  "ppdl_test_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdl_test_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(ppdl_test_common "/root/repo/build/tests/ppdl_test_common")
+set_tests_properties(ppdl_test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;13;ppdl_add_test_binary;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ppdl_test_linalg "/root/repo/build/tests/ppdl_test_linalg")
+set_tests_properties(ppdl_test_linalg PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;24;ppdl_add_test_binary;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ppdl_test_grid "/root/repo/build/tests/ppdl_test_grid")
+set_tests_properties(ppdl_test_grid PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;34;ppdl_add_test_binary;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ppdl_test_analysis "/root/repo/build/tests/ppdl_test_analysis")
+set_tests_properties(ppdl_test_analysis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;44;ppdl_add_test_binary;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ppdl_test_planner "/root/repo/build/tests/ppdl_test_planner")
+set_tests_properties(ppdl_test_planner PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;53;ppdl_add_test_binary;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ppdl_test_nn "/root/repo/build/tests/ppdl_test_nn")
+set_tests_properties(ppdl_test_nn PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;59;ppdl_add_test_binary;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ppdl_test_core "/root/repo/build/tests/ppdl_test_core")
+set_tests_properties(ppdl_test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;70;ppdl_add_test_binary;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ppdl_test_integration "/root/repo/build/tests/ppdl_test_integration")
+set_tests_properties(ppdl_test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;79;ppdl_add_test_binary;/root/repo/tests/CMakeLists.txt;0;")
