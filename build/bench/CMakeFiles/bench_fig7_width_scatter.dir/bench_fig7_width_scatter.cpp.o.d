@@ -187,12 +187,12 @@ bench/CMakeFiles/bench_fig7_width_scatter.dir/bench_fig7_width_scatter.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/grid/power_grid.hpp /root/repo/src/common/check.hpp \
- /root/repo/src/grid/geometry.hpp /root/repo/src/linalg/cg.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array /usr/include/c++/12/optional \
- /usr/include/c++/12/span /root/repo/src/linalg/csr.hpp \
- /root/repo/src/linalg/coo.hpp /root/repo/src/linalg/preconditioner.hpp \
- /usr/include/c++/12/memory \
+ /root/repo/src/grid/geometry.hpp /root/repo/src/grid/validate.hpp \
+ /root/repo/src/linalg/cg.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
+ /usr/include/c++/12/optional /usr/include/c++/12/span \
+ /root/repo/src/linalg/csr.hpp /root/repo/src/linalg/coo.hpp \
+ /root/repo/src/linalg/preconditioner.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \
@@ -228,15 +228,15 @@ bench/CMakeFiles/bench_fig7_width_scatter.dir/bench_fig7_width_scatter.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/core/benchmarks.hpp /root/repo/src/grid/generator.hpp \
- /root/repo/src/common/rng.hpp /root/repo/src/grid/floorplan.hpp \
- /root/repo/src/core/ir_predictor.hpp /root/repo/src/core/ppdl_model.hpp \
- /root/repo/src/core/dataset.hpp /root/repo/src/core/features.hpp \
- /root/repo/src/nn/activation.hpp /root/repo/src/linalg/dense.hpp \
- /root/repo/src/nn/mlp.hpp /root/repo/src/nn/layer.hpp \
- /root/repo/src/nn/loss.hpp /root/repo/src/nn/optimizer.hpp \
- /root/repo/src/nn/scaler.hpp /root/repo/src/nn/trainer.hpp \
- /root/repo/src/grid/perturb.hpp \
+ /root/repo/src/robust/solve.hpp /root/repo/src/core/benchmarks.hpp \
+ /root/repo/src/grid/generator.hpp /root/repo/src/common/rng.hpp \
+ /root/repo/src/grid/floorplan.hpp /root/repo/src/core/ir_predictor.hpp \
+ /root/repo/src/core/ppdl_model.hpp /root/repo/src/core/dataset.hpp \
+ /root/repo/src/core/features.hpp /root/repo/src/nn/activation.hpp \
+ /root/repo/src/linalg/dense.hpp /root/repo/src/nn/mlp.hpp \
+ /root/repo/src/nn/layer.hpp /root/repo/src/nn/loss.hpp \
+ /root/repo/src/nn/optimizer.hpp /root/repo/src/nn/scaler.hpp \
+ /root/repo/src/nn/trainer.hpp /root/repo/src/grid/perturb.hpp \
  /root/repo/src/planner/conventional_planner.hpp \
  /root/repo/src/planner/width_optimizer.hpp \
  /root/repo/src/grid/design_rules.hpp /root/repo/src/common/csv.hpp \

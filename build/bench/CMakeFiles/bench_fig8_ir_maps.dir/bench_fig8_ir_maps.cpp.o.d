@@ -183,7 +183,8 @@ bench/CMakeFiles/bench_fig8_ir_maps.dir/bench_fig8_ir_maps.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/linalg/cg.hpp \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/grid/validate.hpp /root/repo/src/linalg/cg.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/array /usr/include/c++/12/optional \
  /usr/include/c++/12/span /root/repo/src/linalg/csr.hpp \
@@ -224,9 +225,9 @@ bench/CMakeFiles/bench_fig8_ir_maps.dir/bench_fig8_ir_maps.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/bench/bench_support.hpp /root/repo/src/common/cli.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/robust/solve.hpp /root/repo/bench/bench_support.hpp \
+ /root/repo/src/common/cli.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/common/logging.hpp /root/repo/src/core/flow.hpp \
  /root/repo/src/core/benchmarks.hpp /root/repo/src/grid/generator.hpp \

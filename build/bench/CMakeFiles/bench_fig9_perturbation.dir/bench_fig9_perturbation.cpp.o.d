@@ -188,7 +188,8 @@ bench/CMakeFiles/bench_fig9_perturbation.dir/bench_fig9_perturbation.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/linalg/cg.hpp \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/grid/validate.hpp /root/repo/src/linalg/cg.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/array /usr/include/c++/12/optional \
  /usr/include/c++/12/span /root/repo/src/linalg/csr.hpp \
@@ -229,15 +230,15 @@ bench/CMakeFiles/bench_fig9_perturbation.dir/bench_fig9_perturbation.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/core/benchmarks.hpp /root/repo/src/grid/generator.hpp \
- /root/repo/src/common/rng.hpp /root/repo/src/grid/floorplan.hpp \
- /root/repo/src/core/ir_predictor.hpp /root/repo/src/core/ppdl_model.hpp \
- /root/repo/src/core/dataset.hpp /root/repo/src/core/features.hpp \
- /root/repo/src/nn/activation.hpp /root/repo/src/linalg/dense.hpp \
- /root/repo/src/nn/mlp.hpp /root/repo/src/nn/layer.hpp \
- /root/repo/src/nn/loss.hpp /root/repo/src/nn/optimizer.hpp \
- /root/repo/src/nn/scaler.hpp /root/repo/src/nn/trainer.hpp \
- /root/repo/src/grid/perturb.hpp \
+ /root/repo/src/robust/solve.hpp /root/repo/src/core/benchmarks.hpp \
+ /root/repo/src/grid/generator.hpp /root/repo/src/common/rng.hpp \
+ /root/repo/src/grid/floorplan.hpp /root/repo/src/core/ir_predictor.hpp \
+ /root/repo/src/core/ppdl_model.hpp /root/repo/src/core/dataset.hpp \
+ /root/repo/src/core/features.hpp /root/repo/src/nn/activation.hpp \
+ /root/repo/src/linalg/dense.hpp /root/repo/src/nn/mlp.hpp \
+ /root/repo/src/nn/layer.hpp /root/repo/src/nn/loss.hpp \
+ /root/repo/src/nn/optimizer.hpp /root/repo/src/nn/scaler.hpp \
+ /root/repo/src/nn/trainer.hpp /root/repo/src/grid/perturb.hpp \
  /root/repo/src/planner/conventional_planner.hpp \
  /root/repo/src/planner/width_optimizer.hpp \
  /root/repo/src/grid/design_rules.hpp /root/repo/src/common/csv.hpp \

@@ -187,11 +187,12 @@ examples/CMakeFiles/custom_grid_design.dir/custom_grid_design.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/common/types.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/grid/power_grid.hpp \
  /root/repo/src/common/check.hpp /root/repo/src/grid/geometry.hpp \
- /root/repo/src/linalg/cg.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
- /usr/include/c++/12/optional /usr/include/c++/12/span \
- /root/repo/src/linalg/csr.hpp /root/repo/src/linalg/coo.hpp \
- /root/repo/src/linalg/preconditioner.hpp /usr/include/c++/12/memory \
+ /root/repo/src/grid/validate.hpp /root/repo/src/linalg/cg.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/optional \
+ /usr/include/c++/12/span /root/repo/src/linalg/csr.hpp \
+ /root/repo/src/linalg/coo.hpp /root/repo/src/linalg/preconditioner.hpp \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \
@@ -227,9 +228,9 @@ examples/CMakeFiles/custom_grid_design.dir/custom_grid_design.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/analysis/ir_map.hpp /root/repo/src/common/cli.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/robust/solve.hpp /root/repo/src/analysis/ir_map.hpp \
+ /root/repo/src/common/cli.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/rng.hpp \
  /root/repo/src/common/table.hpp /root/repo/src/grid/floorplan.hpp \
  /root/repo/src/grid/netlist.hpp \

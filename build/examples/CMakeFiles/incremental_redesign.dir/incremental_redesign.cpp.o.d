@@ -191,10 +191,11 @@ examples/CMakeFiles/incremental_redesign.dir/incremental_redesign.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/grid/power_grid.hpp /root/repo/src/core/flow.hpp \
- /root/repo/src/analysis/ir_solver.hpp /root/repo/src/linalg/cg.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /root/repo/src/linalg/csr.hpp /root/repo/src/linalg/coo.hpp \
- /root/repo/src/linalg/preconditioner.hpp /usr/include/c++/12/memory \
+ /root/repo/src/analysis/ir_solver.hpp /root/repo/src/grid/validate.hpp \
+ /root/repo/src/linalg/cg.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h /root/repo/src/linalg/csr.hpp \
+ /root/repo/src/linalg/coo.hpp /root/repo/src/linalg/preconditioner.hpp \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \
@@ -230,13 +231,13 @@ examples/CMakeFiles/incremental_redesign.dir/incremental_redesign.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/core/ir_predictor.hpp /root/repo/src/core/ppdl_model.hpp \
- /root/repo/src/core/dataset.hpp /root/repo/src/core/features.hpp \
- /root/repo/src/nn/activation.hpp /root/repo/src/linalg/dense.hpp \
- /root/repo/src/nn/mlp.hpp /root/repo/src/nn/layer.hpp \
- /root/repo/src/nn/loss.hpp /root/repo/src/nn/optimizer.hpp \
- /root/repo/src/nn/scaler.hpp /root/repo/src/nn/trainer.hpp \
- /root/repo/src/grid/perturb.hpp \
+ /root/repo/src/robust/solve.hpp /root/repo/src/core/ir_predictor.hpp \
+ /root/repo/src/core/ppdl_model.hpp /root/repo/src/core/dataset.hpp \
+ /root/repo/src/core/features.hpp /root/repo/src/nn/activation.hpp \
+ /root/repo/src/linalg/dense.hpp /root/repo/src/nn/mlp.hpp \
+ /root/repo/src/nn/layer.hpp /root/repo/src/nn/loss.hpp \
+ /root/repo/src/nn/optimizer.hpp /root/repo/src/nn/scaler.hpp \
+ /root/repo/src/nn/trainer.hpp /root/repo/src/grid/perturb.hpp \
  /root/repo/src/planner/conventional_planner.hpp \
  /root/repo/src/planner/width_optimizer.hpp \
  /root/repo/src/grid/design_rules.hpp

@@ -25,6 +25,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/analysis/CMakeFiles/ppdl_analysis.dir/DependInfo.cmake"
   "/root/repo/build/src/planner/CMakeFiles/ppdl_planner.dir/DependInfo.cmake"
   "/root/repo/build/src/nn/CMakeFiles/ppdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/robust/CMakeFiles/ppdl_robust.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

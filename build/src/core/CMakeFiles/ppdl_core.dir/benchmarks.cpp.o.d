@@ -185,11 +185,12 @@ src/core/CMakeFiles/ppdl_core.dir/benchmarks.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/linalg/cg.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array /usr/include/c++/12/span \
- /root/repo/src/linalg/csr.hpp /root/repo/src/linalg/coo.hpp \
- /root/repo/src/linalg/preconditioner.hpp /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/grid/validate.hpp \
+ /root/repo/src/linalg/cg.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
+ /usr/include/c++/12/span /root/repo/src/linalg/csr.hpp \
+ /root/repo/src/linalg/coo.hpp /root/repo/src/linalg/preconditioner.hpp \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \
@@ -225,4 +226,4 @@ src/core/CMakeFiles/ppdl_core.dir/benchmarks.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/common/logging.hpp
+ /root/repo/src/robust/solve.hpp /root/repo/src/common/logging.hpp

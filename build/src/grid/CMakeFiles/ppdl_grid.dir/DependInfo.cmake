@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/grid/netlist.cpp" "src/grid/CMakeFiles/ppdl_grid.dir/netlist.cpp.o" "gcc" "src/grid/CMakeFiles/ppdl_grid.dir/netlist.cpp.o.d"
   "/root/repo/src/grid/perturb.cpp" "src/grid/CMakeFiles/ppdl_grid.dir/perturb.cpp.o" "gcc" "src/grid/CMakeFiles/ppdl_grid.dir/perturb.cpp.o.d"
   "/root/repo/src/grid/power_grid.cpp" "src/grid/CMakeFiles/ppdl_grid.dir/power_grid.cpp.o" "gcc" "src/grid/CMakeFiles/ppdl_grid.dir/power_grid.cpp.o.d"
+  "/root/repo/src/grid/validate.cpp" "src/grid/CMakeFiles/ppdl_grid.dir/validate.cpp.o" "gcc" "src/grid/CMakeFiles/ppdl_grid.dir/validate.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -11,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/ppdl_grid.dir/perturb.cpp.o.d"
   "CMakeFiles/ppdl_grid.dir/power_grid.cpp.o"
   "CMakeFiles/ppdl_grid.dir/power_grid.cpp.o.d"
+  "CMakeFiles/ppdl_grid.dir/validate.cpp.o"
+  "CMakeFiles/ppdl_grid.dir/validate.cpp.o.d"
   "libppdl_grid.a"
   "libppdl_grid.pdb"
 )

@@ -19,6 +19,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/linalg/CMakeFiles/ppdl_linalg.dir/DependInfo.cmake"
   "/root/repo/build/src/grid/CMakeFiles/ppdl_grid.dir/DependInfo.cmake"
   "/root/repo/build/src/analysis/CMakeFiles/ppdl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/robust/CMakeFiles/ppdl_robust.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

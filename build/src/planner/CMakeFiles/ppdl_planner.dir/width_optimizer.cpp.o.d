@@ -184,7 +184,8 @@ src/planner/CMakeFiles/ppdl_planner.dir/width_optimizer.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/linalg/cg.hpp \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/grid/validate.hpp /root/repo/src/linalg/cg.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/array /usr/include/c++/12/optional \
  /usr/include/c++/12/span /root/repo/src/linalg/csr.hpp \
@@ -225,8 +226,9 @@ src/planner/CMakeFiles/ppdl_planner.dir/width_optimizer.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/grid/design_rules.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/robust/solve.hpp /root/repo/src/grid/design_rules.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \

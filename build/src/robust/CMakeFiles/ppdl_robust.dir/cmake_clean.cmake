@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdl_robust.dir/solve.cpp.o"
+  "CMakeFiles/ppdl_robust.dir/solve.cpp.o.d"
+  "libppdl_robust.a"
+  "libppdl_robust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdl_robust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

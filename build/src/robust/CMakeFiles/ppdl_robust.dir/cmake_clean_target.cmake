@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libppdl_robust.a"
+)

@@ -302,9 +302,9 @@ tests/CMakeFiles/ppdl_test_analysis.dir/analysis/test_vectorless.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/linalg/cg.hpp /usr/include/c++/12/span \
- /root/repo/src/linalg/csr.hpp /root/repo/src/linalg/coo.hpp \
- /root/repo/src/linalg/preconditioner.hpp \
- /root/repo/src/grid/floorplan.hpp /root/repo/src/common/rng.hpp \
- /root/repo/tests/support/fixtures.hpp /root/repo/src/core/benchmarks.hpp \
- /root/repo/src/grid/generator.hpp
+ /root/repo/src/grid/validate.hpp /root/repo/src/linalg/cg.hpp \
+ /usr/include/c++/12/span /root/repo/src/linalg/csr.hpp \
+ /root/repo/src/linalg/coo.hpp /root/repo/src/linalg/preconditioner.hpp \
+ /root/repo/src/robust/solve.hpp /root/repo/src/grid/floorplan.hpp \
+ /root/repo/src/common/rng.hpp /root/repo/tests/support/fixtures.hpp \
+ /root/repo/src/core/benchmarks.hpp /root/repo/src/grid/generator.hpp

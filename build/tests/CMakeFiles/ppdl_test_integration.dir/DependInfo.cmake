@@ -18,6 +18,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/ppdl_core.dir/DependInfo.cmake"
   "/root/repo/build/src/planner/CMakeFiles/ppdl_planner.dir/DependInfo.cmake"
   "/root/repo/build/src/analysis/CMakeFiles/ppdl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/robust/CMakeFiles/ppdl_robust.dir/DependInfo.cmake"
   "/root/repo/build/src/nn/CMakeFiles/ppdl_nn.dir/DependInfo.cmake"
   "/root/repo/build/src/grid/CMakeFiles/ppdl_grid.dir/DependInfo.cmake"
   "/root/repo/build/src/linalg/CMakeFiles/ppdl_linalg.dir/DependInfo.cmake"

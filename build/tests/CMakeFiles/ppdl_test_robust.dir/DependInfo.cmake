@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/robust/test_escalation.cpp" "tests/CMakeFiles/ppdl_test_robust.dir/robust/test_escalation.cpp.o" "gcc" "tests/CMakeFiles/ppdl_test_robust.dir/robust/test_escalation.cpp.o.d"
+  "/root/repo/tests/robust/test_fault_integration.cpp" "tests/CMakeFiles/ppdl_test_robust.dir/robust/test_fault_integration.cpp.o" "gcc" "tests/CMakeFiles/ppdl_test_robust.dir/robust/test_fault_integration.cpp.o.d"
+  "/root/repo/tests/robust/test_grid_validate.cpp" "tests/CMakeFiles/ppdl_test_robust.dir/robust/test_grid_validate.cpp.o" "gcc" "tests/CMakeFiles/ppdl_test_robust.dir/robust/test_grid_validate.cpp.o.d"
+  "/root/repo/tests/robust/test_trainer_recovery.cpp" "tests/CMakeFiles/ppdl_test_robust.dir/robust/test_trainer_recovery.cpp.o" "gcc" "tests/CMakeFiles/ppdl_test_robust.dir/robust/test_trainer_recovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ppdl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/ppdl_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ppdl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/robust/CMakeFiles/ppdl_robust.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ppdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/ppdl_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ppdl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ppdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

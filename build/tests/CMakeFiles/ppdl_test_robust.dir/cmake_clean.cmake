@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdl_test_robust.dir/robust/test_escalation.cpp.o"
+  "CMakeFiles/ppdl_test_robust.dir/robust/test_escalation.cpp.o.d"
+  "CMakeFiles/ppdl_test_robust.dir/robust/test_fault_integration.cpp.o"
+  "CMakeFiles/ppdl_test_robust.dir/robust/test_fault_integration.cpp.o.d"
+  "CMakeFiles/ppdl_test_robust.dir/robust/test_grid_validate.cpp.o"
+  "CMakeFiles/ppdl_test_robust.dir/robust/test_grid_validate.cpp.o.d"
+  "CMakeFiles/ppdl_test_robust.dir/robust/test_trainer_recovery.cpp.o"
+  "CMakeFiles/ppdl_test_robust.dir/robust/test_trainer_recovery.cpp.o.d"
+  "ppdl_test_robust"
+  "ppdl_test_robust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdl_test_robust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ppdl_test_robust.
+# This may be replaced when dependencies are built.

@@ -20,3 +20,5 @@ add_test(ppdl_test_core "/root/repo/build/tests/ppdl_test_core")
 set_tests_properties(ppdl_test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;70;ppdl_add_test_binary;/root/repo/tests/CMakeLists.txt;0;")
 add_test(ppdl_test_integration "/root/repo/build/tests/ppdl_test_integration")
 set_tests_properties(ppdl_test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;79;ppdl_add_test_binary;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ppdl_test_robust "/root/repo/build/tests/ppdl_test_robust")
+set_tests_properties(ppdl_test_robust PROPERTIES  LABELS "robustness" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;86;ppdl_add_test_binary;/root/repo/tests/CMakeLists.txt;0;")

@@ -12,6 +12,7 @@ DualRailResult analyze_dual_rail(const grid::PowerGrid& vdd_net,
   DualRailResult result;
   result.vdd = analyze_ir_drop(vdd_net, options);
   result.gnd = analyze_ir_drop(gnd_net, options);
+  result.converged = result.vdd.converged && result.gnd.converged;
 
   result.total_noise.resize(result.vdd.node_ir_drop.size());
   result.worst_noise = 0.0;

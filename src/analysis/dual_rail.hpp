@@ -26,6 +26,10 @@ struct DualRailResult {
   std::vector<Real> total_noise;   ///< per node: droop + bounce, V
   Real worst_noise = 0.0;          ///< V
   Index worst_node = -1;
+  /// Both rail solves converged; when false the combined noise is built
+  /// from a best-effort iterate — check vdd/gnd .solve_report for which
+  /// rail failed and why.
+  bool converged = false;
 };
 
 /// Analyzes both rails and combines per-node noise. The two grids must be

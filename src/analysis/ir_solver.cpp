@@ -1,6 +1,7 @@
 #include "analysis/ir_solver.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "analysis/mna.hpp"
 #include "common/check.hpp"
@@ -14,6 +15,13 @@ IrAnalysisResult analyze_ir_drop(const grid::PowerGrid& pg,
   IrAnalysisResult result;
   const Timer timer;
 
+  if (options.validate_grid) {
+    grid::GridValidationReport report = grid::validate_grid(pg);
+    if (report.blocks_assembly()) {
+      throw grid::GridDefectError(std::move(report));
+    }
+  }
+
   const MnaSystem sys = assemble_mna(pg);
 
   if (options.solver == SolverKind::kCholesky) {
@@ -22,10 +30,17 @@ IrAnalysisResult analyze_ir_drop(const grid::PowerGrid& pg,
     result.converged = true;  // direct solve: exact up to round-off
     result.node_voltage =
         expand_solution(sys, factorization.solve(sys.rhs));
+    robust::SolveAttempt attempt;
+    attempt.step = robust::SolveStep::kDirectCholesky;
+    attempt.preconditioner = linalg::PreconditionerKind::kNone;
+    attempt.status = linalg::CgStatus::kConverged;
+    result.solve_report.attempts.push_back(std::move(attempt));
+    result.solve_report.converged = true;
   } else {
-    linalg::CgOptions cg;
-    cg.tolerance = options.cg_tolerance;
-    cg.preconditioner = options.preconditioner;
+    robust::RobustSolveOptions solve_opts;
+    solve_opts.cg.tolerance = options.cg_tolerance;
+    solve_opts.cg.preconditioner = options.preconditioner;
+    solve_opts.allow_escalation = options.escalate_on_failure;
 
     std::optional<std::vector<Real>> x0;
     if (!options.initial_voltages.empty()) {
@@ -41,11 +56,13 @@ IrAnalysisResult analyze_ir_drop(const grid::PowerGrid& pg,
       x0 = std::move(reduced);
     }
 
-    linalg::CgResult cg_result =
-        linalg::conjugate_gradient(sys.g_reduced, sys.rhs, cg, std::move(x0));
-    result.cg_iterations = cg_result.iterations;
-    result.converged = cg_result.converged;
-    result.node_voltage = expand_solution(sys, std::move(cg_result.x));
+    robust::RobustSolveResult solve =
+        robust::robust_solve(sys.g_reduced, sys.rhs, solve_opts,
+                             std::move(x0));
+    result.cg_iterations = solve.report.total_iterations;
+    result.converged = solve.report.converged;
+    result.solve_report = std::move(solve.report);
+    result.node_voltage = expand_solution(sys, std::move(solve.x));
   }
 
   // IR drop per node, worst case over the grid.

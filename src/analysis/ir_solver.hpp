@@ -1,6 +1,12 @@
 // Static IR-drop analysis: solve the grid, report node drops, branch
 // currents and current densities. This is the expensive step the paper's
 // conventional flow iterates and the DL flow avoids.
+//
+// Failure policy (see DESIGN.md): the grid is structurally validated before
+// MNA assembly (throwing grid::GridDefectError with the typed defect list on
+// a broken grid), and the CG solve goes through the robust::robust_solve
+// escalation ladder — the returned SolveReport says exactly which rungs ran
+// and why, and `converged` is only true when a rung met tolerance.
 #pragma once
 
 #include <vector>
@@ -8,7 +14,9 @@
 #include "common/timer.hpp"
 #include "common/types.hpp"
 #include "grid/power_grid.hpp"
+#include "grid/validate.hpp"
 #include "linalg/cg.hpp"
+#include "robust/solve.hpp"
 
 namespace ppdl::analysis {
 
@@ -24,6 +32,13 @@ struct IrAnalysisOptions {
   Real cg_tolerance = 1e-8;
   linalg::PreconditionerKind preconditioner =
       linalg::PreconditionerKind::kIc0;
+  /// Structural validation before assembly; throws grid::GridDefectError
+  /// when the grid would produce a singular or nonsensical system.
+  bool validate_grid = true;
+  /// Escalate failed CG solves through the robust ladder (stronger
+  /// preconditioner → Tikhonov → direct Cholesky). When false a failed
+  /// solve is reported as-is.
+  bool escalate_on_failure = true;
   /// Warm-start the CG from a previous node-voltage solution if provided
   /// (ignored by the direct solver).
   std::vector<Real> initial_voltages;
@@ -41,9 +56,14 @@ struct IrAnalysisResult {
   Index cg_iterations = 0;
   Real solve_seconds = 0.0;
   bool converged = false;
+  /// Per-attempt solve diagnosis (single kConverged attempt on the direct
+  /// path). Check `.escalated()` / `.summary()` when converged is false.
+  robust::SolveReport solve_report;
 };
 
 /// Full static analysis of the grid at its current widths/loads/pads.
+/// Throws grid::GridDefectError when validation is on and the grid is
+/// structurally broken.
 IrAnalysisResult analyze_ir_drop(const grid::PowerGrid& pg,
                                  const IrAnalysisOptions& options = {});
 

@@ -22,6 +22,7 @@ VectorlessResult vectorless_bound(const grid::PowerGrid& pg,
   VectorlessResult result;
   result.analysis = analyze_ir_drop(pessimistic, options);
   result.worst_ir_bound = result.analysis.worst_ir_drop;
+  result.converged = result.analysis.converged;
   return result;
 }
 

@@ -21,6 +21,9 @@ namespace ppdl::analysis {
 struct VectorlessResult {
   Real worst_ir_bound = 0.0;  ///< upper bound on worst-case drop, V
   IrAnalysisResult analysis;  ///< the pessimistic-assignment solve
+  /// The pessimistic solve converged; when false the bound is not safe —
+  /// see analysis.solve_report for the escalation history.
+  bool converged = false;
 };
 
 /// Bounds worst-case IR drop given per-block budgets. `budget_factor`

@@ -45,13 +45,30 @@ FlowResult run_flow(const grid::GeneratedBenchmark& bench,
                 << " iterations ("
                 << result.golden_planner.total_seconds << " s)";
 
+  result.golden_converged = result.golden_planner.converged &&
+                            !result.golden_planner.solver_failed;
+  if (!result.golden_converged) {
+    result.golden_diagnosis =
+        result.golden_planner.solver_failed
+            ? "solver failed: " + result.golden_planner.solver_diagnosis
+            : "planner stuck before margins held";
+  }
+
   // --- Phase 2: training (offline) ------------------------------------------
   PowerPlanningDL model(options.model);
-  result.training = model.fit(golden);
-
   KirchhoffIrPredictor ir_predictor;
-  ir_predictor.calibrate(golden,
-                         result.golden_planner.final_analysis.node_ir_drop);
+  if (result.golden_converged || !options.exclude_unconverged_golden) {
+    result.training = model.fit(golden);
+    ir_predictor.calibrate(golden,
+                           result.golden_planner.final_analysis.node_ir_drop);
+  } else {
+    // Unconverged golden design: excluded from training. Predictions fall
+    // back to layer-default widths and the IR predictor stays uncalibrated.
+    result.unconverged_excluded = 1;
+    PPDL_LOG_WARN << bench.spec.name
+                  << ": golden design excluded from training ("
+                  << result.golden_diagnosis << ")";
+  }
   result.ir_correction = ir_predictor.correction();
 
   // --- Phase 3: new (perturbed) specification -------------------------------
@@ -98,7 +115,23 @@ FlowResult run_flow(const grid::GeneratedBenchmark& bench,
 
   // --- Phase 5: PowerPlanningDL ----------------------------------------------
   grid::PowerGrid dl_grid = perturbed;
-  result.prediction = model.predict(dl_grid);
+  if (model.trained()) {
+    result.prediction = model.predict(dl_grid);
+  } else {
+    // Untrained model (golden design excluded): fall back to layer-default
+    // widths so the rest of the comparison still runs, clearly marked by
+    // unconverged_excluded above.
+    const Timer predict_timer;
+    for (Index bi = 0; bi < dl_grid.branch_count(); ++bi) {
+      const grid::Branch& b = dl_grid.branch(bi);
+      if (b.kind == grid::BranchKind::kWire) {
+        result.prediction.branch.push_back(bi);
+        result.prediction.predicted.push_back(
+            dl_grid.layer(b.layer).default_width);
+      }
+    }
+    result.prediction.predict_seconds = predict_timer.seconds();
+  }
   PowerPlanningDL::apply_widths(dl_grid, result.prediction);
   result.dl_ir = ir_predictor.predict(dl_grid);
   result.dl_seconds =

@@ -38,6 +38,13 @@ struct FlowOptions {
       grid::PerturbationKind::kCurrentWorkloads;
   U64 perturb_seed = 99;
   Index planner_max_iterations = 40;
+  /// A golden design whose planner got stuck or whose solver failed is not
+  /// "historical data" — training on it teaches the regressor unconverged
+  /// widths. When true (default) such designs are excluded: the model is
+  /// left untrained (predictions fall back to layer defaults) and the IR
+  /// predictor uncalibrated, with the exclusion surfaced in FlowResult.
+  /// When false the design is used anyway, but still marked in the result.
+  bool exclude_unconverged_golden = true;
 };
 
 /// Per-phase wall times and quality metrics of one flow run.
@@ -50,6 +57,14 @@ struct FlowResult {
   planner::PlannerResult golden_planner;
   TrainReport training;
   Real ir_correction = 1.0;
+  /// Golden design converged (planner met margins AND every solve
+  /// converged). When false the design is suspect as training data.
+  bool golden_converged = false;
+  /// Designs dropped from training because the golden phase did not
+  /// converge (0 or 1 per flow run; aggregate across a suite to count).
+  Index unconverged_excluded = 0;
+  /// Why the golden design was rejected/marked (planner + solver state).
+  std::string golden_diagnosis;
 
   // Conventional redesign of the perturbed spec.
   planner::PlannerResult perturbed_planner;

@@ -66,6 +66,17 @@ bool parse_node_name(const std::string& name, Index& layer, Point& pos) {
   }
 }
 
+/// Every parser diagnostic carries the source location and the element
+/// that produced it: "line 12, element R3: <what>".
+[[noreturn]] void fail_at(Index line_no, const std::string& element,
+                          const std::string& what) {
+  std::string msg = "line " + std::to_string(line_no);
+  if (!element.empty()) {
+    msg += ", element " + element;
+  }
+  throw NetlistError(msg + ": " + what);
+}
+
 }  // namespace
 
 Real parse_spice_value(const std::string& token) {
@@ -168,6 +179,8 @@ PowerGrid parse_netlist(std::istream& in, const std::string& name) {
     Index n1;
     Index n2;
     Real ohms;
+    Index line;           ///< source line, for late diagnostics
+    std::string element;  ///< element name ("R3"), for late diagnostics
   };
   std::vector<PendingResistor> resistors;
   std::vector<std::pair<Index, Real>> vsources;
@@ -176,7 +189,8 @@ PowerGrid parse_netlist(std::istream& in, const std::string& name) {
   std::unordered_map<std::string, Index> node_ids;
   std::vector<Index> node_layer;
   std::vector<Point> node_pos;
-  const auto intern_node = [&](const std::string& node_name) -> Index {
+  const auto intern_node = [&](const std::string& node_name, Index line_no,
+                               const std::string& element) -> Index {
     const auto it = node_ids.find(node_name);
     if (it != node_ids.end()) {
       return it->second;
@@ -185,7 +199,8 @@ PowerGrid parse_netlist(std::istream& in, const std::string& name) {
     Point pos{0.0, 0.0};
     parse_node_name(node_name, layer, pos);
     if (layer < 0) {
-      throw NetlistError("negative layer in node name: " + node_name);
+      fail_at(line_no, element,
+              "negative layer in node name: " + node_name);
     }
     max_layer_seen = std::max(max_layer_seen, layer);
     const Index id = static_cast<Index>(node_layer.size());
@@ -216,44 +231,51 @@ PowerGrid parse_netlist(std::istream& in, const std::string& name) {
       }
       continue;  // .op and friends are ignored
     }
+    const std::string& element = tokens[0];
     if (tokens.size() < 4) {
-      throw NetlistError("line " + std::to_string(line_no) +
-                         ": expected 4 tokens: " + line);
+      fail_at(line_no, element,
+              "expected 4 tokens (truncated line?): " + line);
     }
     const std::string& a = tokens[1];
     const std::string& b = tokens[2];
-    const Real value = parse_spice_value(tokens[3]);
+    Real value = 0.0;
+    try {
+      value = parse_spice_value(tokens[3]);
+    } catch (const NetlistError& e) {
+      fail_at(line_no, element, e.what());
+    }
     switch (head) {
       case 'r': {
         if (a == "0" || b == "0") {
-          throw NetlistError("line " + std::to_string(line_no) +
-                             ": resistor to ground is not a power-grid element");
+          fail_at(line_no, element,
+                  "resistor to ground is not a power-grid element");
         }
-        resistors.push_back({intern_node(a), intern_node(b), value});
+        resistors.push_back({intern_node(a, line_no, element),
+                             intern_node(b, line_no, element), value,
+                             line_no, element});
         break;
       }
       case 'v': {
         const std::string& node = (a == "0") ? b : a;
         if (node == "0") {
-          throw NetlistError("line " + std::to_string(line_no) +
-                             ": vsource between ground and ground");
+          fail_at(line_no, element, "vsource between ground and ground");
         }
-        vsources.emplace_back(intern_node(node), std::abs(value));
+        vsources.emplace_back(intern_node(node, line_no, element),
+                              std::abs(value));
         max_voltage = std::max(max_voltage, std::abs(value));
         break;
       }
       case 'i': {
         const std::string& node = (a == "0") ? b : a;
         if (node == "0") {
-          throw NetlistError("line " + std::to_string(line_no) +
-                             ": isource between ground and ground");
+          fail_at(line_no, element, "isource between ground and ground");
         }
-        isources.emplace_back(intern_node(node), std::abs(value));
+        isources.emplace_back(intern_node(node, line_no, element),
+                              std::abs(value));
         break;
       }
       default:
-        throw NetlistError("line " + std::to_string(line_no) +
-                           ": unsupported element: " + tokens[0]);
+        fail_at(line_no, element, "unsupported element type");
     }
   }
 
@@ -291,7 +313,8 @@ PowerGrid parse_netlist(std::istream& in, const std::string& name) {
 
   for (const PendingResistor& r : resistors) {
     if (r.ohms <= 0.0) {
-      throw NetlistError("non-positive resistance in netlist");
+      fail_at(r.line, r.element,
+              "non-positive resistance: " + std::to_string(r.ohms) + " ohm");
     }
     const Node& u = pg.node(r.n1);
     const Node& v = pg.node(r.n2);

@@ -52,4 +52,70 @@ PowerGrid perturbed_copy(const PowerGrid& pg, PerturbationKind kind,
   return copy;
 }
 
+std::string to_string(GridFault fault) {
+  switch (fault) {
+    case GridFault::kFloatingLoad:
+      return "floating-load";
+    case GridFault::kDisconnectedIsland:
+      return "disconnected-island";
+    case GridFault::kDuplicateBranch:
+      return "duplicate-branch";
+    case GridFault::kExtremeConductance:
+      return "extreme-conductance";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Index of the first wire branch; some faults anchor there.
+Index first_wire(const PowerGrid& pg) {
+  for (Index bi = 0; bi < pg.branch_count(); ++bi) {
+    if (pg.branch(bi).kind == BranchKind::kWire) {
+      return bi;
+    }
+  }
+  PPDL_REQUIRE(false, "fault injection needs at least one wire branch");
+  return -1;
+}
+
+}  // namespace
+
+void inject_fault(PowerGrid& pg, GridFault fault) {
+  PPDL_REQUIRE(pg.node_count() > 0 && pg.layer_count() > 0,
+               "fault injection needs a non-empty grid");
+  const Rect die = pg.die();
+  switch (fault) {
+    case GridFault::kFloatingLoad: {
+      // A loaded node with no branch: its MNA row is all zeros, so the
+      // reduced system is singular and no solver rung can converge.
+      const Index node = pg.add_node(Point{die.x0, die.y0}, 0);
+      pg.add_load(node, 1e-3);
+      break;
+    }
+    case GridFault::kDisconnectedIsland: {
+      // A padless, load-free ring: repairable by dropping the component.
+      const Index a = pg.add_node(Point{die.x0, die.y1}, 0);
+      const Index b = pg.add_node(Point{die.x0 + 1.0, die.y1}, 0);
+      const Index c = pg.add_node(Point{die.x0 + 0.5, die.y1 + 1.0}, 0);
+      pg.add_wire(a, b, 0, 1.0, 1.0);
+      pg.add_wire(b, c, 0, 1.0, 1.0);
+      pg.add_wire(c, a, 0, 1.0, 1.0);
+      break;
+    }
+    case GridFault::kDuplicateBranch: {
+      const Branch& b = pg.branch(first_wire(pg));
+      pg.add_wire(b.n1, b.n2, b.layer, b.length, b.width);
+      break;
+    }
+    case GridFault::kExtremeConductance: {
+      // A nine-decade conductance contrast wrecks the conditioning of the
+      // reduced system without making it structurally singular.
+      const Index bi = first_wire(pg);
+      pg.set_wire_width(bi, pg.branch(bi).width * 1e9);
+      break;
+    }
+  }
+}
+
 }  // namespace ppdl::grid

@@ -1,0 +1,306 @@
+#include "grid/validate.hpp"
+
+#include <cmath>
+#include <map>
+#include <queue>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace ppdl::grid {
+
+namespace {
+
+void add_defect(GridValidationReport& report, GridDefect defect) {
+  switch (defect.severity) {
+    case DefectSeverity::kFatal:
+      ++report.fatal_count;
+      break;
+    case DefectSeverity::kRepairable:
+      ++report.repairable_count;
+      break;
+    case DefectSeverity::kWarning:
+      ++report.warning_count;
+      break;
+  }
+  report.defects.push_back(std::move(defect));
+}
+
+/// Pad-reachability BFS over the branch graph.
+std::vector<bool> reachable_from_pads(const PowerGrid& pg) {
+  std::vector<std::vector<Index>> adj(
+      static_cast<std::size_t>(pg.node_count()));
+  for (const Branch& b : pg.branches()) {
+    adj[static_cast<std::size_t>(b.n1)].push_back(b.n2);
+    adj[static_cast<std::size_t>(b.n2)].push_back(b.n1);
+  }
+  std::vector<bool> reach(static_cast<std::size_t>(pg.node_count()), false);
+  std::queue<Index> queue;
+  for (const Pad& pad : pg.pads()) {
+    if (!reach[static_cast<std::size_t>(pad.node)]) {
+      reach[static_cast<std::size_t>(pad.node)] = true;
+      queue.push(pad.node);
+    }
+  }
+  while (!queue.empty()) {
+    const Index v = queue.front();
+    queue.pop();
+    for (const Index u : adj[static_cast<std::size_t>(v)]) {
+      if (!reach[static_cast<std::size_t>(u)]) {
+        reach[static_cast<std::size_t>(u)] = true;
+        queue.push(u);
+      }
+    }
+  }
+  return reach;
+}
+
+}  // namespace
+
+std::string to_string(GridDefectKind kind) {
+  switch (kind) {
+    case GridDefectKind::kNoLayers:
+      return "no-layers";
+    case GridDefectKind::kNoNodes:
+      return "no-nodes";
+    case GridDefectKind::kNoPads:
+      return "no-pads";
+    case GridDefectKind::kConflictingPadVoltages:
+      return "conflicting-pad-voltages";
+    case GridDefectKind::kNonPositiveConductance:
+      return "non-positive-conductance";
+    case GridDefectKind::kIsolatedNode:
+      return "isolated-node";
+    case GridDefectKind::kUnreachableNode:
+      return "unreachable-node";
+    case GridDefectKind::kUnreachableLoad:
+      return "unreachable-load";
+    case GridDefectKind::kDuplicateBranch:
+      return "duplicate-branch";
+    case GridDefectKind::kNonFiniteLoad:
+      return "non-finite-load";
+  }
+  return "?";
+}
+
+std::string to_string(DefectSeverity severity) {
+  switch (severity) {
+    case DefectSeverity::kWarning:
+      return "warning";
+    case DefectSeverity::kRepairable:
+      return "repairable";
+    case DefectSeverity::kFatal:
+      return "fatal";
+  }
+  return "?";
+}
+
+std::string GridValidationReport::summary() const {
+  std::ostringstream os;
+  os << defects.size() << " defect" << (defects.size() == 1 ? "" : "s")
+     << " (" << fatal_count << " fatal, " << repairable_count
+     << " repairable, " << warning_count << " warning)";
+  for (const GridDefect& d : defects) {
+    os << "; " << to_string(d.kind);
+    if (d.node >= 0) {
+      os << " node " << d.node;
+    }
+    if (d.branch >= 0) {
+      os << " branch " << d.branch;
+    }
+    if (!d.detail.empty()) {
+      os << " (" << d.detail << ')';
+    }
+  }
+  return os.str();
+}
+
+GridValidationReport validate_grid(const PowerGrid& pg) {
+  GridValidationReport report;
+
+  if (pg.layer_count() == 0) {
+    add_defect(report, {GridDefectKind::kNoLayers, DefectSeverity::kFatal, -1,
+                        -1, "grid has no metal layers"});
+  }
+  if (pg.node_count() == 0) {
+    add_defect(report, {GridDefectKind::kNoNodes, DefectSeverity::kFatal, -1,
+                        -1, "grid has no nodes"});
+    return report;  // nothing else is checkable
+  }
+  if (pg.pad_count() == 0) {
+    add_defect(report, {GridDefectKind::kNoPads, DefectSeverity::kFatal, -1,
+                        -1, "no supply pad pins any voltage"});
+  }
+
+  // Conflicting pad voltages on a shared node.
+  {
+    std::map<Index, Real> pinned;
+    for (std::size_t p = 0; p < pg.pads().size(); ++p) {
+      const Pad& pad = pg.pads()[p];
+      const auto [it, inserted] = pinned.emplace(pad.node, pad.voltage);
+      if (!inserted && std::abs(it->second - pad.voltage) > 1e-12) {
+        std::ostringstream os;
+        os << it->second << " V vs " << pad.voltage << " V";
+        add_defect(report,
+                   {GridDefectKind::kConflictingPadVoltages,
+                    DefectSeverity::kFatal, pad.node, -1, os.str()});
+      }
+    }
+  }
+
+  // Branch conductances and duplicate detection.
+  std::map<std::pair<Index, Index>, Index> first_branch_of_pair;
+  for (Index bi = 0; bi < pg.branch_count(); ++bi) {
+    const Branch& b = pg.branch(bi);
+    const Real resistance = pg.branch_resistance(bi);
+    if (!std::isfinite(resistance) || resistance <= 0.0) {
+      std::ostringstream os;
+      os << "resistance " << resistance << " ohm";
+      add_defect(report,
+                 {GridDefectKind::kNonPositiveConductance,
+                  DefectSeverity::kFatal, -1, bi, os.str()});
+    }
+    const std::pair<Index, Index> key{std::min(b.n1, b.n2),
+                                      std::max(b.n1, b.n2)};
+    const auto [it, inserted] = first_branch_of_pair.emplace(key, bi);
+    if (!inserted) {
+      std::ostringstream os;
+      os << "parallel with branch " << it->second;
+      add_defect(report,
+                 {GridDefectKind::kDuplicateBranch, DefectSeverity::kWarning,
+                  -1, bi, os.str()});
+    }
+  }
+
+  // Per-node load totals and finiteness.
+  std::vector<bool> has_load(static_cast<std::size_t>(pg.node_count()),
+                             false);
+  for (std::size_t li = 0; li < pg.loads().size(); ++li) {
+    const CurrentLoad& load = pg.loads()[li];
+    has_load[static_cast<std::size_t>(load.node)] = true;
+    if (!std::isfinite(load.amps)) {
+      add_defect(report,
+                 {GridDefectKind::kNonFiniteLoad, DefectSeverity::kFatal,
+                  load.node, -1, "load current is NaN/Inf"});
+    }
+  }
+
+  // Connectivity: every free node must reach a pad or its MNA row/column is
+  // singular (a zero-conductance row for isolated nodes, a padless block
+  // otherwise).
+  std::vector<Index> degree(static_cast<std::size_t>(pg.node_count()), 0);
+  for (const Branch& b : pg.branches()) {
+    ++degree[static_cast<std::size_t>(b.n1)];
+    ++degree[static_cast<std::size_t>(b.n2)];
+  }
+  const std::vector<bool> reach = reachable_from_pads(pg);
+  for (Index v = 0; v < pg.node_count(); ++v) {
+    const auto vu = static_cast<std::size_t>(v);
+    if (reach[vu]) {
+      continue;
+    }
+    if (has_load[vu]) {
+      add_defect(report,
+                 {GridDefectKind::kUnreachableLoad, DefectSeverity::kFatal, v,
+                  -1, "load has no path to any pad — MNA system is singular"});
+    } else if (degree[vu] == 0) {
+      add_defect(report,
+                 {GridDefectKind::kIsolatedNode, DefectSeverity::kRepairable,
+                  v, -1, "node has no branches (zero conductance row)"});
+    } else {
+      add_defect(report,
+                 {GridDefectKind::kUnreachableNode,
+                  DefectSeverity::kRepairable, v, -1,
+                  "connected component contains no pad"});
+    }
+  }
+  return report;
+}
+
+PowerGrid repaired_copy(const PowerGrid& pg,
+                        std::vector<std::string>* actions) {
+  const auto note = [&](const std::string& line) {
+    if (actions != nullptr) {
+      actions->push_back(line);
+    }
+  };
+
+  const std::vector<bool> reach = reachable_from_pads(pg);
+  std::vector<bool> has_load(static_cast<std::size_t>(pg.node_count()),
+                             false);
+  for (const CurrentLoad& load : pg.loads()) {
+    has_load[static_cast<std::size_t>(load.node)] = true;
+  }
+
+  // Keep reachable nodes plus any unreachable node that carries a load (an
+  // unrepairable fatal defect the caller must still see).
+  std::vector<Index> new_id(static_cast<std::size_t>(pg.node_count()), -1);
+  PowerGrid out;
+  out.set_name(pg.name());
+  out.set_vdd(pg.vdd());
+  out.set_die(pg.die());
+  for (const Layer& layer : pg.layers()) {
+    out.add_layer(layer);
+  }
+  for (Index v = 0; v < pg.node_count(); ++v) {
+    const auto vu = static_cast<std::size_t>(v);
+    if (reach[vu] || has_load[vu]) {
+      new_id[vu] = out.add_node(pg.node(v).pos, pg.node(v).layer);
+    } else {
+      std::ostringstream os;
+      os << "dropped unreachable load-free node " << v;
+      note(os.str());
+    }
+  }
+
+  // Merge duplicate branches in parallel: keep the first branch of each
+  // unordered endpoint pair, folding the others' conductance into it.
+  std::map<std::pair<Index, Index>, Real> pair_conductance;
+  std::map<std::pair<Index, Index>, Index> pair_first;
+  for (Index bi = 0; bi < pg.branch_count(); ++bi) {
+    const Branch& b = pg.branch(bi);
+    const std::pair<Index, Index> key{std::min(b.n1, b.n2),
+                                      std::max(b.n1, b.n2)};
+    pair_conductance[key] += 1.0 / pg.branch_resistance(bi);
+    const auto [it, inserted] = pair_first.emplace(key, bi);
+    if (!inserted) {
+      std::ostringstream os;
+      os << "merged duplicate branch " << bi << " into branch " << it->second
+         << " (parallel conductance)";
+      note(os.str());
+    }
+  }
+  for (const auto& [key, first_bi] : pair_first) {
+    const Branch& b = pg.branch(first_bi);
+    const Index n1 = new_id[static_cast<std::size_t>(b.n1)];
+    const Index n2 = new_id[static_cast<std::size_t>(b.n2)];
+    if (n1 < 0 || n2 < 0) {
+      continue;  // endpoint dropped with its unreachable component
+    }
+    const Real merged_resistance = 1.0 / pair_conductance[key];
+    if (b.kind == BranchKind::kWire) {
+      // g ∝ width at fixed geometry, so the parallel merge is a width sum:
+      // w = ρ·l / R_parallel.
+      const Real rho = pg.layer(b.layer).sheet_rho;
+      out.add_wire(n1, n2, b.layer, b.length,
+                   rho * b.length / merged_resistance);
+    } else {
+      out.add_via(n1, n2, b.layer, merged_resistance);
+    }
+  }
+
+  for (const CurrentLoad& load : pg.loads()) {
+    out.add_load(new_id[static_cast<std::size_t>(load.node)], load.amps);
+  }
+  for (const Pad& pad : pg.pads()) {
+    out.add_pad(new_id[static_cast<std::size_t>(pad.node)], pad.voltage);
+  }
+  return out;
+}
+
+GridDefectError::GridDefectError(GridValidationReport report)
+    : std::runtime_error("grid validation failed: " + report.summary()),
+      report_(std::move(report)) {}
+
+}  // namespace ppdl::grid

@@ -1,0 +1,90 @@
+// Structural grid validation — run before MNA assembly so that a broken
+// grid produces a typed, actionable diagnosis instead of a silently
+// singular system and a garbage IR map.
+//
+// Defect taxonomy (see DESIGN.md "Failure policy"):
+//   * fatal       — makes the analysis meaningless and cannot be repaired
+//                   without changing electrical intent (e.g. a load on a
+//                   node with no path to any pad);
+//   * repairable  — makes the MNA system singular but can be mechanically
+//                   fixed (isolated / unreachable nodes carrying no load are
+//                   dropped, duplicate resistors are merged in parallel);
+//   * warning     — harmless oddities worth surfacing (zero-current loads).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "grid/power_grid.hpp"
+
+namespace ppdl::grid {
+
+enum class GridDefectKind {
+  kNoLayers,                ///< grid has no metal layers
+  kNoNodes,                 ///< grid has no nodes
+  kNoPads,                  ///< no supply pad anywhere — nothing pins V
+  kConflictingPadVoltages,  ///< two pads pin one node to different voltages
+  kNonPositiveConductance,  ///< branch with non-finite or <= 0 conductance
+  kIsolatedNode,            ///< node with no branches at all (zero MNA row)
+  kUnreachableNode,         ///< node in a component containing no pad
+  kUnreachableLoad,         ///< current load on an unreachable node
+  kDuplicateBranch,         ///< several resistors between one node pair
+  kNonFiniteLoad,           ///< NaN/Inf load current
+};
+
+std::string to_string(GridDefectKind kind);
+
+enum class DefectSeverity { kWarning, kRepairable, kFatal };
+
+std::string to_string(DefectSeverity severity);
+
+/// One detected defect, anchored to the offending node/branch when known.
+struct GridDefect {
+  GridDefectKind kind = GridDefectKind::kNoNodes;
+  DefectSeverity severity = DefectSeverity::kFatal;
+  Index node = -1;
+  Index branch = -1;
+  std::string detail;
+};
+
+struct GridValidationReport {
+  std::vector<GridDefect> defects;
+  Index fatal_count = 0;
+  Index repairable_count = 0;
+  Index warning_count = 0;
+
+  /// No fatal defects (repairables/warnings may remain).
+  bool ok() const { return fatal_count == 0; }
+  /// True when MNA assembly would produce a singular or nonsensical system
+  /// (any fatal or repairable defect).
+  bool blocks_assembly() const {
+    return fatal_count > 0 || repairable_count > 0;
+  }
+  /// One-line digest: "3 defects (1 fatal): unreachable-load node 17; ...".
+  std::string summary() const;
+};
+
+/// Full structural scan: O(nodes + branches + loads + pads).
+GridValidationReport validate_grid(const PowerGrid& pg);
+
+/// Rebuilds the grid with every repairable defect fixed: duplicate branches
+/// merged in parallel, unreachable/isolated load-free nodes dropped (with
+/// their branches). Fatal defects cannot be repaired — callers must check
+/// `validate_grid(repaired).ok()` stayed true. `actions`, when given,
+/// receives one human-readable line per repair applied.
+PowerGrid repaired_copy(const PowerGrid& pg,
+                        std::vector<std::string>* actions = nullptr);
+
+/// Thrown by analysis entry points when validation blocks MNA assembly.
+class GridDefectError : public std::runtime_error {
+ public:
+  explicit GridDefectError(GridValidationReport report);
+  const GridValidationReport& report() const { return report_; }
+
+ private:
+  GridValidationReport report_;
+};
+
+}  // namespace ppdl::grid

@@ -7,6 +7,41 @@
 
 namespace ppdl::linalg {
 
+namespace {
+
+// Fault-injection clamp (see ScopedCgIterationClamp). 0 = inactive.
+Index g_cg_iteration_clamp = 0;
+
+}  // namespace
+
+const char* to_string(CgStatus status) {
+  switch (status) {
+    case CgStatus::kConverged:
+      return "converged";
+    case CgStatus::kMaxIterations:
+      return "max-iterations";
+    case CgStatus::kStagnated:
+      return "stagnated";
+    case CgStatus::kBreakdown:
+      return "breakdown";
+    case CgStatus::kNonFinite:
+      return "non-finite";
+  }
+  return "?";
+}
+
+ScopedCgIterationClamp::ScopedCgIterationClamp(Index max_iterations)
+    : previous_(g_cg_iteration_clamp) {
+  PPDL_REQUIRE(max_iterations > 0, "CG iteration clamp must be > 0");
+  g_cg_iteration_clamp = max_iterations;
+}
+
+ScopedCgIterationClamp::~ScopedCgIterationClamp() {
+  g_cg_iteration_clamp = previous_;
+}
+
+Index cg_iteration_clamp() { return g_cg_iteration_clamp; }
+
 CgResult conjugate_gradient(const CsrMatrix& a, std::span<const Real> b,
                             const CgOptions& options,
                             std::optional<std::vector<Real>> x0) {
@@ -14,8 +49,10 @@ CgResult conjugate_gradient(const CsrMatrix& a, std::span<const Real> b,
   PPDL_REQUIRE(static_cast<Index>(b.size()) == a.rows(),
                "CG: rhs size mismatch");
   const Index n = a.rows();
-  const Index max_iter =
-      options.max_iterations > 0 ? options.max_iterations : 2 * n;
+  Index max_iter = options.max_iterations > 0 ? options.max_iterations : 2 * n;
+  if (g_cg_iteration_clamp > 0) {
+    max_iter = std::min(max_iter, g_cg_iteration_clamp);
+  }
 
   CgResult result;
   result.x = x0.has_value() ? std::move(*x0)
@@ -28,6 +65,7 @@ CgResult conjugate_gradient(const CsrMatrix& a, std::span<const Real> b,
     // Homogeneous system: x = 0 is exact.
     result.x.assign(static_cast<std::size_t>(n), 0.0);
     result.converged = true;
+    result.status = CgStatus::kConverged;
     return result;
   }
 
@@ -47,15 +85,35 @@ CgResult conjugate_gradient(const CsrMatrix& a, std::span<const Real> b,
   Real rz = dot(r, z);
   Real rel = norm2(r) / bnorm;
   result.relative_residual = rel;
-  if (rel <= options.tolerance) {
-    result.converged = true;
+  if (!std::isfinite(rel)) {
+    result.status = CgStatus::kNonFinite;
     return result;
   }
+  if (rel <= options.tolerance) {
+    result.converged = true;
+    result.status = CgStatus::kConverged;
+    return result;
+  }
+
+  // Stagnation tracking: best residual seen and iterations since it last
+  // improved by a meaningful factor.
+  Real best_rel = rel;
+  Index since_improvement = 0;
 
   for (Index it = 1; it <= max_iter; ++it) {
     a.multiply(p, ap);
     const Real pap = dot(p, ap);
-    PPDL_ENSURE(pap > 0.0, "CG: matrix not positive definite (pᵀAp <= 0)");
+    if (!std::isfinite(pap)) {
+      result.status = CgStatus::kNonFinite;
+      return result;
+    }
+    if (pap <= 0.0) {
+      // Not positive definite along this direction — the reduced system is
+      // singular (floating node) or indefinite. Report instead of throwing
+      // so the escalation ladder can take over.
+      result.status = CgStatus::kBreakdown;
+      return result;
+    }
     const Real alpha = rz / pap;
     axpy(alpha, p, result.x);
     axpy(-alpha, ap, r);
@@ -66,9 +124,23 @@ CgResult conjugate_gradient(const CsrMatrix& a, std::span<const Real> b,
     if (options.observer) {
       options.observer(it, rel);
     }
+    if (!std::isfinite(rel)) {
+      result.status = CgStatus::kNonFinite;
+      return result;
+    }
     if (rel <= options.tolerance) {
       result.converged = true;
+      result.status = CgStatus::kConverged;
       return result;
+    }
+    if (options.stagnation_window > 0) {
+      if (rel < best_rel * (1.0 - options.stagnation_rtol)) {
+        best_rel = rel;
+        since_improvement = 0;
+      } else if (++since_improvement >= options.stagnation_window) {
+        result.status = CgStatus::kStagnated;
+        return result;
+      }
     }
 
     precond->apply(r, z);
@@ -79,6 +151,7 @@ CgResult conjugate_gradient(const CsrMatrix& a, std::span<const Real> b,
       p[i] = z[i] + beta * p[i];
     }
   }
+  result.status = CgStatus::kMaxIterations;
   return result;
 }
 

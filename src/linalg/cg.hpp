@@ -13,12 +13,32 @@
 
 namespace ppdl::linalg {
 
+/// Why the iteration stopped. Anything but kConverged means the returned x
+/// is the best iterate, not a solution — callers must check (or go through
+/// robust::robust_solve, which escalates on failure).
+enum class CgStatus {
+  kConverged,      ///< relative residual under tolerance
+  kMaxIterations,  ///< budget exhausted while still improving
+  kStagnated,      ///< no residual improvement over the stagnation window
+  kBreakdown,      ///< pᵀAp <= 0: matrix not positive definite (singular MNA)
+  kNonFinite,      ///< NaN/Inf appeared in the recurrence
+};
+
+const char* to_string(CgStatus status);
+
 struct CgOptions {
   /// Relative residual tolerance: stop when ||r|| <= tol * ||b||.
   Real tolerance = 1e-8;
   /// Hard iteration cap (0 means 2 * n).
   Index max_iterations = 0;
   PreconditionerKind preconditioner = PreconditionerKind::kIc0;
+  /// Stop with kStagnated when the best residual seen has not improved by
+  /// at least `stagnation_rtol` (relative) over this many consecutive
+  /// iterations (0 disables). Near-singular systems plateau far above the
+  /// tolerance; stopping early hands the problem to the escalation ladder
+  /// instead of burning the full 2n budget.
+  Index stagnation_window = 50;
+  Real stagnation_rtol = 1e-3;
   /// Optional per-iteration observer (iteration, relative residual).
   std::function<void(Index, Real)> observer;
 };
@@ -28,6 +48,7 @@ struct CgResult {
   Index iterations = 0;
   Real relative_residual = 0.0;
   bool converged = false;
+  CgStatus status = CgStatus::kMaxIterations;
 };
 
 /// Solve A x = b for SPD A. `x0` (if given) seeds the iteration — the
@@ -35,5 +56,23 @@ struct CgResult {
 CgResult conjugate_gradient(const CsrMatrix& a, std::span<const Real> b,
                             const CgOptions& options = {},
                             std::optional<std::vector<Real>> x0 = {});
+
+/// Fault-injection hook: while alive, clamps every conjugate_gradient call's
+/// iteration budget to `max_iterations` (on top of CgOptions). Lets tests
+/// manufacture deterministic non-convergence on healthy systems to exercise
+/// the escalation ladder. Not thread-safe; scopes nest (innermost wins).
+class ScopedCgIterationClamp {
+ public:
+  explicit ScopedCgIterationClamp(Index max_iterations);
+  ~ScopedCgIterationClamp();
+  ScopedCgIterationClamp(const ScopedCgIterationClamp&) = delete;
+  ScopedCgIterationClamp& operator=(const ScopedCgIterationClamp&) = delete;
+
+ private:
+  Index previous_;
+};
+
+/// Active clamp (0 = none). Exposed for tests asserting hook state.
+Index cg_iteration_clamp();
 
 }  // namespace ppdl::linalg

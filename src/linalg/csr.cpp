@@ -153,4 +153,20 @@ CsrMatrix CsrMatrix::permuted_symmetric(std::span<const Index> perm) const {
   return from_coo(coo);
 }
 
+CsrMatrix CsrMatrix::with_shifted_diagonal(Real shift) const {
+  PPDL_REQUIRE(rows_ == cols_, "diagonal shift needs a square matrix");
+  CooMatrix coo(rows_, cols_);
+  coo.reserve(nnz() + rows_);
+  for (Index r = 0; r < rows_; ++r) {
+    const Index begin = row_ptr_[static_cast<std::size_t>(r)];
+    const Index end = row_ptr_[static_cast<std::size_t>(r) + 1];
+    for (Index k = begin; k < end; ++k) {
+      const auto ku = static_cast<std::size_t>(k);
+      coo.add(r, col_idx_[ku], values_[ku]);
+    }
+    coo.add(r, r, shift);
+  }
+  return from_coo(coo);
+}
+
 }  // namespace ppdl::linalg

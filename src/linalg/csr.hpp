@@ -50,6 +50,10 @@ class CsrMatrix {
   /// where `perm[i]` gives the new index of old row i. Requires square A.
   CsrMatrix permuted_symmetric(std::span<const Index> perm) const;
 
+  /// A + shift·I (Tikhonov regularization). Structurally missing diagonal
+  /// entries are created. Requires square A.
+  CsrMatrix with_shifted_diagonal(Real shift) const;
+
  private:
   Index rows_ = 0;
   Index cols_ = 0;

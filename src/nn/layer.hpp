@@ -35,6 +35,8 @@ class DenseLayer {
   const Matrix& bias() const { return bias_; }
   const Matrix& weight_grad() const { return grad_weights_; }
   const Matrix& bias_grad() const { return grad_bias_; }
+  Matrix& weight_grad() { return grad_weights_; }
+  Matrix& bias_grad() { return grad_bias_; }
 
   Index parameter_count() const {
     return weights_.rows() * weights_.cols() + bias_.cols();

@@ -1,5 +1,7 @@
 #include "nn/mlp.hpp"
 
+#include <cmath>
+
 #include "common/check.hpp"
 
 namespace ppdl::nn {
@@ -76,6 +78,57 @@ Index Mlp::parameter_count() const {
     total += layer.parameter_count();
   }
   return total;
+}
+
+std::vector<Matrix> Mlp::snapshot_parameters() const {
+  std::vector<Matrix> snapshot;
+  snapshot.reserve(layers_.size() * 2);
+  for (const DenseLayer& layer : layers_) {
+    snapshot.push_back(layer.weights());
+    snapshot.push_back(layer.bias());
+  }
+  return snapshot;
+}
+
+void Mlp::restore_parameters(const std::vector<Matrix>& snapshot) {
+  PPDL_REQUIRE(snapshot.size() == layers_.size() * 2,
+               "parameter snapshot does not match this model");
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    DenseLayer& layer = layers_[i];
+    const Matrix& w = snapshot[2 * i];
+    const Matrix& b = snapshot[2 * i + 1];
+    PPDL_REQUIRE(w.rows() == layer.weights().rows() &&
+                     w.cols() == layer.weights().cols() &&
+                     b.rows() == layer.bias().rows() &&
+                     b.cols() == layer.bias().cols(),
+                 "parameter snapshot does not match this model");
+    layer.weights() = w;
+    layer.bias() = b;
+  }
+}
+
+Real Mlp::gradient_norm() const {
+  Real sum_sq = 0.0;
+  for (const DenseLayer& layer : layers_) {
+    for (const Real g : layer.weight_grad().data()) {
+      sum_sq += g * g;
+    }
+    for (const Real g : layer.bias_grad().data()) {
+      sum_sq += g * g;
+    }
+  }
+  return std::sqrt(sum_sq);
+}
+
+void Mlp::scale_gradients(Real factor) {
+  for (DenseLayer& layer : layers_) {
+    for (Real& g : layer.weight_grad().data()) {
+      g *= factor;
+    }
+    for (Real& g : layer.bias_grad().data()) {
+      g *= factor;
+    }
+  }
 }
 
 }  // namespace ppdl::nn

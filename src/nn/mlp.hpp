@@ -50,6 +50,21 @@ class Mlp {
   /// Total trainable scalar count.
   Index parameter_count() const;
 
+  // Checkpointing and gradient hygiene for the trainer's recovery path.
+
+  /// Deep copies of every parameter tensor (weights and biases, in layer
+  /// order) — a checkpoint restorable with restore_parameters().
+  std::vector<Matrix> snapshot_parameters() const;
+
+  /// Restores a snapshot taken from this (or an identically shaped) model.
+  void restore_parameters(const std::vector<Matrix>& snapshot);
+
+  /// Global L2 norm over all parameter gradients (after a backward()).
+  Real gradient_norm() const;
+
+  /// Scales every gradient tensor in place (gradient-norm clipping).
+  void scale_gradients(Real factor);
+
  private:
   MlpConfig config_;
   std::vector<DenseLayer> layers_;

@@ -1,6 +1,7 @@
 #include "nn/trainer.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.hpp"
 
@@ -62,13 +63,36 @@ TrainHistory train(Mlp& model, const Matrix& x, const Matrix& y,
   const Matrix x_val = val_rows > 0 ? gather_rows(x, val_idx) : Matrix();
   const Matrix y_val = val_rows > 0 ? gather_rows(y, val_idx) : Matrix();
 
-  const auto optimizer = make_optimizer(options.optimizer,
-                                        options.learning_rate);
+  auto optimizer = make_optimizer(options.optimizer, options.learning_rate);
   const std::vector<ParamSlot> slots = model.parameter_slots();
 
   TrainHistory history;
+  history.final_learning_rate = options.learning_rate;
   Real best_val = -1.0;
   Index since_best = 0;
+  Real lr = options.learning_rate;
+
+  // Last finite-epoch parameters (divergence rollback target) and the
+  // best-validation checkpoint.
+  std::vector<Matrix> good_params = model.snapshot_parameters();
+  std::vector<Matrix> best_params;
+
+  // Divergence recovery: roll back to the last finite epoch and restart
+  // the optimizer (fresh moments — the old ones may carry non-finite
+  // state) at a backed-off learning rate. False once the budget is spent.
+  const auto recover = [&]() -> bool {
+    if (!options.recover_on_divergence ||
+        history.recoveries >= options.max_recoveries) {
+      history.diverged = true;
+      return false;
+    }
+    ++history.recoveries;
+    model.restore_parameters(good_params);
+    lr *= options.lr_backoff_factor;
+    history.final_learning_rate = lr;
+    optimizer = make_optimizer(options.optimizer, lr);
+    return true;
+  };
 
   std::vector<Index> batch_order(static_cast<std::size_t>(train_rows));
   for (Index i = 0; i < train_rows; ++i) {
@@ -79,6 +103,7 @@ TrainHistory train(Mlp& model, const Matrix& x, const Matrix& y,
     rng.shuffle(batch_order);
     Real epoch_loss = 0.0;
     Index batches = 0;
+    bool epoch_diverged = false;
     for (Index start = 0; start < train_rows; start += options.batch_size) {
       const Index stop = std::min(start + options.batch_size, train_rows);
       std::vector<Index> batch(batch_order.begin() + start,
@@ -87,35 +112,74 @@ TrainHistory train(Mlp& model, const Matrix& x, const Matrix& y,
       const Matrix yb = gather_rows(y_train, batch);
 
       const Matrix pred = model.forward(xb, /*train=*/true);
-      epoch_loss += loss_value(pred, yb, options.loss);
+      const Real batch_loss = loss_value(pred, yb, options.loss);
+      if (!std::isfinite(batch_loss)) {
+        epoch_diverged = true;
+        break;
+      }
+      epoch_loss += batch_loss;
       ++batches;
       model.backward(loss_gradient(pred, yb, options.loss));
+      if (options.gradient_clip_norm > 0.0) {
+        const Real norm = model.gradient_norm();
+        if (!std::isfinite(norm)) {
+          epoch_diverged = true;
+          break;
+        }
+        if (norm > options.gradient_clip_norm) {
+          model.scale_gradients(options.gradient_clip_norm / norm);
+        }
+      }
       optimizer->step(slots);
     }
-    epoch_loss /= static_cast<Real>(std::max<Index>(batches, 1));
-    history.train_loss.push_back(epoch_loss);
 
     Real val_loss = -1.0;
-    if (val_rows > 0) {
-      const Matrix val_pred = model.predict(x_val);
-      val_loss = loss_value(val_pred, y_val, options.loss);
+    if (!epoch_diverged) {
+      epoch_loss /= static_cast<Real>(std::max<Index>(batches, 1));
+      if (val_rows > 0) {
+        const Matrix val_pred = model.predict(x_val);
+        val_loss = loss_value(val_pred, y_val, options.loss);
+        if (!std::isfinite(val_loss)) {
+          epoch_diverged = true;
+        }
+      }
     }
+
+    if (epoch_diverged) {
+      // The epoch produced no usable losses; the recovery consumes its
+      // slot (the epoch counter still advances, bounding total work).
+      if (!recover()) {
+        break;
+      }
+      continue;
+    }
+
+    history.train_loss.push_back(epoch_loss);
     history.val_loss.push_back(val_loss);
     history.epochs_run = epoch;
+    good_params = model.snapshot_parameters();
 
     if (options.on_epoch) {
       options.on_epoch(epoch, epoch_loss, val_loss);
     }
 
-    if (val_rows > 0 && options.early_stopping_patience > 0) {
+    if (val_rows > 0) {
       if (best_val < 0.0 || val_loss < best_val) {
         best_val = val_loss;
+        history.best_epoch = epoch;
         since_best = 0;
-      } else if (++since_best >= options.early_stopping_patience) {
+        if (options.restore_best_params) {
+          best_params = model.snapshot_parameters();
+        }
+      } else if (options.early_stopping_patience > 0 &&
+                 ++since_best >= options.early_stopping_patience) {
         history.early_stopped = true;
         break;
       }
     }
+  }
+  if (options.restore_best_params && !best_params.empty()) {
+    model.restore_parameters(best_params);
   }
   history.best_val_loss = best_val;
   return history;

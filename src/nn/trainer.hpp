@@ -23,14 +23,36 @@ struct TrainOptions {
   U64 shuffle_seed = 1;
   /// Called after each epoch: (epoch, train loss, validation loss or -1).
   std::function<void(Index, Real, Real)> on_epoch;
+
+  // --- divergence guards (see DESIGN.md "Failure policy") ----------------
+  /// Clip the global gradient L2 norm to this value before each optimizer
+  /// step (0 disables clipping — the default, preserving historical runs).
+  Real gradient_clip_norm = 0.0;
+  /// On a non-finite train/validation loss, roll the parameters back to
+  /// the last finite epoch, restart the optimizer at a backed-off learning
+  /// rate, and keep going. When false — or once max_recoveries rollbacks
+  /// are spent — training stops and the history is marked `diverged`.
+  bool recover_on_divergence = true;
+  Real lr_backoff_factor = 0.5;
+  Index max_recoveries = 3;
+  /// After the loop, restore the parameters of the best-validation epoch
+  /// instead of keeping the final-epoch weights. Off by default (final
+  /// weights are the historical behavior).
+  bool restore_best_params = false;
 };
 
 struct TrainHistory {
-  std::vector<Real> train_loss;  ///< per epoch
+  /// Per recorded epoch. Epochs interrupted by a divergence rollback
+  /// produced no usable losses and are not recorded here.
+  std::vector<Real> train_loss;
   std::vector<Real> val_loss;    ///< per epoch (-1 when no validation)
   Index epochs_run = 0;
   bool early_stopped = false;
   Real best_val_loss = -1.0;
+  Index best_epoch = 0;          ///< 1-based epoch of best_val_loss (0: none)
+  Index recoveries = 0;          ///< divergence rollbacks performed
+  bool diverged = false;         ///< stopped non-finite with budget spent
+  Real final_learning_rate = 0.0;  ///< learning rate after any backoffs
 };
 
 /// Trains `model` on rows of (x, y). Deterministic for a fixed seed.

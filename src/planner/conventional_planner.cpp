@@ -11,6 +11,21 @@ namespace ppdl::planner {
 
 namespace {
 
+/// Folds one analysis' solve diagnosis into the planner result: counts
+/// escalated solves and latches failure (with the SolveReport summary) when
+/// even the ladder could not converge.
+void account_solve(const analysis::IrAnalysisResult& analysis,
+                   PlannerResult& result) {
+  if (analysis.solve_report.escalated()) {
+    ++result.solver_escalations;
+    result.solver_diagnosis = analysis.solve_report.summary();
+  }
+  if (!analysis.converged) {
+    result.solver_failed = true;
+    result.solver_diagnosis = analysis.solve_report.summary();
+  }
+}
+
 /// Width-relaxation pass: scale every sized wire back toward the margin and
 /// verify; retries with progressively weaker relaxation. Leaves the grid at
 /// the best accepted state and updates `result` accordingly.
@@ -64,11 +79,12 @@ void polish_widths(grid::PowerGrid& pg, const PlannerOptions& options,
     }
     analysis::IrAnalysisResult verify = analysis::analyze_ir_drop(pg, solver);
     result.analysis_seconds += verify.solve_seconds;
+    account_solve(verify, result);
     ++result.iterations;
     if (options.warm_start) {
       solver.initial_voltages = verify.node_voltage;
     }
-    const bool ok = verify.worst_ir_drop <= limit &&
+    const bool ok = verify.converged && verify.worst_ir_drop <= limit &&
                     verify.worst_density <= options.update.jmax;
     IterationTrace trace;
     trace.iteration = result.iterations;
@@ -103,6 +119,14 @@ PlannerResult run_conventional_planner(grid::PowerGrid& pg,
   for (Index it = 1; it <= options.max_iterations; ++it) {
     analysis::IrAnalysisResult analysis = analysis::analyze_ir_drop(pg, solver);
     result.analysis_seconds += analysis.solve_seconds;
+    account_solve(analysis, result);
+    if (!analysis.converged) {
+      // Widening against an unconverged solution would chase solver noise,
+      // not real violations: stop and surface the diagnosis.
+      result.iterations = it;
+      result.final_analysis = std::move(analysis);
+      break;
+    }
     if (options.warm_start) {
       solver.initial_voltages = analysis.node_voltage;
     }
@@ -143,11 +167,13 @@ PlannerResult run_conventional_planner(grid::PowerGrid& pg,
 
   // If the loop ended by widening on its last allowed iteration, the final
   // analysis predates the last update; re-verify so callers see the truth.
-  if (!result.converged && !result.trace.empty() &&
+  if (!result.converged && !result.solver_failed && !result.trace.empty() &&
       result.trace.back().wires_widened > 0) {
     analysis::IrAnalysisResult analysis = analysis::analyze_ir_drop(pg, solver);
     result.analysis_seconds += analysis.solve_seconds;
-    result.converged = analysis.worst_ir_drop <= options.update.ir_limit &&
+    account_solve(analysis, result);
+    result.converged = analysis.converged &&
+                       analysis.worst_ir_drop <= options.update.ir_limit &&
                        analysis.worst_density <= options.update.jmax;
     result.final_analysis = std::move(analysis);
   }

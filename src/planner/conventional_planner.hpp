@@ -7,6 +7,7 @@
 // "Conventional" column of Table IV.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "analysis/ir_solver.hpp"
@@ -48,6 +49,14 @@ struct PlannerResult {
   Real analysis_seconds = 0.0;    ///< time inside the solver
   analysis::IrAnalysisResult final_analysis;
   std::vector<IterationTrace> trace;
+  /// True when an analysis failed to converge even after the robust solve
+  /// ladder — the loop stops immediately (widening against an unconverged
+  /// solution would chase noise). `converged` is false in that case.
+  bool solver_failed = false;
+  /// SolveReport summary of the failed (or last escalated) analysis.
+  std::string solver_diagnosis;
+  /// How many analyses needed escalation beyond the requested CG rung.
+  Index solver_escalations = 0;
 };
 
 /// Runs the conventional loop in place: `pg`'s wire widths are updated to

@@ -1,0 +1,98 @@
+// Solve escalation ladder: every linear solve either succeeds, recovers, or
+// fails with a structured, actionable diagnosis.
+//
+// The power-grid flow sits on top of CG solves that can fail silently: a
+// near-singular MNA system (floating node, missing pad) stalls or breaks the
+// recurrence, and an unlucky preconditioner/budget combination leaves the
+// residual above tolerance. robust_solve() wraps CG with a fixed ladder:
+//
+//   1. CG with the requested preconditioner,
+//   2. CG with a stronger preconditioner (Jacobi, then IC0),
+//   3. CG on the Tikhonov-regularized system A + σI (IC0), with iterative
+//      refinement against the original matrix,
+//   4. sparse direct Cholesky with RCM ordering.
+//
+// Each rung records a SolveAttempt; the ladder stops at the first rung whose
+// solution meets tolerance against the ORIGINAL matrix. The resulting
+// SolveReport is propagated by analysis::analyze_ir_drop (and from there by
+// vectorless, dual-rail, and the planner) instead of a bare bool.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "linalg/cg.hpp"
+#include "linalg/csr.hpp"
+
+namespace ppdl::robust {
+
+/// Which rung of the ladder produced an attempt.
+enum class SolveStep {
+  kRequestedCg,    ///< CG exactly as configured by the caller
+  kEscalatedCg,    ///< CG with a stronger preconditioner
+  kRegularizedCg,  ///< CG on A + σI with refinement against A
+  kDirectCholesky, ///< sparse direct factorization fallback
+};
+
+const char* to_string(SolveStep step);
+
+/// One rung's outcome.
+struct SolveAttempt {
+  SolveStep step = SolveStep::kRequestedCg;
+  linalg::PreconditionerKind preconditioner =
+      linalg::PreconditionerKind::kIc0;
+  Real diagonal_shift = 0.0;        ///< σ for kRegularizedCg, else 0
+  Index iterations = 0;
+  Real relative_residual = 0.0;     ///< vs the ORIGINAL system
+  linalg::CgStatus status = linalg::CgStatus::kMaxIterations;
+  std::string note;                 ///< failure detail / escalation reason
+};
+
+/// Full diagnosis of one robust solve.
+struct SolveReport {
+  std::vector<SolveAttempt> attempts;
+  bool converged = false;
+  Real final_residual = 0.0;  ///< relative, vs the original system
+  Index total_iterations = 0; ///< CG iterations summed over all rungs
+
+  /// True when recovery needed more than the caller's requested solve.
+  bool escalated() const { return attempts.size() > 1; }
+
+  /// One-line human-readable trace, e.g.
+  /// "cg(ic0): stagnated @121 -> tikhonov(ic0, σ=1e-9): converged @40".
+  std::string summary() const;
+};
+
+struct RobustSolveOptions {
+  /// First-rung CG configuration (tolerance/preconditioner/budget).
+  linalg::CgOptions cg;
+  /// Climb the ladder on failure; when false, behaves like plain CG but
+  /// still returns a report.
+  bool allow_escalation = true;
+  /// Tikhonov shift σ = factor × max|diag(A)|.
+  Real shift_factor = 1e-10;
+  /// Refinement sweeps against the original matrix after a regularized
+  /// solve (each sweep is one more CG solve on the shifted system).
+  Index refinement_sweeps = 2;
+  /// Skip the direct-Cholesky rung above this dimension (fill-in guard;
+  /// 0 = never skip).
+  Index max_direct_dimension = 250000;
+};
+
+struct RobustSolveResult {
+  std::vector<Real> x;  ///< best iterate across all attempts
+  SolveReport report;
+};
+
+/// Solve A x = b through the escalation ladder. Never throws on numerical
+/// failure: a fully failed ladder returns converged=false with the
+/// per-attempt diagnosis, and x is the attempt with the smallest residual.
+RobustSolveResult robust_solve(const linalg::CsrMatrix& a,
+                               std::span<const Real> b,
+                               const RobustSolveOptions& options = {},
+                               std::optional<std::vector<Real>> x0 = {});
+
+}  // namespace ppdl::robust

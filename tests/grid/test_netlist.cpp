@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
+#include <string>
 
 #include "grid/generator.hpp"
 #include "grid/netlist.hpp"
@@ -151,6 +153,81 @@ TEST(Netlist, UnsupportedElementThrows) {
 TEST(Netlist, ResistorToGroundRejected) {
   std::istringstream in("R1 n0_0_0 0 1.0\n");
   EXPECT_THROW(parse_netlist(in), NetlistError);
+}
+
+// Every parser failure path, table-driven: each diagnostic names the line
+// and the element so a broken netlist is fixable from the message alone.
+struct BadNetlistCase {
+  const char* label;
+  const char* netlist;
+  const char* wants_in_message;  // substring the diagnostic must carry
+};
+
+class NetlistFailure : public ::testing::TestWithParam<BadNetlistCase> {};
+
+TEST_P(NetlistFailure, DiagnosisCarriesLineAndElement) {
+  const BadNetlistCase& c = GetParam();
+  std::istringstream in(c.netlist);
+  try {
+    parse_netlist(in);
+    FAIL() << c.label << ": expected NetlistError";
+  } catch (const NetlistError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line "), std::string::npos) << c.label << ": " << msg;
+    EXPECT_NE(msg.find("element "), std::string::npos)
+        << c.label << ": " << msg;
+    EXPECT_NE(msg.find(c.wants_in_message), std::string::npos)
+        << c.label << ": " << msg;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParserFailurePaths, NetlistFailure,
+    ::testing::Values(
+        BadNetlistCase{"malformed-value",
+                       "* header comment\nR1 n0_0_0 n0_1000_0 abc\n",
+                       "malformed value"},
+        BadNetlistCase{"unknown-suffix", "R1 n0_0_0 n0_1000_0 1.5z\n",
+                       "unknown value suffix"},
+        BadNetlistCase{"truncated-line", "R7 n0_0_0 n0_1000_0\n",
+                       "element R7"},
+        BadNetlistCase{"negative-layer", "R2 n-1_0_0 n0_1000_0 1.0\n",
+                       "negative layer"},
+        BadNetlistCase{"negative-resistance",
+                       "R3 n0_0_0 n0_1000_0 -2.0\n"
+                       "V1 n0_0_0 0 1.8\n",
+                       "element R3"},
+        BadNetlistCase{"zero-resistance",
+                       "R4 n0_0_0 n0_1000_0 0\n"
+                       "V1 n0_0_0 0 1.8\n",
+                       "non-positive resistance"},
+        BadNetlistCase{"unsupported-element", "C1 n0_0_0 n0_1000_0 1p\n",
+                       "unsupported element"},
+        BadNetlistCase{"resistor-to-ground", "R5 n0_0_0 0 1.0\n",
+                       "resistor to ground"},
+        BadNetlistCase{"vsource-ground-ground", "V2 0 0 1.8\n",
+                       "vsource between ground"},
+        BadNetlistCase{"isource-ground-ground", "I2 0 0 5m\n",
+                       "isource between ground"}),
+    [](const ::testing::TestParamInfo<BadNetlistCase>& info) {
+      std::string name = info.param.label;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(Netlist, MalformedValueNamesExactLine) {
+  std::istringstream in(
+      "* comment\n"
+      "V1 n0_0_0 0 1.8\n"
+      "R1 n0_0_0 n0_1000_0 bogus\n");
+  try {
+    parse_netlist(in);
+    FAIL() << "expected NetlistError";
+  } catch (const NetlistError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("element R1"), std::string::npos) << msg;
+  }
 }
 
 TEST(Netlist, StopsAtEndDirective) {

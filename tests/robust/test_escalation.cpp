@@ -1,0 +1,212 @@
+// The solve escalation ladder: recovery from starved, stagnating and
+// singular CG solves, with a faithful per-attempt report.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/cg.hpp"
+#include "robust/solve.hpp"
+
+namespace ppdl::robust {
+namespace {
+
+/// 1-D Laplacian with Dirichlet pinning at node 0 (SPD). NOTE: IC0 is an
+/// exact factorization of a tridiagonal matrix, so IC0-preconditioned CG
+/// solves this in one iteration — use mesh_matrix() to starve CG.
+linalg::CsrMatrix chain_matrix(Index n) {
+  linalg::CooMatrix coo(n, n);
+  for (Index i = 0; i < n; ++i) {
+    coo.add(i, i, i == 0 ? 3.0 : 2.0);
+    if (i + 1 < n) {
+      coo.add_symmetric_pair(i, i + 1, -1.0);
+    }
+  }
+  return linalg::CsrMatrix::from_coo(coo);
+}
+
+/// 2-D 5-point Laplacian on an m×m mesh (SPD, diagonally dominant): IC0 is
+/// inexact here, so every CG flavor needs tens of iterations.
+linalg::CsrMatrix mesh_matrix(Index m) {
+  const Index n = m * m;
+  linalg::CooMatrix coo(n, n);
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < m; ++j) {
+      const Index v = i * m + j;
+      coo.add(v, v, 4.0 + (v == 0 ? 1.0 : 0.0));
+      if (j + 1 < m) {
+        coo.add_symmetric_pair(v, v + 1, -1.0);
+      }
+      if (i + 1 < m) {
+        coo.add_symmetric_pair(v, v + m, -1.0);
+      }
+    }
+  }
+  return linalg::CsrMatrix::from_coo(coo);
+}
+
+/// Same chain, but with node `dead` detached: an exactly zero row/column,
+/// the MNA signature of a floating node. Singular.
+linalg::CsrMatrix chain_with_dead_row(Index n, Index dead) {
+  linalg::CooMatrix coo(n, n);
+  for (Index i = 0; i < n; ++i) {
+    if (i == dead) {
+      continue;
+    }
+    coo.add(i, i, i == 0 ? 3.0 : 2.0);
+    if (i + 1 < n && i + 1 != dead) {
+      coo.add_symmetric_pair(i, i + 1, -1.0);
+    }
+  }
+  return linalg::CsrMatrix::from_coo(coo);
+}
+
+TEST(RobustSolve, HealthySystemSolvesOnFirstRung) {
+  const Index n = 40;
+  const linalg::CsrMatrix a = chain_matrix(n);
+  const std::vector<Real> b(static_cast<std::size_t>(n), 1.0);
+
+  const RobustSolveResult r = robust_solve(a, b);
+  EXPECT_TRUE(r.report.converged);
+  EXPECT_FALSE(r.report.escalated());
+  ASSERT_EQ(r.report.attempts.size(), 1u);
+  EXPECT_EQ(r.report.attempts[0].step, SolveStep::kRequestedCg);
+  EXPECT_EQ(r.report.attempts[0].status, linalg::CgStatus::kConverged);
+  EXPECT_LE(r.report.final_residual, 1e-8);
+}
+
+TEST(RobustSolve, StarvedCgEscalatesToDirectCholesky) {
+  const Index n = 12 * 12;
+  const linalg::CsrMatrix a = mesh_matrix(12);
+  const std::vector<Real> b(static_cast<std::size_t>(n), 1.0);
+
+  // One CG iteration can never converge a 12×12 mesh, so every CG rung
+  // fails and the ladder must fall through to the direct factorization.
+  const linalg::ScopedCgIterationClamp clamp(1);
+  const RobustSolveResult r = robust_solve(a, b);
+
+  EXPECT_TRUE(r.report.converged);
+  EXPECT_TRUE(r.report.escalated());
+  ASSERT_FALSE(r.report.attempts.empty());
+  const SolveAttempt& last = r.report.attempts.back();
+  EXPECT_EQ(last.step, SolveStep::kDirectCholesky);
+  EXPECT_EQ(last.status, linalg::CgStatus::kConverged);
+  EXPECT_LE(r.report.final_residual, 1e-8);
+
+  // The recovered solution is the true one.
+  const std::vector<Real> ax = a.multiply(r.x);
+  for (Index i = 0; i < n; ++i) {
+    EXPECT_NEAR(ax[static_cast<std::size_t>(i)], 1.0, 1e-6);
+  }
+}
+
+TEST(RobustSolve, SingularSystemFailsWithFullDiagnosis) {
+  const Index n = 20;
+  const linalg::CsrMatrix a = chain_with_dead_row(n, 7);
+  std::vector<Real> b(static_cast<std::size_t>(n), 0.0);
+  b[7] = 1e-3;  // current into the floating node: unsatisfiable
+
+  const RobustSolveResult r = robust_solve(a, b);
+  EXPECT_FALSE(r.report.converged);
+  // Every rung was tried and recorded.
+  EXPECT_GE(r.report.attempts.size(), 3u);
+  EXPECT_EQ(r.report.attempts.back().step, SolveStep::kDirectCholesky);
+  EXPECT_FALSE(r.report.summary().empty());
+  // Even in failure the returned iterate is finite.
+  for (const Real v : r.x) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(RobustSolve, EscalationCanBeDisabled) {
+  const Index n = 12 * 12;
+  const linalg::CsrMatrix a = mesh_matrix(12);
+  const std::vector<Real> b(static_cast<std::size_t>(n), 1.0);
+
+  const linalg::ScopedCgIterationClamp clamp(1);
+  RobustSolveOptions opts;
+  opts.allow_escalation = false;
+  const RobustSolveResult r = robust_solve(a, b, opts);
+  EXPECT_FALSE(r.report.converged);
+  EXPECT_EQ(r.report.attempts.size(), 1u);
+}
+
+TEST(RobustSolve, SummaryNamesEveryRung) {
+  const Index n = 12 * 12;
+  const linalg::CsrMatrix a = mesh_matrix(12);
+  const std::vector<Real> b(static_cast<std::size_t>(n), 1.0);
+
+  const linalg::ScopedCgIterationClamp clamp(1);
+  const RobustSolveResult r = robust_solve(a, b);
+  const std::string s = r.report.summary();
+  EXPECT_NE(s.find("cg("), std::string::npos);
+  EXPECT_NE(s.find("cholesky"), std::string::npos);
+}
+
+TEST(CgClamp, RestoresPreviousBudgetOnScopeExit) {
+  EXPECT_EQ(linalg::cg_iteration_clamp(), 0);
+  {
+    const linalg::ScopedCgIterationClamp outer(10);
+    EXPECT_EQ(linalg::cg_iteration_clamp(), 10);
+    {
+      const linalg::ScopedCgIterationClamp inner(3);
+      EXPECT_EQ(linalg::cg_iteration_clamp(), 3);
+    }
+    EXPECT_EQ(linalg::cg_iteration_clamp(), 10);
+  }
+  EXPECT_EQ(linalg::cg_iteration_clamp(), 0);
+}
+
+TEST(CgClamp, CapsIterationsOfPlainCg) {
+  const Index n = 60;
+  const linalg::CsrMatrix a = chain_matrix(n);
+  const std::vector<Real> b(static_cast<std::size_t>(n), 1.0);
+
+  const linalg::ScopedCgIterationClamp clamp(3);
+  linalg::CgOptions opts;
+  opts.preconditioner = linalg::PreconditionerKind::kNone;
+  const linalg::CgResult r = linalg::conjugate_gradient(a, b, opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_LE(r.iterations, 3);
+  EXPECT_EQ(r.status, linalg::CgStatus::kMaxIterations);
+}
+
+TEST(CgStagnation, NearSingularSystemStopsEarly) {
+  // A chain whose pinning conductance is vanishing: CG's residual plateaus
+  // far above tolerance for thousands of iterations. The stagnation guard
+  // must stop it long before the 2n budget.
+  const Index n = 200;
+  linalg::CooMatrix coo(n, n);
+  for (Index i = 0; i < n; ++i) {
+    coo.add(i, i, i == 0 ? 2.0 + 1e-14 : 2.0);
+    if (i + 1 < n) {
+      coo.add_symmetric_pair(i, i + 1, -1.0);
+    }
+  }
+  const linalg::CsrMatrix a = linalg::CsrMatrix::from_coo(coo);
+  const std::vector<Real> b(static_cast<std::size_t>(n), 1.0);
+
+  linalg::CgOptions opts;
+  opts.preconditioner = linalg::PreconditionerKind::kNone;
+  opts.tolerance = 1e-12;
+  opts.stagnation_window = 30;
+  const linalg::CgResult r = linalg::conjugate_gradient(a, b, opts);
+  if (!r.converged) {
+    EXPECT_EQ(r.status, linalg::CgStatus::kStagnated);
+    EXPECT_LT(r.iterations, 2 * n);
+  }
+}
+
+TEST(CgStagnation, DisabledWindowNeverStagnates) {
+  const Index n = 50;
+  const linalg::CsrMatrix a = chain_matrix(n);
+  const std::vector<Real> b(static_cast<std::size_t>(n), 1.0);
+  linalg::CgOptions opts;
+  opts.stagnation_window = 0;
+  const linalg::CgResult r = linalg::conjugate_gradient(a, b, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.status, linalg::CgStatus::kConverged);
+}
+
+}  // namespace
+}  // namespace ppdl::robust

@@ -1,0 +1,111 @@
+// End-to-end fault recovery: injected faults flow through the planner and
+// the full PowerPlanningDL pipeline and come out as typed diagnostics or
+// demonstrable recoveries, never garbage results.
+#include <gtest/gtest.h>
+
+#include "analysis/dual_rail.hpp"
+#include "core/flow.hpp"
+#include "grid/validate.hpp"
+#include "planner/conventional_planner.hpp"
+#include "support/fault_injection.hpp"
+#include "support/fixtures.hpp"
+
+namespace ppdl {
+namespace {
+
+using testsupport::faulty_grid;
+using testsupport::make_chain_grid;
+
+planner::PlannerOptions chain_planner_options() {
+  planner::PlannerOptions opts;
+  opts.update.ir_limit = 0.1;  // 100 mV on a 1.8 V chain: reachable
+  opts.max_iterations = 10;
+  return opts;
+}
+
+TEST(FaultIntegration, PlannerRejectsBrokenGridWithTypedError) {
+  grid::PowerGrid pg = faulty_grid(grid::GridFault::kFloatingLoad);
+  EXPECT_THROW(
+      planner::run_conventional_planner(pg, chain_planner_options()),
+      grid::GridDefectError);
+}
+
+TEST(FaultIntegration, PlannerRecoversFromStarvedCgViaLadder) {
+  // A chain's MNA system is tridiagonal, which IC0 factors exactly — use a
+  // real mesh benchmark so starved CG genuinely fails and must escalate.
+  grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  grid::PowerGrid pg = bench.grid;
+  planner::PlannerOptions opts;
+  opts.update.ir_limit = bench.spec.ir_limit_mv * 1e-3;
+  opts.update.jmax = bench.spec.jmax;
+  opts.max_iterations = 4;
+
+  const linalg::ScopedCgIterationClamp clamp(1);
+  const planner::PlannerResult result =
+      planner::run_conventional_planner(pg, opts);
+
+  // Every CG solve was starved, yet the ladder's direct rung kept the
+  // planner productive: no solver failure, escalations on record.
+  EXPECT_FALSE(result.solver_failed);
+  EXPECT_GT(result.solver_escalations, 0);
+  EXPECT_TRUE(result.final_analysis.converged);
+  EXPECT_TRUE(result.final_analysis.solve_report.escalated());
+}
+
+TEST(FaultIntegration, PlannerSurfacesUnrecoverableSolves) {
+  grid::PowerGrid pg = faulty_grid(grid::GridFault::kFloatingLoad);
+  planner::PlannerOptions opts = chain_planner_options();
+  opts.solver.validate_grid = false;  // let the singular system reach CG
+  const planner::PlannerResult result =
+      planner::run_conventional_planner(pg, opts);
+
+  EXPECT_TRUE(result.solver_failed);
+  EXPECT_FALSE(result.converged);
+  EXPECT_FALSE(result.solver_diagnosis.empty());
+  EXPECT_EQ(result.iterations, 1);  // stopped immediately, no width chasing
+}
+
+TEST(FaultIntegration, DualRailPropagatesConvergence) {
+  const grid::PowerGrid vdd = make_chain_grid(10, 0.01);
+  const grid::PowerGrid gnd = analysis::make_ground_mirror(vdd);
+  const analysis::DualRailResult result =
+      analysis::analyze_dual_rail(vdd, gnd);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.vdd.converged);
+  EXPECT_TRUE(result.gnd.converged);
+}
+
+TEST(FaultIntegration, FlowExcludesUnconvergedGoldenDesign) {
+  // An IR limit far below what any widening can reach leaves the golden
+  // planner stuck; the flow must refuse to train on that design and say so.
+  grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  bench.spec.ir_limit_mv = 1e-6;
+
+  core::FlowOptions opts;
+  opts.planner_max_iterations = 2;
+  opts.model.train.epochs = 2;
+  const core::FlowResult result = core::run_flow(bench, opts);
+
+  EXPECT_FALSE(result.golden_converged);
+  EXPECT_EQ(result.unconverged_excluded, 1);
+  EXPECT_FALSE(result.golden_diagnosis.empty());
+  EXPECT_TRUE(result.training.layers.empty());  // nothing was trained
+}
+
+TEST(FaultIntegration, FlowCanBeForcedToTrainOnMarkedDesign) {
+  grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  bench.spec.ir_limit_mv = 1e-6;
+
+  core::FlowOptions opts;
+  opts.planner_max_iterations = 2;
+  opts.model.train.epochs = 2;
+  opts.exclude_unconverged_golden = false;
+  const core::FlowResult result = core::run_flow(bench, opts);
+
+  EXPECT_FALSE(result.golden_converged);  // still marked
+  EXPECT_EQ(result.unconverged_excluded, 0);
+  EXPECT_FALSE(result.training.layers.empty());  // but trained anyway
+}
+
+}  // namespace
+}  // namespace ppdl

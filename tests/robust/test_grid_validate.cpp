@@ -1,0 +1,156 @@
+// Structural grid validation: typed defects, repair of the repairable,
+// rejection of the fatal — driven through the fault-injection harness.
+#include <gtest/gtest.h>
+
+#include "analysis/ir_solver.hpp"
+#include "grid/validate.hpp"
+#include "support/fault_injection.hpp"
+#include "support/fixtures.hpp"
+
+namespace ppdl::grid {
+namespace {
+
+using testsupport::faulty_grid;
+using testsupport::make_chain_grid;
+
+bool has_defect(const GridValidationReport& report, GridDefectKind kind) {
+  for (const GridDefect& d : report.defects) {
+    if (d.kind == kind) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(GridValidate, HealthyGridIsClean) {
+  const PowerGrid pg = make_chain_grid(8, 0.01);
+  const GridValidationReport report = validate_grid(pg);
+  EXPECT_TRUE(report.ok());
+  EXPECT_FALSE(report.blocks_assembly());
+  EXPECT_TRUE(report.defects.empty());
+}
+
+TEST(GridValidate, FloatingLoadIsFatal) {
+  const PowerGrid pg = faulty_grid(GridFault::kFloatingLoad);
+  const GridValidationReport report = validate_grid(pg);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.blocks_assembly());
+  EXPECT_TRUE(has_defect(report, GridDefectKind::kUnreachableLoad));
+  EXPECT_NE(report.summary().find("unreachable-load"), std::string::npos);
+}
+
+TEST(GridValidate, AnalysisRejectsFloatingLoadWithTypedError) {
+  const PowerGrid pg = faulty_grid(GridFault::kFloatingLoad);
+  try {
+    analysis::analyze_ir_drop(pg);
+    FAIL() << "expected GridDefectError";
+  } catch (const GridDefectError& e) {
+    EXPECT_FALSE(e.report().ok());
+    EXPECT_TRUE(has_defect(e.report(), GridDefectKind::kUnreachableLoad));
+  }
+}
+
+TEST(GridValidate, DisconnectedIslandIsRepairable) {
+  const PowerGrid pg = faulty_grid(GridFault::kDisconnectedIsland);
+  const GridValidationReport report = validate_grid(pg);
+  EXPECT_TRUE(report.ok());  // no load is stranded, so not fatal
+  EXPECT_TRUE(report.blocks_assembly());
+  EXPECT_GT(report.repairable_count, 0);
+  EXPECT_TRUE(has_defect(report, GridDefectKind::kUnreachableNode));
+}
+
+TEST(GridValidate, RepairDropsIslandAndPreservesElectricalIntent) {
+  const Index nodes = 8;
+  const Real amps = 0.01;
+  const PowerGrid healthy = make_chain_grid(nodes, amps);
+  const PowerGrid broken = faulty_grid(GridFault::kDisconnectedIsland, nodes,
+                                       amps);
+
+  std::vector<std::string> actions;
+  const PowerGrid repaired = repaired_copy(broken, &actions);
+  EXPECT_FALSE(actions.empty());
+  EXPECT_EQ(repaired.node_count(), healthy.node_count());
+  EXPECT_FALSE(validate_grid(repaired).blocks_assembly());
+
+  // The repaired grid solves to the same voltages as the healthy original.
+  const auto want = analysis::analyze_ir_drop(healthy);
+  const auto got = analysis::analyze_ir_drop(repaired);
+  ASSERT_TRUE(got.converged);
+  EXPECT_NEAR(got.worst_ir_drop, want.worst_ir_drop, 1e-9);
+}
+
+TEST(GridValidate, DuplicateBranchIsWarningOnly) {
+  const PowerGrid pg = faulty_grid(GridFault::kDuplicateBranch);
+  const GridValidationReport report = validate_grid(pg);
+  EXPECT_TRUE(report.ok());
+  EXPECT_FALSE(report.blocks_assembly());  // parallel resistors still solve
+  EXPECT_TRUE(has_defect(report, GridDefectKind::kDuplicateBranch));
+
+  // Analysis accepts the grid; the duplicate halves the local resistance.
+  const auto result = analysis::analyze_ir_drop(pg);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(GridValidate, RepairMergesDuplicateBranchesInParallel) {
+  const PowerGrid pg = faulty_grid(GridFault::kDuplicateBranch);
+  const PowerGrid repaired = repaired_copy(pg);
+  EXPECT_EQ(repaired.branch_count(), pg.branch_count() - 1);
+  EXPECT_FALSE(has_defect(validate_grid(repaired),
+                          GridDefectKind::kDuplicateBranch));
+
+  // Parallel merge preserves the solve exactly.
+  const auto want = analysis::analyze_ir_drop(pg);
+  const auto got = analysis::analyze_ir_drop(repaired);
+  EXPECT_NEAR(got.worst_ir_drop, want.worst_ir_drop, 1e-9);
+}
+
+TEST(GridValidate, ExtremeConductanceIsStructurallyAcceptable) {
+  // A nine-decade conductance contrast is a conditioning problem, not a
+  // structural one: validation passes and the ladder owns the recovery.
+  const PowerGrid pg = faulty_grid(GridFault::kExtremeConductance);
+  EXPECT_FALSE(validate_grid(pg).blocks_assembly());
+  const auto result = analysis::analyze_ir_drop(pg);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(GridValidate, EmptyGridIsFatal) {
+  const PowerGrid pg;
+  const GridValidationReport report = validate_grid(pg);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_defect(report, GridDefectKind::kNoNodes));
+}
+
+TEST(GridValidate, MissingPadsAreFatal) {
+  PowerGrid pg = make_chain_grid(4, 0.01);
+  PowerGrid no_pads;
+  no_pads.set_name("no-pads");
+  no_pads.set_vdd(pg.vdd());
+  no_pads.set_die(pg.die());
+  no_pads.add_layer(pg.layer(0));
+  for (Index i = 0; i < pg.node_count(); ++i) {
+    no_pads.add_node(pg.node(i).pos, pg.node(i).layer);
+  }
+  for (Index b = 0; b < pg.branch_count(); ++b) {
+    const Branch& br = pg.branch(b);
+    no_pads.add_wire(br.n1, br.n2, br.layer, br.length, br.width);
+  }
+  no_pads.add_load(pg.node_count() - 1, 0.01);
+  const GridValidationReport report = validate_grid(no_pads);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_defect(report, GridDefectKind::kNoPads));
+}
+
+TEST(GridValidate, ValidationCanBeDisabled) {
+  // With validation off, the broken grid reaches the solver, which reports
+  // a failed (non-converged) solve instead of a typed defect.
+  const PowerGrid pg = faulty_grid(GridFault::kFloatingLoad);
+  analysis::IrAnalysisOptions opts;
+  opts.validate_grid = false;
+  const auto result = analysis::analyze_ir_drop(pg, opts);
+  EXPECT_FALSE(result.converged);
+  EXPECT_FALSE(result.solve_report.converged);
+  EXPECT_FALSE(result.solve_report.summary().empty());
+}
+
+}  // namespace
+}  // namespace ppdl::grid

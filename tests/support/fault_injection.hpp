@@ -1,0 +1,60 @@
+// Deterministic fault-injection harness for the robustness suite.
+//
+// Each helper manufactures exactly one failure class and nothing else, so a
+// test exercises one recovery path at a time:
+//   * faulty_grid()            — structural grid defects (grid::inject_fault)
+//   * linalg::ScopedCgIterationClamp — non-convergent CG (budget starvation)
+//   * diverging_train_options() / linear_training_data() — NaN/Inf training
+//     loss via an exploding learning rate on well-posed data.
+// Everything here is seed- or construction-deterministic: the same test run
+// always sees the same fault.
+#pragma once
+
+#include "grid/perturb.hpp"
+#include "grid/power_grid.hpp"
+#include "linalg/cg.hpp"
+#include "nn/trainer.hpp"
+#include "support/fixtures.hpp"
+
+namespace ppdl::testsupport {
+
+/// A chain grid with one injected fault. The healthy baseline is
+/// make_chain_grid(nodes, load_amps) — compare against it to show the
+/// repair/recovery preserved the rest of the grid.
+inline grid::PowerGrid faulty_grid(grid::GridFault fault, Index nodes = 8,
+                                   Real load_amps = 0.01) {
+  grid::PowerGrid pg = make_chain_grid(nodes, load_amps);
+  grid::inject_fault(pg, fault);
+  return pg;
+}
+
+/// Rows of y = 2x − 1 on [0, 1]: a trivially learnable regression target.
+/// Well-posed on purpose — divergence in the recovery tests must come from
+/// the optimizer configuration, not from the data.
+inline void linear_training_data(Index rows, nn::Matrix& x, nn::Matrix& y) {
+  x = nn::Matrix(rows, 1);
+  y = nn::Matrix(rows, 1);
+  for (Index r = 0; r < rows; ++r) {
+    const Real t = static_cast<Real>(r) / static_cast<Real>(rows - 1);
+    x(r, 0) = t;
+    y(r, 0) = 2.0 * t - 1.0;
+  }
+}
+
+/// Training options whose learning rate overshoots to Inf/NaN within the
+/// first epochs on linear_training_data(), with enough recovery budget and
+/// a hard backoff so the guarded loop can land on a stable rate.
+inline nn::TrainOptions diverging_train_options() {
+  nn::TrainOptions o;
+  o.epochs = 30;
+  o.batch_size = 8;
+  o.optimizer = nn::OptimizerKind::kSgd;
+  o.learning_rate = 1e12;  // guarantees overflow on the first steps
+  o.validation_fraction = 0.25;
+  o.early_stopping_patience = 0;
+  o.lr_backoff_factor = 1e-4;  // two backoffs reach a stable 1e4 -> 1e-4
+  o.max_recoveries = 6;
+  return o;
+}
+
+}  // namespace ppdl::testsupport
