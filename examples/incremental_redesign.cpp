@@ -5,9 +5,23 @@
 //
 // This example trains one model, then sweeps five design spins of increasing
 // perturbation and reports prediction quality and time per spin.
+//
+// The one-time setup is durable: each offline phase (golden plan, trained
+// model) is checkpointed through the crash-safe artifact container. Kill the
+// process at any point — Ctrl-C, a crash, an expired --deadline — and the
+// next run resumes from the last completed phase instead of re-planning.
+// Try it:
+//
+//   ./incremental_redesign --deadline 2      # budget expires mid-plan
+//   ./incremental_redesign                   # resumes, finishes the plan
+//   ./incremental_redesign                   # instant setup: all restored
+//   ./incremental_redesign --fresh           # ignore the checkpoint
 #include <iostream>
+#include <sstream>
 
+#include "common/artifact_io.hpp"
 #include "common/cli.hpp"
+#include "common/deadline.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
@@ -16,15 +30,48 @@
 #include "core/ir_predictor.hpp"
 #include "core/ppdl_model.hpp"
 #include "grid/perturb.hpp"
+#include "nn/model_io.hpp"
 #include "planner/conventional_planner.hpp"
 
 using namespace ppdl;
+
+namespace {
+
+/// Loads the checkpoint if it exists and matches this run's grid; a damaged
+/// or mismatched file is reported and discarded, never trusted.
+bool try_resume(const std::string& path, const grid::PowerGrid& pg,
+                core::FlowCheckpoint& ckpt) {
+  if (!artifact_file_ok(path, "flow-ckpt")) {
+    return false;
+  }
+  try {
+    core::FlowCheckpoint loaded = core::load_flow_checkpoint(path);
+    if (loaded.benchmark_name != pg.name() ||
+        static_cast<Index>(loaded.golden_widths.size()) !=
+            pg.branch_count()) {
+      std::cout << "checkpoint is for a different design — starting fresh\n";
+      return false;
+    }
+    ckpt = std::move(loaded);
+    return ckpt.completed >= core::FlowPhase::kGoldenDesign;
+  } catch (const std::exception& e) {
+    std::cout << "checkpoint discarded (" << e.what() << ")\n";
+    return false;
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   CliParser cli("incremental_redesign",
                 "train once, predict many design spins");
   cli.add_flag("scale", "grid scale vs the paper-size spec", "0.04");
   cli.add_flag("spins", "number of design spins to simulate", "5");
+  cli.add_flag("checkpoint", "offline-phase checkpoint file",
+               "incremental_redesign.ckpt");
+  cli.add_flag("deadline", "wall-clock budget in seconds (0 = unlimited)",
+               "0");
+  cli.add_switch("fresh", "ignore any existing checkpoint");
   try {
     cli.parse(argc, argv);
   } catch (const CliError& e) {
@@ -35,31 +82,107 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // --- one-time setup: golden design + training -----------------------------
+  const std::string ckpt_path = cli.get("checkpoint");
+  const Real budget = cli.get_real("deadline");
+  const Deadline deadline =
+      budget > 0.0 ? Deadline::after_seconds(budget) : Deadline::unlimited();
+
+  // --- one-time setup: golden design + training, checkpointed ---------------
   core::BenchmarkOptions bopts;
   bopts.scale = cli.get_real("scale");
   grid::GeneratedBenchmark bench = core::make_benchmark("ibmpg2", bopts);
-  const planner::PlannerOptions popts =
-      core::planner_options_for(bench.spec, 40);
+  planner::PlannerOptions popts = core::planner_options_for(bench.spec, 40);
+  popts.deadline = deadline;
 
-  std::cout << "planning the golden design (" << bench.grid.node_count()
-            << " nodes)...\n";
+  core::FlowCheckpoint ckpt;
+  const bool resumed =
+      !cli.get_bool("fresh") && try_resume(ckpt_path, bench.grid, ckpt);
+
   grid::PowerGrid golden = bench.grid;
-  const planner::PlannerResult planned =
-      planner::run_conventional_planner(golden, popts);
-  std::cout << "golden: " << (planned.converged ? "converged" : "STUCK")
-            << " in " << planned.iterations << " iterations, worst IR "
-            << ConsoleTable::fmt(planned.final_analysis.worst_ir_drop * 1e3, 1)
-            << " mV\n";
+  std::vector<Real> golden_drops;
+  if (resumed) {
+    for (Index b = 0; b < golden.branch_count(); ++b) {
+      if (golden.branch(b).kind == grid::BranchKind::kWire) {
+        golden.set_wire_width(b,
+                              ckpt.golden_widths[static_cast<std::size_t>(b)]);
+      }
+    }
+    golden_drops = ckpt.golden_node_ir_drop;
+    std::cout << "golden design restored from " << ckpt_path << " ("
+              << ckpt.golden_iterations << " planner iterations skipped, "
+              << ConsoleTable::fmt(ckpt.golden_planner_seconds, 1)
+              << " s saved)\n";
+  } else {
+    std::cout << "planning the golden design (" << bench.grid.node_count()
+              << " nodes)...\n";
+    const planner::PlannerResult planned =
+        planner::run_conventional_planner(golden, popts);
+    if (planned.timed_out) {
+      std::cout << "deadline expired after " << planned.iterations
+                << " planner iterations — rerun to resume from here\n";
+      return 0;  // nothing durable yet: the golden phase never finished
+    }
+    std::cout << "golden: " << (planned.converged ? "converged" : "STUCK")
+              << " in " << planned.iterations << " iterations, worst IR "
+              << ConsoleTable::fmt(
+                     planned.final_analysis.worst_ir_drop * 1e3, 1)
+              << " mV\n";
+    golden_drops = planned.final_analysis.node_ir_drop;
 
-  std::cout << "training the width model on the golden design...\n";
+    ckpt = core::FlowCheckpoint{};
+    ckpt.benchmark_name = golden.name();
+    ckpt.completed = core::FlowPhase::kGoldenDesign;
+    ckpt.golden_widths.assign(
+        static_cast<std::size_t>(golden.branch_count()), 0.0);
+    for (Index b = 0; b < golden.branch_count(); ++b) {
+      if (golden.branch(b).kind == grid::BranchKind::kWire) {
+        ckpt.golden_widths[static_cast<std::size_t>(b)] =
+            golden.branch(b).width;
+      }
+    }
+    ckpt.golden_node_ir_drop = golden_drops;
+    ckpt.golden_iterations = planned.iterations;
+    ckpt.golden_planner_seconds = planned.total_seconds;
+    ckpt.golden_planner_converged = planned.converged;
+    ckpt.golden_converged = planned.converged && !planned.solver_failed;
+    core::save_flow_checkpoint(ckpt, ckpt_path);
+    std::cout << "golden design checkpointed to " << ckpt_path
+              << " — kill and rerun to resume from here\n";
+  }
+
   core::PowerPlanningDL model;
-  const core::TrainReport report = model.fit(golden);
-  std::cout << "trained in " << ConsoleTable::fmt(report.train_seconds, 1)
-            << " s (offline, once)\n\n";
+  if (ckpt.completed >= core::FlowPhase::kTraining && ckpt.model_trained) {
+    std::istringstream blob(ckpt.model_blob);
+    model = core::PowerPlanningDL::load(blob);
+    std::cout << "trained model restored from checkpoint ("
+              << ConsoleTable::fmt(ckpt.train_seconds, 1) << " s saved)\n\n";
+  } else {
+    std::cout << "training the width model on the golden design...\n";
+    core::PpdlModelConfig mcfg;
+    mcfg.train.deadline = deadline;
+    model = core::PowerPlanningDL(mcfg);
+    const core::TrainReport report = model.fit(golden);
+    for (const core::LayerFit& fit : report.layers) {
+      if (fit.history.timed_out) {
+        std::cout << "deadline expired mid-training — rerun to retrain with "
+                     "the golden plan already checkpointed\n";
+        return 0;
+      }
+    }
+    std::cout << "trained in " << ConsoleTable::fmt(report.train_seconds, 1)
+              << " s (offline, once)\n\n";
+
+    ckpt.completed = core::FlowPhase::kTraining;
+    ckpt.model_trained = true;
+    std::ostringstream blob;
+    model.save(blob);
+    ckpt.model_blob = blob.str();
+    ckpt.train_seconds = report.train_seconds;
+    core::save_flow_checkpoint(ckpt, ckpt_path);
+  }
 
   core::KirchhoffIrPredictor ir;
-  ir.calibrate(golden, planned.final_analysis.node_ir_drop);
+  ir.calibrate(golden, golden_drops);
 
   // --- per-spin predictions ---------------------------------------------------
   const Index spins = cli.get_int("spins");

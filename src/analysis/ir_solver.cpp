@@ -41,6 +41,7 @@ IrAnalysisResult analyze_ir_drop(const grid::PowerGrid& pg,
     solve_opts.cg.tolerance = options.cg_tolerance;
     solve_opts.cg.preconditioner = options.preconditioner;
     solve_opts.allow_escalation = options.escalate_on_failure;
+    solve_opts.deadline = options.deadline;
 
     std::optional<std::vector<Real>> x0;
     if (!options.initial_voltages.empty()) {

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "common/deadline.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
 #include "grid/power_grid.hpp"
@@ -42,6 +43,10 @@ struct IrAnalysisOptions {
   /// Warm-start the CG from a previous node-voltage solution if provided
   /// (ignored by the direct solver).
   std::vector<Real> initial_voltages;
+  /// Wall-clock budget forwarded to the robust solve ladder: an expired
+  /// deadline bounds how far escalation may climb (the requested solve
+  /// itself always runs).
+  Deadline deadline;
 };
 
 struct IrAnalysisResult {

@@ -1,0 +1,173 @@
+#include "common/artifact_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ppdl {
+
+namespace {
+
+constexpr int kContainerVersion = 1;
+constexpr char kMagic[] = "ppdl-artifact";
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(ArtifactErrorKind kind) {
+  switch (kind) {
+    case ArtifactErrorKind::kMissing:
+      return "missing";
+    case ArtifactErrorKind::kTruncated:
+      return "truncated";
+    case ArtifactErrorKind::kChecksumMismatch:
+      return "checksum-mismatch";
+    case ArtifactErrorKind::kVersionSkew:
+      return "version-skew";
+    case ArtifactErrorKind::kMalformed:
+      return "malformed";
+    case ArtifactErrorKind::kWriteFailed:
+      return "write-failed";
+  }
+  return "?";
+}
+
+ArtifactError::ArtifactError(ArtifactErrorKind kind, std::string path,
+                             const std::string& detail)
+    : std::runtime_error(std::string(to_string(kind)) + " artifact '" + path +
+                         "': " + detail),
+      kind_(kind),
+      path_(std::move(path)) {}
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void write_artifact_file(const std::string& path, const Artifact& artifact) {
+  if (artifact.type.empty() ||
+      artifact.type.find_first_of(" \t\n") != std::string::npos) {
+    throw ArtifactError(ArtifactErrorKind::kWriteFailed, path,
+                        "artifact type must be a non-empty token");
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      throw ArtifactError(ArtifactErrorKind::kWriteFailed, path,
+                          "cannot open temp file " + tmp);
+    }
+    out << kMagic << ' ' << kContainerVersion << ' ' << artifact.type << ' '
+        << artifact.version << ' ' << artifact.payload.size() << ' '
+        << hex64(fnv1a64(artifact.payload)) << '\n';
+    out.write(artifact.payload.data(),
+              static_cast<std::streamsize>(artifact.payload.size()));
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw ArtifactError(ArtifactErrorKind::kWriteFailed, path,
+                          "write to temp file failed");
+    }
+  }
+  // POSIX rename atomically replaces the target: readers see either the old
+  // complete artifact or the new complete artifact, never a partial one.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw ArtifactError(ArtifactErrorKind::kWriteFailed, path,
+                        "rename from temp file failed");
+  }
+}
+
+Artifact read_artifact_file(const std::string& path,
+                            const std::string& expected_type, int min_version,
+                            int max_version) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw ArtifactError(ArtifactErrorKind::kMissing, path,
+                        "cannot open for reading");
+  }
+
+  std::string header;
+  if (!std::getline(in, header)) {
+    throw ArtifactError(ArtifactErrorKind::kMalformed, path,
+                        "empty file (no header line)");
+  }
+  std::istringstream hs(header);
+  std::string magic;
+  std::string type;
+  int container = 0;
+  int version = 0;
+  std::uint64_t payload_bytes = 0;
+  std::string checksum_hex;
+  if (!(hs >> magic >> container >> type >> version >> payload_bytes >>
+        checksum_hex) ||
+      magic != kMagic) {
+    throw ArtifactError(ArtifactErrorKind::kMalformed, path,
+                        "unparsable header: '" + header + "'");
+  }
+  if (container != kContainerVersion) {
+    throw ArtifactError(
+        ArtifactErrorKind::kVersionSkew, path,
+        "container version " + std::to_string(container) + ", reader supports " +
+            std::to_string(kContainerVersion));
+  }
+  if (type != expected_type) {
+    throw ArtifactError(ArtifactErrorKind::kMalformed, path,
+                        "artifact type '" + type + "', expected '" +
+                            expected_type + "'");
+  }
+  if (version < min_version || version > max_version) {
+    throw ArtifactError(ArtifactErrorKind::kVersionSkew, path,
+                        "artifact version " + std::to_string(version) +
+                            " outside supported [" +
+                            std::to_string(min_version) + ", " +
+                            std::to_string(max_version) + "]");
+  }
+
+  Artifact artifact;
+  artifact.type = std::move(type);
+  artifact.version = version;
+  artifact.payload.resize(payload_bytes);
+  in.read(artifact.payload.data(),
+          static_cast<std::streamsize>(payload_bytes));
+  if (static_cast<std::uint64_t>(in.gcount()) != payload_bytes) {
+    throw ArtifactError(ArtifactErrorKind::kTruncated, path,
+                        "payload has " + std::to_string(in.gcount()) +
+                            " of " + std::to_string(payload_bytes) +
+                            " promised bytes");
+  }
+  if (in.peek() != std::ifstream::traits_type::eof()) {
+    throw ArtifactError(ArtifactErrorKind::kMalformed, path,
+                        "trailing bytes after payload");
+  }
+  const std::uint64_t sum = fnv1a64(artifact.payload);
+  if (hex64(sum) != checksum_hex) {
+    throw ArtifactError(ArtifactErrorKind::kChecksumMismatch, path,
+                        "payload checksum " + hex64(sum) + ", header says " +
+                            checksum_hex);
+  }
+  return artifact;
+}
+
+bool artifact_file_ok(const std::string& path,
+                      const std::string& expected_type) {
+  try {
+    read_artifact_file(path, expected_type, 0, 1 << 30);
+    return true;
+  } catch (const ArtifactError&) {
+    return false;
+  }
+}
+
+}  // namespace ppdl

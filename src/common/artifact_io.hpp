@@ -1,0 +1,87 @@
+// Crash-safe artifact persistence shared by every on-disk artifact (trained
+// models, scalers, datasets, flow checkpoints).
+//
+// The paper's whole premise is reusing "historical data": a model trained in
+// an earlier run drives fast redesign later. That only works if artifacts
+// survive crashes and load paths reject corruption loudly instead of
+// silently mispredicting widths. This layer provides:
+//
+//   * Atomic writes — payload goes to `<path>.tmp`, is flushed, then renamed
+//     over the target. A crash mid-write leaves the previous artifact (or
+//     nothing) in place, never a half-written file.
+//   * A format header carrying the container version, an artifact type tag,
+//     the exact payload byte count, and an FNV-1a 64-bit payload checksum.
+//   * Typed failures — ArtifactError distinguishes missing, truncated,
+//     checksum-mismatch, version-skew, and malformed files so callers can
+//     react per class (e.g. a flow resume discards a truncated checkpoint
+//     but surfaces a version skew to the operator).
+//
+// On-disk layout (text header, binary-safe payload):
+//
+//   ppdl-artifact <container-version> <type> <artifact-version> \
+//       <payload-bytes> <checksum-hex>\n
+//   <payload bytes, exactly payload-bytes of them>
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace ppdl {
+
+/// Failure classes a damaged or absent artifact can exhibit.
+enum class ArtifactErrorKind {
+  kMissing,           ///< file absent or unreadable
+  kTruncated,         ///< fewer payload bytes than the header promised
+  kChecksumMismatch,  ///< payload bytes differ from the recorded checksum
+  kVersionSkew,       ///< container/artifact version outside supported range
+  kMalformed,         ///< unparsable header, wrong type tag, trailing bytes
+  kWriteFailed,       ///< temp-file write, flush, or rename failed
+};
+
+const char* to_string(ArtifactErrorKind kind);
+
+/// Thrown by every artifact load/store path on failure.
+class ArtifactError : public std::runtime_error {
+ public:
+  ArtifactError(ArtifactErrorKind kind, std::string path,
+                const std::string& detail);
+
+  ArtifactErrorKind kind() const { return kind_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  ArtifactErrorKind kind_;
+  std::string path_;
+};
+
+/// FNV-1a 64-bit hash of `bytes` — the payload checksum.
+std::uint64_t fnv1a64(const std::string& bytes);
+
+/// One artifact: a type tag, a producer format version, and the payload.
+struct Artifact {
+  std::string type;     ///< e.g. "mlp", "scaler", "dataset", "flow-ckpt"
+  int version = 1;      ///< producer format version (not container version)
+  std::string payload;  ///< serialized body, byte-exact
+};
+
+/// Atomically writes `artifact` to `path` (temp file + flush + rename).
+/// Throws ArtifactError{kWriteFailed} and removes the temp file on failure.
+void write_artifact_file(const std::string& path, const Artifact& artifact);
+
+/// Reads and fully verifies the artifact at `path`: header shape, type tag,
+/// version range, byte count, checksum, and absence of trailing bytes.
+/// Throws ArtifactError with the matching kind on any defect.
+Artifact read_artifact_file(const std::string& path,
+                            const std::string& expected_type,
+                            int min_version = 1, int max_version = 1);
+
+/// True when `path` holds a readable artifact of `expected_type` (any
+/// verification failure returns false instead of throwing) — the cheap
+/// "can we resume?" probe.
+bool artifact_file_ok(const std::string& path,
+                      const std::string& expected_type);
+
+}  // namespace ppdl

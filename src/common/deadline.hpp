@@ -1,0 +1,63 @@
+// Cooperative wall-clock deadlines for graceful degradation.
+//
+// Long-running phases (planner iterations, trainer epochs, the robust solve
+// escalation ladder) poll a shared Deadline at natural checkpoint
+// boundaries. An expired budget stops the phase cleanly: the caller gets a
+// `timed_out` flag plus the best-so-far result — degraded, reported, never
+// thrown away. Nothing is interrupted mid-step, so state is always
+// consistent when a deadline fires.
+//
+// A Deadline is a value type holding an absolute steady-clock expiry;
+// copies share the same expiry, which is exactly what threading one budget
+// through nested components needs. The default-constructed Deadline is
+// unlimited and costs one branch to poll.
+#pragma once
+
+#include <chrono>
+#include <limits>
+
+#include "common/types.hpp"
+
+namespace ppdl {
+
+class Deadline {
+ public:
+  /// Unlimited: never expires.
+  Deadline() = default;
+
+  /// Expires `seconds` of wall time from now (clamped at 0: an exhausted
+  /// budget is expired immediately).
+  static Deadline after_seconds(Real seconds) {
+    Deadline d;
+    d.limited_ = true;
+    d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<Real>(
+                                   seconds > 0.0 ? seconds : 0.0));
+    return d;
+  }
+
+  static Deadline unlimited() { return {}; }
+
+  /// True when this deadline carries a finite budget.
+  bool limited() const { return limited_; }
+
+  /// True once the budget is spent. Unlimited deadlines never expire.
+  bool expired() const { return limited_ && Clock::now() >= at_; }
+
+  /// Seconds left (infinity when unlimited, 0 once expired).
+  Real remaining_seconds() const {
+    if (!limited_) {
+      return std::numeric_limits<Real>::infinity();
+    }
+    const Real left =
+        std::chrono::duration<Real>(at_ - Clock::now()).count();
+    return left > 0.0 ? left : 0.0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool limited_ = false;
+  Clock::time_point at_{};
+};
+
+}  // namespace ppdl

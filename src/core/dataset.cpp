@@ -1,6 +1,10 @@
 #include "core/dataset.hpp"
 
+#include <sstream>
+
+#include "common/artifact_io.hpp"
 #include "common/check.hpp"
+#include "nn/model_io.hpp"
 #include "nn/trainer.hpp"
 
 namespace ppdl::core {
@@ -44,6 +48,82 @@ Dataset build_dataset(const grid::PowerGrid& pg, const FeatureSet& set,
   d.branch.reserve(rows.size());
   for (const InterconnectFeatures& f : rows) {
     d.branch.push_back(f.branch);
+  }
+  return d;
+}
+
+void save_dataset(const Dataset& d, std::ostream& out) {
+  PPDL_REQUIRE(d.x.rows() == d.y.rows() &&
+                   d.x.rows() == static_cast<Index>(d.branch.size()),
+               "save_dataset: row/branch arrays misaligned");
+  out << "ppdl-dataset 1\n";
+  out << "layer " << d.layer << "\n";
+  out << "branches " << d.branch.size() << "\n";
+  for (std::size_t i = 0; i < d.branch.size(); ++i) {
+    if (i > 0) {
+      out << ' ';
+    }
+    out << d.branch[i];
+  }
+  out << "\nx\n";
+  nn::save_matrix(d.x, out);
+  out << "y\n";
+  nn::save_matrix(d.y, out);
+}
+
+Dataset load_dataset(std::istream& in) {
+  const auto expect = [&](const char* keyword) {
+    std::string tok;
+    if (!(in >> tok) || tok != keyword) {
+      throw nn::ModelIoError("dataset: expected '" + std::string(keyword) +
+                             "', got '" + tok + "'");
+    }
+  };
+  expect("ppdl-dataset");
+  Index version = 0;
+  if (!(in >> version) || version != 1) {
+    throw nn::ModelIoError("unsupported dataset version");
+  }
+  Dataset d;
+  expect("layer");
+  if (!(in >> d.layer)) {
+    throw nn::ModelIoError("dataset: malformed layer");
+  }
+  expect("branches");
+  Index rows = 0;
+  if (!(in >> rows) || rows < 0) {
+    throw nn::ModelIoError("dataset: malformed branch count");
+  }
+  d.branch.resize(static_cast<std::size_t>(rows));
+  for (Index& b : d.branch) {
+    if (!(in >> b) || b < 0) {
+      throw nn::ModelIoError("dataset: malformed branch index");
+    }
+  }
+  expect("x");
+  d.x = nn::load_matrix(in);
+  expect("y");
+  d.y = nn::load_matrix(in);
+  if (d.x.rows() != rows || d.y.rows() != rows || d.y.cols() != 1) {
+    throw nn::ModelIoError("dataset: matrix shapes disagree with header");
+  }
+  return d;
+}
+
+void save_dataset_file(const Dataset& d, const std::string& path) {
+  std::ostringstream payload;
+  save_dataset(d, payload);
+  write_artifact_file(path, Artifact{"dataset", 1, payload.str()});
+}
+
+Dataset load_dataset_file(const std::string& path) {
+  const Artifact artifact = read_artifact_file(path, "dataset");
+  std::istringstream in(artifact.payload);
+  Dataset d = load_dataset(in);
+  std::string trailing;
+  if (in >> trailing) {
+    throw nn::ModelIoError("trailing garbage after dataset payload in " +
+                           path);
   }
   return d;
 }

@@ -5,6 +5,8 @@
 // γ-perturbed copy of the same design (§IV-D).
 #pragma once
 
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "core/features.hpp"
@@ -34,5 +36,19 @@ Dataset build_dataset(const grid::PowerGrid& pg, const FeatureSet& set,
 
 /// Row subset helper.
 Dataset take_rows(const Dataset& d, const std::vector<Index>& rows);
+
+// --- persistence -----------------------------------------------------------
+// Golden-design datasets are historical artifacts: extracted once offline,
+// reused across later planning sessions. Stream functions read/write one
+// embeddable section; file functions wrap it in the common artifact
+// container (version header, checksum, atomic rename — common/artifact_io)
+// and reject trailing garbage. Loaders throw nn::ModelIoError on malformed
+// payloads and ArtifactError on container damage — never a partial Dataset.
+
+void save_dataset(const Dataset& d, std::ostream& out);
+Dataset load_dataset(std::istream& in);
+
+void save_dataset_file(const Dataset& d, const std::string& path);
+Dataset load_dataset_file(const std::string& path);
 
 }  // namespace ppdl::core

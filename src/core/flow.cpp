@@ -1,13 +1,213 @@
 #include "core/flow.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
 
+#include "common/artifact_io.hpp"
 #include "common/check.hpp"
 #include "common/logging.hpp"
 #include "common/stats.hpp"
 #include "common/timer.hpp"
+#include "nn/model_io.hpp"
 
 namespace ppdl::core {
+
+namespace {
+
+constexpr int kCheckpointVersion = 1;
+constexpr char kCheckpointType[] = "flow-ckpt";
+
+void put_real(std::ostream& out, Real v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  out << buf;
+}
+
+Real get_real(std::istream& in, const char* what) {
+  std::string tok;
+  if (!(in >> tok)) {
+    throw nn::ModelIoError(std::string("checkpoint: truncated before ") +
+                           what);
+  }
+  char* end = nullptr;
+  const Real v = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0') {
+    throw nn::ModelIoError("checkpoint: malformed " + std::string(what) +
+                           ": " + tok);
+  }
+  return v;
+}
+
+Index get_index(std::istream& in, const char* what) {
+  Index v = 0;
+  if (!(in >> v)) {
+    throw nn::ModelIoError("checkpoint: malformed " + std::string(what));
+  }
+  return v;
+}
+
+void expect_key(std::istream& in, const char* keyword) {
+  std::string tok;
+  if (!(in >> tok) || tok != keyword) {
+    throw nn::ModelIoError("checkpoint: expected '" + std::string(keyword) +
+                           "', got '" + tok + "'");
+  }
+}
+
+/// Vectors travel as `<key> <n>` + hexfloat entries.
+void put_vector(std::ostream& out, const char* key,
+                const std::vector<Real>& v) {
+  out << key << ' ' << v.size() << '\n';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) {
+      out << ' ';
+    }
+    put_real(out, v[i]);
+  }
+  out << '\n';
+}
+
+std::vector<Real> get_vector(std::istream& in, const char* key) {
+  expect_key(in, key);
+  const Index n = get_index(in, key);
+  if (n < 0) {
+    throw nn::ModelIoError("checkpoint: negative size for " +
+                           std::string(key));
+  }
+  std::vector<Real> v(static_cast<std::size_t>(n));
+  for (Real& x : v) {
+    x = get_real(in, key);
+  }
+  return v;
+}
+
+/// Free-form strings (diagnoses, embedded model blobs) travel
+/// length-prefixed so newlines and spaces survive byte-exact.
+void put_blob(std::ostream& out, const char* key, const std::string& bytes) {
+  out << key << ' ' << bytes.size() << '\n' << bytes << '\n';
+}
+
+std::string get_blob(std::istream& in, const char* key) {
+  expect_key(in, key);
+  const Index n = get_index(in, key);
+  if (n < 0) {
+    throw nn::ModelIoError("checkpoint: negative size for " +
+                           std::string(key));
+  }
+  if (in.get() != '\n') {
+    throw nn::ModelIoError("checkpoint: malformed blob header for " +
+                           std::string(key));
+  }
+  std::string bytes(static_cast<std::size_t>(n), '\0');
+  in.read(bytes.data(), static_cast<std::streamsize>(n));
+  if (in.gcount() != static_cast<std::streamsize>(n)) {
+    throw nn::ModelIoError("checkpoint: truncated blob for " +
+                           std::string(key));
+  }
+  return bytes;
+}
+
+}  // namespace
+
+const char* to_string(FlowPhase phase) {
+  switch (phase) {
+    case FlowPhase::kNone:
+      return "none";
+    case FlowPhase::kGoldenDesign:
+      return "golden-design";
+    case FlowPhase::kTraining:
+      return "training";
+    case FlowPhase::kPerturbedSpec:
+      return "perturbed-spec";
+  }
+  return "?";
+}
+
+void save_flow_checkpoint(const FlowCheckpoint& ckpt,
+                          const std::string& path) {
+  std::ostringstream out;
+  out << "ppdl-flow-ckpt 1\n";
+  put_blob(out, "name", ckpt.benchmark_name);
+  out << "completed " << static_cast<int>(ckpt.completed) << '\n';
+  out << "golden_flags " << (ckpt.golden_planner_converged ? 1 : 0) << ' '
+      << (ckpt.golden_solver_failed ? 1 : 0) << ' '
+      << (ckpt.golden_converged ? 1 : 0) << ' ' << ckpt.golden_iterations
+      << ' ' << ckpt.golden_escalations << '\n';
+  out << "golden_seconds ";
+  put_real(out, ckpt.golden_planner_seconds);
+  out << "\ngolden_worst_ir ";
+  put_real(out, ckpt.golden_worst_ir);
+  out << '\n';
+  put_blob(out, "golden_diagnosis", ckpt.golden_diagnosis);
+  put_vector(out, "golden_widths", ckpt.golden_widths);
+  put_vector(out, "golden_node_ir", ckpt.golden_node_ir_drop);
+  out << "trained " << (ckpt.model_trained ? 1 : 0) << '\n';
+  out << "train_seconds ";
+  put_real(out, ckpt.train_seconds);
+  out << "\nexcluded " << ckpt.unconverged_excluded << '\n';
+  put_blob(out, "model", ckpt.model_blob);
+  put_vector(out, "perturbed_loads", ckpt.perturbed_load_amps);
+  put_vector(out, "perturbed_pads", ckpt.perturbed_pad_voltages);
+  write_artifact_file(path,
+                      Artifact{kCheckpointType, kCheckpointVersion,
+                               out.str()});
+}
+
+FlowCheckpoint load_flow_checkpoint(const std::string& path) {
+  const Artifact artifact =
+      read_artifact_file(path, kCheckpointType, kCheckpointVersion,
+                         kCheckpointVersion);
+  std::istringstream in(artifact.payload);
+
+  expect_key(in, "ppdl-flow-ckpt");
+  if (get_index(in, "payload version") != 1) {
+    throw nn::ModelIoError("checkpoint: unsupported payload version");
+  }
+  FlowCheckpoint ckpt;
+  ckpt.benchmark_name = get_blob(in, "name");
+  expect_key(in, "completed");
+  const Index completed = get_index(in, "completed phase");
+  if (completed < static_cast<Index>(FlowPhase::kNone) ||
+      completed > static_cast<Index>(FlowPhase::kPerturbedSpec)) {
+    throw nn::ModelIoError("checkpoint: completed phase out of range: " +
+                           std::to_string(completed));
+  }
+  ckpt.completed = static_cast<FlowPhase>(completed);
+  expect_key(in, "golden_flags");
+  ckpt.golden_planner_converged = get_index(in, "planner flag") != 0;
+  ckpt.golden_solver_failed = get_index(in, "solver flag") != 0;
+  ckpt.golden_converged = get_index(in, "converged flag") != 0;
+  ckpt.golden_iterations = get_index(in, "golden iterations");
+  ckpt.golden_escalations = get_index(in, "golden escalations");
+  expect_key(in, "golden_seconds");
+  ckpt.golden_planner_seconds = get_real(in, "golden seconds");
+  expect_key(in, "golden_worst_ir");
+  ckpt.golden_worst_ir = get_real(in, "golden worst IR");
+  ckpt.golden_diagnosis = get_blob(in, "golden_diagnosis");
+  ckpt.golden_widths = get_vector(in, "golden_widths");
+  ckpt.golden_node_ir_drop = get_vector(in, "golden_node_ir");
+  expect_key(in, "trained");
+  ckpt.model_trained = get_index(in, "trained flag") != 0;
+  expect_key(in, "train_seconds");
+  ckpt.train_seconds = get_real(in, "train seconds");
+  expect_key(in, "excluded");
+  ckpt.unconverged_excluded = get_index(in, "excluded count");
+  ckpt.model_blob = get_blob(in, "model");
+  ckpt.perturbed_load_amps = get_vector(in, "perturbed_loads");
+  ckpt.perturbed_pad_voltages = get_vector(in, "perturbed_pads");
+
+  std::string trailing;
+  if (in >> trailing) {
+    throw nn::ModelIoError("checkpoint: trailing garbage after payload");
+  }
+  if (ckpt.model_trained && ckpt.model_blob.empty()) {
+    throw nn::ModelIoError("checkpoint: trained flag set but model blob "
+                           "empty");
+  }
+  return ckpt;
+}
 
 planner::PlannerOptions planner_options_for(const grid::GridSpec& spec,
                                             Index max_iterations) {
@@ -32,51 +232,259 @@ FlowResult run_flow(const grid::GeneratedBenchmark& bench,
   result.nodes = bench.grid.node_count();
   result.interconnects = bench.grid.wire_count();
 
-  const planner::PlannerOptions planner_opts =
+  const Deadline deadline =
+      options.deadline_seconds > 0.0
+          ? Deadline::after_seconds(options.deadline_seconds)
+          : Deadline::unlimited();
+
+  planner::PlannerOptions planner_opts =
       planner_options_for(bench.spec, options.planner_max_iterations);
+  planner_opts.deadline = deadline;
+
+  const auto timed_out_at = [&result](const char* phase) {
+    if (!result.timed_out) {
+      result.timed_out = true;
+      result.timed_out_phase = phase;
+    }
+  };
+
+  // --- checkpoint probe -----------------------------------------------------
+  const bool checkpointing = !options.checkpoint_path.empty();
+  FlowCheckpoint ckpt;
+  bool resumed = false;
+  if (checkpointing && options.resume) {
+    try {
+      FlowCheckpoint loaded = load_flow_checkpoint(options.checkpoint_path);
+      std::string mismatch;
+      if (loaded.benchmark_name != bench.spec.name) {
+        mismatch = "checkpoint is for benchmark '" + loaded.benchmark_name +
+                   "', not '" + bench.spec.name + "'";
+      } else if (loaded.completed >= FlowPhase::kGoldenDesign &&
+                 (static_cast<Index>(loaded.golden_widths.size()) !=
+                      bench.grid.branch_count() ||
+                  static_cast<Index>(loaded.golden_node_ir_drop.size()) !=
+                      bench.grid.node_count())) {
+        mismatch = "checkpoint golden arrays do not match the grid";
+      } else if (loaded.completed >= FlowPhase::kPerturbedSpec &&
+                 (static_cast<Index>(loaded.perturbed_load_amps.size()) !=
+                      bench.grid.load_count() ||
+                  static_cast<Index>(
+                      loaded.perturbed_pad_voltages.size()) !=
+                      bench.grid.pad_count())) {
+        mismatch = "checkpoint perturbed arrays do not match the grid";
+      }
+      if (mismatch.empty()) {
+        ckpt = std::move(loaded);
+        resumed = ckpt.completed > FlowPhase::kNone;
+      } else {
+        result.resume_discarded = mismatch;
+        PPDL_LOG_WARN << bench.spec.name << ": checkpoint discarded — "
+                      << mismatch;
+      }
+    } catch (const ArtifactError& e) {
+      if (options.strict_resume) {
+        throw;
+      }
+      result.resume_discarded = e.what();
+      PPDL_LOG_WARN << bench.spec.name << ": checkpoint discarded — "
+                    << e.what();
+    } catch (const nn::ModelIoError& e) {
+      if (options.strict_resume) {
+        throw;
+      }
+      result.resume_discarded = e.what();
+      PPDL_LOG_WARN << bench.spec.name << ": checkpoint discarded — "
+                    << e.what();
+    }
+  }
+  result.resumed_from = resumed ? ckpt.completed : FlowPhase::kNone;
+  if (!resumed) {
+    ckpt = FlowCheckpoint{};
+    ckpt.benchmark_name = bench.spec.name;
+  }
 
   // --- Phase 1: golden design (offline historical data) --------------------
   grid::PowerGrid golden = bench.grid;
-  result.golden_planner = planner::run_conventional_planner(golden,
-                                                            planner_opts);
-  PPDL_LOG_INFO << bench.spec.name << ": golden design "
-                << (result.golden_planner.converged ? "converged" : "STUCK")
-                << " in " << result.golden_planner.iterations
-                << " iterations ("
-                << result.golden_planner.total_seconds << " s)";
+  {
+    const Timer phase_timer;
+    if (resumed && ckpt.completed >= FlowPhase::kGoldenDesign) {
+      for (Index bi = 0; bi < golden.branch_count(); ++bi) {
+        if (golden.branch(bi).kind == grid::BranchKind::kWire) {
+          golden.set_wire_width(
+              bi, ckpt.golden_widths[static_cast<std::size_t>(bi)]);
+        }
+      }
+      result.golden_planner.converged = ckpt.golden_planner_converged;
+      result.golden_planner.solver_failed = ckpt.golden_solver_failed;
+      result.golden_planner.iterations = ckpt.golden_iterations;
+      result.golden_planner.solver_escalations = ckpt.golden_escalations;
+      result.golden_planner.total_seconds = ckpt.golden_planner_seconds;
+      result.golden_planner.final_analysis.node_ir_drop =
+          ckpt.golden_node_ir_drop;
+      result.golden_planner.final_analysis.worst_ir_drop =
+          ckpt.golden_worst_ir;
+      result.golden_converged = ckpt.golden_converged;
+      result.golden_diagnosis = ckpt.golden_diagnosis;
+      PPDL_LOG_INFO << bench.spec.name
+                    << ": golden design restored from checkpoint ("
+                    << ckpt.golden_iterations << " iterations recorded)";
+    } else {
+      result.golden_planner =
+          planner::run_conventional_planner(golden, planner_opts);
+      PPDL_LOG_INFO << bench.spec.name << ": golden design "
+                    << (result.golden_planner.converged ? "converged"
+                                                        : "STUCK")
+                    << " in " << result.golden_planner.iterations
+                    << " iterations ("
+                    << result.golden_planner.total_seconds << " s)";
+      if (result.golden_planner.timed_out) {
+        timed_out_at("golden design");
+      }
 
-  result.golden_converged = result.golden_planner.converged &&
-                            !result.golden_planner.solver_failed;
-  if (!result.golden_converged) {
-    result.golden_diagnosis =
-        result.golden_planner.solver_failed
-            ? "solver failed: " + result.golden_planner.solver_diagnosis
-            : "planner stuck before margins held";
+      result.golden_converged = result.golden_planner.converged &&
+                                !result.golden_planner.solver_failed;
+      if (!result.golden_converged) {
+        result.golden_diagnosis =
+            result.golden_planner.timed_out
+                ? "deadline expired during golden planning"
+                : result.golden_planner.solver_failed
+                      ? "solver failed: " +
+                            result.golden_planner.solver_diagnosis
+                      : "planner stuck before margins held";
+      }
+
+      // Snapshot only a finished phase: a timed-out golden design is
+      // best-so-far output, not durable historical data.
+      if (!result.golden_planner.timed_out) {
+        ckpt.completed = FlowPhase::kGoldenDesign;
+        ckpt.golden_widths.assign(
+            static_cast<std::size_t>(golden.branch_count()), 0.0);
+        for (Index bi = 0; bi < golden.branch_count(); ++bi) {
+          if (golden.branch(bi).kind == grid::BranchKind::kWire) {
+            ckpt.golden_widths[static_cast<std::size_t>(bi)] =
+                golden.branch(bi).width;
+          }
+        }
+        ckpt.golden_node_ir_drop =
+            result.golden_planner.final_analysis.node_ir_drop;
+        ckpt.golden_worst_ir =
+            result.golden_planner.final_analysis.worst_ir_drop;
+        ckpt.golden_planner_converged = result.golden_planner.converged;
+        ckpt.golden_solver_failed = result.golden_planner.solver_failed;
+        ckpt.golden_converged = result.golden_converged;
+        ckpt.golden_iterations = result.golden_planner.iterations;
+        ckpt.golden_escalations = result.golden_planner.solver_escalations;
+        ckpt.golden_planner_seconds = result.golden_planner.total_seconds;
+        ckpt.golden_diagnosis = result.golden_diagnosis;
+        if (checkpointing) {
+          save_flow_checkpoint(ckpt, options.checkpoint_path);
+        }
+      }
+    }
+    result.golden_seconds = phase_timer.seconds();
   }
 
   // --- Phase 2: training (offline) ------------------------------------------
-  PowerPlanningDL model(options.model);
+  PpdlModelConfig model_cfg = options.model;
+  model_cfg.train.deadline = deadline;
+  PowerPlanningDL model(model_cfg);
   KirchhoffIrPredictor ir_predictor;
-  if (result.golden_converged || !options.exclude_unconverged_golden) {
-    result.training = model.fit(golden);
-    ir_predictor.calibrate(golden,
-                           result.golden_planner.final_analysis.node_ir_drop);
-  } else {
-    // Unconverged golden design: excluded from training. Predictions fall
-    // back to layer-default widths and the IR predictor stays uncalibrated.
-    result.unconverged_excluded = 1;
-    PPDL_LOG_WARN << bench.spec.name
-                  << ": golden design excluded from training ("
-                  << result.golden_diagnosis << ")";
+  {
+    const Timer phase_timer;
+    if (resumed && ckpt.completed >= FlowPhase::kTraining) {
+      if (ckpt.model_trained) {
+        std::istringstream blob(ckpt.model_blob);
+        model = PowerPlanningDL::load(blob);
+        // Re-deriving the calibration from the stored golden drops costs
+        // one forest build — no solves, so the phase stays ≈free.
+        ir_predictor.calibrate(golden, ckpt.golden_node_ir_drop);
+      }
+      result.training.train_seconds = ckpt.train_seconds;
+      result.unconverged_excluded = ckpt.unconverged_excluded;
+      PPDL_LOG_INFO << bench.spec.name
+                    << ": trained model restored from checkpoint";
+    } else {
+      if (result.golden_converged || !options.exclude_unconverged_golden) {
+        result.training = model.fit(golden);
+        for (const LayerFit& fit : result.training.layers) {
+          if (fit.history.timed_out) {
+            timed_out_at("training");
+            break;
+          }
+        }
+        ir_predictor.calibrate(
+            golden, result.golden_planner.final_analysis.node_ir_drop);
+      } else {
+        // Unconverged golden design: excluded from training. Predictions
+        // fall back to layer-default widths and the IR predictor stays
+        // uncalibrated.
+        result.unconverged_excluded = 1;
+        PPDL_LOG_WARN << bench.spec.name
+                      << ": golden design excluded from training ("
+                      << result.golden_diagnosis << ")";
+      }
+      // Advance the checkpoint only when the previous phase is durable and
+      // this one ran to completion within budget.
+      if (ckpt.completed >= FlowPhase::kGoldenDesign && !result.timed_out) {
+        ckpt.completed = FlowPhase::kTraining;
+        ckpt.model_trained = model.trained();
+        if (model.trained()) {
+          std::ostringstream blob;
+          model.save(blob);
+          ckpt.model_blob = blob.str();
+        }
+        ckpt.train_seconds = result.training.train_seconds;
+        ckpt.unconverged_excluded = result.unconverged_excluded;
+        if (checkpointing) {
+          save_flow_checkpoint(ckpt, options.checkpoint_path);
+        }
+      }
+    }
+    result.ir_correction = ir_predictor.correction();
+    result.training_seconds = phase_timer.seconds();
   }
-  result.ir_correction = ir_predictor.correction();
 
   // --- Phase 3: new (perturbed) specification -------------------------------
   // The perturbed spec starts from the golden design with new currents and
   // pad voltages — the paper's incremental-redesign scenario.
-  const grid::PowerGrid perturbed = grid::perturbed_copy(
-      golden, options.perturbation, options.gamma, options.perturb_seed,
-      bench.spec.ir_limit_mv * 1e-3);
+  grid::PowerGrid perturbed;
+  {
+    const Timer phase_timer;
+    if (resumed && ckpt.completed >= FlowPhase::kPerturbedSpec) {
+      perturbed = golden;
+      for (Index li = 0; li < perturbed.load_count(); ++li) {
+        perturbed.set_load_current(
+            li, ckpt.perturbed_load_amps[static_cast<std::size_t>(li)]);
+      }
+      for (Index pi = 0; pi < perturbed.pad_count(); ++pi) {
+        perturbed.set_pad_voltage(
+            pi, ckpt.perturbed_pad_voltages[static_cast<std::size_t>(pi)]);
+      }
+    } else {
+      perturbed = grid::perturbed_copy(
+          golden, options.perturbation, options.gamma, options.perturb_seed,
+          bench.spec.ir_limit_mv * 1e-3);
+      if (ckpt.completed >= FlowPhase::kTraining && !result.timed_out) {
+        ckpt.completed = FlowPhase::kPerturbedSpec;
+        ckpt.perturbed_load_amps.clear();
+        ckpt.perturbed_load_amps.reserve(
+            static_cast<std::size_t>(perturbed.load_count()));
+        for (const grid::CurrentLoad& load : perturbed.loads()) {
+          ckpt.perturbed_load_amps.push_back(load.amps);
+        }
+        ckpt.perturbed_pad_voltages.clear();
+        ckpt.perturbed_pad_voltages.reserve(
+            static_cast<std::size_t>(perturbed.pad_count()));
+        for (const grid::Pad& pad : perturbed.pads()) {
+          ckpt.perturbed_pad_voltages.push_back(pad.voltage);
+        }
+        if (checkpointing) {
+          save_flow_checkpoint(ckpt, options.checkpoint_path);
+        }
+      }
+    }
+    result.perturb_seconds = phase_timer.seconds();
+  }
 
   // --- Phase 4: conventional redesign ---------------------------------------
   // The conventional flow designs the new specification from scratch: the
@@ -93,6 +501,9 @@ FlowResult run_flow(const grid::GeneratedBenchmark& bench,
     planner::PlannerResult one = planner::run_conventional_planner(one_iter,
                                                                    single);
     result.conventional_seconds = timer.seconds();
+    if (one.timed_out) {
+      timed_out_at("conventional redesign");
+    }
   }
   {
     grid::PowerGrid full = perturbed;
@@ -102,6 +513,9 @@ FlowResult run_flow(const grid::GeneratedBenchmark& bench,
     result.conventional_full_seconds = result.perturbed_planner.total_seconds;
     result.worst_ir_conventional =
         result.perturbed_planner.final_analysis.worst_ir_drop;
+    if (result.perturbed_planner.timed_out) {
+      timed_out_at("conventional redesign");
+    }
 
     // Converged widths are the golden reference for prediction quality.
     result.golden_widths.reserve(
@@ -118,9 +532,9 @@ FlowResult run_flow(const grid::GeneratedBenchmark& bench,
   if (model.trained()) {
     result.prediction = model.predict(dl_grid);
   } else {
-    // Untrained model (golden design excluded): fall back to layer-default
-    // widths so the rest of the comparison still runs, clearly marked by
-    // unconverged_excluded above.
+    // Untrained model (golden design excluded or training cut short): fall
+    // back to layer-default widths so the rest of the comparison still
+    // runs, clearly marked by unconverged_excluded/timed_out above.
     const Timer predict_timer;
     for (Index bi = 0; bi < dl_grid.branch_count(); ++bi) {
       const grid::Branch& b = dl_grid.branch(bi);
@@ -164,6 +578,11 @@ FlowResult run_flow(const grid::GeneratedBenchmark& bench,
   const Real var = variance(result.golden_widths);
   result.width_mse_pct = var > 0.0 ? 100.0 * result.width_mse / var : 0.0;
 
+  if (result.timed_out) {
+    PPDL_LOG_WARN << bench.spec.name << ": deadline expired during "
+                  << result.timed_out_phase
+                  << " — returning best-so-far results";
+  }
   PPDL_LOG_INFO << bench.spec.name << ": r2 " << result.width_r2 << ", MSE "
                 << result.width_mse << " um^2, speedup " << result.speedup()
                 << "x";

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "analysis/ir_solver.hpp"
+#include "common/deadline.hpp"
 #include "core/benchmarks.hpp"
 #include "core/ir_predictor.hpp"
 #include "core/ppdl_model.hpp"
@@ -26,6 +27,16 @@
 #include "planner/conventional_planner.hpp"
 
 namespace ppdl::core {
+
+/// Offline flow phases a checkpoint can mark as completed, in order.
+enum class FlowPhase {
+  kNone = 0,          ///< nothing completed yet
+  kGoldenDesign = 1,  ///< phase 1: golden widths + golden analysis
+  kTraining = 2,      ///< phase 2: trained model + IR calibration inputs
+  kPerturbedSpec = 3, ///< phase 3: perturbed loads / pad voltages
+};
+
+const char* to_string(FlowPhase phase);
 
 struct FlowOptions {
   BenchmarkOptions benchmark;
@@ -45,7 +56,65 @@ struct FlowOptions {
   /// predictor uncalibrated, with the exclusion surfaced in FlowResult.
   /// When false the design is used anyway, but still marked in the result.
   bool exclude_unconverged_golden = true;
+
+  // --- durability & graceful degradation ---------------------------------
+  /// When non-empty, run_flow snapshots a checkpoint artifact here after
+  /// each completed offline phase (golden design → trained model →
+  /// perturbed spec), via the crash-safe artifact container.
+  std::string checkpoint_path;
+  /// When a checkpoint_path is set and the file holds a matching
+  /// checkpoint, resume from its last completed phase instead of
+  /// recomputing. A damaged or mismatched checkpoint is discarded loudly
+  /// (FlowResult::resume_discarded) and the flow starts fresh.
+  bool resume = true;
+  /// Rethrow checkpoint load errors instead of discarding — for callers
+  /// that must know their historical data is damaged.
+  bool strict_resume = false;
+  /// Wall-clock budget for the whole run in seconds (0 = unlimited). The
+  /// budget is threaded into planner iterations, trainer epochs, and the
+  /// robust solve ladder; when it expires the flow finishes with
+  /// `timed_out == true` and the best-so-far design/model instead of
+  /// throwing work away.
+  Real deadline_seconds = 0.0;
 };
+
+/// On-disk snapshot of the offline flow state after each completed phase,
+/// persisted through common/artifact_io (format header, checksum, atomic
+/// rename). Fields past `completed` are only meaningful up to that phase.
+struct FlowCheckpoint {
+  std::string benchmark_name;
+  FlowPhase completed = FlowPhase::kNone;
+
+  // Phase 1: golden design.
+  std::vector<Real> golden_widths;        ///< per branch (0 on vias), µm
+  std::vector<Real> golden_node_ir_drop;  ///< golden analysis, V per node
+  Real golden_worst_ir = 0.0;             ///< V
+  Real golden_planner_seconds = 0.0;
+  Index golden_iterations = 0;
+  Index golden_escalations = 0;
+  bool golden_planner_converged = false;
+  bool golden_solver_failed = false;
+  bool golden_converged = false;          ///< usable as training data
+  std::string golden_diagnosis;
+
+  // Phase 2: training.
+  bool model_trained = false;
+  std::string model_blob;  ///< PowerPlanningDL::save() output ("" untrained)
+  Real train_seconds = 0.0;
+  Index unconverged_excluded = 0;
+
+  // Phase 3: perturbed specification.
+  std::vector<Real> perturbed_load_amps;     ///< per load, A
+  std::vector<Real> perturbed_pad_voltages;  ///< per pad, V
+};
+
+/// Atomic, checksummed checkpoint persistence. Loading throws
+/// ArtifactError on container damage (missing/truncated/checksum/version)
+/// and nn::ModelIoError on a malformed payload — never returns a partial
+/// checkpoint.
+void save_flow_checkpoint(const FlowCheckpoint& ckpt,
+                          const std::string& path);
+FlowCheckpoint load_flow_checkpoint(const std::string& path);
 
 /// Per-phase wall times and quality metrics of one flow run.
 struct FlowResult {
@@ -85,6 +154,21 @@ struct FlowResult {
   Real width_r2 = 0.0;
   Real width_pearson = 0.0;
   Real width_mse_pct = 0.0;   ///< 100 · MSE / Var(golden) — Fig. 9's MSE(%)
+
+  // Durability / degradation bookkeeping.
+  /// Highest phase restored from a checkpoint (kNone on a fresh run).
+  FlowPhase resumed_from = FlowPhase::kNone;
+  /// Why an existing checkpoint was not used ("" when none or used).
+  std::string resume_discarded;
+  /// The wall-clock budget expired mid-run; the result is the best answer
+  /// reachable in time, with `timed_out_phase` naming where it hit.
+  bool timed_out = false;
+  std::string timed_out_phase;
+  /// Wall time spent in THIS run per offline phase — ≈0 for phases
+  /// restored from a checkpoint (the resume acceptance signal).
+  Real golden_seconds = 0.0;
+  Real training_seconds = 0.0;
+  Real perturb_seconds = 0.0;
 
   Real speedup() const {
     return dl_seconds > 0.0 ? conventional_seconds / dl_seconds : 0.0;

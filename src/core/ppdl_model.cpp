@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
+#include <sstream>
 
+#include "common/artifact_io.hpp"
 #include "common/check.hpp"
 #include "common/timer.hpp"
 #include "nn/model_io.hpp"
@@ -126,9 +127,9 @@ void PowerPlanningDL::save(std::ostream& out) const {
 }
 
 void PowerPlanningDL::save_file(const std::string& path) const {
-  std::ofstream out(path);
-  PPDL_REQUIRE(out.good(), "cannot open model file for writing: " + path);
-  save(out);
+  std::ostringstream payload;
+  save(payload);
+  write_artifact_file(path, Artifact{"ppdl-model", 1, payload.str()});
 }
 
 PowerPlanningDL PowerPlanningDL::load(std::istream& in) {
@@ -178,9 +179,14 @@ PowerPlanningDL PowerPlanningDL::load(std::istream& in) {
 }
 
 PowerPlanningDL PowerPlanningDL::load_file(const std::string& path) {
-  std::ifstream in(path);
-  PPDL_REQUIRE(in.good(), "cannot open model file: " + path);
-  return load(in);
+  const Artifact artifact = read_artifact_file(path, "ppdl-model");
+  std::istringstream in(artifact.payload);
+  PowerPlanningDL model = load(in);
+  std::string trailing;
+  if (in >> trailing) {
+    throw nn::ModelIoError("trailing garbage after model payload in " + path);
+  }
+  return model;
 }
 
 void PowerPlanningDL::apply_widths(grid::PowerGrid& pg,

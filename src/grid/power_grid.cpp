@@ -91,6 +91,16 @@ void PowerGrid::scale_pad_voltage(Index pad, Real factor) {
   pads_[checked(pad, pad_count())].voltage *= factor;
 }
 
+void PowerGrid::set_load_current(Index load, Real amps) {
+  PPDL_REQUIRE(amps > 0.0, "load current must be > 0");
+  loads_[checked(load, load_count())].amps = amps;
+}
+
+void PowerGrid::set_pad_voltage(Index pad, Real voltage) {
+  PPDL_REQUIRE(voltage > 0.0, "pad voltage must be > 0");
+  pads_[checked(pad, pad_count())].voltage = voltage;
+}
+
 Real PowerGrid::branch_resistance(Index i) const {
   const Branch& b = branches_[checked(i, branch_count())];
   if (b.kind == BranchKind::kVia) {

@@ -113,6 +113,12 @@ class PowerGrid {
   void scale_load(Index load, Real factor);
   /// Scale a pad's voltage by `factor` (> 0).
   void scale_pad_voltage(Index pad, Real factor);
+  /// Set a load's current outright (> 0) — used when restoring a
+  /// checkpointed perturbed spec.
+  void set_load_current(Index load, Real amps);
+  /// Set a pad's voltage outright (> 0) — used when restoring a
+  /// checkpointed perturbed spec.
+  void set_pad_voltage(Index pad, Real voltage);
 
   // --- derived electrical quantities ---------------------------------------
   /// Resistance of branch i in Ω (wire: ρ·l/w, via: fixed).

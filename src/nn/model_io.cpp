@@ -1,14 +1,22 @@
 #include "nn/model_io.hpp"
 
+#include <cctype>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <sstream>
 
+#include "common/artifact_io.hpp"
 #include "common/check.hpp"
 
 namespace ppdl::nn {
+
+ModelIoError::ModelIoError(const std::string& what, Index line)
+    : std::runtime_error(line > 0 ? "line " + std::to_string(line) + ": " +
+                                        what
+                                  : what),
+      line_(line) {}
 
 namespace {
 
@@ -19,28 +27,203 @@ void write_real(std::ostream& out, Real v) {
   out << buf;
 }
 
-Real read_real(std::istream& in) {
-  std::string tok;
-  if (!(in >> tok)) {
-    throw ModelIoError("unexpected end of model file");
+/// Whitespace-delimited tokenizer that tracks the 1-based line number, so
+/// every parse failure — including truncation — names the line it hit.
+class TokenReader {
+ public:
+  explicit TokenReader(std::istream& in) : in_(in) {}
+
+  /// Line of the most recently returned token (line of EOF on truncation).
+  Index line() const { return line_; }
+
+  /// Next token; throws ModelIoError naming `what` on end of stream.
+  std::string token(const char* what) {
+    int c = in_.get();
+    while (c != EOF && std::isspace(c)) {
+      if (c == '\n') {
+        ++line_;
+      }
+      c = in_.get();
+    }
+    if (c == EOF) {
+      throw ModelIoError(
+          std::string("unexpected end of stream while reading ") + what,
+          line_);
+    }
+    std::string tok;
+    while (c != EOF && !std::isspace(c)) {
+      tok.push_back(static_cast<char>(c));
+      c = in_.get();
+    }
+    // The delimiter is consumed; count it now so a value error on the NEXT
+    // token reports the next line, but errors on THIS token report this one.
+    pending_newline_ = (c == '\n');
+    return tok;
   }
-  errno = 0;
-  char* end = nullptr;
-  const Real v = std::strtod(tok.c_str(), &end);
-  if (end == tok.c_str() || *end != '\0') {
-    throw ModelIoError("malformed real: " + tok);
+
+  /// Consume the keyword `expected` or throw.
+  void expect(const char* expected) {
+    const std::string tok = token(expected);
+    if (tok != expected) {
+      throw ModelIoError("expected '" + std::string(expected) + "', got '" +
+                             tok + "'",
+                         line());
+    }
+    commit_line();
   }
-  return v;
+
+  Index index(const char* what) {
+    const std::string tok = token(what);
+    try {
+      const Index v = static_cast<Index>(std::stoll(tok));
+      commit_line();
+      return v;
+    } catch (const std::exception&) {
+      throw ModelIoError("malformed " + std::string(what) + ": " + tok,
+                         line());
+    }
+  }
+
+  Real real(const char* what) {
+    const std::string tok = token(what);
+    char* end = nullptr;
+    const Real v = std::strtod(tok.c_str(), &end);
+    if (end == tok.c_str() || *end != '\0') {
+      throw ModelIoError("malformed " + std::string(what) + ": " + tok,
+                         line());
+    }
+    commit_line();
+    return v;
+  }
+
+  /// Fold the token's trailing-newline delimiter into the line count once
+  /// the token has been accepted.
+  void commit_line() {
+    if (pending_newline_) {
+      ++line_;
+      pending_newline_ = false;
+    }
+  }
+
+ private:
+  std::istream& in_;
+  Index line_ = 1;
+  bool pending_newline_ = false;
+};
+
+Matrix read_matrix(TokenReader& r) {
+  const Index rows = r.index("matrix rows");
+  const Index cols = r.index("matrix cols");
+  if (rows < 0 || cols < 0) {
+    throw ModelIoError("malformed matrix header", r.line());
+  }
+  Matrix m(rows, cols);
+  for (Index row = 0; row < rows; ++row) {
+    for (Index c = 0; c < cols; ++c) {
+      m(row, c) = r.real("matrix entry");
+    }
+  }
+  return m;
 }
 
-void expect_token(std::istream& in, const std::string& expected) {
+Mlp read_model(TokenReader& r) {
+  r.expect("ppdl-mlp");
+  if (r.index("model version") != 1) {
+    throw ModelIoError("unsupported model version", r.line());
+  }
+  MlpConfig cfg;
+  r.expect("inputs");
+  cfg.inputs = r.index("input count");
+  r.expect("outputs");
+  cfg.outputs = r.index("output count");
+  r.expect("hidden");
+  // Hidden sizes run until the next keyword.
+  cfg.hidden.clear();
   std::string tok;
-  if (!(in >> tok) || tok != expected) {
-    throw ModelIoError("expected '" + expected + "', got '" + tok + "'");
+  while (true) {
+    tok = r.token("hidden sizes");
+    if (tok == "hidden_activation") {
+      r.commit_line();
+      break;
+    }
+    try {
+      cfg.hidden.push_back(static_cast<Index>(std::stoll(tok)));
+      r.commit_line();
+    } catch (const std::exception&) {
+      throw ModelIoError("malformed hidden size: " + tok, r.line());
+    }
+  }
+  cfg.hidden_activation = parse_activation(r.token("hidden activation"));
+  r.commit_line();
+  r.expect("output_activation");
+  cfg.output_activation = parse_activation(r.token("output activation"));
+  r.commit_line();
+  r.expect("layers");
+  const Index layer_count = r.index("layer count");
+  if (layer_count != static_cast<Index>(cfg.hidden.size()) + 1) {
+    throw ModelIoError("layer count inconsistent with hidden sizes",
+                       r.line());
+  }
+
+  Rng rng(0);  // init values are overwritten below
+  Mlp model(cfg, rng);
+  for (Index i = 0; i < layer_count; ++i) {
+    r.expect("layer");
+    if (r.index("layer index") != i) {
+      throw ModelIoError("layer index out of order", r.line());
+    }
+    Matrix w = read_matrix(r);
+    Matrix b = read_matrix(r);
+    DenseLayer& layer = model.layer(i);
+    if (w.rows() != layer.weights().rows() ||
+        w.cols() != layer.weights().cols() ||
+        b.cols() != layer.bias().cols() || b.rows() != 1) {
+      throw ModelIoError("weight shape mismatch in model file", r.line());
+    }
+    layer.weights() = std::move(w);
+    layer.bias() = std::move(b);
+  }
+  return model;
+}
+
+StandardScaler read_scaler(TokenReader& r) {
+  r.expect("ppdl-scaler");
+  if (r.index("scaler version") != 1) {
+    throw ModelIoError("unsupported scaler version", r.line());
+  }
+  const Index n = r.index("scaler size");
+  if (n <= 0) {
+    throw ModelIoError("malformed scaler size", r.line());
+  }
+  std::vector<Real> mean(static_cast<std::size_t>(n));
+  std::vector<Real> scale(static_cast<std::size_t>(n));
+  for (Real& v : mean) {
+    v = r.real("scaler mean");
+  }
+  for (Real& v : scale) {
+    v = r.real("scaler scale");
+  }
+  StandardScaler scaler;
+  scaler.restore(std::move(mean), std::move(scale));
+  return scaler;
+}
+
+/// File loads parse the whole artifact payload: anything non-whitespace
+/// left over means the file holds more than one object — reject it rather
+/// than silently ignoring bytes a writer thought were important.
+void reject_trailing_payload(std::istream& in, const std::string& path) {
+  int c = in.get();
+  while (c != EOF && std::isspace(c)) {
+    c = in.get();
+  }
+  if (c != EOF) {
+    throw ModelIoError("trailing garbage after payload in " + path);
   }
 }
 
-void write_matrix(std::ostream& out, const Matrix& m) {
+}  // namespace
+
+void save_matrix(const Matrix& m, std::ostream& out) {
   out << m.rows() << ' ' << m.cols() << '\n';
   for (Index r = 0; r < m.rows(); ++r) {
     for (Index c = 0; c < m.cols(); ++c) {
@@ -53,22 +236,10 @@ void write_matrix(std::ostream& out, const Matrix& m) {
   }
 }
 
-Matrix read_matrix(std::istream& in) {
-  Index rows = 0;
-  Index cols = 0;
-  if (!(in >> rows >> cols) || rows < 0 || cols < 0) {
-    throw ModelIoError("malformed matrix header");
-  }
-  Matrix m(rows, cols);
-  for (Index r = 0; r < rows; ++r) {
-    for (Index c = 0; c < cols; ++c) {
-      m(r, c) = read_real(in);
-    }
-  }
-  return m;
+Matrix load_matrix(std::istream& in) {
+  TokenReader r(in);
+  return read_matrix(r);
 }
-
-}  // namespace
 
 void save_model(const Mlp& model, std::ostream& out) {
   const MlpConfig& cfg = model.config();
@@ -86,84 +257,28 @@ void save_model(const Mlp& model, std::ostream& out) {
   for (Index i = 0; i < model.layer_count(); ++i) {
     const DenseLayer& layer = model.layer(i);
     out << "layer " << i << "\n";
-    write_matrix(out, layer.weights());
-    write_matrix(out, layer.bias());
+    save_matrix(layer.weights(), out);
+    save_matrix(layer.bias(), out);
   }
 }
 
 void save_model_file(const Mlp& model, const std::string& path) {
-  std::ofstream out(path);
-  PPDL_REQUIRE(out.good(), "cannot open model file for writing: " + path);
-  save_model(model, out);
+  std::ostringstream payload;
+  save_model(model, payload);
+  write_artifact_file(path, Artifact{"mlp", 1, payload.str()});
 }
 
 Mlp load_model(std::istream& in) {
-  expect_token(in, "ppdl-mlp");
-  Index version = 0;
-  if (!(in >> version) || version != 1) {
-    throw ModelIoError("unsupported model version");
-  }
-  MlpConfig cfg;
-  expect_token(in, "inputs");
-  in >> cfg.inputs;
-  expect_token(in, "outputs");
-  in >> cfg.outputs;
-  expect_token(in, "hidden");
-  // Hidden sizes run until the next keyword.
-  cfg.hidden.clear();
-  std::string tok;
-  while (in >> tok) {
-    if (tok == "hidden_activation") {
-      break;
-    }
-    try {
-      cfg.hidden.push_back(static_cast<Index>(std::stoll(tok)));
-    } catch (const std::exception&) {
-      throw ModelIoError("malformed hidden size: " + tok);
-    }
-  }
-  if (tok != "hidden_activation") {
-    throw ModelIoError("missing hidden_activation");
-  }
-  in >> tok;
-  cfg.hidden_activation = parse_activation(tok);
-  expect_token(in, "output_activation");
-  in >> tok;
-  cfg.output_activation = parse_activation(tok);
-  expect_token(in, "layers");
-  Index layer_count = 0;
-  in >> layer_count;
-  if (layer_count != static_cast<Index>(cfg.hidden.size()) + 1) {
-    throw ModelIoError("layer count inconsistent with hidden sizes");
-  }
-
-  Rng rng(0);  // init values are overwritten below
-  Mlp model(cfg, rng);
-  for (Index i = 0; i < layer_count; ++i) {
-    expect_token(in, "layer");
-    Index idx = 0;
-    in >> idx;
-    if (idx != i) {
-      throw ModelIoError("layer index out of order");
-    }
-    Matrix w = read_matrix(in);
-    Matrix b = read_matrix(in);
-    DenseLayer& layer = model.layer(i);
-    if (w.rows() != layer.weights().rows() ||
-        w.cols() != layer.weights().cols() ||
-        b.cols() != layer.bias().cols() || b.rows() != 1) {
-      throw ModelIoError("weight shape mismatch in model file");
-    }
-    layer.weights() = std::move(w);
-    layer.bias() = std::move(b);
-  }
-  return model;
+  TokenReader r(in);
+  return read_model(r);
 }
 
 Mlp load_model_file(const std::string& path) {
-  std::ifstream in(path);
-  PPDL_REQUIRE(in.good(), "cannot open model file: " + path);
-  return load_model(in);
+  const Artifact artifact = read_artifact_file(path, "mlp");
+  std::istringstream in(artifact.payload);
+  Mlp model = load_model(in);
+  reject_trailing_payload(in, path);
+  return model;
 }
 
 void save_scaler(const StandardScaler& scaler, std::ostream& out) {
@@ -181,26 +296,22 @@ void save_scaler(const StandardScaler& scaler, std::ostream& out) {
   out << "\n";
 }
 
+void save_scaler_file(const StandardScaler& scaler, const std::string& path) {
+  std::ostringstream payload;
+  save_scaler(scaler, payload);
+  write_artifact_file(path, Artifact{"scaler", 1, payload.str()});
+}
+
 StandardScaler load_scaler(std::istream& in) {
-  expect_token(in, "ppdl-scaler");
-  Index version = 0;
-  if (!(in >> version) || version != 1) {
-    throw ModelIoError("unsupported scaler version");
-  }
-  Index n = 0;
-  if (!(in >> n) || n <= 0) {
-    throw ModelIoError("malformed scaler size");
-  }
-  std::vector<Real> mean(static_cast<std::size_t>(n));
-  std::vector<Real> scale(static_cast<std::size_t>(n));
-  for (Real& v : mean) {
-    v = read_real(in);
-  }
-  for (Real& v : scale) {
-    v = read_real(in);
-  }
-  StandardScaler scaler;
-  scaler.restore(std::move(mean), std::move(scale));
+  TokenReader r(in);
+  return read_scaler(r);
+}
+
+StandardScaler load_scaler_file(const std::string& path) {
+  const Artifact artifact = read_artifact_file(path, "scaler");
+  std::istringstream in(artifact.payload);
+  StandardScaler scaler = load_scaler(in);
+  reject_trailing_payload(in, path);
   return scaler;
 }
 

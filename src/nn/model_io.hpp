@@ -1,6 +1,22 @@
 // Text serialization of trained models (architecture + weights + scalers),
 // so a planning session can reuse a model trained in an earlier run —
 // the paper's "historical data" workflow.
+//
+// Two levels:
+//   * Stream functions (save_model/load_model, save_scaler/load_scaler,
+//     save_matrix/load_matrix) read or write one embeddable section of a
+//     larger stream — PowerPlanningDL::save composes them, and the flow
+//     checkpoint embeds whole model blobs.
+//   * File functions (save_model_file/..., save_scaler_file/...) wrap the
+//     section in the common artifact container (format-version header,
+//     payload checksum, atomic write-rename — see common/artifact_io.hpp),
+//     and reject trailing garbage after the payload. They throw
+//     ArtifactError for container-level damage and ModelIoError for
+//     payload-level damage.
+//
+// Loaders never return partially-initialized objects: a truncated or
+// malformed stream throws a ModelIoError carrying the 1-based line number
+// (relative to the section start) where parsing stopped.
 #pragma once
 
 #include <iosfwd>
@@ -11,10 +27,15 @@
 
 namespace ppdl::nn {
 
-/// Thrown on malformed model files.
+/// Thrown on malformed model/scaler/matrix payloads. `line()` is the
+/// 1-based line within the section being parsed (0 when unknown).
 class ModelIoError : public std::runtime_error {
  public:
-  explicit ModelIoError(const std::string& what) : std::runtime_error(what) {}
+  explicit ModelIoError(const std::string& what, Index line = 0);
+  Index line() const { return line_; }
+
+ private:
+  Index line_ = 0;
 };
 
 /// Writes architecture and weights in a line-oriented text format.
@@ -27,6 +48,13 @@ Mlp load_model_file(const std::string& path);
 
 /// Scaler persistence (mean/scale pairs).
 void save_scaler(const StandardScaler& scaler, std::ostream& out);
+void save_scaler_file(const StandardScaler& scaler, const std::string& path);
 StandardScaler load_scaler(std::istream& in);
+StandardScaler load_scaler_file(const std::string& path);
+
+/// One matrix as a `rows cols` header plus hexfloat rows — the section
+/// format shared by models, datasets, and flow checkpoints.
+void save_matrix(const Matrix& m, std::ostream& out);
+Matrix load_matrix(std::istream& in);
 
 }  // namespace ppdl::nn

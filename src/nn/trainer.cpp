@@ -100,6 +100,12 @@ TrainHistory train(Mlp& model, const Matrix& x, const Matrix& y,
   }
 
   for (Index epoch = 1; epoch <= options.epochs; ++epoch) {
+    if (options.deadline.expired()) {
+      // Graceful degradation: keep the best-so-far parameters and report
+      // the truncation instead of throwing the work away.
+      history.timed_out = true;
+      break;
+    }
     rng.shuffle(batch_order);
     Real epoch_loss = 0.0;
     Index batches = 0;

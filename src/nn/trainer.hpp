@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/deadline.hpp"
 #include "common/rng.hpp"
 #include "nn/mlp.hpp"
 
@@ -39,6 +40,13 @@ struct TrainOptions {
   /// instead of keeping the final-epoch weights. Off by default (final
   /// weights are the historical behavior).
   bool restore_best_params = false;
+
+  // --- graceful degradation ----------------------------------------------
+  /// Cooperative wall-clock budget, polled at each epoch boundary. When it
+  /// expires the loop stops cleanly: the history is marked `timed_out` and
+  /// the model keeps its best-so-far parameters (the best-validation epoch
+  /// when restore_best_params is set, else the last finished epoch).
+  Deadline deadline;
 };
 
 struct TrainHistory {
@@ -52,6 +60,7 @@ struct TrainHistory {
   Index best_epoch = 0;          ///< 1-based epoch of best_val_loss (0: none)
   Index recoveries = 0;          ///< divergence rollbacks performed
   bool diverged = false;         ///< stopped non-finite with budget spent
+  bool timed_out = false;        ///< deadline expired before the epoch cap
   Real final_learning_rate = 0.0;  ///< learning rate after any backoffs
 };
 

@@ -56,6 +56,9 @@ void polish_widths(grid::PowerGrid& pg, const PlannerOptions& options,
   }
 
   for (Index attempt = 0; attempt < options.polish_attempts; ++attempt) {
+    if (options.deadline.expired()) {
+      break;  // out of budget mid-polish: restore the verified widths below
+    }
     // factor, then √factor, then ∜factor, … approaching 1 (no relaxation).
     const Real f = std::pow(
         base_factor, 1.0 / static_cast<Real>(Index{1} << attempt));
@@ -115,8 +118,15 @@ PlannerResult run_conventional_planner(grid::PowerGrid& pg,
   const Timer timer;
 
   analysis::IrAnalysisOptions solver = options.solver;
+  solver.deadline = options.deadline;
   WidthUpdateState state;
   for (Index it = 1; it <= options.max_iterations; ++it) {
+    if (options.deadline.expired()) {
+      // Out of budget: stop before starting another expensive analysis.
+      // The grid keeps the best widths reached so far.
+      result.timed_out = true;
+      break;
+    }
     analysis::IrAnalysisResult analysis = analysis::analyze_ir_drop(pg, solver);
     result.analysis_seconds += analysis.solve_seconds;
     account_solve(analysis, result);
@@ -167,8 +177,9 @@ PlannerResult run_conventional_planner(grid::PowerGrid& pg,
 
   // If the loop ended by widening on its last allowed iteration, the final
   // analysis predates the last update; re-verify so callers see the truth.
-  if (!result.converged && !result.solver_failed && !result.trace.empty() &&
-      result.trace.back().wires_widened > 0) {
+  // A timed-out loop skips the re-verify: no budget remains to spend.
+  if (!result.converged && !result.solver_failed && !result.timed_out &&
+      !result.trace.empty() && result.trace.back().wires_widened > 0) {
     analysis::IrAnalysisResult analysis = analysis::analyze_ir_drop(pg, solver);
     result.analysis_seconds += analysis.solve_seconds;
     account_solve(analysis, result);
@@ -178,7 +189,7 @@ PlannerResult run_conventional_planner(grid::PowerGrid& pg,
     result.final_analysis = std::move(analysis);
   }
 
-  if (options.polish && result.converged) {
+  if (options.polish && result.converged && !options.deadline.expired()) {
     polish_widths(pg, options, solver, result);
   }
 

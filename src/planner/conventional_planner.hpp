@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "analysis/ir_solver.hpp"
+#include "common/deadline.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
 #include "grid/power_grid.hpp"
@@ -32,6 +33,11 @@ struct PlannerOptions {
   bool polish = true;
   Real polish_margin = 0.97;
   Index polish_attempts = 3;
+  /// Cooperative wall-clock budget, polled before every design iteration
+  /// (and forwarded to each analysis' solve ladder). When it expires the
+  /// loop stops cleanly with `timed_out` set and the grid keeps its
+  /// best-so-far widths — a usable, if unconverged, design.
+  Deadline deadline;
 };
 
 struct IterationTrace {
@@ -57,6 +63,10 @@ struct PlannerResult {
   std::string solver_diagnosis;
   /// How many analyses needed escalation beyond the requested CG rung.
   Index solver_escalations = 0;
+  /// True when the deadline expired mid-loop: the widths in the grid are
+  /// the best reached before time ran out (`converged` stays false unless
+  /// margins already held).
+  bool timed_out = false;
 };
 
 /// Runs the conventional loop in place: `pg`'s wire widths are updated to

@@ -162,10 +162,24 @@ RobustSolveResult robust_solve(const linalg::CsrMatrix& a,
     }
   };
 
+  // The escalation budget: each further rung only starts while wall-clock
+  // time remains. The requested rung always runs (a solve must at least be
+  // attempted); an expired deadline then caps how far the ladder climbs.
+  const auto out_of_time = [&]() -> bool {
+    if (options.deadline.expired()) {
+      report.deadline_expired = true;
+      if (!report.attempts.empty() && report.attempts.back().note.empty()) {
+        report.attempts.back().note = "deadline expired; escalation stopped";
+      }
+      return true;
+    }
+    return false;
+  };
+
   // Rung 1: CG exactly as requested.
   run_cg_rung(a, SolveStep::kRequestedCg, options.cg.preconditioner, 0.0,
               std::move(x0));
-  if (report.converged || !options.allow_escalation) {
+  if (report.converged || !options.allow_escalation || out_of_time()) {
     report.final_residual = best.residual;
     result.x = best.x.empty()
                    ? std::vector<Real>(static_cast<std::size_t>(n), 0.0)
@@ -191,13 +205,13 @@ RobustSolveResult robust_solve(const linalg::CsrMatrix& a,
   }
   for (const linalg::PreconditionerKind kind : stronger) {
     run_cg_rung(a, SolveStep::kEscalatedCg, kind, 0.0, warm_seed());
-    if (report.converged) {
+    if (report.converged || out_of_time()) {
       break;
     }
   }
 
   // Rung 3: Tikhonov-regularize the diagonal and refine against A.
-  if (!report.converged) {
+  if (!report.converged && !report.deadline_expired) {
     const std::vector<Real> diag = a.diagonal();
     Real max_diag = 0.0;
     for (const Real d : diag) {
@@ -215,6 +229,9 @@ RobustSolveResult robust_solve(const linalg::CsrMatrix& a,
       std::vector<Real> x = std::move(shifted_result->x);
       SolveAttempt& attempt = report.attempts.back();
       for (Index sweep = 0; sweep < options.refinement_sweeps; ++sweep) {
+        if (out_of_time()) {
+          break;
+        }
         std::vector<Real> r = a.multiply(x);
         for (std::size_t i = 0; i < r.size(); ++i) {
           r[i] = b[i] - r[i];
@@ -244,7 +261,7 @@ RobustSolveResult robust_solve(const linalg::CsrMatrix& a,
   }
 
   // Rung 4: direct sparse Cholesky (exact up to round-off when A is SPD).
-  if (!report.converged &&
+  if (!report.converged && !out_of_time() &&
       (options.max_direct_dimension <= 0 ||
        n <= options.max_direct_dimension)) {
     SolveAttempt attempt;

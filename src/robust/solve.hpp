@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.hpp"
 #include "common/types.hpp"
 #include "linalg/cg.hpp"
 #include "linalg/csr.hpp"
@@ -57,6 +58,10 @@ struct SolveReport {
   bool converged = false;
   Real final_residual = 0.0;  ///< relative, vs the original system
   Index total_iterations = 0; ///< CG iterations summed over all rungs
+  /// True when the deadline expired before the ladder could climb further:
+  /// escalation (or refinement) was cut short, so `converged == false` may
+  /// mean "out of time", not "out of rungs".
+  bool deadline_expired = false;
 
   /// True when recovery needed more than the caller's requested solve.
   bool escalated() const { return attempts.size() > 1; }
@@ -80,6 +85,10 @@ struct RobustSolveOptions {
   /// Skip the direct-Cholesky rung above this dimension (fill-in guard;
   /// 0 = never skip).
   Index max_direct_dimension = 250000;
+  /// Cooperative wall-clock budget, polled between rungs. The requested
+  /// rung always runs; an expired deadline stops the ladder from climbing
+  /// further and marks the report `deadline_expired`.
+  Deadline deadline;
 };
 
 struct RobustSolveResult {

@@ -1,0 +1,235 @@
+// The crash-safe artifact container and every artifact routed through it:
+// round-trips survive byte-exactly, and each corruption class (missing,
+// truncated, bit-flipped, version-skewed, malformed) surfaces as the
+// matching typed ArtifactError — never a silently wrong artifact.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/artifact_io.hpp"
+#include "core/dataset.hpp"
+#include "nn/mlp.hpp"
+#include "nn/model_io.hpp"
+#include "nn/scaler.hpp"
+
+namespace ppdl {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Flips one bit somewhere inside the payload (past the header newline).
+void flip_payload_bit(const std::string& path) {
+  std::string bytes = slurp(path);
+  const std::size_t header_end = bytes.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  ASSERT_LT(header_end + 1, bytes.size());
+  bytes[header_end + 1 + (bytes.size() - header_end) / 2] ^= 0x10;
+  spit(path, bytes);
+}
+
+/// Drops the trailing `n` bytes of the file.
+void truncate_file(const std::string& path, std::size_t n) {
+  std::string bytes = slurp(path);
+  ASSERT_GT(bytes.size(), n);
+  spit(path, bytes.substr(0, bytes.size() - n));
+}
+
+ArtifactErrorKind load_kind(const std::string& path, const std::string& type,
+                            int min_version = 1, int max_version = 1) {
+  try {
+    read_artifact_file(path, type, min_version, max_version);
+  } catch (const ArtifactError& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "expected ArtifactError for " << path;
+  return ArtifactErrorKind::kMalformed;
+}
+
+TEST(ArtifactIo, RoundTripIsByteExact) {
+  const std::string path = tmp_path("roundtrip.art");
+  const std::string payload("line one\nline two\0with a NUL\n", 29);
+  write_artifact_file(path, Artifact{"demo", 3, payload});
+
+  const Artifact back = read_artifact_file(path, "demo", 1, 3);
+  EXPECT_EQ(back.type, "demo");
+  EXPECT_EQ(back.version, 3);
+  EXPECT_EQ(back.payload, payload);
+  EXPECT_TRUE(artifact_file_ok(path, "demo"));
+}
+
+TEST(ArtifactIo, WriteLeavesNoTempFile) {
+  const std::string path = tmp_path("notmp.art");
+  write_artifact_file(path, Artifact{"demo", 1, "payload"});
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+}
+
+TEST(ArtifactIo, MissingFileIsTyped) {
+  EXPECT_EQ(load_kind(tmp_path("does-not-exist.art"), "demo"),
+            ArtifactErrorKind::kMissing);
+  EXPECT_FALSE(artifact_file_ok(tmp_path("does-not-exist.art"), "demo"));
+}
+
+TEST(ArtifactIo, TruncationIsTyped) {
+  const std::string path = tmp_path("trunc.art");
+  write_artifact_file(path, Artifact{"demo", 1, "a payload long enough"});
+  truncate_file(path, 5);
+  EXPECT_EQ(load_kind(path, "demo"), ArtifactErrorKind::kTruncated);
+}
+
+TEST(ArtifactIo, BitFlipIsTyped) {
+  const std::string path = tmp_path("flip.art");
+  write_artifact_file(path, Artifact{"demo", 1, "a payload long enough"});
+  flip_payload_bit(path);
+  EXPECT_EQ(load_kind(path, "demo"), ArtifactErrorKind::kChecksumMismatch);
+}
+
+TEST(ArtifactIo, VersionSkewIsTyped) {
+  const std::string path = tmp_path("skew.art");
+  write_artifact_file(path, Artifact{"demo", 7, "payload"});
+  // Reader only supports versions 1..2: too-new artifact must not parse.
+  EXPECT_EQ(load_kind(path, "demo", 1, 2), ArtifactErrorKind::kVersionSkew);
+}
+
+TEST(ArtifactIo, WrongTypeAndTrailingBytesAreMalformed) {
+  const std::string path = tmp_path("wrongtype.art");
+  write_artifact_file(path, Artifact{"demo", 1, "payload"});
+  EXPECT_EQ(load_kind(path, "other"), ArtifactErrorKind::kMalformed);
+
+  spit(path, slurp(path) + "trailing");
+  EXPECT_EQ(load_kind(path, "demo"), ArtifactErrorKind::kMalformed);
+}
+
+TEST(ArtifactIo, WriteToBadDirectoryIsTyped) {
+  try {
+    write_artifact_file(tmp_path("no-such-dir/x.art"),
+                        Artifact{"demo", 1, "p"});
+    FAIL() << "expected ArtifactError";
+  } catch (const ArtifactError& e) {
+    EXPECT_EQ(e.kind(), ArtifactErrorKind::kWriteFailed);
+  }
+}
+
+TEST(ArtifactIo, ChecksumIsStableFnv1a) {
+  // Spot-check against the published FNV-1a 64-bit test vector.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+// --- corruption of real artifacts ------------------------------------------
+
+nn::Mlp small_model() {
+  Rng rng(7);
+  return nn::Mlp(nn::MlpConfig::paper_default(3, 1, 2, 4), rng);
+}
+
+TEST(ArtifactIo, CorruptedModelFileFailsTyped) {
+  const std::string path = tmp_path("model.art");
+  nn::save_model_file(small_model(), path);
+  ASSERT_NO_THROW(nn::load_model_file(path));
+
+  flip_payload_bit(path);
+  try {
+    nn::load_model_file(path);
+    FAIL() << "expected a typed error";
+  } catch (const ArtifactError& e) {
+    EXPECT_EQ(e.kind(), ArtifactErrorKind::kChecksumMismatch);
+  }
+}
+
+TEST(ArtifactIo, TruncatedModelFileFailsTyped) {
+  const std::string path = tmp_path("model-trunc.art");
+  nn::save_model_file(small_model(), path);
+  truncate_file(path, 40);
+  try {
+    nn::load_model_file(path);
+    FAIL() << "expected a typed error";
+  } catch (const ArtifactError& e) {
+    EXPECT_EQ(e.kind(), ArtifactErrorKind::kTruncated);
+  }
+}
+
+TEST(ArtifactIo, ScalerFileRoundTripAndCorruption) {
+  nn::Matrix x(4, 2);
+  for (Index r = 0; r < 4; ++r) {
+    for (Index c = 0; c < 2; ++c) {
+      x(r, c) = static_cast<Real>(r * 2 + c) * 0.37 + 1.0;
+    }
+  }
+  nn::StandardScaler scaler;
+  scaler.fit(x);
+
+  const std::string path = tmp_path("scaler.art");
+  nn::save_scaler_file(scaler, path);
+  const nn::StandardScaler back = nn::load_scaler_file(path);
+  const nn::Matrix a = scaler.transform(x);
+  const nn::Matrix b = back.transform(x);
+  for (Index r = 0; r < a.rows(); ++r) {
+    for (Index c = 0; c < a.cols(); ++c) {
+      EXPECT_EQ(a(r, c), b(r, c));  // hexfloat round-trip: exact
+    }
+  }
+
+  flip_payload_bit(path);
+  EXPECT_THROW(nn::load_scaler_file(path), ArtifactError);
+}
+
+TEST(ArtifactIo, DatasetFileRoundTripAndCorruption) {
+  core::Dataset d;
+  d.layer = 2;
+  d.x = nn::Matrix(3, 2);
+  d.y = nn::Matrix(3, 1);
+  d.branch = {5, 9, 11};
+  for (Index r = 0; r < 3; ++r) {
+    d.x(r, 0) = static_cast<Real>(r) * 0.5;
+    d.x(r, 1) = 1.0 / (static_cast<Real>(r) + 1.0);
+    d.y(r, 0) = 1.0 + static_cast<Real>(r);
+  }
+
+  const std::string path = tmp_path("dataset.art");
+  core::save_dataset_file(d, path);
+  const core::Dataset back = core::load_dataset_file(path);
+  EXPECT_EQ(back.layer, d.layer);
+  EXPECT_EQ(back.branch, d.branch);
+  ASSERT_EQ(back.x.rows(), d.x.rows());
+  ASSERT_EQ(back.y.rows(), d.y.rows());
+  EXPECT_EQ(back.x(2, 1), d.x(2, 1));
+  EXPECT_EQ(back.y(2, 0), d.y(2, 0));
+
+  flip_payload_bit(path);
+  EXPECT_THROW(core::load_dataset_file(path), ArtifactError);
+}
+
+TEST(ArtifactIo, ModelStreamRejectsTruncationWithLineNumber) {
+  std::ostringstream out;
+  nn::save_model(small_model(), out);
+  const std::string text = out.str();
+  std::istringstream in(text.substr(0, text.size() / 2));
+  try {
+    nn::load_model(in);
+    FAIL() << "expected ModelIoError";
+  } catch (const nn::ModelIoError& e) {
+    EXPECT_GT(e.line(), 0);
+    EXPECT_NE(std::string(e.what()).find("line"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ppdl

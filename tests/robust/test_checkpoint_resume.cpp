@@ -1,0 +1,208 @@
+// Flow checkpoint/resume: an interrupted flow restarts from its last
+// completed phase instead of re-running the golden planner, and a damaged
+// checkpoint is discarded loudly (or rethrown under strict_resume) — never
+// silently resumed.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/artifact_io.hpp"
+#include "core/flow.hpp"
+#include "nn/model_io.hpp"
+
+namespace ppdl::core {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+FlowOptions fast_flow_options(const std::string& checkpoint) {
+  FlowOptions o;
+  o.benchmark.scale = 0.015;
+  o.benchmark.seed = 77;
+  o.model.hidden_layers = 4;
+  o.model.hidden_units = 16;
+  o.model.train.epochs = 30;
+  o.checkpoint_path = checkpoint;
+  return o;
+}
+
+TEST(CheckpointResume, CheckpointRoundTripsExactly) {
+  FlowCheckpoint c;
+  c.benchmark_name = "ibmpg1";
+  c.completed = FlowPhase::kTraining;
+  c.golden_widths = {1.0, 0.0, 2.5, 3.25};
+  c.golden_node_ir_drop = {0.001, 0.0025, 0.004};
+  c.golden_worst_ir = 0.004;
+  c.golden_planner_seconds = 1.5;
+  c.golden_iterations = 7;
+  c.golden_escalations = 1;
+  c.golden_planner_converged = true;
+  c.golden_converged = true;
+  c.golden_diagnosis = "multi word diagnosis\nwith a second line";
+  c.model_trained = true;
+  c.model_blob = "fake model bytes\nwith newlines and spaces";
+  c.train_seconds = 0.75;
+  c.perturbed_load_amps = {0.01, 0.02};
+  c.perturbed_pad_voltages = {1.79, 1.81};
+
+  const std::string path = tmp_path("ckpt-roundtrip.art");
+  save_flow_checkpoint(c, path);
+  const FlowCheckpoint back = load_flow_checkpoint(path);
+
+  EXPECT_EQ(back.benchmark_name, c.benchmark_name);
+  EXPECT_EQ(back.completed, c.completed);
+  EXPECT_EQ(back.golden_widths, c.golden_widths);
+  EXPECT_EQ(back.golden_node_ir_drop, c.golden_node_ir_drop);
+  EXPECT_EQ(back.golden_worst_ir, c.golden_worst_ir);
+  EXPECT_EQ(back.golden_planner_seconds, c.golden_planner_seconds);
+  EXPECT_EQ(back.golden_iterations, c.golden_iterations);
+  EXPECT_EQ(back.golden_escalations, c.golden_escalations);
+  EXPECT_EQ(back.golden_planner_converged, c.golden_planner_converged);
+  EXPECT_EQ(back.golden_converged, c.golden_converged);
+  EXPECT_EQ(back.golden_diagnosis, c.golden_diagnosis);
+  EXPECT_EQ(back.model_trained, c.model_trained);
+  EXPECT_EQ(back.model_blob, c.model_blob);
+  EXPECT_EQ(back.train_seconds, c.train_seconds);
+  EXPECT_EQ(back.perturbed_load_amps, c.perturbed_load_amps);
+  EXPECT_EQ(back.perturbed_pad_voltages, c.perturbed_pad_voltages);
+}
+
+TEST(CheckpointResume, LoadRejectsCorruptionTyped) {
+  FlowCheckpoint c;
+  c.benchmark_name = "ibmpg1";
+  c.completed = FlowPhase::kGoldenDesign;
+  c.golden_widths = {1.0, 2.0};
+  c.golden_node_ir_drop = {0.001};
+  const std::string path = tmp_path("ckpt-corrupt.art");
+  save_flow_checkpoint(c, path);
+
+  // Flip a payload byte: the container checksum catches it.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string bytes = buf.str();
+    bytes[bytes.size() - 3] ^= 0x04;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  try {
+    load_flow_checkpoint(path);
+    FAIL() << "expected ArtifactError";
+  } catch (const ArtifactError& e) {
+    EXPECT_EQ(e.kind(), ArtifactErrorKind::kChecksumMismatch);
+  }
+}
+
+// The headline durability property: a flow that already completed its
+// offline phases resumes from the checkpoint without re-running the golden
+// planner or the trainer, and still produces the same comparison.
+TEST(CheckpointResume, ResumeSkipsCompletedPhases) {
+  const std::string path = tmp_path("ckpt-resume.art");
+  std::remove(path.c_str());
+  const FlowOptions opts = fast_flow_options(path);
+
+  const FlowResult first = run_flow("ibmpg1", opts);
+  ASSERT_TRUE(first.golden_converged);
+  EXPECT_EQ(first.resumed_from, FlowPhase::kNone);
+  ASSERT_TRUE(artifact_file_ok(path, "flow-ckpt"));
+  // The first run spent real wall time on its offline phases.
+  EXPECT_GT(first.golden_seconds, 0.0);
+
+  const FlowResult second = run_flow("ibmpg1", opts);
+  EXPECT_EQ(second.resumed_from, FlowPhase::kPerturbedSpec);
+  EXPECT_TRUE(second.resume_discarded.empty());
+
+  // Restored phases cost (nearly) nothing: no planner iterations, no
+  // training epochs — orders of magnitude under the original golden run.
+  EXPECT_LT(second.golden_seconds, 0.10);
+  EXPECT_LT(second.training_seconds, 0.10);
+  EXPECT_LT(second.golden_seconds, first.golden_planner.total_seconds);
+
+  // And the restored state is equivalent: same golden metadata, same
+  // perturbed spec, byte-identical model → identical comparison metrics.
+  EXPECT_EQ(second.golden_planner.iterations,
+            first.golden_planner.iterations);
+  EXPECT_EQ(second.golden_converged, first.golden_converged);
+  EXPECT_EQ(second.width_mse, first.width_mse);
+  EXPECT_EQ(second.width_r2, first.width_r2);
+  EXPECT_EQ(second.worst_ir_dl, first.worst_ir_dl);
+}
+
+TEST(CheckpointResume, DamagedCheckpointIsDiscardedLoudly) {
+  const std::string path = tmp_path("ckpt-damaged.art");
+  std::remove(path.c_str());
+  const FlowOptions opts = fast_flow_options(path);
+
+  const FlowResult first = run_flow("ibmpg1", opts);
+  ASSERT_TRUE(first.golden_converged);
+
+  // Truncate the checkpoint mid-payload, as a crash mid-copy would.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string bytes = buf.str();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+
+  const FlowResult second = run_flow("ibmpg1", opts);
+  EXPECT_EQ(second.resumed_from, FlowPhase::kNone);
+  EXPECT_FALSE(second.resume_discarded.empty());
+  // The fresh run overwrote the damaged file with a good checkpoint.
+  EXPECT_TRUE(artifact_file_ok(path, "flow-ckpt"));
+
+  // strict_resume surfaces the damage instead of recomputing.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string bytes = buf.str();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  FlowOptions strict = opts;
+  strict.strict_resume = true;
+  EXPECT_THROW(run_flow("ibmpg1", strict), ArtifactError);
+}
+
+TEST(CheckpointResume, MismatchedBenchmarkIsDiscarded) {
+  const std::string path = tmp_path("ckpt-mismatch.art");
+  std::remove(path.c_str());
+
+  FlowCheckpoint wrong;
+  wrong.benchmark_name = "some-other-design";
+  wrong.completed = FlowPhase::kGoldenDesign;
+  wrong.golden_widths = {1.0};
+  wrong.golden_node_ir_drop = {0.001};
+  save_flow_checkpoint(wrong, path);
+
+  const FlowResult r = run_flow("ibmpg1", fast_flow_options(path));
+  EXPECT_EQ(r.resumed_from, FlowPhase::kNone);
+  EXPECT_NE(r.resume_discarded.find("some-other-design"), std::string::npos);
+  EXPECT_TRUE(r.golden_converged);  // fresh run proceeded normally
+}
+
+TEST(CheckpointResume, ResumeOffReComputesButRewritesCheckpoint) {
+  const std::string path = tmp_path("ckpt-noresume.art");
+  std::remove(path.c_str());
+  FlowOptions opts = fast_flow_options(path);
+
+  const FlowResult first = run_flow("ibmpg1", opts);
+  ASSERT_TRUE(first.golden_converged);
+
+  opts.resume = false;
+  const FlowResult second = run_flow("ibmpg1", opts);
+  EXPECT_EQ(second.resumed_from, FlowPhase::kNone);
+  // Deterministic pipeline: the recomputed run matches the first.
+  EXPECT_EQ(second.width_mse, first.width_mse);
+}
+
+}  // namespace
+}  // namespace ppdl::core

@@ -1,0 +1,168 @@
+// Deadline-bounded graceful degradation: an exhausted wall-clock budget
+// stops planner iterations, trainer epochs, the solve ladder, and the whole
+// flow cleanly — flagged `timed_out`, best-so-far state intact, no throws.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/mna.hpp"
+#include "common/deadline.hpp"
+#include "core/flow.hpp"
+#include "linalg/cg.hpp"
+#include "nn/trainer.hpp"
+#include "planner/conventional_planner.hpp"
+#include "robust/solve.hpp"
+#include "support/fault_injection.hpp"
+#include "support/fixtures.hpp"
+
+namespace ppdl {
+namespace {
+
+TEST(Deadline, UnlimitedNeverExpires) {
+  const Deadline d = Deadline::unlimited();
+  EXPECT_FALSE(d.limited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(std::isinf(d.remaining_seconds()));
+  EXPECT_FALSE(Deadline{}.expired());  // default-constructed == unlimited
+}
+
+TEST(Deadline, ZeroBudgetExpiresImmediately) {
+  const Deadline d = Deadline::after_seconds(0.0);
+  EXPECT_TRUE(d.limited());
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_seconds(), 0.0);
+}
+
+TEST(Deadline, GenerousBudgetIsNotExpired) {
+  const Deadline d = Deadline::after_seconds(3600.0);
+  EXPECT_TRUE(d.limited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_seconds(), 3000.0);
+}
+
+TEST(Deadline, TrainerStopsCleanlyWithBestSoFarWeights) {
+  nn::Matrix x;
+  nn::Matrix y;
+  testsupport::linear_training_data(64, x, y);
+  Rng rng(3);
+  nn::Mlp model(nn::MlpConfig::paper_default(x.cols(), 1, 2, 8), rng);
+
+  nn::TrainOptions opts;
+  opts.epochs = 50;
+  opts.deadline = Deadline::after_seconds(0.0);
+  const nn::TrainHistory history = nn::train(model, x, y, opts);
+
+  EXPECT_TRUE(history.timed_out);
+  EXPECT_EQ(history.epochs_run, 0);
+  EXPECT_FALSE(history.diverged);
+  // The model is still usable: initialization weights predict finite values.
+  const nn::Matrix pred = model.predict(x);
+  for (const Real v : pred.data()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(Deadline, TrainerWithRoomRunsToCompletion) {
+  nn::Matrix x;
+  nn::Matrix y;
+  testsupport::linear_training_data(64, x, y);
+  Rng rng(3);
+  nn::Mlp model(nn::MlpConfig::paper_default(x.cols(), 1, 2, 8), rng);
+
+  nn::TrainOptions opts;
+  opts.epochs = 5;
+  opts.early_stopping_patience = 0;
+  opts.deadline = Deadline::after_seconds(3600.0);
+  const nn::TrainHistory history = nn::train(model, x, y, opts);
+  EXPECT_FALSE(history.timed_out);
+  EXPECT_EQ(history.epochs_run, 5);
+}
+
+TEST(Deadline, PlannerStopsBeforeFirstAnalysis) {
+  grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  grid::PowerGrid pg = bench.grid;
+  const std::vector<Real> widths_before = [&pg] {
+    std::vector<Real> w;
+    for (Index b = 0; b < pg.branch_count(); ++b) {
+      w.push_back(pg.branch(b).width);
+    }
+    return w;
+  }();
+
+  planner::PlannerOptions opts;
+  opts.update.ir_limit = bench.spec.ir_limit_mv * 1e-3;
+  opts.update.jmax = bench.spec.jmax;
+  opts.deadline = Deadline::after_seconds(0.0);
+  const planner::PlannerResult result =
+      planner::run_conventional_planner(pg, opts);
+
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 0);
+  // Best-so-far semantics: the grid is exactly as the caller left it.
+  for (Index b = 0; b < pg.branch_count(); ++b) {
+    EXPECT_EQ(pg.branch(b).width,
+              widths_before[static_cast<std::size_t>(b)]);
+  }
+}
+
+TEST(Deadline, PlannerWithRoomDoesNotFlagTimeout) {
+  grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  grid::PowerGrid pg = bench.grid;
+  planner::PlannerOptions opts;
+  opts.update.ir_limit = bench.spec.ir_limit_mv * 1e-3;
+  opts.update.jmax = bench.spec.jmax;
+  opts.deadline = Deadline::after_seconds(3600.0);
+  const planner::PlannerResult result =
+      planner::run_conventional_planner(pg, opts);
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(Deadline, SolveLadderStopsClimbingButRunsRequestedRung) {
+  // Starve CG so the requested rung fails; with the budget already spent,
+  // the ladder must not escalate — but the requested rung still runs and
+  // the best iterate is returned.
+  grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+  const analysis::MnaSystem mna = analysis::assemble_mna(bench.grid);
+
+  const linalg::ScopedCgIterationClamp clamp(1);
+  const robust::RobustSolveResult r =
+      robust::robust_solve(mna.g_reduced, mna.rhs);
+
+  robust::RobustSolveOptions timed;
+  timed.deadline = Deadline::after_seconds(0.0);
+  const robust::RobustSolveResult rt =
+      robust::robust_solve(mna.g_reduced, mna.rhs, timed);
+
+  EXPECT_FALSE(rt.report.converged);
+  EXPECT_TRUE(rt.report.deadline_expired);
+  EXPECT_EQ(rt.report.attempts.size(), 1u);  // requested rung only
+  EXPECT_EQ(rt.x.size(), mna.rhs.size());
+  // Unbounded ladder recovers from the same starvation by escalating.
+  EXPECT_TRUE(r.report.converged);
+  EXPECT_GT(r.report.attempts.size(), 1u);
+}
+
+TEST(Deadline, FlowDegradesGracefullyEndToEnd) {
+  core::FlowOptions o;
+  o.benchmark.scale = 0.01;
+  o.benchmark.seed = 12345;
+  o.model.train.epochs = 10;
+  o.deadline_seconds = 1e-9;  // effectively already expired
+
+  const core::FlowResult r = core::run_flow("ibmpg1", o);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_EQ(r.timed_out_phase, "golden design");
+  EXPECT_FALSE(r.golden_converged);
+  // Degraded but complete: the comparison still produced aligned arrays
+  // and finite metrics.
+  EXPECT_EQ(r.golden_widths.size(), r.predicted_widths.size());
+  EXPECT_FALSE(r.golden_widths.empty());
+  EXPECT_TRUE(std::isfinite(r.width_mse));
+  EXPECT_TRUE(std::isfinite(r.width_r2));
+}
+
+}  // namespace
+}  // namespace ppdl
