@@ -4,10 +4,12 @@
 // the Table IV cost model (inference is linear in batch rows).
 #include <benchmark/benchmark.h>
 
+#include "bench_support.hpp"
 #include "common/rng.hpp"
 #include "nn/loss.hpp"
 #include "nn/mlp.hpp"
 #include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
 
 using namespace ppdl;
 
@@ -73,6 +75,49 @@ void BM_AdamStepOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_AdamStepOnly)->Unit(benchmark::kMicrosecond);
 
+/// Thread-scaling trajectory over the parallel NN hot paths → BENCH_nn.json.
+void emit_thread_scaling_json() {
+  std::vector<benchsupport::ThreadBenchRecord> records;
+
+  {
+    Rng rng(1);
+    nn::Mlp mlp(nn::MlpConfig::paper_default(3, 1, 10, 32), rng);
+    const Index rows = 16384;
+    const nn::Matrix x = random_batch(rows, 3, 2);
+    benchsupport::sweep_threads(
+        "mlp_forward", rows,
+        [&] { benchmark::DoNotOptimize(mlp.predict(x)); }, records);
+  }
+  {
+    const Index rows = 4096;
+    const nn::Matrix x = random_batch(rows, 3, 4);
+    const nn::Matrix y = random_batch(rows, 1, 5);
+    benchsupport::sweep_threads(
+        "train_epoch", rows,
+        [&] {
+          Rng rng(3);
+          nn::Mlp mlp(nn::MlpConfig::paper_default(3, 1, 10, 16), rng);
+          nn::TrainOptions opts;
+          opts.epochs = 1;
+          opts.batch_size = 256;
+          opts.validation_fraction = 0.0;
+          nn::train(mlp, x, y, opts);
+        },
+        records);
+  }
+
+  benchsupport::write_bench_json("BENCH_nn.json", records);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  emit_thread_scaling_json();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,13 +4,16 @@
 // tree prediction is ~linear).
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <map>
 
 #include "analysis/ir_solver.hpp"
 #include "analysis/mna.hpp"
+#include "bench_support.hpp"
 #include "core/benchmarks.hpp"
 #include "core/ir_predictor.hpp"
 #include "grid/generator.hpp"
+#include "linalg/vector_ops.hpp"
 
 using namespace ppdl;
 
@@ -86,6 +89,47 @@ BENCHMARK(BM_KirchhoffPredict)
     ->Arg(40)
     ->Unit(benchmark::kMillisecond);
 
+/// Thread-scaling trajectory over the parallel solver hot paths →
+/// BENCH_solvers.json. Scale via PPDL_BENCH_SCALE (thousandths of the
+/// paper-size spec, default 40).
+void emit_thread_scaling_json() {
+  Index scale_milli = 40;
+  if (const char* env = std::getenv("PPDL_BENCH_SCALE")) {
+    scale_milli = std::atol(env);
+  }
+  const grid::GeneratedBenchmark& bench = cached_bench(scale_milli);
+  const analysis::MnaSystem sys = analysis::assemble_mna(bench.grid);
+  const Index nodes = bench.grid.node_count();
+  std::vector<benchsupport::ThreadBenchRecord> records;
+
+  std::vector<Real> x(static_cast<std::size_t>(sys.free_count), 1.0);
+  std::vector<Real> y(x.size());
+  benchsupport::sweep_threads(
+      "spmv", nodes, [&] { sys.g_reduced.multiply(x, y); }, records);
+  benchsupport::sweep_threads(
+      "dot", nodes, [&] { benchmark::DoNotOptimize(linalg::dot(x, x)); },
+      records);
+  benchsupport::sweep_threads(
+      "cg_solve_ic0", nodes,
+      [&] {
+        const analysis::IrAnalysisResult res =
+            analysis::analyze_ir_drop(bench.grid);
+        benchmark::DoNotOptimize(res.worst_ir_drop);
+      },
+      records);
+
+  benchsupport::write_bench_json("BENCH_solvers.json", records);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  emit_thread_scaling_json();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,11 +12,17 @@
 // `for b in build/bench/*; do $b; done` regenerates the whole evaluation.
 #pragma once
 
+#include <algorithm>
+#include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
 #include "core/flow.hpp"
 
 namespace ppdl::benchsupport {
@@ -67,6 +73,59 @@ inline core::FlowOptions flow_options(const BenchContext& ctx) {
   o.benchmark.seed = ctx.seed;
   o.model.train.epochs = ctx.epochs;
   return o;
+}
+
+// --- thread-scaling trajectory (BENCH_*.json) ------------------------------
+// The micro benches sweep the parallel hot paths at 1/2/8 threads and dump
+// one JSON record per (kernel, thread count) so the scaling trajectory is
+// versioned alongside the code. Machine-dependent by nature: regenerate on
+// the hardware you care about, compare shape not absolute numbers.
+
+struct ThreadBenchRecord {
+  std::string name;   ///< kernel id, e.g. "cg_solve_ic0"
+  Real wall_ms = 0.0; ///< best-of-N wall time of one kernel invocation
+  Index threads = 0;  ///< parallel::set_num_threads value used
+  Index size = 0;     ///< problem size (grid nodes / batch rows)
+};
+
+/// Best-of-`reps` wall time of fn() in milliseconds.
+template <typename Fn>
+Real time_best_ms(Fn&& fn, int reps = 5) {
+  Real best = std::numeric_limits<Real>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const Timer t;
+    fn();
+    best = std::min(best, t.seconds() * 1e3);
+  }
+  return best;
+}
+
+/// Runs fn() at each thread count, appending one record per count.
+/// Restores the process-wide thread setting afterwards.
+template <typename Fn>
+void sweep_threads(const std::string& name, Index size, Fn&& fn,
+                   std::vector<ThreadBenchRecord>& out) {
+  for (const Index threads : {1, 2, 8}) {
+    parallel::set_num_threads(threads);
+    out.push_back({name, time_best_ms(fn), threads, size});
+  }
+  parallel::set_num_threads(0);
+}
+
+/// Writes the records as a JSON array (the whole file is one array; each
+/// record carries name / wall_ms / threads / size).
+inline void write_bench_json(const std::string& path,
+                             const std::vector<ThreadBenchRecord>& records) {
+  std::ofstream out(path);
+  out << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const ThreadBenchRecord& r = records[i];
+    out << "  {\"name\": \"" << r.name << "\", \"wall_ms\": " << r.wall_ms
+        << ", \"threads\": " << r.threads << ", \"size\": " << r.size << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  std::cout << "wrote " << records.size() << " records to " << path << "\n";
 }
 
 }  // namespace ppdl::benchsupport

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace ppdl {
 
@@ -34,7 +35,13 @@ void log_emit(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) {
     return;
   }
-  std::cerr << "[ppdl " << level_name(level) << "] " << message << '\n';
+  // One pre-composed write under a mutex: parallel workers (dataset
+  // generation, planner sweeps) must not interleave half-lines on stderr.
+  static std::mutex emit_mutex;
+  const std::string line =
+      "[ppdl " + std::string(level_name(level)) + "] " + message + '\n';
+  std::lock_guard<std::mutex> lock(emit_mutex);
+  std::cerr << line;
 }
 }  // namespace detail
 

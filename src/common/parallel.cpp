@@ -1,0 +1,260 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace ppdl::parallel {
+
+namespace {
+
+/// Hard cap on pool size: beyond this, oversubscription only adds
+/// scheduling noise without throughput.
+constexpr Index kMaxThreads = 256;
+
+std::atomic<Index> g_override{0};
+
+Index env_threads() {
+  // PPDL_THREADS is read once; later setenv() calls are ignored (tests use
+  // set_num_threads() instead, which also wins over the environment).
+  static const Index parsed = [] {
+    const char* s = std::getenv("PPDL_THREADS");
+    if (s == nullptr || *s == '\0') {
+      return Index{0};
+    }
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || v < 0) {
+      return Index{0};  // malformed → fall through to hardware default
+    }
+    return static_cast<Index>(v);
+  }();
+  return parsed;
+}
+
+/// True on threads currently executing pool work (and on callers inside a
+/// pooled run): nested parallel calls degrade to the serial inline path.
+thread_local bool t_inside_parallel = false;
+
+}  // namespace
+
+Index hardware_threads() {
+  const unsigned h = std::thread::hardware_concurrency();
+  return h > 0 ? static_cast<Index>(h) : Index{1};
+}
+
+void set_num_threads(Index n) { g_override.store(n > 0 ? n : 0); }
+
+Index default_num_threads() {
+  if (const Index o = g_override.load(); o > 0) {
+    return std::min(o, kMaxThreads);
+  }
+  if (const Index e = env_threads(); e > 0) {
+    return std::min(e, kMaxThreads);
+  }
+  return hardware_threads();
+}
+
+Index resolve_threads(Index requested) {
+  const Index t = requested > 0 ? std::min(requested, kMaxThreads)
+                                : default_num_threads();
+  return std::max<Index>(1, t);
+}
+
+Index chunk_count(Index n, Index grain) {
+  if (n <= 0) {
+    return 0;
+  }
+  const Index g = grain > 0 ? grain : 1;
+  return (n + g - 1) / g;
+}
+
+ChunkRange chunk_bounds(Index n, Index grain, Index c) {
+  const Index g = grain > 0 ? grain : 1;
+  const Index begin = c * g;
+  return {begin, std::min(n, begin + g)};
+}
+
+struct ThreadPool::Job {
+  void (*task)(void*, Index) = nullptr;
+  void* ctx = nullptr;
+  Index chunks = 0;
+  Index max_participants = 0;  ///< workers allowed in (caller is extra)
+  Deadline deadline;
+  std::atomic<Index> next{0};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> timed_out{false};
+  // Guarded by the pool mutex.
+  Index participants = 0;
+  Index active = 0;
+  // First-thrown exception, lowest chunk index kept for stable reporting.
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  Index error_chunk = -1;
+};
+
+struct ThreadPool::State {
+  std::mutex mutex;
+  std::condition_variable work_cv;   ///< workers park here between jobs
+  std::condition_variable done_cv;   ///< caller waits for drain here
+  std::shared_ptr<Job> job;          ///< current job, null when idle
+  std::vector<std::thread> workers;
+  std::mutex submit_mutex;           ///< serializes external submitters
+  bool shutdown = false;
+};
+
+ThreadPool& ThreadPool::instance() {
+  // Function-local static: constructed on first parallel use, destroyed
+  // after main() (workers are joined in the destructor).
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::ThreadPool() : state_(new State) {}
+
+ThreadPool::~ThreadPool() {
+  State* s = state_;
+  {
+    std::lock_guard<std::mutex> lk(s->mutex);
+    s->shutdown = true;
+  }
+  s->work_cv.notify_all();
+  for (std::thread& w : s->workers) {
+    if (w.joinable()) {
+      w.join();
+    }
+  }
+  delete s;
+}
+
+Index ThreadPool::worker_count() const {
+  std::lock_guard<std::mutex> lk(state_->mutex);
+  return static_cast<Index>(state_->workers.size());
+}
+
+void ThreadPool::ensure_workers(Index n) {
+  State* s = state_;
+  std::lock_guard<std::mutex> lk(s->mutex);
+  while (static_cast<Index>(s->workers.size()) < n) {
+    s->workers.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void ThreadPool::worker_loop() {
+  t_inside_parallel = true;
+  State* s = state_;
+  std::unique_lock<std::mutex> lk(s->mutex);
+  for (;;) {
+    s->work_cv.wait(lk, [&] { return s->shutdown || s->job != nullptr; });
+    if (s->shutdown) {
+      return;
+    }
+    const std::shared_ptr<Job> job = s->job;
+    if (job->participants >= job->max_participants) {
+      // Job already has all the help it asked for; sleep until it retires.
+      s->work_cv.wait(lk, [&] { return s->shutdown || s->job != job; });
+      continue;
+    }
+    ++job->participants;
+    ++job->active;
+    lk.unlock();
+    execute(*job);
+    lk.lock();
+    --job->active;
+    if (job->active == 0) {
+      s->done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::execute(Job& job) {
+  for (;;) {
+    if (job.stop.load(std::memory_order_relaxed)) {
+      return;
+    }
+    // Deadline polled before each claim: a clean early stop never abandons
+    // a chunk mid-flight.
+    if (job.deadline.expired()) {
+      job.timed_out.store(true, std::memory_order_relaxed);
+      job.stop.store(true, std::memory_order_relaxed);
+      return;
+    }
+    const Index c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.chunks) {
+      return;
+    }
+    try {
+      job.task(job.ctx, c);
+    } catch (...) {
+      std::lock_guard<std::mutex> g(job.error_mutex);
+      if (job.error_chunk < 0 || c < job.error_chunk) {
+        job.error = std::current_exception();
+        job.error_chunk = c;
+      }
+      job.stop.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+bool ThreadPool::run(Index chunks, Index threads, const Deadline& deadline,
+                     void (*task)(void*, Index), void* ctx) {
+  PPDL_REQUIRE(task != nullptr, "parallel run: null task");
+  if (chunks <= 0) {
+    return true;
+  }
+  threads = std::max<Index>(1, std::min(threads, chunks));
+  if (threads == 1 || t_inside_parallel) {
+    // Serial inline path: the old single-threaded code, no pool machinery.
+    for (Index c = 0; c < chunks; ++c) {
+      if (deadline.expired()) {
+        return false;
+      }
+      task(ctx, c);
+    }
+    return true;
+  }
+
+  State* s = state_;
+  // One pooled job at a time; competing external callers run back to back.
+  std::lock_guard<std::mutex> submit(s->submit_mutex);
+  ensure_workers(threads - 1);
+
+  auto job = std::make_shared<Job>();
+  job->task = task;
+  job->ctx = ctx;
+  job->chunks = chunks;
+  job->max_participants = threads - 1;
+  job->deadline = deadline;
+  {
+    std::lock_guard<std::mutex> lk(s->mutex);
+    s->job = job;
+  }
+  s->work_cv.notify_all();
+
+  t_inside_parallel = true;  // nested calls from the task degrade to serial
+  execute(*job);
+  t_inside_parallel = false;
+
+  {
+    std::unique_lock<std::mutex> lk(s->mutex);
+    s->job = nullptr;
+    // Wake workers parked on the "job full" wait so they re-park for the
+    // next job, then drain the ones still executing chunks.
+    s->work_cv.notify_all();
+    s->done_cv.wait(lk, [&] { return job->active == 0; });
+  }
+
+  if (job->error) {
+    std::rethrow_exception(job->error);
+  }
+  return !job->timed_out.load();
+}
+
+}  // namespace ppdl::parallel

@@ -1,0 +1,176 @@
+// Parallel hot-path substrate: a lazily-started thread pool with
+// deterministic work decomposition.
+//
+// Determinism contract (the load-bearing design rule):
+//   * Work is split into chunks whose count and boundaries depend ONLY on
+//     the problem size and the grain — never on the thread count or on
+//     scheduling. chunk_bounds(n, grain, c) is a pure function.
+//   * Each chunk is executed by exactly one thread with the same serial
+//     inner loop the old single-threaded code ran.
+//   * Reductions produce one partial per chunk and combine the partials in
+//     chunk-index order on the calling thread.
+// Together these make every parallel result bit-identical for any thread
+// count (1, 2, 8, …) and across repeated runs — which is what lets
+// checkpoint/resume, golden datasets, and trained weights stay exactly
+// reproducible while the hot paths scale with cores.
+//
+// Thread-count resolution: explicit set_num_threads() override, else the
+// PPDL_THREADS environment variable, else (or when either says 0)
+// std::thread::hardware_concurrency(). Single-thread mode never touches the
+// pool: chunks run inline on the caller, i.e. the old serial code path.
+//
+// Deadlines: for_range() accepts a cooperative Deadline. Expiry is checked
+// before each chunk is claimed; chunks already running always finish, so
+// state is consistent on early stop (the call reports it by returning
+// false). Reductions never take a deadline — a partially reduced value
+// would be silently wrong.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/deadline.hpp"
+#include "common/types.hpp"
+
+namespace ppdl::parallel {
+
+/// Per-call overrides; the zero value means "use the configured default".
+struct ParallelOptions {
+  Index num_threads = 0;  ///< 0 = set_num_threads() / PPDL_THREADS / hardware
+  Index grain = 0;        ///< 0 = the call site's default grain
+};
+
+/// std::thread::hardware_concurrency(), floored at 1.
+Index hardware_threads();
+
+/// Process-wide override; 0 restores the PPDL_THREADS / hardware default.
+void set_num_threads(Index n);
+
+/// The resolved default thread count (override > PPDL_THREADS > hardware).
+Index default_num_threads();
+
+/// Resolves a requested count (0 → default), floored at 1.
+Index resolve_threads(Index requested);
+
+/// Number of chunks a range of `n` items splits into at the given grain.
+/// Pure in (n, grain): independent of thread count and scheduling.
+Index chunk_count(Index n, Index grain);
+
+struct ChunkRange {
+  Index begin = 0;
+  Index end = 0;
+};
+
+/// Half-open item range of chunk `c` (pure in (n, grain, c)).
+ChunkRange chunk_bounds(Index n, Index grain, Index c);
+
+/// Reusable worker pool. Workers are started lazily on first parallel use
+/// and parked on a condition variable between jobs. One job runs at a
+/// time (concurrent external callers serialize); nested parallel calls
+/// from inside a job run serially inline, so solver code can be
+/// parallelized without caring whether its caller already is.
+class ThreadPool {
+ public:
+  static ThreadPool& instance();
+
+  /// Runs task(ctx, c) for every chunk c in [0, chunks) using up to
+  /// `threads` threads (the caller participates). Returns false iff the
+  /// deadline expired before every chunk ran; started chunks always
+  /// complete. The first exception (lowest chunk index recorded) is
+  /// rethrown on the calling thread after the job drains.
+  bool run(Index chunks, Index threads, const Deadline& deadline,
+           void (*task)(void*, Index), void* ctx);
+
+  /// Workers currently started (grows lazily, never shrinks).
+  Index worker_count() const;
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  ThreadPool();
+  struct Job;
+  struct State;
+  void ensure_workers(Index n);
+  void worker_loop();
+  static void execute(Job& job);
+
+  State* state_;  // owned; raw pointer keeps State private to the .cpp
+};
+
+inline constexpr Index kDefaultGrain = 1024;
+
+/// Parallel loop: fn(begin, end) over deterministic chunks of [0, n).
+/// Returns false iff the deadline cut the loop short (remaining chunks
+/// skipped cleanly; executed chunks ran to completion).
+template <typename Fn>
+bool for_range(Index n, Index grain, Fn&& fn, const Deadline& deadline = {},
+               const ParallelOptions& opts = {}) {
+  if (n <= 0) {
+    return true;
+  }
+  const Index g = opts.grain > 0 ? opts.grain
+                                 : (grain > 0 ? grain : kDefaultGrain);
+  struct Ctx {
+    Fn* fn;
+    Index n;
+    Index grain;
+  } ctx{&fn, n, g};
+  const auto task = +[](void* p, Index c) {
+    auto* cx = static_cast<Ctx*>(p);
+    const ChunkRange r = chunk_bounds(cx->n, cx->grain, c);
+    (*cx->fn)(r.begin, r.end);
+  };
+  return ThreadPool::instance().run(chunk_count(n, g),
+                                    resolve_threads(opts.num_threads),
+                                    deadline, task, &ctx);
+}
+
+/// Deterministic reduction: map(begin, end) -> T per chunk, partials
+/// combined in chunk-index order on the calling thread. Bit-identical for
+/// any thread count. No deadline by design.
+template <typename T, typename MapFn, typename CombineFn>
+T reduce(Index n, Index grain, T init, MapFn&& map, CombineFn&& combine,
+         const ParallelOptions& opts = {}) {
+  if (n <= 0) {
+    return init;
+  }
+  const Index g = opts.grain > 0 ? opts.grain
+                                 : (grain > 0 ? grain : kDefaultGrain);
+  const Index chunks = chunk_count(n, g);
+  if (chunks == 1) {
+    // One chunk: exactly the old serial loop, partial-combine elided.
+    return combine(std::move(init), map(Index{0}, n));
+  }
+  std::vector<T> partials(static_cast<std::size_t>(chunks));
+  struct Ctx {
+    MapFn* map;
+    std::vector<T>* partials;
+    Index n;
+    Index grain;
+  } ctx{&map, &partials, n, g};
+  const auto task = +[](void* p, Index c) {
+    auto* cx = static_cast<Ctx*>(p);
+    const ChunkRange r = chunk_bounds(cx->n, cx->grain, c);
+    (*cx->partials)[static_cast<std::size_t>(c)] = (*cx->map)(r.begin, r.end);
+  };
+  ThreadPool::instance().run(chunks, resolve_threads(opts.num_threads),
+                             Deadline::unlimited(), task, &ctx);
+  T acc = std::move(init);
+  for (T& partial : partials) {
+    acc = combine(std::move(acc), std::move(partial));
+  }
+  return acc;
+}
+
+/// Deterministic chunked sum of map(begin, end) partials.
+template <typename MapFn>
+Real reduce_sum(Index n, Index grain, MapFn&& map,
+                const ParallelOptions& opts = {}) {
+  return reduce<Real>(
+      n, grain, 0.0, std::forward<MapFn>(map),
+      [](Real a, Real b) { return a + b; }, opts);
+}
+
+}  // namespace ppdl::parallel

@@ -5,6 +5,17 @@
 
 namespace ppdl {
 
+Rng Rng::stream(U64 seed, U64 index) {
+  // Mix the stream index into the seed through the SplitMix64 finalizer
+  // twice; one burn-in draw separates neighbouring indices further.
+  U64 z = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  Rng child(z ^ (z >> 31));
+  (void)child.next_u64();
+  return child;
+}
+
 Index Rng::uniform_int(Index lo, Index hi) {
   PPDL_REQUIRE(lo <= hi, "uniform_int: empty range");
   const U64 span = static_cast<U64>(hi - lo) + 1;

@@ -53,7 +53,16 @@ class Rng {
   void shuffle(std::vector<Index>& v);
 
   /// Derive an independent child stream (for parallel-safe sub-seeding).
+  /// NOTE: advances this generator's state, so the child depends on how
+  /// many draws preceded the fork. For parallel workers use stream().
   Rng fork() { return Rng(next_u64() ^ 0xa5a5a5a5a5a5a5a5ULL); }
+
+  /// Independent child stream keyed by (seed, stream index) alone — no
+  /// draw-order dependence, so parallel workers can each take
+  /// stream(seed, worker) and produce the same values regardless of
+  /// thread count or scheduling. Distinct indices give decorrelated
+  /// streams (two rounds of the SplitMix64 finalizer between them).
+  static Rng stream(U64 seed, U64 index);
 
  private:
   U64 state_;

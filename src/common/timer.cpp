@@ -3,6 +3,7 @@
 namespace ppdl {
 
 void PhaseTimer::add(const std::string& phase, Real seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = totals_.try_emplace(phase, 0.0);
   if (inserted) {
     order_.push_back(phase);
@@ -11,11 +12,13 @@ void PhaseTimer::add(const std::string& phase, Real seconds) {
 }
 
 Real PhaseTimer::total(const std::string& phase) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = totals_.find(phase);
   return it == totals_.end() ? 0.0 : it->second;
 }
 
 Real PhaseTimer::grand_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   Real sum = 0.0;
   for (const auto& [name, secs] : totals_) {
     sum += secs;

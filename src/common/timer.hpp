@@ -3,6 +3,7 @@
 #pragma once
 
 #include <chrono>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -34,6 +35,10 @@ class Timer {
 
 /// Accumulates named phase timings, e.g. {"assemble", "solve", "widen"}.
 /// Used to report where conventional-planner time goes.
+///
+/// add()/total()/grand_total() are synchronized so parallel workers can
+/// report into one sink; phases() returns a reference and is only safe
+/// once concurrent add() calls have finished (after-the-fact reporting).
 class PhaseTimer {
  public:
   /// Add `seconds` to the named phase (creates it on first use).
@@ -49,6 +54,7 @@ class PhaseTimer {
   const std::vector<std::string>& phases() const { return order_; }
 
  private:
+  mutable std::mutex mutex_;
   std::unordered_map<std::string, Real> totals_;
   std::vector<std::string> order_;
 };

@@ -1,0 +1,66 @@
+#include "core/golden.hpp"
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/flow.hpp"
+
+namespace ppdl::core {
+
+GoldenSuite generate_golden_datasets(const std::vector<std::string>& names,
+                                     const GoldenDesignOptions& options) {
+  const Timer suite_timer;
+  GoldenSuite suite;
+  suite.designs.resize(names.size());
+
+  const auto n = static_cast<Index>(names.size());
+  // Grain 1: one benchmark per chunk. Each chunk owns its grid, planner
+  // state, and solver scratch; the only shared state is the read-only
+  // options and the per-benchmark output slot. The deadline is polled by
+  // the parallel runtime before each chunk starts — designs already
+  // running finish (their planners watch the same deadline), unstarted
+  // ones stay `completed = false`.
+  const bool ran_all = parallel::for_range(
+      n, 1,
+      [&](Index cb, Index ce) {
+        for (Index i = cb; i < ce; ++i) {
+          GoldenDesign& out = suite.designs[static_cast<std::size_t>(i)];
+          out.name = names[static_cast<std::size_t>(i)];
+          const Timer timer;
+
+          BenchmarkOptions bench_opts = options.benchmark;
+          bench_opts.seed =
+              Rng::stream(options.seed_base, static_cast<U64>(i)).next_u64();
+          const grid::GeneratedBenchmark bench =
+              make_benchmark(out.name, bench_opts);
+
+          planner::PlannerOptions planner_opts = planner_options_for(
+              bench.spec, options.planner_max_iterations);
+          planner_opts.deadline = options.deadline;
+
+          grid::PowerGrid pg = bench.grid;
+          out.planner = planner::run_conventional_planner(pg, planner_opts);
+          out.converged = out.planner.converged &&
+                          !out.planner.solver_failed &&
+                          !out.planner.timed_out;
+
+          const FeatureExtractor extractor(options.feature_window_pitches);
+          out.datasets =
+              build_layer_datasets(pg, options.features, extractor);
+          out.completed = true;
+          out.seconds = timer.seconds();
+        }
+      },
+      options.deadline);
+
+  suite.timed_out = !ran_all;
+  for (const GoldenDesign& d : suite.designs) {
+    if (!d.completed || d.planner.timed_out) {
+      suite.timed_out = true;
+    }
+  }
+  suite.total_seconds = suite_timer.seconds();
+  return suite;
+}
+
+}  // namespace ppdl::core

@@ -1,0 +1,57 @@
+// Parallel golden-design dataset generation.
+//
+// The offline phase of the paper's flow needs one golden design (planner-
+// converged widths) per benchmark; benchmarks are independent, so they run
+// concurrently. Every worker owns its benchmark's grid, planner state, and
+// solver scratch — nothing is shared — and results land in per-benchmark
+// slots, so the output is bit-identical for any PPDL_THREADS setting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/deadline.hpp"
+#include "core/benchmarks.hpp"
+#include "core/dataset.hpp"
+#include "core/features.hpp"
+#include "planner/conventional_planner.hpp"
+
+namespace ppdl::core {
+
+struct GoldenDesignOptions {
+  BenchmarkOptions benchmark;
+  FeatureSet features = FeatureSet::combined();
+  Real feature_window_pitches = 1.0;
+  Index planner_max_iterations = 40;
+  /// Per-benchmark seed stream base: benchmark i uses
+  /// Rng::stream(seed_base, i)'s first draw as its generator seed, so the
+  /// suite's designs are independent yet reproducible.
+  U64 seed_base = 42;
+  /// Whole-suite wall-clock budget, polled before each benchmark starts
+  /// and threaded into every planner run. Benchmarks already started
+  /// finish; unstarted ones are skipped with `completed = false`.
+  Deadline deadline;
+};
+
+/// One benchmark's golden design and the datasets extracted from it.
+struct GoldenDesign {
+  std::string name;
+  bool completed = false;   ///< planner ran (deadline did not skip it)
+  bool converged = false;   ///< planner met margins and every solve converged
+  planner::PlannerResult planner;
+  std::vector<Dataset> datasets;  ///< per layer, from the converged widths
+  Real seconds = 0.0;             ///< wall time of this benchmark's pipeline
+};
+
+struct GoldenSuite {
+  std::vector<GoldenDesign> designs;  ///< one per requested name, in order
+  bool timed_out = false;             ///< some designs were skipped
+  Real total_seconds = 0.0;
+};
+
+/// Generates, plans, and extracts datasets for every named benchmark,
+/// concurrently (grain 1 — one benchmark per chunk).
+GoldenSuite generate_golden_datasets(const std::vector<std::string>& names,
+                                     const GoldenDesignOptions& options = {});
+
+}  // namespace ppdl::core

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <sstream>
 
 #include "common/artifact_io.hpp"
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "nn/model_io.hpp"
 
@@ -27,48 +29,67 @@ TrainReport PowerPlanningDL::fit(const grid::PowerGrid& golden) {
       build_layer_datasets(golden, config_.features, extractor_);
   PPDL_REQUIRE(!datasets.empty(), "golden grid has no wires to learn from");
 
-  Rng rng(config_.init_seed);
-  for (const Dataset& all_rows : datasets) {
-    // Deterministic subsample when the layer population exceeds the cap.
-    Dataset sampled;
-    const Dataset* d = &all_rows;
-    if (config_.max_training_rows > 0 &&
-        all_rows.x.rows() > config_.max_training_rows) {
-      std::vector<Index> order(static_cast<std::size_t>(all_rows.x.rows()));
-      for (Index i = 0; i < all_rows.x.rows(); ++i) {
-        order[static_cast<std::size_t>(i)] = i;
+  // Layer sub-models are independent, so they train concurrently. Each
+  // sub-model draws its initial weights from its own counter-based RNG
+  // stream keyed by the dataset index — a pure function of (seed, index),
+  // so the fitted weights are bit-identical for any thread count. Results
+  // land in per-layer slots and are merged in dataset order.
+  const auto n_layers = static_cast<Index>(datasets.size());
+  std::vector<LayerFit> fits(static_cast<std::size_t>(n_layers));
+  std::vector<std::unique_ptr<LayerModel>> trained(
+      static_cast<std::size_t>(n_layers));
+  parallel::for_range(n_layers, 1, [&](Index lb, Index le) {
+    for (Index li = lb; li < le; ++li) {
+      const Dataset& all_rows = datasets[static_cast<std::size_t>(li)];
+      // Deterministic subsample when the layer population exceeds the cap.
+      Dataset sampled;
+      const Dataset* d = &all_rows;
+      if (config_.max_training_rows > 0 &&
+          all_rows.x.rows() > config_.max_training_rows) {
+        std::vector<Index> order(static_cast<std::size_t>(all_rows.x.rows()));
+        for (Index i = 0; i < all_rows.x.rows(); ++i) {
+          order[static_cast<std::size_t>(i)] = i;
+        }
+        Rng sample_rng(config_.init_seed ^ 0x5eedULL);
+        sample_rng.shuffle(order);
+        order.resize(static_cast<std::size_t>(config_.max_training_rows));
+        sampled = take_rows(all_rows, order);
+        d = &sampled;
       }
-      Rng sample_rng(config_.init_seed ^ 0x5eedULL);
-      sample_rng.shuffle(order);
-      order.resize(static_cast<std::size_t>(config_.max_training_rows));
-      sampled = take_rows(all_rows, order);
-      d = &sampled;
-    }
 
-    nn::MlpConfig arch = nn::MlpConfig::paper_default(
-        config_.features.count(), 1, config_.hidden_layers,
-        config_.hidden_units);
-    LayerModel lm{nn::Mlp(arch, rng), {}, {}};
+      nn::MlpConfig arch = nn::MlpConfig::paper_default(
+          config_.features.count(), 1, config_.hidden_layers,
+          config_.hidden_units);
+      Rng init_rng =
+          Rng::stream(config_.init_seed, static_cast<U64>(li));
+      auto lm = std::make_unique<LayerModel>(
+          LayerModel{nn::Mlp(arch, init_rng), {}, {}});
 
-    nn::Matrix targets = d->y;
-    if (config_.log_target) {
-      for (Real& v : targets.data()) {
-        PPDL_REQUIRE(v > 0.0, "log-target training requires positive widths");
-        v = std::log(v);
+      nn::Matrix targets = d->y;
+      if (config_.log_target) {
+        for (Real& v : targets.data()) {
+          PPDL_REQUIRE(v > 0.0,
+                       "log-target training requires positive widths");
+          v = std::log(v);
+        }
       }
+      lm->x_scaler.fit(d->x);
+      lm->y_scaler.fit(targets);
+      const nn::Matrix xs = lm->x_scaler.transform(d->x);
+      const nn::Matrix ys = lm->y_scaler.transform(targets);
+
+      LayerFit fit;
+      fit.layer = d->layer;
+      fit.rows = d->x.rows();
+      fit.history = nn::train(lm->mlp, xs, ys, config_.train);
+      fits[static_cast<std::size_t>(li)] = std::move(fit);
+      trained[static_cast<std::size_t>(li)] = std::move(lm);
     }
-    lm.x_scaler.fit(d->x);
-    lm.y_scaler.fit(targets);
-    const nn::Matrix xs = lm.x_scaler.transform(d->x);
-    const nn::Matrix ys = lm.y_scaler.transform(targets);
-
-    LayerFit fit;
-    fit.layer = d->layer;
-    fit.rows = d->x.rows();
-    fit.history = nn::train(lm.mlp, xs, ys, config_.train);
-    report.layers.push_back(std::move(fit));
-
-    models_.emplace(d->layer, std::move(lm));
+  });
+  for (Index li = 0; li < n_layers; ++li) {
+    const Index layer = fits[static_cast<std::size_t>(li)].layer;
+    report.layers.push_back(std::move(fits[static_cast<std::size_t>(li)]));
+    models_.emplace(layer, std::move(*trained[static_cast<std::size_t>(li)]));
   }
   report.train_seconds = timer.seconds();
   return report;

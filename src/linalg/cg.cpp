@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace ppdl::linalg {
@@ -71,11 +72,19 @@ CgResult conjugate_gradient(const CsrMatrix& a, std::span<const Real> b,
 
   const auto precond = make_preconditioner(options.preconditioner, a);
 
+  // Element-wise kernels below split into fixed chunks (independent of
+  // thread count), so every iterate is bit-identical however many threads
+  // run them.
+  constexpr Index kVecGrain = 8192;
+
   std::vector<Real> r(static_cast<std::size_t>(n));
   a.multiply(result.x, r);
-  for (std::size_t i = 0; i < r.size(); ++i) {
-    r[i] = b[i] - r[i];
-  }
+  parallel::for_range(n, kVecGrain, [&](Index begin, Index end) {
+    for (Index i = begin; i < end; ++i) {
+      const auto iu = static_cast<std::size_t>(i);
+      r[iu] = b[iu] - r[iu];
+    }
+  });
 
   std::vector<Real> z(static_cast<std::size_t>(n));
   precond->apply(r, z);
@@ -147,9 +156,12 @@ CgResult conjugate_gradient(const CsrMatrix& a, std::span<const Real> b,
     const Real rz_next = dot(r, z);
     const Real beta = rz_next / rz;
     rz = rz_next;
-    for (std::size_t i = 0; i < p.size(); ++i) {
-      p[i] = z[i] + beta * p[i];
-    }
+    parallel::for_range(n, kVecGrain, [&](Index begin, Index end) {
+      for (Index i = begin; i < end; ++i) {
+        const auto iu = static_cast<std::size_t>(i);
+        p[iu] = z[iu] + beta * p[iu];
+      }
+    });
   }
   result.status = CgStatus::kMaxIterations;
   return result;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace ppdl::linalg {
 
@@ -64,16 +65,21 @@ CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo) {
 void CsrMatrix::multiply(std::span<const Real> x, std::span<Real> y) const {
   PPDL_REQUIRE(static_cast<Index>(x.size()) == cols_, "SpMV: x size mismatch");
   PPDL_REQUIRE(static_cast<Index>(y.size()) == rows_, "SpMV: y size mismatch");
-  for (Index r = 0; r < rows_; ++r) {
-    Real acc = 0.0;
-    const Index begin = row_ptr_[static_cast<std::size_t>(r)];
-    const Index end = row_ptr_[static_cast<std::size_t>(r) + 1];
-    for (Index k = begin; k < end; ++k) {
-      const auto ku = static_cast<std::size_t>(k);
-      acc += values_[ku] * x[static_cast<std::size_t>(col_idx_[ku])];
+  // Row-parallel: each output entry is one row's serial accumulation, so
+  // the result is bit-identical at any thread count.
+  constexpr Index kRowGrain = 512;
+  parallel::for_range(rows_, kRowGrain, [&](Index row_begin, Index row_end) {
+    for (Index r = row_begin; r < row_end; ++r) {
+      Real acc = 0.0;
+      const Index begin = row_ptr_[static_cast<std::size_t>(r)];
+      const Index end = row_ptr_[static_cast<std::size_t>(r) + 1];
+      for (Index k = begin; k < end; ++k) {
+        const auto ku = static_cast<std::size_t>(k);
+        acc += values_[ku] * x[static_cast<std::size_t>(col_idx_[ku])];
+      }
+      y[static_cast<std::size_t>(r)] = acc;
     }
-    y[static_cast<std::size_t>(r)] = acc;
-  }
+  });
 }
 
 std::vector<Real> CsrMatrix::multiply(std::span<const Real> x) const {

@@ -1,8 +1,10 @@
 #include "linalg/dense.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace ppdl::linalg {
 
@@ -45,20 +47,38 @@ std::span<const Real> DenseMatrix::row(Index r) const {
           static_cast<std::size_t>(cols_)};
 }
 
+namespace {
+
+/// Row grain sized so a chunk carries ~64k multiply-adds: small matrices
+/// stay on the serial inline path, large batches split. Pure in the
+/// shapes, so the decomposition (and the result bits) never depend on the
+/// thread count.
+Index row_grain_for(Index flops_per_row) {
+  constexpr Index kTargetFlopsPerChunk = 65536;
+  return std::max<Index>(1, kTargetFlopsPerChunk / std::max<Index>(1, flops_per_row));
+}
+
+}  // namespace
+
 DenseMatrix DenseMatrix::multiply(const DenseMatrix& other) const {
   PPDL_REQUIRE(cols_ == other.rows_, "matmul: inner dimension mismatch");
   DenseMatrix out(rows_, other.cols_);
-  for (Index i = 0; i < rows_; ++i) {
-    for (Index k = 0; k < cols_; ++k) {
-      const Real aik = (*this)(i, k);
-      if (aik == 0.0) {
-        continue;
-      }
-      for (Index j = 0; j < other.cols_; ++j) {
-        out(i, j) += aik * other(k, j);
-      }
-    }
-  }
+  // Row-parallel: every output row is one chunk-owned serial accumulation.
+  parallel::for_range(
+      rows_, row_grain_for(cols_ * other.cols_),
+      [&](Index row_begin, Index row_end) {
+        for (Index i = row_begin; i < row_end; ++i) {
+          for (Index k = 0; k < cols_; ++k) {
+            const Real aik = (*this)(i, k);
+            if (aik == 0.0) {
+              continue;
+            }
+            for (Index j = 0; j < other.cols_; ++j) {
+              out(i, j) += aik * other(k, j);
+            }
+          }
+        }
+      });
   return out;
 }
 
@@ -66,13 +86,16 @@ std::vector<Real> DenseMatrix::multiply(std::span<const Real> x) const {
   PPDL_REQUIRE(static_cast<Index>(x.size()) == cols_,
                "matvec: size mismatch");
   std::vector<Real> y(static_cast<std::size_t>(rows_), 0.0);
-  for (Index i = 0; i < rows_; ++i) {
-    Real acc = 0.0;
-    for (Index j = 0; j < cols_; ++j) {
-      acc += (*this)(i, j) * x[static_cast<std::size_t>(j)];
-    }
-    y[static_cast<std::size_t>(i)] = acc;
-  }
+  parallel::for_range(
+      rows_, row_grain_for(cols_), [&](Index row_begin, Index row_end) {
+        for (Index i = row_begin; i < row_end; ++i) {
+          Real acc = 0.0;
+          for (Index j = 0; j < cols_; ++j) {
+            acc += (*this)(i, j) * x[static_cast<std::size_t>(j)];
+          }
+          y[static_cast<std::size_t>(i)] = acc;
+        }
+      });
   return y;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace ppdl::linalg {
 
@@ -26,9 +27,13 @@ void JacobiPreconditioner::apply(std::span<const Real> r,
                                  std::span<Real> out) const {
   PPDL_REQUIRE(r.size() == out.size() && r.size() == inv_diag_.size(),
                "Jacobi apply: size mismatch");
-  for (std::size_t i = 0; i < r.size(); ++i) {
-    out[i] = r[i] * inv_diag_[i];
-  }
+  parallel::for_range(static_cast<Index>(r.size()), Index{8192},
+                      [&](Index begin, Index end) {
+                        for (Index i = begin; i < end; ++i) {
+                          const auto iu = static_cast<std::size_t>(i);
+                          out[iu] = r[iu] * inv_diag_[iu];
+                        }
+                      });
 }
 
 Ic0Preconditioner::Ic0Preconditioner(const CsrMatrix& a) {
@@ -135,6 +140,10 @@ Ic0Preconditioner::Ic0Preconditioner(const CsrMatrix& a) {
   PPDL_ENSURE(false, "IC0 factorization failed even with diagonal shifting");
 }
 
+// IC0 apply stays serial: the two triangular solves carry a row-to-row
+// dependency chain (x[i] needs every earlier/later x), so row-parallelism
+// would need level scheduling — not worth it while SpMV and the vector
+// kernels dominate the solve profile.
 void Ic0Preconditioner::apply(std::span<const Real> r,
                               std::span<Real> out) const {
   PPDL_REQUIRE(static_cast<Index>(r.size()) == n_ &&

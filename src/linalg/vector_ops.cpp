@@ -1,49 +1,84 @@
 #include "linalg/vector_ops.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace ppdl::linalg {
 
+namespace {
+
+// Deterministic-chunking grains. The reduction grain doubles as the
+// association boundary of the chunked sum, so it is part of the numeric
+// contract: vectors at or below one grain take exactly the historical
+// serial path, longer ones use fixed chunk partials combined in index
+// order (bit-identical for any thread count).
+constexpr Index kReduceGrain = 4096;
+constexpr Index kMapGrain = 16384;
+
+}  // namespace
+
 Real dot(std::span<const Real> x, std::span<const Real> y) {
   PPDL_REQUIRE(x.size() == y.size(), "dot: size mismatch");
-  Real acc = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    acc += x[i] * y[i];
-  }
-  return acc;
+  const Index n = static_cast<Index>(x.size());
+  return parallel::reduce_sum(n, kReduceGrain, [&](Index begin, Index end) {
+    Real acc = 0.0;
+    for (Index i = begin; i < end; ++i) {
+      const auto iu = static_cast<std::size_t>(i);
+      acc += x[iu] * y[iu];
+    }
+    return acc;
+  });
 }
 
 Real norm2(std::span<const Real> x) { return std::sqrt(dot(x, x)); }
 
 Real norm_inf(std::span<const Real> x) {
-  Real m = 0.0;
-  for (const Real v : x) {
-    m = std::max(m, std::abs(v));
-  }
-  return m;
+  const Index n = static_cast<Index>(x.size());
+  return parallel::reduce<Real>(
+      n, kReduceGrain, 0.0,
+      [&](Index begin, Index end) {
+        Real m = 0.0;
+        for (Index i = begin; i < end; ++i) {
+          m = std::max(m, std::abs(x[static_cast<std::size_t>(i)]));
+        }
+        return m;
+      },
+      [](Real a, Real b) { return std::max(a, b); });
 }
 
 void axpy(Real alpha, std::span<const Real> x, std::span<Real> y) {
   PPDL_REQUIRE(x.size() == y.size(), "axpy: size mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    y[i] += alpha * x[i];
-  }
+  parallel::for_range(static_cast<Index>(x.size()), kMapGrain,
+                      [&](Index begin, Index end) {
+                        for (Index i = begin; i < end; ++i) {
+                          const auto iu = static_cast<std::size_t>(i);
+                          y[iu] += alpha * x[iu];
+                        }
+                      });
 }
 
 void scale(Real alpha, std::span<Real> x) {
-  for (Real& v : x) {
-    v *= alpha;
-  }
+  parallel::for_range(static_cast<Index>(x.size()), kMapGrain,
+                      [&](Index begin, Index end) {
+                        for (Index i = begin; i < end; ++i) {
+                          x[static_cast<std::size_t>(i)] *= alpha;
+                        }
+                      });
 }
 
 std::vector<Real> subtract(std::span<const Real> x, std::span<const Real> y) {
   PPDL_REQUIRE(x.size() == y.size(), "subtract: size mismatch");
   std::vector<Real> out(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    out[i] = x[i] - y[i];
-  }
+  parallel::for_range(static_cast<Index>(x.size()), kMapGrain,
+                      [&](Index begin, Index end) {
+                        for (Index i = begin; i < end; ++i) {
+                          const auto iu = static_cast<std::size_t>(i);
+                          out[iu] = x[iu] - y[iu];
+                        }
+                      });
   return out;
 }
 
@@ -51,9 +86,13 @@ void hadamard(std::span<const Real> x, std::span<const Real> y,
               std::span<Real> out) {
   PPDL_REQUIRE(x.size() == y.size() && x.size() == out.size(),
                "hadamard: size mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    out[i] = x[i] * y[i];
-  }
+  parallel::for_range(static_cast<Index>(x.size()), kMapGrain,
+                      [&](Index begin, Index end) {
+                        for (Index i = begin; i < end; ++i) {
+                          const auto iu = static_cast<std::size_t>(i);
+                          out[iu] = x[iu] * y[iu];
+                        }
+                      });
 }
 
 }  // namespace ppdl::linalg

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.hpp"
 
@@ -23,7 +24,7 @@ DenseLayer::DenseLayer(Index in_features, Index out_features,
   }
 }
 
-Matrix DenseLayer::forward(const Matrix& x, bool train) {
+Matrix DenseLayer::forward_into(const Matrix& x, Matrix& preact) const {
   PPDL_REQUIRE(x.cols() == weights_.rows(), "layer forward: shape mismatch");
   Matrix z = x.multiply(weights_);
   for (Index r = 0; r < z.rows(); ++r) {
@@ -31,13 +32,20 @@ Matrix DenseLayer::forward(const Matrix& x, bool train) {
       z(r, c) += bias_(0, c);
     }
   }
-  if (train) {
-    cached_input_ = x;
-    cached_preact_ = z;
-    has_cache_ = true;
-  }
+  preact = z;
   apply_activation(z, activation_);
   return z;
+}
+
+Matrix DenseLayer::forward(const Matrix& x, bool train) {
+  Matrix z;
+  Matrix a = forward_into(x, z);
+  if (train) {
+    cached_input_ = x;
+    cached_preact_ = std::move(z);
+    has_cache_ = true;
+  }
+  return a;
 }
 
 Matrix DenseLayer::apply(const Matrix& x) const {
@@ -52,14 +60,19 @@ Matrix DenseLayer::apply(const Matrix& x) const {
   return z;
 }
 
-Matrix DenseLayer::backward(const Matrix& grad_out) {
-  PPDL_REQUIRE(has_cache_, "backward without cached forward pass");
-  PPDL_REQUIRE(grad_out.rows() == cached_preact_.rows() &&
-                   grad_out.cols() == cached_preact_.cols(),
+Matrix DenseLayer::backward_into(const Matrix& grad_out, const Matrix& x,
+                                 const Matrix& preact, Matrix& grad_w,
+                                 Matrix& grad_b) const {
+  PPDL_REQUIRE(grad_out.rows() == preact.rows() &&
+                   grad_out.cols() == preact.cols(),
                "layer backward: shape mismatch");
+  PPDL_REQUIRE(grad_w.rows() == weights_.rows() &&
+                   grad_w.cols() == weights_.cols() &&
+                   grad_b.cols() == bias_.cols(),
+               "layer backward: gradient buffer shape mismatch");
 
   // δ = grad_out ⊙ σ'(z)
-  Matrix delta = activation_gradient(cached_preact_, activation_);
+  Matrix delta = activation_gradient(preact, activation_);
   {
     auto d = delta.data();
     const auto g = grad_out.data();
@@ -68,29 +81,36 @@ Matrix DenseLayer::backward(const Matrix& grad_out) {
     }
   }
 
-  // dW = xᵀ δ ; db = column sums of δ ; dx = δ Wᵀ.
-  // Gradients are written in place: optimizer ParamSlot spans captured once
-  // must stay valid across training steps.
-  std::fill(grad_weights_.data().begin(), grad_weights_.data().end(), 0.0);
-  for (Index r = 0; r < cached_input_.rows(); ++r) {
-    for (Index i = 0; i < grad_weights_.rows(); ++i) {
-      const Real xi = cached_input_(r, i);
+  // dW += xᵀ δ ; db += column sums of δ ; dx = δ Wᵀ.
+  for (Index r = 0; r < x.rows(); ++r) {
+    for (Index i = 0; i < grad_w.rows(); ++i) {
+      const Real xi = x(r, i);
       if (xi == 0.0) {
         continue;
       }
-      for (Index j = 0; j < grad_weights_.cols(); ++j) {
-        grad_weights_(i, j) += xi * delta(r, j);
+      for (Index j = 0; j < grad_w.cols(); ++j) {
+        grad_w(i, j) += xi * delta(r, j);
       }
     }
   }
-  for (Index c = 0; c < grad_bias_.cols(); ++c) {
+  for (Index c = 0; c < grad_b.cols(); ++c) {
     Real acc = 0.0;
     for (Index r = 0; r < delta.rows(); ++r) {
       acc += delta(r, c);
     }
-    grad_bias_(0, c) = acc;
+    grad_b(0, c) += acc;
   }
-  Matrix grad_in = delta.multiply(weights_.transposed());
+  return delta.multiply(weights_.transposed());
+}
+
+Matrix DenseLayer::backward(const Matrix& grad_out) {
+  PPDL_REQUIRE(has_cache_, "backward without cached forward pass");
+  // Gradients are written in place: optimizer ParamSlot spans captured once
+  // must stay valid across training steps.
+  std::fill(grad_weights_.data().begin(), grad_weights_.data().end(), 0.0);
+  std::fill(grad_bias_.data().begin(), grad_bias_.data().end(), 0.0);
+  Matrix grad_in = backward_into(grad_out, cached_input_, cached_preact_,
+                                 grad_weights_, grad_bias_);
   has_cache_ = false;
   return grad_in;
 }

@@ -28,6 +28,22 @@ class DenseLayer {
   /// returns dL/dx. Must follow a forward(…, /*train=*/true).
   Matrix backward(const Matrix& grad_out);
 
+  // Stateless counterparts for data-parallel training: no member caches or
+  // gradient buffers are touched, so several sub-batches can flow through
+  // the same (read-only) weights concurrently.
+
+  /// Forward returning the activation and writing pre-activations into
+  /// `preact`. Const — safe to call concurrently.
+  Matrix forward_into(const Matrix& x, Matrix& preact) const;
+
+  /// Backward for a sub-batch: given dL/dy plus the (x, preact) pair the
+  /// matching forward_into() saw, accumulates (+=) dW/db into the caller's
+  /// buffers and returns dL/dx. Const — safe to call concurrently with
+  /// distinct buffers.
+  Matrix backward_into(const Matrix& grad_out, const Matrix& x,
+                       const Matrix& preact, Matrix& grad_w,
+                       Matrix& grad_b) const;
+
   // Parameter and gradient access for optimizers and serialization.
   Matrix& weights() { return weights_; }
   const Matrix& weights() const { return weights_; }

@@ -1,6 +1,8 @@
 #include "nn/mlp.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.hpp"
 
@@ -59,6 +61,86 @@ void Mlp::backward(const Matrix& grad_output) {
   Matrix grad = grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
     grad = it->backward(grad);
+  }
+}
+
+void Mlp::GradientBuffers::clear() {
+  loss_sum = 0.0;
+  for (Matrix& g : weight_grads) {
+    std::fill(g.data().begin(), g.data().end(), 0.0);
+  }
+  for (Matrix& g : bias_grads) {
+    std::fill(g.data().begin(), g.data().end(), 0.0);
+  }
+}
+
+Mlp::GradientBuffers Mlp::make_gradient_buffers() const {
+  GradientBuffers buffers;
+  buffers.weight_grads.reserve(layers_.size());
+  buffers.bias_grads.reserve(layers_.size());
+  for (const DenseLayer& layer : layers_) {
+    buffers.weight_grads.emplace_back(layer.weights().rows(),
+                                      layer.weights().cols());
+    buffers.bias_grads.emplace_back(1, layer.bias().cols());
+  }
+  return buffers;
+}
+
+void Mlp::accumulate_gradients(const Matrix& x, const Matrix& y, Loss loss,
+                               Real delta_scale, GradientBuffers& out) const {
+  PPDL_REQUIRE(x.cols() == config_.inputs,
+               "accumulate_gradients: input size mismatch");
+  PPDL_REQUIRE(out.weight_grads.size() == layers_.size() &&
+                   out.bias_grads.size() == layers_.size(),
+               "accumulate_gradients: buffer layer count mismatch");
+  const std::size_t n_layers = layers_.size();
+  std::vector<Matrix> inputs;
+  inputs.reserve(n_layers);
+  std::vector<Matrix> preacts(n_layers);
+  Matrix a = x;
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    Matrix next = layers_[l].forward_into(a, preacts[l]);
+    inputs.push_back(std::move(a));
+    a = std::move(next);
+  }
+  out.loss_sum += loss_value(a, y, loss) *
+                  static_cast<Real>(a.rows() * a.cols());
+  Matrix delta = loss_gradient(a, y, loss);
+  if (delta_scale != 1.0) {
+    for (Real& d : delta.data()) {
+      d *= delta_scale;
+    }
+  }
+  for (std::size_t l = n_layers; l-- > 0;) {
+    delta = layers_[l].backward_into(delta, inputs[l], preacts[l],
+                                     out.weight_grads[l], out.bias_grads[l]);
+  }
+}
+
+void Mlp::add_gradients(const GradientBuffers& from) {
+  PPDL_REQUIRE(from.weight_grads.size() == layers_.size() &&
+                   from.bias_grads.size() == layers_.size(),
+               "add_gradients: buffer layer count mismatch");
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    auto wg = layers_[l].weight_grad().data();
+    const auto fw = from.weight_grads[l].data();
+    for (std::size_t i = 0; i < wg.size(); ++i) {
+      wg[i] += fw[i];
+    }
+    auto bg = layers_[l].bias_grad().data();
+    const auto fb = from.bias_grads[l].data();
+    for (std::size_t i = 0; i < bg.size(); ++i) {
+      bg[i] += fb[i];
+    }
+  }
+}
+
+void Mlp::zero_gradients() {
+  for (DenseLayer& layer : layers_) {
+    auto wg = layer.weight_grad().data();
+    std::fill(wg.begin(), wg.end(), 0.0);
+    auto bg = layer.bias_grad().data();
+    std::fill(bg.begin(), bg.end(), 0.0);
   }
 }
 

@@ -44,6 +44,37 @@ class Mlp {
   /// Backpropagate dL/dŷ through the net, filling every layer's gradients.
   void backward(const Matrix& grad_output);
 
+  /// Per-worker gradient buffers for data-parallel training: one (dW, db)
+  /// pair per layer, zero-initialized to this model's shapes.
+  struct GradientBuffers {
+    std::vector<Matrix> weight_grads;
+    std::vector<Matrix> bias_grads;
+    /// Σ of per-element loss terms over the rows seen (un-normalized, so
+    /// sub-batch sums combine exactly).
+    Real loss_sum = 0.0;
+
+    /// Re-zeroes the buffers for the next batch (shapes kept).
+    void clear();
+  };
+  GradientBuffers make_gradient_buffers() const;
+
+  /// Forward + backward over the sub-batch (x, y) without touching any
+  /// member cache or gradient state — const, so several sub-batches can
+  /// run concurrently against the same weights. Accumulates (+=) into
+  /// `out`. `delta_scale` rescales the loss gradient (loss_gradient()
+  /// normalizes by the sub-batch element count; pass sub_elems/batch_elems
+  /// to recover gradients of the whole-batch mean).
+  void accumulate_gradients(const Matrix& x, const Matrix& y, Loss loss,
+                            Real delta_scale, GradientBuffers& out) const;
+
+  /// Adds `from`'s buffers into this model's gradient slots (+=). Called
+  /// once per chunk in chunk-index order — the deterministic reduction
+  /// that makes trained weights independent of the thread count.
+  void add_gradients(const GradientBuffers& from);
+
+  /// Zeroes every layer's gradient slots (before a chunked accumulation).
+  void zero_gradients();
+
   /// Parameter/gradient views for the optimizer (order stable across calls).
   std::vector<ParamSlot> parameter_slots();
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace ppdl::nn {
 
@@ -99,6 +100,22 @@ TrainHistory train(Mlp& model, const Matrix& x, const Matrix& y,
     batch_order[static_cast<std::size_t>(i)] = i;
   }
 
+  // Data-parallel minibatches: each batch splits into fixed row chunks
+  // (grain below — never the thread count), every chunk accumulates into
+  // its own gradient buffer, and the buffers are reduced into the model's
+  // gradient slots in chunk-index order before the optimizer step. That
+  // fixed decomposition + ordered combine is what keeps trained weights
+  // bit-identical across PPDL_THREADS settings.
+  constexpr Index kGradRowGrain = 16;
+  const Index max_batch_rows = std::min(options.batch_size, train_rows);
+  const Index max_chunks = parallel::chunk_count(max_batch_rows,
+                                                 kGradRowGrain);
+  std::vector<Mlp::GradientBuffers> chunk_grads;
+  chunk_grads.reserve(static_cast<std::size_t>(max_chunks));
+  for (Index c = 0; c < max_chunks; ++c) {
+    chunk_grads.push_back(model.make_gradient_buffers());
+  }
+
   for (Index epoch = 1; epoch <= options.epochs; ++epoch) {
     if (options.deadline.expired()) {
       // Graceful degradation: keep the best-so-far parameters and report
@@ -117,15 +134,34 @@ TrainHistory train(Mlp& model, const Matrix& x, const Matrix& y,
       const Matrix xb = gather_rows(x_train, batch);
       const Matrix yb = gather_rows(y_train, batch);
 
-      const Matrix pred = model.forward(xb, /*train=*/true);
-      const Real batch_loss = loss_value(pred, yb, options.loss);
+      const Index rows = xb.rows();
+      const Index chunks = parallel::chunk_count(rows, kGradRowGrain);
+      const Real batch_elems = static_cast<Real>(rows * yb.cols());
+      for (Index c = 0; c < chunks; ++c) {
+        chunk_grads[static_cast<std::size_t>(c)].clear();
+      }
+      parallel::for_range(rows, kGradRowGrain, [&](Index b, Index e) {
+        const Index chunk = b / kGradRowGrain;
+        const Real scale =
+            static_cast<Real>((e - b) * yb.cols()) / batch_elems;
+        model.accumulate_gradients(slice_rows(xb, b, e), slice_rows(yb, b, e),
+                                   options.loss, scale,
+                                   chunk_grads[static_cast<std::size_t>(chunk)]);
+      });
+      model.zero_gradients();
+      Real loss_sum = 0.0;
+      for (Index c = 0; c < chunks; ++c) {
+        const auto& g = chunk_grads[static_cast<std::size_t>(c)];
+        model.add_gradients(g);
+        loss_sum += g.loss_sum;
+      }
+      const Real batch_loss = loss_sum / batch_elems;
       if (!std::isfinite(batch_loss)) {
         epoch_diverged = true;
         break;
       }
       epoch_loss += batch_loss;
       ++batches;
-      model.backward(loss_gradient(pred, yb, options.loss));
       if (options.gradient_clip_norm > 0.0) {
         const Real norm = model.gradient_norm();
         if (!std::isfinite(norm)) {

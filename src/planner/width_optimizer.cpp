@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace ppdl::planner {
 
@@ -78,39 +79,51 @@ Index update_proportional(grid::PowerGrid& pg,
     Index changed = 0;
     if (options.per_stripe) {
       // Rolling maximum along each line: segments inherit the worst
-      // requirement within the taper window around them.
-      for (const std::vector<Index>& stripe : state.stripes) {
-        const auto n = static_cast<Index>(stripe.size());
-        const Index window = std::max<Index>(
-            1, static_cast<Index>(options.taper_window_fraction *
-                                  static_cast<Real>(n)));
-        std::vector<Real> raw(static_cast<std::size_t>(n));
-        for (Index i = 0; i < n; ++i) {
-          const Real current = std::abs(
-              analysis.branch_current[static_cast<std::size_t>(
-                  stripe[static_cast<std::size_t>(i)])]);
-          raw[static_cast<std::size_t>(i)] = current / state.j_target;
-        }
-        for (Index i = 0; i < n; ++i) {
-          Real smoothed = 0.0;
-          const Index lo = std::max<Index>(0, i - window);
-          const Index hi = std::min<Index>(n - 1, i + window);
-          for (Index k = lo; k <= hi; ++k) {
-            smoothed = std::max(smoothed, raw[static_cast<std::size_t>(k)]);
+      // requirement within the taper window around them. Stripes partition
+      // the wire branches, so each parallel chunk writes a disjoint slice
+      // of `target` and the result is independent of the thread count.
+      const auto n_stripes = static_cast<Index>(state.stripes.size());
+      parallel::for_range(n_stripes, 1, [&](Index sb, Index se) {
+        for (Index s = sb; s < se; ++s) {
+          const std::vector<Index>& stripe =
+              state.stripes[static_cast<std::size_t>(s)];
+          const auto n = static_cast<Index>(stripe.size());
+          const Index window = std::max<Index>(
+              1, static_cast<Index>(options.taper_window_fraction *
+                                    static_cast<Real>(n)));
+          std::vector<Real> raw(static_cast<std::size_t>(n));
+          for (Index i = 0; i < n; ++i) {
+            const Real current = std::abs(
+                analysis.branch_current[static_cast<std::size_t>(
+                    stripe[static_cast<std::size_t>(i)])]);
+            raw[static_cast<std::size_t>(i)] = current / state.j_target;
           }
-          target[static_cast<std::size_t>(stripe[static_cast<std::size_t>(i)])] =
-              smoothed;
+          for (Index i = 0; i < n; ++i) {
+            Real smoothed = 0.0;
+            const Index lo = std::max<Index>(0, i - window);
+            const Index hi = std::min<Index>(n - 1, i + window);
+            for (Index k = lo; k <= hi; ++k) {
+              smoothed = std::max(smoothed, raw[static_cast<std::size_t>(k)]);
+            }
+            target[static_cast<std::size_t>(
+                stripe[static_cast<std::size_t>(i)])] = smoothed;
+          }
         }
-      }
+      });
     } else {
-      for (Index bi = 0; bi < pg.branch_count(); ++bi) {
-        if (pg.branch(bi).kind != grid::BranchKind::kWire) {
-          continue;
+      // Disjoint per-branch writes — order-independent.
+      constexpr Index kBranchGrain = 2048;
+      parallel::for_range(pg.branch_count(), kBranchGrain,
+                          [&](Index b, Index e) {
+        for (Index bi = b; bi < e; ++bi) {
+          if (pg.branch(bi).kind != grid::BranchKind::kWire) {
+            continue;
+          }
+          const Real current =
+              std::abs(analysis.branch_current[static_cast<std::size_t>(bi)]);
+          target[static_cast<std::size_t>(bi)] = current / state.j_target;
         }
-        const Real current =
-            std::abs(analysis.branch_current[static_cast<std::size_t>(bi)]);
-        target[static_cast<std::size_t>(bi)] = current / state.j_target;
-      }
+      });
     }
 
     for (Index bi = 0; bi < pg.branch_count(); ++bi) {

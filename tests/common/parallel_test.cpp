@@ -1,0 +1,221 @@
+// Determinism and correctness of the parallel substrate itself: chunk
+// decomposition purity, full coverage, bit-identical reductions across
+// thread counts, exception propagation, nested-call safety, and deadline
+// behavior. Companion to tests/integration/determinism_test.cpp, which
+// asserts the same property end-to-end through solver/trainer/planner.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+
+namespace ppdl::parallel {
+namespace {
+
+/// Restores the process-wide thread override on scope exit so tests cannot
+/// leak a setting into each other.
+struct ThreadGuard {
+  ~ThreadGuard() { set_num_threads(0); }
+};
+
+TEST(ParallelChunks, BoundsPartitionTheRange) {
+  for (const Index n : {1, 2, 7, 1000, 1023, 1024, 1025, 99999}) {
+    for (const Index grain : {1, 3, 64, 1024}) {
+      const Index chunks = chunk_count(n, grain);
+      ASSERT_GE(chunks, 1);
+      Index covered = 0;
+      Index prev_end = 0;
+      for (Index c = 0; c < chunks; ++c) {
+        const ChunkRange r = chunk_bounds(n, grain, c);
+        EXPECT_EQ(r.begin, prev_end) << "gap/overlap at chunk " << c;
+        EXPECT_LT(r.begin, r.end);
+        covered += r.end - r.begin;
+        prev_end = r.end;
+      }
+      EXPECT_EQ(prev_end, n);
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+TEST(ParallelChunks, DecompositionIgnoresThreadCount) {
+  // The decomposition must be a pure function of (n, grain): flipping the
+  // configured thread count must not change it.
+  ThreadGuard guard;
+  set_num_threads(1);
+  const Index c1 = chunk_count(10000, 256);
+  const ChunkRange r1 = chunk_bounds(10000, 256, 3);
+  set_num_threads(8);
+  EXPECT_EQ(chunk_count(10000, 256), c1);
+  const ChunkRange r8 = chunk_bounds(10000, 256, 3);
+  EXPECT_EQ(r8.begin, r1.begin);
+  EXPECT_EQ(r8.end, r1.end);
+}
+
+TEST(ParallelForRange, CoversEveryIndexExactlyOnce) {
+  ThreadGuard guard;
+  for (const Index threads : {1, 2, 8}) {
+    set_num_threads(threads);
+    const Index n = 4567;
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+    const bool ran = for_range(n, 64, [&](Index b, Index e) {
+      for (Index i = b; i < e; ++i) {
+        hits[static_cast<std::size_t>(i)].fetch_add(1);
+      }
+    });
+    EXPECT_TRUE(ran);
+    for (Index i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+          << "index " << i << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelReduce, SumBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  // Data chosen to be summation-order sensitive: magnitudes spread over
+  // ~12 decades, so any reassociation shows up in the low bits.
+  const Index n = 20000;
+  std::vector<Real> v(static_cast<std::size_t>(n));
+  Rng rng(123);
+  for (Real& x : v) {
+    x = (rng.uniform() - 0.5) * std::pow(10.0, rng.uniform(-6.0, 6.0));
+  }
+  const auto sum_at = [&](Index threads) {
+    set_num_threads(threads);
+    return reduce_sum(n, 512, [&](Index b, Index e) {
+      Real acc = 0.0;
+      for (Index i = b; i < e; ++i) {
+        acc += v[static_cast<std::size_t>(i)];
+      }
+      return acc;
+    });
+  };
+  const Real s1 = sum_at(1);
+  const Real s2 = sum_at(2);
+  const Real s8 = sum_at(8);
+  const Real s8b = sum_at(8);
+  // Bitwise equality, not EXPECT_DOUBLE_EQ: the contract is exact.
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1, s8);
+  EXPECT_EQ(s8, s8b);
+}
+
+TEST(ParallelReduce, MaxCombineAndGenericTypes) {
+  ThreadGuard guard;
+  const Index n = 3000;
+  std::vector<Real> v(static_cast<std::size_t>(n));
+  Rng rng(7);
+  for (Real& x : v) {
+    x = rng.uniform(-10.0, 10.0);
+  }
+  const auto max_at = [&](Index threads) {
+    set_num_threads(threads);
+    return reduce<Real>(
+        n, 128, 0.0,
+        [&](Index b, Index e) {
+          Real m = 0.0;
+          for (Index i = b; i < e; ++i) {
+            m = std::max(m, std::abs(v[static_cast<std::size_t>(i)]));
+          }
+          return m;
+        },
+        [](Real a, Real b) { return std::max(a, b); });
+  };
+  EXPECT_EQ(max_at(1), max_at(8));
+}
+
+TEST(ParallelForRange, ExceptionsPropagateToCaller) {
+  ThreadGuard guard;
+  for (const Index threads : {1, 8}) {
+    set_num_threads(threads);
+    EXPECT_THROW(
+        for_range(10000, 64,
+                  [&](Index b, Index) {
+                    if (b >= 1024) {
+                      throw std::runtime_error("chunk failure");
+                    }
+                  }),
+        std::runtime_error);
+  }
+}
+
+TEST(ParallelForRange, NestedCallsRunSeriallyAndComplete) {
+  ThreadGuard guard;
+  set_num_threads(8);
+  const Index outer = 64;
+  const Index inner = 100;
+  std::vector<std::atomic<Index>> sums(static_cast<std::size_t>(outer));
+  const bool ran = for_range(outer, 1, [&](Index ob, Index oe) {
+    for (Index o = ob; o < oe; ++o) {
+      // Inner parallel call from inside a worker: must degrade to the
+      // serial inline path (no deadlock, same decomposition).
+      Index local = 0;
+      for_range(inner, 8, [&](Index ib, Index ie) {
+        for (Index i = ib; i < ie; ++i) {
+          local += i;
+        }
+      });
+      sums[static_cast<std::size_t>(o)].store(local);
+    }
+  });
+  EXPECT_TRUE(ran);
+  for (Index o = 0; o < outer; ++o) {
+    EXPECT_EQ(sums[static_cast<std::size_t>(o)].load(),
+              inner * (inner - 1) / 2);
+  }
+}
+
+TEST(ParallelForRange, ExpiredDeadlineStopsBeforeAnyChunk) {
+  ThreadGuard guard;
+  set_num_threads(8);
+  std::atomic<Index> executed{0};
+  const bool ran = for_range(
+      10000, 64, [&](Index, Index) { executed.fetch_add(1); },
+      Deadline::after_seconds(0.0));
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(executed.load(), 0);
+}
+
+TEST(ParallelThreads, ResolutionOrderAndOverrides) {
+  ThreadGuard guard;
+  EXPECT_GE(hardware_threads(), 1);
+  set_num_threads(3);
+  EXPECT_EQ(default_num_threads(), 3);
+  EXPECT_EQ(resolve_threads(0), 3);
+  EXPECT_EQ(resolve_threads(5), 5);
+  set_num_threads(0);
+  EXPECT_GE(default_num_threads(), 1);
+}
+
+TEST(ParallelOptionsTest, PerCallThreadAndGrainOverride) {
+  ThreadGuard guard;
+  set_num_threads(1);
+  std::atomic<Index> chunks_run{0};
+  ParallelOptions opts;
+  opts.num_threads = 4;
+  opts.grain = 10;
+  const bool ran = for_range(
+      100, 0, [&](Index, Index) { chunks_run.fetch_add(1); }, Deadline{},
+      opts);
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(chunks_run.load(), 10);  // grain 10 over 100 items
+}
+
+TEST(ParallelRng, StreamsIgnoreDrawOrder) {
+  // stream() must be a pure function of (seed, index) — unlike fork().
+  Rng a = Rng::stream(42, 3);
+  Rng warm(42);
+  (void)warm.next_u64();
+  Rng b = Rng::stream(42, 3);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  // Distinct indices decorrelate.
+  EXPECT_NE(Rng::stream(42, 0).next_u64(), Rng::stream(42, 1).next_u64());
+}
+
+}  // namespace
+}  // namespace ppdl::parallel

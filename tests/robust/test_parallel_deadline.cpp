@@ -1,0 +1,103 @@
+// Deadline expiry under parallelism: an expired budget mid-parallel_for
+// stops cleanly — chunks that started always finish, unstarted chunks are
+// skipped, the call reports false, timed_out flags propagate, and no
+// checkpoint is written for the truncated phase.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "core/flow.hpp"
+#include "core/golden.hpp"
+#include "support/fixtures.hpp"
+
+namespace ppdl {
+namespace {
+
+struct ThreadGuard {
+  ~ThreadGuard() { parallel::set_num_threads(0); }
+};
+
+TEST(ParallelDeadline, MidLoopExpiryStopsCleanly) {
+  ThreadGuard guard;
+  parallel::set_num_threads(8);
+  const Index chunks = 64;
+  std::vector<std::atomic<int>> started(static_cast<std::size_t>(chunks));
+  std::vector<std::atomic<int>> finished(static_cast<std::size_t>(chunks));
+
+  // 64 chunks × 5 ms ≫ the 30 ms budget at any core count, so the loop
+  // must hit the deadline mid-flight.
+  const bool ran = parallel::for_range(
+      chunks, 1,
+      [&](Index b, Index) {
+        started[static_cast<std::size_t>(b)].store(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        finished[static_cast<std::size_t>(b)].store(1);
+      },
+      Deadline::after_seconds(0.03));
+
+  EXPECT_FALSE(ran) << "expected the deadline to cut the loop short";
+  Index ran_count = 0;
+  for (Index c = 0; c < chunks; ++c) {
+    // Clean early stop: a chunk either never started or ran to completion
+    // — never half-executed.
+    EXPECT_EQ(started[static_cast<std::size_t>(c)].load(),
+              finished[static_cast<std::size_t>(c)].load())
+        << "chunk " << c << " was interrupted mid-execution";
+    ran_count += finished[static_cast<std::size_t>(c)].load();
+  }
+  EXPECT_GT(ran_count, 0) << "at least the first claimed chunk runs";
+  EXPECT_LT(ran_count, chunks);
+}
+
+TEST(ParallelDeadline, GoldenSuiteSkipsUnstartedBenchmarks) {
+  ThreadGuard guard;
+  parallel::set_num_threads(2);
+  core::GoldenDesignOptions opts;
+  opts.benchmark.scale = 0.01;
+  opts.deadline = Deadline::after_seconds(0.0);
+
+  const core::GoldenSuite suite =
+      core::generate_golden_datasets({"ibmpg1", "ibmpg2"}, opts);
+  EXPECT_TRUE(suite.timed_out);
+  ASSERT_EQ(suite.designs.size(), 2u);
+  for (const core::GoldenDesign& d : suite.designs) {
+    EXPECT_FALSE(d.completed);
+    EXPECT_FALSE(d.converged);
+    EXPECT_TRUE(d.datasets.empty());
+  }
+}
+
+TEST(ParallelDeadline, TimedOutFlowWritesNoCheckpoint) {
+  ThreadGuard guard;
+  parallel::set_num_threads(2);
+  const std::string path = "parallel_deadline_ckpt.artifact";
+  std::remove(path.c_str());
+
+  core::FlowOptions o;
+  o.benchmark.scale = 0.01;
+  o.benchmark.seed = 12345;
+  o.model.train.epochs = 5;
+  o.checkpoint_path = path;
+  o.deadline_seconds = 1e-9;  // expires inside the golden-design phase
+
+  const core::FlowResult r = core::run_flow("ibmpg1", o);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_EQ(r.timed_out_phase, "golden design");
+  // A timed-out phase is best-so-far output, not durable historical data:
+  // nothing may have been checkpointed.
+  FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_EQ(f, nullptr) << "checkpoint written despite golden-phase timeout";
+  if (f != nullptr) {
+    std::fclose(f);
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace ppdl
