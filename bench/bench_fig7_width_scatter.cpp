@@ -2,7 +2,9 @@
 //   (a) correlation scatter: predictions hug the diagonal;
 //   (b) signed error histogram: mass concentrated at 0, thinning tails.
 #include <algorithm>
+#include <cmath>
 #include <iostream>
+#include <limits>
 
 #include "bench_support.hpp"
 #include "common/csv.hpp"
@@ -26,11 +28,16 @@ int main(int argc, char** argv) {
 
   // --- Fig. 7(a): correlation ------------------------------------------------
   std::cout << "Fig. 7(a) — predicted vs golden width correlation:\n";
+  // pearson/r2 are NaN when a side has zero variance (e.g. every golden
+  // width identical) — report that honestly instead of printing a number.
+  const auto fmt_score = [](Real v) {
+    return std::isnan(v) ? std::string("undefined (zero variance)")
+                         : ConsoleTable::fmt(v, 4);
+  };
   ConsoleTable corr({"metric", "value"});
   corr.add_row({"interconnects", std::to_string(flow.interconnects)});
-  corr.add_row({"Pearson correlation",
-                ConsoleTable::fmt(flow.width_pearson, 4)});
-  corr.add_row({"r2 score", ConsoleTable::fmt(flow.width_r2, 4)});
+  corr.add_row({"Pearson correlation", fmt_score(flow.width_pearson)});
+  corr.add_row({"r2 score", fmt_score(flow.width_r2)});
   corr.add_row({"MSE (um^2)", ConsoleTable::fmt(flow.width_mse, 4)});
   corr.print(std::cout);
 
@@ -71,9 +78,16 @@ int main(int argc, char** argv) {
   }
   const Summary esum = summarize(errors);
   const Real span = std::max(std::abs(esum.min), std::abs(esum.max));
-  const Histogram hist = make_histogram(errors, -span, span, 17);
+  // Histogram buckets are [lo, hi): nudge hi past the extreme error so the
+  // largest sample lands in the last bin instead of the overflow tally.
+  const Real hi = std::nextafter(span, std::numeric_limits<Real>::infinity());
+  const Histogram hist = make_histogram(errors, -span, hi, 17);
   std::cout << "\nFig. 7(b) — golden − predicted width error histogram "
                "(um):\n";
+  if (hist.underflow > 0 || hist.overflow > 0) {
+    std::cout << "out of range: " << hist.underflow << " below, "
+              << hist.overflow << " above\n";
+  }
   ConsoleTable htab({"bin center (um)", "count", "bar"});
   Index peak = 0;
   for (const Index c : hist.counts) {

@@ -3,6 +3,7 @@
 //
 // Paper reference (ibmpg1): X 0.34, Y 0.39, Id 0.61, Combined 0.89; the
 // Fig. 4(b) series shows Combined consistently on top across interconnects.
+#include <cmath>
 #include <iostream>
 
 #include "bench_support.hpp"
@@ -42,8 +43,12 @@ int main(int argc, char** argv) {
   ConsoleTable table({"Input features", "r2 score (ours)", "r2 (paper)"});
   const char* paper[] = {"0.34", "0.39", "0.61", "0.89"};
   for (std::size_t i = 0; i < study.size(); ++i) {
-    table.add_row({study[i].label, ConsoleTable::fmt(study[i].r2, 3),
-                   paper[i]});
+    // r² is NaN when the held-out targets have zero variance — undefined,
+    // not a score of 0.
+    const std::string ours = std::isnan(study[i].r2)
+                                 ? std::string("undefined")
+                                 : ConsoleTable::fmt(study[i].r2, 3);
+    table.add_row({study[i].label, ours, paper[i]});
   }
   std::cout << "Table I — r² of input features vs output width:\n";
   table.print(std::cout);
@@ -53,15 +58,32 @@ int main(int argc, char** argv) {
       bench.grid, mc, /*total_interconnects=*/1000, /*chunk_size=*/50);
   std::cout << "\nFig. 4(b) — r² across interconnect chunks "
             << "(chunked held-out evaluation):\n";
-  ConsoleTable fig({"Series", "chunks", "mean r2", "min r2", "max r2"});
+  ConsoleTable fig(
+      {"Series", "chunks", "undefined", "mean r2", "min r2", "max r2"});
   for (const core::R2Series& s : series) {
     if (s.r2.empty()) {
       continue;
     }
-    const Summary sum = summarize(s.r2);
+    // Chunks whose held-out targets have zero variance yield NaN r² —
+    // exclude them from the summary but report how many were undefined.
+    std::vector<Real> defined;
+    defined.reserve(s.r2.size());
+    for (const Real r : s.r2) {
+      if (!std::isnan(r)) {
+        defined.push_back(r);
+      }
+    }
+    const std::size_t undefined = s.r2.size() - defined.size();
+    if (defined.empty()) {
+      fig.add_row({s.label, std::to_string(s.r2.size()),
+                   std::to_string(undefined), "undefined", "undefined",
+                   "undefined"});
+      continue;
+    }
+    const Summary sum = summarize(defined);
     fig.add_row({s.label, std::to_string(s.r2.size()),
-                 ConsoleTable::fmt(sum.mean, 3), ConsoleTable::fmt(sum.min, 3),
-                 ConsoleTable::fmt(sum.max, 3)});
+                 std::to_string(undefined), ConsoleTable::fmt(sum.mean, 3),
+                 ConsoleTable::fmt(sum.min, 3), ConsoleTable::fmt(sum.max, 3)});
   }
   fig.print(std::cout);
 

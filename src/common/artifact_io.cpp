@@ -54,12 +54,8 @@ std::uint64_t fnv1a64(const std::string& bytes) {
   return h;
 }
 
-void write_artifact_file(const std::string& path, const Artifact& artifact) {
-  if (artifact.type.empty() ||
-      artifact.type.find_first_of(" \t\n") != std::string::npos) {
-    throw ArtifactError(ArtifactErrorKind::kWriteFailed, path,
-                        "artifact type must be a non-empty token");
-  }
+void write_raw_file_atomic(const std::string& path,
+                           const std::string& bytes) {
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -67,11 +63,7 @@ void write_artifact_file(const std::string& path, const Artifact& artifact) {
       throw ArtifactError(ArtifactErrorKind::kWriteFailed, path,
                           "cannot open temp file " + tmp);
     }
-    out << kMagic << ' ' << kContainerVersion << ' ' << artifact.type << ' '
-        << artifact.version << ' ' << artifact.payload.size() << ' '
-        << hex64(fnv1a64(artifact.payload)) << '\n';
-    out.write(artifact.payload.data(),
-              static_cast<std::streamsize>(artifact.payload.size()));
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
     out.flush();
     if (!out.good()) {
       out.close();
@@ -87,6 +79,20 @@ void write_artifact_file(const std::string& path, const Artifact& artifact) {
     throw ArtifactError(ArtifactErrorKind::kWriteFailed, path,
                         "rename from temp file failed");
   }
+}
+
+void write_artifact_file(const std::string& path, const Artifact& artifact) {
+  if (artifact.type.empty() ||
+      artifact.type.find_first_of(" \t\n") != std::string::npos) {
+    throw ArtifactError(ArtifactErrorKind::kWriteFailed, path,
+                        "artifact type must be a non-empty token");
+  }
+  std::ostringstream bytes;
+  bytes << kMagic << ' ' << kContainerVersion << ' ' << artifact.type << ' '
+        << artifact.version << ' ' << artifact.payload.size() << ' '
+        << hex64(fnv1a64(artifact.payload)) << '\n';
+  bytes << artifact.payload;
+  write_raw_file_atomic(path, bytes.str());
 }
 
 Artifact read_artifact_file(const std::string& path,

@@ -67,6 +67,12 @@ struct Artifact {
   std::string payload;  ///< serialized body, byte-exact
 };
 
+/// Atomically writes raw `bytes` to `path` (temp file + flush + rename) —
+/// the same crash-safety as write_artifact_file but without the container
+/// header, for artifacts that must stay directly machine-readable (e.g. the
+/// JSON run report). Throws ArtifactError{kWriteFailed} on failure.
+void write_raw_file_atomic(const std::string& path, const std::string& bytes);
+
 /// Atomically writes `artifact` to `path` (temp file + flush + rename).
 /// Throws ArtifactError{kWriteFailed} and removes the temp file on failure.
 void write_artifact_file(const std::string& path, const Artifact& artifact);

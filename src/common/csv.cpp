@@ -1,6 +1,6 @@
 #include "common/csv.hpp"
 
-#include <sstream>
+#include <charconv>
 
 #include "common/check.hpp"
 
@@ -36,11 +36,19 @@ void CsvWriter::write_row(const std::vector<Real>& fields) {
   std::vector<std::string> s;
   s.reserve(fields.size());
   for (const Real f : fields) {
-    std::ostringstream os;
-    os << f;
-    s.push_back(os.str());
+    s.push_back(format_real(f));
   }
   write_row(s);
+}
+
+std::string CsvWriter::format_real(Real value) {
+  // Shortest decimal form that parses back to the exact same double —
+  // default ostream precision (6 significant digits) silently loses bits,
+  // so exported datasets would not round-trip.
+  char buf[40];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  PPDL_REQUIRE(ec == std::errc(), "CSV: float formatting failed");
+  return std::string(buf, end);
 }
 
 std::string CsvWriter::escape(const std::string& field) {

@@ -19,8 +19,13 @@ class CsvWriter {
   /// Append a row of string fields; must match the header arity.
   void write_row(const std::vector<std::string>& fields);
 
-  /// Append a row of numeric fields; must match the header arity.
+  /// Append a row of numeric fields; must match the header arity. Values
+  /// are written in the shortest form that round-trips to the same double.
   void write_row(const std::vector<Real>& fields);
+
+  /// Shortest round-trip decimal rendering of one value (the format used
+  /// by the numeric write_row overload).
+  static std::string format_real(Real value);
 
   /// Rows written so far (excluding the header).
   Index rows_written() const { return rows_; }

@@ -1,0 +1,185 @@
+#include "common/obs.hpp"
+
+#include <cstdlib>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace ppdl::obs {
+
+namespace {
+
+// -1 = not yet resolved from the environment; 0 = off; 1 = on. A racy
+// first resolution is benign: every thread parses the same environment.
+std::atomic<int> g_enabled{-1};
+
+int resolve_enabled_from_env() {
+  const char* env = std::getenv("PPDL_METRICS");
+  if (env == nullptr) {
+    return 1;
+  }
+  const std::string v(env);
+  return (v == "off" || v == "0" || v == "false") ? 0 : 1;
+}
+
+}  // namespace
+
+bool metrics_enabled() {
+  int v = g_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = resolve_enabled_from_env();
+    g_enabled.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void set_metrics_enabled(bool enabled) {
+  g_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+ScopedMetricsEnabled::ScopedMetricsEnabled(bool enabled)
+    : previous_(metrics_enabled()) {
+  set_metrics_enabled(enabled);
+}
+
+ScopedMetricsEnabled::~ScopedMetricsEnabled() {
+  set_metrics_enabled(previous_);
+}
+
+MetricsSnapshot MetricsSnapshot::delta_since(
+    const MetricsSnapshot& before) const {
+  MetricsSnapshot d;
+  d.gauges = gauges;
+  for (const auto& [name, value] : counters) {
+    const auto it = before.counters.find(name);
+    const Index prev = it == before.counters.end() ? 0 : it->second;
+    if (value != prev) {
+      d.counters.emplace(name, value - prev);
+    }
+  }
+  for (const auto& [name, hist] : histograms) {
+    const auto it = before.histograms.find(name);
+    if (it == before.histograms.end()) {
+      if (hist.total() > 0) {
+        d.histograms.emplace(name, hist);
+      }
+      continue;
+    }
+    Histogram h = hist;
+    const Histogram& prev = it->second;
+    if (prev.counts.size() == h.counts.size()) {
+      for (std::size_t b = 0; b < h.counts.size(); ++b) {
+        h.counts[b] -= prev.counts[b];
+      }
+      h.underflow -= prev.underflow;
+      h.overflow -= prev.overflow;
+    }
+    if (h.total() > 0) {
+      d.histograms.emplace(name, std::move(h));
+    }
+  }
+  for (const auto& [name, stat] : spans) {
+    const auto it = before.spans.find(name);
+    SpanStat s = stat;
+    if (it != before.spans.end()) {
+      s.seconds -= it->second.seconds;
+      s.count -= it->second.count;
+    }
+    if (s.count > 0) {
+      d.spans.emplace(name, s);
+    }
+  }
+  return d;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void MetricsRegistry::add(const std::string& name, Index delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_.counters[name] += delta;
+}
+
+void MetricsRegistry::set(const std::string& name, Real value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_.gauges[name] = value;
+}
+
+void MetricsRegistry::observe(const std::string& name, Real value,
+                              const HistogramSpec& spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = data_.histograms.find(name);
+  if (it == data_.histograms.end()) {
+    PPDL_REQUIRE(spec.bins > 0 && spec.hi > spec.lo,
+                 "observe: bad histogram spec for " + name);
+    Histogram h;
+    h.lo = spec.lo;
+    h.hi = spec.hi;
+    h.counts.assign(static_cast<std::size_t>(spec.bins), 0);
+    it = data_.histograms.emplace(name, std::move(h)).first;
+  }
+  it->second.observe(value);
+}
+
+void MetricsRegistry::add_span(const std::string& name, Real seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SpanStat& stat = data_.spans[name];
+  stat.seconds += seconds;
+  ++stat.count;
+}
+
+Index MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = data_.counters.find(name);
+  return it == data_.counters.end() ? 0 : it->second;
+}
+
+Real MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = data_.gauges.find(name);
+  return it == data_.gauges.end()
+             ? std::numeric_limits<Real>::quiet_NaN()
+             : it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_ = MetricsSnapshot{};
+}
+
+void count(const std::string& name, Index delta) {
+  if (metrics_enabled()) {
+    MetricsRegistry::global().add(name, delta);
+  }
+}
+
+void gauge(const std::string& name, Real value) {
+  if (metrics_enabled()) {
+    MetricsRegistry::global().set(name, value);
+  }
+}
+
+void observe(const std::string& name, Real value, const HistogramSpec& spec) {
+  if (metrics_enabled()) {
+    MetricsRegistry::global().observe(name, value, spec);
+  }
+}
+
+Span::~Span() {
+  const Real elapsed = timer_.seconds();
+  if (mirror_ != nullptr) {
+    mirror_->add(name_, elapsed);
+  }
+  if (metrics_enabled()) {
+    MetricsRegistry::global().add_span(name_, elapsed);
+  }
+}
+
+}  // namespace ppdl::obs

@@ -1,0 +1,153 @@
+// ppdl::obs — run-level metrics and tracing.
+//
+// The paper's value claim is a runtime/accuracy comparison (Table IV
+// convergence time, Table V accuracy, Fig. 8 IR maps); this layer is how a
+// run proves its numbers. It provides:
+//
+//   * A thread-safe MetricsRegistry of named counters (monotonic integer
+//     adds), gauges (last observed Real), and bounded histograms (fixed
+//     [lo, hi) × bins with explicit underflow/overflow, see common/stats).
+//   * Lightweight RAII spans layered on Timer/PhaseTimer: a Span times a
+//     scope and accumulates (seconds, count) under its name, optionally
+//     mirroring into a caller-owned PhaseTimer.
+//   * A process-wide kill-switch: PPDL_METRICS=off|0|false disables every
+//     recording helper; the disabled path is one relaxed atomic load, so
+//     instrumented hot loops (CG iterations) stay within noise of the
+//     uninstrumented build.
+//
+// Determinism contract (aligned with common/parallel's bit-identity rule):
+// counters and histogram bin counts recorded from instrumented sites are
+// integer tallies of deterministic events, and integer addition commutes —
+// so their totals are bit-identical for any PPDL_THREADS. Gauges must only
+// be written from serial sections (last-write-wins is scheduling-dependent
+// otherwise), and wall-clock span times are explicitly OUTSIDE the
+// deterministic contract: the run report separates them (see obs_report).
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+
+namespace ppdl::obs {
+
+/// Bin layout of a bounded histogram, fixed at the metric's first use.
+struct HistogramSpec {
+  Real lo = 0.0;
+  Real hi = 1.0;
+  Index bins = 32;
+};
+
+/// Accumulated wall time of one span name.
+struct SpanStat {
+  Real seconds = 0.0;
+  Index count = 0;
+};
+
+/// Point-in-time copy of a registry. std::map keys give every consumer a
+/// deterministic (sorted) iteration order.
+struct MetricsSnapshot {
+  std::map<std::string, Index> counters;
+  std::map<std::string, Real> gauges;
+  std::map<std::string, Histogram> histograms;
+  std::map<std::string, SpanStat> spans;
+
+  /// Difference `this − before` for the accumulating kinds (counters,
+  /// histogram tallies, span times); gauges keep their current values.
+  /// This is how a flow scopes "what happened during THIS run" on the
+  /// shared global registry.
+  MetricsSnapshot delta_since(const MetricsSnapshot& before) const;
+};
+
+/// Thread-safe named-metric sink. One mutex guards all maps — recording
+/// sites are coarse (per solve / per epoch / per planner iteration), so
+/// contention is negligible next to the work being measured.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every recording helper writes into.
+  static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Add `delta` to a counter (created at 0 on first use).
+  void add(const std::string& name, Index delta = 1);
+
+  /// Set a gauge to `value` (last write wins — serial sections only).
+  void set(const std::string& name, Real value);
+
+  /// Record `value` into a bounded histogram. The spec is fixed by the
+  /// first observation of `name`; later specs are ignored.
+  void observe(const std::string& name, Real value, const HistogramSpec& spec);
+
+  /// Accumulate `seconds` under a span name.
+  void add_span(const std::string& name, Real seconds);
+
+  /// Current counter value (0 when never recorded).
+  Index counter(const std::string& name) const;
+
+  /// Current gauge value (NaN when never recorded).
+  Real gauge(const std::string& name) const;
+
+  MetricsSnapshot snapshot() const;
+
+  /// Drop every metric (tests and fresh process-level runs).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  MetricsSnapshot data_;
+};
+
+/// Global kill-switch, resolved once from PPDL_METRICS ("off"/"0"/"false"
+/// disable; anything else, or unset, enables).
+bool metrics_enabled();
+
+/// Override the kill-switch (tests, benches measuring the disabled path).
+void set_metrics_enabled(bool enabled);
+
+/// Restores the previous kill-switch state on destruction.
+class ScopedMetricsEnabled {
+ public:
+  explicit ScopedMetricsEnabled(bool enabled);
+  ~ScopedMetricsEnabled();
+  ScopedMetricsEnabled(const ScopedMetricsEnabled&) = delete;
+  ScopedMetricsEnabled& operator=(const ScopedMetricsEnabled&) = delete;
+
+ private:
+  bool previous_;
+};
+
+// --- recording helpers (no-ops when the kill-switch is off) ---------------
+
+void count(const std::string& name, Index delta = 1);
+void gauge(const std::string& name, Real value);
+void observe(const std::string& name, Real value, const HistogramSpec& spec);
+
+/// RAII span: times its scope and records (seconds, count) into the global
+/// registry on destruction; optionally mirrors into a PhaseTimer so legacy
+/// phase breakdowns and the metrics layer stay in sync.
+class Span {
+ public:
+  explicit Span(std::string name, PhaseTimer* mirror = nullptr)
+      : name_(std::move(name)), mirror_(mirror) {}
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Seconds elapsed so far (the span keeps running).
+  Real seconds() const { return timer_.seconds(); }
+
+ private:
+  std::string name_;
+  PhaseTimer* mirror_;
+  Timer timer_;
+};
+
+}  // namespace ppdl::obs

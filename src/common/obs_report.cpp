@@ -1,0 +1,204 @@
+#include "common/obs_report.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/artifact_io.hpp"
+#include "common/check.hpp"
+
+namespace ppdl::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest round-trip number; NaN/Inf become null (JSON has no spelling
+/// for them, and null keeps "undefined" distinguishable from 0).
+std::string json_number(Real v) {
+  if (!std::isfinite(v)) {
+    return "null";
+  }
+  char buf[40];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  PPDL_REQUIRE(ec == std::errc(), "run report: float formatting failed");
+  return std::string(buf, end);
+}
+
+template <typename Map, typename RenderValue>
+void emit_object(std::ostream& out, const Map& map, int indent,
+                 RenderValue&& render_value) {
+  if (map.empty()) {
+    out << "{}";
+    return;
+  }
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string inner(static_cast<std::size_t>(indent) + 2, ' ');
+  out << "{\n";
+  bool first = true;
+  for (const auto& [key, value] : map) {
+    if (!first) {
+      out << ",\n";
+    }
+    first = false;
+    out << inner << '"' << json_escape(key) << "\": ";
+    render_value(out, value);
+  }
+  out << '\n' << pad << '}';
+}
+
+void emit_histogram(std::ostream& out, const Histogram& h) {
+  out << "{\"lo\": " << json_number(h.lo) << ", \"hi\": " << json_number(h.hi)
+      << ", \"underflow\": " << h.underflow << ", \"overflow\": " << h.overflow
+      << ", \"counts\": [";
+  for (std::size_t b = 0; b < h.counts.size(); ++b) {
+    if (b > 0) {
+      out << ", ";
+    }
+    out << h.counts[b];
+  }
+  out << "]}";
+}
+
+}  // namespace
+
+void RunReport::absorb(const MetricsSnapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.counters) {
+    counters[name] += value;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    values[name] = value;
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    histograms[name] = hist;
+  }
+  for (const auto& [name, stat] : snapshot.spans) {
+    SpanStat& s = spans[name];
+    s.seconds += stat.seconds;
+    s.count += stat.count;
+  }
+}
+
+std::string render_run_report(const RunReport& report) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": \"" << kRunReportSchemaName << "\",\n";
+  out << "  \"schema_version\": " << kRunReportSchemaVersion << ",\n";
+  out << "  \"benchmark\": \"" << json_escape(report.benchmark) << "\",\n";
+
+  out << "  \"info\": ";
+  emit_object(out, report.info, 2, [](std::ostream& os, const std::string& v) {
+    os << '"' << json_escape(v) << '"';
+  });
+  out << ",\n";
+
+  out << "  \"metrics\": {\n";
+  out << "    \"counters\": ";
+  emit_object(out, report.counters, 4,
+              [](std::ostream& os, Index v) { os << v; });
+  out << ",\n    \"values\": ";
+  emit_object(out, report.values, 4,
+              [](std::ostream& os, Real v) { os << json_number(v); });
+  out << ",\n    \"histograms\": ";
+  emit_object(out, report.histograms, 4, emit_histogram);
+  out << "\n  },\n";
+
+  out << "  \"timing\": {\n";
+  out << "    \"spans\": ";
+  emit_object(out, report.spans, 4, [](std::ostream& os, const SpanStat& v) {
+    os << "{\"seconds\": " << json_number(v.seconds)
+       << ", \"count\": " << v.count << '}';
+  });
+  out << ",\n    \"seconds\": ";
+  emit_object(out, report.timing_seconds, 4,
+              [](std::ostream& os, Real v) { os << json_number(v); });
+  out << "\n  }\n";
+  out << "}\n";
+  return out.str();
+}
+
+void write_run_report(const std::string& path, const RunReport& report) {
+  write_raw_file_atomic(path, render_run_report(report));
+}
+
+std::string extract_json_section(const std::string& json,
+                                 const std::string& key) {
+  const std::string needle = '"' + key + "\":";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) {
+    return "";
+  }
+  std::size_t i = at + needle.size();
+  while (i < json.size() && (json[i] == ' ' || json[i] == '\n')) {
+    ++i;
+  }
+  if (i >= json.size()) {
+    return "";
+  }
+  const char open = json[i];
+  if (open != '{' && open != '[') {
+    // Scalar: read to the next comma/newline at this level.
+    const std::size_t end = json.find_first_of(",\n", i);
+    return json.substr(i, end == std::string::npos ? end : end - i);
+  }
+  const char close = open == '{' ? '}' : ']';
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t j = i; j < json.size(); ++j) {
+    const char c = json[j];
+    if (in_string) {
+      if (c == '\\') {
+        ++j;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == open) {
+      ++depth;
+    } else if (c == close) {
+      --depth;
+      if (depth == 0) {
+        return json.substr(i, j - i + 1);
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace ppdl::obs

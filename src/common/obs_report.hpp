@@ -1,0 +1,76 @@
+// The schema-versioned run report: one JSON document per flow run holding
+// everything needed to audit a runtime/accuracy claim.
+//
+// Layout (schemas/run_report.schema.json is the normative schema; CI
+// validates every emitted report against it):
+//
+//   {
+//     "schema": "ppdl.run_report",
+//     "schema_version": 1,
+//     "benchmark": "<name>",
+//     "info":    { "<key>": "<string fact>", ... },        deterministic
+//     "metrics": { "counters":   { "<name>": int, ... },   deterministic
+//                  "values":     { "<name>": number|null },
+//                  "histograms": { "<name>": {lo, hi, underflow, overflow,
+//                                             counts[]} } },
+//     "timing":  { "spans":   { "<name>": {seconds, count} },
+//                  "seconds": { "<phase>": number } }      wall clock
+//   }
+//
+// Determinism contract: `info` and `metrics` contain only values derived
+// from deterministic computation, so two runs of the same flow at ANY
+// PPDL_THREADS settings render those sections byte-identically. `timing`
+// is wall clock and explicitly exempt. Keys are emitted in sorted order and
+// numbers in shortest-round-trip form, so "same values" ⇒ "same bytes".
+//
+// NaN/Inf have no JSON spelling; they are rendered as null (e.g. an
+// undefined Pearson correlation on a zero-variance design stays visibly
+// "undefined" instead of masquerading as 0).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/obs.hpp"
+#include "common/types.hpp"
+
+namespace ppdl::obs {
+
+inline constexpr int kRunReportSchemaVersion = 1;
+inline constexpr char kRunReportSchemaName[] = "ppdl.run_report";
+
+struct RunReport {
+  std::string benchmark;
+  /// Deterministic string facts (resumed_from, diagnoses, flags).
+  std::map<std::string, std::string> info;
+  /// Deterministic counters (event tallies).
+  std::map<std::string, Index> counters;
+  /// Deterministic numeric results (r², worst IR, node counts, …).
+  std::map<std::string, Real> values;
+  /// Deterministic bounded histograms (residuals, losses, iteration IR).
+  std::map<std::string, Histogram> histograms;
+  /// Wall-clock spans (nondeterministic by nature).
+  std::map<std::string, SpanStat> spans;
+  /// Wall-clock phase seconds (nondeterministic by nature).
+  std::map<std::string, Real> timing_seconds;
+
+  /// Merge a metrics snapshot: counters/histograms into the deterministic
+  /// sections, gauges into `values`, spans into `timing`.
+  void absorb(const MetricsSnapshot& snapshot);
+};
+
+/// Renders the report as pretty-printed JSON with sorted keys and
+/// shortest-round-trip numbers (byte-stable for equal values).
+std::string render_run_report(const RunReport& report);
+
+/// Renders and writes the report crash-safely (atomic temp+rename via
+/// common/artifact_io). Throws ArtifactError{kWriteFailed} on I/O failure.
+void write_run_report(const std::string& path, const RunReport& report);
+
+/// Extracts the JSON value of a top-level `"key"` from a rendered report
+/// (brace/bracket matching; enough for comparing sections in tests without
+/// a JSON parser). Returns "" when the key is absent.
+std::string extract_json_section(const std::string& json,
+                                 const std::string& key);
+
+}  // namespace ppdl::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.hpp"
 
@@ -67,7 +68,10 @@ Real r2_score(std::span<const Real> y, std::span<const Real> yhat) {
     ss_tot += t * t;
   }
   if (ss_tot == 0.0) {
-    return ss_res == 0.0 ? 1.0 : 0.0;
+    // Constant target: the score is 1 for an exact match and undefined
+    // otherwise (there is no variance to explain). NaN keeps "undefined"
+    // distinguishable from a genuine zero score.
+    return ss_res == 0.0 ? 1.0 : std::numeric_limits<Real>::quiet_NaN();
   }
   return 1.0 - ss_res / ss_tot;
 }
@@ -88,7 +92,8 @@ Real pearson(std::span<const Real> x, std::span<const Real> y) {
     syy += dy * dy;
   }
   if (sxx == 0.0 || syy == 0.0) {
-    return 0.0;
+    // Zero variance on either side: correlation is undefined, not zero.
+    return std::numeric_limits<Real>::quiet_NaN();
   }
   return sxy / std::sqrt(sxx * syy);
 }
@@ -103,12 +108,31 @@ Real Histogram::bin_center(Index b) const {
   return lo + (static_cast<Real>(b) + 0.5) * bin_width();
 }
 
-Index Histogram::total() const {
+Index Histogram::total() const { return in_range() + underflow + overflow; }
+
+Index Histogram::in_range() const {
   Index sum = 0;
   for (const Index c : counts) {
     sum += c;
   }
   return sum;
+}
+
+void Histogram::observe(Real value) {
+  PPDL_REQUIRE(!counts.empty(), "observe on an unsized histogram");
+  if (value < lo) {
+    ++underflow;
+    return;
+  }
+  const Index bins = static_cast<Index>(counts.size());
+  const Index b =
+      static_cast<Index>(std::floor((value - lo) / bin_width()));
+  if (b >= bins || value >= hi) {
+    // `value >= hi` catches hi itself when rounding puts it in the last bin.
+    ++overflow;
+    return;
+  }
+  ++counts[static_cast<std::size_t>(b)];
 }
 
 Histogram make_histogram(std::span<const Real> values, Real lo, Real hi,
@@ -119,11 +143,8 @@ Histogram make_histogram(std::span<const Real> values, Real lo, Real hi,
   h.lo = lo;
   h.hi = hi;
   h.counts.assign(static_cast<std::size_t>(bins), 0);
-  const Real width = (hi - lo) / static_cast<Real>(bins);
   for (const Real v : values) {
-    Index b = static_cast<Index>(std::floor((v - lo) / width));
-    b = std::clamp<Index>(b, 0, bins - 1);
-    ++h.counts[static_cast<std::size_t>(b)];
+    h.observe(v);
   }
   return h;
 }

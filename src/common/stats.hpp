@@ -29,26 +29,36 @@ Real mae(std::span<const Real> y, std::span<const Real> yhat);
 
 /// r² score (coefficient of determination): 1 - SS_res / SS_tot.
 /// Equals 1 for a perfect fit; can be negative for a fit worse than the mean.
-/// If y is constant, returns 1 when predictions match exactly and 0 otherwise.
+/// If y is constant the ratio is undefined: returns 1 when predictions match
+/// exactly (zero residual) and NaN otherwise — callers must not conflate the
+/// undefined case with a genuine zero score.
 Real r2_score(std::span<const Real> y, std::span<const Real> yhat);
 
-/// Pearson correlation coefficient in [-1, 1]. Returns 0 when either input
-/// has zero variance.
+/// Pearson correlation coefficient in [-1, 1]. When either input has zero
+/// variance the coefficient is undefined and NaN is returned (a genuine
+/// zero correlation is a meaningful result; undefined is not).
 Real pearson(std::span<const Real> x, std::span<const Real> y);
 
-/// Fixed-width histogram over [lo, hi] with `bins` buckets.
-/// Values outside the range are clamped into the edge buckets.
+/// Fixed-width histogram over [lo, hi) with `bins` buckets. Samples outside
+/// the range are NOT folded into the edge buckets — they are tallied in
+/// `underflow`/`overflow` so distribution tails stay visible.
 struct Histogram {
   Real lo = 0.0;
   Real hi = 0.0;
   std::vector<Index> counts;
+  Index underflow = 0;  ///< samples below lo
+  Index overflow = 0;   ///< samples at or above hi
 
   /// Bucket width.
   Real bin_width() const;
   /// Center of bucket b.
   Real bin_center(Index b) const;
-  /// Total number of samples recorded.
+  /// Total number of samples recorded, including under/overflow.
   Index total() const;
+  /// Samples that landed inside [lo, hi).
+  Index in_range() const;
+  /// Record one more sample (same binning rule as make_histogram).
+  void observe(Real value);
 };
 
 Histogram make_histogram(std::span<const Real> values, Real lo, Real hi,

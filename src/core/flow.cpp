@@ -8,6 +8,8 @@
 #include "common/artifact_io.hpp"
 #include "common/check.hpp"
 #include "common/logging.hpp"
+#include "common/obs.hpp"
+#include "common/obs_report.hpp"
 #include "common/stats.hpp"
 #include "common/timer.hpp"
 #include "nn/model_io.hpp"
@@ -153,6 +155,7 @@ void save_flow_checkpoint(const FlowCheckpoint& ckpt,
   write_artifact_file(path,
                       Artifact{kCheckpointType, kCheckpointVersion,
                                out.str()});
+  obs::count("flow.checkpoint_saves");
 }
 
 FlowCheckpoint load_flow_checkpoint(const std::string& path) {
@@ -206,6 +209,7 @@ FlowCheckpoint load_flow_checkpoint(const std::string& path) {
     throw nn::ModelIoError("checkpoint: trained flag set but model blob "
                            "empty");
   }
+  obs::count("flow.checkpoint_loads");
   return ckpt;
 }
 
@@ -227,6 +231,13 @@ FlowResult run_flow(const std::string& benchmark_name,
 
 FlowResult run_flow(const grid::GeneratedBenchmark& bench,
                     const FlowOptions& options) {
+  // Scope the global registry to this run: everything recorded between here
+  // and the end of the flow (including from pool workers) lands in the run
+  // report as a before/after delta.
+  const obs::MetricsSnapshot metrics_before =
+      obs::MetricsRegistry::global().snapshot();
+  obs::count("flow.runs");
+
   FlowResult result;
   result.name = bench.spec.name;
   result.nodes = bench.grid.node_count();
@@ -278,6 +289,7 @@ FlowResult run_flow(const grid::GeneratedBenchmark& bench,
         resumed = ckpt.completed > FlowPhase::kNone;
       } else {
         result.resume_discarded = mismatch;
+        obs::count("flow.resume_discards");
         PPDL_LOG_WARN << bench.spec.name << ": checkpoint discarded — "
                       << mismatch;
       }
@@ -286,6 +298,7 @@ FlowResult run_flow(const grid::GeneratedBenchmark& bench,
         throw;
       }
       result.resume_discarded = e.what();
+      obs::count("flow.resume_discards");
       PPDL_LOG_WARN << bench.spec.name << ": checkpoint discarded — "
                     << e.what();
     } catch (const nn::ModelIoError& e) {
@@ -293,11 +306,15 @@ FlowResult run_flow(const grid::GeneratedBenchmark& bench,
         throw;
       }
       result.resume_discarded = e.what();
+      obs::count("flow.resume_discards");
       PPDL_LOG_WARN << bench.spec.name << ": checkpoint discarded — "
                     << e.what();
     }
   }
   result.resumed_from = resumed ? ckpt.completed : FlowPhase::kNone;
+  if (resumed) {
+    obs::count("flow.resumes");
+  }
   if (!resumed) {
     ckpt = FlowCheckpoint{};
     ckpt.benchmark_name = bench.spec.name;
@@ -307,6 +324,7 @@ FlowResult run_flow(const grid::GeneratedBenchmark& bench,
   grid::PowerGrid golden = bench.grid;
   {
     const Timer phase_timer;
+    const obs::Span span("flow.golden");
     if (resumed && ckpt.completed >= FlowPhase::kGoldenDesign) {
       for (Index bi = 0; bi < golden.branch_count(); ++bi) {
         if (golden.branch(bi).kind == grid::BranchKind::kWire) {
@@ -391,6 +409,7 @@ FlowResult run_flow(const grid::GeneratedBenchmark& bench,
   KirchhoffIrPredictor ir_predictor;
   {
     const Timer phase_timer;
+    const obs::Span span("flow.training");
     if (resumed && ckpt.completed >= FlowPhase::kTraining) {
       if (ckpt.model_trained) {
         std::istringstream blob(ckpt.model_blob);
@@ -450,6 +469,7 @@ FlowResult run_flow(const grid::GeneratedBenchmark& bench,
   grid::PowerGrid perturbed;
   {
     const Timer phase_timer;
+    const obs::Span span("flow.perturb");
     if (resumed && ckpt.completed >= FlowPhase::kPerturbedSpec) {
       perturbed = golden;
       for (Index li = 0; li < perturbed.load_count(); ++li) {
@@ -497,6 +517,7 @@ FlowResult run_flow(const grid::GeneratedBenchmark& bench,
     one_iter.reset_wire_widths();
     planner::PlannerOptions single = planner_opts;
     single.max_iterations = 1;
+    const obs::Span span("flow.conventional");
     const Timer timer;
     planner::PlannerResult one = planner::run_conventional_planner(one_iter,
                                                                    single);
@@ -506,6 +527,7 @@ FlowResult run_flow(const grid::GeneratedBenchmark& bench,
     }
   }
   {
+    const obs::Span span("flow.conventional");
     grid::PowerGrid full = perturbed;
     full.reset_wire_widths();
     result.perturbed_planner =
@@ -529,28 +551,31 @@ FlowResult run_flow(const grid::GeneratedBenchmark& bench,
 
   // --- Phase 5: PowerPlanningDL ----------------------------------------------
   grid::PowerGrid dl_grid = perturbed;
-  if (model.trained()) {
-    result.prediction = model.predict(dl_grid);
-  } else {
-    // Untrained model (golden design excluded or training cut short): fall
-    // back to layer-default widths so the rest of the comparison still
-    // runs, clearly marked by unconverged_excluded/timed_out above.
-    const Timer predict_timer;
-    for (Index bi = 0; bi < dl_grid.branch_count(); ++bi) {
-      const grid::Branch& b = dl_grid.branch(bi);
-      if (b.kind == grid::BranchKind::kWire) {
-        result.prediction.branch.push_back(bi);
-        result.prediction.predicted.push_back(
-            dl_grid.layer(b.layer).default_width);
+  {
+    const obs::Span span("flow.dl");
+    if (model.trained()) {
+      result.prediction = model.predict(dl_grid);
+    } else {
+      // Untrained model (golden design excluded or training cut short): fall
+      // back to layer-default widths so the rest of the comparison still
+      // runs, clearly marked by unconverged_excluded/timed_out above.
+      const Timer predict_timer;
+      for (Index bi = 0; bi < dl_grid.branch_count(); ++bi) {
+        const grid::Branch& b = dl_grid.branch(bi);
+        if (b.kind == grid::BranchKind::kWire) {
+          result.prediction.branch.push_back(bi);
+          result.prediction.predicted.push_back(
+              dl_grid.layer(b.layer).default_width);
+        }
       }
+      result.prediction.predict_seconds = predict_timer.seconds();
     }
-    result.prediction.predict_seconds = predict_timer.seconds();
+    PowerPlanningDL::apply_widths(dl_grid, result.prediction);
+    result.dl_ir = ir_predictor.predict(dl_grid);
+    result.dl_seconds =
+        result.prediction.predict_seconds + result.dl_ir.predict_seconds;
+    result.worst_ir_dl = result.dl_ir.worst_ir_drop;
   }
-  PowerPlanningDL::apply_widths(dl_grid, result.prediction);
-  result.dl_ir = ir_predictor.predict(dl_grid);
-  result.dl_seconds =
-      result.prediction.predict_seconds + result.dl_ir.predict_seconds;
-  result.worst_ir_dl = result.dl_ir.worst_ir_drop;
 
   // Align prediction order with branch index order for the comparison.
   {
@@ -579,6 +604,7 @@ FlowResult run_flow(const grid::GeneratedBenchmark& bench,
   result.width_mse_pct = var > 0.0 ? 100.0 * result.width_mse / var : 0.0;
 
   if (result.timed_out) {
+    obs::count("flow.deadline_expirations");
     PPDL_LOG_WARN << bench.spec.name << ": deadline expired during "
                   << result.timed_out_phase
                   << " — returning best-so-far results";
@@ -586,6 +612,48 @@ FlowResult run_flow(const grid::GeneratedBenchmark& bench,
   PPDL_LOG_INFO << bench.spec.name << ": r2 " << result.width_r2 << ", MSE "
                 << result.width_mse << " um^2, speedup " << result.speedup()
                 << "x";
+
+  if (!options.run_report_path.empty()) {
+    obs::RunReport report;
+    report.benchmark = result.name;
+    // Deterministic sections: run facts plus the registry delta for this
+    // run. Everything here is thread-count independent (see obs.hpp).
+    report.info["flow.resumed_from"] = to_string(result.resumed_from);
+    report.info["flow.resume_discarded"] = result.resume_discarded;
+    report.info["flow.golden_converged"] =
+        result.golden_converged ? "true" : "false";
+    report.info["flow.golden_diagnosis"] = result.golden_diagnosis;
+    // A deadline-bound run is wall-clock-driven end to end, so this pair is
+    // only deterministic for unlimited-budget runs (the tested case).
+    report.info["flow.timed_out"] = result.timed_out ? "true" : "false";
+    report.info["flow.timed_out_phase"] = result.timed_out_phase;
+    report.values["flow.nodes"] = static_cast<Real>(result.nodes);
+    report.values["flow.interconnects"] =
+        static_cast<Real>(result.interconnects);
+    report.values["flow.unconverged_excluded"] =
+        static_cast<Real>(result.unconverged_excluded);
+    report.values["flow.ir_correction"] = result.ir_correction;
+    report.values["flow.width_mse_um2"] = result.width_mse;
+    report.values["flow.width_r2"] = result.width_r2;
+    report.values["flow.width_pearson"] = result.width_pearson;
+    report.values["flow.width_mse_pct"] = result.width_mse_pct;
+    report.values["flow.worst_ir_conventional_v"] =
+        result.worst_ir_conventional;
+    report.values["flow.worst_ir_dl_v"] = result.worst_ir_dl;
+    report.absorb(obs::MetricsRegistry::global().snapshot().delta_since(
+        metrics_before));
+    // Wall-clock section (exempt from the determinism contract).
+    report.timing_seconds["flow.golden"] = result.golden_seconds;
+    report.timing_seconds["flow.training"] = result.training_seconds;
+    report.timing_seconds["flow.perturb"] = result.perturb_seconds;
+    report.timing_seconds["flow.conventional"] = result.conventional_seconds;
+    report.timing_seconds["flow.conventional_full"] =
+        result.conventional_full_seconds;
+    report.timing_seconds["flow.dl"] = result.dl_seconds;
+    obs::write_run_report(options.run_report_path, report);
+    PPDL_LOG_INFO << bench.spec.name << ": run report written to "
+                  << options.run_report_path;
+  }
   return result;
 }
 

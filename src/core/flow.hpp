@@ -76,6 +76,16 @@ struct FlowOptions {
   /// `timed_out == true` and the best-so-far design/model instead of
   /// throwing work away.
   Real deadline_seconds = 0.0;
+
+  // --- observability ------------------------------------------------------
+  /// When non-empty, the flow writes a schema-versioned run report
+  /// (ppdl.run_report JSON, see common/obs_report.hpp) here on completion
+  /// via the crash-safe atomic writer. The report scopes the global metrics
+  /// registry to this run with a before/after snapshot delta, so concurrent
+  /// unrelated activity in the same process is excluded. Written even when
+  /// PPDL_METRICS=off (the metrics section is then empty; result-level
+  /// values and timings are computed regardless).
+  std::string run_report_path;
 };
 
 /// On-disk snapshot of the offline flow state after each completed phase,

@@ -1,8 +1,10 @@
 #include "linalg/cg.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/obs.hpp"
 #include "common/parallel.hpp"
 #include "linalg/vector_ops.hpp"
 
@@ -43,9 +45,11 @@ ScopedCgIterationClamp::~ScopedCgIterationClamp() {
 
 Index cg_iteration_clamp() { return g_cg_iteration_clamp; }
 
-CgResult conjugate_gradient(const CsrMatrix& a, std::span<const Real> b,
-                            const CgOptions& options,
-                            std::optional<std::vector<Real>> x0) {
+namespace {
+
+CgResult conjugate_gradient_impl(const CsrMatrix& a, std::span<const Real> b,
+                                 const CgOptions& options,
+                                 std::optional<std::vector<Real>> x0) {
   PPDL_REQUIRE(a.rows() == a.cols(), "CG needs a square matrix");
   PPDL_REQUIRE(static_cast<Index>(b.size()) == a.rows(),
                "CG: rhs size mismatch");
@@ -164,6 +168,41 @@ CgResult conjugate_gradient(const CsrMatrix& a, std::span<const Real> b,
     });
   }
   result.status = CgStatus::kMaxIterations;
+  return result;
+}
+
+}  // namespace
+
+CgResult conjugate_gradient(const CsrMatrix& a, std::span<const Real> b,
+                            const CgOptions& options,
+                            std::optional<std::vector<Real>> x0) {
+  // Residual-trajectory instrumentation rides the existing observer hook so
+  // the solver loop itself stays untouched; disabled metrics cost one atomic
+  // load here, nothing per iteration.
+  CgOptions opts = options;
+  if (obs::metrics_enabled()) {
+    static const obs::HistogramSpec kResidualSpec{-16.0, 0.0, 32};
+    opts.observer = [prev = options.observer](Index it, Real rel) {
+      if (rel > 0.0 && std::isfinite(rel)) {
+        obs::observe("cg.iter_log10_residual", std::log10(rel),
+                     kResidualSpec);
+      }
+      if (prev) {
+        prev(it, rel);
+      }
+    };
+  }
+  CgResult result = conjugate_gradient_impl(a, b, opts, std::move(x0));
+  obs::count("cg.solves");
+  obs::count("cg.iterations", result.iterations);
+  obs::count(std::string("cg.status.") + to_string(result.status));
+  obs::observe("cg.solve_iterations", static_cast<Real>(result.iterations),
+               {0.0, 512.0, 32});
+  if (result.relative_residual > 0.0 &&
+      std::isfinite(result.relative_residual)) {
+    obs::observe("cg.log10_relative_residual",
+                 std::log10(result.relative_residual), {-16.0, 0.0, 32});
+  }
   return result;
 }
 

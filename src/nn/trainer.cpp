@@ -4,9 +4,35 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/obs.hpp"
 #include "common/parallel.hpp"
 
 namespace ppdl::nn {
+
+namespace {
+
+// Trainers may run concurrently on pool workers (the PPDL model fits layer
+// models in parallel), so instrumentation here sticks to counters and
+// histograms — commutative tallies that stay deterministic regardless of
+// which trainer records first. No gauges.
+constexpr obs::HistogramSpec kLossSpec{-8.0, 2.0, 40};
+
+void record_train_outcome(const TrainHistory& history) {
+  obs::count("train.runs");
+  obs::count("train.epochs", history.epochs_run);
+  obs::count("train.rollbacks", history.recoveries);
+  if (history.diverged) {
+    obs::count("train.diverged");
+  }
+  if (history.early_stopped) {
+    obs::count("train.early_stops");
+  }
+  if (history.timed_out) {
+    obs::count("train.timeouts");
+  }
+}
+
+}  // namespace
 
 Matrix slice_rows(const Matrix& m, Index begin, Index end) {
   PPDL_REQUIRE(begin >= 0 && begin <= end && end <= m.rows(),
@@ -88,6 +114,7 @@ TrainHistory train(Mlp& model, const Matrix& x, const Matrix& y,
       return false;
     }
     ++history.recoveries;
+    obs::count("train.lr_backoffs");
     model.restore_parameters(good_params);
     lr *= options.lr_backoff_factor;
     history.final_learning_rate = lr;
@@ -200,6 +227,10 @@ TrainHistory train(Mlp& model, const Matrix& x, const Matrix& y,
     history.val_loss.push_back(val_loss);
     history.epochs_run = epoch;
     good_params = model.snapshot_parameters();
+    if (epoch_loss > 0.0 && std::isfinite(epoch_loss)) {
+      obs::observe("train.log10_epoch_loss", std::log10(epoch_loss),
+                   kLossSpec);
+    }
 
     if (options.on_epoch) {
       options.on_epoch(epoch, epoch_loss, val_loss);
@@ -224,6 +255,7 @@ TrainHistory train(Mlp& model, const Matrix& x, const Matrix& y,
     model.restore_parameters(best_params);
   }
   history.best_val_loss = best_val;
+  record_train_outcome(history);
   return history;
 }
 

@@ -5,11 +5,36 @@
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
+#include "common/obs.hpp"
 #include "grid/design_rules.hpp"
 
 namespace ppdl::planner {
 
 namespace {
+
+/// Tallies one finished planner run: outcome, iteration count, and the
+/// per-iteration worst-IR / widening trace as bounded histograms.
+void record_planner_outcome(const PlannerResult& result) {
+  obs::count("planner.runs");
+  obs::count("planner.iterations", result.iterations);
+  obs::count("planner.solver_escalations", result.solver_escalations);
+  if (result.converged) {
+    obs::count("planner.converged");
+  } else if (result.solver_failed) {
+    obs::count("planner.solver_failed");
+  } else if (result.timed_out) {
+    obs::count("planner.timed_out");
+  } else {
+    obs::count("planner.stuck");
+  }
+  for (const IterationTrace& trace : result.trace) {
+    obs::count("planner.wires_widened", trace.wires_widened);
+    obs::observe("planner.iter_worst_ir_mv", trace.worst_ir_drop * 1e3,
+                 {0.0, 50.0, 50});
+    obs::observe("planner.iter_wires_widened",
+                 static_cast<Real>(trace.wires_widened), {0.0, 4096.0, 32});
+  }
+}
 
 /// Folds one analysis' solve diagnosis into the planner result: counts
 /// escalated solves and latches failure (with the SolveReport summary) when
@@ -116,6 +141,7 @@ PlannerResult run_conventional_planner(grid::PowerGrid& pg,
   PPDL_REQUIRE(options.max_iterations > 0, "need at least one iteration");
   PlannerResult result;
   const Timer timer;
+  const obs::Span span("planner.run");
 
   analysis::IrAnalysisOptions solver = options.solver;
   solver.deadline = options.deadline;
@@ -194,6 +220,7 @@ PlannerResult run_conventional_planner(grid::PowerGrid& pg,
   }
 
   result.total_seconds = timer.seconds();
+  record_planner_outcome(result);
   return result;
 }
 

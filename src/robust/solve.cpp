@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/obs.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/ordering.hpp"
 #include "linalg/vector_ops.hpp"
@@ -40,6 +41,24 @@ const char* precond_name(linalg::PreconditionerKind kind) {
       return "ic0";
   }
   return "?";
+}
+
+/// Tallies one finished ladder run into the metrics registry: which rungs
+/// ran, whether escalation was needed, and how the run ended.
+void record_ladder_outcome(const SolveReport& report) {
+  obs::count("solve.ladder_runs");
+  obs::count(report.converged ? "solve.converged" : "solve.failed");
+  if (report.attempts.size() > 1) {
+    obs::count("solve.escalated");
+  }
+  if (report.deadline_expired) {
+    obs::count("solve.deadline_expired");
+  }
+  for (const SolveAttempt& attempt : report.attempts) {
+    obs::count(std::string("solve.rung.") + to_string(attempt.step));
+  }
+  obs::observe("solve.ladder_iterations",
+               static_cast<Real>(report.total_iterations), {0.0, 2048.0, 32});
 }
 
 /// Tracks the best finite iterate seen across rungs.
@@ -114,6 +133,7 @@ RobustSolveResult robust_solve(const linalg::CsrMatrix& a,
     attempt.status = linalg::CgStatus::kConverged;
     result.report.attempts.push_back(std::move(attempt));
     result.report.converged = true;
+    record_ladder_outcome(result.report);
     return result;
   }
 
@@ -184,6 +204,7 @@ RobustSolveResult robust_solve(const linalg::CsrMatrix& a,
     result.x = best.x.empty()
                    ? std::vector<Real>(static_cast<std::size_t>(n), 0.0)
                    : std::move(best.x);
+    record_ladder_outcome(report);
     return result;
   }
 
@@ -293,6 +314,7 @@ RobustSolveResult robust_solve(const linalg::CsrMatrix& a,
   result.x = best.x.empty()
                  ? std::vector<Real>(static_cast<std::size_t>(n), 0.0)
                  : std::move(best.x);
+  record_ladder_outcome(report);
   return result;
 }
 

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/csv.hpp"
@@ -40,6 +42,39 @@ TEST(Csv, EscapesSpecialCharacters) {
     csv.write_row({std::string("say \"hi\"")});
   }
   EXPECT_EQ(read_file(path), "text\n\"hello, world\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, NumericRowsRoundTripExactly) {
+  // Regression: numeric rows used to go through a 6-significant-digit
+  // default format, so values like 1/3 came back off by ~1e-7. The writer
+  // now emits shortest-round-trip form; parsing the file must reproduce
+  // every bit.
+  const std::vector<Real> values{1.0 / 3.0,
+                                 0.1,
+                                 1e-300,
+                                 -123456.789012345,
+                                 6.25e-2,
+                                 9.999999999999999e22};
+  const std::string path = temp_path("roundtrip.csv");
+  {
+    CsvWriter csv(path, {"v"});
+    for (const Real v : values) {
+      csv.write_row(std::vector<Real>{v});
+    }
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));  // header
+  for (const Real v : values) {
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(std::strtod(line.c_str(), nullptr), v) << line;
+  }
+}
+
+TEST(Csv, FormatRealUsesShortestForm) {
+  EXPECT_EQ(CsvWriter::format_real(0.1), "0.1");
+  EXPECT_EQ(CsvWriter::format_real(4.0), "4");
+  EXPECT_EQ(CsvWriter::format_real(-0.5), "-0.5");
 }
 
 TEST(Csv, RejectsArityMismatch) {

@@ -75,8 +75,11 @@ TEST(Stats, R2ConstantTargetEdgeCases) {
   const std::vector<Real> y{5.0, 5.0};
   const std::vector<Real> exact{5.0, 5.0};
   const std::vector<Real> off{5.0, 6.0};
+  // Matching a constant target exactly is a perfect fit; missing it leaves
+  // r² undefined (no variance to explain), reported as NaN — not 0, which
+  // would read as "as good as the mean predictor".
   EXPECT_DOUBLE_EQ(r2_score(y, exact), 1.0);
-  EXPECT_DOUBLE_EQ(r2_score(y, off), 0.0);
+  EXPECT_TRUE(std::isnan(r2_score(y, off)));
 }
 
 TEST(Stats, PearsonPerfectPositive) {
@@ -91,29 +94,58 @@ TEST(Stats, PearsonPerfectNegative) {
   EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
 }
 
-TEST(Stats, PearsonZeroVarianceIsZero) {
+TEST(Stats, PearsonZeroVarianceIsUndefined) {
+  // Correlation with a constant series divides by zero stddev — undefined,
+  // reported as NaN rather than a misleading "uncorrelated" 0.
   const std::vector<Real> x{1.0, 1.0, 1.0};
   const std::vector<Real> y{1.0, 2.0, 3.0};
-  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+  EXPECT_TRUE(std::isnan(pearson(x, y)));
+  EXPECT_TRUE(std::isnan(pearson(y, x)));
 }
 
-TEST(Stats, HistogramCountsAndClamping) {
+TEST(Stats, HistogramCountsAndTails) {
   const std::vector<Real> v{-10.0, 0.1, 0.2, 0.55, 0.9, 10.0};
   const Histogram h = make_histogram(v, 0.0, 1.0, 2);
   ASSERT_EQ(h.counts.size(), 2u);
-  // -10 clamps into bucket 0; 10 clamps into bucket 1.
-  EXPECT_EQ(h.counts[0], 3);
-  EXPECT_EQ(h.counts[1], 3);
+  // Out-of-range samples land in the explicit tails, not the edge bins.
+  EXPECT_EQ(h.counts[0], 2);
+  EXPECT_EQ(h.counts[1], 2);
+  EXPECT_EQ(h.underflow, 1);
+  EXPECT_EQ(h.overflow, 1);
+  EXPECT_EQ(h.in_range(), 4);
   EXPECT_EQ(h.total(), 6);
   EXPECT_DOUBLE_EQ(h.bin_width(), 0.5);
   EXPECT_DOUBLE_EQ(h.bin_center(0), 0.25);
   EXPECT_DOUBLE_EQ(h.bin_center(1), 0.75);
 }
 
+TEST(Stats, HistogramBoundaryBinning) {
+  // [lo, hi) semantics: lo lands in bin 0, bin edges belong to the upper
+  // bin, and hi itself is overflow.
+  const std::vector<Real> v{0.0, 0.5, 1.0};
+  const Histogram h = make_histogram(v, 0.0, 1.0, 2);
+  EXPECT_EQ(h.counts[0], 1);
+  EXPECT_EQ(h.counts[1], 1);
+  EXPECT_EQ(h.underflow, 0);
+  EXPECT_EQ(h.overflow, 1);
+  EXPECT_EQ(h.total(), 3);
+}
+
 TEST(Stats, HistogramRejectsBadArguments) {
   const std::vector<Real> v{1.0};
   EXPECT_THROW(make_histogram(v, 0.0, 1.0, 0), ContractViolation);
   EXPECT_THROW(make_histogram(v, 1.0, 1.0, 4), ContractViolation);
+}
+
+TEST(Stats, SummaryOfSingleSample) {
+  const std::vector<Real> v{7.0};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.min, 7.0);
+  EXPECT_DOUBLE_EQ(s.max, 7.0);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.p50, 7.0);
+  EXPECT_DOUBLE_EQ(s.p95, 7.0);
+  EXPECT_DOUBLE_EQ(s.p99, 7.0);
 }
 
 TEST(Stats, SummaryPercentilesSorted) {

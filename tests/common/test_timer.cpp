@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "common/timer.hpp"
 
@@ -61,6 +63,33 @@ TEST(ScopedPhase, RecordsOnDestruction) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   EXPECT_GT(pt.total("work"), 0.0);
+}
+
+TEST(PhaseTimer, ConcurrentWritersLoseNothing) {
+  PhaseTimer pt;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 1000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&pt, t] {
+      const std::string own = "phase-" + std::to_string(t % 4);
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        pt.add(own, 0.001);
+        pt.add("shared", 0.001);
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  EXPECT_NEAR(pt.total("shared"), kThreads * kAddsPerThread * 0.001, 1e-9);
+  Real per_phase = 0.0;
+  for (int p = 0; p < 4; ++p) {
+    per_phase += pt.total("phase-" + std::to_string(p));
+  }
+  EXPECT_NEAR(per_phase, kThreads * kAddsPerThread * 0.001, 1e-9);
+  ASSERT_EQ(pt.phases().size(), 5u);
 }
 
 }  // namespace

@@ -1,0 +1,204 @@
+// Unit coverage of ppdl::obs: registry semantics, snapshot deltas, the
+// kill-switch, RAII spans (with PhaseTimer mirroring), and thread-safety of
+// concurrent recorders.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/obs.hpp"
+#include "common/obs_report.hpp"
+#include "common/timer.hpp"
+
+namespace ppdl::obs {
+namespace {
+
+/// Each test starts from an empty global registry with metrics on.
+class ObsTest : public ::testing::Test {
+ protected:
+  ObsTest() : enabled_(true) { MetricsRegistry::global().reset(); }
+  ScopedMetricsEnabled enabled_;
+};
+
+TEST_F(ObsTest, CountersAccumulate) {
+  count("events");
+  count("events", 4);
+  EXPECT_EQ(MetricsRegistry::global().counter("events"), 5);
+  EXPECT_EQ(MetricsRegistry::global().counter("never"), 0);
+}
+
+TEST_F(ObsTest, GaugesKeepLastWrite) {
+  EXPECT_TRUE(std::isnan(MetricsRegistry::global().gauge("g")));
+  gauge("g", 1.5);
+  gauge("g", -2.5);
+  EXPECT_DOUBLE_EQ(MetricsRegistry::global().gauge("g"), -2.5);
+}
+
+TEST_F(ObsTest, HistogramSpecFixedAtFirstUse) {
+  observe("h", 0.5, {0.0, 1.0, 4});
+  observe("h", 0.9, {0.0, 100.0, 2});  // later spec ignored
+  observe("h", -1.0, {0.0, 1.0, 4});   // underflow
+  observe("h", 1.0, {0.0, 1.0, 4});    // hi itself is overflow
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  const Histogram& h = snap.histograms.at("h");
+  ASSERT_EQ(h.counts.size(), 4u);
+  EXPECT_DOUBLE_EQ(h.hi, 1.0);
+  EXPECT_EQ(h.counts[2], 1);  // 0.5
+  EXPECT_EQ(h.counts[3], 1);  // 0.9
+  EXPECT_EQ(h.underflow, 1);
+  EXPECT_EQ(h.overflow, 1);
+  EXPECT_EQ(h.total(), 4);
+}
+
+TEST_F(ObsTest, DisabledHelpersRecordNothing) {
+  ScopedMetricsEnabled off(false);
+  count("silent");
+  gauge("silent", 1.0);
+  observe("silent", 0.5, {0.0, 1.0, 2});
+  {
+    Span span("silent.span");
+  }
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+  EXPECT_TRUE(snap.spans.empty());
+}
+
+TEST_F(ObsTest, ScopedEnableRestoresPreviousState) {
+  {
+    ScopedMetricsEnabled off(false);
+    EXPECT_FALSE(metrics_enabled());
+    {
+      ScopedMetricsEnabled on(true);
+      EXPECT_TRUE(metrics_enabled());
+    }
+    EXPECT_FALSE(metrics_enabled());
+  }
+  EXPECT_TRUE(metrics_enabled());
+}
+
+TEST_F(ObsTest, SpanRecordsSecondsAndCount) {
+  {
+    Span span("work");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_GT(span.seconds(), 0.0);
+  }
+  {
+    Span span("work");
+  }
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  const SpanStat& s = snap.spans.at("work");
+  EXPECT_EQ(s.count, 2);
+  EXPECT_GT(s.seconds, 0.004);
+}
+
+TEST_F(ObsTest, SpanMirrorsIntoPhaseTimer) {
+  PhaseTimer pt;
+  {
+    Span span("phase", &pt);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(pt.total("phase"), 0.0);
+  EXPECT_EQ(MetricsRegistry::global().snapshot().spans.at("phase").count, 1);
+}
+
+TEST_F(ObsTest, SnapshotDeltaSubtractsAccumulators) {
+  count("c", 10);
+  observe("h", 0.25, {0.0, 1.0, 2});
+  gauge("g", 1.0);
+  const MetricsSnapshot before = MetricsRegistry::global().snapshot();
+
+  count("c", 3);
+  count("new", 7);
+  observe("h", 0.75, {0.0, 1.0, 2});
+  gauge("g", 42.0);
+  {
+    Span span("s");
+  }
+
+  const MetricsSnapshot delta =
+      MetricsRegistry::global().snapshot().delta_since(before);
+  EXPECT_EQ(delta.counters.at("c"), 3);
+  EXPECT_EQ(delta.counters.at("new"), 7);
+  // Unchanged-in-window metrics are omitted from the delta entirely.
+  EXPECT_EQ(delta.histograms.at("h").counts[1], 1);
+  EXPECT_EQ(delta.histograms.at("h").counts[0], 0);
+  // Gauges are point-in-time: the delta carries the current value.
+  EXPECT_DOUBLE_EQ(delta.gauges.at("g"), 42.0);
+  EXPECT_EQ(delta.spans.at("s").count, 1);
+}
+
+TEST_F(ObsTest, SnapshotDeltaOmitsQuietMetrics) {
+  count("quiet", 5);
+  const MetricsSnapshot before = MetricsRegistry::global().snapshot();
+  count("loud");
+  const MetricsSnapshot delta =
+      MetricsRegistry::global().snapshot().delta_since(before);
+  EXPECT_EQ(delta.counters.count("quiet"), 0u);
+  EXPECT_EQ(delta.counters.at("loud"), 1);
+}
+
+TEST_F(ObsTest, ConcurrentRecordersLoseNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        count("shared.counter");
+        count("own.counter." + std::to_string(t));
+        observe("shared.hist", static_cast<Real>(i % 10), {0.0, 10.0, 10});
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  EXPECT_EQ(snap.counters.at("shared.counter"),
+            static_cast<Index>(kThreads * kOpsPerThread));
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snap.counters.at("own.counter." + std::to_string(t)),
+              static_cast<Index>(kOpsPerThread));
+  }
+  EXPECT_EQ(snap.histograms.at("shared.hist").total(),
+            static_cast<Index>(kThreads * kOpsPerThread));
+  for (const Index c : snap.histograms.at("shared.hist").counts) {
+    EXPECT_EQ(c, static_cast<Index>(kThreads * kOpsPerThread / 10));
+  }
+}
+
+TEST_F(ObsTest, RenderIsByteStableForEqualContent) {
+  RunReport a;
+  a.benchmark = "x";
+  a.counters["n"] = 3;
+  a.values["v"] = 0.1;
+  RunReport b = a;
+  EXPECT_EQ(render_run_report(a), render_run_report(b));
+}
+
+TEST_F(ObsTest, RenderTurnsNonFiniteIntoNull) {
+  RunReport r;
+  r.benchmark = "x";
+  r.values["undefined"] = std::nan("");
+  const std::string json = render_run_report(r);
+  EXPECT_NE(json.find("\"undefined\": null"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+}
+
+TEST_F(ObsTest, ExtractJsonSectionMatchesBraces) {
+  const std::string json =
+      "{\n  \"metrics\": {\"a\": {\"b\": [1, 2]}, \"s\": \"br{ace\"},\n"
+      "  \"timing\": {\"t\": 1}\n}\n";
+  EXPECT_EQ(extract_json_section(json, "metrics"),
+            "{\"a\": {\"b\": [1, 2]}, \"s\": \"br{ace\"}");
+  EXPECT_EQ(extract_json_section(json, "timing"), "{\"t\": 1}");
+  EXPECT_EQ(extract_json_section(json, "absent"), "");
+}
+
+}  // namespace
+}  // namespace ppdl::obs

@@ -1,0 +1,161 @@
+// End-to-end run-report coverage: a full flow emits a schema-versioned
+// ppdl.run_report JSON with solver/trainer/planner/phase metrics, and the
+// deterministic sections (`info`, `metrics`) are BYTE-IDENTICAL across
+// PPDL_THREADS ∈ {1, 2, 8} — the observability layer inherits the parallel
+// substrate's bit-identity contract. Wall-clock `timing` is exempt.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/obs.hpp"
+#include "common/obs_report.hpp"
+#include "common/parallel.hpp"
+#include "core/flow.hpp"
+
+namespace ppdl {
+namespace {
+
+struct ThreadGuard {
+  ~ThreadGuard() { parallel::set_num_threads(0); }
+};
+
+std::string temp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+core::FlowOptions fast_flow_options() {
+  core::FlowOptions o;
+  o.benchmark.scale = 0.02;
+  o.benchmark.seed = 21;
+  o.model.hidden_layers = 4;
+  o.model.hidden_units = 16;
+  o.model.train.epochs = 20;
+  return o;
+}
+
+/// One instrumented flow at `threads`, reporting into `path`.
+std::string run_and_read_report(Index threads, const std::string& path) {
+  parallel::set_num_threads(threads);
+  core::FlowOptions options = fast_flow_options();
+  options.run_report_path = path;
+  core::run_flow("ibmpg1", options);
+  return read_file(path);
+}
+
+TEST(RunReport, FlowEmitsSchemaVersionedReport) {
+  ThreadGuard guard;
+  obs::ScopedMetricsEnabled enabled(true);
+  const std::string path = temp_path("run_report_e2e.json");
+  const std::string json = run_and_read_report(0, path);
+
+  ASSERT_FALSE(json.empty()) << "report not written to " << path;
+  EXPECT_NE(json.find("\"schema\": \"ppdl.run_report\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"benchmark\": \"ibmpg1\""), std::string::npos);
+
+  // Solver, planner, trainer, and flow sites all contributed.
+  const std::string counters = obs::extract_json_section(json, "counters");
+  ASSERT_FALSE(counters.empty());
+  EXPECT_NE(counters.find("\"cg.solves\""), std::string::npos);
+  EXPECT_NE(counters.find("\"solve.ladder_runs\""), std::string::npos);
+  EXPECT_NE(counters.find("\"planner.runs\""), std::string::npos);
+  EXPECT_NE(counters.find("\"train.runs\""), std::string::npos);
+  EXPECT_NE(counters.find("\"flow.runs\": 1"), std::string::npos);
+
+  const std::string values = obs::extract_json_section(json, "values");
+  EXPECT_NE(values.find("\"flow.width_r2\""), std::string::npos);
+  EXPECT_NE(values.find("\"flow.worst_ir_dl_v\""), std::string::npos);
+
+  const std::string hists = obs::extract_json_section(json, "histograms");
+  EXPECT_NE(hists.find("\"cg.solve_iterations\""), std::string::npos);
+  EXPECT_NE(hists.find("\"train.log10_epoch_loss\""), std::string::npos);
+  EXPECT_NE(hists.find("\"planner.iter_worst_ir_mv\""), std::string::npos);
+
+  // Wall-clock section carries the per-phase spans and seconds.
+  const std::string timing = obs::extract_json_section(json, "timing");
+  EXPECT_NE(timing.find("\"flow.golden\""), std::string::npos);
+  EXPECT_NE(timing.find("\"flow.training\""), std::string::npos);
+  EXPECT_NE(timing.find("\"flow.conventional\""), std::string::npos);
+  EXPECT_NE(timing.find("\"flow.dl\""), std::string::npos);
+  EXPECT_NE(timing.find("\"planner.run\""), std::string::npos);
+}
+
+TEST(RunReport, MetricSectionsBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  obs::ScopedMetricsEnabled enabled(true);
+
+  const std::string ref_json =
+      run_and_read_report(1, temp_path("run_report_t1.json"));
+  const std::string ref_metrics =
+      obs::extract_json_section(ref_json, "metrics");
+  const std::string ref_info = obs::extract_json_section(ref_json, "info");
+  ASSERT_FALSE(ref_metrics.empty());
+  ASSERT_FALSE(ref_info.empty());
+
+  for (const Index threads : {2, 8}) {
+    const std::string json = run_and_read_report(
+        threads, temp_path("run_report_t" + std::to_string(threads) +
+                           ".json"));
+    // EXACT string equality: same events, same tallies, same bytes.
+    EXPECT_EQ(obs::extract_json_section(json, "metrics"), ref_metrics)
+        << "metrics section diverged at " << threads << " threads";
+    EXPECT_EQ(obs::extract_json_section(json, "info"), ref_info)
+        << "info section diverged at " << threads << " threads";
+  }
+}
+
+TEST(RunReport, DisabledMetricsStillEmitResultValues) {
+  ThreadGuard guard;
+  obs::ScopedMetricsEnabled disabled(false);
+  const std::string path = temp_path("run_report_off.json");
+  const std::string json = run_and_read_report(0, path);
+
+  ASSERT_FALSE(json.empty());
+  // Registry-fed sections are empty; result-level facts still present.
+  EXPECT_EQ(obs::extract_json_section(json, "counters"), "{}");
+  EXPECT_EQ(obs::extract_json_section(json, "histograms"), "{}");
+  EXPECT_NE(obs::extract_json_section(json, "values").find("flow.width_r2"),
+            std::string::npos);
+  EXPECT_NE(obs::extract_json_section(json, "seconds").find("flow.golden"),
+            std::string::npos);
+}
+
+TEST(RunReport, ResumedFlowReportsCheckpointEvents) {
+  ThreadGuard guard;
+  obs::ScopedMetricsEnabled enabled(true);
+  const std::string ckpt = temp_path("run_report_ckpt.bin");
+  std::remove(ckpt.c_str());
+
+  core::FlowOptions options = fast_flow_options();
+  options.checkpoint_path = ckpt;
+  options.run_report_path = temp_path("run_report_fresh.json");
+  core::run_flow("ibmpg1", options);
+  const std::string fresh = read_file(options.run_report_path);
+  const std::string fresh_counters =
+      obs::extract_json_section(fresh, "counters");
+  EXPECT_NE(fresh_counters.find("\"flow.checkpoint_saves\": 3"),
+            std::string::npos);
+
+  options.run_report_path = temp_path("run_report_resumed.json");
+  core::run_flow("ibmpg1", options);
+  const std::string resumed = read_file(options.run_report_path);
+  EXPECT_NE(obs::extract_json_section(resumed, "counters")
+                .find("\"flow.resumes\": 1"),
+            std::string::npos);
+  EXPECT_NE(obs::extract_json_section(resumed, "info")
+                .find("\"flow.resumed_from\": \"perturbed-spec\""),
+            std::string::npos);
+  std::remove(ckpt.c_str());
+}
+
+}  // namespace
+}  // namespace ppdl

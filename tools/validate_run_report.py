@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Validate a ppdl.run_report JSON document against its schema.
+
+Stdlib only (no jsonschema dependency): implements the subset of JSON
+Schema draft-07 the run-report schema actually uses — type, const,
+required, properties, additionalProperties, items, minimum, and local
+$ref into #/definitions.
+
+Usage:
+    tools/validate_run_report.py RUN_REPORT.json [--schema SCHEMA.json]
+
+Exit code 0 when valid; 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_SCHEMA = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "schemas"
+    / "run_report.schema.json"
+)
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in Python; JSON booleans are not numbers.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "null": lambda v: v is None,
+    "boolean": lambda v: isinstance(v, bool),
+}
+
+
+def _resolve_ref(schema: dict, root: dict) -> dict:
+    ref = schema.get("$ref")
+    if ref is None:
+        return schema
+    if not ref.startswith("#/"):
+        raise ValueError(f"unsupported $ref: {ref}")
+    node = root
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+def validate(value, schema: dict, root: dict, path: str, errors: list) -> None:
+    schema = _resolve_ref(schema, root)
+
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")
+        return
+
+    expected = schema.get("type")
+    if expected is not None:
+        types = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[t](value) for t in types):
+            errors.append(
+                f"{path}: expected type {'/'.join(types)}, "
+                f"got {type(value).__name__}"
+            )
+            return
+
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if not isinstance(value, bool) and value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        props = schema.get("properties", {})
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key '{key}'")
+        additional = schema.get("additionalProperties", True)
+        for key, item in value.items():
+            if key in props:
+                validate(item, props[key], root, f"{path}.{key}", errors)
+            elif additional is False:
+                errors.append(f"{path}: unexpected key '{key}'")
+            elif isinstance(additional, dict):
+                validate(item, additional, root, f"{path}.{key}", errors)
+
+    if isinstance(value, list) and isinstance(schema.get("items"), dict):
+        for i, item in enumerate(value):
+            validate(item, schema["items"], root, f"{path}[{i}]", errors)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", type=pathlib.Path)
+    parser.add_argument("--schema", type=pathlib.Path, default=DEFAULT_SCHEMA)
+    args = parser.parse_args()
+
+    try:
+        report = json.loads(args.report.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot parse {args.report}: {e}", file=sys.stderr)
+        return 1
+    schema = json.loads(args.schema.read_text())
+
+    errors: list = []
+    validate(report, schema, schema, "$", errors)
+    if errors:
+        for line in errors:
+            print(f"INVALID {line}", file=sys.stderr)
+        return 1
+    counters = len(report["metrics"]["counters"])
+    hists = len(report["metrics"]["histograms"])
+    spans = len(report["timing"]["spans"])
+    print(
+        f"OK {args.report}: benchmark={report['benchmark']} "
+        f"counters={counters} histograms={hists} spans={spans}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
