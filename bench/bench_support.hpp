@@ -13,13 +13,15 @@
 #pragma once
 
 #include <algorithm>
-#include <fstream>
 #include <iostream>
 #include <limits>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/artifact_io.hpp"
 #include "common/cli.hpp"
+#include "common/csv.hpp"
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
@@ -116,15 +118,17 @@ void sweep_threads(const std::string& name, Index size, Fn&& fn,
 /// record carries name / wall_ms / threads / size).
 inline void write_bench_json(const std::string& path,
                              const std::vector<ThreadBenchRecord>& records) {
-  std::ofstream out(path);
+  std::ostringstream out;
   out << "[\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const ThreadBenchRecord& r = records[i];
-    out << "  {\"name\": \"" << r.name << "\", \"wall_ms\": " << r.wall_ms
+    out << "  {\"name\": \"" << r.name
+        << "\", \"wall_ms\": " << format_real_shortest(r.wall_ms)
         << ", \"threads\": " << r.threads << ", \"size\": " << r.size << "}"
         << (i + 1 < records.size() ? "," : "") << "\n";
   }
   out << "]\n";
+  write_raw_file_atomic(path, out.str());
   std::cout << "wrote " << records.size() << " records to " << path << "\n";
 }
 

@@ -65,27 +65,29 @@ int main(int argc, char** argv) {
   const auto coord = [&](Index i, Index count) {
     return die.x1 * (static_cast<Real>(i) + 0.5) / static_cast<Real>(count);
   };
+  const auto at = [](std::vector<std::vector<Index>>& grid_ids, Index r,
+                     Index c) -> Index& {
+    return grid_ids[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+  };
   for (Index i = 0; i < kM1; ++i) {
     for (Index j = 0; j < kM4; ++j) {
-      n1[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
-          pg.add_node({coord(j, kM4), coord(i, kM1)}, m1);
+      at(n1, i, j) = pg.add_node({coord(j, kM4), coord(i, kM1)}, m1);
     }
   }
   for (Index k = 0; k < kM7; ++k) {
     for (Index j = 0; j < kM4; ++j) {
-      n7[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)] =
-          pg.add_node({coord(j, kM4), coord(k, kM7)}, m7);
+      at(n7, k, j) = pg.add_node({coord(j, kM4), coord(k, kM7)}, m7);
     }
   }
   const Real seg_x = die.width() / static_cast<Real>(kM4);
   for (Index i = 0; i < kM1; ++i) {
     for (Index j = 0; j + 1 < kM4; ++j) {
-      pg.add_wire(n1[i][j], n1[i][j + 1], m1, seg_x, 0.8);
+      pg.add_wire(at(n1, i, j), at(n1, i, j + 1), m1, seg_x, 0.8);
     }
   }
   for (Index k = 0; k < kM7; ++k) {
     for (Index j = 0; j + 1 < kM4; ++j) {
-      pg.add_wire(n7[k][j], n7[k][j + 1], m7, seg_x, 5.0);
+      pg.add_wire(at(n7, k, j), at(n7, k, j + 1), m7, seg_x, 5.0);
     }
   }
   // M4 columns stitch M1 rows to M7 rows: one M4 node per crossing, sorted
@@ -99,10 +101,10 @@ int main(int argc, char** argv) {
     std::vector<Crossing> crossings;
     crossings.reserve(static_cast<std::size_t>(kM1 + kM7));
     for (Index i = 0; i < kM1; ++i) {
-      crossings.push_back({coord(i, kM1), n1[i][j], m4});
+      crossings.push_back({coord(i, kM1), at(n1, i, j), m4});
     }
     for (Index k = 0; k < kM7; ++k) {
-      crossings.push_back({coord(k, kM7), n7[k][j], m7});
+      crossings.push_back({coord(k, kM7), at(n7, k, j), m7});
     }
     std::sort(crossings.begin(), crossings.end(),
               [](const Crossing& a, const Crossing& b) { return a.y < b.y; });
@@ -121,7 +123,7 @@ int main(int argc, char** argv) {
   // Pads on every 4th M7 crossing; loads from the floorplan onto M1.
   for (Index k = 0; k < kM7; ++k) {
     for (Index j = 0; j < kM4; j += 4) {
-      pg.add_pad(n7[k][j], pg.vdd());
+      pg.add_pad(at(n7, k, j), pg.vdd());
     }
   }
   const Real cell_area = seg_x * (die.height() / static_cast<Real>(kM1));
@@ -130,7 +132,7 @@ int main(int argc, char** argv) {
       const grid::Point p{coord(j, kM4), coord(i, kM1)};
       const Real amps = floorplan.current_density_at(p) * cell_area;
       if (amps > 0.0) {
-        pg.add_load(n1[i][j], amps);
+        pg.add_load(at(n1, i, j), amps);
       }
     }
   }

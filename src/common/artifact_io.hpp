@@ -18,8 +18,8 @@
 //
 // On-disk layout (text header, binary-safe payload):
 //
-//   ppdl-artifact <container-version> <type> <artifact-version> \
-//       <payload-bytes> <checksum-hex>\n
+//   ppdl-artifact <container-version> <type> <artifact-version>
+//       <payload-bytes> <checksum-hex>            (one line, '\n'-terminated)
 //   <payload bytes, exactly payload-bytes of them>
 #pragma once
 

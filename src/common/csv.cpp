@@ -1,34 +1,58 @@
 #include "common/csv.hpp"
 
 #include <charconv>
+#include <utility>
 
+#include "common/artifact_io.hpp"
 #include "common/check.hpp"
+#include "common/logging.hpp"
 
 namespace ppdl {
 
-CsvWriter::CsvWriter(const std::string& path,
+std::string format_real_shortest(Real value) {
+  // Shortest decimal form that parses back to the exact same double —
+  // default ostream precision (6 significant digits) silently loses bits,
+  // so exported datasets would not round-trip.
+  char buf[40];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  PPDL_REQUIRE(ec == std::errc(), "float formatting failed");
+  return std::string(buf, end);
+}
+
+CsvWriter::CsvWriter(std::string path,
                      const std::vector<std::string>& header)
-    : out_(path), arity_(header.size()) {
+    : path_(std::move(path)), arity_(header.size()) {
   PPDL_REQUIRE(!header.empty(), "CSV header must not be empty");
-  PPDL_REQUIRE(out_.good(), "cannot open CSV file: " + path);
   for (std::size_t i = 0; i < header.size(); ++i) {
     if (i > 0) {
-      out_ << ',';
+      buffer_ += ',';
     }
-    out_ << escape(header[i]);
+    buffer_ += escape(header[i]);
   }
-  out_ << '\n';
+  buffer_ += '\n';
+}
+
+CsvWriter::~CsvWriter() {
+  if (!open_) {
+    return;
+  }
+  try {
+    close();
+  } catch (const ArtifactError& err) {
+    PPDL_LOG_ERROR << "CSV commit failed in destructor: " << err.what();
+  }
 }
 
 void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  PPDL_REQUIRE(open_, "CSV writer already closed: " + path_);
   PPDL_REQUIRE(fields.size() == arity_, "CSV row arity mismatch");
   for (std::size_t i = 0; i < fields.size(); ++i) {
     if (i > 0) {
-      out_ << ',';
+      buffer_ += ',';
     }
-    out_ << escape(fields[i]);
+    buffer_ += escape(fields[i]);
   }
-  out_ << '\n';
+  buffer_ += '\n';
   ++rows_;
 }
 
@@ -41,14 +65,19 @@ void CsvWriter::write_row(const std::vector<Real>& fields) {
   write_row(s);
 }
 
+void CsvWriter::close() {
+  PPDL_REQUIRE(open_, "CSV writer already closed: " + path_);
+  open_ = false;
+  try {
+    write_raw_file_atomic(path_, buffer_);
+  } catch (...) {
+    good_ = false;
+    throw;
+  }
+}
+
 std::string CsvWriter::format_real(Real value) {
-  // Shortest decimal form that parses back to the exact same double —
-  // default ostream precision (6 significant digits) silently loses bits,
-  // so exported datasets would not round-trip.
-  char buf[40];
-  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
-  PPDL_REQUIRE(ec == std::errc(), "CSV: float formatting failed");
-  return std::string(buf, end);
+  return format_real_shortest(value);
 }
 
 std::string CsvWriter::escape(const std::string& field) {

@@ -1,7 +1,6 @@
 // CSV emission for bench outputs (so plots can be regenerated externally).
 #pragma once
 
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -9,12 +8,27 @@
 
 namespace ppdl {
 
-/// Streams rows to a CSV file. Fields containing commas/quotes/newlines are
-/// quoted per RFC 4180.
+/// Shortest decimal rendering that parses back to the exact same double
+/// (std::to_chars). The required form for every persisted double — fixed
+/// digit-count formats silently lose bits (see DESIGN.md lossy-float-format).
+std::string format_real_shortest(Real value);
+
+/// Buffers rows for a CSV file and commits them atomically (temp file +
+/// rename, via common/artifact_io) on close() or destruction — a crash
+/// mid-run leaves the previous file (or nothing), never a torn CSV.
+/// Fields containing commas/quotes/newlines are quoted per RFC 4180.
 class CsvWriter {
  public:
-  /// Opens (truncates) `path` and writes the header row.
-  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+  /// Records the target path and buffers the header row. Nothing touches
+  /// the filesystem until close() (or the destructor) commits.
+  CsvWriter(std::string path, const std::vector<std::string>& header);
+
+  /// Commits the buffer if close() has not run; a failure at this point is
+  /// logged (destructors must not throw). Call close() to get the error.
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
 
   /// Append a row of string fields; must match the header arity.
   void write_row(const std::vector<std::string>& fields);
@@ -23,6 +37,11 @@ class CsvWriter {
   /// are written in the shortest form that round-trips to the same double.
   void write_row(const std::vector<Real>& fields);
 
+  /// Atomically writes the buffered rows to the target path. Throws
+  /// ArtifactError{kWriteFailed} on failure; further write_row() calls
+  /// after close() are a contract violation.
+  void close();
+
   /// Shortest round-trip decimal rendering of one value (the format used
   /// by the numeric write_row overload).
   static std::string format_real(Real value);
@@ -30,15 +49,18 @@ class CsvWriter {
   /// Rows written so far (excluding the header).
   Index rows_written() const { return rows_; }
 
-  /// True if the underlying stream is healthy.
-  bool good() const { return out_.good(); }
+  /// True until a commit attempt fails.
+  bool good() const { return good_; }
 
  private:
   static std::string escape(const std::string& field);
 
-  std::ofstream out_;
+  std::string path_;
+  std::string buffer_;
   std::size_t arity_;
   Index rows_ = 0;
+  bool open_ = true;
+  bool good_ = true;
 };
 
 }  // namespace ppdl

@@ -19,9 +19,12 @@ Real PhaseTimer::total(const std::string& phase) const {
 
 Real PhaseTimer::grand_total() const {
   std::lock_guard<std::mutex> lock(mutex_);
+  // Sum in first-recorded order: unordered_map iteration order is
+  // implementation-defined, and a float sum in varying order gives
+  // different roundings run-to-run.
   Real sum = 0.0;
-  for (const auto& [name, secs] : totals_) {
-    sum += secs;
+  for (const std::string& name : order_) {
+    sum += totals_.at(name);
   }
   return sum;
 }

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "common/artifact_io.hpp"
 #include "common/check.hpp"
 
 namespace ppdl::grid {
@@ -156,9 +157,11 @@ void write_netlist(const PowerGrid& pg, std::ostream& out) {
 }
 
 void write_netlist_file(const PowerGrid& pg, const std::string& path) {
-  std::ofstream out(path);
-  PPDL_REQUIRE(out.good(), "cannot open netlist for writing: " + path);
+  // Netlists feed downstream analysis runs; commit atomically so a crash
+  // mid-write never leaves a torn file behind.
+  std::ostringstream out;
   write_netlist(pg, out);
+  write_raw_file_atomic(path, out.str());
 }
 
 PowerGrid parse_netlist(std::istream& in, const std::string& name) {
@@ -283,7 +286,12 @@ PowerGrid parse_netlist(std::istream& in, const std::string& name) {
     if (l < static_cast<Index>(layers.size())) {
       pg.add_layer(layers[static_cast<std::size_t>(l)]);
     } else {
-      pg.add_layer(Layer{"M" + std::to_string(l), l % 2 == 0, 0.04, 2.0});
+      // Built via += rather than `"M" + std::to_string(l)`: GCC 12's
+      // -Wrestrict mis-fires on operator+(const char*, string&&) at -O3
+      // (PR105329), and the PPDL_WERROR gate treats it as an error.
+      std::string layer_name = "M";
+      layer_name += std::to_string(l);
+      pg.add_layer(Layer{layer_name, l % 2 == 0, 0.04, 2.0});
     }
   }
   for (std::size_t i = 0; i < node_layer.size(); ++i) {
@@ -313,8 +321,10 @@ PowerGrid parse_netlist(std::istream& in, const std::string& name) {
 
   for (const PendingResistor& r : resistors) {
     if (r.ohms <= 0.0) {
-      fail_at(r.line, r.element,
-              "non-positive resistance: " + std::to_string(r.ohms) + " ohm");
+      std::string detail = "non-positive resistance: ";
+      detail += std::to_string(r.ohms);
+      detail += " ohm";
+      fail_at(r.line, r.element, detail);
     }
     const Node& u = pg.node(r.n1);
     const Node& v = pg.node(r.n2);

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "common/artifact_io.hpp"
 #include "common/check.hpp"
 #include "common/csv.hpp"
 
@@ -89,7 +90,22 @@ TEST(Csv, RejectsEmptyHeader) {
 }
 
 TEST(Csv, RejectsUnwritablePath) {
-  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), ContractViolation);
+  // Rows buffer in memory; the commit (and therefore the failure) happens
+  // at close(), through the crash-safe artifact writer.
+  CsvWriter csv("/nonexistent-dir/x.csv", {"a"});
+  csv.write_row(std::vector<Real>{1.0});
+  EXPECT_THROW(csv.close(), ArtifactError);
+}
+
+TEST(Csv, NothingOnDiskUntilClose) {
+  const std::string path = temp_path("deferred.csv");
+  std::remove(path.c_str());
+  CsvWriter csv(path, {"a"});
+  csv.write_row(std::vector<Real>{1.0});
+  EXPECT_FALSE(std::ifstream(path).good());  // not committed yet
+  csv.close();
+  EXPECT_EQ(read_file(path), "a\n1\n");
+  EXPECT_THROW(csv.write_row(std::vector<Real>{2.0}), ContractViolation);
 }
 
 }  // namespace

@@ -209,8 +209,8 @@ INSTANTIATE_TEST_SUITE_P(
                        "vsource between ground"},
         BadNetlistCase{"isource-ground-ground", "I2 0 0 5m\n",
                        "isource between ground"}),
-    [](const ::testing::TestParamInfo<BadNetlistCase>& info) {
-      std::string name = info.param.label;
+    [](const ::testing::TestParamInfo<BadNetlistCase>& param_info) {
+      std::string name = param_info.param.label;
       std::replace(name.begin(), name.end(), '-', '_');
       return name;
     });

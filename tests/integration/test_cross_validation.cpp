@@ -71,7 +71,7 @@ INSTANTIATE_TEST_SUITE_P(AllReplicas, EveryBenchmark,
                          ::testing::Values("ibmpg1", "ibmpg2", "ibmpg3",
                                            "ibmpg4", "ibmpg5", "ibmpg6",
                                            "ibmpgnew1", "ibmpgnew2"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& param_info) { return param_info.param; });
 
 }  // namespace
 }  // namespace ppdl

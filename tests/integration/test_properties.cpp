@@ -114,9 +114,14 @@ INSTANTIATE_TEST_SUITE_P(
     SizesAndSeeds, GridProperty,
     ::testing::Combine(::testing::Values<Index>(8, 12, 18),
                        ::testing::Values<U64>(1, 99)),
-    [](const auto& info) {
-      return "s" + std::to_string(std::get<0>(info.param)) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& param_info) {
+      // Built via += — GCC 12's -Wrestrict mis-fires on
+      // operator+(const char*, string&&) at -O3 (PR105329).
+      std::string name = "s";
+      name += std::to_string(std::get<0>(param_info.param));
+      name += "_seed";
+      name += std::to_string(std::get<1>(param_info.param));
+      return name;
     });
 
 class SolverTolerance : public ::testing::TestWithParam<Real> {};
@@ -133,10 +138,12 @@ TEST_P(SolverTolerance, ResidualMeetsRequestedTolerance) {
 
 INSTANTIATE_TEST_SUITE_P(Tolerances, SolverTolerance,
                          ::testing::Values(1e-4, 1e-6, 1e-8, 1e-10),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            const int exp10 = static_cast<int>(
-                               -std::log10(info.param) + 0.5);
-                           return "tol1e" + std::to_string(exp10);
+                               -std::log10(param_info.param) + 0.5);
+                           std::string name = "tol1e";
+                           name += std::to_string(exp10);
+                           return name;
                          });
 
 class PerturbationGamma : public ::testing::TestWithParam<Real> {};
@@ -155,9 +162,11 @@ TEST_P(PerturbationGamma, TotalCurrentStaysWithinGammaBand) {
 
 INSTANTIATE_TEST_SUITE_P(Gammas, PerturbationGamma,
                          ::testing::Values(0.10, 0.15, 0.20, 0.25, 0.30),
-                         [](const auto& info) {
-                           return "g" + std::to_string(static_cast<int>(
-                                            info.param * 100 + 0.5));
+                         [](const auto& param_info) {
+                           std::string name = "g";
+                           name += std::to_string(static_cast<int>(
+                               param_info.param * 100 + 0.5));
+                           return name;
                          });
 
 }  // namespace

@@ -84,8 +84,8 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, CgPreconditioners,
                          ::testing::Values(PreconditionerKind::kNone,
                                            PreconditionerKind::kJacobi,
                                            PreconditionerKind::kIc0),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
                              case PreconditionerKind::kNone:
                                return "none";
                              case PreconditionerKind::kJacobi:

@@ -33,8 +33,8 @@ INSTANTIATE_TEST_SUITE_P(AllActivations, ActivationNumerics,
                                            Activation::kLeakyRelu,
                                            Activation::kTanh,
                                            Activation::kSigmoid),
-                         [](const auto& info) {
-                           return to_string(info.param);
+                         [](const auto& param_info) {
+                           return to_string(param_info.param);
                          });
 
 TEST(Activation, ReluClampsNegatives) {

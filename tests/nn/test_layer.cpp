@@ -136,8 +136,8 @@ INSTANTIATE_TEST_SUITE_P(Activations, LayerGradient,
                                            Activation::kTanh,
                                            Activation::kSigmoid,
                                            Activation::kLeakyRelu),
-                         [](const auto& info) {
-                           return to_string(info.param);
+                         [](const auto& param_info) {
+                           return to_string(param_info.param);
                          });
 
 TEST(Layer, ShapeMismatchThrows) {

@@ -82,7 +82,7 @@ TEST_P(LossGradients, MatchesFiniteDifference) {
 INSTANTIATE_TEST_SUITE_P(AllLosses, LossGradients,
                          ::testing::Values(Loss::kMse, Loss::kMae,
                                            Loss::kHuber),
-                         [](const auto& info) { return to_string(info.param); });
+                         [](const auto& param_info) { return to_string(param_info.param); });
 
 TEST(Loss, ShapeMismatchThrows) {
   const Matrix a(2, 2);

@@ -30,6 +30,7 @@ std::string slurp(const std::string& path) {
 }
 
 void spit(const std::string& path, const std::string& bytes) {
+  // ppdl-lint: allow(raw-file-write) -- plants deliberately corrupt bytes to exercise the loader's defect taxonomy
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
 }

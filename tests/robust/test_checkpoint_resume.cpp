@@ -88,6 +88,7 @@ TEST(CheckpointResume, LoadRejectsCorruptionTyped) {
     buf << in.rdbuf();
     std::string bytes = buf.str();
     bytes[bytes.size() - 3] ^= 0x04;
+    // ppdl-lint: allow(raw-file-write) -- injects checksum corruption the safe writer exists to detect
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   }
@@ -148,6 +149,7 @@ TEST(CheckpointResume, DamagedCheckpointIsDiscardedLoudly) {
     std::ostringstream buf;
     buf << in.rdbuf();
     const std::string bytes = buf.str();
+    // ppdl-lint: allow(raw-file-write) -- simulates a crash-truncated checkpoint on purpose
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
   }
@@ -164,6 +166,7 @@ TEST(CheckpointResume, DamagedCheckpointIsDiscardedLoudly) {
     std::ostringstream buf;
     buf << in.rdbuf();
     const std::string bytes = buf.str();
+    // ppdl-lint: allow(raw-file-write) -- simulates a crash-truncated checkpoint on purpose
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
   }

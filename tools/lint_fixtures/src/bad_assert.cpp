@@ -1,0 +1,8 @@
+// Fixture: bare assert in library code; static_assert must stay clean.
+#include <cassert>
+
+static_assert(sizeof(int) >= 4, "ok");
+
+void check(int n) {
+  assert(n > 0);
+}

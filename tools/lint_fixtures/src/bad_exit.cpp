@@ -1,0 +1,10 @@
+// Fixture: process-terminating calls in library code.
+#include <cstdlib>
+
+void fail_hard() {
+  std::abort();
+}
+
+void fail_soft() {
+  exit(2);
+}

@@ -1,0 +1,9 @@
+// Fixture: printf-family fixed-digit float formatting; the %a form is exact
+// and must stay clean.
+#include <cstdio>
+
+void render(double v, char* buf) {
+  std::snprintf(buf, 64, "%.6g", v);
+  std::snprintf(buf, 64, "%f", v);
+  std::snprintf(buf, 64, "%a", v);
+}

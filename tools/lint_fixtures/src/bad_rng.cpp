@@ -1,0 +1,11 @@
+// Fixture: every rng-source pattern the rule must catch.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int draw() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return std::rand();
+}

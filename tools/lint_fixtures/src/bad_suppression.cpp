@@ -1,0 +1,11 @@
+// Fixture: malformed suppressions — missing justification, unknown rule.
+#include <cstdlib>
+
+void unjustified() {
+  exit(1);  // ppdl-lint: allow(no-exit)
+}
+
+void unknown_rule() {
+  // ppdl-lint: allow(no-such-rule) -- typo'd rule id
+  exit(2);
+}

@@ -1,0 +1,11 @@
+// Fixture: untyped / standard-library throws in library code.
+#include <stdexcept>
+
+void boom(int k) {
+  if (k == 0) {
+    throw std::runtime_error("untyped");
+  }
+  if (k == 1) {
+    throw "string literal";
+  }
+}

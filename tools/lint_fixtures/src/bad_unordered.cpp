@@ -1,0 +1,17 @@
+// Fixture: iteration over unordered containers (both forms).
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+double reduce() {
+  std::unordered_map<std::string, double> totals;
+  std::unordered_set<int> seen{1, 2, 3};
+  double sum = 0.0;
+  for (const auto& [k, v] : totals) {
+    sum += v;
+  }
+  for (auto it = seen.begin(); it != seen.end(); ++it) {
+    sum += *it;
+  }
+  return sum;
+}

@@ -1,0 +1,10 @@
+// Fixture: raw writes that bypass the crash-safe artifact layer.
+#include <cstdio>
+#include <fstream>
+
+void dump() {
+  std::ofstream out("result.txt");
+  out << 1;
+  FILE* f = std::fopen("result.bin", "wb");
+  (void)f;
+}

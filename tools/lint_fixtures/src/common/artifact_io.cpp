@@ -1,0 +1,7 @@
+// Fixture: the artifact funnel itself may open raw streams.
+#include <fstream>
+
+void write_tmp() {
+  std::ofstream out("x.tmp", std::ios::binary);
+  out << 1;
+}

@@ -1,0 +1,6 @@
+// Fixture: the rng funnel itself may reference banned randomness sources.
+#include <cstdlib>
+
+unsigned seed_from_entropy() {
+  return static_cast<unsigned>(std::rand());
+}

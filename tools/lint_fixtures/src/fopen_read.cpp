@@ -1,0 +1,11 @@
+// Fixture: read-only fopen is not a write — must stay clean.
+#include <cstdio>
+
+long probe(const char* path) {
+  FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    return -1;
+  }
+  std::fclose(f);
+  return 0;
+}

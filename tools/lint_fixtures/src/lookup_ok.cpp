@@ -1,0 +1,9 @@
+// Fixture: unordered containers used for lookup only — must stay clean.
+#include <string>
+#include <unordered_map>
+
+double lookup(const std::unordered_map<std::string, double>& m) {
+  std::unordered_map<std::string, double> local;
+  const auto it = local.find("x");
+  return it == local.end() ? 0.0 : it->second + (m.count("y") ? 1.0 : 0.0);
+}

@@ -1,0 +1,2 @@
+// Fixture: header without #pragma once.
+inline int forty_two() { return 42; }

@@ -1,0 +1,11 @@
+// Fixture: iterates a member whose unordered type is visible only in the
+// paired header — the cross-file case (cf. PhaseTimer::grand_total).
+#include "pair_iter.hpp"
+
+double Sink::total() const {
+  double sum = 0.0;
+  for (const auto& [name, secs] : totals_) {
+    sum += secs;
+  }
+  return sum;
+}

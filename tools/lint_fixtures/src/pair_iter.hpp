@@ -1,0 +1,12 @@
+// Fixture: unordered member declared here, iterated in pair_iter.cpp.
+#pragma once
+#include <string>
+#include <unordered_map>
+
+class Sink {
+ public:
+  double total() const;
+
+ private:
+  std::unordered_map<std::string, double> totals_;
+};

@@ -1,0 +1,10 @@
+// Fixture: both suppression forms, each with a justification — clean file.
+#include <cstdlib>
+#include <fstream>
+
+void sanctioned() {
+  std::ofstream out("scratch.txt");  // ppdl-lint: allow(raw-file-write) -- scratch file, never an artifact
+  out << 1;
+  // ppdl-lint: allow(no-exit) -- fixture demonstrating the previous-line form
+  exit(0);
+}

@@ -1,0 +1,13 @@
+// Fixture: no-exit / untyped-throw / raw-assert are library-code rules;
+// test code is out of scope for them and must stay clean.
+#include <cassert>
+#include <cstdlib>
+#include <stdexcept>
+
+void test_helper(bool pass) {
+  assert(pass);
+  if (!pass) {
+    throw std::runtime_error("test failure");
+  }
+  exit(1);
+}

@@ -1,0 +1,618 @@
+#!/usr/bin/env python3
+"""ppdl-lint: project-specific invariant linter for PowerPlanningDL.
+
+Enforces repository invariants that off-the-shelf tools cannot know about
+(see DESIGN.md "Static analysis & coding invariants" for the rationale):
+
+  rng-source          All randomness flows through common/rng (ppdl::Rng).
+                      std::rand / srand / std::random_device / time()-based
+                      seeds / <random> engines anywhere else break
+                      bit-reproducibility across runs.
+  raw-file-write      Persisted files must go through common/artifact_io
+                      (atomic temp-file + rename). A raw std::ofstream or
+                      fopen() write bypasses crash safety.
+  unordered-iteration Iterating a std::unordered_map/unordered_set makes
+                      element order implementation-defined; in a reduction
+                      or report-rendering path that silently breaks the
+                      PPDL_THREADS=1/2/8 bit-identity guarantee.
+  lossy-float-format  printf-family %f/%e/%g conversions round to a fixed
+                      digit count; persisted doubles must use
+                      std::to_chars shortest-round-trip form (%a hex floats
+                      are exact and allowed).
+  no-exit             Library code must not call exit()/abort()/terminate();
+                      failures surface as typed exceptions so callers can
+                      apply the failure policy (DESIGN.md "Failure policy").
+  untyped-throw       Library code throws project error types (e.g.
+                      ContractViolation, ArtifactError, GridDefectError),
+                      never bare std::runtime_error/logic_error/exception
+                      or non-exception values.
+  raw-assert          assert() vanishes under NDEBUG and aborts otherwise;
+                      library code uses PPDL_ASSERT/PPDL_REQUIRE/PPDL_ENSURE
+                      which throw typed ContractViolation.
+  include-guard       Every header carries #pragma once.
+
+Suppressions (must carry a justification after `--`):
+
+  some_call();  // ppdl-lint: allow(rule-id) -- why this is safe here
+  // ppdl-lint: allow(rule-id) -- why the next line is safe
+  some_call();
+
+A suppression without a justification, or naming an unknown rule, is itself
+reported (bad-suppression) — silent opt-outs defeat the point.
+
+Usage:
+  python3 tools/ppdl_lint.py src bench examples tests
+  python3 tools/ppdl_lint.py --list-rules
+
+Exit status: 0 when clean, 1 when any finding survives suppression,
+2 on usage errors. Stdlib only; no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+CXX_EXTENSIONS = (".cpp", ".hpp", ".h", ".cc", ".cxx")
+HEADER_EXTENSIONS = (".hpp", ".h")
+
+# Files that *implement* the funnels the rules point everyone else at.
+RNG_HOME = ("common/rng.cpp", "common/rng.hpp")
+ARTIFACT_HOME = ("common/artifact_io.cpp",)
+
+RULES = {
+    "rng-source": "ad-hoc randomness/time seed outside common/rng",
+    "raw-file-write": "raw file write outside common/artifact_io (crash-safety bypass)",
+    "unordered-iteration": "iteration over unordered container (nondeterministic order)",
+    "lossy-float-format": "printf-family %f/%e/%g float formatting (use std::to_chars)",
+    "no-exit": "exit()/abort()/terminate() in library code (throw a typed error)",
+    "untyped-throw": "untyped or standard-library throw in library code",
+    "raw-assert": "bare assert() in library code (use PPDL_ASSERT/REQUIRE/ENSURE)",
+    "include-guard": "header missing #pragma once",
+    "bad-suppression": "malformed ppdl-lint suppression (unknown rule or missing justification)",
+}
+
+SUPPRESS_RE = re.compile(r"ppdl-lint:\s*allow\(([^)]*)\)(\s*--\s*(\S.*))?")
+
+RNG_RE = re.compile(
+    r"\bstd::rand\b|\bsrand\s*\(|(?<![:\w])rand\s*\(|\brandom_device\b"
+    r"|\bmt19937(?:_64)?\b|\bdefault_random_engine\b|\bminstd_rand0?\b"
+    r"|(?<![:\w])time\s*\(\s*(?:0|NULL|nullptr)?\s*\)|\bstd::time\s*\("
+)
+RAW_WRITE_RE = re.compile(
+    r"\bstd::ofstream\b|\bofstream\s+\w|\bfopen\s*\(|\bfreopen\s*\("
+)
+PRINTF_CALL_RE = re.compile(r"\b(?:f|s|sn|vsn|v|vf)?printf\s*\(")
+LOSSY_FMT_RE = re.compile(r"%[-+ #0-9.*]*(?:hh|h|ll|l|L|q|j|z|t)?[fFeEgG]")
+EXIT_RE = re.compile(
+    r"(?<![:\w])(?:std::)?(?:exit|abort|_Exit|quick_exit)\s*\("
+    r"|\bstd::terminate\s*\("
+)
+UNTYPED_THROW_RE = re.compile(
+    r"\bthrow\s+(?:std::(?:runtime_error|logic_error|exception)\b"
+    r"|\"|\d|std::string\b)"
+)
+RAW_ASSERT_RE = re.compile(r"(?<![\w.:])assert\s*\(")
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{()]*>\s+(\w+)\s*[;{=(]"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;]*:\s*&?\s*([A-Za-z_]\w*)\s*\)")
+BEGIN_ITER_RE = re.compile(r"\b([A-Za-z_]\w*)\.c?begin\s*\(\)")
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class SourceLine:
+    code: str  # line with comments and string-literal bodies blanked
+    comment: str  # comment text on the line (for suppression scanning)
+    is_pure_comment: bool = False
+
+
+@dataclass
+class SourceFile:
+    path: str  # path as given on the command line
+    rel: str  # path relative to the repo root, '/'-separated
+    lines: list[SourceLine] = field(default_factory=list)
+
+    @property
+    def is_header(self) -> bool:
+        return self.rel.endswith(HEADER_EXTENSIONS)
+
+
+def _strip_line(raw: str, in_block: bool) -> tuple[str, str, bool]:
+    """Split one raw line into (code, comment) with strings blanked.
+
+    Returns (code, comment, still_in_block_comment). String literal bodies
+    are replaced with spaces so patterns never match inside them; comment
+    text is collected separately so suppressions still work.
+    """
+    code: list[str] = []
+    comment: list[str] = []
+    i, n = 0, len(raw)
+    state = "block" if in_block else "code"
+    while i < n:
+        c = raw[i]
+        nxt = raw[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                comment.append(raw[i + 2 :])
+                break
+            if c == "/" and nxt == "*":
+                state = "block"
+                i += 2
+                continue
+            if c == '"':
+                code.append('"')
+                i += 1
+                while i < n:
+                    if raw[i] == "\\":
+                        i += 2
+                        continue
+                    if raw[i] == '"':
+                        break
+                    code.append(" ")
+                    i += 1
+                code.append('"')
+                i += 1
+                continue
+            if c == "'":
+                code.append("'")
+                i += 1
+                while i < n:
+                    if raw[i] == "\\":
+                        i += 2
+                        continue
+                    if raw[i] == "'":
+                        break
+                    code.append(" ")
+                    i += 1
+                code.append("'")
+                i += 1
+                continue
+            code.append(c)
+            i += 1
+        else:  # block comment
+            if c == "*" and nxt == "/":
+                state = "code"
+                i += 2
+                continue
+            comment.append(c)
+            i += 1
+    return "".join(code), "".join(comment), state == "block"
+
+
+def load_file(path: str, root: str) -> SourceFile:
+    rel = os.path.relpath(os.path.abspath(path), root).replace(os.sep, "/")
+    sf = SourceFile(path=path, rel=rel)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            raw_lines = fh.read().splitlines()
+    except OSError as err:
+        raise SystemExit(f"ppdl-lint: cannot read {path}: {err}")
+    in_block = False
+    for raw in raw_lines:
+        code, comment, in_block = _strip_line(raw, in_block)
+        sf.lines.append(
+            SourceLine(
+                code=code,
+                comment=comment,
+                is_pure_comment=(not code.strip() and bool(comment.strip())),
+            )
+        )
+    return sf
+
+
+def section_of(rel: str) -> str:
+    """Top-level tree a file belongs to: src, bench, examples, tests, other."""
+    top = rel.split("/", 1)[0]
+    return top if top in ("src", "bench", "examples", "tests") else "other"
+
+
+def is_library_code(rel: str) -> bool:
+    return section_of(rel) == "src"
+
+
+def rel_within_src(rel: str) -> str:
+    return rel[len("src/") :] if rel.startswith("src/") else rel
+
+
+# --- per-file rule checks ---------------------------------------------------
+
+
+def check_rng_source(sf: SourceFile) -> list[Finding]:
+    if rel_within_src(sf.rel) in RNG_HOME:
+        return []
+    out = []
+    for ln, line in enumerate(sf.lines, 1):
+        m = RNG_RE.search(line.code)
+        if m:
+            out.append(
+                Finding(
+                    sf.path,
+                    ln,
+                    "rng-source",
+                    f"'{m.group(0).strip()}' — seed/draw through ppdl::Rng "
+                    "(common/rng) so runs stay bit-reproducible",
+                )
+            )
+    return out
+
+
+FOPEN_MODE_RE = re.compile(r"f(?:re)?open\s*\([^,]+,\s*\"([^\"]*)\"")
+
+
+def _fopen_is_read_only(sf: SourceFile, ln: int, match_text: str) -> bool:
+    if "open" not in match_text:
+        return False
+    mode = FOPEN_MODE_RE.search(_raw_with_strings(sf, ln))
+    return bool(mode) and "r" in mode.group(1) and not any(
+        c in mode.group(1) for c in "wa+"
+    )
+
+
+def check_raw_file_write(sf: SourceFile) -> list[Finding]:
+    if rel_within_src(sf.rel) in ARTIFACT_HOME:
+        return []
+    out = []
+    for ln, line in enumerate(sf.lines, 1):
+        m = RAW_WRITE_RE.search(line.code)
+        if m and not _fopen_is_read_only(sf, ln, m.group(0)):
+            out.append(
+                Finding(
+                    sf.path,
+                    ln,
+                    "raw-file-write",
+                    f"'{m.group(0).strip()}' — persist through "
+                    "common/artifact_io (atomic write+rename) instead",
+                )
+            )
+    return out
+
+
+def unordered_names(sf: SourceFile) -> set[str]:
+    names = set()
+    for line in sf.lines:
+        for m in UNORDERED_DECL_RE.finditer(line.code):
+            names.add(m.group(1))
+    return names
+
+
+def check_unordered_iteration(
+    sf: SourceFile, extra_names: set[str]
+) -> list[Finding]:
+    names = unordered_names(sf) | extra_names
+    if not names:
+        return []
+    out = []
+    for ln, line in enumerate(sf.lines, 1):
+        hits = set()
+        m = RANGE_FOR_RE.search(line.code)
+        if m and m.group(1) in names:
+            hits.add(m.group(1))
+        for it in BEGIN_ITER_RE.finditer(line.code):
+            if it.group(1) in names:
+                hits.add(it.group(1))
+        for name in sorted(hits):
+            out.append(
+                Finding(
+                    sf.path,
+                    ln,
+                    "unordered-iteration",
+                    f"iterating unordered container '{name}' — order is "
+                    "implementation-defined; iterate a sorted/insertion-order "
+                    "index instead",
+                )
+            )
+    return out
+
+
+def check_lossy_float_format(sf: SourceFile) -> list[Finding]:
+    out = []
+    for ln, line in enumerate(sf.lines, 1):
+        if not PRINTF_CALL_RE.search(line.code):
+            continue
+        # The format string was blanked by the string stripper; rescan the
+        # raw code+strings for this check only.
+        raw = _raw_with_strings(sf, ln)
+        m = LOSSY_FMT_RE.search(raw)
+        if m:
+            out.append(
+                Finding(
+                    sf.path,
+                    ln,
+                    "lossy-float-format",
+                    f"'{m.group(0)}' rounds to fixed digits — render doubles "
+                    "with std::to_chars (shortest round-trip) for persisted "
+                    "output",
+                )
+            )
+    return out
+
+
+_RAW_CACHE: dict[str, list[str]] = {}
+
+
+def _raw_with_strings(sf: SourceFile, ln: int) -> str:
+    if sf.path not in _RAW_CACHE:
+        with open(sf.path, encoding="utf-8", errors="replace") as fh:
+            _RAW_CACHE[sf.path] = fh.read().splitlines()
+    raw = _RAW_CACHE[sf.path][ln - 1]
+    return raw.split("//", 1)[0]
+
+
+def check_no_exit(sf: SourceFile) -> list[Finding]:
+    if not is_library_code(sf.rel):
+        return []
+    out = []
+    for ln, line in enumerate(sf.lines, 1):
+        m = EXIT_RE.search(line.code)
+        if m:
+            out.append(
+                Finding(
+                    sf.path,
+                    ln,
+                    "no-exit",
+                    f"'{m.group(0).strip()}' — library code reports failure "
+                    "via typed exceptions (DESIGN.md failure policy)",
+                )
+            )
+    return out
+
+
+def check_untyped_throw(sf: SourceFile) -> list[Finding]:
+    if not is_library_code(sf.rel):
+        return []
+    out = []
+    for ln, line in enumerate(sf.lines, 1):
+        m = UNTYPED_THROW_RE.search(line.code)
+        if m:
+            out.append(
+                Finding(
+                    sf.path,
+                    ln,
+                    "untyped-throw",
+                    f"'{m.group(0).strip()}…' — throw a project error type "
+                    "(ContractViolation, ArtifactError, …) so callers can "
+                    "catch by class",
+                )
+            )
+    return out
+
+
+def check_raw_assert(sf: SourceFile) -> list[Finding]:
+    if not is_library_code(sf.rel):
+        return []
+    out = []
+    for ln, line in enumerate(sf.lines, 1):
+        if "static_assert" in line.code:
+            continue
+        m = RAW_ASSERT_RE.search(line.code)
+        if m:
+            out.append(
+                Finding(
+                    sf.path,
+                    ln,
+                    "raw-assert",
+                    "bare assert() aborts (or vanishes under NDEBUG) — use "
+                    "PPDL_ASSERT / PPDL_REQUIRE / PPDL_ENSURE",
+                )
+            )
+    return out
+
+
+def check_include_guard(sf: SourceFile) -> list[Finding]:
+    if not sf.is_header:
+        return []
+    for line in sf.lines:
+        if PRAGMA_ONCE_RE.search(line.code):
+            return []
+    return [
+        Finding(
+            sf.path,
+            1,
+            "include-guard",
+            "header lacks #pragma once",
+        )
+    ]
+
+
+# --- suppression handling ---------------------------------------------------
+
+
+def collect_suppressions(sf: SourceFile) -> tuple[dict[int, set[str]], list[Finding]]:
+    """Map line number -> rules suppressed on that line; plus bad ones.
+
+    A pure-comment suppression line covers the next non-comment line; an
+    end-of-line suppression covers its own line.
+    """
+    active: dict[int, set[str]] = {}
+    bad: list[Finding] = []
+    pending: list[tuple[int, set[str]]] = []  # from pure-comment lines
+    for ln, line in enumerate(sf.lines, 1):
+        m = SUPPRESS_RE.search(line.comment)
+        if not m:
+            if not line.is_pure_comment and line.code.strip():
+                for _, rules in pending:
+                    active.setdefault(ln, set()).update(rules)
+                pending = []
+            continue
+        rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+        justification = (m.group(3) or "").strip()
+        unknown = sorted(r for r in rules if r not in RULES)
+        if unknown:
+            bad.append(
+                Finding(
+                    sf.path,
+                    ln,
+                    "bad-suppression",
+                    f"unknown rule(s) {', '.join(unknown)} in allow()",
+                )
+            )
+        if not justification:
+            bad.append(
+                Finding(
+                    sf.path,
+                    ln,
+                    "bad-suppression",
+                    "suppression lacks a justification — write "
+                    "'ppdl-lint: allow(rule) -- <why this is safe>'",
+                )
+            )
+            continue
+        known = rules - set(unknown)
+        if not known:
+            continue
+        if line.is_pure_comment:
+            pending.append((ln, known))
+        else:
+            active.setdefault(ln, set()).update(known)
+    return active, bad
+
+
+# --- driver -----------------------------------------------------------------
+
+
+def lint_file(sf: SourceFile, paired_unordered: set[str]) -> list[Finding]:
+    findings: list[Finding] = []
+    findings += check_rng_source(sf)
+    findings += check_raw_file_write(sf)
+    findings += check_unordered_iteration(sf, paired_unordered)
+    findings += check_lossy_float_format(sf)
+    findings += check_no_exit(sf)
+    findings += check_untyped_throw(sf)
+    findings += check_raw_assert(sf)
+    findings += check_include_guard(sf)
+
+    suppressed, bad = collect_suppressions(sf)
+    kept = [
+        f
+        for f in findings
+        if f.rule not in suppressed.get(f.line, set())
+    ]
+    return kept + bad
+
+
+def gather_files(paths: list[str]) -> list[str]:
+    files: list[str] = []
+    for p in paths:
+        if os.path.isfile(p):
+            if p.endswith(CXX_EXTENSIONS):
+                files.append(p)
+            continue
+        if not os.path.isdir(p):
+            raise SystemExit(f"ppdl-lint: no such file or directory: {p}")
+        for dirpath, dirnames, filenames in os.walk(p):
+            dirnames[:] = [
+                d for d in dirnames if d not in ("build", ".git", "__pycache__")
+                and not d.startswith("build-")
+            ]
+            for fn in sorted(filenames):
+                if fn.endswith(CXX_EXTENSIONS):
+                    files.append(os.path.join(dirpath, fn))
+    return sorted(set(files))
+
+
+def paired_header_names(sf: SourceFile, by_rel: dict[str, SourceFile]) -> set[str]:
+    """Unordered-container member names declared in the sibling header/source
+    (same stem, same directory) — catches iteration in x.cpp over a member
+    declared in x.hpp."""
+    stem, ext = os.path.splitext(sf.rel)
+    partners = []
+    if ext == ".cpp":
+        partners = [stem + ".hpp", stem + ".h"]
+    elif ext in HEADER_EXTENSIONS:
+        partners = [stem + ".cpp", stem + ".cc"]
+    names: set[str] = set()
+    for rel in partners:
+        partner = by_rel.get(rel)
+        if partner is not None:
+            names |= unordered_names(partner)
+    return names
+
+
+def find_repo_root(start: str) -> str:
+    cur = os.path.abspath(start)
+    while True:
+        if os.path.isdir(os.path.join(cur, ".git")) or os.path.isfile(
+            os.path.join(cur, "CMakeLists.txt")
+        ):
+            return cur
+        parent = os.path.dirname(cur)
+        if parent == cur:
+            return os.path.abspath(start)
+        cur = parent
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ppdl-lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog"
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repository root (default: auto-detected from the first path)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        width = max(len(r) for r in RULES)
+        for rule, desc in RULES.items():
+            print(f"{rule.ljust(width)}  {desc}")
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try: tools/ppdl_lint.py src bench examples tests)")
+
+    root = args.root or find_repo_root(args.paths[0])
+    files = gather_files(args.paths)
+    sources = [load_file(p, root) for p in files]
+    by_rel = {sf.rel: sf for sf in sources}
+    # Pull in sibling headers that were not on the command line so member
+    # declarations are still visible to unordered-iteration.
+    for sf in list(sources):
+        stem, ext = os.path.splitext(sf.path)
+        if ext == ".cpp":
+            for hext in HEADER_EXTENSIONS:
+                hp = stem + hext
+                rel = os.path.relpath(os.path.abspath(hp), root).replace(os.sep, "/")
+                if os.path.isfile(hp) and rel not in by_rel:
+                    by_rel[rel] = load_file(hp, root)
+
+    all_findings: list[Finding] = []
+    for sf in sources:
+        all_findings += lint_file(sf, paired_header_names(sf, by_rel))
+
+    all_findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    for f in all_findings:
+        print(f.render())
+    if all_findings:
+        print(
+            f"ppdl-lint: {len(all_findings)} finding(s) in "
+            f"{len({f.path for f in all_findings})} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"ppdl-lint: clean ({len(sources)} files)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
