@@ -1,0 +1,163 @@
+// ppdl_campaign — the scenario-campaign CLI.
+//
+// Supervisor mode (default): expand the scenario matrix, shard it across
+// worker subprocesses (this same binary re-exec'd with --worker), retry
+// failures with backoff, quarantine scenarios that keep failing, and merge
+// everything into a ppdl.campaign_report JSON.
+//
+//   ./examples/ppdl_campaign --families=ibmpg1,ibmpg2 --scales=0.02
+//       --perturbs=none,loads --modes=ir,em-mttf --shards=2
+//       --dir=campaign_out
+//
+// Crash-resume: re-run with --resume after any interruption (a killed
+// worker, a killed supervisor, a power cut) and the campaign completes
+// without re-running finished scenarios, producing a report whose
+// deterministic sections are byte-identical to an uninterrupted run.
+//
+// Worker mode (internal, spawned by the supervisor):
+//   ppdl_campaign --worker --dir <dir> --manifest <shard-manifest>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/matrix.hpp"
+#include "campaign/report.hpp"
+#include "campaign/shard.hpp"
+#include "campaign/supervisor.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+using namespace ppdl;
+
+namespace {
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream in(csv);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (!token.empty()) {
+      out.push_back(token);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("ppdl_campaign",
+                "run a fault-isolated scenario campaign (or one worker "
+                "shard of it)");
+  cli.add_flag("families", "comma list of benchmark families", "ibmpg1");
+  cli.add_flag("scales", "comma list of grid scales", "0.02");
+  cli.add_flag("seeds", "comma list of floorplan seeds", "1");
+  cli.add_flag("perturbs",
+               "comma list of perturbation kinds (none|loads|voltages|both|"
+               "fault-dangling-pad|fault-open-vias)",
+               "none");
+  cli.add_flag("modes",
+               "comma list of analysis modes (ir|vectorless|dual-rail|"
+               "em-mttf)",
+               "ir");
+  cli.add_flag("seed", "campaign seed (keys every scenario's Rng stream)",
+               "2020");
+  cli.add_flag("gamma", "perturbation size for the electrical kinds", "0.10");
+  cli.add_flag("dir", "campaign working directory", "campaign_out");
+  cli.add_flag("name", "campaign name in the merged report", "campaign");
+  cli.add_flag("shards", "worker processes per scheduling wave", "2");
+  cli.add_flag("max-attempts", "attempts before a scenario is quarantined",
+               "3");
+  cli.add_flag("timeout", "per-scenario Deadline budget in seconds (0 = off)",
+               "0");
+  cli.add_flag("report", "merged report path (default <dir>/campaign_report"
+               ".json)", "");
+  cli.add_flag("baseline", "gate scenario values against this baseline", "");
+  cli.add_flag("write-baseline", "record passing values as a new baseline",
+               "");
+  cli.add_flag("rel-tol", "relative tolerance for baseline gating", "1e-9");
+  cli.add_switch("resume", "resume from the campaign checkpoint");
+  cli.add_switch("in-process", "run shards in-process (no crash isolation)");
+  cli.add_switch("worker", "internal: run one shard from --manifest");
+  cli.add_flag("manifest", "internal: shard manifest path (worker mode)", "");
+  try {
+    cli.parse(argc, argv);
+  } catch (const CliError& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  if (cli.help_requested()) {
+    return 0;
+  }
+
+  try {
+    if (cli.get_bool("worker")) {
+      if (cli.get("manifest").empty()) {
+        std::cerr << "--worker requires --manifest\n";
+        return 1;
+      }
+      return campaign::run_shard(cli.get("dir"), cli.get("manifest"));
+    }
+
+    campaign::CampaignConfig config;
+    config.matrix.families = split_list(cli.get("families"));
+    config.matrix.scales.clear();
+    for (const std::string& s : split_list(cli.get("scales"))) {
+      config.matrix.scales.push_back(std::stod(s));
+    }
+    config.matrix.floorplan_seeds.clear();
+    for (const std::string& s : split_list(cli.get("seeds"))) {
+      config.matrix.floorplan_seeds.push_back(
+          static_cast<U64>(std::stoull(s)));
+    }
+    config.matrix.perturbations.clear();
+    for (const std::string& s : split_list(cli.get("perturbs"))) {
+      config.matrix.perturbations.push_back(campaign::parse_perturb_kind(s));
+    }
+    config.matrix.modes.clear();
+    for (const std::string& s : split_list(cli.get("modes"))) {
+      config.matrix.modes.push_back(campaign::parse_analysis_mode(s));
+    }
+    config.matrix.campaign_seed = static_cast<U64>(cli.get_int("seed"));
+    config.matrix.gamma = cli.get_real("gamma");
+    config.dir = cli.get("dir");
+    config.name = cli.get("name");
+    config.shards = cli.get_int("shards");
+    config.max_attempts = cli.get_int("max-attempts");
+    config.scenario_timeout_seconds = cli.get_real("timeout");
+    config.resume = cli.get_bool("resume");
+    config.report_path = cli.get("report");
+    config.baseline_path = cli.get("baseline");
+    config.write_baseline_path = cli.get("write-baseline");
+    config.baseline_rel_tol = cli.get_real("rel-tol");
+    if (!cli.get_bool("in-process")) {
+      // Workers are this same binary re-exec'd in --worker mode.
+      config.worker_command = {argv[0]};
+    }
+
+    const campaign::CampaignReport report = campaign::run_campaign(config);
+
+    ConsoleTable t({"verdict", "count"});
+    const auto counter = [&report](const char* name) -> Index {
+      const auto it = report.counters.find(name);
+      return it == report.counters.end() ? 0 : it->second;
+    };
+    t.add_row({"scenarios", std::to_string(counter("scenarios"))});
+    t.add_row({"pass", std::to_string(counter("pass"))});
+    t.add_row({"fail", std::to_string(counter("fail"))});
+    t.add_row({"quarantined", std::to_string(counter("quarantined"))});
+    t.print(std::cout);
+    for (const auto& [id, entry] : report.scenarios) {
+      if (entry.status != campaign::ScenarioStatus::kPass) {
+        std::cout << "  " << to_string(entry.status) << "  " << id << ": "
+                  << entry.error << "\n";
+      }
+    }
+    // Quarantines never fail the campaign; baseline regressions do.
+    return counter("fail") > 0 ? 2 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "ppdl_campaign: " << e.what() << "\n";
+    return 1;
+  }
+}

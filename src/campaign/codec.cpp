@@ -1,0 +1,38 @@
+#include "campaign/codec.hpp"
+
+namespace ppdl::campaign {
+
+namespace {
+
+template <typename Fn>
+auto campaign_field(Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const codec::CodecError& e) {
+    throw CampaignError(std::string("campaign codec: ") + e.what());
+  }
+}
+
+}  // namespace
+
+Real get_real(std::istream& in, const char* what) {
+  return campaign_field([&] { return codec::get_real(in, what); });
+}
+
+Index get_index(std::istream& in, const char* what) {
+  return campaign_field([&] { return codec::get_index(in, what); });
+}
+
+U64 get_u64(std::istream& in, const char* what) {
+  return campaign_field([&] { return codec::get_u64(in, what); });
+}
+
+void expect_key(std::istream& in, const char* keyword) {
+  campaign_field([&] { codec::expect_key(in, keyword); });
+}
+
+std::string get_blob(std::istream& in, const char* key) {
+  return campaign_field([&] { return codec::get_blob(in, key); });
+}
+
+}  // namespace ppdl::campaign

@@ -1,0 +1,32 @@
+// Campaign-flavored view of the shared text codec (common/text_codec).
+//
+// Same wire idioms as the flow-checkpoint payload: keyword-tagged fields,
+// hexfloat reals, length-prefixed blobs. The only campaign-specific part is
+// the error contract — decode failures surface as CampaignError (with a
+// "campaign codec:" prefix) instead of the raw codec::CodecError, so
+// campaign callers catch one exception family. The artifact container
+// around each payload (common/artifact_io) separately guards truncation
+// and corruption, so a decode error on a verified container means a
+// protocol bug or a payload-version skew.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "campaign/matrix.hpp"
+#include "common/text_codec.hpp"
+#include "common/types.hpp"
+
+namespace ppdl::campaign {
+
+using codec::put_blob;
+using codec::put_real;
+
+Real get_real(std::istream& in, const char* what);
+Index get_index(std::istream& in, const char* what);
+U64 get_u64(std::istream& in, const char* what);
+void expect_key(std::istream& in, const char* keyword);
+std::string get_blob(std::istream& in, const char* key);
+
+}  // namespace ppdl::campaign

@@ -1,0 +1,191 @@
+#include "campaign/matrix.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "campaign/codec.hpp"
+#include "common/artifact_io.hpp"
+#include "common/obs_report.hpp"
+
+namespace ppdl::campaign {
+
+const char* to_string(AnalysisMode mode) {
+  switch (mode) {
+    case AnalysisMode::kIrStatic:
+      return "ir";
+    case AnalysisMode::kVectorless:
+      return "vectorless";
+    case AnalysisMode::kDualRail:
+      return "dual-rail";
+    case AnalysisMode::kEmMttf:
+      return "em-mttf";
+  }
+  return "?";
+}
+
+AnalysisMode parse_analysis_mode(const std::string& token) {
+  for (const AnalysisMode mode :
+       {AnalysisMode::kIrStatic, AnalysisMode::kVectorless,
+        AnalysisMode::kDualRail, AnalysisMode::kEmMttf}) {
+    if (token == to_string(mode)) {
+      return mode;
+    }
+  }
+  throw CampaignError("unknown analysis mode '" + token +
+                      "' (expected ir|vectorless|dual-rail|em-mttf)");
+}
+
+const char* to_string(PerturbKind kind) {
+  switch (kind) {
+    case PerturbKind::kNone:
+      return "none";
+    case PerturbKind::kCurrentWorkloads:
+      return "loads";
+    case PerturbKind::kNodeVoltages:
+      return "voltages";
+    case PerturbKind::kBoth:
+      return "both";
+    case PerturbKind::kFaultDanglingPad:
+      return "fault-dangling-pad";
+    case PerturbKind::kFaultZeroCondVias:
+      return "fault-open-vias";
+  }
+  return "?";
+}
+
+PerturbKind parse_perturb_kind(const std::string& token) {
+  for (const PerturbKind kind :
+       {PerturbKind::kNone, PerturbKind::kCurrentWorkloads,
+        PerturbKind::kNodeVoltages, PerturbKind::kBoth,
+        PerturbKind::kFaultDanglingPad, PerturbKind::kFaultZeroCondVias}) {
+    if (token == to_string(kind)) {
+      return kind;
+    }
+  }
+  throw CampaignError(
+      "unknown perturbation kind '" + token +
+      "' (expected none|loads|voltages|both|fault-dangling-pad|"
+      "fault-open-vias)");
+}
+
+std::string scenario_id(const std::string& family, Real scale,
+                        U64 floorplan_seed, PerturbKind perturbation,
+                        AnalysisMode mode) {
+  std::ostringstream id;
+  // json_number is shortest-round-trip, so equal scales always spell the
+  // same and the id survives an encode/decode cycle unchanged.
+  id << family << "/s" << obs::json_number(scale) << "/f" << floorplan_seed
+     << '/' << to_string(perturbation) << '/' << to_string(mode);
+  return id.str();
+}
+
+std::string scenario_file_stem(const Scenario& scenario) {
+  std::string stem = scenario.id;
+  for (char& c : stem) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) {
+      c = '_';
+    }
+  }
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), "-%016llx",
+                static_cast<unsigned long long>(fnv1a64(scenario.id)));
+  return stem + suffix;
+}
+
+namespace {
+
+template <typename T>
+void require_axis(const std::vector<T>& axis, const char* name) {
+  if (axis.empty()) {
+    throw CampaignError(std::string("campaign matrix: axis '") + name +
+                        "' is empty");
+  }
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    for (std::size_t j = i + 1; j < axis.size(); ++j) {
+      if (axis[i] == axis[j]) {
+        throw CampaignError(std::string("campaign matrix: axis '") + name +
+                            "' has duplicate entries (would alias ids)");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Scenario> expand_matrix(const CampaignMatrix& matrix) {
+  require_axis(matrix.families, "families");
+  require_axis(matrix.scales, "scales");
+  require_axis(matrix.floorplan_seeds, "floorplan_seeds");
+  require_axis(matrix.perturbations, "perturbations");
+  require_axis(matrix.modes, "modes");
+
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(matrix.families.size() * matrix.scales.size() *
+                    matrix.floorplan_seeds.size() *
+                    matrix.perturbations.size() * matrix.modes.size());
+  for (const std::string& family : matrix.families) {
+    for (const Real scale : matrix.scales) {
+      for (const U64 seed : matrix.floorplan_seeds) {
+        for (const PerturbKind perturb : matrix.perturbations) {
+          for (const AnalysisMode mode : matrix.modes) {
+            Scenario s;
+            s.family = family;
+            s.scale = scale;
+            s.floorplan_seed = seed;
+            s.perturbation = perturb;
+            s.mode = mode;
+            s.id = scenario_id(family, scale, seed, perturb, mode);
+            s.rng_key = fnv1a64(s.id);
+            scenarios.push_back(std::move(s));
+          }
+        }
+      }
+    }
+  }
+  return scenarios;
+}
+
+std::string encode_scenario(const Scenario& scenario) {
+  std::ostringstream out;
+  if (scenario.family.empty() ||
+      scenario.family.find_first_of(" \t\n") != std::string::npos) {
+    throw CampaignError("scenario family must be a non-empty token: '" +
+                        scenario.family + "'");
+  }
+  out << scenario.family << ' ';
+  put_real(out, scenario.scale);
+  out << ' ' << scenario.floorplan_seed << ' '
+      << to_string(scenario.perturbation) << ' ' << to_string(scenario.mode);
+  return out.str();
+}
+
+Scenario decode_scenario(const std::string& line) {
+  std::istringstream in(line);
+  Scenario s;
+  if (!(in >> s.family)) {
+    throw CampaignError("scenario line: missing family: '" + line + "'");
+  }
+  s.scale = get_real(in, "scenario scale");
+  s.floorplan_seed = get_u64(in, "scenario floorplan seed");
+  std::string perturb;
+  std::string mode;
+  if (!(in >> perturb >> mode)) {
+    throw CampaignError("scenario line: truncated: '" + line + "'");
+  }
+  std::string trailing;
+  if (in >> trailing) {
+    throw CampaignError("scenario line: trailing token '" + trailing + "'");
+  }
+  s.perturbation = parse_perturb_kind(perturb);
+  s.mode = parse_analysis_mode(mode);
+  // The id and rng key are derived, never transported — a manifest cannot
+  // smuggle an id inconsistent with the coordinates.
+  s.id = scenario_id(s.family, s.scale, s.floorplan_seed, s.perturbation,
+                     s.mode);
+  s.rng_key = fnv1a64(s.id);
+  return s;
+}
+
+}  // namespace ppdl::campaign

@@ -1,0 +1,106 @@
+// Scenario matrix for the fault-isolated campaign engine.
+//
+// A campaign sweeps the cross product of five axes — benchmark family ×
+// scale × floorplan seed × perturbation kind × analysis mode — and runs
+// every cell as one isolated *scenario*. Each scenario carries a stable
+// string id and an rng key derived from that id alone, so its stochastic
+// inputs come from `Rng::stream(campaign_seed, rng_key)`: the same scenario
+// produces bit-identical inputs no matter which shard runs it, in which
+// order, after how many retries, or at what PPDL_THREADS setting. That
+// determinism is what makes crash-resume able to promise a bit-identical
+// aggregate report (see supervisor.hpp).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ppdl::campaign {
+
+/// Thrown by campaign code on malformed matrices, manifests, results, or
+/// protocol violations — the campaign layer's typed error class.
+class CampaignError : public std::runtime_error {
+ public:
+  explicit CampaignError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Which analysis a scenario drives (all from src/analysis).
+enum class AnalysisMode {
+  kIrStatic,    ///< static IR-drop solve (analyze_ir_drop)
+  kVectorless,  ///< early vectorless worst-case bound
+  kDualRail,    ///< VDD droop + ground bounce on a mirrored rail pair
+  kEmMttf,      ///< IR solve + EM check + Black's-equation MTTF
+};
+
+const char* to_string(AnalysisMode mode);
+AnalysisMode parse_analysis_mode(const std::string& token);  // throws
+
+/// What is done to the generated grid before analysis. The electrical kinds
+/// reuse grid::perturb_grid; the fault kinds reuse grid::inject_fault and
+/// exist so chaos campaigns contain scenarios that fail *deterministically*
+/// (exercising retry + quarantine) or carry benign defects the analysis
+/// must shrug off.
+enum class PerturbKind {
+  kNone,               ///< analyze the calibrated grid as generated
+  kCurrentWorkloads,   ///< γ-perturb switching-current loads
+  kNodeVoltages,       ///< γ-perturb supply-pad voltages (common-mode sag)
+  kBoth,               ///< both electrical perturbations
+  kFaultDanglingPad,   ///< benign defect: pad bonded to nothing (warning)
+  kFaultZeroCondVias,  ///< fatal defect: open via cluster — always fails
+};
+
+const char* to_string(PerturbKind kind);
+PerturbKind parse_perturb_kind(const std::string& token);  // throws
+
+/// The five axes plus the campaign-level stochastic inputs.
+struct CampaignMatrix {
+  std::vector<std::string> families{"ibmpg1"};
+  std::vector<Real> scales{0.02};
+  std::vector<U64> floorplan_seeds{1};
+  std::vector<PerturbKind> perturbations{PerturbKind::kNone};
+  std::vector<AnalysisMode> modes{AnalysisMode::kIrStatic};
+  /// Root seed: every scenario draws from Rng::stream(campaign_seed,
+  /// scenario.rng_key), so two campaigns differing only in seed sweep the
+  /// same matrix over decorrelated stochastic inputs.
+  U64 campaign_seed = 2020;
+  /// Perturbation size for the electrical kinds (paper default 10%).
+  Real gamma = 0.10;
+};
+
+/// One cell of the matrix.
+struct Scenario {
+  std::string id;       ///< "ibmpg1/s0.02/f1/loads/ir" — stable and unique
+  std::string family;
+  Real scale = 0.05;
+  U64 floorplan_seed = 0;
+  PerturbKind perturbation = PerturbKind::kNone;
+  AnalysisMode mode = AnalysisMode::kIrStatic;
+  /// fnv1a64(id): the scenario's Rng::stream index. Derived from the id
+  /// alone so it survives re-sharding, retries, and resume unchanged.
+  U64 rng_key = 0;
+};
+
+/// The id the five coordinates produce (shortest-round-trip scale).
+std::string scenario_id(const std::string& family, Real scale,
+                        U64 floorplan_seed, PerturbKind perturbation,
+                        AnalysisMode mode);
+
+/// Filesystem-safe stem for per-scenario artifacts: the id with every
+/// non-[A-Za-z0-9._-] byte replaced by '_', suffixed with the id's fnv1a64
+/// hex so distinct ids can never collide after sanitization.
+std::string scenario_file_stem(const Scenario& scenario);
+
+/// Expands the full cross product in deterministic axis-major order
+/// (families outermost, modes innermost). Throws CampaignError on an empty
+/// axis or duplicate axis entries (they would alias scenario ids).
+std::vector<Scenario> expand_matrix(const CampaignMatrix& matrix);
+
+/// One-line codec for shipping scenarios through shard manifests:
+/// `family scale_hex seed perturb mode` (id and rng_key are re-derived on
+/// decode, so a manifest cannot smuggle an inconsistent id).
+std::string encode_scenario(const Scenario& scenario);
+Scenario decode_scenario(const std::string& line);  // throws CampaignError
+
+}  // namespace ppdl::campaign

@@ -1,0 +1,216 @@
+#include "campaign/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "campaign/codec.hpp"
+#include "common/artifact_io.hpp"
+#include "common/obs_report.hpp"
+
+namespace ppdl::campaign {
+
+namespace {
+
+constexpr int kBaselineVersion = 1;
+constexpr char kBaselineType[] = "campaign-baseline";
+
+using obs::json_escape;
+using obs::json_number;
+
+void emit_string_map(std::ostream& out,
+                     const std::map<std::string, std::string>& map,
+                     const std::string& pad) {
+  if (map.empty()) {
+    out << "{}";
+    return;
+  }
+  out << "{\n";
+  bool first = true;
+  for (const auto& [key, value] : map) {
+    if (!first) {
+      out << ",\n";
+    }
+    first = false;
+    out << pad << "  \"" << json_escape(key) << "\": \"" << json_escape(value)
+        << '"';
+  }
+  out << '\n' << pad << '}';
+}
+
+void emit_counter_map(std::ostream& out,
+                      const std::map<std::string, Index>& map,
+                      const std::string& pad) {
+  if (map.empty()) {
+    out << "{}";
+    return;
+  }
+  out << "{\n";
+  bool first = true;
+  for (const auto& [key, value] : map) {
+    if (!first) {
+      out << ",\n";
+    }
+    first = false;
+    out << pad << "  \"" << json_escape(key) << "\": " << value;
+  }
+  out << '\n' << pad << '}';
+}
+
+void emit_value_map(std::ostream& out, const std::map<std::string, Real>& map,
+                    const std::string& pad) {
+  if (map.empty()) {
+    out << "{}";
+    return;
+  }
+  out << "{\n";
+  bool first = true;
+  for (const auto& [key, value] : map) {
+    if (!first) {
+      out << ",\n";
+    }
+    first = false;
+    out << pad << "  \"" << json_escape(key)
+        << "\": " << json_number(value);
+  }
+  out << '\n' << pad << '}';
+}
+
+void emit_scenario(std::ostream& out, const ScenarioReportEntry& entry,
+                   const std::string& pad) {
+  out << "{\n";
+  out << pad << "  \"status\": \"" << to_string(entry.status) << "\",\n";
+  out << pad << "  \"error\": \"" << json_escape(entry.error) << "\",\n";
+  out << pad << "  \"validation\": \"" << json_escape(entry.validation)
+      << "\",\n";
+  out << pad << "  \"values\": ";
+  emit_value_map(out, entry.values, pad + "  ");
+  out << ",\n" << pad << "  \"baseline_delta\": ";
+  emit_value_map(out, entry.baseline_delta, pad + "  ");
+  out << '\n' << pad << '}';
+}
+
+}  // namespace
+
+const char* to_string(ScenarioStatus status) {
+  switch (status) {
+    case ScenarioStatus::kPass:
+      return "pass";
+    case ScenarioStatus::kFail:
+      return "fail";
+    case ScenarioStatus::kQuarantined:
+      return "quarantined";
+  }
+  return "?";
+}
+
+std::string render_campaign_report(const CampaignReport& report) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": \"" << kCampaignReportSchemaName << "\",\n";
+  out << "  \"schema_version\": " << kCampaignReportSchemaVersion << ",\n";
+  out << "  \"campaign\": \"" << json_escape(report.name) << "\",\n";
+
+  out << "  \"info\": ";
+  emit_string_map(out, report.info, "  ");
+  out << ",\n";
+
+  out << "  \"metrics\": {\n    \"counters\": ";
+  emit_counter_map(out, report.counters, "    ");
+  out << "\n  },\n";
+
+  out << "  \"scenarios\": ";
+  if (report.scenarios.empty()) {
+    out << "{}";
+  } else {
+    out << "{\n";
+    bool first = true;
+    for (const auto& [id, entry] : report.scenarios) {
+      if (!first) {
+        out << ",\n";
+      }
+      first = false;
+      out << "    \"" << json_escape(id) << "\": ";
+      emit_scenario(out, entry, "    ");
+    }
+    out << "\n  }";
+  }
+  out << ",\n";
+
+  out << "  \"execution\": {\n    \"counters\": ";
+  emit_counter_map(out, report.execution_counters, "    ");
+  out << ",\n    \"seconds\": ";
+  emit_value_map(out, report.execution_seconds, "    ");
+  out << "\n  }\n";
+  out << "}\n";
+  return out.str();
+}
+
+void write_campaign_report(const std::string& path,
+                           const CampaignReport& report) {
+  write_raw_file_atomic(path, render_campaign_report(report));
+}
+
+void save_campaign_baseline(const std::string& path,
+                            const CampaignBaseline& baseline) {
+  std::ostringstream body;
+  body << "scenarios " << baseline.size() << '\n';
+  for (const auto& [id, values] : baseline) {
+    put_blob(body, "scenario", id);
+    body << "values " << values.size() << '\n';
+    for (const auto& [name, value] : values) {
+      put_blob(body, "name", name);
+      body << "value ";
+      put_real(body, value);
+      body << '\n';
+    }
+  }
+  Artifact artifact;
+  artifact.type = kBaselineType;
+  artifact.version = kBaselineVersion;
+  artifact.payload = body.str();
+  write_artifact_file(path, artifact);
+}
+
+CampaignBaseline load_campaign_baseline(const std::string& path) {
+  const Artifact artifact =
+      read_artifact_file(path, kBaselineType, kBaselineVersion,
+                         kBaselineVersion);
+  std::istringstream in(artifact.payload);
+  CampaignBaseline baseline;
+  expect_key(in, "scenarios");
+  const Index scenario_count = get_index(in, "baseline scenario count");
+  if (scenario_count < 0) {
+    throw CampaignError("campaign baseline: negative scenario count in " +
+                        path);
+  }
+  for (Index i = 0; i < scenario_count; ++i) {
+    const std::string id = get_blob(in, "scenario");
+    expect_key(in, "values");
+    const Index value_count = get_index(in, "baseline value count");
+    if (value_count < 0) {
+      throw CampaignError("campaign baseline: negative value count in " +
+                          path);
+    }
+    std::map<std::string, Real>& values = baseline[id];
+    for (Index v = 0; v < value_count; ++v) {
+      const std::string name = get_blob(in, "name");
+      expect_key(in, "value");
+      values[name] = get_real(in, "value");
+    }
+  }
+  return baseline;
+}
+
+bool within_baseline_tolerance(Real value, Real baseline, Real rel_tol) {
+  if (std::isnan(value) || std::isnan(baseline)) {
+    // A metric that became (or stopped being) undefined is a regression
+    // unless both sides agree it is undefined.
+    return std::isnan(value) && std::isnan(baseline);
+  }
+  const Real scale =
+      std::max({std::fabs(value), std::fabs(baseline), Real{1.0}});
+  return std::fabs(value - baseline) <= rel_tol * scale;
+}
+
+}  // namespace ppdl::campaign

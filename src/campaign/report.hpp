@@ -1,0 +1,96 @@
+// The merged campaign report (`ppdl.campaign_report` v1) and the recorded
+// per-scenario baselines it gates against.
+//
+// Layout (schemas/campaign_report.schema.json is the normative schema; the
+// campaign-smoke CI job validates every emitted report against it):
+//
+//   {
+//     "schema": "ppdl.campaign_report",
+//     "schema_version": 1,
+//     "campaign": "<name>",
+//     "info":      { "<key>": "<string fact>", ... },       deterministic
+//     "metrics":   { "counters": { "<name>": int, ... } },  deterministic
+//     "scenarios": { "<id>": { "status": "pass|fail|quarantined",
+//                              "error": "<last error or regression>",
+//                              "validation": "<grid defect digest>",
+//                              "values": { "<name>": number|null },
+//                              "baseline_delta": { "<name>": number|null } }
+//                  },                                       deterministic
+//     "execution": { "counters": { "<name>": int },         wall-clock /
+//                    "seconds":  { "<name>": number } }     scheduling
+//   }
+//
+// Determinism contract (same spirit as ppdl.run_report): `info`, `metrics`,
+// and `scenarios` are derived from deterministic computation only, so an
+// interrupted-and-resumed campaign renders those sections byte-identical to
+// an uninterrupted one at any PPDL_THREADS. Retry counts, crash tallies,
+// backoff sleeps, and seconds are scheduling-dependent by nature and live
+// exclusively under `execution`. Keys are sorted and numbers rendered in
+// shortest-round-trip form, so "same values" ⇒ "same bytes".
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "campaign/scenario.hpp"
+#include "common/types.hpp"
+
+namespace ppdl::campaign {
+
+inline constexpr int kCampaignReportSchemaVersion = 1;
+inline constexpr char kCampaignReportSchemaName[] = "ppdl.campaign_report";
+
+/// Final verdict of one scenario.
+enum class ScenarioStatus {
+  kPass,         ///< completed, and within tolerance of any baseline
+  kFail,         ///< completed but regressed against the recorded baseline
+  kQuarantined,  ///< failed max_attempts times; last error recorded
+};
+
+const char* to_string(ScenarioStatus status);
+
+/// One scenario's row in the merged report (all fields deterministic).
+struct ScenarioReportEntry {
+  ScenarioStatus status = ScenarioStatus::kPass;
+  std::string error;       ///< last failure / regression detail ("" on pass)
+  std::string validation;  ///< grid-validation digest ("" when clean)
+  std::map<std::string, Real> values;
+  /// value − baseline per metric; present only when a baseline was loaded
+  /// and holds the scenario.
+  std::map<std::string, Real> baseline_delta;
+};
+
+struct CampaignReport {
+  std::string name;
+  std::map<std::string, std::string> info;
+  std::map<std::string, Index> counters;
+  std::map<std::string, ScenarioReportEntry> scenarios;  ///< keyed by id
+  /// Nondeterministic evidence: retries, quarantine events, shard crashes,
+  /// resume skips, merged shard counters.
+  std::map<std::string, Index> execution_counters;
+  std::map<std::string, Real> execution_seconds;
+};
+
+/// Renders the report as pretty-printed JSON (sorted keys, byte-stable for
+/// equal values).
+std::string render_campaign_report(const CampaignReport& report);
+
+/// Renders and writes crash-safely (atomic temp+rename).
+void write_campaign_report(const std::string& path,
+                           const CampaignReport& report);
+
+// --- recorded baselines ----------------------------------------------------
+
+/// Per-scenario expected values, keyed by scenario id then metric name.
+using CampaignBaseline = std::map<std::string, std::map<std::string, Real>>;
+
+/// Persists/loads a baseline as a "campaign-baseline" artifact.
+void save_campaign_baseline(const std::string& path,
+                            const CampaignBaseline& baseline);
+CampaignBaseline load_campaign_baseline(const std::string& path);
+
+/// |value − baseline| ≤ rel_tol · max(|value|, |baseline|, 1) — the gate
+/// that turns a pass into a fail when a baseline is recorded.
+bool within_baseline_tolerance(Real value, Real baseline, Real rel_tol);
+
+}  // namespace ppdl::campaign

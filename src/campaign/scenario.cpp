@@ -1,0 +1,210 @@
+#include "campaign/scenario.hpp"
+
+#include <sstream>
+
+#include "analysis/dual_rail.hpp"
+#include "analysis/em.hpp"
+#include "analysis/ir_solver.hpp"
+#include "analysis/vectorless.hpp"
+#include "campaign/codec.hpp"
+#include "common/artifact_io.hpp"
+#include "common/deadline.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/benchmarks.hpp"
+#include "grid/perturb.hpp"
+#include "grid/validate.hpp"
+
+namespace ppdl::campaign {
+
+namespace {
+
+constexpr int kResultVersion = 1;
+constexpr char kResultType[] = "scenario-result";
+
+/// Applies the scenario's perturbation to the generated benchmark. The
+/// perturbation seed comes from the scenario's own stream so it is
+/// independent of generation randomness and of every other scenario.
+void apply_perturbation(const ScenarioConfig& config,
+                        const Scenario& scenario,
+                        grid::GeneratedBenchmark& bench) {
+  Rng rng = Rng::stream(config.campaign_seed, scenario.rng_key);
+  const U64 perturb_seed = rng.next_u64();
+  const Real budget_v = bench.spec.ir_limit_mv * 1e-3;
+  switch (scenario.perturbation) {
+    case PerturbKind::kNone:
+      return;
+    case PerturbKind::kCurrentWorkloads:
+      grid::perturb_grid(bench.grid, grid::PerturbationKind::kCurrentWorkloads,
+                         config.gamma, perturb_seed, budget_v);
+      return;
+    case PerturbKind::kNodeVoltages:
+      grid::perturb_grid(bench.grid, grid::PerturbationKind::kNodeVoltages,
+                         config.gamma, perturb_seed, budget_v);
+      return;
+    case PerturbKind::kBoth:
+      grid::perturb_grid(bench.grid, grid::PerturbationKind::kBoth,
+                         config.gamma, perturb_seed, budget_v);
+      return;
+    case PerturbKind::kFaultDanglingPad:
+      grid::inject_fault(bench.grid, grid::GridFault::kDanglingPad);
+      return;
+    case PerturbKind::kFaultZeroCondVias:
+      grid::inject_fault(bench.grid, grid::GridFault::kZeroConductanceVias);
+      return;
+  }
+  throw CampaignError("unhandled perturbation kind for scenario " +
+                      scenario.id);
+}
+
+/// Mode dispatch. Fills outcome.values and returns whether the analysis
+/// converged; non-convergence is a scenario failure (retryable from the
+/// supervisor's point of view, deterministic in practice).
+bool analyze(const ScenarioConfig& config, const Scenario& scenario,
+             const grid::GeneratedBenchmark& bench, ScenarioOutcome& out) {
+  analysis::IrAnalysisOptions options;
+  if (config.timeout_seconds > 0.0) {
+    options.deadline = Deadline::after_seconds(config.timeout_seconds);
+  }
+  switch (scenario.mode) {
+    case AnalysisMode::kIrStatic: {
+      const analysis::IrAnalysisResult r =
+          analysis::analyze_ir_drop(bench.grid, options);
+      out.values["worst_ir_drop_mv"] = r.worst_ir_drop * 1e3;
+      out.values["cg_iterations"] = static_cast<Real>(r.cg_iterations);
+      if (!r.converged) {
+        out.error = "ir solve did not converge: " + r.solve_report.summary();
+      }
+      return r.converged;
+    }
+    case AnalysisMode::kVectorless: {
+      const analysis::VectorlessResult r = analysis::vectorless_bound(
+          bench.grid, bench.floorplan, /*budget_factor=*/1.2, options);
+      out.values["worst_ir_bound_mv"] = r.worst_ir_bound * 1e3;
+      if (!r.converged) {
+        out.error = "vectorless bound did not converge: " +
+                    r.analysis.solve_report.summary();
+      }
+      return r.converged;
+    }
+    case AnalysisMode::kDualRail: {
+      const grid::PowerGrid gnd = analysis::make_ground_mirror(bench.grid);
+      const analysis::DualRailResult r =
+          analysis::analyze_dual_rail(bench.grid, gnd, options);
+      out.values["worst_noise_mv"] = r.worst_noise * 1e3;
+      if (!r.converged) {
+        out.error = "dual-rail solve did not converge";
+      }
+      return r.converged;
+    }
+    case AnalysisMode::kEmMttf: {
+      const analysis::IrAnalysisResult r =
+          analysis::analyze_ir_drop(bench.grid, options);
+      if (!r.converged) {
+        out.error = "ir solve did not converge: " + r.solve_report.summary();
+        return false;
+      }
+      out.values["worst_ir_drop_mv"] = r.worst_ir_drop * 1e3;
+      out.values["em_violations"] = static_cast<Real>(
+          analysis::check_em(bench.grid, r, bench.spec.jmax).size());
+      const analysis::EmMttfReport mttf =
+          analysis::em_mttf_report(bench.grid, r);
+      out.values["min_mttf_hours"] = mttf.min_mttf_hours;
+      return true;
+    }
+  }
+  throw CampaignError("unhandled analysis mode for scenario " + scenario.id);
+}
+
+}  // namespace
+
+ScenarioOutcome run_scenario(const ScenarioConfig& config,
+                             const Scenario& scenario) {
+  ScenarioOutcome out;
+  out.scenario = scenario;
+  Timer timer;
+  try {
+    core::BenchmarkOptions bench_options;
+    bench_options.scale = scenario.scale;
+    bench_options.seed = scenario.floorplan_seed;
+    grid::GeneratedBenchmark bench =
+        core::make_benchmark(scenario.family, bench_options);
+    apply_perturbation(config, scenario, bench);
+
+    const grid::GridValidationReport validation =
+        grid::validate_grid(bench.grid);
+    if (validation.defects.empty()) {
+      out.validation = "";
+    } else {
+      out.validation = validation.summary();
+    }
+    out.values["nodes"] = static_cast<Real>(bench.grid.node_count());
+    out.values["branches"] = static_cast<Real>(bench.grid.branch_count());
+
+    out.ok = analyze(config, scenario, bench, out);
+  } catch (const std::exception& e) {
+    // Typed analysis failures (GridDefectError, ContractViolation, ...)
+    // become a recorded failure, not a shard crash.
+    out.ok = false;
+    out.error = e.what();
+  }
+  out.seconds = timer.seconds();
+  return out;
+}
+
+std::string scenario_result_path(const std::string& dir,
+                                 const Scenario& scenario) {
+  return dir + "/result-" + scenario_file_stem(scenario) + ".ppdl";
+}
+
+void save_scenario_outcome(const std::string& path,
+                           const ScenarioOutcome& outcome) {
+  std::ostringstream body;
+  put_blob(body, "scenario", encode_scenario(outcome.scenario));
+  body << "ok " << (outcome.ok ? 1 : 0) << '\n';
+  put_blob(body, "error", outcome.error);
+  put_blob(body, "validation", outcome.validation);
+  body << "values " << outcome.values.size() << '\n';
+  for (const auto& [name, value] : outcome.values) {
+    put_blob(body, "name", name);
+    body << "value ";
+    put_real(body, value);
+    body << '\n';
+  }
+  body << "seconds ";
+  put_real(body, outcome.seconds);
+  body << '\n';
+
+  Artifact artifact;
+  artifact.type = kResultType;
+  artifact.version = kResultVersion;
+  artifact.payload = body.str();
+  write_artifact_file(path, artifact);
+}
+
+ScenarioOutcome load_scenario_outcome(const std::string& path) {
+  const Artifact artifact =
+      read_artifact_file(path, kResultType, kResultVersion, kResultVersion);
+  std::istringstream in(artifact.payload);
+  ScenarioOutcome out;
+  out.scenario = decode_scenario(get_blob(in, "scenario"));
+  expect_key(in, "ok");
+  out.ok = get_index(in, "ok flag") != 0;
+  out.error = get_blob(in, "error");
+  out.validation = get_blob(in, "validation");
+  expect_key(in, "values");
+  const Index n = get_index(in, "value count");
+  if (n < 0) {
+    throw CampaignError("scenario result: negative value count in " + path);
+  }
+  for (Index i = 0; i < n; ++i) {
+    const std::string name = get_blob(in, "name");
+    expect_key(in, "value");
+    out.values[name] = get_real(in, "value");
+  }
+  expect_key(in, "seconds");
+  out.seconds = get_real(in, "seconds");
+  return out;
+}
+
+}  // namespace ppdl::campaign

@@ -1,0 +1,64 @@
+// Running one scenario: generate → perturb/fault → analyze → outcome.
+//
+// A scenario run is a pure function of (ScenarioConfig, Scenario): all
+// stochastic inputs come from Rng::stream(config.campaign_seed,
+// scenario.rng_key), so retries, re-sharding, resume, and PPDL_THREADS
+// changes reproduce the same outcome values bit-exactly. Failures —
+// grid defects, non-converged solves, contract violations — are caught and
+// recorded in the outcome instead of escaping, so one broken scenario can
+// never take down a shard by exception (crashes are the supervisor's
+// department).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "campaign/matrix.hpp"
+#include "common/types.hpp"
+
+namespace ppdl::campaign {
+
+/// Campaign-level knobs every scenario run shares.
+struct ScenarioConfig {
+  U64 campaign_seed = 2020;
+  Real gamma = 0.10;
+  /// Per-scenario wall-clock budget threaded into the analysis Deadline
+  /// (cooperative: bounds solver escalation). <= 0 means unlimited. The
+  /// supervisor additionally enforces a hard kill at 4× this budget.
+  Real timeout_seconds = 0.0;
+};
+
+/// The persisted result of one scenario attempt.
+struct ScenarioOutcome {
+  Scenario scenario;
+  bool ok = false;
+  /// Failure text (exception message or non-convergence summary); empty on
+  /// success. Deterministic for deterministic failures.
+  std::string error;
+  /// Deterministic named results ("worst_ir_drop_mv", "nodes", ...) —
+  /// merged into the campaign report's per-scenario section.
+  std::map<std::string, Real> values;
+  /// Grid-validation summary ("" when the grid validated cleanly), e.g.
+  /// "1 warning: dangling-pad". Deterministic.
+  std::string validation;
+  /// Wall-clock seconds of this attempt (nondeterministic; reported only
+  /// in the execution section).
+  Real seconds = 0.0;
+};
+
+/// Runs the scenario to completion, catching analysis failures into the
+/// outcome. Only infrastructure errors (e.g. OOM) escape as exceptions.
+ScenarioOutcome run_scenario(const ScenarioConfig& config,
+                             const Scenario& scenario);
+
+/// Canonical result-artifact path for a scenario inside a campaign dir.
+std::string scenario_result_path(const std::string& dir,
+                                 const Scenario& scenario);
+
+/// Persists/loads an outcome as a "scenario-result" artifact (crash-safe
+/// atomic write). load throws ArtifactError/CampaignError on damage.
+void save_scenario_outcome(const std::string& path,
+                           const ScenarioOutcome& outcome);
+ScenarioOutcome load_scenario_outcome(const std::string& path);
+
+}  // namespace ppdl::campaign

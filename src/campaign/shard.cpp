@@ -1,0 +1,171 @@
+#include "campaign/shard.hpp"
+
+#include <sstream>
+#include <string>
+
+#include "campaign/codec.hpp"
+#include "common/artifact_io.hpp"
+#include "common/logging.hpp"
+#include "common/obs.hpp"
+#include "common/obs_report.hpp"
+#include "common/timer.hpp"
+
+namespace ppdl::campaign {
+
+namespace {
+
+constexpr int kManifestVersion = 1;
+constexpr char kManifestType[] = "campaign-shard";
+
+std::string round_shard_stem(Index round, Index shard_index) {
+  // Built via += rather than `"r" + std::to_string(...)`: GCC 12's
+  // -Wrestrict mis-fires on operator+(const char*, string&&) at -O3
+  // (PR105329), and the PPDL_WERROR gate treats it as an error.
+  std::string stem = "r";
+  stem += std::to_string(round);
+  stem += "-s";
+  stem += std::to_string(shard_index);
+  return stem;
+}
+
+}  // namespace
+
+std::string shard_manifest_path(const std::string& dir, Index round,
+                                Index shard_index) {
+  return dir + "/shard-" + round_shard_stem(round, shard_index) + ".ppdl";
+}
+
+std::string shard_report_path(const std::string& dir, Index round,
+                              Index shard_index) {
+  return dir + "/shard-" + round_shard_stem(round, shard_index) +
+         "-report.json";
+}
+
+void save_shard_task(const std::string& path, const ShardTask& task) {
+  std::ostringstream body;
+  body << "shard " << task.shard_index << " round " << task.round << '\n';
+  body << "seed " << task.config.campaign_seed << '\n';
+  body << "gamma ";
+  put_real(body, task.config.gamma);
+  body << '\n';
+  body << "timeout ";
+  put_real(body, task.config.timeout_seconds);
+  body << '\n';
+  body << "scenarios " << task.scenarios.size() << '\n';
+  for (const Scenario& s : task.scenarios) {
+    put_blob(body, "scenario", encode_scenario(s));
+  }
+
+  Artifact artifact;
+  artifact.type = kManifestType;
+  artifact.version = kManifestVersion;
+  artifact.payload = body.str();
+  write_artifact_file(path, artifact);
+}
+
+ShardTask load_shard_task(const std::string& path) {
+  const Artifact artifact =
+      read_artifact_file(path, kManifestType, kManifestVersion,
+                         kManifestVersion);
+  std::istringstream in(artifact.payload);
+  ShardTask task;
+  expect_key(in, "shard");
+  task.shard_index = get_index(in, "shard index");
+  expect_key(in, "round");
+  task.round = get_index(in, "round");
+  expect_key(in, "seed");
+  task.config.campaign_seed = get_u64(in, "campaign seed");
+  expect_key(in, "gamma");
+  task.config.gamma = get_real(in, "gamma");
+  expect_key(in, "timeout");
+  task.config.timeout_seconds = get_real(in, "timeout");
+  expect_key(in, "scenarios");
+  const Index n = get_index(in, "scenario count");
+  if (n < 0) {
+    throw CampaignError("shard manifest: negative scenario count in " + path);
+  }
+  task.scenarios.reserve(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    task.scenarios.push_back(decode_scenario(get_blob(in, "scenario")));
+  }
+  return task;
+}
+
+int run_shard(const std::string& dir, const std::string& manifest_path) {
+  Timer timer;
+  ShardTask task;
+  try {
+    task = load_shard_task(manifest_path);
+  } catch (const std::exception& e) {
+    PPDL_LOG_ERROR << "shard: cannot load manifest " << manifest_path << ": "
+                   << e.what();
+    return 1;
+  }
+
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
+  Index ran = 0;
+  Index skipped = 0;
+  Index failed = 0;
+  for (const Scenario& scenario : task.scenarios) {
+    const std::string result_path = scenario_result_path(dir, scenario);
+    // Resume/skip: a valid result artifact recording success is final.
+    // Failed results are re-run — the supervisor deletes them before
+    // rescheduling, but being tolerant here keeps the worker idempotent
+    // even against a stale manifest.
+    if (artifact_file_ok(result_path, "scenario-result")) {
+      try {
+        const ScenarioOutcome prior = load_scenario_outcome(result_path);
+        if (prior.ok) {
+          ++skipped;
+          obs::count("campaign.shard.scenarios_skipped");
+          continue;
+        }
+      } catch (const std::exception&) {
+        // Damaged or stale result: fall through and recompute it.
+      }
+    }
+    const ScenarioOutcome outcome = run_scenario(task.config, scenario);
+    ++ran;
+    if (!outcome.ok) {
+      ++failed;
+      obs::count("campaign.shard.scenarios_failed");
+      PPDL_LOG_WARN << "shard " << task.shard_index << ": scenario "
+                    << scenario.id << " failed: " << outcome.error;
+    }
+    try {
+      save_scenario_outcome(result_path, outcome);
+    } catch (const std::exception& e) {
+      PPDL_LOG_ERROR << "shard: cannot persist result for " << scenario.id
+                     << ": " << e.what();
+      return 1;
+    }
+    obs::count("campaign.shard.scenarios_run");
+  }
+
+  // Per-shard run report: execution evidence for this worker process. The
+  // supervisor merges the counters into the campaign report's execution
+  // section.
+  obs::RunReport report;
+  report.benchmark = "campaign-shard-" +
+                     round_shard_stem(task.round, task.shard_index);
+  report.info["shard"] = std::to_string(task.shard_index);
+  report.info["round"] = std::to_string(task.round);
+  report.absorb(
+      obs::MetricsRegistry::global().snapshot().delta_since(before));
+  report.counters["campaign.shard.scenarios_total"] =
+      static_cast<Index>(task.scenarios.size());
+  report.timing_seconds["shard_total"] = timer.seconds();
+  try {
+    obs::write_run_report(
+        shard_report_path(dir, task.round, task.shard_index), report);
+  } catch (const std::exception& e) {
+    PPDL_LOG_ERROR << "shard: cannot write run report: " << e.what();
+    return 1;
+  }
+  PPDL_LOG_INFO << "shard " << task.shard_index << " round " << task.round
+                << ": ran " << ran << ", skipped " << skipped << ", failed "
+                << failed;
+  return 0;
+}
+
+}  // namespace ppdl::campaign

@@ -1,0 +1,53 @@
+// Shard worker: the subprocess side of the campaign engine.
+//
+// The supervisor writes a shard manifest (an artifact listing the scenarios
+// this worker must run plus the shared ScenarioConfig), then spawns
+// `ppdl_campaign --worker --dir <dir> --manifest <path>` which calls
+// run_shard(). The worker:
+//
+//   * skips any scenario whose result artifact already exists, is valid,
+//     and records success (retries re-run failures; resume skips finished
+//     work — the skip logic is here so both get it for free);
+//   * runs the rest through run_scenario() and persists each outcome
+//     atomically the moment it finishes, so a SIGKILL at any instant loses
+//     at most the in-flight scenario;
+//   * writes a per-shard ppdl.run_report JSON next to the manifest and
+//     exits 0.
+//
+// A nonzero exit or a missing result artifact is how the supervisor detects
+// a crashed/killed worker; the worker itself never retries (retry policy is
+// centralized in the supervisor).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/scenario.hpp"
+
+namespace ppdl::campaign {
+
+/// What the supervisor hands one worker for one scheduling round.
+struct ShardTask {
+  Index shard_index = 0;  ///< which slice of the round this is
+  Index round = 0;        ///< scheduling round (grows with retries)
+  ScenarioConfig config;
+  std::vector<Scenario> scenarios;
+};
+
+/// Canonical manifest/report paths for (round, shard) inside a campaign dir.
+std::string shard_manifest_path(const std::string& dir, Index round,
+                                Index shard_index);
+std::string shard_report_path(const std::string& dir, Index round,
+                              Index shard_index);
+
+/// Persists/loads a manifest as a "campaign-shard" artifact.
+void save_shard_task(const std::string& path, const ShardTask& task);
+ShardTask load_shard_task(const std::string& path);
+
+/// Worker entry point: load the manifest, run every scenario not already
+/// finished, persist outcomes, write the shard run report. Returns the
+/// process exit code (0 on success, 1 on infrastructure failure — a
+/// scenario *failing* is a recorded outcome, not a worker failure).
+int run_shard(const std::string& dir, const std::string& manifest_path);
+
+}  // namespace ppdl::campaign

@@ -1,0 +1,588 @@
+#include "campaign/supervisor.hpp"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "campaign/codec.hpp"
+#include "campaign/shard.hpp"
+#include "common/artifact_io.hpp"
+#include "common/logging.hpp"
+#include "common/obs.hpp"
+#include "common/obs_report.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+
+namespace ppdl::campaign {
+
+namespace {
+
+constexpr int kCkptVersion = 1;
+constexpr char kCkptType[] = "campaign-ckpt";
+/// Decorrelates retry-jitter streams from scenario-input streams.
+constexpr U64 kJitterSalt = 0x9d5c0f3a11e0b7c4ULL;
+
+/// Supervisor-side bookkeeping for one scenario.
+struct ScenarioState {
+  Scenario scenario;
+  Index attempts = 0;
+  bool done = false;
+  bool quarantined = false;
+  std::string last_error;
+  /// Earliest reschedule time, in seconds on the supervisor's clock.
+  Real not_before = 0.0;
+};
+
+/// Identity of a campaign: the expanded scenario list plus the stochastic
+/// inputs. A checkpoint for a different identity must not be resumed.
+U64 campaign_identity(const std::vector<Scenario>& scenarios, U64 seed,
+                      Real gamma) {
+  std::ostringstream all;
+  for (const Scenario& s : scenarios) {
+    all << encode_scenario(s) << '\n';
+  }
+  all << seed << ' ';
+  put_real(all, gamma);
+  return fnv1a64(all.str());
+}
+
+void save_supervisor_state(const std::string& path, U64 identity, Index round,
+                           const std::vector<ScenarioState>& states) {
+  std::ostringstream body;
+  body << "identity " << identity << '\n';
+  body << "round " << round << '\n';
+  body << "scenarios " << states.size() << '\n';
+  for (const ScenarioState& st : states) {
+    put_blob(body, "id", st.scenario.id);
+    body << "attempts " << st.attempts << " quarantined "
+         << (st.quarantined ? 1 : 0) << '\n';
+    put_blob(body, "last_error", st.last_error);
+  }
+  Artifact artifact;
+  artifact.type = kCkptType;
+  artifact.version = kCkptVersion;
+  artifact.payload = body.str();
+  write_artifact_file(path, artifact);
+}
+
+/// Restores attempts/quarantine state into `states` (matched by scenario
+/// id). Returns the restored round counter. Throws on damage or identity
+/// mismatch; the caller decides how loudly to discard.
+Index load_supervisor_state(const std::string& path, U64 identity,
+                            std::vector<ScenarioState>& states) {
+  const Artifact artifact =
+      read_artifact_file(path, kCkptType, kCkptVersion, kCkptVersion);
+  std::istringstream in(artifact.payload);
+  expect_key(in, "identity");
+  const U64 stored = get_u64(in, "campaign identity");
+  if (stored != identity) {
+    throw CampaignError("campaign checkpoint was written by a different "
+                        "campaign (identity mismatch)");
+  }
+  expect_key(in, "round");
+  const Index round = get_index(in, "round");
+  expect_key(in, "scenarios");
+  const Index n = get_index(in, "scenario count");
+  if (n < 0) {
+    throw CampaignError("campaign checkpoint: negative scenario count");
+  }
+  std::map<std::string, ScenarioState*> by_id;
+  for (ScenarioState& st : states) {
+    by_id[st.scenario.id] = &st;
+  }
+  for (Index i = 0; i < n; ++i) {
+    const std::string id = get_blob(in, "id");
+    expect_key(in, "attempts");
+    const Index attempts = get_index(in, "attempts");
+    expect_key(in, "quarantined");
+    const bool quarantined = get_index(in, "quarantined flag") != 0;
+    const std::string last_error = get_blob(in, "last_error");
+    const auto found = by_id.find(id);
+    if (found == by_id.end()) {
+      // Identity matched, so an unknown id means a corrupted-but-
+      // checksum-valid payload — impossible short of a bug; fail loudly.
+      throw CampaignError("campaign checkpoint names unknown scenario '" +
+                          id + "'");
+    }
+    found->second->attempts = attempts;
+    found->second->quarantined = quarantined;
+    found->second->last_error = last_error;
+  }
+  return round;
+}
+
+/// fork + exec of one worker. Returns the child pid; throws on fork
+/// failure. The child never returns.
+pid_t spawn_worker(const std::vector<std::string>& command) {
+  std::vector<char*> argv;
+  argv.reserve(command.size() + 1);
+  for (const std::string& arg : command) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+  const pid_t pid = fork();
+  if (pid == 0) {
+    execvp(argv[0], argv.data());
+    // ppdl-lint: allow(no-exit) -- after a failed exec the forked child must
+    // not unwind into the parent's runtime state; 127 mirrors the shell's
+    // command-not-found convention and is reaped as a crashed worker.
+    _exit(127);
+  }
+  if (pid < 0) {
+    throw CampaignError("fork failed for worker command '" + command[0] +
+                        "'");
+  }
+  return pid;
+}
+
+/// Sums the "counters" object of a rendered run report into `into`.
+/// Counter names are plain identifier-ish tokens, so a quote/colon scan is
+/// sufficient — no JSON parser needed.
+void merge_counter_section(const std::string& report_json,
+                           std::map<std::string, Index>& into) {
+  const std::string section =
+      obs::extract_json_section(report_json, "counters");
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t q1 = section.find('"', i);
+    if (q1 == std::string::npos) {
+      return;
+    }
+    const std::size_t q2 = section.find('"', q1 + 1);
+    if (q2 == std::string::npos) {
+      return;
+    }
+    const std::size_t colon = section.find(':', q2);
+    if (colon == std::string::npos) {
+      return;
+    }
+    char* end = nullptr;
+    const long long value =
+        std::strtoll(section.c_str() + colon + 1, &end, 10);
+    into[section.substr(q1 + 1, q2 - q1 - 1)] +=
+        static_cast<Index>(value);
+    i = static_cast<std::size_t>(end - section.c_str());
+  }
+}
+
+std::string join_tokens(const std::vector<std::string>& tokens) {
+  std::string out;
+  for (const std::string& t : tokens) {
+    if (!out.empty()) {
+      out += ",";
+    }
+    out += t;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string campaign_checkpoint_path(const std::string& dir) {
+  return dir + "/campaign-ckpt.ppdl";
+}
+
+CampaignReport run_campaign(const CampaignConfig& config) {
+  if (config.shards < 1) {
+    throw CampaignError("campaign: shards must be >= 1");
+  }
+  if (config.max_attempts < 1) {
+    throw CampaignError("campaign: max_attempts must be >= 1");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(config.dir, ec);
+  if (ec) {
+    throw CampaignError("campaign: cannot create dir '" + config.dir +
+                        "': " + ec.message());
+  }
+
+  const std::vector<Scenario> scenarios = expand_matrix(config.matrix);
+  const U64 identity = campaign_identity(
+      scenarios, config.matrix.campaign_seed, config.matrix.gamma);
+  std::vector<ScenarioState> states;
+  states.reserve(scenarios.size());
+  for (const Scenario& s : scenarios) {
+    ScenarioState st;
+    st.scenario = s;
+    states.push_back(std::move(st));
+  }
+
+  Timer clock;
+  // Execution evidence (retries, crashes, resume activity) is tracked in a
+  // local map — scheduling-dependent by nature, reported only under the
+  // report's "execution" section. The same events are mirrored into the
+  // global obs registry for process-level observability.
+  std::map<std::string, Index> exec_counters;
+  const std::string ckpt_path = campaign_checkpoint_path(config.dir);
+  Index round = 0;
+
+  if (config.resume) {
+    try {
+      round = load_supervisor_state(ckpt_path, identity, states);
+      exec_counters["campaign.resumes"] += 1;
+      obs::count("campaign.resumes");
+    } catch (const ArtifactError& e) {
+      if (e.kind() != ArtifactErrorKind::kMissing) {
+        PPDL_LOG_WARN << "campaign: discarding damaged checkpoint: "
+                      << e.what();
+        exec_counters["campaign.resume_discarded"] += 1;
+        obs::count("campaign.resume_discarded");
+      }
+    } catch (const CampaignError& e) {
+      PPDL_LOG_WARN << "campaign: discarding checkpoint: " << e.what();
+      exec_counters["campaign.resume_discarded"] += 1;
+      obs::count("campaign.resume_discarded");
+    }
+  } else {
+    // Fresh run: stale results would otherwise be skipped as finished.
+    for (const ScenarioState& st : states) {
+      std::remove(scenario_result_path(config.dir, st.scenario).c_str());
+    }
+    std::remove(ckpt_path.c_str());
+  }
+
+  // Adopt every valid finished result (the resume fast-path; a no-op on a
+  // fresh run). Failed results are left in place — quarantined scenarios
+  // keep them as evidence, retryable ones are recomputed by the next
+  // worker regardless.
+  for (ScenarioState& st : states) {
+    const std::string path = scenario_result_path(config.dir, st.scenario);
+    if (!artifact_file_ok(path, "scenario-result")) {
+      continue;
+    }
+    try {
+      if (load_scenario_outcome(path).ok) {
+        st.done = true;
+        exec_counters["campaign.resume_skipped"] += 1;
+      }
+    } catch (const std::exception&) {
+      // Unreadable despite the ok-probe (raced rewrite): recompute.
+    }
+  }
+
+  const ScenarioConfig shared{config.matrix.campaign_seed,
+                              config.matrix.gamma,
+                              config.scenario_timeout_seconds};
+  std::map<std::string, Index> shard_counters;
+
+  while (true) {
+    std::vector<ScenarioState*> pending;
+    for (ScenarioState& st : states) {
+      if (!st.done && !st.quarantined) {
+        pending.push_back(&st);
+      }
+    }
+    if (pending.empty()) {
+      break;
+    }
+    std::vector<ScenarioState*> ready;
+    Real next_wakeup = -1.0;
+    const Real now = clock.seconds();
+    for (ScenarioState* st : pending) {
+      if (st->not_before <= now) {
+        ready.push_back(st);
+      } else if (next_wakeup < 0.0 || st->not_before < next_wakeup) {
+        next_wakeup = st->not_before;
+      }
+    }
+    if (ready.empty()) {
+      // Everything pending is backing off; sleep until the earliest retry.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(next_wakeup - now + 0.001));
+      continue;
+    }
+
+    // One scheduling wave: slice the ready set round-robin across shards.
+    ++round;
+    const Index wave_shards =
+        std::min<Index>(config.shards, static_cast<Index>(ready.size()));
+    std::vector<ShardTask> tasks(static_cast<std::size_t>(wave_shards));
+    for (Index k = 0; k < wave_shards; ++k) {
+      tasks[static_cast<std::size_t>(k)].shard_index = k;
+      tasks[static_cast<std::size_t>(k)].round = round;
+      tasks[static_cast<std::size_t>(k)].config = shared;
+    }
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      tasks[i % static_cast<std::size_t>(wave_shards)].scenarios.push_back(
+          ready[i]->scenario);
+    }
+    for (const ShardTask& task : tasks) {
+      save_shard_task(shard_manifest_path(config.dir, round, task.shard_index),
+                      task);
+    }
+
+    if (config.worker_command.empty()) {
+      // In-process mode: no crash isolation, but the identical manifest /
+      // result-artifact protocol (library callers and unit tests).
+      for (const ShardTask& task : tasks) {
+        run_shard(config.dir,
+                  shard_manifest_path(config.dir, round, task.shard_index));
+      }
+    } else {
+      struct Worker {
+        pid_t pid = -1;
+        Index shard_index = 0;
+        std::size_t scenario_count = 0;
+        Timer started;
+        bool running = true;
+      };
+      std::vector<Worker> workers;
+      workers.reserve(tasks.size());
+      for (const ShardTask& task : tasks) {
+        std::vector<std::string> command = config.worker_command;
+        command.insert(command.end(),
+                       {"--worker", "--dir", config.dir, "--manifest",
+                        shard_manifest_path(config.dir, round,
+                                            task.shard_index)});
+        Worker w;
+        w.pid = spawn_worker(command);
+        w.shard_index = task.shard_index;
+        w.scenario_count = task.scenarios.size();
+        workers.push_back(std::move(w));
+      }
+      std::size_t running = workers.size();
+      while (running > 0) {
+        for (Worker& w : workers) {
+          if (!w.running) {
+            continue;
+          }
+          int status = 0;
+          const pid_t reaped = waitpid(w.pid, &status, WNOHANG);
+          if (reaped == w.pid) {
+            w.running = false;
+            --running;
+            if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+              exec_counters["campaign.shard_crashes"] += 1;
+              obs::count("campaign.shard_crashes");
+              PPDL_LOG_WARN << "campaign: shard " << w.shard_index
+                            << " (round " << round << ") exited abnormally";
+            }
+            continue;
+          }
+          // Hard wall-clock backstop: the cooperative per-scenario
+          // Deadline should end a stuck solve, but a worker wedged outside
+          // solver code (or ignoring the budget) is killed outright.
+          if (config.scenario_timeout_seconds > 0.0) {
+            const Real limit = config.shard_kill_factor *
+                                   config.scenario_timeout_seconds *
+                                   static_cast<Real>(w.scenario_count) +
+                               5.0;
+            if (w.started.seconds() > limit) {
+              kill(w.pid, SIGKILL);
+              waitpid(w.pid, &status, 0);
+              w.running = false;
+              --running;
+              exec_counters["campaign.shard_kills"] += 1;
+              exec_counters["campaign.shard_crashes"] += 1;
+              obs::count("campaign.shard_kills");
+              PPDL_LOG_WARN << "campaign: shard " << w.shard_index
+                            << " exceeded its kill budget; SIGKILLed";
+            }
+          }
+        }
+        if (running > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+      }
+    }
+
+    // Merge per-shard run reports (execution evidence).
+    for (const ShardTask& task : tasks) {
+      const std::string report_path =
+          shard_report_path(config.dir, round, task.shard_index);
+      std::ifstream in(report_path, std::ios::binary);
+      if (in.good()) {
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        merge_counter_section(buf.str(), shard_counters);
+      }
+    }
+
+    // Collect outcomes and apply the retry/quarantine policy.
+    for (ScenarioState* st : ready) {
+      const std::string path =
+          scenario_result_path(config.dir, st->scenario);
+      bool finished = false;
+      std::string error;
+      if (artifact_file_ok(path, "scenario-result")) {
+        try {
+          const ScenarioOutcome outcome = load_scenario_outcome(path);
+          finished = outcome.ok;
+          error = outcome.error;
+        } catch (const std::exception& e) {
+          error = std::string("result artifact unreadable: ") + e.what();
+        }
+      } else {
+        error = "worker crashed or was killed before recording a result";
+      }
+      if (finished) {
+        st->done = true;
+        continue;
+      }
+      st->attempts += 1;
+      st->last_error =
+          error.empty() ? "scenario failed without error detail" : error;
+      if (st->attempts >= config.max_attempts) {
+        st->quarantined = true;
+        exec_counters["campaign.quarantines"] += 1;
+        obs::count("campaign.quarantines");
+        PPDL_LOG_WARN << "campaign: quarantining " << st->scenario.id
+                      << " after " << st->attempts
+                      << " attempts: " << st->last_error;
+      } else {
+        exec_counters["campaign.retries"] += 1;
+        obs::count("campaign.retries");
+        // Exponential backoff with deterministic per-(scenario, attempt)
+        // jitter in [0.5, 1.5)× so synchronized retry herds spread out.
+        const Real backoff = std::min(
+            config.backoff_max_seconds,
+            config.backoff_initial_seconds *
+                std::pow(config.backoff_factor,
+                         static_cast<Real>(st->attempts - 1)));
+        Rng jitter = Rng::stream(config.matrix.campaign_seed ^ kJitterSalt,
+                                 st->scenario.rng_key +
+                                     static_cast<U64>(st->attempts));
+        st->not_before =
+            clock.seconds() + backoff * (0.5 + jitter.uniform());
+      }
+    }
+    save_supervisor_state(ckpt_path, identity, round, states);
+  }
+
+  // ---- merge into the campaign report --------------------------------
+  CampaignReport report;
+  report.name = config.name;
+  report.info["families"] = join_tokens(config.matrix.families);
+  {
+    std::vector<std::string> tokens;
+    for (const Real s : config.matrix.scales) {
+      tokens.push_back(obs::json_number(s));
+    }
+    report.info["scales"] = join_tokens(tokens);
+    tokens.clear();
+    for (const U64 s : config.matrix.floorplan_seeds) {
+      tokens.push_back(std::to_string(s));
+    }
+    report.info["floorplan_seeds"] = join_tokens(tokens);
+    tokens.clear();
+    for (const PerturbKind p : config.matrix.perturbations) {
+      tokens.push_back(to_string(p));
+    }
+    report.info["perturbations"] = join_tokens(tokens);
+    tokens.clear();
+    for (const AnalysisMode m : config.matrix.modes) {
+      tokens.push_back(to_string(m));
+    }
+    report.info["modes"] = join_tokens(tokens);
+  }
+  report.info["campaign_seed"] = std::to_string(config.matrix.campaign_seed);
+  report.info["gamma"] = obs::json_number(config.matrix.gamma);
+  report.info["max_attempts"] = std::to_string(config.max_attempts);
+
+  CampaignBaseline baseline;
+  const bool have_baseline = !config.baseline_path.empty();
+  if (have_baseline) {
+    baseline = load_campaign_baseline(config.baseline_path);
+  }
+  CampaignBaseline new_baseline;
+
+  Index pass = 0;
+  Index fail = 0;
+  Index quarantined = 0;
+  for (const ScenarioState& st : states) {
+    ScenarioReportEntry entry;
+    const std::string path = scenario_result_path(config.dir, st.scenario);
+    if (st.quarantined) {
+      ++quarantined;
+      entry.status = ScenarioStatus::kQuarantined;
+      entry.error = st.last_error;
+      // The last failed result (when one was recorded) carries the
+      // deterministic values/validation evidence.
+      if (artifact_file_ok(path, "scenario-result")) {
+        try {
+          const ScenarioOutcome outcome = load_scenario_outcome(path);
+          entry.values = outcome.values;
+          entry.validation = outcome.validation;
+        } catch (const std::exception&) {
+          // Evidence unreadable; the verdict and last error stand alone.
+        }
+      }
+      report.scenarios[st.scenario.id] = std::move(entry);
+      continue;
+    }
+    const ScenarioOutcome outcome = load_scenario_outcome(path);
+    entry.status = ScenarioStatus::kPass;
+    entry.values = outcome.values;
+    entry.validation = outcome.validation;
+    if (have_baseline) {
+      const auto recorded = baseline.find(st.scenario.id);
+      if (recorded != baseline.end()) {
+        for (const auto& [name, expected] : recorded->second) {
+          const auto measured = entry.values.find(name);
+          if (measured == entry.values.end()) {
+            entry.status = ScenarioStatus::kFail;
+            entry.error = "metric '" + name +
+                          "' present in baseline but missing from run";
+            continue;
+          }
+          entry.baseline_delta[name] = measured->second - expected;
+          if (!within_baseline_tolerance(measured->second, expected,
+                                         config.baseline_rel_tol) &&
+              entry.status == ScenarioStatus::kPass) {
+            entry.status = ScenarioStatus::kFail;
+            entry.error = "metric '" + name + "' regressed: " +
+                          obs::json_number(measured->second) +
+                          " vs baseline " + obs::json_number(expected);
+          }
+        }
+      }
+    }
+    if (entry.status == ScenarioStatus::kPass) {
+      ++pass;
+      new_baseline[st.scenario.id] = entry.values;
+    } else {
+      ++fail;
+    }
+    report.scenarios[st.scenario.id] = std::move(entry);
+  }
+  report.counters["scenarios"] = static_cast<Index>(states.size());
+  report.counters["pass"] = pass;
+  report.counters["fail"] = fail;
+  report.counters["quarantined"] = quarantined;
+
+  for (const auto& [name, value] : shard_counters) {
+    report.execution_counters["shard." + name] += value;
+  }
+  for (const auto& [name, value] : exec_counters) {
+    report.execution_counters[name] += value;
+  }
+  report.execution_counters["rounds"] = round;
+  report.execution_seconds["campaign_total"] = clock.seconds();
+
+  if (!config.write_baseline_path.empty()) {
+    save_campaign_baseline(config.write_baseline_path, new_baseline);
+  }
+  const std::string report_path = config.report_path.empty()
+                                      ? config.dir + "/campaign_report.json"
+                                      : config.report_path;
+  write_campaign_report(report_path, report);
+  PPDL_LOG_INFO << "campaign '" << config.name << "': " << pass << " pass, "
+                << fail << " fail, " << quarantined
+                << " quarantined; report at " << report_path;
+  return report;
+}
+
+}  // namespace ppdl::campaign

@@ -1,0 +1,81 @@
+// Campaign supervisor: scheduling, worker processes, retry/quarantine
+// policy, and crash-resume.
+//
+// Failure policy (DESIGN.md "Campaign execution & failure policy"):
+//
+//   * Isolation — scenarios run in worker subprocesses (fork + exec of the
+//     ppdl_campaign CLI in --worker mode). A diverging solve, an OOM kill,
+//     or an outright crash takes down one worker, not the campaign.
+//   * Detection — the supervisor reaps workers (nonzero exit, signal), and
+//     treats a missing/invalid result artifact as a crashed attempt for the
+//     scenarios that worker was running.
+//   * Retry — a failed attempt is rescheduled with exponential backoff
+//     (initial × factor^attempt, capped) plus deterministic jitter drawn
+//     from the scenario's own Rng stream, so retry herds decorrelate.
+//   * Quarantine — after max_attempts failures the scenario is quarantined
+//     with its last error and the campaign continues; quarantine never
+//     fails the run (the report carries the verdict).
+//   * Resume — per-scenario outcomes persist atomically the moment they
+//     finish, and supervisor state (attempt counts, quarantine list)
+//     checkpoints after every scheduling wave through the same artifact
+//     container. `kill -9` of any worker or of the supervisor itself,
+//     followed by --resume, completes the campaign without re-running
+//     finished scenarios, and the deterministic report sections come out
+//     byte-identical to an uninterrupted run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/matrix.hpp"
+#include "campaign/report.hpp"
+
+namespace ppdl::campaign {
+
+struct CampaignConfig {
+  CampaignMatrix matrix;
+  /// Working directory for manifests, results, checkpoints, reports
+  /// (created if absent).
+  std::string dir = "campaign";
+  /// Report's top-level "campaign" name.
+  std::string name = "campaign";
+  /// Worker processes per scheduling wave.
+  Index shards = 2;
+  /// Attempts (including the first) before a scenario is quarantined.
+  Index max_attempts = 3;
+  /// Cooperative per-scenario Deadline budget (0 = unlimited). Workers get
+  /// a hard SIGKILL at shard_kill_factor × budget × scenarios-per-shard.
+  Real scenario_timeout_seconds = 0.0;
+  Real shard_kill_factor = 4.0;
+  /// Exponential backoff for retries: initial × factor^(attempt−1), capped.
+  Real backoff_initial_seconds = 0.05;
+  Real backoff_factor = 2.0;
+  Real backoff_max_seconds = 2.0;
+  /// Resume from the campaign checkpoint + existing result artifacts. When
+  /// false, stale results for this campaign's scenarios are discarded and
+  /// everything reruns.
+  bool resume = false;
+  /// Merged report destination ("" = <dir>/campaign_report.json).
+  std::string report_path;
+  /// Gate scenario values against this recorded baseline ("" = no gate).
+  std::string baseline_path;
+  /// Record the passing scenarios' values as a new baseline ("" = don't).
+  std::string write_baseline_path;
+  Real baseline_rel_tol = 1e-9;
+  /// Command prefix for workers, e.g. {"/path/to/ppdl_campaign"}; the
+  /// supervisor appends --worker --dir <dir> --manifest <path>. Empty means
+  /// run shards in-process (serially — no crash isolation; used by unit
+  /// tests and library callers without the CLI).
+  std::vector<std::string> worker_command;
+};
+
+/// Runs (or resumes) the campaign to completion and returns the merged
+/// report, after writing it to report_path. Quarantined scenarios do not
+/// make this throw; only infrastructure failures (unusable dir, damaged
+/// artifacts in strict places, fork failures) do.
+CampaignReport run_campaign(const CampaignConfig& config);
+
+/// The supervisor checkpoint path inside a campaign dir.
+std::string campaign_checkpoint_path(const std::string& dir);
+
+}  // namespace ppdl::campaign

@@ -1,8 +1,12 @@
 #include "common/artifact_io.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
+
+#include "common/obs.hpp"
 
 namespace ppdl {
 
@@ -10,6 +14,15 @@ namespace {
 
 constexpr int kContainerVersion = 1;
 constexpr char kMagic[] = "ppdl-artifact";
+
+// Bounded retry for transient read failures (EINTR-style short reads show
+// up as kTruncated: the stream delivered fewer payload bytes than the
+// header promised). Deterministic damage — checksum mismatch, version
+// skew, malformed header, missing file — fails immediately: retrying those
+// would only mask corruption.
+constexpr int kReadAttempts = 3;
+constexpr int kReadBackoffInitialMicros = 500;
+constexpr int kReadBackoffFactor = 4;
 
 std::string hex64(std::uint64_t v) {
   char buf[17];
@@ -95,9 +108,12 @@ void write_artifact_file(const std::string& path, const Artifact& artifact) {
   write_raw_file_atomic(path, bytes.str());
 }
 
-Artifact read_artifact_file(const std::string& path,
-                            const std::string& expected_type, int min_version,
-                            int max_version) {
+namespace {
+
+/// One verification pass over the artifact at `path` (no retry).
+Artifact read_artifact_file_once(const std::string& path,
+                                 const std::string& expected_type,
+                                 int min_version, int max_version) {
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) {
     throw ArtifactError(ArtifactErrorKind::kMissing, path,
@@ -164,6 +180,30 @@ Artifact read_artifact_file(const std::string& path,
                             checksum_hex);
   }
   return artifact;
+}
+
+}  // namespace
+
+Artifact read_artifact_file(const std::string& path,
+                            const std::string& expected_type, int min_version,
+                            int max_version) {
+  int backoff_micros = kReadBackoffInitialMicros;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return read_artifact_file_once(path, expected_type, min_version,
+                                     max_version);
+    } catch (const ArtifactError& e) {
+      // Only short reads are plausibly transient; everything else is
+      // deterministic damage and retrying would hide it.
+      if (e.kind() != ArtifactErrorKind::kTruncated ||
+          attempt >= kReadAttempts) {
+        throw;
+      }
+      obs::count("artifact.read_retries");
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_micros));
+      backoff_micros *= kReadBackoffFactor;
+    }
+  }
 }
 
 bool artifact_file_ok(const std::string& path,

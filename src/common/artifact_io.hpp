@@ -79,7 +79,11 @@ void write_artifact_file(const std::string& path, const Artifact& artifact);
 
 /// Reads and fully verifies the artifact at `path`: header shape, type tag,
 /// version range, byte count, checksum, and absence of trailing bytes.
-/// Throws ArtifactError with the matching kind on any defect.
+/// Throws ArtifactError with the matching kind on any defect. Transient
+/// short reads (kTruncated) are retried up to 3 attempts with exponential
+/// backoff — counted under the `artifact.read_retries` obs counter — before
+/// the error propagates; deterministic damage (checksum mismatch, version
+/// skew, malformed header, missing file) fails on the first attempt.
 Artifact read_artifact_file(const std::string& path,
                             const std::string& expected_type,
                             int min_version = 1, int max_version = 1);

@@ -10,8 +10,6 @@
 
 namespace ppdl::obs {
 
-namespace {
-
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
@@ -46,8 +44,6 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-/// Shortest round-trip number; NaN/Inf become null (JSON has no spelling
-/// for them, and null keeps "undefined" distinguishable from 0).
 std::string json_number(Real v) {
   if (!std::isfinite(v)) {
     return "null";
@@ -57,6 +53,8 @@ std::string json_number(Real v) {
   PPDL_REQUIRE(ec == std::errc(), "run report: float formatting failed");
   return std::string(buf, end);
 }
+
+namespace {
 
 template <typename Map, typename RenderValue>
 void emit_object(std::ostream& out, const Map& map, int indent,

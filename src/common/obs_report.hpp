@@ -67,6 +67,14 @@ std::string render_run_report(const RunReport& report);
 /// common/artifact_io). Throws ArtifactError{kWriteFailed} on I/O failure.
 void write_run_report(const std::string& path, const RunReport& report);
 
+/// JSON string escaping shared by every report renderer (quotes, control
+/// characters, backslashes).
+std::string json_escape(const std::string& s);
+
+/// Shortest round-trip JSON number; NaN/Inf render as null so "undefined"
+/// stays distinguishable from 0 (JSON has no spelling for them).
+std::string json_number(Real v);
+
 /// Extracts the JSON value of a top-level `"key"` from a rendered report
 /// (brace/bracket matching; enough for comparing sections in tests without
 /// a JSON parser). Returns "" when the key is absent.

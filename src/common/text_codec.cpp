@@ -1,0 +1,97 @@
+#include "common/text_codec.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ppdl::codec {
+
+void put_real(std::ostream& out, Real v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  out << buf;
+}
+
+Real get_real(std::istream& in, const char* what) {
+  std::string tok;
+  if (!(in >> tok)) {
+    throw CodecError(std::string("truncated before ") + what);
+  }
+  char* end = nullptr;
+  const Real v = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0') {
+    throw CodecError("malformed " + std::string(what) + ": " + tok);
+  }
+  return v;
+}
+
+Index get_index(std::istream& in, const char* what) {
+  Index v = 0;
+  if (!(in >> v)) {
+    throw CodecError("malformed " + std::string(what));
+  }
+  return v;
+}
+
+U64 get_u64(std::istream& in, const char* what) {
+  U64 v = 0;
+  if (!(in >> v)) {
+    throw CodecError("malformed " + std::string(what));
+  }
+  return v;
+}
+
+void expect_key(std::istream& in, const char* keyword) {
+  std::string tok;
+  if (!(in >> tok) || tok != keyword) {
+    throw CodecError("expected '" + std::string(keyword) + "', got '" + tok +
+                     "'");
+  }
+}
+
+void put_vector(std::ostream& out, const char* key,
+                const std::vector<Real>& v) {
+  out << key << ' ' << v.size() << '\n';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) {
+      out << ' ';
+    }
+    put_real(out, v[i]);
+  }
+  out << '\n';
+}
+
+std::vector<Real> get_vector(std::istream& in, const char* key) {
+  expect_key(in, key);
+  const Index n = get_index(in, key);
+  if (n < 0) {
+    throw CodecError("negative size for " + std::string(key));
+  }
+  std::vector<Real> v(static_cast<std::size_t>(n));
+  for (Real& x : v) {
+    x = get_real(in, key);
+  }
+  return v;
+}
+
+void put_blob(std::ostream& out, const char* key, const std::string& bytes) {
+  out << key << ' ' << bytes.size() << '\n' << bytes << '\n';
+}
+
+std::string get_blob(std::istream& in, const char* key) {
+  expect_key(in, key);
+  const Index n = get_index(in, key);
+  if (n < 0) {
+    throw CodecError("negative size for " + std::string(key));
+  }
+  if (in.get() != '\n') {
+    throw CodecError("malformed blob header for " + std::string(key));
+  }
+  std::string bytes(static_cast<std::size_t>(n), '\0');
+  in.read(bytes.data(), static_cast<std::streamsize>(n));
+  if (in.gcount() != static_cast<std::streamsize>(n)) {
+    throw CodecError("truncated blob for " + std::string(key));
+  }
+  return bytes;
+}
+
+}  // namespace ppdl::codec

@@ -1,0 +1,59 @@
+// Keyword-tagged text codec for artifact payloads.
+//
+// Every durable text payload in the project (flow checkpoints, campaign
+// manifests, scenario results) uses the same three idioms, centralized
+// here:
+//
+//   * reals travel as hexfloat (`%a`) — bit-exact round trip, locale-free;
+//   * fields are keyword-tagged and read back with expect_key, so a decoder
+//     fails loudly at the first out-of-place token instead of silently
+//     misassigning fields;
+//   * free-form strings (error text, embedded blobs) travel length-prefixed
+//     so newlines and spaces survive byte-exact.
+//
+// Decode failures throw CodecError with a message naming the field; callers
+// owning a typed error contract (nn::ModelIoError for flow checkpoints,
+// campaign::CampaignError for campaign artifacts) catch and rethrow with
+// their own type and context prefix. The artifact container around the
+// payload (common/artifact_io) separately guards truncation and corruption
+// via byte count + checksum, so a CodecError on a verified container means
+// a protocol bug or a payload-version skew.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ppdl::codec {
+
+/// Thrown by every get_* helper on malformed or truncated input.
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Hexfloat (`%a`) — exact round trip for any finite or non-finite Real.
+void put_real(std::ostream& out, Real v);
+Real get_real(std::istream& in, const char* what);
+
+Index get_index(std::istream& in, const char* what);
+U64 get_u64(std::istream& in, const char* what);
+
+/// Consumes one whitespace-delimited token and demands it equal `keyword`.
+void expect_key(std::istream& in, const char* keyword);
+
+/// Vectors travel as `<key> <n>` + hexfloat entries.
+void put_vector(std::ostream& out, const char* key,
+                const std::vector<Real>& v);
+std::vector<Real> get_vector(std::istream& in, const char* key);
+
+/// Free-form strings travel length-prefixed (`<key> <n>\n<bytes>\n`) so
+/// newlines, spaces, and arbitrary payload bytes survive byte-exact.
+void put_blob(std::ostream& out, const char* key, const std::string& bytes);
+std::string get_blob(std::istream& in, const char* key);
+
+}  // namespace ppdl::codec

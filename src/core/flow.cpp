@@ -1,8 +1,6 @@
 #include "core/flow.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
 #include <sstream>
 
 #include "common/artifact_io.hpp"
@@ -11,6 +9,7 @@
 #include "common/obs.hpp"
 #include "common/obs_report.hpp"
 #include "common/stats.hpp"
+#include "common/text_codec.hpp"
 #include "common/timer.hpp"
 #include "nn/model_io.hpp"
 
@@ -21,94 +20,40 @@ namespace {
 constexpr int kCheckpointVersion = 1;
 constexpr char kCheckpointType[] = "flow-ckpt";
 
-void put_real(std::ostream& out, Real v) {
-  char buf[48];
-  std::snprintf(buf, sizeof(buf), "%a", v);
-  out << buf;
+// The checkpoint payload uses the shared text codec (common/text_codec);
+// decode failures are rethrown as nn::ModelIoError to keep the documented
+// load_flow_checkpoint contract.
+using codec::put_blob;
+using codec::put_real;
+using codec::put_vector;
+
+template <typename Fn>
+auto checkpoint_field(Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const codec::CodecError& e) {
+    throw nn::ModelIoError(std::string("checkpoint: ") + e.what());
+  }
 }
 
 Real get_real(std::istream& in, const char* what) {
-  std::string tok;
-  if (!(in >> tok)) {
-    throw nn::ModelIoError(std::string("checkpoint: truncated before ") +
-                           what);
-  }
-  char* end = nullptr;
-  const Real v = std::strtod(tok.c_str(), &end);
-  if (end == tok.c_str() || *end != '\0') {
-    throw nn::ModelIoError("checkpoint: malformed " + std::string(what) +
-                           ": " + tok);
-  }
-  return v;
+  return checkpoint_field([&] { return codec::get_real(in, what); });
 }
 
 Index get_index(std::istream& in, const char* what) {
-  Index v = 0;
-  if (!(in >> v)) {
-    throw nn::ModelIoError("checkpoint: malformed " + std::string(what));
-  }
-  return v;
+  return checkpoint_field([&] { return codec::get_index(in, what); });
 }
 
 void expect_key(std::istream& in, const char* keyword) {
-  std::string tok;
-  if (!(in >> tok) || tok != keyword) {
-    throw nn::ModelIoError("checkpoint: expected '" + std::string(keyword) +
-                           "', got '" + tok + "'");
-  }
-}
-
-/// Vectors travel as `<key> <n>` + hexfloat entries.
-void put_vector(std::ostream& out, const char* key,
-                const std::vector<Real>& v) {
-  out << key << ' ' << v.size() << '\n';
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    if (i > 0) {
-      out << ' ';
-    }
-    put_real(out, v[i]);
-  }
-  out << '\n';
+  checkpoint_field([&] { codec::expect_key(in, keyword); });
 }
 
 std::vector<Real> get_vector(std::istream& in, const char* key) {
-  expect_key(in, key);
-  const Index n = get_index(in, key);
-  if (n < 0) {
-    throw nn::ModelIoError("checkpoint: negative size for " +
-                           std::string(key));
-  }
-  std::vector<Real> v(static_cast<std::size_t>(n));
-  for (Real& x : v) {
-    x = get_real(in, key);
-  }
-  return v;
-}
-
-/// Free-form strings (diagnoses, embedded model blobs) travel
-/// length-prefixed so newlines and spaces survive byte-exact.
-void put_blob(std::ostream& out, const char* key, const std::string& bytes) {
-  out << key << ' ' << bytes.size() << '\n' << bytes << '\n';
+  return checkpoint_field([&] { return codec::get_vector(in, key); });
 }
 
 std::string get_blob(std::istream& in, const char* key) {
-  expect_key(in, key);
-  const Index n = get_index(in, key);
-  if (n < 0) {
-    throw nn::ModelIoError("checkpoint: negative size for " +
-                           std::string(key));
-  }
-  if (in.get() != '\n') {
-    throw nn::ModelIoError("checkpoint: malformed blob header for " +
-                           std::string(key));
-  }
-  std::string bytes(static_cast<std::size_t>(n), '\0');
-  in.read(bytes.data(), static_cast<std::streamsize>(n));
-  if (in.gcount() != static_cast<std::streamsize>(n)) {
-    throw nn::ModelIoError("checkpoint: truncated blob for " +
-                           std::string(key));
-  }
-  return bytes;
+  return checkpoint_field([&] { return codec::get_blob(in, key); });
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "grid/perturb.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
@@ -62,6 +63,10 @@ std::string to_string(GridFault fault) {
       return "duplicate-branch";
     case GridFault::kExtremeConductance:
       return "extreme-conductance";
+    case GridFault::kDanglingPad:
+      return "dangling-pad";
+    case GridFault::kZeroConductanceVias:
+      return "zero-conductance-vias";
   }
   return "?";
 }
@@ -76,6 +81,17 @@ Index first_wire(const PowerGrid& pg) {
     }
   }
   PPDL_REQUIRE(false, "fault injection needs at least one wire branch");
+  return -1;
+}
+
+/// Index of the first via branch; the via-cluster fault anchors there.
+Index first_via(const PowerGrid& pg) {
+  for (Index bi = 0; bi < pg.branch_count(); ++bi) {
+    if (pg.branch(bi).kind == BranchKind::kVia) {
+      return bi;
+    }
+  }
+  PPDL_REQUIRE(false, "fault injection needs at least one via branch");
   return -1;
 }
 
@@ -113,6 +129,33 @@ void inject_fault(PowerGrid& pg, GridFault fault) {
       // reduced system without making it structurally singular.
       const Index bi = first_wire(pg);
       pg.set_wire_width(bi, pg.branch(bi).width * 1e9);
+      break;
+    }
+    case GridFault::kDanglingPad: {
+      // A supply pad bonded to a branchless node: electrically inert (the
+      // pad node is eliminated before MNA assembly) but a real packaging
+      // defect — a bump that delivers no current. Flagged as a warning.
+      const Index node = pg.add_node(Point{die.x1, die.y0}, 0);
+      pg.add_pad(node, pg.vdd());
+      break;
+    }
+    case GridFault::kZeroConductanceVias: {
+      // Opens the whole via cluster at the first via's crossing (every via
+      // sharing an endpoint node with it) to zero conductance. Models an
+      // etch failure taking out one inter-layer connection stack; the
+      // infinite resistances make validate_grid() report fatal
+      // non-positive-conductance branches.
+      const Index anchor = first_via(pg);
+      const Index n1 = pg.branch(anchor).n1;
+      const Index n2 = pg.branch(anchor).n2;
+      const Real open = std::numeric_limits<Real>::infinity();
+      for (Index bi = 0; bi < pg.branch_count(); ++bi) {
+        const Branch& b = pg.branch(bi);
+        if (b.kind == BranchKind::kVia &&
+            (b.n1 == n1 || b.n2 == n1 || b.n1 == n2 || b.n2 == n2)) {
+          pg.set_via_resistance(bi, open);
+        }
+      }
       break;
     }
   }

@@ -73,6 +73,13 @@ void PowerGrid::set_wire_width(Index branch, Real width) {
   b.width = width;
 }
 
+void PowerGrid::set_via_resistance(Index branch, Real ohms) {
+  Branch& b = branches_[checked(branch, branch_count())];
+  PPDL_REQUIRE(b.kind == BranchKind::kVia, "cannot set resistance on a wire");
+  PPDL_REQUIRE(ohms > 0.0, "via resistance must be > 0");
+  b.via_resistance = ohms;
+}
+
 void PowerGrid::reset_wire_widths() {
   for (Branch& b : branches_) {
     if (b.kind == BranchKind::kWire) {

@@ -107,6 +107,10 @@ class PowerGrid {
   // --- mutation used by planner / perturbation ----------------------------
   /// Set the width of a wire branch (µm). Must be a wire, width > 0.
   void set_wire_width(Index branch, Real width);
+  /// Set a via branch's resistance outright (Ω). Must be a via, ohms > 0.
+  /// +Inf is accepted on purpose: fault injection uses it to model a fully
+  /// open (zero-conductance) via, which validate_grid() then flags.
+  void set_via_resistance(Index branch, Real ohms);
   /// Reset every wire to its layer's default width (the un-planned design).
   void reset_wire_widths();
   /// Scale a load's current by `factor` (> 0).

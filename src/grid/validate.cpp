@@ -80,6 +80,8 @@ std::string to_string(GridDefectKind kind) {
       return "duplicate-branch";
     case GridDefectKind::kNonFiniteLoad:
       return "non-finite-load";
+    case GridDefectKind::kDanglingPad:
+      return "dangling-pad";
   }
   return "?";
 }
@@ -213,6 +215,17 @@ GridValidationReport validate_grid(const PowerGrid& pg) {
                  {GridDefectKind::kUnreachableNode,
                   DefectSeverity::kRepairable, v, -1,
                   "connected component contains no pad"});
+    }
+  }
+
+  // Dangling pads: a pad node with no branches is reachable by definition
+  // (the BFS starts there) and harmless to MNA (pad nodes are eliminated),
+  // but the bump delivers no current — a packaging defect worth surfacing.
+  for (const Pad& pad : pg.pads()) {
+    if (degree[static_cast<std::size_t>(pad.node)] == 0) {
+      add_defect(report,
+                 {GridDefectKind::kDanglingPad, DefectSeverity::kWarning,
+                  pad.node, -1, "supply pad bonded to a branchless node"});
     }
   }
   return report;

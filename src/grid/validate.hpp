@@ -32,6 +32,7 @@ enum class GridDefectKind {
   kUnreachableLoad,         ///< current load on an unreachable node
   kDuplicateBranch,         ///< several resistors between one node pair
   kNonFiniteLoad,           ///< NaN/Inf load current
+  kDanglingPad,             ///< supply pad on a node with no branches
 };
 
 std::string to_string(GridDefectKind kind);

@@ -1,0 +1,93 @@
+// Recorded baselines: --write-baseline snapshots passing values, a later
+// campaign gated with --baseline reports per-metric deltas, and an
+// out-of-tolerance value turns a pass into a fail (the one verdict that
+// fails a campaign).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <string>
+
+#include "campaign/report.hpp"
+#include "campaign/supervisor.hpp"
+
+namespace ppdl::campaign {
+namespace {
+
+std::string tmp_dir(const std::string& name) {
+  const std::string dir = std::string(::testing::TempDir()) + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+CampaignConfig one_scenario_config(const std::string& dir) {
+  CampaignConfig config;
+  config.matrix.perturbations = {PerturbKind::kCurrentWorkloads};
+  config.dir = dir;
+  config.shards = 1;
+  return config;
+}
+
+TEST(CampaignBaselineGate, ToleranceIsRelativeAndNanAware) {
+  EXPECT_TRUE(within_baseline_tolerance(100.0, 100.0, 1e-9));
+  EXPECT_TRUE(within_baseline_tolerance(100.0 + 1e-8, 100.0, 1e-9));
+  EXPECT_FALSE(within_baseline_tolerance(100.1, 100.0, 1e-9));
+  const Real nan = std::nan("");
+  EXPECT_TRUE(within_baseline_tolerance(nan, nan, 1e-9));
+  EXPECT_FALSE(within_baseline_tolerance(nan, 100.0, 1e-9));
+  EXPECT_FALSE(within_baseline_tolerance(100.0, nan, 1e-9));
+}
+
+TEST(CampaignBaselineGate, BaselineArtifactRoundTrips) {
+  CampaignBaseline baseline;
+  baseline["a/b"]["worst_ir_drop_mv"] = 171.25;
+  baseline["a/b"]["nodes"] = 663.0;
+  baseline["c/d"]["min_mttf_hours"] = 1.5e6;
+  const std::string path =
+      std::string(::testing::TempDir()) + "baseline-roundtrip.ppdl";
+  save_campaign_baseline(path, baseline);
+  EXPECT_EQ(load_campaign_baseline(path), baseline);  // hexfloat: bit-exact
+}
+
+TEST(CampaignBaselineGate, RecordedBaselineGatesALaterCampaign) {
+  const std::string dir = tmp_dir("baseline-gate");
+  const std::string baseline_path = dir + "-baseline.ppdl";
+
+  // First campaign records the baseline from its passing scenario.
+  CampaignConfig record = one_scenario_config(dir);
+  record.write_baseline_path = baseline_path;
+  const CampaignReport first = run_campaign(record);
+  ASSERT_EQ(first.counters.at("pass"), 1);
+
+  // Second campaign gated against it: same seed → zero deltas, pass.
+  CampaignConfig gated = one_scenario_config(tmp_dir("baseline-gate2"));
+  gated.baseline_path = baseline_path;
+  const CampaignReport same = run_campaign(gated);
+  EXPECT_EQ(same.counters.at("pass"), 1);
+  EXPECT_EQ(same.counters.at("fail"), 0);
+  const ScenarioReportEntry& entry = same.scenarios.begin()->second;
+  ASSERT_FALSE(entry.baseline_delta.empty());
+  for (const auto& [name, delta] : entry.baseline_delta) {
+    EXPECT_EQ(delta, 0.0) << name;
+  }
+
+  // Different campaign seed → different perturbation → metric drift →
+  // the gate flips the verdict to fail (never to quarantine).
+  CampaignConfig drifted = one_scenario_config(tmp_dir("baseline-gate3"));
+  drifted.baseline_path = baseline_path;
+  drifted.matrix.campaign_seed = 4242;
+  const CampaignReport regressed = run_campaign(drifted);
+  EXPECT_EQ(regressed.counters.at("fail"), 1);
+  EXPECT_EQ(regressed.counters.at("quarantined"), 0);
+  const ScenarioReportEntry& bad = regressed.scenarios.begin()->second;
+  EXPECT_EQ(bad.status, ScenarioStatus::kFail);
+  EXPECT_FALSE(bad.error.empty());
+  bool some_delta_nonzero = false;
+  for (const auto& [name, delta] : bad.baseline_delta) {
+    some_delta_nonzero = some_delta_nonzero || delta != 0.0;
+  }
+  EXPECT_TRUE(some_delta_nonzero);
+}
+
+}  // namespace
+}  // namespace ppdl::campaign

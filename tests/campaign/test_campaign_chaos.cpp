@@ -1,0 +1,315 @@
+// Process-level chaos suite for the campaign engine (`ctest -L campaign`):
+// always-failing scenarios are retried then quarantined without failing the
+// campaign; worker kills and supervisor kills followed by --resume complete
+// the campaign with deterministic report sections byte-identical to an
+// uninterrupted run; truncated checkpoints are discarded, not trusted; and
+// the deterministic sections are invariant under PPDL_THREADS.
+//
+// The CLI path comes in through the PPDL_CAMPAIGN_BIN compile definition
+// (see tests/CMakeLists.txt), so this binary only builds when examples do.
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <csignal>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "campaign/report.hpp"
+#include "campaign/supervisor.hpp"
+#include "common/obs_report.hpp"
+#include "common/rng.hpp"
+
+namespace ppdl::campaign {
+namespace {
+
+std::string tmp_dir(const std::string& name) {
+  const std::string dir = std::string(::testing::TempDir()) + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// The report sections the determinism contract covers, concatenated.
+std::string deterministic_sections(const std::string& report_json) {
+  const std::string info = obs::extract_json_section(report_json, "info");
+  const std::string metrics =
+      obs::extract_json_section(report_json, "metrics");
+  const std::string scenarios =
+      obs::extract_json_section(report_json, "scenarios");
+  EXPECT_FALSE(info.empty());
+  EXPECT_FALSE(metrics.empty());
+  EXPECT_FALSE(scenarios.empty());
+  return info + "\n" + metrics + "\n" + scenarios;
+}
+
+Index counter(const CampaignReport& report, const std::string& name) {
+  const auto it = report.counters.find(name);
+  return it == report.counters.end() ? 0 : it->second;
+}
+
+Index exec_counter(const CampaignReport& report, const std::string& name) {
+  const auto it = report.execution_counters.find(name);
+  return it == report.execution_counters.end() ? 0 : it->second;
+}
+
+/// A small mixed matrix: three healthy scenarios plus one deterministic
+/// always-failing one (the open-via cluster is a fatal grid defect).
+CampaignConfig chaos_config(const std::string& dir) {
+  CampaignConfig config;
+  config.matrix.families = {"ibmpg1"};
+  config.matrix.scales = {0.02};
+  config.matrix.floorplan_seeds = {1};
+  config.matrix.perturbations = {PerturbKind::kNone,
+                                 PerturbKind::kCurrentWorkloads,
+                                 PerturbKind::kFaultDanglingPad,
+                                 PerturbKind::kFaultZeroCondVias};
+  config.matrix.modes = {AnalysisMode::kIrStatic};
+  config.dir = dir;
+  config.name = "chaos";
+  config.shards = 2;
+  config.max_attempts = 3;
+  // Keep retry waits negligible so the suite stays fast.
+  config.backoff_initial_seconds = 0.001;
+  config.backoff_max_seconds = 0.01;
+  return config;
+}
+
+// --- CLI process control ---------------------------------------------------
+
+std::vector<std::string> cli_args(const std::string& dir) {
+  return {PPDL_CAMPAIGN_BIN,
+          "--families=ibmpg1",
+          "--scales=0.02",
+          "--seeds=1",
+          "--perturbs=none,loads,fault-dangling-pad,fault-open-vias",
+          "--modes=ir",
+          "--shards=2",
+          "--max-attempts=3",
+          "--name=chaos",
+          "--dir=" + dir};
+}
+
+pid_t spawn_cli(const std::vector<std::string>& args) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (const std::string& a : args) {
+      argv.push_back(const_cast<char*>(a.c_str()));
+    }
+    argv.push_back(nullptr);
+    execv(argv[0], argv.data());
+    _exit(127);
+  }
+  return pid;
+}
+
+/// Reaps `pid` with a wall-clock guard so a hung supervisor fails the test
+/// instead of hanging ctest. Returns the raw waitpid status.
+int await_exit(pid_t pid, Real timeout_seconds = 180.0) {
+  const auto start = std::chrono::steady_clock::now();
+  int status = 0;
+  for (;;) {
+    const pid_t r = waitpid(pid, &status, WNOHANG);
+    if (r == pid) {
+      return status;
+    }
+    const std::chrono::duration<Real> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (elapsed.count() > timeout_seconds) {
+      kill(pid, SIGKILL);
+      waitpid(pid, &status, 0);
+      ADD_FAILURE() << "process " << pid << " exceeded " << timeout_seconds
+                    << "s; killed";
+      return status;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+int run_cli(const std::vector<std::string>& args) {
+  const int status = await_exit(spawn_cli(args));
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+}
+
+/// Finds a live `--worker` child of `supervisor` by scanning /proc.
+pid_t find_worker_child(pid_t supervisor) {
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator("/proc", ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    std::ifstream stat(entry.path() / "stat");
+    pid_t pid = 0;
+    pid_t ppid = 0;
+    std::string comm;
+    std::string state;
+    if (!(stat >> pid >> comm >> state >> ppid) || ppid != supervisor) {
+      continue;
+    }
+    const std::string cmdline = slurp((entry.path() / "cmdline").string());
+    if (cmdline.find("--worker") != std::string::npos) {
+      return pid;
+    }
+  }
+  return -1;
+}
+
+// --- in-process policy tests -----------------------------------------------
+
+TEST(CampaignChaos, AlwaysFailingScenarioIsRetriedThenQuarantined) {
+  const CampaignConfig config = chaos_config(tmp_dir("chaos-inproc"));
+  const CampaignReport report = run_campaign(config);  // must not throw
+
+  EXPECT_EQ(counter(report, "scenarios"), 4);
+  EXPECT_EQ(counter(report, "pass"), 3);
+  EXPECT_EQ(counter(report, "fail"), 0);
+  EXPECT_EQ(counter(report, "quarantined"), 1);
+  // Exactly max_attempts attempts: max_attempts − 1 retries, then
+  // quarantine. The healthy scenarios contribute no retries.
+  EXPECT_EQ(exec_counter(report, "campaign.retries"),
+            config.max_attempts - 1);
+  EXPECT_EQ(exec_counter(report, "campaign.quarantines"), 1);
+
+  const auto it =
+      report.scenarios.find("ibmpg1/s0.02/f1/fault-open-vias/ir");
+  ASSERT_NE(it, report.scenarios.end());
+  EXPECT_EQ(it->second.status, ScenarioStatus::kQuarantined);
+  EXPECT_NE(it->second.error.find("non-positive-conductance"),
+            std::string::npos)
+      << "last error not preserved: '" << it->second.error << "'";
+
+  // The benign dangling-pad scenario passes, with the defect surfaced.
+  const auto benign =
+      report.scenarios.find("ibmpg1/s0.02/f1/fault-dangling-pad/ir");
+  ASSERT_NE(benign, report.scenarios.end());
+  EXPECT_EQ(benign->second.status, ScenarioStatus::kPass);
+  EXPECT_NE(benign->second.validation.find("dangling-pad"),
+            std::string::npos);
+}
+
+TEST(CampaignChaos, SubprocessShardsMatchInProcessBitForBit) {
+  CampaignConfig in_process = chaos_config(tmp_dir("chaos-ref"));
+  const CampaignReport ref = run_campaign(in_process);
+
+  CampaignConfig isolated = chaos_config(tmp_dir("chaos-subproc"));
+  isolated.worker_command = {PPDL_CAMPAIGN_BIN};
+  const CampaignReport sub = run_campaign(isolated);
+
+  EXPECT_EQ(deterministic_sections(render_campaign_report(sub)),
+            deterministic_sections(render_campaign_report(ref)));
+}
+
+TEST(CampaignChaos, TruncatedCheckpointIsDiscardedAndCampaignCompletes) {
+  CampaignConfig config = chaos_config(tmp_dir("chaos-truncated"));
+  const CampaignReport first = run_campaign(config);
+
+  // Damage the supervisor checkpoint, then resume: the checkpoint must be
+  // rejected by verification and rebuilt, never half-trusted.
+  const std::string ckpt = campaign_checkpoint_path(config.dir);
+  const std::string bytes = slurp(ckpt);
+  ASSERT_GT(bytes.size(), 8u);
+  {
+    // ppdl-lint: allow(raw-file-write) -- plants a deliberately truncated checkpoint to exercise resume recovery
+    std::ofstream out(ckpt, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+
+  config.resume = true;
+  const CampaignReport resumed = run_campaign(config);
+  EXPECT_GE(exec_counter(resumed, "campaign.resume_discarded"), 1);
+  EXPECT_EQ(deterministic_sections(render_campaign_report(resumed)),
+            deterministic_sections(render_campaign_report(first)));
+}
+
+// --- CLI chaos tests -------------------------------------------------------
+
+TEST(CampaignChaos, SupervisorKillThenResumeIsBitIdenticalToCleanRun) {
+  // Reference: one uninterrupted CLI campaign.
+  const std::string ref_dir = tmp_dir("chaos-cli-ref");
+  ASSERT_EQ(run_cli(cli_args(ref_dir)), 0);
+  const std::string ref =
+      deterministic_sections(slurp(ref_dir + "/campaign_report.json"));
+
+  // Chaos: SIGKILL the supervisor at a random instant, then --resume.
+  Rng rng = Rng::stream(0xc7a05, 2026);
+  const std::string dir = tmp_dir("chaos-cli-kill");
+  const pid_t pid = spawn_cli(cli_args(dir));
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int>(rng.uniform() * 400.0)));
+  kill(pid, SIGKILL);
+  await_exit(pid);
+
+  std::vector<std::string> resume = cli_args(dir);
+  resume.push_back("--resume");
+  ASSERT_EQ(run_cli(resume), 0);
+  EXPECT_EQ(deterministic_sections(slurp(dir + "/campaign_report.json")),
+            ref);
+}
+
+TEST(CampaignChaos, WorkerKillMidFlightStillCompletesTheCampaign) {
+  const std::string dir = tmp_dir("chaos-cli-worker-kill");
+  const pid_t supervisor = spawn_cli(cli_args(dir));
+
+  // Hunt for a worker child and SIGKILL the first one that appears. On a
+  // fast box the campaign may finish before we catch one — the assertion
+  // below holds either way; the kill makes it a crash-recovery test.
+  bool killed = false;
+  for (int probe = 0; probe < 400 && !killed; ++probe) {
+    const pid_t worker = find_worker_child(supervisor);
+    if (worker > 0) {
+      killed = kill(worker, SIGKILL) == 0;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  const int status = await_exit(supervisor);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0);
+
+  const std::string json = slurp(dir + "/campaign_report.json");
+  // Same verdicts as any other run of this matrix: the kill cost retries
+  // (execution evidence), never verdicts.
+  const std::string ref_dir = tmp_dir("chaos-cli-worker-ref");
+  ASSERT_EQ(run_cli(cli_args(ref_dir)), 0);
+  EXPECT_EQ(deterministic_sections(json),
+            deterministic_sections(
+                slurp(ref_dir + "/campaign_report.json")));
+}
+
+TEST(CampaignChaos, DeterministicSectionsAreThreadCountInvariant) {
+  std::string sections[3];
+  const char* thread_counts[3] = {"1", "2", "8"};
+  for (int i = 0; i < 3; ++i) {
+    const std::string dir =
+        tmp_dir(std::string("chaos-cli-threads-") + thread_counts[i]);
+    setenv("PPDL_THREADS", thread_counts[i], 1);
+    const int code = run_cli(cli_args(dir));
+    unsetenv("PPDL_THREADS");
+    ASSERT_EQ(code, 0) << "PPDL_THREADS=" << thread_counts[i];
+    sections[i] =
+        deterministic_sections(slurp(dir + "/campaign_report.json"));
+  }
+  EXPECT_EQ(sections[0], sections[1]);
+  EXPECT_EQ(sections[0], sections[2]);
+}
+
+}  // namespace
+}  // namespace ppdl::campaign

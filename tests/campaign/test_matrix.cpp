@@ -1,0 +1,120 @@
+// Scenario matrix: deterministic expansion, stable ids, id-derived rng
+// keys, the manifest line codec, and the filesystem-safe artifact stem.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "campaign/matrix.hpp"
+#include "common/artifact_io.hpp"
+
+namespace ppdl::campaign {
+namespace {
+
+CampaignMatrix two_by_two() {
+  CampaignMatrix m;
+  m.families = {"ibmpg1", "ibmpg2"};
+  m.scales = {0.02, 0.05};
+  m.floorplan_seeds = {1, 7};
+  m.perturbations = {PerturbKind::kNone, PerturbKind::kCurrentWorkloads};
+  m.modes = {AnalysisMode::kIrStatic, AnalysisMode::kEmMttf};
+  return m;
+}
+
+TEST(CampaignMatrix, ExpandsFullCrossProductInAxisMajorOrder) {
+  const std::vector<Scenario> scenarios = expand_matrix(two_by_two());
+  ASSERT_EQ(scenarios.size(), 32u);
+  // Families outermost, modes innermost.
+  EXPECT_EQ(scenarios.front().id, "ibmpg1/s0.02/f1/none/ir");
+  EXPECT_EQ(scenarios[1].id, "ibmpg1/s0.02/f1/none/em-mttf");
+  EXPECT_EQ(scenarios[2].id, "ibmpg1/s0.02/f1/loads/ir");
+  EXPECT_EQ(scenarios.back().id, "ibmpg2/s0.05/f7/loads/em-mttf");
+
+  std::set<std::string> ids;
+  for (const Scenario& s : scenarios) {
+    EXPECT_TRUE(ids.insert(s.id).second) << "duplicate id " << s.id;
+    EXPECT_EQ(s.id, scenario_id(s.family, s.scale, s.floorplan_seed,
+                                s.perturbation, s.mode));
+    EXPECT_EQ(s.rng_key, fnv1a64(s.id));
+  }
+}
+
+TEST(CampaignMatrix, ExpansionIsDeterministic) {
+  const std::vector<Scenario> a = expand_matrix(two_by_two());
+  const std::vector<Scenario> b = expand_matrix(two_by_two());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].rng_key, b[i].rng_key);
+  }
+}
+
+TEST(CampaignMatrix, EmptyAxisThrows) {
+  CampaignMatrix m = two_by_two();
+  m.modes.clear();
+  EXPECT_THROW(expand_matrix(m), CampaignError);
+}
+
+TEST(CampaignMatrix, DuplicateAxisEntryThrows) {
+  CampaignMatrix m = two_by_two();
+  m.families = {"ibmpg1", "ibmpg1"};
+  EXPECT_THROW(expand_matrix(m), CampaignError);
+}
+
+TEST(CampaignMatrix, TokensRoundTripThroughParsers) {
+  for (const AnalysisMode mode :
+       {AnalysisMode::kIrStatic, AnalysisMode::kVectorless,
+        AnalysisMode::kDualRail, AnalysisMode::kEmMttf}) {
+    EXPECT_EQ(parse_analysis_mode(to_string(mode)), mode);
+  }
+  for (const PerturbKind kind :
+       {PerturbKind::kNone, PerturbKind::kCurrentWorkloads,
+        PerturbKind::kNodeVoltages, PerturbKind::kBoth,
+        PerturbKind::kFaultDanglingPad, PerturbKind::kFaultZeroCondVias}) {
+    EXPECT_EQ(parse_perturb_kind(to_string(kind)), kind);
+  }
+  EXPECT_THROW(parse_analysis_mode("transient"), CampaignError);
+  EXPECT_THROW(parse_perturb_kind("meteor-strike"), CampaignError);
+}
+
+TEST(CampaignMatrix, ScenarioLineCodecRoundTrips) {
+  for (const Scenario& s : expand_matrix(two_by_two())) {
+    const Scenario back = decode_scenario(encode_scenario(s));
+    EXPECT_EQ(back.id, s.id);
+    EXPECT_EQ(back.family, s.family);
+    EXPECT_EQ(back.scale, s.scale);
+    EXPECT_EQ(back.floorplan_seed, s.floorplan_seed);
+    EXPECT_EQ(back.perturbation, s.perturbation);
+    EXPECT_EQ(back.mode, s.mode);
+    EXPECT_EQ(back.rng_key, s.rng_key);
+  }
+}
+
+TEST(CampaignMatrix, DecodeRejectsDamagedLines) {
+  const std::string good = encode_scenario(expand_matrix(two_by_two())[0]);
+  EXPECT_THROW(decode_scenario(""), CampaignError);
+  EXPECT_THROW(decode_scenario("ibmpg1"), CampaignError);
+  EXPECT_THROW(decode_scenario(good + " trailing"), CampaignError);
+  EXPECT_THROW(decode_scenario("ibmpg1 not-a-number 1 none ir"),
+               CampaignError);
+  EXPECT_THROW(decode_scenario("ibmpg1 0x1p-5 1 bogus ir"), CampaignError);
+}
+
+TEST(CampaignMatrix, FileStemIsFilesystemSafeAndCollisionFree) {
+  const std::vector<Scenario> scenarios = expand_matrix(two_by_two());
+  std::set<std::string> stems;
+  for (const Scenario& s : scenarios) {
+    const std::string stem = scenario_file_stem(s);
+    EXPECT_EQ(stem.find_first_not_of("ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+                                     "abcdefghijklmnopqrstuvwxyz"
+                                     "0123456789._-"),
+              std::string::npos)
+        << "unsafe byte in stem " << stem;
+    EXPECT_EQ(stem.find('/'), std::string::npos);
+    EXPECT_TRUE(stems.insert(stem).second) << "stem collision " << stem;
+  }
+}
+
+}  // namespace
+}  // namespace ppdl::campaign

@@ -1,0 +1,126 @@
+// Scenario execution: bit-exact determinism across repeated runs, failure
+// capture (a broken scenario is a recorded outcome, never an escaped
+// exception), benign-defect tolerance, and the outcome artifact codec.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "campaign/scenario.hpp"
+#include "common/artifact_io.hpp"
+
+namespace ppdl::campaign {
+namespace {
+
+Scenario scenario_for(PerturbKind perturbation, AnalysisMode mode) {
+  Scenario s;
+  s.family = "ibmpg1";
+  s.scale = 0.02;
+  s.floorplan_seed = 1;
+  s.perturbation = perturbation;
+  s.mode = mode;
+  s.id = scenario_id(s.family, s.scale, s.floorplan_seed, s.perturbation,
+                     s.mode);
+  s.rng_key = fnv1a64(s.id);
+  return s;
+}
+
+TEST(CampaignScenario, RunIsBitDeterministic) {
+  const ScenarioConfig config;
+  const Scenario s =
+      scenario_for(PerturbKind::kCurrentWorkloads, AnalysisMode::kIrStatic);
+  const ScenarioOutcome a = run_scenario(config, s);
+  const ScenarioOutcome b = run_scenario(config, s);
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_TRUE(b.ok) << b.error;
+  ASSERT_EQ(a.values.size(), b.values.size());
+  for (const auto& [name, value] : a.values) {
+    const auto it = b.values.find(name);
+    ASSERT_NE(it, b.values.end()) << name;
+    EXPECT_EQ(value, it->second) << name;  // bit-exact, not approximate
+  }
+  EXPECT_EQ(a.validation, b.validation);
+  EXPECT_GT(a.values.at("worst_ir_drop_mv"), 0.0);
+  EXPECT_GT(a.values.at("nodes"), 0.0);
+}
+
+TEST(CampaignScenario, SeedChangesTheElectricalPerturbation) {
+  ScenarioConfig config;
+  const Scenario s =
+      scenario_for(PerturbKind::kCurrentWorkloads, AnalysisMode::kIrStatic);
+  const ScenarioOutcome a = run_scenario(config, s);
+  config.campaign_seed = 4242;
+  const ScenarioOutcome b = run_scenario(config, s);
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_NE(a.values.at("worst_ir_drop_mv"), b.values.at("worst_ir_drop_mv"));
+}
+
+TEST(CampaignScenario, FatalFaultIsACapturedDeterministicFailure) {
+  const ScenarioConfig config;
+  const Scenario s = scenario_for(PerturbKind::kFaultZeroCondVias,
+                                  AnalysisMode::kIrStatic);
+  const ScenarioOutcome a = run_scenario(config, s);  // must not throw
+  const ScenarioOutcome b = run_scenario(config, s);
+  EXPECT_FALSE(a.ok);
+  EXPECT_FALSE(a.error.empty());
+  EXPECT_EQ(a.error, b.error);  // deterministic failure text
+}
+
+TEST(CampaignScenario, BenignDefectPassesWithValidationDigest) {
+  const ScenarioConfig config;
+  const Scenario s = scenario_for(PerturbKind::kFaultDanglingPad,
+                                  AnalysisMode::kIrStatic);
+  const ScenarioOutcome out = run_scenario(config, s);
+  EXPECT_TRUE(out.ok) << out.error;
+  EXPECT_NE(out.validation.find("dangling-pad"), std::string::npos)
+      << "validation digest: '" << out.validation << "'";
+}
+
+TEST(CampaignScenario, EveryAnalysisModeProducesItsHeadlineMetric) {
+  const ScenarioConfig config;
+  const struct {
+    AnalysisMode mode;
+    const char* metric;
+  } cases[] = {
+      {AnalysisMode::kIrStatic, "worst_ir_drop_mv"},
+      {AnalysisMode::kVectorless, "worst_ir_bound_mv"},
+      {AnalysisMode::kDualRail, "worst_noise_mv"},
+      {AnalysisMode::kEmMttf, "min_mttf_hours"},
+  };
+  for (const auto& c : cases) {
+    const ScenarioOutcome out =
+        run_scenario(config, scenario_for(PerturbKind::kNone, c.mode));
+    ASSERT_TRUE(out.ok) << to_string(c.mode) << ": " << out.error;
+    ASSERT_TRUE(out.values.count(c.metric))
+        << to_string(c.mode) << " missing " << c.metric;
+    EXPECT_GT(out.values.at(c.metric), 0.0) << c.metric;
+  }
+}
+
+TEST(CampaignScenario, OutcomeArtifactRoundTrips) {
+  const ScenarioConfig config;
+  const Scenario s = scenario_for(PerturbKind::kFaultZeroCondVias,
+                                  AnalysisMode::kIrStatic);
+  const ScenarioOutcome out = run_scenario(config, s);
+  const std::string path =
+      std::string(::testing::TempDir()) + "outcome-roundtrip.ppdl";
+  save_scenario_outcome(path, out);
+
+  const ScenarioOutcome back = load_scenario_outcome(path);
+  EXPECT_EQ(back.scenario.id, out.scenario.id);
+  EXPECT_EQ(back.scenario.rng_key, out.scenario.rng_key);
+  EXPECT_EQ(back.ok, out.ok);
+  EXPECT_EQ(back.error, out.error);
+  EXPECT_EQ(back.validation, out.validation);
+  EXPECT_EQ(back.values, out.values);  // hexfloat codec: bit-exact
+}
+
+TEST(CampaignScenario, ResultPathIsScopedToTheCampaignDir) {
+  const Scenario s =
+      scenario_for(PerturbKind::kNone, AnalysisMode::kIrStatic);
+  const std::string path = scenario_result_path("/tmp/camp", s);
+  EXPECT_EQ(path.rfind("/tmp/camp/", 0), 0u);
+  EXPECT_NE(path.find(scenario_file_stem(s)), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppdl::campaign

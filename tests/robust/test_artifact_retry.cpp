@@ -1,0 +1,115 @@
+// Bounded-retry policy of read_artifact_file: transient-looking short reads
+// (kTruncated) are retried a fixed number of times with backoff — counted
+// under the `artifact.read_retries` obs counter — while deterministic
+// damage (checksum mismatch, version skew, malformed header, missing file)
+// fails on the first attempt with zero retries.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/artifact_io.hpp"
+#include "common/obs.hpp"
+
+namespace ppdl {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  // ppdl-lint: allow(raw-file-write) -- plants deliberately damaged bytes to exercise the retry policy
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Retries counted during `fn` (which may throw; the count still reflects
+/// what happened before the throw).
+template <typename Fn>
+Index retries_during(Fn&& fn) {
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
+  try {
+    fn();
+  } catch (const ArtifactError&) {
+  }
+  const obs::MetricsSnapshot delta =
+      obs::MetricsRegistry::global().snapshot().delta_since(before);
+  const auto it = delta.counters.find("artifact.read_retries");
+  return it == delta.counters.end() ? 0 : it->second;
+}
+
+TEST(ArtifactRetry, HealthyReadNeverRetries) {
+  const std::string path = tmp_path("retry-healthy.art");
+  write_artifact_file(path, Artifact{"demo", 1, "payload bytes"});
+  EXPECT_EQ(retries_during([&] {
+              const Artifact a = read_artifact_file(path, "demo");
+              EXPECT_EQ(a.payload, "payload bytes");
+            }),
+            0);
+}
+
+TEST(ArtifactRetry, TruncatedReadRetriesToExhaustionThenThrows) {
+  const std::string path = tmp_path("retry-truncated.art");
+  write_artifact_file(path, Artifact{"demo", 1, "payload bytes"});
+  std::string bytes = slurp(path);
+  spit(path, bytes.substr(0, bytes.size() - 4));
+
+  ArtifactErrorKind kind = ArtifactErrorKind::kMalformed;
+  const Index retries = retries_during([&] {
+    try {
+      read_artifact_file(path, "demo");
+    } catch (const ArtifactError& e) {
+      kind = e.kind();
+      throw;
+    }
+  });
+  EXPECT_EQ(kind, ArtifactErrorKind::kTruncated);
+  // 3 attempts total: the first plus exactly two counted retries.
+  EXPECT_EQ(retries, 2);
+}
+
+TEST(ArtifactRetry, ChecksumMismatchFailsImmediately) {
+  const std::string path = tmp_path("retry-bitflip.art");
+  write_artifact_file(path, Artifact{"demo", 1, "payload bytes"});
+  std::string bytes = slurp(path);
+  bytes[bytes.size() - 3] ^= 0x10;  // flip a payload bit
+  spit(path, bytes);
+
+  ArtifactErrorKind kind = ArtifactErrorKind::kMalformed;
+  const Index retries = retries_during([&] {
+    try {
+      read_artifact_file(path, "demo");
+    } catch (const ArtifactError& e) {
+      kind = e.kind();
+      throw;
+    }
+  });
+  EXPECT_EQ(kind, ArtifactErrorKind::kChecksumMismatch);
+  EXPECT_EQ(retries, 0);
+}
+
+TEST(ArtifactRetry, MissingFileFailsImmediately) {
+  EXPECT_EQ(retries_during([&] {
+              read_artifact_file(tmp_path("retry-absent.art"), "demo");
+            }),
+            0);
+}
+
+TEST(ArtifactRetry, VersionSkewFailsImmediately) {
+  const std::string path = tmp_path("retry-skew.art");
+  write_artifact_file(path, Artifact{"demo", 7, "payload bytes"});
+  EXPECT_EQ(retries_during([&] { read_artifact_file(path, "demo", 1, 2); }),
+            0);
+}
+
+}  // namespace
+}  // namespace ppdl

@@ -2,6 +2,8 @@
 // rejection of the fatal — driven through the fault-injection harness.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "analysis/ir_solver.hpp"
 #include "grid/validate.hpp"
 #include "support/fault_injection.hpp"
@@ -138,6 +140,76 @@ TEST(GridValidate, MissingPadsAreFatal) {
   const GridValidationReport report = validate_grid(no_pads);
   EXPECT_FALSE(report.ok());
   EXPECT_TRUE(has_defect(report, GridDefectKind::kNoPads));
+}
+
+TEST(GridValidate, DanglingPadIsAWarningOnly) {
+  // A pad bonded to a branchless node is a packaging defect worth flagging,
+  // but it must not block assembly: the node is eliminated before MNA.
+  const PowerGrid clean = make_chain_grid(6, 0.01);
+  PowerGrid pg = clean;
+  inject_fault(pg, GridFault::kDanglingPad);
+  ASSERT_EQ(pg.node_count(), clean.node_count() + 1);
+
+  const GridValidationReport report = validate_grid(pg);
+  EXPECT_TRUE(report.ok());
+  EXPECT_FALSE(report.blocks_assembly());
+  EXPECT_EQ(report.warning_count, 1);
+  EXPECT_TRUE(has_defect(report, GridDefectKind::kDanglingPad));
+  EXPECT_NE(report.summary().find("dangling-pad"), std::string::npos);
+
+  // The defect is benign: analysis still runs and matches the clean grid.
+  const auto faulty = analysis::analyze_ir_drop(pg);
+  const auto baseline = analysis::analyze_ir_drop(clean);
+  ASSERT_TRUE(faulty.converged);
+  ASSERT_TRUE(baseline.converged);
+  EXPECT_DOUBLE_EQ(faulty.worst_ir_drop, baseline.worst_ir_drop);
+}
+
+TEST(GridValidate, ZeroConductanceViaClusterIsFatal) {
+  // Opening a via cluster (etch failure) leaves infinite-resistance
+  // branches; every one must surface as a fatal defect.
+  auto bench = testsupport::make_tiny_benchmark();
+  const GridValidationReport before = validate_grid(bench.grid);
+  ASSERT_TRUE(before.ok());
+
+  inject_fault(bench.grid, GridFault::kZeroConductanceVias);
+  const GridValidationReport report = validate_grid(bench.grid);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.blocks_assembly());
+  EXPECT_GE(report.fatal_count, 1);
+  EXPECT_TRUE(has_defect(report, GridDefectKind::kNonPositiveConductance));
+}
+
+TEST(GridValidate, ZeroConductanceViasInjectionIsDeterministic) {
+  // Two injections from the same benchmark open exactly the same branches.
+  auto a = testsupport::make_tiny_benchmark();
+  auto b = testsupport::make_tiny_benchmark();
+  inject_fault(a.grid, GridFault::kZeroConductanceVias);
+  inject_fault(b.grid, GridFault::kZeroConductanceVias);
+  ASSERT_EQ(a.grid.branch_count(), b.grid.branch_count());
+  const auto open = [](const Branch& br) {
+    return br.kind == BranchKind::kVia && std::isinf(br.via_resistance);
+  };
+  Index opened = 0;
+  for (Index bi = 0; bi < a.grid.branch_count(); ++bi) {
+    EXPECT_EQ(open(a.grid.branch(bi)), open(b.grid.branch(bi)));
+    if (open(a.grid.branch(bi))) {
+      ++opened;
+    }
+  }
+  EXPECT_GE(opened, 1);
+}
+
+TEST(GridValidate, AnalysisRejectsOpenViaClusterWithTypedError) {
+  auto bench = testsupport::make_tiny_benchmark();
+  inject_fault(bench.grid, GridFault::kZeroConductanceVias);
+  try {
+    analysis::analyze_ir_drop(bench.grid);
+    FAIL() << "expected GridDefectError";
+  } catch (const GridDefectError& e) {
+    EXPECT_TRUE(has_defect(e.report(),
+                           GridDefectKind::kNonPositiveConductance));
+  }
 }
 
 TEST(GridValidate, ValidationCanBeDisabled) {

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Chaos-smoke the campaign engine end to end (the CI `campaign-smoke` job).
+
+Drives the real ppdl_campaign CLI through the failure policy it promises:
+
+  1. Reference: run a small mixed matrix (healthy scenarios plus one
+     deterministic always-failing one) to completion.
+  2. Chaos: start the same campaign in a fresh directory, SIGKILL the first
+     worker shard that appears mid-flight, then SIGKILL the supervisor
+     itself, then rerun with --resume.
+  3. Assert the resumed campaign exits 0 and its deterministic report
+     sections (info, metrics, scenarios) exactly match the reference run —
+     crashes may only leave traces in the `execution` section.
+  4. Validate both merged reports against schemas/campaign_report.schema.json
+     via tools/validate_run_report.py, and assert the always-failing
+     scenario was quarantined (not a campaign failure).
+
+Usage:
+    tools/campaign_smoke.py --bin build/examples/ppdl_campaign
+
+Exit code 0 on success; 1 with a diagnostic otherwise. Stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+CLI_ARGS = [
+    "--families=ibmpg1",
+    "--scales=0.02",
+    "--seeds=1",
+    "--perturbs=none,loads,fault-dangling-pad,fault-open-vias",
+    "--modes=ir",
+    "--shards=2",
+    "--max-attempts=3",
+    "--name=smoke",
+]
+
+
+def fail(msg: str) -> "NoReturn":  # noqa: F821 - py3.8-friendly annotation
+    print(f"campaign-smoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_campaign(bin_path: pathlib.Path, out_dir: pathlib.Path,
+                 resume: bool = False) -> None:
+    cmd = [str(bin_path), *CLI_ARGS, f"--dir={out_dir}"]
+    if resume:
+        cmd.append("--resume")
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        fail(
+            f"{' '.join(cmd)} exited {proc.returncode}\n"
+            f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+        )
+
+
+def worker_children(supervisor_pid: int) -> list:
+    """PIDs of live --worker children of the supervisor (via /proc)."""
+    pids = []
+    for stat in pathlib.Path("/proc").glob("[0-9]*/stat"):
+        try:
+            fields = stat.read_text().split()
+            cmdline = (stat.parent / "cmdline").read_bytes()
+        except OSError:
+            continue
+        # stat: pid (comm) state ppid ...; comm can contain spaces but the
+        # campaign CLI's cannot, so positional parsing is fine here.
+        if len(fields) > 3 and fields[3] == str(supervisor_pid) \
+                and b"--worker" in cmdline:
+            pids.append(int(fields[0]))
+    return pids
+
+
+def chaos_run(bin_path: pathlib.Path, out_dir: pathlib.Path) -> dict:
+    """Start the campaign, kill one worker then the supervisor, resume."""
+    cmd = [str(bin_path), *CLI_ARGS, f"--dir={out_dir}"]
+    supervisor = subprocess.Popen(
+        cmd, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+    )
+    events = {"worker_killed": False, "supervisor_killed": False}
+
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline and supervisor.poll() is None:
+        workers = worker_children(supervisor.pid)
+        if workers:
+            try:
+                import os
+
+                os.kill(workers[0], signal.SIGKILL)
+                events["worker_killed"] = True
+            except OSError:
+                pass
+            break
+        time.sleep(0.002)
+
+    # Give the supervisor a moment to be genuinely mid-campaign, then take
+    # it down too. If it already finished, resume below is a no-op rerun —
+    # the byte-identity assertion holds either way.
+    time.sleep(0.05)
+    if supervisor.poll() is None:
+        supervisor.kill()
+        events["supervisor_killed"] = True
+    supervisor.wait()
+
+    run_campaign(bin_path, out_dir, resume=True)
+    return events
+
+
+def deterministic_sections(report_path: pathlib.Path) -> dict:
+    report = json.loads(report_path.read_text())
+    return {k: report[k] for k in ("info", "metrics", "scenarios")}
+
+
+def validate_report(report_path: pathlib.Path) -> None:
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "validate_run_report.py"),
+         str(report_path)],
+        capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        fail(f"schema validation of {report_path} failed:\n{proc.stderr}")
+    print(proc.stdout.strip())
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bin", type=pathlib.Path, required=True,
+                        help="path to the ppdl_campaign CLI binary")
+    parser.add_argument("--workdir", type=pathlib.Path, default=None,
+                        help="scratch dir (default: a fresh temp dir)")
+    args = parser.parse_args()
+
+    if not args.bin.exists():
+        fail(f"no such binary: {args.bin}")
+
+    scratch = args.workdir or pathlib.Path(tempfile.mkdtemp(prefix="ppdl-smoke-"))
+    ref_dir = scratch / "ref"
+    chaos_dir = scratch / "chaos"
+    for d in (ref_dir, chaos_dir):
+        shutil.rmtree(d, ignore_errors=True)
+
+    run_campaign(args.bin, ref_dir)
+    events = chaos_run(args.bin, chaos_dir)
+    print(f"campaign-smoke: chaos events: {events}")
+
+    ref_report = ref_dir / "campaign_report.json"
+    chaos_report = chaos_dir / "campaign_report.json"
+    validate_report(ref_report)
+    validate_report(chaos_report)
+
+    ref = deterministic_sections(ref_report)
+    chaos = deterministic_sections(chaos_report)
+    if ref != chaos:
+        fail(
+            "deterministic sections diverged between the clean run and the "
+            f"killed-and-resumed run:\nref:   {json.dumps(ref, indent=2)}\n"
+            f"chaos: {json.dumps(chaos, indent=2)}"
+        )
+
+    scenarios = json.loads(chaos_report.read_text())["scenarios"]
+    statuses = {sid: s["status"] for sid, s in scenarios.items()}
+    quarantined = [s for s in statuses.values() if s == "quarantined"]
+    failed = [s for s in statuses.values() if s == "fail"]
+    if len(quarantined) != 1 or failed:
+        fail(f"unexpected verdicts: {statuses}")
+    bad = statuses.get("ibmpg1/s0.02/f1/fault-open-vias/ir")
+    if bad != "quarantined":
+        fail(f"always-failing scenario verdict was {bad!r}, "
+             "expected 'quarantined'")
+
+    print("campaign-smoke: OK (resume after kills is byte-stable, "
+          "always-failing scenario quarantined)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,17 @@
 #!/usr/bin/env python3
-"""Validate a ppdl.run_report JSON document against its schema.
+"""Validate a ppdl report JSON document against its schema.
+
+Handles both report families: ppdl.run_report (one flow run) and
+ppdl.campaign_report (merged campaign verdicts). Without --schema the
+schema is selected from the report's own "schema" field.
 
 Stdlib only (no jsonschema dependency): implements the subset of JSON
-Schema draft-07 the run-report schema actually uses — type, const,
+Schema draft-07 the report schemas actually use — type, const, enum,
 required, properties, additionalProperties, items, minimum, and local
 $ref into #/definitions.
 
 Usage:
-    tools/validate_run_report.py RUN_REPORT.json [--schema SCHEMA.json]
+    tools/validate_run_report.py REPORT.json [--schema SCHEMA.json]
 
 Exit code 0 when valid; 1 with one line per violation otherwise.
 """
@@ -19,11 +23,14 @@ import json
 import pathlib
 import sys
 
-DEFAULT_SCHEMA = (
-    pathlib.Path(__file__).resolve().parent.parent
-    / "schemas"
-    / "run_report.schema.json"
-)
+SCHEMA_DIR = pathlib.Path(__file__).resolve().parent.parent / "schemas"
+
+# The report's "schema" field selects its schema file when --schema is
+# not passed explicitly.
+SCHEMA_FILES = {
+    "ppdl.run_report": SCHEMA_DIR / "run_report.schema.json",
+    "ppdl.campaign_report": SCHEMA_DIR / "campaign_report.schema.json",
+}
 
 _TYPE_CHECKS = {
     "object": lambda v: isinstance(v, dict),
@@ -54,6 +61,10 @@ def validate(value, schema: dict, root: dict, path: str, errors: list) -> None:
 
     if "const" in schema and value != schema["const"]:
         errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")
+        return
+
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not one of {schema['enum']!r}")
         return
 
     expected = schema.get("type")
@@ -92,7 +103,7 @@ def validate(value, schema: dict, root: dict, path: str, errors: list) -> None:
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("report", type=pathlib.Path)
-    parser.add_argument("--schema", type=pathlib.Path, default=DEFAULT_SCHEMA)
+    parser.add_argument("--schema", type=pathlib.Path, default=None)
     args = parser.parse_args()
 
     try:
@@ -100,7 +111,19 @@ def main() -> int:
     except (OSError, json.JSONDecodeError) as e:
         print(f"error: cannot parse {args.report}: {e}", file=sys.stderr)
         return 1
-    schema = json.loads(args.schema.read_text())
+
+    schema_path = args.schema
+    if schema_path is None:
+        name = report.get("schema") if isinstance(report, dict) else None
+        schema_path = SCHEMA_FILES.get(name)
+        if schema_path is None:
+            print(
+                f"error: {args.report} declares unknown schema {name!r}; "
+                f"pass --schema explicitly",
+                file=sys.stderr,
+            )
+            return 1
+    schema = json.loads(schema_path.read_text())
 
     errors: list = []
     validate(report, schema, schema, "$", errors)
@@ -108,6 +131,15 @@ def main() -> int:
         for line in errors:
             print(f"INVALID {line}", file=sys.stderr)
         return 1
+    if report["schema"] == "ppdl.campaign_report":
+        statuses = [s["status"] for s in report["scenarios"].values()]
+        print(
+            f"OK {args.report}: campaign={report['campaign']} "
+            f"scenarios={len(statuses)} pass={statuses.count('pass')} "
+            f"fail={statuses.count('fail')} "
+            f"quarantined={statuses.count('quarantined')}"
+        )
+        return 0
     counters = len(report["metrics"]["counters"])
     hists = len(report["metrics"]["histograms"])
     spans = len(report["timing"]["spans"])
