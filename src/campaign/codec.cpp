@@ -35,4 +35,10 @@ std::string get_blob(std::istream& in, const char* key) {
   return campaign_field([&] { return codec::get_blob(in, key); });
 }
 
+Index get_count(std::istream& in, const char* what,
+                std::size_t min_bytes_per_elem) {
+  return campaign_field(
+      [&] { return codec::get_count(in, what, min_bytes_per_elem); });
+}
+
 }  // namespace ppdl::campaign

@@ -29,4 +29,10 @@ U64 get_u64(std::istream& in, const char* what);
 void expect_key(std::istream& in, const char* keyword);
 std::string get_blob(std::istream& in, const char* key);
 
+/// Element count validated against the bytes remaining in the stream
+/// (codec::get_count); decoders sizing containers from transported counts
+/// must use this so a hostile manifest cannot drive allocation.
+Index get_count(std::istream& in, const char* what,
+                std::size_t min_bytes_per_elem = 1);
+
 }  // namespace ppdl::campaign

@@ -172,26 +172,17 @@ void save_campaign_baseline(const std::string& path,
   write_artifact_file(path, artifact);
 }
 
-CampaignBaseline load_campaign_baseline(const std::string& path) {
-  const Artifact artifact =
-      read_artifact_file(path, kBaselineType, kBaselineVersion,
-                         kBaselineVersion);
-  std::istringstream in(artifact.payload);
+CampaignBaseline decode_campaign_baseline(std::istream& in) {
   CampaignBaseline baseline;
   expect_key(in, "scenarios");
-  const Index scenario_count = get_index(in, "baseline scenario count");
-  if (scenario_count < 0) {
-    throw CampaignError("campaign baseline: negative scenario count in " +
-                        path);
-  }
+  // Counts validated against the bytes actually present (each scenario
+  // or value entry occupies at least a blob header on the wire) so a
+  // hostile baseline cannot drive allocation or a runaway decode loop.
+  const Index scenario_count = get_count(in, "baseline scenario count", 4);
   for (Index i = 0; i < scenario_count; ++i) {
     const std::string id = get_blob(in, "scenario");
     expect_key(in, "values");
-    const Index value_count = get_index(in, "baseline value count");
-    if (value_count < 0) {
-      throw CampaignError("campaign baseline: negative value count in " +
-                          path);
-    }
+    const Index value_count = get_count(in, "baseline value count", 4);
     std::map<std::string, Real>& values = baseline[id];
     for (Index v = 0; v < value_count; ++v) {
       const std::string name = get_blob(in, "name");
@@ -200,6 +191,14 @@ CampaignBaseline load_campaign_baseline(const std::string& path) {
     }
   }
   return baseline;
+}
+
+CampaignBaseline load_campaign_baseline(const std::string& path) {
+  const Artifact artifact =
+      read_artifact_file(path, kBaselineType, kBaselineVersion,
+                         kBaselineVersion);
+  std::istringstream in(artifact.payload);
+  return decode_campaign_baseline(in);
 }
 
 bool within_baseline_tolerance(Real value, Real baseline, Real rel_tol) {

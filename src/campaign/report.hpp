@@ -29,6 +29,7 @@
 // shortest-round-trip form, so "same values" ⇒ "same bytes".
 #pragma once
 
+#include <istream>
 #include <map>
 #include <string>
 
@@ -88,6 +89,12 @@ using CampaignBaseline = std::map<std::string, std::map<std::string, Real>>;
 void save_campaign_baseline(const std::string& path,
                             const CampaignBaseline& baseline);
 CampaignBaseline load_campaign_baseline(const std::string& path);
+
+/// Payload-level baseline decoder (the part inside the artifact container).
+/// Throws CampaignError on malformed input; counts are validated against
+/// the bytes actually present before any allocation. Exposed for the fuzz
+/// harness and payload-shape tests.
+CampaignBaseline decode_campaign_baseline(std::istream& in);
 
 /// |value − baseline| ≤ rel_tol · max(|value|, |baseline|, 1) — the gate
 /// that turns a pass into a fail when a baseline is recorded.

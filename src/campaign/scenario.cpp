@@ -182,10 +182,7 @@ void save_scenario_outcome(const std::string& path,
   write_artifact_file(path, artifact);
 }
 
-ScenarioOutcome load_scenario_outcome(const std::string& path) {
-  const Artifact artifact =
-      read_artifact_file(path, kResultType, kResultVersion, kResultVersion);
-  std::istringstream in(artifact.payload);
+ScenarioOutcome decode_scenario_outcome(std::istream& in) {
   ScenarioOutcome out;
   out.scenario = decode_scenario(get_blob(in, "scenario"));
   expect_key(in, "ok");
@@ -193,10 +190,9 @@ ScenarioOutcome load_scenario_outcome(const std::string& path) {
   out.error = get_blob(in, "error");
   out.validation = get_blob(in, "validation");
   expect_key(in, "values");
-  const Index n = get_index(in, "value count");
-  if (n < 0) {
-    throw CampaignError("scenario result: negative value count in " + path);
-  }
+  // Validated against remaining bytes (each value entry is at least a
+  // blob header) so a lying count cannot drive the decode loop.
+  const Index n = get_count(in, "value count", 4);
   for (Index i = 0; i < n; ++i) {
     const std::string name = get_blob(in, "name");
     expect_key(in, "value");
@@ -205,6 +201,13 @@ ScenarioOutcome load_scenario_outcome(const std::string& path) {
   expect_key(in, "seconds");
   out.seconds = get_real(in, "seconds");
   return out;
+}
+
+ScenarioOutcome load_scenario_outcome(const std::string& path) {
+  const Artifact artifact =
+      read_artifact_file(path, kResultType, kResultVersion, kResultVersion);
+  std::istringstream in(artifact.payload);
+  return decode_scenario_outcome(in);
 }
 
 }  // namespace ppdl::campaign

@@ -10,6 +10,7 @@
 // department).
 #pragma once
 
+#include <istream>
 #include <map>
 #include <string>
 
@@ -60,5 +61,11 @@ std::string scenario_result_path(const std::string& dir,
 void save_scenario_outcome(const std::string& path,
                            const ScenarioOutcome& outcome);
 ScenarioOutcome load_scenario_outcome(const std::string& path);
+
+/// Payload-level outcome decoder (the part inside the artifact container).
+/// Throws CampaignError on malformed input; counts are validated against
+/// the bytes actually present. Exposed for the fuzz harness and
+/// payload-shape tests.
+ScenarioOutcome decode_scenario_outcome(std::istream& in);
 
 }  // namespace ppdl::campaign

@@ -63,11 +63,7 @@ void save_shard_task(const std::string& path, const ShardTask& task) {
   write_artifact_file(path, artifact);
 }
 
-ShardTask load_shard_task(const std::string& path) {
-  const Artifact artifact =
-      read_artifact_file(path, kManifestType, kManifestVersion,
-                         kManifestVersion);
-  std::istringstream in(artifact.payload);
+ShardTask decode_shard_task(std::istream& in) {
   ShardTask task;
   expect_key(in, "shard");
   task.shard_index = get_index(in, "shard index");
@@ -80,15 +76,23 @@ ShardTask load_shard_task(const std::string& path) {
   expect_key(in, "timeout");
   task.config.timeout_seconds = get_real(in, "timeout");
   expect_key(in, "scenarios");
-  const Index n = get_index(in, "scenario count");
-  if (n < 0) {
-    throw CampaignError("shard manifest: negative scenario count in " + path);
-  }
+  // Each scenario blob costs at least its `scenario <n>\n` header on the
+  // wire; get_count rejects a count the remaining bytes cannot hold
+  // before the reserve below allocates anything.
+  const Index n = get_count(in, "scenario count", 4);
   task.scenarios.reserve(static_cast<std::size_t>(n));
   for (Index i = 0; i < n; ++i) {
     task.scenarios.push_back(decode_scenario(get_blob(in, "scenario")));
   }
   return task;
+}
+
+ShardTask load_shard_task(const std::string& path) {
+  const Artifact artifact =
+      read_artifact_file(path, kManifestType, kManifestVersion,
+                         kManifestVersion);
+  std::istringstream in(artifact.payload);
+  return decode_shard_task(in);
 }
 
 int run_shard(const std::string& dir, const std::string& manifest_path) {

@@ -19,6 +19,7 @@
 // centralized in the supervisor).
 #pragma once
 
+#include <istream>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,12 @@ std::string shard_report_path(const std::string& dir, Index round,
 /// Persists/loads a manifest as a "campaign-shard" artifact.
 void save_shard_task(const std::string& path, const ShardTask& task);
 ShardTask load_shard_task(const std::string& path);
+
+/// Payload-level manifest decoder (the part inside the artifact
+/// container). Throws CampaignError on malformed input; scenario counts
+/// are validated against the bytes actually present before any allocation.
+/// Exposed for the fuzz harness and payload-shape tests.
+ShardTask decode_shard_task(std::istream& in);
 
 /// Worker entry point: load the manifest, run every scenario not already
 /// finished, persist outcomes, write the shard run report. Returns the

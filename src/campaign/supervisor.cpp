@@ -28,6 +28,31 @@
 
 namespace ppdl::campaign {
 
+SupervisorCheckpoint decode_supervisor_checkpoint(std::istream& in) {
+  SupervisorCheckpoint ckpt;
+  expect_key(in, "identity");
+  ckpt.identity = get_u64(in, "campaign identity");
+  expect_key(in, "round");
+  ckpt.round = get_index(in, "round");
+  expect_key(in, "scenarios");
+  // Each entry carries two blob headers and an attempts line (≥ ~20
+  // bytes); 8 is a safe floor that still rejects counts the remaining
+  // payload cannot possibly hold, before the reserve below.
+  const Index n = get_count(in, "scenario count", 8);
+  ckpt.entries.reserve(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    SupervisorCheckpoint::Entry entry;
+    entry.id = get_blob(in, "id");
+    expect_key(in, "attempts");
+    entry.attempts = get_index(in, "attempts");
+    expect_key(in, "quarantined");
+    entry.quarantined = get_index(in, "quarantined flag") != 0;
+    entry.last_error = get_blob(in, "last_error");
+    ckpt.entries.push_back(std::move(entry));
+  }
+  return ckpt;
+}
+
 namespace {
 
 constexpr int kCkptVersion = 1;
@@ -86,42 +111,28 @@ Index load_supervisor_state(const std::string& path, U64 identity,
   const Artifact artifact =
       read_artifact_file(path, kCkptType, kCkptVersion, kCkptVersion);
   std::istringstream in(artifact.payload);
-  expect_key(in, "identity");
-  const U64 stored = get_u64(in, "campaign identity");
-  if (stored != identity) {
+  const SupervisorCheckpoint ckpt = decode_supervisor_checkpoint(in);
+  if (ckpt.identity != identity) {
     throw CampaignError("campaign checkpoint was written by a different "
                         "campaign (identity mismatch)");
-  }
-  expect_key(in, "round");
-  const Index round = get_index(in, "round");
-  expect_key(in, "scenarios");
-  const Index n = get_index(in, "scenario count");
-  if (n < 0) {
-    throw CampaignError("campaign checkpoint: negative scenario count");
   }
   std::map<std::string, ScenarioState*> by_id;
   for (ScenarioState& st : states) {
     by_id[st.scenario.id] = &st;
   }
-  for (Index i = 0; i < n; ++i) {
-    const std::string id = get_blob(in, "id");
-    expect_key(in, "attempts");
-    const Index attempts = get_index(in, "attempts");
-    expect_key(in, "quarantined");
-    const bool quarantined = get_index(in, "quarantined flag") != 0;
-    const std::string last_error = get_blob(in, "last_error");
-    const auto found = by_id.find(id);
+  for (const SupervisorCheckpoint::Entry& entry : ckpt.entries) {
+    const auto found = by_id.find(entry.id);
     if (found == by_id.end()) {
       // Identity matched, so an unknown id means a corrupted-but-
       // checksum-valid payload — impossible short of a bug; fail loudly.
       throw CampaignError("campaign checkpoint names unknown scenario '" +
-                          id + "'");
+                          entry.id + "'");
     }
-    found->second->attempts = attempts;
-    found->second->quarantined = quarantined;
-    found->second->last_error = last_error;
+    found->second->attempts = entry.attempts;
+    found->second->quarantined = entry.quarantined;
+    found->second->last_error = entry.last_error;
   }
-  return round;
+  return ckpt.round;
 }
 
 /// fork + exec of one worker. Returns the child pid; throws on fork

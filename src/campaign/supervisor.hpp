@@ -24,6 +24,7 @@
 //     byte-identical to an uninterrupted run.
 #pragma once
 
+#include <istream>
 #include <string>
 #include <vector>
 
@@ -77,5 +78,25 @@ CampaignReport run_campaign(const CampaignConfig& config);
 
 /// The supervisor checkpoint path inside a campaign dir.
 std::string campaign_checkpoint_path(const std::string& dir);
+
+/// Decoded supervisor checkpoint payload: the campaign identity, the round
+/// counter, and per-scenario attempt/quarantine bookkeeping.
+struct SupervisorCheckpoint {
+  struct Entry {
+    std::string id;
+    Index attempts = 0;
+    bool quarantined = false;
+    std::string last_error;
+  };
+  U64 identity = 0;
+  Index round = 0;
+  std::vector<Entry> entries;
+};
+
+/// Payload-level checkpoint decoder (the part inside the artifact
+/// container). Throws CampaignError on malformed input; the entry count is
+/// validated against the bytes actually present before any allocation.
+/// Exposed for the fuzz harness and payload-shape tests.
+SupervisorCheckpoint decode_supervisor_checkpoint(std::istream& in);
 
 }  // namespace ppdl::campaign

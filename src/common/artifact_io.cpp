@@ -1,11 +1,13 @@
 #include "common/artifact_io.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <thread>
 
+#include "common/guard.hpp"
 #include "common/obs.hpp"
 
 namespace ppdl {
@@ -23,6 +25,11 @@ constexpr char kMagic[] = "ppdl-artifact";
 constexpr int kReadAttempts = 3;
 constexpr int kReadBackoffInitialMicros = 500;
 constexpr int kReadBackoffFactor = 4;
+
+// A legitimate header is ~60 bytes (magic, three small ints, a type token,
+// a 16-hex-digit checksum). Capping the header read means a newline-free
+// multi-gigabyte file is rejected after 4 KiB, not after buffering it all.
+constexpr std::uint64_t kMaxHeaderBytes = 4096;
 
 std::string hex64(std::uint64_t v) {
   char buf[17];
@@ -108,22 +115,18 @@ void write_artifact_file(const std::string& path, const Artifact& artifact) {
   write_raw_file_atomic(path, bytes.str());
 }
 
-namespace {
-
-/// One verification pass over the artifact at `path` (no retry).
-Artifact read_artifact_file_once(const std::string& path,
-                                 const std::string& expected_type,
-                                 int min_version, int max_version) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) {
-    throw ArtifactError(ArtifactErrorKind::kMissing, path,
-                        "cannot open for reading");
-  }
-
+Artifact read_artifact_stream(std::istream& in, const std::string& path,
+                              const std::string& expected_type,
+                              int min_version, int max_version) {
   std::string header;
-  if (!std::getline(in, header)) {
-    throw ArtifactError(ArtifactErrorKind::kMalformed, path,
-                        "empty file (no header line)");
+  try {
+    if (!guard::bounded_getline(in, header, kMaxHeaderBytes,
+                                "artifact header")) {
+      throw ArtifactError(ArtifactErrorKind::kMalformed, path,
+                          "empty file (no header line)");
+    }
+  } catch (const guard::GuardError& e) {
+    throw ArtifactError(ArtifactErrorKind::kMalformed, path, e.what());
   }
   std::istringstream hs(header);
   std::string magic;
@@ -157,15 +160,41 @@ Artifact read_artifact_file_once(const std::string& path,
                             std::to_string(max_version) + "]");
   }
 
+  // Declared-size-vs-actual-bytes guard: compare the header's promise
+  // against what the stream really holds BEFORE sizing the payload buffer.
+  // A header claiming terabytes on a tiny file is a truncation (or an
+  // attack), not an allocation request.
+  const std::uint64_t actual_bytes = guard::remaining_bytes(in);
+  if (actual_bytes != UINT64_MAX && payload_bytes > actual_bytes) {
+    throw ArtifactError(ArtifactErrorKind::kTruncated, path,
+                        "payload has " + std::to_string(actual_bytes) +
+                            " of " + std::to_string(payload_bytes) +
+                            " promised bytes");
+  }
   Artifact artifact;
   artifact.type = std::move(type);
   artifact.version = version;
-  artifact.payload.resize(payload_bytes);
-  in.read(artifact.payload.data(),
-          static_cast<std::streamsize>(payload_bytes));
-  if (static_cast<std::uint64_t>(in.gcount()) != payload_bytes) {
+  // Chunked read rather than resize(payload_bytes): allocation grows with
+  // the bytes actually delivered, so even a non-seekable stream (where the
+  // declared-vs-actual check above cannot see the end) pays at most one
+  // chunk beyond the real input for a lying header.
+  constexpr std::streamsize kChunk = 64 * 1024;
+  char buf[kChunk];
+  std::uint64_t want = payload_bytes;
+  while (want > 0) {
+    in.read(buf, static_cast<std::streamsize>(std::min<std::uint64_t>(
+                     want, static_cast<std::uint64_t>(kChunk))));
+    const std::streamsize got = in.gcount();
+    if (got <= 0) {
+      break;
+    }
+    artifact.payload.append(buf, static_cast<std::size_t>(got));
+    want -= static_cast<std::uint64_t>(got);
+  }
+  if (want > 0) {
     throw ArtifactError(ArtifactErrorKind::kTruncated, path,
-                        "payload has " + std::to_string(in.gcount()) +
+                        "payload has " +
+                            std::to_string(artifact.payload.size()) +
                             " of " + std::to_string(payload_bytes) +
                             " promised bytes");
   }
@@ -180,6 +209,21 @@ Artifact read_artifact_file_once(const std::string& path,
                             checksum_hex);
   }
   return artifact;
+}
+
+namespace {
+
+/// One verification pass over the artifact at `path` (no retry).
+Artifact read_artifact_file_once(const std::string& path,
+                                 const std::string& expected_type,
+                                 int min_version, int max_version) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw ArtifactError(ArtifactErrorKind::kMissing, path,
+                        "cannot open for reading");
+  }
+  return read_artifact_stream(in, path, expected_type, min_version,
+                              max_version);
 }
 
 }  // namespace

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <istream>
 #include <stdexcept>
 #include <string>
 
@@ -87,6 +88,19 @@ void write_artifact_file(const std::string& path, const Artifact& artifact);
 Artifact read_artifact_file(const std::string& path,
                             const std::string& expected_type,
                             int min_version = 1, int max_version = 1);
+
+/// Stream-level core of read_artifact_file (no retry): parses and fully
+/// verifies one artifact from `in`, which must be positioned at the header
+/// and seekable (files and string streams are). `path` only labels errors.
+///
+/// Ingestion guards (see common/guard.hpp): the header line is capped at a
+/// fixed byte budget, and the declared payload byte count is checked
+/// against the bytes actually present *before* any allocation — a header
+/// claiming 100 GB on a 1 KB file fails as kTruncated without ever sizing
+/// a buffer. This is also the fuzzing entry point for the container.
+Artifact read_artifact_stream(std::istream& in, const std::string& path,
+                              const std::string& expected_type,
+                              int min_version = 1, int max_version = 1);
 
 /// True when `path` holds a readable artifact of `expected_type` (any
 /// verification failure returns false instead of throwing) — the cheap

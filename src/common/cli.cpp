@@ -1,5 +1,6 @@
 #include "common/cli.hpp"
 
+#include <cmath>
 #include <iostream>
 #include <sstream>
 
@@ -73,30 +74,62 @@ std::string CliParser::get(const std::string& name) const {
 
 Real CliParser::get_real(const std::string& name) const {
   const std::string& v = find(name).value;
+  std::size_t pos = 0;
+  Real r = 0.0;
   try {
-    std::size_t pos = 0;
-    const Real r = std::stod(v, &pos);
-    if (pos != v.size()) {
-      throw std::invalid_argument(v);
-    }
-    return r;
+    r = std::stod(v, &pos);
+  } catch (const std::out_of_range&) {
+    throw CliError("flag --" + name + " overflows a real: " + v);
   } catch (const std::exception&) {
     throw CliError("flag --" + name + " is not a number: " + v);
   }
+  if (pos != v.size()) {
+    throw CliError("flag --" + name + " has trailing garbage: " + v);
+  }
+  if (!std::isfinite(r)) {
+    throw CliError("flag --" + name + " must be finite: " + v);
+  }
+  return r;
 }
 
 Index CliParser::get_int(const std::string& name) const {
   const std::string& v = find(name).value;
+  std::size_t pos = 0;
+  long long r = 0;
   try {
-    std::size_t pos = 0;
-    const long long r = std::stoll(v, &pos);
-    if (pos != v.size()) {
-      throw std::invalid_argument(v);
-    }
-    return static_cast<Index>(r);
+    r = std::stoll(v, &pos);
+  } catch (const std::out_of_range&) {
+    throw CliError("flag --" + name + " overflows a 64-bit integer: " + v);
   } catch (const std::exception&) {
     throw CliError("flag --" + name + " is not an integer: " + v);
   }
+  if (pos != v.size()) {
+    throw CliError("flag --" + name + " has trailing garbage: " + v);
+  }
+  return static_cast<Index>(r);
+}
+
+Real CliParser::get_real_in(const std::string& name, Real lo, Real hi) const {
+  const Real r = get_real(name);
+  if (r < lo || r > hi) {
+    std::ostringstream os;
+    os << "flag --" << name << " out of range [" << lo << ", " << hi
+       << "]: " << r;
+    throw CliError(os.str());
+  }
+  return r;
+}
+
+Index CliParser::get_int_in(const std::string& name, Index lo,
+                            Index hi) const {
+  const Index r = get_int(name);
+  if (r < lo || r > hi) {
+    std::ostringstream os;
+    os << "flag --" << name << " out of range [" << lo << ", " << hi
+       << "]: " << r;
+    throw CliError(os.str());
+  }
+  return r;
 }
 
 bool CliParser::get_bool(const std::string& name) const {

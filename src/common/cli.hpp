@@ -39,9 +39,19 @@ class CliParser {
   bool help_requested() const { return help_requested_; }
 
   std::string get(const std::string& name) const;
+  /// Strict numeric accessors: the whole value must parse (trailing garbage
+  /// rejected), overflow/underflow past the representable range is a typed
+  /// CliError rather than silent saturation, and non-finite reals ("nan",
+  /// "inf") are rejected — flag values feed grid sizes and solver budgets,
+  /// where a NaN wedges iteration instead of failing fast.
   Real get_real(const std::string& name) const;
   Index get_int(const std::string& name) const;
   bool get_bool(const std::string& name) const;
+
+  /// Range-checked accessors: like get_real/get_int, then require
+  /// lo <= value <= hi (inclusive) or throw CliError naming the bounds.
+  Real get_real_in(const std::string& name, Real lo, Real hi) const;
+  Index get_int_in(const std::string& name, Index lo, Index hi) const;
 
   /// Render usage text.
   std::string usage() const;

@@ -1,0 +1,134 @@
+#include "common/guard.hpp"
+
+#include <cstdlib>
+
+#include "common/memory.hpp"
+
+namespace ppdl::guard {
+
+namespace {
+
+std::string budget_suffix() {
+  // RSS context turns "budget exceeded" from a mystery into a diagnosis:
+  // a hostile header trips the budget at low RSS, genuine memory pressure
+  // at high RSS.
+  std::string s = " (process RSS ";
+  s += std::to_string(static_cast<long long>(current_rss_mib()));
+  s += " MiB)";
+  return s;
+}
+
+}  // namespace
+
+std::uint64_t remaining_bytes(std::istream& in) {
+  if (in.bad()) {
+    return UINT64_MAX;
+  }
+  // An EOF'd stream is still seekable, and a read that stopped AT end of
+  // input leaves failbit alongside eofbit. Clear both before probing — the
+  // next read simply rediscovers EOF. Fuzzer-found: with either bit left
+  // set, tellg() returns -1, the stream reads as "non-seekable, unlimited
+  // bytes", and a lying length field whose token was the input's final
+  // bytes sails past the count guard
+  // (tests/fuzz/regressions/*/{*_at_eof*,eof_*} reproducers).
+  const std::ios::iostate saved = in.rdstate();
+  in.clear();
+  const std::istream::pos_type pos = in.tellg();
+  if (pos == std::istream::pos_type(-1)) {
+    // Genuinely non-seekable source (pipe, cin): restore what we found.
+    in.clear(saved);
+    return UINT64_MAX;
+  }
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(pos);
+  if (end == std::istream::pos_type(-1) || end < pos || !in.good()) {
+    return UINT64_MAX;
+  }
+  return static_cast<std::uint64_t>(end - pos);
+}
+
+Index checked_count(Index declared, std::uint64_t available_bytes,
+                    std::uint64_t min_bytes_per_elem, const char* what) {
+  if (declared < 0) {
+    throw GuardError(std::string(what) + ": negative count " +
+                     std::to_string(declared));
+  }
+  if (min_bytes_per_elem == 0) {
+    min_bytes_per_elem = 1;
+  }
+  const std::uint64_t n = static_cast<std::uint64_t>(declared);
+  // n * min_bytes_per_elem without overflow: compare by division.
+  if (available_bytes != UINT64_MAX &&
+      n > available_bytes / min_bytes_per_elem) {
+    throw GuardError(std::string(what) + ": declared count " +
+                     std::to_string(declared) + " needs at least " +
+                     std::to_string(min_bytes_per_elem) +
+                     " byte(s) per element but only " +
+                     std::to_string(available_bytes) +
+                     " byte(s) remain — length field exceeds actual input");
+  }
+  return declared;
+}
+
+Index checked_product(Index a, Index b, Index max_product, const char* what) {
+  if (a < 0 || b < 0) {
+    throw GuardError(std::string(what) + ": negative extent " +
+                     std::to_string(a) + "x" + std::to_string(b));
+  }
+  if (b != 0 && a > max_product / b) {
+    throw GuardError(std::string(what) + ": extent " + std::to_string(a) +
+                     "x" + std::to_string(b) + " exceeds cap " +
+                     std::to_string(max_product));
+  }
+  return a * b;
+}
+
+bool bounded_getline(std::istream& in, std::string& line,
+                     std::uint64_t max_bytes, const char* what) {
+  line.clear();
+  int c = in.get();
+  if (c == std::istream::traits_type::eof()) {
+    return false;
+  }
+  while (c != std::istream::traits_type::eof() && c != '\n') {
+    if (static_cast<std::uint64_t>(line.size()) >= max_bytes) {
+      throw GuardError(std::string(what) + ": line exceeds " +
+                       std::to_string(max_bytes) + " byte cap");
+    }
+    line.push_back(static_cast<char>(c));
+    c = in.get();
+  }
+  if (!line.empty() && line.back() == '\r') {
+    line.pop_back();
+  }
+  return true;
+}
+
+LoadBudget::LoadBudget(const char* what, std::uint64_t max_bytes)
+    : load_what_(what), limit_(max_bytes) {
+  if (const char* env = std::getenv("PPDL_LOAD_BUDGET_MIB")) {
+    char* end = nullptr;
+    const unsigned long long mib = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && mib > 0) {
+      limit_ = static_cast<std::uint64_t>(mib) * 1024ULL * 1024ULL;
+    }
+  }
+}
+
+void LoadBudget::charge(std::uint64_t bytes, const char* what) {
+  // Saturating add so a pair of huge charges cannot wrap past the limit.
+  const std::uint64_t next = charged_ + bytes < charged_
+                                 ? UINT64_MAX
+                                 : charged_ + bytes;
+  if (next > limit_) {
+    throw ResourceBudgetError(
+        std::string(load_what_) + ": allocation budget exceeded — " + what +
+        " wants " + std::to_string(bytes) + " byte(s) on top of " +
+        std::to_string(charged_) + " already charged, limit " +
+        std::to_string(limit_) + budget_suffix());
+  }
+  charged_ = next;
+}
+
+}  // namespace ppdl::guard

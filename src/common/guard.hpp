@@ -1,0 +1,127 @@
+// Trust-boundary guards for every external-input parser.
+//
+// Each byte-level parser in this repo (netlists, the artifact container,
+// codec payloads, model/scaler files, campaign manifests) is a trust
+// boundary: the bytes may come from a truncated copy, a different version,
+// or a hostile writer. The rule this layer enforces is simple:
+//
+//   **No allocation is ever driven by an unvalidated length field.**
+//
+// A header that *claims* 100 GB of payload must be rejected by comparing
+// the claim against the bytes actually present before any resize/reserve
+// happens — the cost of a hostile input is then proportional to the input
+// itself, never to what the input promises. Three primitives implement
+// that rule:
+//
+//   * checked_count()   — validates a declared element count against the
+//                         bytes remaining in the stream (each element
+//                         needs at least `min_bytes_per_elem` bytes);
+//   * checked_product() — overflow-checked Index multiply for 2-D shapes
+//                         (matrix rows × cols) before sizing a buffer;
+//   * LoadBudget        — a per-load allocation budget: decode paths
+//                         charge() the bytes they are about to allocate
+//                         and the budget throws ResourceBudgetError past
+//                         the cap (default 1 GiB, PPDL_LOAD_BUDGET_MIB
+//                         overrides), with the process RSS from
+//                         common/memory in the diagnostic.
+//
+// Text parsers additionally get bounded_getline(), which caps the bytes a
+// single line may occupy so a newline-free multi-gigabyte file cannot
+// balloon one std::string.
+//
+// Guards throw GuardError (ResourceBudgetError for budget violations).
+// Ingestion boundaries owning a typed error contract (NetlistError,
+// ArtifactError, ModelIoError, CampaignError) catch and rethrow with their
+// own type, so callers keep seeing one exception family per format.
+// The project linter (rule `unguarded-ingest-alloc`) bans resize/reserve
+// in ingestion TUs unless the size went through this funnel.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace ppdl::guard {
+
+/// Thrown when an input violates a structural guard (hostile length field,
+/// over-long line, overflowing shape). Deliberately a distinct family from
+/// parse errors: a GuardError means the input tried to make us allocate or
+/// loop out of proportion to its actual size.
+class GuardError : public std::runtime_error {
+ public:
+  explicit GuardError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a load exceeds its allocation budget.
+class ResourceBudgetError : public GuardError {
+ public:
+  explicit ResourceBudgetError(const std::string& what) : GuardError(what) {}
+};
+
+/// Default per-load allocation budget (1 GiB). Override with the
+/// PPDL_LOAD_BUDGET_MIB environment variable (read once per LoadBudget).
+inline constexpr std::uint64_t kDefaultLoadBudgetBytes =
+    1024ULL * 1024ULL * 1024ULL;
+
+/// Bytes between the stream's current read position and its end, via
+/// seekg/tellg. Returns UINT64_MAX for non-seekable streams (callers then
+/// fall back to incremental reads, which are safe by construction). The
+/// read position is restored.
+std::uint64_t remaining_bytes(std::istream& in);
+
+/// Validates a declared element count against the bytes actually available.
+///
+/// Throws GuardError when `declared` is negative or when
+/// `declared * min_bytes_per_elem` exceeds `available_bytes` — i.e. the
+/// stream could not possibly contain that many elements, so the length
+/// field is lying and must not size an allocation. Returns `declared`
+/// unchanged on success so call sites read as a funnel:
+///
+///   n = guard::checked_count(n, guard::remaining_bytes(in), 2, "vector");
+Index checked_count(Index declared, std::uint64_t available_bytes,
+                    std::uint64_t min_bytes_per_elem, const char* what);
+
+/// Overflow-checked product of two non-negative extents (matrix shapes).
+/// Throws GuardError on a negative extent or when the product overflows
+/// Index or exceeds `max_product`.
+Index checked_product(Index a, Index b, Index max_product, const char* what);
+
+/// Reads one '\n'-terminated line into `line`, capped at `max_bytes`.
+/// Returns false on end of stream with nothing read. Throws GuardError when
+/// the line exceeds the cap — a newline-free or absurdly long line must not
+/// balloon memory or stall the parser. The trailing '\n' is consumed and
+/// not stored; a trailing '\r' (CRLF input) is stripped.
+bool bounded_getline(std::istream& in, std::string& line,
+                     std::uint64_t max_bytes, const char* what);
+
+/// Per-load allocation budget. Construct one per ingestion operation and
+/// charge() every allocation the decode is about to make; the budget
+/// throws ResourceBudgetError once the running total passes the cap. The
+/// diagnostic includes the current process RSS (common/memory) so an
+/// operator can tell "hostile header" from "machine genuinely out of
+/// memory".
+class LoadBudget {
+ public:
+  /// `what` names the load for diagnostics (e.g. "model file"). The cap is
+  /// `max_bytes`, unless PPDL_LOAD_BUDGET_MIB is set in the environment,
+  /// which overrides it for every load (operator knob).
+  explicit LoadBudget(const char* what,
+                      std::uint64_t max_bytes = kDefaultLoadBudgetBytes);
+
+  /// Declares an upcoming allocation of `bytes` for `what`; throws
+  /// ResourceBudgetError when the running total would exceed the cap.
+  void charge(std::uint64_t bytes, const char* what);
+
+  std::uint64_t charged() const { return charged_; }
+  std::uint64_t limit() const { return limit_; }
+
+ private:
+  const char* load_what_;
+  std::uint64_t limit_;
+  std::uint64_t charged_ = 0;
+};
+
+}  // namespace ppdl::guard

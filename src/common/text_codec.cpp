@@ -1,7 +1,10 @@
 #include "common/text_codec.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+
+#include "common/guard.hpp"
 
 namespace ppdl::codec {
 
@@ -40,6 +43,17 @@ U64 get_u64(std::istream& in, const char* what) {
   return v;
 }
 
+Index get_count(std::istream& in, const char* what,
+                std::size_t min_bytes_per_elem) {
+  const Index declared = get_index(in, what);
+  try {
+    return guard::checked_count(declared, guard::remaining_bytes(in),
+                                min_bytes_per_elem, what);
+  } catch (const guard::GuardError& e) {
+    throw CodecError(e.what());
+  }
+}
+
 void expect_key(std::istream& in, const char* keyword) {
   std::string tok;
   if (!(in >> tok) || tok != keyword) {
@@ -62,10 +76,10 @@ void put_vector(std::ostream& out, const char* key,
 
 std::vector<Real> get_vector(std::istream& in, const char* key) {
   expect_key(in, key);
-  const Index n = get_index(in, key);
-  if (n < 0) {
-    throw CodecError("negative size for " + std::string(key));
-  }
+  // Each element costs at least two bytes on the wire (a one-char token
+  // plus its separator), so the count cannot promise more elements than
+  // the remaining payload could encode.
+  const Index n = get_count(in, key, 2);
   std::vector<Real> v(static_cast<std::size_t>(n));
   for (Real& x : v) {
     x = get_real(in, key);
@@ -79,17 +93,25 @@ void put_blob(std::ostream& out, const char* key, const std::string& bytes) {
 
 std::string get_blob(std::istream& in, const char* key) {
   expect_key(in, key);
-  const Index n = get_index(in, key);
-  if (n < 0) {
-    throw CodecError("negative size for " + std::string(key));
-  }
+  const Index n = get_count(in, key, 1);
   if (in.get() != '\n') {
     throw CodecError("malformed blob header for " + std::string(key));
   }
-  std::string bytes(static_cast<std::size_t>(n), '\0');
-  in.read(bytes.data(), static_cast<std::streamsize>(n));
-  if (in.gcount() != static_cast<std::streamsize>(n)) {
-    throw CodecError("truncated blob for " + std::string(key));
+  // Chunked read: allocation grows with the bytes actually delivered, so
+  // even on a non-seekable stream (where get_count cannot see the end) a
+  // lying length field costs at most one chunk beyond the real input.
+  constexpr std::streamsize kChunk = 64 * 1024;
+  std::string bytes;
+  std::streamsize want = static_cast<std::streamsize>(n);
+  char buf[kChunk];
+  while (want > 0) {
+    in.read(buf, std::min(want, kChunk));
+    const std::streamsize got = in.gcount();
+    if (got <= 0) {
+      throw CodecError("truncated blob for " + std::string(key));
+    }
+    bytes.append(buf, static_cast<std::size_t>(got));
+    want -= got;
   }
   return bytes;
 }

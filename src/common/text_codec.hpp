@@ -43,6 +43,14 @@ Real get_real(std::istream& in, const char* what);
 Index get_index(std::istream& in, const char* what);
 U64 get_u64(std::istream& in, const char* what);
 
+/// Reads a non-negative element count and validates it against the bytes
+/// actually remaining in the stream (guard::checked_count with
+/// `min_bytes_per_elem`), so a hostile length field can never drive an
+/// allocation larger than the input it arrived in. Every decoder sizing a
+/// container from a transported count must obtain it through here.
+Index get_count(std::istream& in, const char* what,
+                std::size_t min_bytes_per_elem = 1);
+
 /// Consumes one whitespace-delimited token and demands it equal `keyword`.
 void expect_key(std::istream& in, const char* keyword);
 

@@ -4,6 +4,7 @@
 
 #include "common/artifact_io.hpp"
 #include "common/check.hpp"
+#include "common/guard.hpp"
 #include "nn/model_io.hpp"
 #include "nn/trainer.hpp"
 
@@ -93,6 +94,15 @@ Dataset load_dataset(std::istream& in) {
   Index rows = 0;
   if (!(in >> rows) || rows < 0) {
     throw nn::ModelIoError("dataset: malformed branch count");
+  }
+  // The branch count sizes this vector and is cross-checked against the
+  // matrices below — but the matrices load after it, so the count must
+  // first prove the stream could hold that many index tokens at all.
+  try {
+    guard::checked_count(rows, guard::remaining_bytes(in), 2,
+                         "dataset branch count");
+  } catch (const guard::GuardError& e) {
+    throw nn::ModelIoError(e.what());
   }
   d.branch.resize(static_cast<std::size_t>(rows));
   for (Index& b : d.branch) {

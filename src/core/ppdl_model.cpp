@@ -52,6 +52,9 @@ TrainReport PowerPlanningDL::fit(const grid::PowerGrid& golden) {
         }
         Rng sample_rng(config_.init_seed ^ 0x5eedULL);
         sample_rng.shuffle(order);
+        // ppdl-lint: allow(unguarded-ingest-alloc) -- shrinking to an
+        // in-process config cap (not a decoded length), bounded by the
+        // x.rows() check above
         order.resize(static_cast<std::size_t>(config_.max_training_rows));
         sampled = take_rows(all_rows, order);
         d = &sampled;

@@ -10,10 +10,20 @@
 
 #include "common/artifact_io.hpp"
 #include "common/check.hpp"
+#include "common/guard.hpp"
 
 namespace ppdl::grid {
 
 namespace {
+
+// Ingestion caps (see DESIGN.md "Input trust boundaries & fuzzing").
+// A netlist line holds one element — a handful of tokens — so 1 MiB is
+// beyond generous; past it the input is hostile or not a netlist, and
+// buffering further would only balloon memory on a newline-free file.
+constexpr std::uint64_t kMaxLineBytes = 1 << 20;
+// Real metal stacks top out well under this; a node name claiming layer
+// 999999999 would otherwise drive a layer-table allocation on its own.
+constexpr Index kMaxLayerIndex = 255;
 
 std::string lower(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(),
@@ -205,6 +215,14 @@ PowerGrid parse_netlist(std::istream& in, const std::string& name) {
       fail_at(line_no, element,
               "negative layer in node name: " + node_name);
     }
+    if (layer > kMaxLayerIndex) {
+      // The layer table is sized to the highest index seen, so an
+      // unchecked huge layer would be an attacker-chosen allocation.
+      fail_at(line_no, element,
+              "layer " + std::to_string(layer) + " in node name " +
+                  node_name + " exceeds the " +
+                  std::to_string(kMaxLayerIndex) + "-layer cap");
+    }
     max_layer_seen = std::max(max_layer_seen, layer);
     const Index id = static_cast<Index>(node_layer.size());
     node_ids.emplace(node_name, id);
@@ -216,7 +234,14 @@ PowerGrid parse_netlist(std::istream& in, const std::string& name) {
   std::string line;
   Index line_no = 0;
   Real max_voltage = 0.0;
-  while (std::getline(in, line)) {
+  const auto next_line = [&]() {
+    try {
+      return guard::bounded_getline(in, line, kMaxLineBytes, "netlist line");
+    } catch (const guard::GuardError& e) {
+      fail_at(line_no + 1, "", e.what());
+    }
+  };
+  while (next_line()) {
     ++line_no;
     if (line.empty() || line[0] == '*') {
       continue;
@@ -247,11 +272,22 @@ PowerGrid parse_netlist(std::istream& in, const std::string& name) {
     } catch (const NetlistError& e) {
       fail_at(line_no, element, e.what());
     }
+    // Value-class rejection happens here, at the trust boundary, so a
+    // hostile NaN/Inf never reaches MNA assembly where it would poison a
+    // solve instead of raising a diagnosable error.
+    if (!std::isfinite(value)) {
+      fail_at(line_no, element, "non-finite value: " + tokens[3]);
+    }
     switch (head) {
       case 'r': {
         if (a == "0" || b == "0") {
           fail_at(line_no, element,
                   "resistor to ground is not a power-grid element");
+        }
+        if (a == b) {
+          // PowerGrid rejects self-loop branches as a contract violation;
+          // from a file that must be a parse diagnostic instead.
+          fail_at(line_no, element, "resistor endpoints must differ: " + a);
         }
         resistors.push_back({intern_node(a, line_no, element),
                              intern_node(b, line_no, element), value,
@@ -263,6 +299,11 @@ PowerGrid parse_netlist(std::istream& in, const std::string& name) {
         if (node == "0") {
           fail_at(line_no, element, "vsource between ground and ground");
         }
+        if (value == 0.0) {
+          // A 0 V pad cannot supply a power grid; add_pad would reject it
+          // as a contract violation long after the line number is lost.
+          fail_at(line_no, element, "zero vsource voltage");
+        }
         vsources.emplace_back(intern_node(node, line_no, element),
                               std::abs(value));
         max_voltage = std::max(max_voltage, std::abs(value));
@@ -273,8 +314,15 @@ PowerGrid parse_netlist(std::istream& in, const std::string& name) {
         if (node == "0") {
           fail_at(line_no, element, "isource between ground and ground");
         }
-        isources.emplace_back(intern_node(node, line_no, element),
-                              std::abs(value));
+        if (value < 0.0) {
+          // Loads are written node→ground with positive draw; a negative
+          // current is a sign-convention mistake (flip the node order),
+          // and silently abs()-ing it would mask a corrupted value.
+          fail_at(line_no, element,
+                  "negative load current " + tokens[3] +
+                      " (loads flow node→ground; swap the nodes instead)");
+        }
+        isources.emplace_back(intern_node(node, line_no, element), value);
         break;
       }
       default:
@@ -320,7 +368,9 @@ PowerGrid parse_netlist(std::istream& in, const std::string& name) {
   }
 
   for (const PendingResistor& r : resistors) {
-    if (r.ohms <= 0.0) {
+    // `!(x > 0)` rather than `x <= 0` so NaN (should parse-time rejection
+    // ever regress) still lands here instead of flowing into conductance.
+    if (!(r.ohms > 0.0)) {
       std::string detail = "non-positive resistance: ";
       detail += std::to_string(r.ohms);
       detail += " ohm";

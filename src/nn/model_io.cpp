@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -9,6 +10,7 @@
 
 #include "common/artifact_io.hpp"
 #include "common/check.hpp"
+#include "common/guard.hpp"
 
 namespace ppdl::nn {
 
@@ -19,6 +21,16 @@ ModelIoError::ModelIoError(const std::string& what, Index line)
       line_(line) {}
 
 namespace {
+
+// Ingestion caps. A model/scaler file is trusted-writer output in the happy
+// path, but the load boundary treats it as hostile: layer widths and matrix
+// shapes are length fields that size allocations, so they are checked
+// against these caps and against the bytes actually present before any
+// buffer exists (DESIGN.md "Input trust boundaries & fuzzing").
+constexpr Index kMaxLayerUnits = 1'000'000;   ///< units in any one layer
+constexpr Index kMaxHiddenLayers = 1024;      ///< depth of the stack
+constexpr Index kMaxMatrixElements =
+    Index{1} << 31;  ///< 2^31 reals ≈ 16 GiB — far past any real model
 
 /// Reals are serialized as hexfloat for exact round-tripping.
 void write_real(std::ostream& out, Real v) {
@@ -35,6 +47,9 @@ class TokenReader {
 
   /// Line of the most recently returned token (line of EOF on truncation).
   Index line() const { return line_; }
+
+  /// Underlying stream, for remaining-bytes guards on declared sizes.
+  std::istream& stream() { return in_; }
 
   /// Next token; throws ModelIoError naming `what` on end of stream.
   std::string token(const char* what) {
@@ -117,13 +132,58 @@ Matrix read_matrix(TokenReader& r) {
   if (rows < 0 || cols < 0) {
     throw ModelIoError("malformed matrix header", r.line());
   }
+  // The shape is a transported length field: overflow-check the product
+  // and demand the stream could actually hold that many entries (≥ 2
+  // bytes each: a token plus its separator) before the buffer is sized.
+  try {
+    const Index total = guard::checked_product(rows, cols,
+                                               kMaxMatrixElements,
+                                               "matrix shape");
+    guard::checked_count(total, guard::remaining_bytes(r.stream()), 2,
+                         "matrix entries");
+  } catch (const guard::GuardError& e) {
+    throw ModelIoError(e.what(), r.line());
+  }
   Matrix m(rows, cols);
   for (Index row = 0; row < rows; ++row) {
     for (Index c = 0; c < cols; ++c) {
-      m(row, c) = r.real("matrix entry");
+      const Real v = r.real("matrix entry");
+      if (!std::isfinite(v)) {
+        // Weights/features are finite by construction (the trainer rolls
+        // back divergence); a NaN/Inf here is corruption and would poison
+        // every downstream prediction silently.
+        throw ModelIoError("non-finite matrix entry", r.line());
+      }
+      m(row, c) = v;
     }
   }
   return m;
+}
+
+/// parse_activation reports unknown names as a contract violation (it is
+/// normally fed trusted enums); at the file-load trust boundary that must
+/// surface as a line-numbered ModelIoError instead.
+Activation read_activation(TokenReader& r, const char* what) {
+  const std::string tok = r.token(what);
+  try {
+    const Activation a = parse_activation(tok);
+    r.commit_line();
+    return a;
+  } catch (const ContractViolation&) {
+    throw ModelIoError("unknown " + std::string(what) + ": " + tok,
+                       r.line());
+  }
+}
+
+/// Validates one transported layer width against [1, kMaxLayerUnits].
+Index checked_units(TokenReader& r, Index units, const char* what) {
+  if (units < 1 || units > kMaxLayerUnits) {
+    throw ModelIoError(std::string(what) + " " + std::to_string(units) +
+                           " outside [1, " +
+                           std::to_string(kMaxLayerUnits) + "]",
+                       r.line());
+  }
+  return units;
 }
 
 Mlp read_model(TokenReader& r) {
@@ -133,9 +193,9 @@ Mlp read_model(TokenReader& r) {
   }
   MlpConfig cfg;
   r.expect("inputs");
-  cfg.inputs = r.index("input count");
+  cfg.inputs = checked_units(r, r.index("input count"), "input count");
   r.expect("outputs");
-  cfg.outputs = r.index("output count");
+  cfg.outputs = checked_units(r, r.index("output count"), "output count");
   r.expect("hidden");
   // Hidden sizes run until the next keyword.
   cfg.hidden.clear();
@@ -152,17 +212,48 @@ Mlp read_model(TokenReader& r) {
     } catch (const std::exception&) {
       throw ModelIoError("malformed hidden size: " + tok, r.line());
     }
+    checked_units(r, cfg.hidden.back(), "hidden size");
+    if (static_cast<Index>(cfg.hidden.size()) > kMaxHiddenLayers) {
+      throw ModelIoError("more than " + std::to_string(kMaxHiddenLayers) +
+                             " hidden layers",
+                         r.line());
+    }
   }
-  cfg.hidden_activation = parse_activation(r.token("hidden activation"));
-  r.commit_line();
+  cfg.hidden_activation = read_activation(r, "hidden activation");
   r.expect("output_activation");
-  cfg.output_activation = parse_activation(r.token("output activation"));
-  r.commit_line();
+  cfg.output_activation = read_activation(r, "output activation");
   r.expect("layers");
   const Index layer_count = r.index("layer count");
   if (layer_count != static_cast<Index>(cfg.hidden.size()) + 1) {
     throw ModelIoError("layer count inconsistent with hidden sizes",
                        r.line());
+  }
+
+  // The architecture is about to size every weight matrix (Mlp's
+  // constructor allocates them all), so it is itself a length field:
+  // every declared parameter must physically fit in the remaining stream
+  // (≥ 2 bytes per serialized entry), and the total allocation must fit
+  // the per-load budget.
+  try {
+    guard::LoadBudget budget("model load");
+    Index total_params = 0;
+    Index prev = cfg.inputs;
+    std::vector<Index> dims = cfg.hidden;
+    dims.push_back(cfg.outputs);
+    for (const Index units : dims) {
+      const Index layer_params = guard::checked_product(
+          prev + 1, units, kMaxMatrixElements, "layer parameters");
+      total_params += layer_params;
+      // ×2: weights/bias plus the working buffers layered on top of them.
+      budget.charge(static_cast<std::uint64_t>(layer_params) *
+                        sizeof(Real) * 2,
+                    "layer parameters");
+      prev = units;
+    }
+    guard::checked_count(total_params, guard::remaining_bytes(r.stream()),
+                         2, "model parameters");
+  } catch (const guard::GuardError& e) {
+    throw ModelIoError(e.what(), r.line());
   }
 
   Rng rng(0);  // init values are overwritten below
@@ -195,13 +286,34 @@ StandardScaler read_scaler(TokenReader& r) {
   if (n <= 0) {
     throw ModelIoError("malformed scaler size", r.line());
   }
+  // Two vectors of n entries must fit the remaining payload — 4 bytes per
+  // count unit (two serialized entries of ≥ 2 bytes each) — before either
+  // is allocated. The factor lives in min_bytes_per_elem, not in a divide
+  // of remaining_bytes(): halving the UINT64_MAX non-seekable sentinel
+  // would turn it into a huge-but-ordinary budget.
+  try {
+    guard::checked_count(n, guard::remaining_bytes(r.stream()), 4,
+                         "scaler entries");
+  } catch (const guard::GuardError& e) {
+    throw ModelIoError(e.what(), r.line());
+  }
   std::vector<Real> mean(static_cast<std::size_t>(n));
   std::vector<Real> scale(static_cast<std::size_t>(n));
   for (Real& v : mean) {
     v = r.real("scaler mean");
+    if (!std::isfinite(v)) {
+      throw ModelIoError("non-finite scaler mean", r.line());
+    }
   }
   for (Real& v : scale) {
     v = r.real("scaler scale");
+    if (!std::isfinite(v) || v <= 0.0) {
+      // A zero/negative/NaN scale divides every feature by garbage; the
+      // restore() contract check would abort with a ContractViolation,
+      // but hostile input must surface as the load boundary's own type.
+      throw ModelIoError("scaler scale must be finite and positive",
+                         r.line());
+    }
   }
   StandardScaler scaler;
   scaler.restore(std::move(mean), std::move(scale));

@@ -72,6 +72,64 @@ TEST(Cli, MalformedNumberThrows) {
   EXPECT_THROW(cli.get_real("scale"), CliError);
 }
 
+// Helper for the hostile-value tests: a parser with one flag set to `value`.
+CliParser cli_with(const std::string& value) {
+  CliParser cli("prog", "test");
+  cli.add_flag("x", "value under test", "0");
+  const std::string arg = "--x=" + value;
+  const std::array<const char*, 2> argv{"prog", arg.c_str()};
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  return cli;
+}
+
+TEST(Cli, RealTrailingGarbageThrows) {
+  EXPECT_THROW(cli_with("1.5abc").get_real("x"), CliError);
+  EXPECT_THROW(cli_with("1.5 2.5").get_real("x"), CliError);
+}
+
+TEST(Cli, RealOverflowThrows) {
+  EXPECT_THROW(cli_with("1e999").get_real("x"), CliError);
+  EXPECT_THROW(cli_with("-1e999").get_real("x"), CliError);
+}
+
+TEST(Cli, RealNonFiniteThrows) {
+  EXPECT_THROW(cli_with("nan").get_real("x"), CliError);
+  EXPECT_THROW(cli_with("inf").get_real("x"), CliError);
+  EXPECT_THROW(cli_with("-inf").get_real("x"), CliError);
+}
+
+TEST(Cli, RealEmptyValueThrows) {
+  EXPECT_THROW(cli_with("").get_real("x"), CliError);
+}
+
+TEST(Cli, IntTrailingGarbageThrows) {
+  EXPECT_THROW(cli_with("12abc").get_int("x"), CliError);
+  EXPECT_THROW(cli_with("1e3").get_int("x"), CliError);
+  EXPECT_THROW(cli_with("7.5").get_int("x"), CliError);
+}
+
+TEST(Cli, IntOverflowThrows) {
+  // One past INT64_MAX, and far past — both must throw, not wrap.
+  EXPECT_THROW(cli_with("9223372036854775808").get_int("x"), CliError);
+  EXPECT_THROW(cli_with("99999999999999999999999").get_int("x"), CliError);
+  EXPECT_THROW(cli_with("-9223372036854775809").get_int("x"), CliError);
+}
+
+TEST(Cli, IntBoundaryValuesParse) {
+  EXPECT_EQ(cli_with("9223372036854775807").get_int("x"),
+            Index{9223372036854775807LL});
+  EXPECT_EQ(cli_with("-42").get_int("x"), -42);
+}
+
+TEST(Cli, RangeCheckedAccessors) {
+  EXPECT_DOUBLE_EQ(cli_with("0.5").get_real_in("x", 0.0, 1.0), 0.5);
+  EXPECT_THROW(cli_with("1.5").get_real_in("x", 0.0, 1.0), CliError);
+  EXPECT_THROW(cli_with("-0.1").get_real_in("x", 0.0, 1.0), CliError);
+  EXPECT_EQ(cli_with("8").get_int_in("x", 1, 64), 8);
+  EXPECT_THROW(cli_with("0").get_int_in("x", 1, 64), CliError);
+  EXPECT_THROW(cli_with("65").get_int_in("x", 1, 64), CliError);
+}
+
 TEST(Cli, PositionalArgumentRejected) {
   CliParser cli("prog", "test");
   const std::array<const char*, 2> argv{"prog", "positional"};

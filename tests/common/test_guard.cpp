@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "common/guard.hpp"
+
+namespace ppdl::guard {
+namespace {
+
+TEST(Guard, RemainingBytesOnSeekableStream) {
+  std::istringstream in("0123456789");
+  EXPECT_EQ(remaining_bytes(in), 10u);
+  char c = 0;
+  in.get(c);
+  in.get(c);
+  EXPECT_EQ(remaining_bytes(in), 8u);
+  // The probe must not disturb the read position.
+  in.get(c);
+  EXPECT_EQ(c, '2');
+}
+
+TEST(Guard, CheckedCountAcceptsPlausibleCount) {
+  EXPECT_EQ(checked_count(5, 10, 2, "t"), 5);
+  EXPECT_EQ(checked_count(0, 0, 1, "t"), 0);
+  EXPECT_EQ(checked_count(10, 10, 1, "t"), 10);
+}
+
+TEST(Guard, CheckedCountRejectsNegative) {
+  EXPECT_THROW(checked_count(-1, 100, 1, "t"), GuardError);
+}
+
+TEST(Guard, CheckedCountRejectsLyingCount) {
+  // 6 elements × 2 bytes each cannot fit in 10 bytes.
+  EXPECT_THROW(checked_count(6, 10, 2, "t"), GuardError);
+  // The classic hostile header: a count near INT64_MAX must throw, not
+  // overflow the multiply into something plausible.
+  EXPECT_THROW(
+      checked_count(std::numeric_limits<Index>::max(), 1024, 8, "t"),
+      GuardError);
+}
+
+TEST(Guard, CheckedCountUnlimitedWhenStreamNotSeekable) {
+  // UINT64_MAX available (the non-seekable sentinel) admits any
+  // non-negative count — incremental readers are then the guard.
+  EXPECT_EQ(checked_count(1'000'000'000, UINT64_MAX, 8, "t"), 1'000'000'000);
+}
+
+TEST(Guard, CheckedProduct) {
+  EXPECT_EQ(checked_product(3, 4, 100, "t"), 12);
+  EXPECT_EQ(checked_product(0, 1000, 100, "t"), 0);
+  EXPECT_THROW(checked_product(-1, 4, 100, "t"), GuardError);
+  EXPECT_THROW(checked_product(3, -4, 100, "t"), GuardError);
+  // Exceeds max_product.
+  EXPECT_THROW(checked_product(11, 10, 100, "t"), GuardError);
+  // Overflows Index entirely.
+  const Index big = std::numeric_limits<Index>::max() / 2;
+  EXPECT_THROW(checked_product(big, big, std::numeric_limits<Index>::max(),
+                               "t"),
+               GuardError);
+}
+
+TEST(Guard, BoundedGetlineReadsLines) {
+  std::istringstream in("alpha\nbeta\r\n\ngamma");
+  std::string line;
+  ASSERT_TRUE(bounded_getline(in, line, 64, "t"));
+  EXPECT_EQ(line, "alpha");
+  ASSERT_TRUE(bounded_getline(in, line, 64, "t"));
+  EXPECT_EQ(line, "beta");  // CRLF stripped
+  ASSERT_TRUE(bounded_getline(in, line, 64, "t"));
+  EXPECT_EQ(line, "");
+  ASSERT_TRUE(bounded_getline(in, line, 64, "t"));
+  EXPECT_EQ(line, "gamma");  // final line without newline
+  EXPECT_FALSE(bounded_getline(in, line, 64, "t"));
+}
+
+TEST(Guard, BoundedGetlineThrowsPastCap) {
+  std::istringstream in(std::string(100, 'x'));
+  std::string line;
+  EXPECT_THROW(bounded_getline(in, line, 10, "t"), GuardError);
+}
+
+TEST(Guard, LoadBudgetChargesAndThrows) {
+  LoadBudget budget("test load", /*max_bytes=*/100);
+  budget.charge(40, "first");
+  budget.charge(60, "second");
+  EXPECT_EQ(budget.charged(), 100u);
+  EXPECT_THROW(budget.charge(1, "past the cap"), ResourceBudgetError);
+}
+
+TEST(Guard, LoadBudgetSaturatesInsteadOfWrapping) {
+  LoadBudget budget("test load", /*max_bytes=*/100);
+  budget.charge(50, "half");
+  // A charge that would wrap uint64 must still throw, not wrap to small.
+  EXPECT_THROW(budget.charge(std::numeric_limits<std::uint64_t>::max(),
+                             "wrapping"),
+               ResourceBudgetError);
+}
+
+TEST(Guard, ResourceBudgetErrorIsAGuardError) {
+  // Boundaries catch GuardError once and cover both families.
+  LoadBudget budget("test load", /*max_bytes=*/1);
+  try {
+    budget.charge(2, "too much");
+    FAIL() << "expected ResourceBudgetError";
+  } catch (const GuardError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("test load"), std::string::npos);
+    EXPECT_NE(msg.find("RSS"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ppdl::guard

@@ -1,0 +1,159 @@
+// Edge-case coverage for the keyword-tagged text codec: empty fields,
+// embedded delimiters and NULs, tokens crossing the chunked-read boundary,
+// malformed hexfloat escapes, and lying length fields — both the
+// round-trip and the reject paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/text_codec.hpp"
+
+namespace ppdl::codec {
+namespace {
+
+std::string blob_round_trip(const std::string& bytes) {
+  std::ostringstream out;
+  put_blob(out, "b", bytes);
+  std::istringstream in(out.str());
+  return get_blob(in, "b");
+}
+
+TEST(TextCodec, EmptyBlobRoundTrips) {
+  EXPECT_EQ(blob_round_trip(""), "");
+}
+
+TEST(TextCodec, BlobWithEmbeddedDelimitersRoundTrips) {
+  // Spaces, newlines, and text that looks like codec keywords must all
+  // survive byte-exact — the length prefix, not the content, ends a blob.
+  const std::string hostile = "b 3\nkey value\n\nscenarios 99\n value ";
+  EXPECT_EQ(blob_round_trip(hostile), hostile);
+}
+
+TEST(TextCodec, BlobWithEmbeddedNulsRoundTrips) {
+  std::string bytes = "ab";
+  bytes.push_back('\0');
+  bytes += "cd";
+  bytes.push_back('\0');
+  const std::string got = blob_round_trip(bytes);
+  ASSERT_EQ(got.size(), bytes.size());
+  EXPECT_EQ(got, bytes);
+}
+
+TEST(TextCodec, BlobCrossingChunkBoundaryRoundTrips) {
+  // Larger than the decoder's 64 KiB read chunk, so the loop must stitch
+  // multiple reads back together without loss.
+  std::string bytes(70'000, 'x');
+  bytes[0] = 'A';
+  bytes[65'535] = 'B';
+  bytes[65'536] = 'C';
+  bytes.back() = 'Z';
+  EXPECT_EQ(blob_round_trip(bytes), bytes);
+}
+
+TEST(TextCodec, BlobLengthPastInputRejected) {
+  // A blob that claims more bytes than the payload holds must throw, not
+  // allocate the claim or hang waiting for bytes.
+  std::istringstream in("b 5\nab");
+  EXPECT_THROW(get_blob(in, "b"), CodecError);
+}
+
+TEST(TextCodec, BlobHugeLengthRejected) {
+  std::istringstream in("b 99999999999999999\nab");
+  EXPECT_THROW(get_blob(in, "b"), CodecError);
+}
+
+TEST(TextCodec, BlobNegativeLengthRejected) {
+  std::istringstream in("b -1\nab");
+  EXPECT_THROW(get_blob(in, "b"), CodecError);
+}
+
+TEST(TextCodec, BlobMalformedHeaderRejected) {
+  // Header must end in exactly one '\n' before the bytes begin.
+  std::istringstream in("b 2 ab");
+  EXPECT_THROW(get_blob(in, "b"), CodecError);
+}
+
+TEST(TextCodec, RealRoundTripsExactly) {
+  const Real values[] = {0.0,
+                         -0.0,
+                         1.0,
+                         -1.5,
+                         3.141592653589793,
+                         1e-308,
+                         std::numeric_limits<Real>::denorm_min(),
+                         std::numeric_limits<Real>::max(),
+                         std::numeric_limits<Real>::infinity(),
+                         -std::numeric_limits<Real>::infinity()};
+  for (const Real v : values) {
+    std::ostringstream out;
+    put_real(out, v);
+    std::istringstream in(out.str());
+    const Real got = get_real(in, "v");
+    EXPECT_EQ(std::signbit(got), std::signbit(v));
+    EXPECT_EQ(got, v);
+  }
+  // NaN compares unequal to itself; check the bit class instead.
+  std::ostringstream out;
+  put_real(out, std::numeric_limits<Real>::quiet_NaN());
+  std::istringstream in(out.str());
+  EXPECT_TRUE(std::isnan(get_real(in, "v")));
+}
+
+TEST(TextCodec, MalformedHexfloatRejected) {
+  // Truncated exponent / bogus digit — the "mismatched escape" of this
+  // format. strtod stops early; the codec must notice the leftover.
+  for (const char* tok : {"0x1.8p", "0x1.zp0", "1.5q", "++1", ".", "p3"}) {
+    std::istringstream in(tok);
+    EXPECT_THROW(get_real(in, "v"), CodecError) << tok;
+  }
+}
+
+TEST(TextCodec, TruncatedRealRejected) {
+  std::istringstream in("");
+  EXPECT_THROW(get_real(in, "v"), CodecError);
+}
+
+TEST(TextCodec, ExpectKeyMismatchRejected) {
+  std::istringstream in("wrong 1");
+  EXPECT_THROW(expect_key(in, "right"), CodecError);
+}
+
+TEST(TextCodec, ExpectKeyAtEofRejected) {
+  std::istringstream in("");
+  EXPECT_THROW(expect_key(in, "key"), CodecError);
+}
+
+TEST(TextCodec, VectorRoundTripsIncludingEmpty) {
+  for (const std::vector<Real>& v :
+       {std::vector<Real>{}, std::vector<Real>{1.5, -2.25, 0.0}}) {
+    std::ostringstream out;
+    put_vector(out, "vec", v);
+    std::istringstream in(out.str());
+    EXPECT_EQ(get_vector(in, "vec"), v);
+  }
+}
+
+TEST(TextCodec, VectorLyingCountRejected) {
+  // Claims a million entries backed by two bytes of payload.
+  std::istringstream in("vec 1000000\n0");
+  EXPECT_THROW(get_vector(in, "vec"), CodecError);
+}
+
+TEST(TextCodec, VectorNegativeCountRejected) {
+  std::istringstream in("vec -3\n");
+  EXPECT_THROW(get_vector(in, "vec"), CodecError);
+}
+
+TEST(TextCodec, GetCountValidatesAgainstRemainingBytes) {
+  std::istringstream ok("4 a b c d");
+  EXPECT_EQ(get_count(ok, "t", 2), 4);
+  std::istringstream lying("400 a b c d");
+  EXPECT_THROW(get_count(lying, "t", 2), CodecError);
+}
+
+}  // namespace
+}  // namespace ppdl::codec

@@ -1,0 +1,26 @@
+// Fuzz target: the artifact container reader (common/artifact_io).
+//
+// Contract under test: arbitrary bytes fed to read_artifact_stream either
+// verify into an Artifact or throw ArtifactError (malformed / truncated /
+// checksum-mismatch / version-skew). A hostile header claiming terabytes
+// must fail by declared-size-vs-actual-bytes comparison, never by
+// attempting the allocation.
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "common/artifact_io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  try {
+    const ppdl::Artifact a =
+        ppdl::read_artifact_stream(in, "fuzz", "demo", 0, 1 << 20);
+    (void)a.payload.size();
+  } catch (const ppdl::ArtifactError&) {
+    // Typed rejection is the expected outcome for damaged containers.
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fuzz target: campaign payload decoders (shard manifests, supervisor
+// checkpoints, recorded baselines, scenario outcomes).
+//
+// The first input byte selects the decoder; the rest is the payload that
+// would normally arrive inside a verified artifact container. Contract
+// under test: a damaged or hostile payload — lying entry counts, blob
+// lengths past the input, truncation mid-record — throws CampaignError,
+// so a corrupted checkpoint can never crash a resuming supervisor.
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "campaign/report.hpp"
+#include "campaign/scenario.hpp"
+#include "campaign/shard.hpp"
+#include "campaign/supervisor.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) {
+    return 0;
+  }
+  const std::uint8_t selector = data[0];
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data + 1), size - 1));
+  try {
+    switch (selector % 4) {
+      case 0:
+        (void)ppdl::campaign::decode_shard_task(in);
+        break;
+      case 1:
+        (void)ppdl::campaign::decode_supervisor_checkpoint(in);
+        break;
+      case 2:
+        (void)ppdl::campaign::decode_campaign_baseline(in);
+        break;
+      default:
+        (void)ppdl::campaign::decode_scenario_outcome(in);
+        break;
+    }
+  } catch (const ppdl::campaign::CampaignError&) {
+    // Typed rejection is the expected outcome for damaged payloads.
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fuzz target: model / scaler / matrix loading (nn/model_io).
+//
+// The first input byte selects the loader; the rest is the payload text.
+// Contract under test: hostile architectures (10^12-unit layers, shape
+// products past Index range, counts past the bytes present, non-finite
+// weights, unknown activations) surface as ModelIoError — never as a
+// ContractViolation out of Mlp/Matrix construction and never as an
+// attempted giant allocation.
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "nn/model_io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) {
+    return 0;
+  }
+  const std::uint8_t selector = data[0];
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data + 1), size - 1));
+  try {
+    switch (selector % 3) {
+      case 0:
+        (void)ppdl::nn::load_model(in);
+        break;
+      case 1:
+        (void)ppdl::nn::load_scaler(in);
+        break;
+      default:
+        (void)ppdl::nn::load_matrix(in);
+        break;
+    }
+  } catch (const ppdl::nn::ModelIoError&) {
+    // Typed rejection is the expected outcome for malformed model files.
+  }
+  return 0;
+}

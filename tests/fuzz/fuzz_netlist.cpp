@@ -1,0 +1,25 @@
+// Fuzz target: the SPICE-subset netlist parser (grid/netlist).
+//
+// Contract under test: arbitrary bytes fed to parse_netlist either yield a
+// PowerGrid or throw NetlistError. Anything else escaping — a
+// ContractViolation from PowerGrid's builders, bad_alloc from a hostile
+// length, a sanitizer report — is a trust-boundary defect; fix the parser
+// and check the reproducer into tests/fuzz/regressions/netlist/.
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "grid/netlist.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  try {
+    const ppdl::grid::PowerGrid pg = ppdl::grid::parse_netlist(in, "fuzz");
+    (void)pg.node_count();
+  } catch (const ppdl::grid::NetlistError&) {
+    // Typed rejection is the expected outcome for malformed decks.
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fuzz target: the keyword-tagged text codec (common/text_codec).
+//
+// The first input byte selects which decode primitive runs over the rest,
+// so one corpus exercises every codec entry point. Contract under test:
+// each primitive either decodes or throws CodecError; length-prefixed
+// fields must never allocate more than the input actually delivers.
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "common/text_codec.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) {
+    return 0;
+  }
+  const std::uint8_t selector = data[0];
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data + 1), size - 1));
+  try {
+    switch (selector % 6) {
+      case 0:
+        (void)ppdl::codec::get_real(in, "fuzz real");
+        break;
+      case 1:
+        (void)ppdl::codec::get_index(in, "fuzz index");
+        break;
+      case 2:
+        (void)ppdl::codec::get_u64(in, "fuzz u64");
+        break;
+      case 3:
+        (void)ppdl::codec::get_blob(in, "b");
+        break;
+      case 4:
+        (void)ppdl::codec::get_vector(in, "vec");
+        break;
+      default:
+        ppdl::codec::expect_key(in, "key");
+        (void)ppdl::codec::get_count(in, "fuzz count", 2);
+        break;
+    }
+  } catch (const ppdl::codec::CodecError&) {
+    // Typed rejection is the expected outcome for malformed payloads.
+  }
+  return 0;
+}

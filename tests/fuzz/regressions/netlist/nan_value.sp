@@ -1,0 +1,1 @@
+I1 n0_0_0 0 nan

@@ -1,0 +1,60 @@
+// Corpus replay driver — the clang-free stand-in for libFuzzer.
+//
+// Links against one harness's LLVMFuzzerTestOneInput and feeds it every
+// file under the directories passed on the command line (seed corpus +
+// regression corpus), in sorted order for determinism. Any escaped
+// exception or crash fails the run, which is exactly the harness contract:
+// hostile bytes must surface as the boundary's typed error (swallowed by
+// the harness), never as anything else. This is what `ctest -L fuzz` runs
+// in a plain gcc build; under PPDL_FUZZ=ON with clang, the same harness
+// object links -fsanitize=fuzzer instead for coverage-guided runs.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path root(argv[i]);
+    if (!fs::exists(root)) {
+      // A target with no regressions yet passes its (absent) directory.
+      continue;
+    }
+    if (fs::is_directory(root)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file()) {
+          files.push_back(entry.path());
+        }
+      }
+    } else {
+      files.push_back(root);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in.good()) {
+      std::fprintf(stderr, "cannot read corpus file %s\n",
+                   file.string().c_str());
+      return 1;
+    }
+    const std::string bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    std::printf("replay %s (%zu bytes)\n", file.string().c_str(),
+                bytes.size());
+    std::fflush(stdout);
+    LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                           bytes.size());
+  }
+  std::printf("replayed %zu corpus file(s) without incident\n", files.size());
+  return 0;
+}

@@ -208,7 +208,16 @@ INSTANTIATE_TEST_SUITE_P(
         BadNetlistCase{"vsource-ground-ground", "V2 0 0 1.8\n",
                        "vsource between ground"},
         BadNetlistCase{"isource-ground-ground", "I2 0 0 5m\n",
-                       "isource between ground"}),
+                       "isource between ground"},
+        BadNetlistCase{"nan-value", "I1 n0_0_0 0 nan\n", "non-finite value"},
+        BadNetlistCase{"inf-resistance", "R1 n0_0_0 n0_1000_0 inf\n",
+                       "non-finite value"},
+        BadNetlistCase{"overflowing-value", "R1 n0_0_0 n0_1000_0 1e999\n",
+                       "malformed value"},
+        BadNetlistCase{"negative-load-current", "I1 n0_0_0 0 -5m\n",
+                       "negative load current"},
+        BadNetlistCase{"layer-past-cap", "R1 n999_0_0 n0_1000_0 1.0\n",
+                       "layer cap"}),
     [](const ::testing::TestParamInfo<BadNetlistCase>& param_info) {
       std::string name = param_info.param.label;
       std::replace(name.begin(), name.end(), '-', '_');
@@ -227,6 +236,37 @@ TEST(Netlist, MalformedValueNamesExactLine) {
     const std::string msg = e.what();
     EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
     EXPECT_NE(msg.find("element R1"), std::string::npos) << msg;
+  }
+}
+
+TEST(Netlist, NewlineFreeGigalineRejected) {
+  // A single line past the 1 MiB cap (e.g. a newline-free blob fed to the
+  // parser) must fail with a typed error naming the line, not buffer the
+  // whole stream into one std::string.
+  std::string deck = "R1 n0_0_0 n0_1000_0 1.0 ";
+  deck.append((1 << 20) + 64, 'x');
+  std::istringstream in(deck);
+  try {
+    parse_netlist(in);
+    FAIL() << "expected NetlistError";
+  } catch (const NetlistError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("byte cap"), std::string::npos) << msg;
+  }
+}
+
+TEST(Netlist, NegativeCurrentDiagnosticNamesLine) {
+  std::istringstream in(
+      "V1 n0_0_0 0 1.8\n"
+      "I1 n0_1000_0 0 -10m\n");
+  try {
+    parse_netlist(in);
+    FAIL() << "expected NetlistError";
+  } catch (const NetlistError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("negative load current"), std::string::npos) << msg;
   }
 }
 

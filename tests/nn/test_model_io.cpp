@@ -112,5 +112,78 @@ TEST(ModelIo, ScalerGarbageThrows) {
   EXPECT_THROW(load_scaler(in), ModelIoError);
 }
 
+// --- hostile-input paths: every reject must be a ModelIoError, never a
+// --- ContractViolation, bad_alloc, or silent acceptance.
+
+TEST(ModelIo, HostileLayerWidthRejectedBeforeAllocation) {
+  // Claims ~10^12 inputs: must throw on the width cap (or the stream-size
+  // guard), not attempt the allocation.
+  std::istringstream in(
+      "ppdl-mlp 1\ninputs 1000000000000\noutputs 1\n"
+      "hidden hidden_activation relu\noutput_activation identity\n"
+      "layers 1\n");
+  EXPECT_THROW(load_model(in), ModelIoError);
+}
+
+TEST(ModelIo, HostileMatrixShapeRejected) {
+  // rows × cols overflows/exceeds any plausible payload.
+  std::istringstream in("3000000000 3000000000\n");
+  EXPECT_THROW(load_matrix(in), ModelIoError);
+}
+
+TEST(ModelIo, MatrixCountPastInputRejected) {
+  // Plausible-looking shape, but the stream holds 2 entries, not 10000.
+  std::istringstream in("100 100\n0.0 0.0");
+  EXPECT_THROW(load_matrix(in), ModelIoError);
+}
+
+TEST(ModelIo, NonFiniteMatrixEntryRejected) {
+  std::istringstream in("1 2\n0.5 nan\n");
+  EXPECT_THROW(load_matrix(in), ModelIoError);
+}
+
+TEST(ModelIo, UnknownActivationIsModelIoErrorNotContractViolation) {
+  std::istringstream in(
+      "ppdl-mlp 1\ninputs 2\noutputs 1\n"
+      "hidden 3 hidden_activation exotic\n");
+  try {
+    load_model(in);
+    FAIL() << "expected ModelIoError";
+  } catch (const ModelIoError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown"), std::string::npos);
+  }
+}
+
+TEST(ModelIo, TooManyHiddenLayersRejected) {
+  std::ostringstream os;
+  os << "ppdl-mlp 1\ninputs 2\noutputs 1\nhidden";
+  for (int i = 0; i < 1025; ++i) {
+    os << " 4";
+  }
+  os << " hidden_activation relu\n";
+  std::istringstream in(os.str());
+  EXPECT_THROW(load_model(in), ModelIoError);
+}
+
+TEST(ModelIo, ScalerHugeCountRejected) {
+  std::istringstream in("ppdl-scaler 1\n99999999\n0.0 1.0\n");
+  EXPECT_THROW(load_scaler(in), ModelIoError);
+}
+
+TEST(ModelIo, ScalerNonFiniteMeanRejected) {
+  std::istringstream in("ppdl-scaler 1\n1\ninf\n1.0\n");
+  EXPECT_THROW(load_scaler(in), ModelIoError);
+}
+
+TEST(ModelIo, ScalerNonPositiveScaleIsModelIoError) {
+  // scaler.restore() would PPDL_REQUIRE on these; the load boundary must
+  // reject them first with its own typed error.
+  for (const char* scale : {"0.0", "-1.0", "nan"}) {
+    std::istringstream in(std::string("ppdl-scaler 1\n1\n0.5\n") + scale +
+                          "\n");
+    EXPECT_THROW(load_scaler(in), ModelIoError) << scale;
+  }
+}
+
 }  // namespace
 }  // namespace ppdl::nn

@@ -232,5 +232,42 @@ TEST(ArtifactIo, ModelStreamRejectsTruncationWithLineNumber) {
   }
 }
 
+// --- hostile headers: the container must reject a lying length field by
+// --- comparing it to the bytes present, before any payload allocation.
+
+TEST(ArtifactIo, GiantDeclaredPayloadRejectedWithoutAllocation) {
+  const std::string path = tmp_path("giant.art");
+  // Claims 100 GB of payload backed by 3 bytes. Must be a fast typed
+  // failure (truncated), not a 100 GB resize/bad_alloc.
+  spit(path,
+       "ppdl-artifact 1 demo 1 107374182400 0000000000000000\nabc");
+  EXPECT_EQ(load_kind(path, "demo"), ArtifactErrorKind::kTruncated);
+}
+
+TEST(ArtifactIo, NegativePayloadSizeRejected) {
+  const std::string path = tmp_path("negsize.art");
+  spit(path, "ppdl-artifact 1 demo 1 -1 0000000000000000\nabc");
+  EXPECT_THROW(read_artifact_file(path, "demo", 1, 1), ArtifactError);
+}
+
+TEST(ArtifactIo, NewlineFreeHeaderRejectedEarly) {
+  const std::string path = tmp_path("longheader.art");
+  // 1 MiB with no newline: the bounded header read must give up at its
+  // 4 KiB cap instead of buffering the whole file hunting for '\n'.
+  spit(path, std::string(1 << 20, 'x'));
+  EXPECT_EQ(load_kind(path, "demo"), ArtifactErrorKind::kMalformed);
+}
+
+TEST(ArtifactIo, StreamReaderMatchesFileReader) {
+  // read_artifact_stream is the fuzzing entry point; it must agree with
+  // the file path on a good artifact.
+  const std::string path = tmp_path("stream.art");
+  write_artifact_file(path, Artifact{"demo", 2, "stream payload"});
+  std::istringstream in(slurp(path));
+  const Artifact a = read_artifact_stream(in, "stream.art", "demo", 1, 2);
+  EXPECT_EQ(a.version, 2);
+  EXPECT_EQ(a.payload, "stream payload");
+}
+
 }  // namespace
 }  // namespace ppdl

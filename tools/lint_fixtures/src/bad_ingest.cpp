@@ -1,0 +1,12 @@
+// Fixture: unguarded-ingest-alloc — decoded length fields sizing buffers
+// directly, without a guard::checked_* / get_count validation.
+#include <cstdint>
+#include <istream>
+#include <vector>
+
+void decode(std::istream& in, std::vector<double>& v, std::vector<int>& w) {
+  long long n = 0;
+  in >> n;
+  v.resize(static_cast<std::size_t>(n));
+  w.reserve(static_cast<std::size_t>(n * 2));
+}

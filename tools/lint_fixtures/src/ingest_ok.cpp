@@ -1,0 +1,40 @@
+// Fixture: allocation sizes that unguarded-ingest-alloc must accept —
+// guard-validated counts, in-memory-derived sizes, and a justified
+// suppression for an in-process constant.
+#include <cstdint>
+#include <istream>
+#include <vector>
+
+long long get_count(std::istream& in, const char* what, int floor);
+long long checked_count(long long declared, unsigned long long avail,
+                        unsigned long long per_elem, const char* what);
+
+struct Grid {
+  long long load_count() const;
+};
+
+void decode(std::istream& in, std::vector<double>& v, const Grid& grid) {
+  // Assigned-from-a-checked-getter form.
+  const long long n = get_count(in, "rows", 2);
+  v.reserve(static_cast<std::size_t>(n));
+
+  // Validate-in-place form: the count is checked before it sizes anything.
+  long long rows = 0;
+  in >> rows;
+  checked_count(rows, 4096, 2, "rows");
+  v.resize(static_cast<std::size_t>(rows));
+
+  // Derived from an in-memory container: cost tracks data already held.
+  std::vector<double> copy;
+  copy.reserve(v.size());
+
+  // Same, via a *_count() accessor split across a continuation line.
+  std::vector<double> loads;
+  loads.reserve(
+      static_cast<std::size_t>(grid.load_count()));
+
+  std::vector<double> scratch;
+  // ppdl-lint: allow(unguarded-ingest-alloc) -- fixed in-process constant,
+  // not a decoded length
+  scratch.resize(16);
+}

@@ -30,6 +30,14 @@ Enforces repository invariants that off-the-shelf tools cannot know about
                       library code uses PPDL_ASSERT/PPDL_REQUIRE/PPDL_ENSURE
                       which throw typed ContractViolation.
   include-guard       Every header carries #pragma once.
+  unguarded-ingest-alloc
+                      In a TU that decodes external bytes (reads a stream),
+                      .resize()/.reserve() must not be sized by a raw
+                      decoded length field: hostile input then costs what
+                      it PROMISES instead of what it delivers. Route the
+                      count through guard::checked_count/checked_product or
+                      text_codec's get_count first (DESIGN.md "Input trust
+                      boundaries & fuzzing").
 
 Suppressions (must carry a justification after `--`):
 
@@ -72,6 +80,7 @@ RULES = {
     "untyped-throw": "untyped or standard-library throw in library code",
     "raw-assert": "bare assert() in library code (use PPDL_ASSERT/REQUIRE/ENSURE)",
     "include-guard": "header missing #pragma once",
+    "unguarded-ingest-alloc": "resize/reserve sized by an unvalidated decoded length (guard::checked_* it first)",
     "bad-suppression": "malformed ppdl-lint suppression (unknown rule or missing justification)",
 }
 
@@ -102,6 +111,23 @@ UNORDERED_DECL_RE = re.compile(
 RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;]*:\s*&?\s*([A-Za-z_]\w*)\s*\)")
 BEGIN_ITER_RE = re.compile(r"\b([A-Za-z_]\w*)\.c?begin\s*\(\)")
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
+# --- unguarded-ingest-alloc ---
+# A TU is an ingestion TU when it reads a stream: that is where decoded
+# length fields exist at all.
+INGEST_TU_RE = re.compile(r"\bstd::i(?:f|string)?stream\b")
+ALLOC_CALL_RE = re.compile(r"\.\s*(?:resize|reserve)\s*\(")
+# `n` in `const Index n = get_count(...)` / `n = guard::checked_count(...)`
+# is a validated length; so is `rows` in `guard::checked_count(rows, ...)`
+# (validate-in-place form, where the checked value is the first argument).
+CHECKED_ASSIGN_RE = re.compile(
+    r"\b(\w+)\s*=\s*[^;=<>]*\b(?:checked_\w+|get_count)\s*\("
+)
+CHECKED_FIRST_ARG_RE = re.compile(r"\bchecked_(?:count|product)\s*\(\s*(\w+)\b")
+# Sizes computed from in-memory containers grow with data the process
+# already holds, not with a promise in the input.
+SIZE_DERIVED_RE = re.compile(
+    r"\.\s*(?:\w+_)?(?:size|count|length|rows|cols)\s*\(\s*\)"
+)
 
 
 @dataclass
@@ -414,6 +440,68 @@ def check_raw_assert(sf: SourceFile) -> list[Finding]:
     return out
 
 
+def _alloc_argument(sf: SourceFile, ln: int, col: int) -> str:
+    """Text of the resize/reserve argument starting at its open paren.
+
+    Follows the call across continuation lines until the parens balance
+    (bounded lookahead — linter heuristic, not a parser)."""
+    parts: list[str] = []
+    depth = 0
+    for offset in range(0, 4):
+        idx = ln - 1 + offset
+        if idx >= len(sf.lines):
+            break
+        text = sf.lines[idx].code[col if offset == 0 else 0 :]
+        for i, c in enumerate(text):
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    parts.append(text[: i + 1])
+                    return "".join(parts)
+        parts.append(text)
+        col = 0
+    return "".join(parts)
+
+
+def check_unguarded_ingest_alloc(sf: SourceFile) -> list[Finding]:
+    if not is_library_code(sf.rel) or not sf.rel.endswith(".cpp"):
+        return []
+    if not any(INGEST_TU_RE.search(line.code) for line in sf.lines):
+        return []
+    blessed: set[str] = set()
+    for line in sf.lines:
+        for m in CHECKED_ASSIGN_RE.finditer(line.code):
+            blessed.add(m.group(1))
+        for m in CHECKED_FIRST_ARG_RE.finditer(line.code):
+            blessed.add(m.group(1))
+    out = []
+    for ln, line in enumerate(sf.lines, 1):
+        for m in ALLOC_CALL_RE.finditer(line.code):
+            arg = _alloc_argument(sf, ln, m.end() - 1)
+            if "checked_" in arg or "guard::" in arg or "get_count" in arg:
+                continue
+            if SIZE_DERIVED_RE.search(arg):
+                continue
+            if any(
+                re.search(rf"\b{re.escape(name)}\b", arg) for name in blessed
+            ):
+                continue
+            out.append(
+                Finding(
+                    sf.path,
+                    ln,
+                    "unguarded-ingest-alloc",
+                    f"'{m.group(0).strip()}{arg.strip()[1:][:40]}' sizes a "
+                    "buffer in an ingestion TU from an unvalidated length — "
+                    "route the count through guard::checked_count / "
+                    "checked_product (or text_codec get_count) first",
+                )
+            )
+    return out
+
+
 def check_include_guard(sf: SourceFile) -> list[Finding]:
     if not sf.is_header:
         return []
@@ -496,6 +584,7 @@ def lint_file(sf: SourceFile, paired_unordered: set[str]) -> list[Finding]:
     findings += check_untyped_throw(sf)
     findings += check_raw_assert(sf)
     findings += check_include_guard(sf)
+    findings += check_unguarded_ingest_alloc(sf)
 
     suppressed, bad = collect_suppressions(sf)
     kept = [
@@ -545,15 +634,24 @@ def paired_header_names(sf: SourceFile, by_rel: dict[str, SourceFile]) -> set[st
 
 
 def find_repo_root(start: str) -> str:
+    """Nearest enclosing .git, else the TOPMOST dir with a CMakeLists.txt.
+
+    Nested CMakeLists (src/CMakeLists.txt, src/core/CMakeLists.txt) must not
+    win: anchoring the root at src/ strips the 'src/' prefix from every rel
+    path and silently disables all library-scoped rules for the real tree.
+    """
     cur = os.path.abspath(start)
+    if os.path.isfile(cur):
+        cur = os.path.dirname(cur)
+    topmost_cmake = None
     while True:
-        if os.path.isdir(os.path.join(cur, ".git")) or os.path.isfile(
-            os.path.join(cur, "CMakeLists.txt")
-        ):
+        if os.path.isdir(os.path.join(cur, ".git")):
             return cur
+        if os.path.isfile(os.path.join(cur, "CMakeLists.txt")):
+            topmost_cmake = cur
         parent = os.path.dirname(cur)
         if parent == cur:
-            return os.path.abspath(start)
+            return topmost_cmake or os.path.abspath(start)
         cur = parent
 
 

@@ -107,6 +107,19 @@ class RuleTriggerTests(unittest.TestCase):
         self.assertEqual(code, 1)
         self.assertEqual(rules_hit(lines), {"include-guard"})
 
+    def test_unguarded_ingest_alloc_flags_raw_decoded_lengths(self):
+        code, lines = run_lint("src/bad_ingest.cpp")
+        self.assertEqual(code, 1)
+        self.assertEqual(rules_hit(lines), {"unguarded-ingest-alloc"})
+        self.assertEqual(len(lines), 2)  # the resize and the reserve
+
+    def test_validated_or_in_memory_alloc_sizes_are_clean(self):
+        # get_count assignment, checked_count-in-place, .size()-derived,
+        # a *_count() accessor on a continuation line, and a justified
+        # suppression — all must pass.
+        code, lines = run_lint("src/ingest_ok.cpp")
+        self.assertEqual(code, 0, lines)
+
 
 class ScopingTests(unittest.TestCase):
     def test_rng_funnel_file_is_exempt(self):
@@ -162,6 +175,37 @@ class SuppressionTests(unittest.TestCase):
                 is_pure_comment=(not codepart.strip() and bool(comment.strip()))))
         findings = ppdl_lint.lint_file(sf, set())
         self.assertEqual({f.rule for f in findings}, {"no-exit"})
+
+
+class RepoRootTests(unittest.TestCase):
+    def test_topmost_cmakelists_wins_over_nested_ones(self):
+        # src/ and src/core/ both carry a CMakeLists.txt; anchoring the root
+        # at either strips the 'src/' prefix from rel paths and silently
+        # disables every library-scoped rule.
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as td:
+            os.makedirs(os.path.join(td, "src", "core"))
+            for sub in ("", "src", os.path.join("src", "core")):
+                with open(os.path.join(td, sub, "CMakeLists.txt"), "w"):
+                    pass
+            start = os.path.join(td, "src", "core", "x.cpp")
+            with open(start, "w"):
+                pass
+            self.assertEqual(ppdl_lint.find_repo_root(start),
+                             os.path.abspath(td))
+
+    def test_git_dir_wins_over_cmakelists(self):
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as td:
+            os.makedirs(os.path.join(td, ".git"))
+            os.makedirs(os.path.join(td, "src"))
+            with open(os.path.join(td, "src", "CMakeLists.txt"), "w"):
+                pass
+            self.assertEqual(
+                ppdl_lint.find_repo_root(os.path.join(td, "src")),
+                os.path.abspath(td))
 
 
 class CliTests(unittest.TestCase):
