@@ -2,8 +2,10 @@
 //   * width-update strategy (proportional / uniform / worst-region):
 //     convergence iterations, wall time, and metal area of the result;
 //   * tapered vs raw per-segment sizing: learnability (r²) of the design;
-//   * CG preconditioner (none / jacobi / ic0): analysis time.
+//   * CG preconditioner (none / jacobi / ic0 / ic0-level / chebyshev):
+//     analysis time.
 #include <iostream>
+#include <string>
 
 #include "analysis/ir_solver.hpp"
 #include "bench_support.hpp"
@@ -101,17 +103,15 @@ int main(int argc, char** argv) {
   ConsoleTable prec({"solver", "CG iterations", "time (ms)"});
   for (const linalg::PreconditionerKind kind :
        {linalg::PreconditionerKind::kNone, linalg::PreconditionerKind::kJacobi,
-        linalg::PreconditionerKind::kIc0}) {
+        linalg::PreconditionerKind::kIc0,
+        linalg::PreconditionerKind::kIc0Level,
+        linalg::PreconditionerKind::kChebyshev}) {
     analysis::IrAnalysisOptions opts;
     opts.preconditioner = kind;
     const Timer timer;
     const analysis::IrAnalysisResult res =
         analysis::analyze_ir_drop(bench.grid, opts);
-    prec.add_row({kind == linalg::PreconditionerKind::kNone
-                      ? "cg (none)"
-                      : kind == linalg::PreconditionerKind::kJacobi
-                            ? "cg (jacobi)"
-                            : "cg (ic0)",
+    prec.add_row({std::string("cg (") + linalg::to_string(kind) + ")",
                   std::to_string(res.cg_iterations),
                   ConsoleTable::fmt(timer.millis(), 1)});
   }

@@ -11,6 +11,7 @@
 // Build & run:  ./examples/quickstart [--scale=0.05]
 #include <iostream>
 
+#include "common/check.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/flow.hpp"
@@ -21,6 +22,9 @@ int main(int argc, char** argv) {
   CliParser cli("quickstart", "end-to-end PowerPlanningDL walkthrough");
   cli.add_flag("scale", "grid scale vs the paper-size spec", "0.05");
   cli.add_flag("gamma", "perturbation size (fraction)", "0.10");
+  cli.add_flag("preconditioner",
+               "CG preconditioner: none|jacobi|ic0|ic0-level|chebyshev",
+               "ic0");
   try {
     cli.parse(argc, argv);
   } catch (const CliError& e) {
@@ -34,6 +38,13 @@ int main(int argc, char** argv) {
   core::FlowOptions options;
   options.benchmark.scale = cli.get_real("scale");
   options.gamma = cli.get_real("gamma");
+  try {
+    options.preconditioner =
+        linalg::parse_preconditioner(cli.get("preconditioner"));
+  } catch (const ContractViolation& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
 
   std::cout << "Running the PowerPlanningDL flow on an ibmpg1 replica...\n";
   const core::FlowResult flow = core::run_flow("ibmpg1", options);

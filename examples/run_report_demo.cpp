@@ -9,6 +9,7 @@
 // Build & run:  ./examples/run_report_demo [--scale=0.03] [--report=PATH]
 #include <iostream>
 
+#include "common/check.hpp"
 #include "common/cli.hpp"
 #include "common/obs.hpp"
 #include "common/table.hpp"
@@ -21,6 +22,9 @@ int main(int argc, char** argv) {
                 "emit and summarize a ppdl.run_report JSON document");
   cli.add_flag("scale", "grid scale vs the paper-size spec", "0.03");
   cli.add_flag("report", "where to write the run report", "run_report.json");
+  cli.add_flag("preconditioner",
+               "CG preconditioner: none|jacobi|ic0|ic0-level|chebyshev",
+               "ic0");
   try {
     cli.parse(argc, argv);
   } catch (const CliError& e) {
@@ -34,6 +38,13 @@ int main(int argc, char** argv) {
   core::FlowOptions options;
   options.benchmark.scale = cli.get_real("scale");
   options.run_report_path = cli.get("report");
+  try {
+    options.preconditioner =
+        linalg::parse_preconditioner(cli.get("preconditioner"));
+  } catch (const ContractViolation& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
 
   std::cout << "Running the instrumented flow on an ibmpg1 replica "
             << (obs::metrics_enabled() ? "(metrics on)"

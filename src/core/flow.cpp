@@ -196,6 +196,7 @@ FlowResult run_flow(const grid::GeneratedBenchmark& bench,
   planner::PlannerOptions planner_opts =
       planner_options_for(bench.spec, options.planner_max_iterations);
   planner_opts.deadline = deadline;
+  planner_opts.solver.preconditioner = options.preconditioner;
 
   const auto timed_out_at = [&result](const char* phase) {
     if (!result.timed_out) {

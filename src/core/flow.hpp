@@ -49,6 +49,11 @@ struct FlowOptions {
       grid::PerturbationKind::kCurrentWorkloads;
   U64 perturb_seed = 99;
   Index planner_max_iterations = 40;
+  /// Preconditioner for every CG solve the flow issues (golden planning,
+  /// sign-off, redesign). Serial IC(0) is the single-thread default;
+  /// `ic0-level` and `chebyshev` are the parallel-scalable choices (see
+  /// DESIGN.md "Parallel execution & determinism").
+  linalg::PreconditionerKind preconditioner = linalg::PreconditionerKind::kIc0;
   /// A golden design whose planner got stuck or whose solver failed is not
   /// "historical data" — training on it teaches the regressor unconverged
   /// widths. When true (default) such designs are excluded: the model is

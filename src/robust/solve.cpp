@@ -31,18 +31,6 @@ bool all_finite(std::span<const Real> v) {
                      [](Real x) { return std::isfinite(x); });
 }
 
-const char* precond_name(linalg::PreconditionerKind kind) {
-  switch (kind) {
-    case linalg::PreconditionerKind::kNone:
-      return "none";
-    case linalg::PreconditionerKind::kJacobi:
-      return "jacobi";
-    case linalg::PreconditionerKind::kIc0:
-      return "ic0";
-  }
-  return "?";
-}
-
 /// Tallies one finished ladder run into the metrics registry: which rungs
 /// ran, whether escalation was needed, and how the run ended.
 void record_ladder_outcome(const SolveReport& report) {
@@ -97,7 +85,7 @@ std::string SolveReport::summary() const {
     if (i > 0) {
       os << " -> ";
     }
-    os << to_string(a.step) << '(' << precond_name(a.preconditioner);
+    os << to_string(a.step) << '(' << linalg::to_string(a.preconditioner);
     if (a.diagonal_shift > 0.0) {
       os << ", shift=" << a.diagonal_shift;
     }
@@ -174,6 +162,11 @@ RobustSolveResult robust_solve(const linalg::CsrMatrix& a,
         report.converged = true;
       }
       return r;
+    } catch (const linalg::PreconditionerError& e) {
+      attempt.status = linalg::CgStatus::kBreakdown;
+      attempt.note = e.what();
+      report.attempts.push_back(std::move(attempt));
+      return std::nullopt;
     } catch (const ContractViolation& e) {
       attempt.status = linalg::CgStatus::kBreakdown;
       attempt.note = e.what();
@@ -215,14 +208,23 @@ RobustSolveResult robust_solve(const linalg::CsrMatrix& a,
     return std::nullopt;
   };
 
-  // Rung 2: stronger preconditioners than the one that just failed.
+  // Rung 2: stronger preconditioners than the one that just failed. Serial
+  // IC(0) is the strongest rung (the parallel-friendly kinds trade strength
+  // for scalability, so they escalate to it too); from IC(0) there is
+  // nowhere stronger to go but regularization.
   std::vector<linalg::PreconditionerKind> stronger;
-  if (options.cg.preconditioner == linalg::PreconditionerKind::kNone) {
-    stronger = {linalg::PreconditionerKind::kJacobi,
-                linalg::PreconditionerKind::kIc0};
-  } else if (options.cg.preconditioner ==
-             linalg::PreconditionerKind::kJacobi) {
-    stronger = {linalg::PreconditionerKind::kIc0};
+  switch (options.cg.preconditioner) {
+    case linalg::PreconditionerKind::kNone:
+      stronger = {linalg::PreconditionerKind::kJacobi,
+                  linalg::PreconditionerKind::kIc0};
+      break;
+    case linalg::PreconditionerKind::kJacobi:
+    case linalg::PreconditionerKind::kChebyshev:
+    case linalg::PreconditionerKind::kIc0Level:
+      stronger = {linalg::PreconditionerKind::kIc0};
+      break;
+    case linalg::PreconditionerKind::kIc0:
+      break;
   }
   for (const linalg::PreconditionerKind kind : stronger) {
     run_cg_rung(a, SolveStep::kEscalatedCg, kind, 0.0, warm_seed());

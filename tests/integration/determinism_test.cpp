@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "analysis/ir_solver.hpp"
+#include "common/obs.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "core/flow.hpp"
@@ -62,6 +63,89 @@ TEST(Determinism, SolverSolutionAcrossThreadCounts) {
   const analysis::IrAnalysisResult again = solve_at(8);
   expect_bitwise_equal(ref.node_ir_drop, again.node_ir_drop,
                        "node_ir_drop repeat");
+}
+
+// The parallel-scalable preconditioners carry the same contract: the level
+// schedule and the Chebyshev recurrence must give bit-identical solves for
+// any thread count, end-to-end through the IR solver.
+TEST(Determinism, SolverSolutionPerPreconditionerAcrossThreadCounts) {
+  ThreadGuard guard;
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+
+  for (const linalg::PreconditionerKind kind :
+       {linalg::PreconditionerKind::kIc0Level,
+        linalg::PreconditionerKind::kChebyshev}) {
+    const auto solve_at = [&](Index threads) {
+      parallel::set_num_threads(threads);
+      analysis::IrAnalysisOptions opts;
+      opts.preconditioner = kind;
+      return analysis::analyze_ir_drop(bench.grid, opts);
+    };
+
+    const analysis::IrAnalysisResult ref = solve_at(1);
+    EXPECT_TRUE(ref.converged) << linalg::to_string(kind);
+    for (const Index threads : kThreadCounts) {
+      const analysis::IrAnalysisResult got = solve_at(threads);
+      SCOPED_TRACE(testing::Message() << linalg::to_string(kind)
+                                      << " threads=" << threads);
+      expect_bitwise_equal(ref.node_ir_drop, got.node_ir_drop,
+                           "node_ir_drop");
+      expect_bitwise_equal(ref.branch_current, got.branch_current,
+                           "branch_current");
+      EXPECT_EQ(ref.worst_ir_drop, got.worst_ir_drop);
+      EXPECT_EQ(ref.cg_iterations, got.cg_iterations);
+    }
+    const analysis::IrAnalysisResult again = solve_at(8);
+    expect_bitwise_equal(ref.node_ir_drop, again.node_ir_drop,
+                         "node_ir_drop repeat");
+  }
+}
+
+// The run-report metric story must also be thread-count independent: the
+// deterministic counters and gauges the new preconditioners record (applies,
+// level counts, polynomial degree, CG iterations) are compared as
+// before/after registry deltas at every thread count.
+TEST(Determinism, PreconditionerMetricsAcrossThreadCounts) {
+  ThreadGuard guard;
+  const grid::GeneratedBenchmark bench = testsupport::make_tiny_benchmark();
+
+  for (const linalg::PreconditionerKind kind :
+       {linalg::PreconditionerKind::kIc0Level,
+        linalg::PreconditionerKind::kChebyshev}) {
+    const auto metrics_at = [&](Index threads) {
+      parallel::set_num_threads(threads);
+      const obs::MetricsSnapshot before =
+          obs::MetricsRegistry::global().snapshot();
+      analysis::IrAnalysisOptions opts;
+      opts.preconditioner = kind;
+      analysis::analyze_ir_drop(bench.grid, opts);
+      return obs::MetricsRegistry::global().snapshot().delta_since(before);
+    };
+
+    const obs::MetricsSnapshot ref = metrics_at(1);
+    const char* prefix = kind == linalg::PreconditionerKind::kIc0Level
+                             ? "precond.ic0_level."
+                             : "precond.chebyshev.";
+    EXPECT_GT(ref.counters.at(std::string(prefix) + "applies"), 0)
+        << linalg::to_string(kind);
+    for (const Index threads : kThreadCounts) {
+      const obs::MetricsSnapshot got = metrics_at(threads);
+      SCOPED_TRACE(testing::Message() << linalg::to_string(kind)
+                                      << " threads=" << threads);
+      for (const auto& [name, value] : ref.counters) {
+        if (name.rfind("precond.", 0) == 0 || name.rfind("cg.", 0) == 0) {
+          ASSERT_TRUE(got.counters.contains(name)) << name;
+          EXPECT_EQ(got.counters.at(name), value) << name;
+        }
+      }
+      for (const auto& [name, value] : ref.gauges) {
+        if (name.rfind("precond.", 0) == 0) {
+          ASSERT_TRUE(got.gauges.contains(name)) << name;
+          EXPECT_EQ(got.gauges.at(name), value) << name;
+        }
+      }
+    }
+  }
 }
 
 TEST(Determinism, TrainedWeightsAcrossThreadCounts) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
 #include <vector>
 
 #include "common/check.hpp"
@@ -83,17 +85,14 @@ TEST_P(CgPreconditioners, Solves2dMesh) {
 INSTANTIATE_TEST_SUITE_P(AllKinds, CgPreconditioners,
                          ::testing::Values(PreconditionerKind::kNone,
                                            PreconditionerKind::kJacobi,
-                                           PreconditionerKind::kIc0),
+                                           PreconditionerKind::kIc0,
+                                           PreconditionerKind::kIc0Level,
+                                           PreconditionerKind::kChebyshev),
                          [](const auto& param_info) {
-                           switch (param_info.param) {
-                             case PreconditionerKind::kNone:
-                               return "none";
-                             case PreconditionerKind::kJacobi:
-                               return "jacobi";
-                             case PreconditionerKind::kIc0:
-                               return "ic0";
-                           }
-                           return "unknown";
+                           // gtest names must be identifiers: '-' -> '_'.
+                           std::string name = to_string(param_info.param);
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
                          });
 
 TEST(Cg, ZeroRhsGivesZeroSolution) {

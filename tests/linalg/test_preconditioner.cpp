@@ -41,11 +41,14 @@ TEST(JacobiPrecond, DividesByDiagonal) {
   EXPECT_DOUBLE_EQ(out[2], -1.0);
 }
 
-TEST(JacobiPrecond, ZeroDiagonalThrows) {
+// Regression: a zero diagonal is a property of the *input*, not caller
+// misuse, so it must raise the typed solver error (which the robust ladder
+// records and escalates past), not a ContractViolation.
+TEST(JacobiPrecond, ZeroDiagonalThrowsTypedError) {
   CooMatrix coo(2, 2);
   coo.add(0, 0, 1.0);  // (1,1) missing -> zero diagonal
   const CsrMatrix a = CsrMatrix::from_coo(coo);
-  EXPECT_THROW(JacobiPreconditioner{a}, ppdl::ContractViolation);
+  EXPECT_THROW(JacobiPreconditioner{a}, PreconditionerError);
 }
 
 TEST(Ic0Precond, ExactForTridiagonal) {
@@ -120,13 +123,29 @@ TEST(Factory, MakesEveryKind) {
                "jacobi");
   EXPECT_STREQ(make_preconditioner(PreconditionerKind::kIc0, a)->name(),
                "ic0");
+  EXPECT_STREQ(make_preconditioner(PreconditionerKind::kIc0Level, a)->name(),
+               "ic0-level");
+  EXPECT_STREQ(make_preconditioner(PreconditionerKind::kChebyshev, a)->name(),
+               "chebyshev");
 }
 
 TEST(Factory, ParsesNames) {
   EXPECT_EQ(parse_preconditioner("none"), PreconditionerKind::kNone);
   EXPECT_EQ(parse_preconditioner("jacobi"), PreconditionerKind::kJacobi);
   EXPECT_EQ(parse_preconditioner("ic0"), PreconditionerKind::kIc0);
+  EXPECT_EQ(parse_preconditioner("ic0-level"), PreconditionerKind::kIc0Level);
+  EXPECT_EQ(parse_preconditioner("chebyshev"),
+            PreconditionerKind::kChebyshev);
   EXPECT_THROW(parse_preconditioner("lu"), ppdl::ContractViolation);
+}
+
+TEST(Factory, RoundTripsKindNames) {
+  for (const PreconditionerKind kind :
+       {PreconditionerKind::kNone, PreconditionerKind::kJacobi,
+        PreconditionerKind::kIc0, PreconditionerKind::kIc0Level,
+        PreconditionerKind::kChebyshev}) {
+    EXPECT_EQ(parse_preconditioner(to_string(kind)), kind);
+  }
 }
 
 }  // namespace

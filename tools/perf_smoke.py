@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate over bench_micro_solvers thread-sweep JSON.
+
+Two independent checks, each with an explicit tolerance:
+
+1. Regression gate (needs --baseline): for every row family present in
+   both files, the current single-thread wall time must not exceed
+   --max-ratio (default 1.1) times the baseline single-thread wall time.
+   Rows faster than --min-ms in the baseline are skipped -- sub-half-
+   millisecond kernels are dominated by timer noise, not by the code
+   under test.
+
+2. Scaling gate: the parallel-scalable preconditioner families
+   (cg_solve_ic0-level, cg_solve_chebyshev) must not be slower at the
+   highest measured thread count than at one thread by more than
+   --scaling-max-ratio (default 1.1). On a machine without real
+   parallelism (os.cpu_count() < 2) extra threads measure pure
+   oversubscription overhead, so the gate is skipped with a note unless
+   --require-scaling is passed. Families whose 1-thread row is below
+   --min-ms are skipped for the same noise reason as the regression gate.
+
+Usage:
+    tools/perf_smoke.py CURRENT.json [--baseline BENCH_solvers.json]
+                        [--max-ratio 1.1] [--scaling-max-ratio 1.1]
+                        [--min-ms 0.5] [--require-scaling]
+
+Exit code 0 when every applicable gate passes; 1 with one line per
+violation otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+
+SCALABLE_FAMILIES = ("cg_solve_ic0-level", "cg_solve_chebyshev")
+
+
+def load_rows(path: pathlib.Path) -> dict:
+    """Index records as {(name, threads): wall_ms}."""
+    records = json.loads(path.read_text())
+    rows = {}
+    for rec in records:
+        rows[(rec["name"], rec["threads"])] = rec["wall_ms"]
+    return rows
+
+
+def check_regression(
+    current: dict, baseline: dict, max_ratio: float, min_ms: float, errors: list
+) -> int:
+    checked = 0
+    for (name, threads), base_ms in sorted(baseline.items()):
+        if threads != 1:
+            continue
+        cur_ms = current.get((name, 1))
+        if cur_ms is None:
+            errors.append(f"regression: family '{name}' missing from current")
+            continue
+        if base_ms < min_ms:
+            continue  # timer-noise regime; ratio is meaningless
+        checked += 1
+        if cur_ms > max_ratio * base_ms:
+            errors.append(
+                f"regression: {name} single-thread {cur_ms:.3f} ms > "
+                f"{max_ratio:.2f}x baseline {base_ms:.3f} ms"
+            )
+    return checked
+
+
+def check_scaling(
+    current: dict, max_ratio: float, min_ms: float, errors: list
+) -> int:
+    checked = 0
+    for family in SCALABLE_FAMILIES:
+        threads = sorted(t for (name, t) in current if name == family)
+        if not threads:
+            errors.append(f"scaling: family '{family}' missing from current")
+            continue
+        one = current.get((family, 1))
+        if one is None:
+            errors.append(f"scaling: family '{family}' has no 1-thread row")
+            continue
+        if one < min_ms:
+            continue  # timer-noise regime; ratio is meaningless
+        top = threads[-1]
+        checked += 1
+        if current[(family, top)] > max_ratio * one:
+            errors.append(
+                f"scaling: {family} at {top} threads "
+                f"{current[(family, top)]:.3f} ms > {max_ratio:.2f}x "
+                f"1-thread {one:.3f} ms"
+            )
+    return checked
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=pathlib.Path)
+    parser.add_argument("--baseline", type=pathlib.Path, default=None)
+    parser.add_argument("--max-ratio", type=float, default=1.1)
+    parser.add_argument("--scaling-max-ratio", type=float, default=1.1)
+    parser.add_argument("--min-ms", type=float, default=0.5)
+    parser.add_argument("--require-scaling", action="store_true")
+    args = parser.parse_args()
+
+    try:
+        current = load_rows(args.current)
+    except (OSError, json.JSONDecodeError, KeyError, TypeError) as e:
+        print(f"error: cannot read {args.current}: {e}", file=sys.stderr)
+        return 1
+
+    errors: list = []
+    regression_checked = 0
+    if args.baseline is not None:
+        try:
+            baseline = load_rows(args.baseline)
+        except (OSError, json.JSONDecodeError, KeyError, TypeError) as e:
+            print(f"error: cannot read {args.baseline}: {e}", file=sys.stderr)
+            return 1
+        regression_checked = check_regression(
+            current, baseline, args.max_ratio, args.min_ms, errors
+        )
+
+    cores = os.cpu_count() or 1
+    scaling_checked = 0
+    if cores >= 2 or args.require_scaling:
+        scaling_checked = check_scaling(
+            current, args.scaling_max_ratio, args.min_ms, errors
+        )
+    else:
+        print(
+            f"note: {cores} CPU core(s) -- multi-thread rows measure "
+            f"oversubscription, scaling gate skipped "
+            f"(pass --require-scaling to force)"
+        )
+
+    if errors:
+        for line in errors:
+            print(f"FAIL {line}", file=sys.stderr)
+        return 1
+    print(
+        f"OK {args.current}: regression rows checked={regression_checked} "
+        f"scaling families checked={scaling_checked}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Validate a bench_micro_solvers thread-sweep JSON file.
+
+Two layers of checking:
+
+1. Structural: every record matches schemas/bench_solvers.schema.json
+   (stdlib-only subset validation, same approach as validate_run_report.py
+   -- type, required, additionalProperties, minimum).
+2. Semantic: each row family carries a complete, duplicate-free thread
+   sweep over an identical thread set; every record reports the same
+   problem size; and the `cg_solve_<kind>` family covers every
+   preconditioner kind the solver exposes.
+
+Usage:
+    tools/validate_bench_json.py BENCH_solvers.json [--schema SCHEMA.json]
+
+Exit code 0 when valid; 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+SCHEMA_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "schemas"
+    / "bench_solvers.schema.json"
+)
+
+# Must mirror linalg::PreconditionerKind / to_string(): the sweep emits one
+# cg_solve_<kind> row family per kind, so a kind added to the solver without
+# a bench row fails here.
+PRECONDITIONER_KINDS = ("none", "jacobi", "ic0", "ic0-level", "chebyshev")
+
+REQUIRED_FAMILIES = ("spmv", "dot") + tuple(
+    f"cg_solve_{kind}" for kind in PRECONDITIONER_KINDS
+)
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "null": lambda v: v is None,
+    "boolean": lambda v: isinstance(v, bool),
+}
+
+
+def validate(value, schema: dict, path: str, errors: list) -> None:
+    expected = schema.get("type")
+    if expected is not None:
+        types = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[t](value) for t in types):
+            errors.append(
+                f"{path}: expected type {'/'.join(types)}, "
+                f"got {type(value).__name__}"
+            )
+            return
+
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if not isinstance(value, bool) and value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        props = schema.get("properties", {})
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key '{key}'")
+        additional = schema.get("additionalProperties", True)
+        for key, item in value.items():
+            if key in props:
+                validate(item, props[key], f"{path}.{key}", errors)
+            elif additional is False:
+                errors.append(f"{path}: unexpected key '{key}'")
+
+    if isinstance(value, list) and isinstance(schema.get("items"), dict):
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def semantic_checks(records: list, errors: list) -> None:
+    families: dict = {}
+    sizes = set()
+    for i, rec in enumerate(records):
+        if not isinstance(rec, dict) or not {"name", "threads", "size"} <= set(
+            rec
+        ):
+            continue  # already reported structurally
+        families.setdefault(rec["name"], []).append(rec["threads"])
+        sizes.add(rec["size"])
+
+    if len(sizes) > 1:
+        errors.append(f"$: records mix problem sizes {sorted(sizes)}")
+
+    for family in REQUIRED_FAMILIES:
+        if family not in families:
+            errors.append(f"$: missing row family '{family}'")
+
+    thread_sets = {name: sorted(threads) for name, threads in families.items()}
+    for name, threads in thread_sets.items():
+        if len(set(threads)) != len(threads):
+            errors.append(f"$: family '{name}' has duplicate thread rows")
+    distinct = {tuple(t) for t in thread_sets.values()}
+    if len(distinct) > 1:
+        errors.append(
+            f"$: families disagree on the thread sweep: "
+            f"{sorted(distinct)}"
+        )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench_json", type=pathlib.Path)
+    parser.add_argument("--schema", type=pathlib.Path, default=SCHEMA_PATH)
+    args = parser.parse_args()
+
+    try:
+        records = json.loads(args.bench_json.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot parse {args.bench_json}: {e}", file=sys.stderr)
+        return 1
+    schema = json.loads(args.schema.read_text())
+
+    errors: list = []
+    validate(records, schema, "$", errors)
+    if isinstance(records, list):
+        semantic_checks(records, errors)
+    if errors:
+        for line in errors:
+            print(f"INVALID {line}", file=sys.stderr)
+        return 1
+
+    names = sorted({r["name"] for r in records})
+    threads = sorted({r["threads"] for r in records})
+    print(
+        f"OK {args.bench_json}: families={len(names)} threads={threads} "
+        f"size={records[0]['size'] if records else 'n/a'}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
