@@ -25,6 +25,8 @@ int main(int argc, char** argv) {
   cli.add_flag("preconditioner",
                "CG preconditioner: none|jacobi|ic0|ic0-level|chebyshev",
                "ic0");
+  cli.add_switch("no-incremental",
+                 "disable the incremental planner re-solve context");
   try {
     cli.parse(argc, argv);
   } catch (const CliError& e) {
@@ -38,6 +40,7 @@ int main(int argc, char** argv) {
   core::FlowOptions options;
   options.benchmark.scale = cli.get_real("scale");
   options.run_report_path = cli.get("report");
+  options.incremental = !cli.get_bool("no-incremental");
   try {
     options.preconditioner =
         linalg::parse_preconditioner(cli.get("preconditioner"));

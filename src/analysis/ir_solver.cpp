@@ -25,17 +25,42 @@ IrAnalysisResult analyze_ir_drop(const grid::PowerGrid& pg,
   const MnaSystem sys = assemble_mna(pg);
 
   if (options.solver == SolverKind::kCholesky) {
-    const linalg::SparseCholesky factorization(
-        sys.g_reduced, linalg::rcm_ordering(sys.g_reduced));
-    result.converged = true;  // direct solve: exact up to round-off
-    result.node_voltage =
-        expand_solution(sys, factorization.solve(sys.rhs));
-    robust::SolveAttempt attempt;
-    attempt.step = robust::SolveStep::kDirectCholesky;
-    attempt.preconditioner = linalg::PreconditionerKind::kNone;
-    attempt.status = linalg::CgStatus::kConverged;
-    result.solve_report.attempts.push_back(std::move(attempt));
-    result.solve_report.converged = true;
+    // Warm starts are meaningless for a direct factorization: validate the
+    // caller's vector (catching size bugs that CG would catch) but use none
+    // of it. Documented no-op, not a silent drop.
+    if (!options.initial_voltages.empty()) {
+      PPDL_REQUIRE(static_cast<Index>(options.initial_voltages.size()) ==
+                       pg.node_count(),
+                   "warm-start voltage size mismatch");
+    }
+    if (options.deadline.expired()) {
+      // The planner's deadline must bound direct solves too. Factorization
+      // is all-or-nothing, so the only honest answer past the budget is an
+      // unconverged result the caller's best-so-far policy can absorb.
+      robust::SolveAttempt attempt;
+      attempt.step = robust::SolveStep::kDirectCholesky;
+      attempt.preconditioner = linalg::PreconditionerKind::kNone;
+      attempt.status = linalg::CgStatus::kMaxIterations;
+      attempt.note = "deadline expired before factorization";
+      result.solve_report.attempts.push_back(std::move(attempt));
+      result.solve_report.deadline_expired = true;
+      result.node_voltage =
+          expand_solution(sys, std::vector<Real>(
+                                   static_cast<std::size_t>(sys.free_count),
+                                   0.0));
+    } else {
+      const linalg::SparseCholesky factorization(
+          sys.g_reduced, linalg::rcm_ordering(sys.g_reduced));
+      result.converged = true;  // direct solve: exact up to round-off
+      result.node_voltage =
+          expand_solution(sys, factorization.solve(sys.rhs));
+      robust::SolveAttempt attempt;
+      attempt.step = robust::SolveStep::kDirectCholesky;
+      attempt.preconditioner = linalg::PreconditionerKind::kNone;
+      attempt.status = linalg::CgStatus::kConverged;
+      result.solve_report.attempts.push_back(std::move(attempt));
+      result.solve_report.converged = true;
+    }
   } else {
     robust::RobustSolveOptions solve_opts;
     solve_opts.cg.tolerance = options.cg_tolerance;
@@ -65,6 +90,19 @@ IrAnalysisResult analyze_ir_drop(const grid::PowerGrid& pg,
     result.solve_report = std::move(solve.report);
     result.node_voltage = expand_solution(sys, std::move(solve.x));
   }
+
+  detail::finalize_ir_metrics(pg, result);
+
+  result.solve_seconds = timer.seconds();
+  return result;
+}
+
+namespace detail {
+
+void finalize_ir_metrics(const grid::PowerGrid& pg, IrAnalysisResult& result) {
+  PPDL_REQUIRE(static_cast<Index>(result.node_voltage.size()) ==
+                   pg.node_count(),
+               "finalize_ir_metrics: voltage size mismatch");
 
   // IR drop per node, worst case over the grid.
   const Real vdd = pg.vdd();
@@ -101,9 +139,8 @@ IrAnalysisResult analyze_ir_drop(const grid::PowerGrid& pg,
       }
     }
   }
-
-  result.solve_seconds = timer.seconds();
-  return result;
 }
+
+}  // namespace detail
 
 }  // namespace ppdl::analysis

@@ -69,7 +69,23 @@ struct IrAnalysisResult {
 /// Full static analysis of the grid at its current widths/loads/pads.
 /// Throws grid::GridDefectError when validation is on and the grid is
 /// structurally broken.
+///
+/// Direct-solver caveats: `options.initial_voltages` is meaningless for a
+/// factorization and is deliberately a (size-checked) no-op, and
+/// `options.deadline` is checked once before factorization — an expired
+/// deadline returns an unconverged result instead of silently running over
+/// budget (the factorization itself is not interruptible).
 IrAnalysisResult analyze_ir_drop(const grid::PowerGrid& pg,
                                  const IrAnalysisOptions& options = {});
+
+namespace detail {
+
+/// Fill the derived fields of `result` (node_ir_drop, branch currents,
+/// densities, worst-case trackers) from an already-populated
+/// `result.node_voltage`. Shared by analyze_ir_drop and the incremental
+/// solver so both produce bit-identical derived metrics from equal voltages.
+void finalize_ir_metrics(const grid::PowerGrid& pg, IrAnalysisResult& result);
+
+}  // namespace detail
 
 }  // namespace ppdl::analysis

@@ -197,6 +197,7 @@ FlowResult run_flow(const grid::GeneratedBenchmark& bench,
       planner_options_for(bench.spec, options.planner_max_iterations);
   planner_opts.deadline = deadline;
   planner_opts.solver.preconditioner = options.preconditioner;
+  planner_opts.incremental = options.incremental;
 
   const auto timed_out_at = [&result](const char* phase) {
     if (!result.timed_out) {

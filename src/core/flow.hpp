@@ -54,6 +54,12 @@ struct FlowOptions {
   /// `ic0-level` and `chebyshev` are the parallel-scalable choices (see
   /// DESIGN.md "Parallel execution & determinism").
   linalg::PreconditionerKind preconditioner = linalg::PreconditionerKind::kIc0;
+  /// Incremental re-solve for every planner loop the flow runs (golden
+  /// design, conventional redesign): a resident context caches the MNA
+  /// system + factorization across iterations and re-solves deltas (see
+  /// analysis::IncrementalIrSolver). The final verify always runs the full
+  /// path. CLI escape hatch: --no-incremental.
+  bool incremental = true;
   /// A golden design whose planner got stuck or whose solver failed is not
   /// "historical data" — training on it teaches the regressor unconverged
   /// widths. When true (default) such designs are excluded: the model is

@@ -8,6 +8,7 @@ Index PowerGrid::add_layer(const Layer& layer) {
   PPDL_REQUIRE(layer.sheet_rho > 0.0, "layer sheet resistance must be > 0");
   PPDL_REQUIRE(layer.default_width > 0.0, "layer default width must be > 0");
   layers_.push_back(layer);
+  note_topology_change();
   return layer_count() - 1;
 }
 
@@ -15,6 +16,7 @@ Index PowerGrid::add_node(Point pos, Index layer) {
   PPDL_REQUIRE(layer >= 0 && layer < layer_count(),
                "node layer out of range");
   nodes_.push_back(Node{pos, layer});
+  note_topology_change();
   return node_count() - 1;
 }
 
@@ -35,6 +37,7 @@ Index PowerGrid::add_wire(Index n1, Index n2, Index layer, Real length,
   b.width = width;
   branches_.push_back(b);
   ++wire_count_;
+  note_topology_change();
   return branch_count() - 1;
 }
 
@@ -51,6 +54,7 @@ Index PowerGrid::add_via(Index n1, Index n2, Index upper_layer,
   b.layer = upper_layer;
   b.via_resistance = resistance;
   branches_.push_back(b);
+  note_topology_change();
   return branch_count() - 1;
 }
 
@@ -58,12 +62,14 @@ void PowerGrid::add_load(Index node, Real amps) {
   PPDL_REQUIRE(node >= 0 && node < node_count(), "load node out of range");
   PPDL_REQUIRE(amps >= 0.0, "load current must be >= 0");
   loads_.push_back(CurrentLoad{node, amps});
+  note_topology_change();
 }
 
 void PowerGrid::add_pad(Index node, Real voltage) {
   PPDL_REQUIRE(node >= 0 && node < node_count(), "pad node out of range");
   PPDL_REQUIRE(voltage > 0.0, "pad voltage must be > 0");
   pads_.push_back(Pad{node, voltage});
+  note_topology_change();
 }
 
 void PowerGrid::set_wire_width(Index branch, Real width) {
@@ -71,6 +77,7 @@ void PowerGrid::set_wire_width(Index branch, Real width) {
   PPDL_REQUIRE(b.kind == BranchKind::kWire, "cannot size a via");
   PPDL_REQUIRE(width > 0.0, "wire width must be > 0");
   b.width = width;
+  note_value_change(branch);
 }
 
 void PowerGrid::set_via_resistance(Index branch, Real ohms) {
@@ -78,12 +85,15 @@ void PowerGrid::set_via_resistance(Index branch, Real ohms) {
   PPDL_REQUIRE(b.kind == BranchKind::kVia, "cannot set resistance on a wire");
   PPDL_REQUIRE(ohms > 0.0, "via resistance must be > 0");
   b.via_resistance = ohms;
+  note_value_change(branch);
 }
 
 void PowerGrid::reset_wire_widths() {
-  for (Branch& b : branches_) {
+  for (Index i = 0; i < branch_count(); ++i) {
+    Branch& b = branches_[static_cast<std::size_t>(i)];
     if (b.kind == BranchKind::kWire) {
       b.width = layers_[static_cast<std::size_t>(b.layer)].default_width;
+      note_value_change(i);
     }
   }
 }
@@ -91,21 +101,41 @@ void PowerGrid::reset_wire_widths() {
 void PowerGrid::scale_load(Index load, Real factor) {
   PPDL_REQUIRE(factor > 0.0, "load scale factor must be > 0");
   loads_[checked(load, load_count())].amps *= factor;
+  note_value_change(kRhsOnlyChange);
 }
 
 void PowerGrid::scale_pad_voltage(Index pad, Real factor) {
   PPDL_REQUIRE(factor > 0.0, "pad voltage scale factor must be > 0");
   pads_[checked(pad, pad_count())].voltage *= factor;
+  note_value_change(kRhsOnlyChange);
 }
 
 void PowerGrid::set_load_current(Index load, Real amps) {
   PPDL_REQUIRE(amps > 0.0, "load current must be > 0");
   loads_[checked(load, load_count())].amps = amps;
+  note_value_change(kRhsOnlyChange);
 }
 
 void PowerGrid::set_pad_voltage(Index pad, Real voltage) {
   PPDL_REQUIRE(voltage > 0.0, "pad voltage must be > 0");
   pads_[checked(pad, pad_count())].voltage = voltage;
+  note_value_change(kRhsOnlyChange);
+}
+
+PowerGrid::ObserverToken PowerGrid::attach_value_observer(
+    ValueObserver observer) {
+  PPDL_REQUIRE(static_cast<bool>(observer), "observer must be callable");
+  PPDL_REQUIRE(!observer_, "a value observer is already attached");
+  observer_ = std::move(observer);
+  observer_token_ = next_token_++;
+  return observer_token_;
+}
+
+void PowerGrid::detach_value_observer(ObserverToken token) {
+  if (observer_ && token == observer_token_) {
+    observer_ = nullptr;
+    observer_token_ = 0;
+  }
 }
 
 Real PowerGrid::branch_resistance(Index i) const {

@@ -15,7 +15,10 @@
 // DL model predicts them.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
@@ -60,9 +63,76 @@ struct Pad {
 };
 
 /// A power grid network (single net, VDD by convention).
+///
+/// Mutation tracking: the grid maintains two monotonic epoch counters and an
+/// optional single-slot value observer so a resident solver (see
+/// analysis::IncrementalIrSolver) can track dirty state without re-scanning:
+///   * value_epoch()    — bumped by every electrical value mutation
+///                        (widths, via resistances, loads, pad voltages).
+///   * topology_epoch() — bumped by every structural mutation (add_*).
+/// The observer is notified with the branch index for conductance changes and
+/// with kRhsOnlyChange for mutations that only affect the MNA right-hand side
+/// (loads, pad voltages). Observers are deliberately NOT propagated by copy
+/// or move: a copied grid is a fresh, untracked object, and a solver watching
+/// the source detects the mismatch through the epoch counters.
 class PowerGrid {
  public:
+  /// Sentinel passed to the value observer for mutations that change only the
+  /// MNA right-hand side (load currents, pad voltages), not any conductance.
+  static constexpr Index kRhsOnlyChange = -1;
+  using ValueObserver = std::function<void(Index branch_or_sentinel)>;
+  using ObserverToken = std::uint64_t;
+
   PowerGrid() = default;
+  PowerGrid(const PowerGrid& other)
+      : name_(other.name_),
+        vdd_(other.vdd_),
+        die_(other.die_),
+        layers_(other.layers_),
+        nodes_(other.nodes_),
+        branches_(other.branches_),
+        loads_(other.loads_),
+        pads_(other.pads_),
+        wire_count_(other.wire_count_),
+        value_epoch_(other.value_epoch_),
+        topology_epoch_(other.topology_epoch_) {}
+  PowerGrid& operator=(const PowerGrid& other) {
+    if (this != &other) {
+      PowerGrid tmp(other);
+      *this = std::move(tmp);
+    }
+    return *this;
+  }
+  PowerGrid(PowerGrid&& other) noexcept
+      : name_(std::move(other.name_)),
+        vdd_(other.vdd_),
+        die_(other.die_),
+        layers_(std::move(other.layers_)),
+        nodes_(std::move(other.nodes_)),
+        branches_(std::move(other.branches_)),
+        loads_(std::move(other.loads_)),
+        pads_(std::move(other.pads_)),
+        wire_count_(other.wire_count_),
+        value_epoch_(other.value_epoch_),
+        topology_epoch_(other.topology_epoch_) {}
+  PowerGrid& operator=(PowerGrid&& other) noexcept {
+    if (this != &other) {
+      name_ = std::move(other.name_);
+      vdd_ = other.vdd_;
+      die_ = other.die_;
+      layers_ = std::move(other.layers_);
+      nodes_ = std::move(other.nodes_);
+      branches_ = std::move(other.branches_);
+      loads_ = std::move(other.loads_);
+      pads_ = std::move(other.pads_);
+      wire_count_ = other.wire_count_;
+      value_epoch_ = other.value_epoch_;
+      topology_epoch_ = other.topology_epoch_;
+      observer_ = nullptr;  // never adopt the source's observer
+      observer_token_ = 0;
+    }
+    return *this;
+  }
 
   // --- construction -------------------------------------------------------
   void set_name(std::string name) { name_ = std::move(name); }
@@ -140,7 +210,35 @@ class PowerGrid {
   /// one pad, connected pads... Throws ContractViolation on failure.
   void validate() const;
 
+  // --- mutation tracking ---------------------------------------------------
+  /// Monotonic counter of electrical value mutations (widths, via ohms,
+  /// loads, pad voltages). Equal epochs ⇒ identical electrical values.
+  std::uint64_t value_epoch() const { return value_epoch_; }
+  /// Monotonic counter of structural mutations (add_layer/node/wire/via/
+  /// load/pad). Equal epochs ⇒ identical topology.
+  std::uint64_t topology_epoch() const { return topology_epoch_; }
+
+  /// Attach the single value observer. Throws ContractViolation if a slot is
+  /// already occupied. Returns a token for detach_value_observer.
+  ObserverToken attach_value_observer(ValueObserver observer);
+  /// Detach the observer identified by `token`. A stale token (observer
+  /// already replaced or grid copied/moved) is a harmless no-op.
+  void detach_value_observer(ObserverToken token);
+  /// True when an observer is currently attached.
+  bool has_value_observer() const { return static_cast<bool>(observer_); }
+
  private:
+  void note_value_change(Index branch_or_sentinel) {
+    ++value_epoch_;
+    if (observer_) {
+      observer_(branch_or_sentinel);
+    }
+  }
+  void note_topology_change() {
+    ++topology_epoch_;
+    ++value_epoch_;  // new elements carry new values
+  }
+
   static std::size_t checked(Index i, Index n) {
     PPDL_REQUIRE(i >= 0 && i < n, "index out of range");
     return static_cast<std::size_t>(i);
@@ -155,6 +253,11 @@ class PowerGrid {
   std::vector<CurrentLoad> loads_;
   std::vector<Pad> pads_;
   Index wire_count_ = 0;
+  std::uint64_t value_epoch_ = 0;
+  std::uint64_t topology_epoch_ = 0;
+  ValueObserver observer_;
+  ObserverToken observer_token_ = 0;
+  ObserverToken next_token_ = 1;
 };
 
 }  // namespace ppdl::grid

@@ -74,7 +74,13 @@ CgResult conjugate_gradient_impl(const CsrMatrix& a, std::span<const Real> b,
     return result;
   }
 
-  const auto precond = make_preconditioner(options.preconditioner, a);
+  const std::unique_ptr<Preconditioner> owned =
+      options.shared_preconditioner == nullptr
+          ? make_preconditioner(options.preconditioner, a)
+          : nullptr;
+  const Preconditioner* const precond =
+      options.shared_preconditioner != nullptr ? options.shared_preconditioner
+                                               : owned.get();
 
   // Element-wise kernels below split into fixed chunks (independent of
   // thread count), so every iterate is bit-identical however many threads

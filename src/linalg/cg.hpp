@@ -32,6 +32,14 @@ struct CgOptions {
   /// Hard iteration cap (0 means 2 * n).
   Index max_iterations = 0;
   PreconditionerKind preconditioner = PreconditionerKind::kIc0;
+  /// Non-owning: when set, CG applies THIS preconditioner instead of
+  /// building one of `preconditioner`'s kind from the matrix. The caller
+  /// keeps it alive for the duration of the solve. Any valid SPD operator
+  /// works — it need not be built from the exact matrix being solved (a
+  /// frozen factorization of a nearby matrix is the intended use, see
+  /// analysis::IncrementalIrSolver). Escalation paths that rebuild the
+  /// system (robust_solve rungs, Tikhonov refinement) must clear this field.
+  const Preconditioner* shared_preconditioner = nullptr;
   /// Stop with kStagnated when the best residual seen has not improved by
   /// at least `stagnation_rtol` (relative) over this many consecutive
   /// iterations (0 disables). Near-singular systems plateau far above the

@@ -9,99 +9,124 @@
 namespace ppdl::linalg {
 
 SparseCholesky::SparseCholesky(const CsrMatrix& a,
-                               std::optional<std::vector<Index>> perm) {
+                               std::optional<std::vector<Index>> perm,
+                               Real drop_tolerance) {
   PPDL_REQUIRE(a.rows() == a.cols(), "Cholesky needs a square matrix");
+  PPDL_REQUIRE(drop_tolerance >= 0.0 && drop_tolerance < 1.0,
+               "Cholesky drop tolerance must be in [0, 1)");
   n_ = a.rows();
   if (perm.has_value()) {
     PPDL_REQUIRE(static_cast<Index>(perm->size()) == n_,
                  "permutation size mismatch");
     perm_ = std::move(*perm);
     inv_perm_ = invert_permutation(perm_);
-    factor(a.permuted_symmetric(perm_));
+    factor(a.permuted_symmetric(perm_), drop_tolerance);
   } else {
-    factor(a);
+    factor(a, drop_tolerance);
   }
 }
 
-void SparseCholesky::factor(const CsrMatrix& a) {
-  // Envelope (profile) Cholesky: row i of L occupies the contiguous column
-  // range [first[i], i], where first[i] is the first nonzero column of A's
-  // row i. Factorization creates no fill outside the envelope, so the
-  // profile fixed by A is exact. Pair with RCM to keep the envelope tight.
+void SparseCholesky::factor(const CsrMatrix& a, Real drop_tolerance) {
+  // Up-looking sparse Cholesky. Row i of L solves the sparse triangular
+  // system L(0:i-1,0:i-1) · L(i,0:i-1)ᵀ = A(i,0:i-1); its nonzero pattern
+  // is the union of elimination-tree paths j ⇝ i over the nonzeros
+  // A(i, j<i), so the factor stores genuine fill only — an envelope scheme
+  // would pay for the whole profile, which is ruinous under fill-reducing
+  // (non-banded) orderings like nested dissection.
+  //
+  // With drop_tolerance > 0 the computed row is thresholded before it is
+  // stored (incomplete factorization by value). Each row's substitution
+  // runs against the rows already stored, so dropped entries also shrink
+  // all downstream work — the pattern walk still enumerates the exact-fill
+  // superset, but the flops track the kept entries.
   const auto rp = a.row_ptr();
   const auto ci = a.col_idx();
   const auto vl = a.values();
 
-  std::vector<Index> first(static_cast<std::size_t>(n_));
+  // Elimination tree: parent[j] = min{i > j : L(i,j) ≠ 0}, built with
+  // path-compressing ancestor pointers (Liu's algorithm).
+  std::vector<Index> parent(static_cast<std::size_t>(n_), -1);
+  std::vector<Index> ancestor(static_cast<std::size_t>(n_), -1);
   for (Index i = 0; i < n_; ++i) {
-    Index lo = i;
     for (Index k = rp[static_cast<std::size_t>(i)];
          k < rp[static_cast<std::size_t>(i) + 1]; ++k) {
-      const Index c = ci[static_cast<std::size_t>(k)];
-      if (c <= i) {
-        lo = std::min(lo, c);
+      Index j = ci[static_cast<std::size_t>(k)];
+      while (j != -1 && j < i) {
+        const Index next = ancestor[static_cast<std::size_t>(j)];
+        ancestor[static_cast<std::size_t>(j)] = i;
+        if (next == -1) {
+          parent[static_cast<std::size_t>(j)] = i;
+        }
+        j = next;
       }
     }
-    first[static_cast<std::size_t>(i)] = lo;
   }
 
+  // Per-row build: enumerate the exact-fill pattern with a stamped etree
+  // walk (a walk stops at a node already claimed by this row, so the
+  // enumeration totals O(nnz(exact L))), run the sparse forward
+  // substitution against the rows stored so far, then threshold and append
+  // the row. Entries outside the pattern stay zero in the scatter `w`, so
+  // the row-j dot products need no pattern intersection.
+  std::vector<Index> mark(static_cast<std::size_t>(n_), -1);
+  std::vector<Index> pattern;
+  std::vector<Real> w(static_cast<std::size_t>(n_), 0.0);
   row_ptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  col_idx_.clear();
+  values_.clear();
   for (Index i = 0; i < n_; ++i) {
+    pattern.clear();
+    Real aii = 0.0;
+    for (Index k = rp[static_cast<std::size_t>(i)];
+         k < rp[static_cast<std::size_t>(i) + 1]; ++k) {
+      const Index c = ci[static_cast<std::size_t>(k)];
+      if (c == i) {
+        aii = vl[static_cast<std::size_t>(k)];
+        continue;
+      }
+      if (c > i) {
+        continue;
+      }
+      w[static_cast<std::size_t>(c)] = vl[static_cast<std::size_t>(k)];
+      for (Index j = c; j < i && mark[static_cast<std::size_t>(j)] != i;
+           j = parent[static_cast<std::size_t>(j)]) {
+        mark[static_cast<std::size_t>(j)] = i;
+        pattern.push_back(j);
+      }
+    }
+    std::sort(pattern.begin(), pattern.end());
+
+    Real sumsq = 0.0;
+    for (const Index j : pattern) {
+      Real acc = w[static_cast<std::size_t>(j)];
+      const Index jb = row_ptr_[static_cast<std::size_t>(j)];
+      const Index je = row_ptr_[static_cast<std::size_t>(j) + 1] - 1;
+      for (Index k = jb; k < je; ++k) {
+        acc -= values_[static_cast<std::size_t>(k)] *
+               w[static_cast<std::size_t>(
+                   col_idx_[static_cast<std::size_t>(k)])];
+      }
+      const Real xj = acc / values_[static_cast<std::size_t>(je)];
+      w[static_cast<std::size_t>(j)] = xj;
+      sumsq += xj * xj;
+    }
+
+    const Real diag = aii - sumsq;
+    PPDL_REQUIRE(diag > 0.0, "Cholesky pivot non-positive — matrix not SPD");
+    const Real pivot = std::sqrt(diag);
+    const Real threshold = drop_tolerance * pivot;
+    for (const Index j : pattern) {
+      const Real xj = w[static_cast<std::size_t>(j)];
+      if (drop_tolerance == 0.0 || std::abs(xj) > threshold) {
+        col_idx_.push_back(j);
+        values_.push_back(xj);
+      }
+      w[static_cast<std::size_t>(j)] = 0.0;
+    }
+    col_idx_.push_back(i);
+    values_.push_back(pivot);
     row_ptr_[static_cast<std::size_t>(i) + 1] =
-        row_ptr_[static_cast<std::size_t>(i)] +
-        (i - first[static_cast<std::size_t>(i)] + 1);
-  }
-  values_.assign(static_cast<std::size_t>(row_ptr_.back()), 0.0);
-  col_idx_.resize(values_.size());
-  for (Index i = 0; i < n_; ++i) {
-    Index at = row_ptr_[static_cast<std::size_t>(i)];
-    for (Index c = first[static_cast<std::size_t>(i)]; c <= i; ++c, ++at) {
-      col_idx_[static_cast<std::size_t>(at)] = c;
-    }
-  }
-
-  const auto lval = [&](Index i, Index k) -> Real& {
-    return values_[static_cast<std::size_t>(
-        row_ptr_[static_cast<std::size_t>(i)] +
-        (k - first[static_cast<std::size_t>(i)]))];
-  };
-
-  // Scatter buffer for A's lower row.
-  std::vector<Real> arow(static_cast<std::size_t>(n_), 0.0);
-  for (Index i = 0; i < n_; ++i) {
-    const Index fi = first[static_cast<std::size_t>(i)];
-    for (Index k = rp[static_cast<std::size_t>(i)];
-         k < rp[static_cast<std::size_t>(i) + 1]; ++k) {
-      const Index c = ci[static_cast<std::size_t>(k)];
-      if (c <= i) {
-        arow[static_cast<std::size_t>(c)] = vl[static_cast<std::size_t>(k)];
-      }
-    }
-
-    for (Index j = fi; j <= i; ++j) {
-      Real sum = arow[static_cast<std::size_t>(j)];
-      const Index fj = first[static_cast<std::size_t>(j)];
-      const Index klo = std::max(fi, fj);
-      for (Index k = klo; k < j; ++k) {
-        sum -= lval(i, k) * lval(j, k);
-      }
-      if (j < i) {
-        lval(i, j) = sum / lval(j, j);
-      } else {
-        PPDL_REQUIRE(sum > 0.0,
-                     "Cholesky pivot non-positive — matrix not SPD");
-        lval(i, i) = std::sqrt(sum);
-      }
-    }
-
-    // Clear the scatter buffer for the next row.
-    for (Index k = rp[static_cast<std::size_t>(i)];
-         k < rp[static_cast<std::size_t>(i) + 1]; ++k) {
-      const Index c = ci[static_cast<std::size_t>(k)];
-      if (c <= i) {
-        arow[static_cast<std::size_t>(c)] = 0.0;
-      }
-    }
+        static_cast<Index>(values_.size());
   }
 }
 

@@ -44,8 +44,13 @@ CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo) {
       const auto ku = static_cast<std::size_t>(k);
       row_buf.emplace_back(col_raw[ku], val_raw[ku]);
     }
-    std::sort(row_buf.begin(), row_buf.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
+    // stable_sort keeps duplicate (row, col) entries in insertion order, so
+    // the left-fold merge below sums them in a well-defined order. Callers
+    // that re-sum a slot incrementally (IncrementalIrSolver) replay the same
+    // insertion-ordered fold and land on the bit-identical value.
+    std::stable_sort(
+        row_buf.begin(), row_buf.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
     for (std::size_t k = 0; k < row_buf.size(); ++k) {
       if (!m.col_idx_.empty() &&
           m.row_ptr_[r] < static_cast<Index>(m.col_idx_.size()) &&
@@ -107,6 +112,19 @@ Real CsrMatrix::at(Index row, Index col) const {
     return 0.0;
   }
   return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+Index CsrMatrix::value_slot(Index row, Index col) const {
+  PPDL_REQUIRE(row >= 0 && row < rows_, "CSR value_slot: row out of range");
+  PPDL_REQUIRE(col >= 0 && col < cols_, "CSR value_slot: col out of range");
+  const auto begin = col_idx_.begin() + row_ptr_[static_cast<std::size_t>(row)];
+  const auto end =
+      col_idx_.begin() + row_ptr_[static_cast<std::size_t>(row) + 1];
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) {
+    return -1;
+  }
+  return static_cast<Index>(it - col_idx_.begin());
 }
 
 bool CsrMatrix::is_symmetric(Real tol) const {

@@ -40,6 +40,11 @@ class CsrMatrix {
   /// Value at (row, col); 0 if not stored. O(log nnz_row) via binary search.
   Real at(Index row, Index col) const;
 
+  /// Index into values() of the stored entry at (row, col), or -1 when the
+  /// slot is structurally absent. O(log nnz_row). Used with mutable_values()
+  /// for in-place value patching on a fixed sparsity pattern.
+  Index value_slot(Index row, Index col) const;
+
   /// True if the matrix equals its transpose exactly.
   bool is_symmetric(Real tol = 0.0) const;
 

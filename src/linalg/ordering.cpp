@@ -121,6 +121,196 @@ std::vector<Index> rcm_ordering(const CsrMatrix& a) {
   return perm;
 }
 
+namespace {
+
+/// One nested-dissection subproblem: `nodes` owns the new index range
+/// ending (exclusive) at `hi` in elimination order.
+struct NdTask {
+  std::vector<Index> nodes;
+  Index hi = 0;
+};
+
+}  // namespace
+
+std::vector<Index> nd_ordering(const CsrMatrix& a) {
+  PPDL_REQUIRE(a.rows() == a.cols(),
+               "nested dissection needs a square matrix");
+  const Index n = a.rows();
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+
+  std::vector<Index> perm(static_cast<std::size_t>(n), -1);
+  // Subgraph membership via stamps: in_task[v] == stamp ⇔ v belongs to the
+  // task being processed (O(1) reset between tasks).
+  std::vector<Index> in_task(static_cast<std::size_t>(n), 0);
+  std::vector<Index> level(static_cast<std::size_t>(n), -1);
+  Index stamp = 0;
+
+  // Below this size a separator no longer pays for itself; BFS-order the
+  // block instead (locality is all that is left to win).
+  constexpr Index kLeaf = 48;
+
+  // Orders `nodes` into new indices [hi - |nodes|, hi) by BFS within the
+  // subgraph — every node gets a number, disconnected pieces included.
+  const auto order_leaf = [&](const std::vector<Index>& nodes, Index hi) {
+    ++stamp;
+    for (const Index v : nodes) {
+      in_task[static_cast<std::size_t>(v)] = stamp;
+    }
+    Index next = hi - static_cast<Index>(nodes.size());
+    std::queue<Index> queue;
+    for (const Index seed : nodes) {
+      if (perm[static_cast<std::size_t>(seed)] >= 0 ||
+          in_task[static_cast<std::size_t>(seed)] != stamp) {
+        continue;
+      }
+      queue.push(seed);
+      in_task[static_cast<std::size_t>(seed)] = stamp - 1;  // dequeued mark
+      while (!queue.empty()) {
+        const Index v = queue.front();
+        queue.pop();
+        perm[static_cast<std::size_t>(v)] = next++;
+        for (Index k = rp[static_cast<std::size_t>(v)];
+             k < rp[static_cast<std::size_t>(v) + 1]; ++k) {
+          const Index u = ci[static_cast<std::size_t>(k)];
+          if (u != v && in_task[static_cast<std::size_t>(u)] == stamp) {
+            in_task[static_cast<std::size_t>(u)] = stamp - 1;
+            queue.push(u);
+          }
+        }
+      }
+    }
+  };
+
+  std::vector<NdTask> tasks;
+  {
+    NdTask root;
+    root.nodes.resize(static_cast<std::size_t>(n));
+    for (Index v = 0; v < n; ++v) {
+      root.nodes[static_cast<std::size_t>(v)] = v;
+    }
+    root.hi = n;
+    tasks.push_back(std::move(root));
+  }
+
+  while (!tasks.empty()) {
+    NdTask task = std::move(tasks.back());
+    tasks.pop_back();
+    const Index m = static_cast<Index>(task.nodes.size());
+    if (m == 0) {
+      continue;
+    }
+    if (m <= kLeaf) {
+      order_leaf(task.nodes, task.hi);
+      continue;
+    }
+
+    // BFS level structure within the subgraph. Two passes: the deepest
+    // node of the first BFS is a pseudo-peripheral start for the second,
+    // which stretches the level structure along the subgraph's diameter so
+    // individual levels (the separator candidates) are thin.
+    ++stamp;
+    for (const Index v : task.nodes) {
+      in_task[static_cast<std::size_t>(v)] = stamp;
+    }
+    std::vector<Index> reached;
+    reached.reserve(static_cast<std::size_t>(m));
+    Index max_level = 0;
+    Index start = task.nodes.front();
+    for (int pass = 0; pass < 2; ++pass) {
+      reached.clear();
+      max_level = 0;
+      for (const Index v : task.nodes) {
+        level[static_cast<std::size_t>(v)] = -1;
+      }
+      std::queue<Index> queue;
+      level[static_cast<std::size_t>(start)] = 0;
+      queue.push(start);
+      while (!queue.empty()) {
+        const Index v = queue.front();
+        queue.pop();
+        reached.push_back(v);
+        for (Index k = rp[static_cast<std::size_t>(v)];
+             k < rp[static_cast<std::size_t>(v) + 1]; ++k) {
+          const Index u = ci[static_cast<std::size_t>(k)];
+          if (u == v || in_task[static_cast<std::size_t>(u)] != stamp ||
+              level[static_cast<std::size_t>(u)] >= 0) {
+            continue;
+          }
+          level[static_cast<std::size_t>(u)] =
+              level[static_cast<std::size_t>(v)] + 1;
+          max_level =
+              std::max(max_level, level[static_cast<std::size_t>(u)]);
+          queue.push(u);
+        }
+      }
+      start = reached.back();  // deepest-discovered node
+    }
+
+    if (max_level < 2) {
+      // Too shallow to cut (clique-ish or tiny diameter): no separator
+      // smaller than a level exists along this structure.
+      order_leaf(task.nodes, task.hi);
+      continue;
+    }
+
+    // Separator: the thinnest level inside the middle band of the
+    // structure (split balance is secondary to separator size — fill grows
+    // with the square of the separator). Everything shallower is part A,
+    // deeper is part B. Unreached nodes (disconnected pieces) have no
+    // edges into the reached set, so they join part B freely.
+    std::vector<Index> level_count(static_cast<std::size_t>(max_level + 1),
+                                   0);
+    for (const Index v : reached) {
+      ++level_count[static_cast<std::size_t>(
+          level[static_cast<std::size_t>(v)])];
+    }
+    const Index band_lo = std::max<Index>(1, max_level / 4);
+    const Index band_hi = std::min(max_level - 1, (3 * max_level) / 4);
+    Index mid = band_lo;
+    for (Index lv = band_lo; lv <= band_hi; ++lv) {
+      if (level_count[static_cast<std::size_t>(lv)] <
+          level_count[static_cast<std::size_t>(mid)]) {
+        mid = lv;
+      }
+    }
+
+    NdTask part_a;
+    NdTask part_b;
+    std::vector<Index> separator;
+    for (const Index v : task.nodes) {
+      const Index lv = level[static_cast<std::size_t>(v)];
+      if (lv == mid) {
+        separator.push_back(v);
+      } else if (lv >= 0 && lv < mid) {
+        part_a.nodes.push_back(v);
+      } else {
+        part_b.nodes.push_back(v);
+      }
+    }
+    if (part_a.nodes.empty() || part_b.nodes.empty()) {
+      order_leaf(task.nodes, task.hi);
+      continue;
+    }
+
+    // Separator takes the top numbers of this range; the halves recurse.
+    Index next = task.hi - static_cast<Index>(separator.size());
+    for (const Index v : separator) {
+      perm[static_cast<std::size_t>(v)] = next++;
+    }
+    part_b.hi = task.hi - static_cast<Index>(separator.size());
+    part_a.hi = part_b.hi - static_cast<Index>(part_b.nodes.size());
+    tasks.push_back(std::move(part_a));
+    tasks.push_back(std::move(part_b));
+  }
+
+  for (Index v = 0; v < n; ++v) {
+    PPDL_ENSURE(perm[static_cast<std::size_t>(v)] >= 0,
+                "nested dissection did not number every node");
+  }
+  return perm;
+}
+
 Index bandwidth(const CsrMatrix& a) {
   Index bw = 0;
   const auto rp = a.row_ptr();

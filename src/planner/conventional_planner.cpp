@@ -1,6 +1,8 @@
 #include "planner/conventional_planner.hpp"
 
 #include <cmath>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
@@ -38,7 +40,10 @@ void record_planner_outcome(const PlannerResult& result) {
 
 /// Folds one analysis' solve diagnosis into the planner result: counts
 /// escalated solves and latches failure (with the SolveReport summary) when
-/// even the ladder could not converge.
+/// even the ladder could not converge. Only for analyses whose outcome the
+/// planner adopts — a rejected polish attempt must NOT go through here, or a
+/// converged run would report solver_failed (the bug the regression suite
+/// pins).
 void account_solve(const analysis::IrAnalysisResult& analysis,
                    PlannerResult& result) {
   if (analysis.solve_report.escalated()) {
@@ -51,11 +56,24 @@ void account_solve(const analysis::IrAnalysisResult& analysis,
   }
 }
 
-/// Width-relaxation pass: scale every sized wire back toward the margin and
-/// verify; retries with progressively weaker relaxation. Leaves the grid at
-/// the best accepted state and updates `result` accordingly.
+/// One analysis through the resident context when present, the full path
+/// otherwise.
+analysis::IrAnalysisResult solve_once(grid::PowerGrid& pg,
+                                      const analysis::IrAnalysisOptions& solver,
+                                      analysis::IncrementalIrSolver* resolve) {
+  if (resolve != nullptr) {
+    return resolve->analyze(solver);
+  }
+  return analysis::analyze_ir_drop(pg, solver);
+}
+
+}  // namespace
+
+namespace detail {
+
 void polish_widths(grid::PowerGrid& pg, const PlannerOptions& options,
                    analysis::IrAnalysisOptions& solver,
+                   analysis::IncrementalIrSolver* resolve,
                    PlannerResult& result) {
   const Real limit = options.update.ir_limit;
   const Real worst = result.final_analysis.worst_ir_drop;
@@ -105,13 +123,15 @@ void polish_widths(grid::PowerGrid& pg, const PlannerOptions& options,
            em_floor, grid::min_width(layer, options.update.rules)});
       pg.set_wire_width(b, w);
     }
-    analysis::IrAnalysisResult verify = analysis::analyze_ir_drop(pg, solver);
+    analysis::IrAnalysisResult verify = solve_once(pg, solver, resolve);
     result.analysis_seconds += verify.solve_seconds;
-    account_solve(verify, result);
-    ++result.iterations;
-    if (options.warm_start) {
-      solver.initial_voltages = verify.node_voltage;
+    // A relaxation attempt is speculative: tally its escalations (they
+    // happened and cost time) but let neither a failed nor an escalated
+    // verify overwrite the planner's accepted-state diagnosis.
+    if (verify.solve_report.escalated()) {
+      ++result.solver_escalations;
     }
+    ++result.iterations;
     const bool ok = verify.converged && verify.worst_ir_drop <= limit &&
                     verify.worst_density <= options.update.jmax;
     IterationTrace trace;
@@ -122,6 +142,11 @@ void polish_widths(grid::PowerGrid& pg, const PlannerOptions& options,
     trace.wires_widened = 0;
     result.trace.push_back(trace);
     if (ok) {
+      // Only an ACCEPTED state may seed later warm starts; a rejected
+      // relaxation's voltages belong to widths that no longer exist.
+      if (options.warm_start) {
+        solver.initial_voltages = verify.node_voltage;
+      }
       result.final_analysis = std::move(verify);
       return;
     }
@@ -134,7 +159,7 @@ void polish_widths(grid::PowerGrid& pg, const PlannerOptions& options,
   }
 }
 
-}  // namespace
+}  // namespace detail
 
 PlannerResult run_conventional_planner(grid::PowerGrid& pg,
                                        const PlannerOptions& options) {
@@ -145,6 +170,17 @@ PlannerResult run_conventional_planner(grid::PowerGrid& pg,
 
   analysis::IrAnalysisOptions solver = options.solver;
   solver.deadline = options.deadline;
+
+  // The resident context attaches the grid's (single) value observer; if
+  // another context already watches this grid, degrade to the full path
+  // rather than fight over the slot.
+  std::optional<analysis::IncrementalIrSolver> resolve_ctx;
+  if (options.incremental && !pg.has_value_observer()) {
+    resolve_ctx.emplace(pg, options.resolve);
+  }
+  analysis::IncrementalIrSolver* const resolve =
+      resolve_ctx ? &*resolve_ctx : nullptr;
+
   WidthUpdateState state;
   for (Index it = 1; it <= options.max_iterations; ++it) {
     if (options.deadline.expired()) {
@@ -153,7 +189,7 @@ PlannerResult run_conventional_planner(grid::PowerGrid& pg,
       result.timed_out = true;
       break;
     }
-    analysis::IrAnalysisResult analysis = analysis::analyze_ir_drop(pg, solver);
+    analysis::IrAnalysisResult analysis = solve_once(pg, solver, resolve);
     result.analysis_seconds += analysis.solve_seconds;
     account_solve(analysis, result);
     if (!analysis.converged) {
@@ -206,7 +242,7 @@ PlannerResult run_conventional_planner(grid::PowerGrid& pg,
   // A timed-out loop skips the re-verify: no budget remains to spend.
   if (!result.converged && !result.solver_failed && !result.timed_out &&
       !result.trace.empty() && result.trace.back().wires_widened > 0) {
-    analysis::IrAnalysisResult analysis = analysis::analyze_ir_drop(pg, solver);
+    analysis::IrAnalysisResult analysis = solve_once(pg, solver, resolve);
     result.analysis_seconds += analysis.solve_seconds;
     account_solve(analysis, result);
     result.converged = analysis.converged &&
@@ -216,10 +252,27 @@ PlannerResult run_conventional_planner(grid::PowerGrid& pg,
   }
 
   if (options.polish && result.converged && !options.deadline.expired()) {
-    polish_widths(pg, options, solver, result);
+    detail::polish_widths(pg, options, solver, resolve, result);
+  }
+
+  // Incremental runs end with one verify through the FULL path at the final
+  // widths — the report's final_analysis never rests on a patched or
+  // low-rank solve. (The accepted state's voltages seed it, so a healthy
+  // verify converges immediately and bit-reproduces the accepted solution.)
+  if (resolve != nullptr && result.converged && !options.deadline.expired()) {
+    analysis::IrAnalysisResult full = analysis::analyze_ir_drop(pg, solver);
+    result.analysis_seconds += full.solve_seconds;
+    account_solve(full, result);
+    result.converged = full.converged &&
+                       full.worst_ir_drop <= options.update.ir_limit &&
+                       full.worst_density <= options.update.jmax;
+    result.final_analysis = std::move(full);
   }
 
   result.total_seconds = timer.seconds();
+  PPDL_ENSURE(!(result.converged && result.solver_failed),
+              "planner invariant: a converged run cannot report "
+              "solver_failed");
   record_planner_outcome(result);
   return result;
 }

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/incremental_solver.hpp"
 #include "analysis/ir_solver.hpp"
 #include "common/deadline.hpp"
 #include "common/timer.hpp"
@@ -25,6 +26,16 @@ struct PlannerOptions {
   Index max_iterations = 40;
   /// Warm-start each iteration's CG from the previous solution.
   bool warm_start = true;
+  /// Reuse one resident solve context across iterations (cached MNA system +
+  /// frozen factorization, in-place CSR patching, Woodbury low-rank updates;
+  /// see analysis::IncrementalIrSolver) instead of assembling and solving
+  /// from scratch every iteration. The final verified analysis always runs
+  /// through the full path regardless. CLI escape hatch: --no-incremental.
+  bool incremental = true;
+  /// Tuning for the resident context (ignored when !incremental). Setting
+  /// allow_low_rank and frozen_preconditioner both false makes every
+  /// incremental solve replay the full path bit-for-bit.
+  analysis::IncrementalSolveOptions resolve;
   /// After convergence, relax sized widths back toward the margin (the
   /// widening loop overshoots by a trajectory-dependent factor; recovering
   /// the overshoot reclaims metal and pins the design at a reproducible
@@ -73,5 +84,21 @@ struct PlannerResult {
 /// the converged (golden) design.
 PlannerResult run_conventional_planner(grid::PowerGrid& pg,
                                        const PlannerOptions& options = {});
+
+namespace detail {
+
+/// Width-relaxation pass: scale every sized wire back toward the margin and
+/// verify; retries with progressively weaker relaxation. Leaves the grid at
+/// the best accepted state and updates `result` accordingly. Rejected
+/// attempts never touch `result.solver_failed`, `solver_diagnosis`, or the
+/// warm-start voltages — only an accepted attempt updates the report (the
+/// contract the planner regression suite locks down). `resolve` may be null
+/// (every verify runs the full path). Exposed for direct unit testing.
+void polish_widths(grid::PowerGrid& pg, const PlannerOptions& options,
+                   analysis::IrAnalysisOptions& solver,
+                   analysis::IncrementalIrSolver* resolve,
+                   PlannerResult& result);
+
+}  // namespace detail
 
 }  // namespace ppdl::planner

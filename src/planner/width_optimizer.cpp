@@ -179,10 +179,19 @@ Index update_worst_region(grid::PowerGrid& pg,
   if (!has_violation(analysis, options)) {
     return 0;
   }
-  // Threshold: the (1 - worst_fraction) quantile of node drops.
+  // Threshold: the (1 - worst_fraction) quantile of node drops. Degenerate
+  // inputs are guarded, not UB: an empty drop vector has no quantile (and
+  // nothing to size against), and worst_fraction is clamped into (0, 1] —
+  // below it the cast of a negative Real to size_t is undefined behavior,
+  // above 1 every node is "worst" anyway.
   std::vector<Real> drops = analysis.node_ir_drop;
+  if (drops.empty()) {
+    return 0;
+  }
+  const Real fraction =
+      std::min(std::max(options.worst_fraction, 0.0), 1.0);
   const auto k = static_cast<std::size_t>(
-      static_cast<Real>(drops.size()) * (1.0 - options.worst_fraction));
+      static_cast<Real>(drops.size()) * (1.0 - fraction));
   const auto kth = std::min(k, drops.size() - 1);
   std::nth_element(drops.begin(), drops.begin() + static_cast<std::ptrdiff_t>(kth),
                    drops.end());

@@ -140,6 +140,12 @@ RobustSolveResult robust_solve(const linalg::CsrMatrix& a,
     attempt.diagonal_shift = shift;
     linalg::CgOptions cg = options.cg;
     cg.preconditioner = precond;
+    if (step != SolveStep::kRequestedCg) {
+      // A caller-shared preconditioner (frozen factorization) belongs to the
+      // requested configuration only; escalation rungs asked for a specific
+      // kind built from the matrix at hand.
+      cg.shared_preconditioner = nullptr;
+    }
     try {
       linalg::CgResult r =
           linalg::conjugate_gradient(m, b, cg, std::move(seed));
@@ -261,6 +267,7 @@ RobustSolveResult robust_solve(const linalg::CsrMatrix& a,
         }
         linalg::CgOptions cg = options.cg;
         cg.preconditioner = linalg::PreconditionerKind::kIc0;
+        cg.shared_preconditioner = nullptr;  // refinement solves the shifted A
         const linalg::CgResult delta =
             linalg::conjugate_gradient(shifted, r, cg);
         report.total_iterations += delta.iterations;

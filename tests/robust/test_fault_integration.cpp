@@ -39,6 +39,10 @@ TEST(FaultIntegration, PlannerRecoversFromStarvedCgViaLadder) {
   opts.update.ir_limit = bench.spec.ir_limit_mv * 1e-3;
   opts.update.jmax = bench.spec.jmax;
   opts.max_iterations = 4;
+  // This test pins the classic full-solve loop: with the incremental
+  // context on, the frozen factorization lets even 1-iteration CG converge
+  // and the final warm-started verify never needs the ladder.
+  opts.incremental = false;
 
   const linalg::ScopedCgIterationClamp clamp(1);
   const planner::PlannerResult result =

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Perf-smoke gate over bench_micro_solvers thread-sweep JSON.
+"""Perf-smoke gate over bench_micro_solvers / bench_planner JSON.
 
-Two independent checks, each with an explicit tolerance:
+Three independent checks, each with an explicit tolerance:
 
 1. Regression gate (needs --baseline): for every row family present in
    both files, the current single-thread wall time must not exceed
@@ -19,10 +19,18 @@ Two independent checks, each with an explicit tolerance:
    --require-scaling is passed. Families whose 1-thread row is below
    --min-ms are skipped for the same noise reason as the regression gate.
 
+3. Planner speedup gate (needs --planner-min-speedup): over a
+   bench_planner file, the single-thread planner_incremental wall time at
+   the LARGEST recorded grid size must beat planner_full by at least the
+   given factor (the checked-in BENCH_planner.json is gated at 2.0).
+   When this gate is requested the solver scaling gate is skipped --
+   planner files carry no kernel families.
+
 Usage:
     tools/perf_smoke.py CURRENT.json [--baseline BENCH_solvers.json]
                         [--max-ratio 1.1] [--scaling-max-ratio 1.1]
                         [--min-ms 0.5] [--require-scaling]
+    tools/perf_smoke.py BENCH_planner.json --planner-min-speedup 2.0
 
 Exit code 0 when every applicable gate passes; 1 with one line per
 violation otherwise.
@@ -37,14 +45,15 @@ import pathlib
 import sys
 
 SCALABLE_FAMILIES = ("cg_solve_ic0-level", "cg_solve_chebyshev")
+PLANNER_FAMILIES = ("planner_full", "planner_incremental")
 
 
 def load_rows(path: pathlib.Path) -> dict:
-    """Index records as {(name, threads): wall_ms}."""
+    """Index records as {(name, threads, size): wall_ms}."""
     records = json.loads(path.read_text())
     rows = {}
     for rec in records:
-        rows[(rec["name"], rec["threads"])] = rec["wall_ms"]
+        rows[(rec["name"], rec["threads"], rec["size"])] = rec["wall_ms"]
     return rows
 
 
@@ -52,12 +61,14 @@ def check_regression(
     current: dict, baseline: dict, max_ratio: float, min_ms: float, errors: list
 ) -> int:
     checked = 0
-    for (name, threads), base_ms in sorted(baseline.items()):
+    for (name, threads, size), base_ms in sorted(baseline.items()):
         if threads != 1:
             continue
-        cur_ms = current.get((name, 1))
+        cur_ms = current.get((name, 1, size))
         if cur_ms is None:
-            errors.append(f"regression: family '{name}' missing from current")
+            errors.append(
+                f"regression: row ('{name}', size {size}) missing from current"
+            )
             continue
         if base_ms < min_ms:
             continue  # timer-noise regime; ratio is meaningless
@@ -75,25 +86,62 @@ def check_scaling(
 ) -> int:
     checked = 0
     for family in SCALABLE_FAMILIES:
-        threads = sorted(t for (name, t) in current if name == family)
-        if not threads:
+        rows = {
+            (t, s): ms for (name, t, s), ms in current.items() if name == family
+        }
+        if not rows:
             errors.append(f"scaling: family '{family}' missing from current")
             continue
-        one = current.get((family, 1))
+        size = next(iter(rows))[1]
+        one = rows.get((1, size))
         if one is None:
             errors.append(f"scaling: family '{family}' has no 1-thread row")
             continue
         if one < min_ms:
             continue  # timer-noise regime; ratio is meaningless
-        top = threads[-1]
+        top = max(t for (t, s) in rows if s == size)
         checked += 1
-        if current[(family, top)] > max_ratio * one:
+        if rows[(top, size)] > max_ratio * one:
             errors.append(
                 f"scaling: {family} at {top} threads "
-                f"{current[(family, top)]:.3f} ms > {max_ratio:.2f}x "
+                f"{rows[(top, size)]:.3f} ms > {max_ratio:.2f}x "
                 f"1-thread {one:.3f} ms"
             )
     return checked
+
+
+def check_planner_speedup(
+    current: dict, min_speedup: float, errors: list
+) -> int:
+    """Gate planner_full / planner_incremental at the largest grid size."""
+    sizes = sorted(
+        s for (name, t, s) in current if name in PLANNER_FAMILIES and t == 1
+    )
+    if not sizes:
+        errors.append("planner: no single-thread planner_* rows found")
+        return 0
+    size = sizes[-1]
+    full = current.get(("planner_full", 1, size))
+    inc = current.get(("planner_incremental", 1, size))
+    if full is None or inc is None:
+        errors.append(
+            f"planner: size {size} lacks a planner_full/planner_incremental "
+            f"single-thread pair"
+        )
+        return 0
+    speedup = full / inc if inc > 0.0 else float("inf")
+    if speedup < min_speedup:
+        errors.append(
+            f"planner: incremental speedup {speedup:.2f}x at size {size} "
+            f"({full:.3f} ms -> {inc:.3f} ms) below required "
+            f"{min_speedup:.2f}x"
+        )
+    else:
+        print(
+            f"planner: incremental speedup {speedup:.2f}x at size {size} "
+            f"({full:.3f} ms -> {inc:.3f} ms)"
+        )
+    return 1
 
 
 def main() -> int:
@@ -104,6 +152,7 @@ def main() -> int:
     parser.add_argument("--scaling-max-ratio", type=float, default=1.1)
     parser.add_argument("--min-ms", type=float, default=0.5)
     parser.add_argument("--require-scaling", action="store_true")
+    parser.add_argument("--planner-min-speedup", type=float, default=None)
     args = parser.parse_args()
 
     try:
@@ -126,7 +175,12 @@ def main() -> int:
 
     cores = os.cpu_count() or 1
     scaling_checked = 0
-    if cores >= 2 or args.require_scaling:
+    planner_checked = 0
+    if args.planner_min_speedup is not None:
+        planner_checked = check_planner_speedup(
+            current, args.planner_min_speedup, errors
+        )
+    elif cores >= 2 or args.require_scaling:
         scaling_checked = check_scaling(
             current, args.scaling_max_ratio, args.min_ms, errors
         )
@@ -143,7 +197,8 @@ def main() -> int:
         return 1
     print(
         f"OK {args.current}: regression rows checked={regression_checked} "
-        f"scaling families checked={scaling_checked}"
+        f"scaling families checked={scaling_checked} "
+        f"planner gates checked={planner_checked}"
     )
     return 0
 
