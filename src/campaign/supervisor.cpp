@@ -24,6 +24,7 @@
 #include "common/obs.hpp"
 #include "common/obs_report.hpp"
 #include "common/rng.hpp"
+#include "common/sync.hpp"
 #include "common/timer.hpp"
 
 namespace ppdl::campaign {
@@ -71,6 +72,155 @@ struct ScenarioState {
   Real not_before = 0.0;
 };
 
+/// One scheduling wave's view of the table: the runnable indices plus the
+/// earliest backoff expiry among the entries still waiting one out.
+struct WavePlan {
+  bool all_settled = false;    ///< every scenario done or quarantined
+  std::vector<Index> ready;    ///< runnable now (not done/quarantined/backing off)
+  Real next_wakeup = -1.0;     ///< earliest not_before of a backing-off entry
+};
+
+/// The supervisor's shard/retry/quarantine table. All per-scenario
+/// bookkeeping lives behind one mutex with index-based accessors (indices
+/// are stable — the table never reorders), so no reference to guarded
+/// state ever escapes a lock window. Today one supervisor thread drives
+/// the waves; the annotations make the discipline compile-checked before
+/// the planning-service roadmap item puts concurrent reapers behind it.
+class ScenarioTable {
+ public:
+  explicit ScenarioTable(const std::vector<Scenario>& scenarios) {
+    states_.reserve(scenarios.size());
+    for (const Scenario& s : scenarios) {
+      ScenarioState st;
+      st.scenario = s;
+      states_.push_back(std::move(st));
+    }
+  }
+
+  Index size() const PPDL_EXCLUDES(mutex_) {
+    sync::MutexLock lock(mutex_);
+    return static_cast<Index>(states_.size());
+  }
+
+  Scenario scenario(Index i) const PPDL_EXCLUDES(mutex_) {
+    sync::MutexLock lock(mutex_);
+    return at(i).scenario;
+  }
+
+  bool is_done(Index i) const PPDL_EXCLUDES(mutex_) {
+    sync::MutexLock lock(mutex_);
+    return at(i).done;
+  }
+
+  void mark_done(Index i) PPDL_EXCLUDES(mutex_) {
+    sync::MutexLock lock(mutex_);
+    at(i).done = true;
+  }
+
+  /// Records one failed attempt: bumps the attempt counter and keeps the
+  /// error as quarantine evidence. Returns the new attempt count so the
+  /// caller can apply the backoff/quarantine policy.
+  Index record_attempt_failure(Index i, const std::string& error)
+      PPDL_EXCLUDES(mutex_) {
+    sync::MutexLock lock(mutex_);
+    ScenarioState& st = at(i);
+    st.attempts += 1;
+    st.last_error = error;
+    return st.attempts;
+  }
+
+  void quarantine(Index i) PPDL_EXCLUDES(mutex_) {
+    sync::MutexLock lock(mutex_);
+    at(i).quarantined = true;
+  }
+
+  void schedule_retry(Index i, Real not_before) PPDL_EXCLUDES(mutex_) {
+    sync::MutexLock lock(mutex_);
+    at(i).not_before = not_before;
+  }
+
+  /// Snapshot of the wave-scheduling state at `now`.
+  WavePlan plan(Real now) const PPDL_EXCLUDES(mutex_) {
+    sync::MutexLock lock(mutex_);
+    WavePlan out;
+    out.all_settled = true;
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      const ScenarioState& st = states_[i];
+      if (st.done || st.quarantined) {
+        continue;
+      }
+      out.all_settled = false;
+      if (st.not_before <= now) {
+        out.ready.push_back(static_cast<Index>(i));
+      } else if (out.next_wakeup < 0.0 || st.not_before < out.next_wakeup) {
+        out.next_wakeup = st.not_before;
+      }
+    }
+    return out;
+  }
+
+  /// Full copy for checkpointing and report assembly.
+  std::vector<ScenarioState> snapshot() const PPDL_EXCLUDES(mutex_) {
+    sync::MutexLock lock(mutex_);
+    return states_;
+  }
+
+  /// Restores attempts/quarantine bookkeeping from a decoded checkpoint
+  /// (matched by scenario id). Throws CampaignError on an unknown id.
+  void restore_bookkeeping(const SupervisorCheckpoint& ckpt)
+      PPDL_EXCLUDES(mutex_) {
+    sync::MutexLock lock(mutex_);
+    std::map<std::string, ScenarioState*> by_id;
+    for (ScenarioState& st : states_) {
+      by_id[st.scenario.id] = &st;
+    }
+    for (const SupervisorCheckpoint::Entry& entry : ckpt.entries) {
+      const auto found = by_id.find(entry.id);
+      if (found == by_id.end()) {
+        // Identity matched, so an unknown id means a corrupted-but-
+        // checksum-valid payload — impossible short of a bug; fail loudly.
+        throw CampaignError("campaign checkpoint names unknown scenario '" +
+                            entry.id + "'");
+      }
+      found->second->attempts = entry.attempts;
+      found->second->quarantined = entry.quarantined;
+      found->second->last_error = entry.last_error;
+    }
+  }
+
+ private:
+  const ScenarioState& at(Index i) const PPDL_REQUIRES(mutex_) {
+    return states_[static_cast<std::size_t>(i)];
+  }
+  ScenarioState& at(Index i) PPDL_REQUIRES(mutex_) {
+    return states_[static_cast<std::size_t>(i)];
+  }
+
+  mutable sync::Mutex mutex_;
+  std::vector<ScenarioState> states_ PPDL_GUARDED_BY(mutex_);
+};
+
+/// Execution-evidence counters (retries, crashes, resume activity):
+/// scheduling-dependent by nature, reported only under the report's
+/// "execution" section. Mutexed so concurrent reapers can share one
+/// ledger; the same events are mirrored into the global obs registry.
+class ExecLedger {
+ public:
+  void bump(const std::string& name, Index delta = 1) PPDL_EXCLUDES(mutex_) {
+    sync::MutexLock lock(mutex_);
+    counters_[name] += delta;
+  }
+
+  std::map<std::string, Index> snapshot() const PPDL_EXCLUDES(mutex_) {
+    sync::MutexLock lock(mutex_);
+    return counters_;
+  }
+
+ private:
+  mutable sync::Mutex mutex_;
+  std::map<std::string, Index> counters_ PPDL_GUARDED_BY(mutex_);
+};
+
 /// Identity of a campaign: the expanded scenario list plus the stochastic
 /// inputs. A checkpoint for a different identity must not be resumed.
 U64 campaign_identity(const std::vector<Scenario>& scenarios, U64 seed,
@@ -103,11 +253,11 @@ void save_supervisor_state(const std::string& path, U64 identity, Index round,
   write_artifact_file(path, artifact);
 }
 
-/// Restores attempts/quarantine state into `states` (matched by scenario
+/// Restores attempts/quarantine state into `table` (matched by scenario
 /// id). Returns the restored round counter. Throws on damage or identity
 /// mismatch; the caller decides how loudly to discard.
 Index load_supervisor_state(const std::string& path, U64 identity,
-                            std::vector<ScenarioState>& states) {
+                            ScenarioTable& table) {
   const Artifact artifact =
       read_artifact_file(path, kCkptType, kCkptVersion, kCkptVersion);
   std::istringstream in(artifact.payload);
@@ -116,22 +266,7 @@ Index load_supervisor_state(const std::string& path, U64 identity,
     throw CampaignError("campaign checkpoint was written by a different "
                         "campaign (identity mismatch)");
   }
-  std::map<std::string, ScenarioState*> by_id;
-  for (ScenarioState& st : states) {
-    by_id[st.scenario.id] = &st;
-  }
-  for (const SupervisorCheckpoint::Entry& entry : ckpt.entries) {
-    const auto found = by_id.find(entry.id);
-    if (found == by_id.end()) {
-      // Identity matched, so an unknown id means a corrupted-but-
-      // checksum-valid payload — impossible short of a bug; fail loudly.
-      throw CampaignError("campaign checkpoint names unknown scenario '" +
-                          entry.id + "'");
-    }
-    found->second->attempts = entry.attempts;
-    found->second->quarantined = entry.quarantined;
-    found->second->last_error = entry.last_error;
-  }
+  table.restore_bookkeeping(ckpt);
   return ckpt.round;
 }
 
@@ -162,8 +297,7 @@ pid_t spawn_worker(const std::vector<std::string>& command) {
 /// Sums the "counters" object of a rendered run report into `into`.
 /// Counter names are plain identifier-ish tokens, so a quote/colon scan is
 /// sufficient — no JSON parser needed.
-void merge_counter_section(const std::string& report_json,
-                           std::map<std::string, Index>& into) {
+void merge_counter_section(const std::string& report_json, ExecLedger& into) {
   const std::string section =
       obs::extract_json_section(report_json, "counters");
   std::size_t i = 0;
@@ -183,8 +317,8 @@ void merge_counter_section(const std::string& report_json,
     char* end = nullptr;
     const long long value =
         std::strtoll(section.c_str() + colon + 1, &end, 10);
-    into[section.substr(q1 + 1, q2 - q1 - 1)] +=
-        static_cast<Index>(value);
+    into.bump(section.substr(q1 + 1, q2 - q1 - 1),
+              static_cast<Index>(value));
     i = static_cast<std::size_t>(end - section.c_str());
   }
 }
@@ -223,44 +357,39 @@ CampaignReport run_campaign(const CampaignConfig& config) {
   const std::vector<Scenario> scenarios = expand_matrix(config.matrix);
   const U64 identity = campaign_identity(
       scenarios, config.matrix.campaign_seed, config.matrix.gamma);
-  std::vector<ScenarioState> states;
-  states.reserve(scenarios.size());
-  for (const Scenario& s : scenarios) {
-    ScenarioState st;
-    st.scenario = s;
-    states.push_back(std::move(st));
-  }
+  ScenarioTable table(scenarios);
 
   Timer clock;
-  // Execution evidence (retries, crashes, resume activity) is tracked in a
-  // local map — scheduling-dependent by nature, reported only under the
-  // report's "execution" section. The same events are mirrored into the
-  // global obs registry for process-level observability.
-  std::map<std::string, Index> exec_counters;
+  // Execution evidence (retries, crashes, resume activity) lives in a
+  // ledger local to this campaign — scheduling-dependent by nature,
+  // reported only under the report's "execution" section. The same events
+  // are mirrored into the global obs registry for process-level
+  // observability.
+  ExecLedger exec_counters;
   const std::string ckpt_path = campaign_checkpoint_path(config.dir);
   Index round = 0;
 
   if (config.resume) {
     try {
-      round = load_supervisor_state(ckpt_path, identity, states);
-      exec_counters["campaign.resumes"] += 1;
+      round = load_supervisor_state(ckpt_path, identity, table);
+      exec_counters.bump("campaign.resumes");
       obs::count("campaign.resumes");
     } catch (const ArtifactError& e) {
       if (e.kind() != ArtifactErrorKind::kMissing) {
         PPDL_LOG_WARN << "campaign: discarding damaged checkpoint: "
                       << e.what();
-        exec_counters["campaign.resume_discarded"] += 1;
+        exec_counters.bump("campaign.resume_discarded");
         obs::count("campaign.resume_discarded");
       }
     } catch (const CampaignError& e) {
       PPDL_LOG_WARN << "campaign: discarding checkpoint: " << e.what();
-      exec_counters["campaign.resume_discarded"] += 1;
+      exec_counters.bump("campaign.resume_discarded");
       obs::count("campaign.resume_discarded");
     }
   } else {
     // Fresh run: stale results would otherwise be skipped as finished.
-    for (const ScenarioState& st : states) {
-      std::remove(scenario_result_path(config.dir, st.scenario).c_str());
+    for (const Scenario& s : scenarios) {
+      std::remove(scenario_result_path(config.dir, s).c_str());
     }
     std::remove(ckpt_path.c_str());
   }
@@ -269,15 +398,16 @@ CampaignReport run_campaign(const CampaignConfig& config) {
   // fresh run). Failed results are left in place — quarantined scenarios
   // keep them as evidence, retryable ones are recomputed by the next
   // worker regardless.
-  for (ScenarioState& st : states) {
-    const std::string path = scenario_result_path(config.dir, st.scenario);
+  for (Index i = 0; i < table.size(); ++i) {
+    const std::string path =
+        scenario_result_path(config.dir, table.scenario(i));
     if (!artifact_file_ok(path, "scenario-result")) {
       continue;
     }
     try {
       if (load_scenario_outcome(path).ok) {
-        st.done = true;
-        exec_counters["campaign.resume_skipped"] += 1;
+        table.mark_done(i);
+        exec_counters.bump("campaign.resume_skipped");
       }
     } catch (const std::exception&) {
       // Unreadable despite the ok-probe (raced rewrite): recompute.
@@ -287,34 +417,21 @@ CampaignReport run_campaign(const CampaignConfig& config) {
   const ScenarioConfig shared{config.matrix.campaign_seed,
                               config.matrix.gamma,
                               config.scenario_timeout_seconds};
-  std::map<std::string, Index> shard_counters;
+  ExecLedger shard_counters;
 
   while (true) {
-    std::vector<ScenarioState*> pending;
-    for (ScenarioState& st : states) {
-      if (!st.done && !st.quarantined) {
-        pending.push_back(&st);
-      }
-    }
-    if (pending.empty()) {
+    const Real now = clock.seconds();
+    const WavePlan wave = table.plan(now);
+    if (wave.all_settled) {
       break;
     }
-    std::vector<ScenarioState*> ready;
-    Real next_wakeup = -1.0;
-    const Real now = clock.seconds();
-    for (ScenarioState* st : pending) {
-      if (st->not_before <= now) {
-        ready.push_back(st);
-      } else if (next_wakeup < 0.0 || st->not_before < next_wakeup) {
-        next_wakeup = st->not_before;
-      }
-    }
-    if (ready.empty()) {
+    if (wave.ready.empty()) {
       // Everything pending is backing off; sleep until the earliest retry.
       std::this_thread::sleep_for(
-          std::chrono::duration<double>(next_wakeup - now + 0.001));
+          std::chrono::duration<double>(wave.next_wakeup - now + 0.001));
       continue;
     }
+    const std::vector<Index>& ready = wave.ready;
 
     // One scheduling wave: slice the ready set round-robin across shards.
     ++round;
@@ -328,7 +445,7 @@ CampaignReport run_campaign(const CampaignConfig& config) {
     }
     for (std::size_t i = 0; i < ready.size(); ++i) {
       tasks[i % static_cast<std::size_t>(wave_shards)].scenarios.push_back(
-          ready[i]->scenario);
+          table.scenario(ready[i]));
     }
     for (const ShardTask& task : tasks) {
       save_shard_task(shard_manifest_path(config.dir, round, task.shard_index),
@@ -376,7 +493,7 @@ CampaignReport run_campaign(const CampaignConfig& config) {
             w.running = false;
             --running;
             if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-              exec_counters["campaign.shard_crashes"] += 1;
+              exec_counters.bump("campaign.shard_crashes");
               obs::count("campaign.shard_crashes");
               PPDL_LOG_WARN << "campaign: shard " << w.shard_index
                             << " (round " << round << ") exited abnormally";
@@ -396,8 +513,8 @@ CampaignReport run_campaign(const CampaignConfig& config) {
               waitpid(w.pid, &status, 0);
               w.running = false;
               --running;
-              exec_counters["campaign.shard_kills"] += 1;
-              exec_counters["campaign.shard_crashes"] += 1;
+              exec_counters.bump("campaign.shard_kills");
+              exec_counters.bump("campaign.shard_crashes");
               obs::count("campaign.shard_kills");
               PPDL_LOG_WARN << "campaign: shard " << w.shard_index
                             << " exceeded its kill budget; SIGKILLed";
@@ -423,9 +540,9 @@ CampaignReport run_campaign(const CampaignConfig& config) {
     }
 
     // Collect outcomes and apply the retry/quarantine policy.
-    for (ScenarioState* st : ready) {
-      const std::string path =
-          scenario_result_path(config.dir, st->scenario);
+    for (const Index idx : ready) {
+      const Scenario scenario = table.scenario(idx);
+      const std::string path = scenario_result_path(config.dir, scenario);
       bool finished = false;
       std::string error;
       if (artifact_file_ok(path, "scenario-result")) {
@@ -440,21 +557,21 @@ CampaignReport run_campaign(const CampaignConfig& config) {
         error = "worker crashed or was killed before recording a result";
       }
       if (finished) {
-        st->done = true;
+        table.mark_done(idx);
         continue;
       }
-      st->attempts += 1;
-      st->last_error =
-          error.empty() ? "scenario failed without error detail" : error;
-      if (st->attempts >= config.max_attempts) {
-        st->quarantined = true;
-        exec_counters["campaign.quarantines"] += 1;
+      if (error.empty()) {
+        error = "scenario failed without error detail";
+      }
+      const Index attempts = table.record_attempt_failure(idx, error);
+      if (attempts >= config.max_attempts) {
+        table.quarantine(idx);
+        exec_counters.bump("campaign.quarantines");
         obs::count("campaign.quarantines");
-        PPDL_LOG_WARN << "campaign: quarantining " << st->scenario.id
-                      << " after " << st->attempts
-                      << " attempts: " << st->last_error;
+        PPDL_LOG_WARN << "campaign: quarantining " << scenario.id
+                      << " after " << attempts << " attempts: " << error;
       } else {
-        exec_counters["campaign.retries"] += 1;
+        exec_counters.bump("campaign.retries");
         obs::count("campaign.retries");
         // Exponential backoff with deterministic per-(scenario, attempt)
         // jitter in [0.5, 1.5)× so synchronized retry herds spread out.
@@ -462,15 +579,15 @@ CampaignReport run_campaign(const CampaignConfig& config) {
             config.backoff_max_seconds,
             config.backoff_initial_seconds *
                 std::pow(config.backoff_factor,
-                         static_cast<Real>(st->attempts - 1)));
-        Rng jitter = Rng::stream(config.matrix.campaign_seed ^ kJitterSalt,
-                                 st->scenario.rng_key +
-                                     static_cast<U64>(st->attempts));
-        st->not_before =
-            clock.seconds() + backoff * (0.5 + jitter.uniform());
+                         static_cast<Real>(attempts - 1)));
+        Rng jitter =
+            Rng::stream(config.matrix.campaign_seed ^ kJitterSalt,
+                        scenario.rng_key + static_cast<U64>(attempts));
+        table.schedule_retry(
+            idx, clock.seconds() + backoff * (0.5 + jitter.uniform()));
       }
     }
-    save_supervisor_state(ckpt_path, identity, round, states);
+    save_supervisor_state(ckpt_path, identity, round, table.snapshot());
   }
 
   // ---- merge into the campaign report --------------------------------
@@ -513,7 +630,8 @@ CampaignReport run_campaign(const CampaignConfig& config) {
   Index pass = 0;
   Index fail = 0;
   Index quarantined = 0;
-  for (const ScenarioState& st : states) {
+  const std::vector<ScenarioState> final_states = table.snapshot();
+  for (const ScenarioState& st : final_states) {
     ScenarioReportEntry entry;
     const std::string path = scenario_result_path(config.dir, st.scenario);
     if (st.quarantined) {
@@ -569,15 +687,15 @@ CampaignReport run_campaign(const CampaignConfig& config) {
     }
     report.scenarios[st.scenario.id] = std::move(entry);
   }
-  report.counters["scenarios"] = static_cast<Index>(states.size());
+  report.counters["scenarios"] = static_cast<Index>(final_states.size());
   report.counters["pass"] = pass;
   report.counters["fail"] = fail;
   report.counters["quarantined"] = quarantined;
 
-  for (const auto& [name, value] : shard_counters) {
+  for (const auto& [name, value] : shard_counters.snapshot()) {
     report.execution_counters["shard." + name] += value;
   }
-  for (const auto& [name, value] : exec_counters) {
+  for (const auto& [name, value] : exec_counters.snapshot()) {
     report.execution_counters[name] += value;
   }
   report.execution_counters["rounds"] = round;

@@ -2,12 +2,19 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "common/sync.hpp"
 
 namespace ppdl {
 
 namespace {
+// relaxed: the threshold is an independent config value (no data is
+// published under it), and this load runs on every emitted log line.
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+/// Serializes the one pre-composed stderr write below; parallel workers
+/// (dataset generation, planner sweeps) must not interleave half-lines.
+sync::Mutex g_emit_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -26,21 +33,21 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level.load(); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level.load())) {
+  if (static_cast<int>(level) <
+      static_cast<int>(g_level.load(std::memory_order_relaxed))) {
     return;
   }
-  // One pre-composed write under a mutex: parallel workers (dataset
-  // generation, planner sweeps) must not interleave half-lines on stderr.
-  static std::mutex emit_mutex;
   const std::string line =
       "[ppdl " + std::string(level_name(level)) + "] " + message + '\n';
-  std::lock_guard<std::mutex> lock(emit_mutex);
+  sync::MutexLock lock(g_emit_mutex);
   std::cerr << line;
 }
 }  // namespace detail

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "common/timer.hpp"
 
@@ -48,12 +49,12 @@ void MemorySampler::stop() {
 }
 
 std::vector<MemorySample> MemorySampler::samples() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   return samples_;
 }
 
 Real MemorySampler::peak_mib() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   Real peak = 0.0;
   for (const auto& s : samples_) {
     peak = std::max(peak, s.rss_mib);
@@ -68,7 +69,7 @@ void MemorySampler::run(Index period_ms) {
     sample.t_seconds = timer.seconds();
     sample.rss_mib = current_rss_mib();
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const sync::MutexLock lock(mutex_);
       samples_.push_back(sample);
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(period_ms));

@@ -6,10 +6,10 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
-#include <thread>
 #include <vector>
 
+#include "common/parallel.hpp"
+#include "common/sync.hpp"
 #include "common/types.hpp"
 
 namespace ppdl {
@@ -40,18 +40,21 @@ class MemorySampler {
   void stop();
 
   /// Samples collected so far (safe to call after stop()).
-  std::vector<MemorySample> samples() const;
+  std::vector<MemorySample> samples() const PPDL_EXCLUDES(mutex_);
 
   /// Maximum sampled RSS in MiB (0 if no samples).
-  Real peak_mib() const;
+  Real peak_mib() const PPDL_EXCLUDES(mutex_);
 
  private:
   void run(Index period_ms);
 
-  mutable std::mutex mutex_;
-  std::vector<MemorySample> samples_;
+  mutable sync::Mutex mutex_;
+  std::vector<MemorySample> samples_ PPDL_GUARDED_BY(mutex_);
+  // seq_cst kept deliberately: one store at stop() and one load per
+  // sampling period (default 50 ms) — nowhere near a hot path, and the
+  // join in stop() is the real synchronization edge.
   std::atomic<bool> stop_flag_{false};
-  std::thread thread_;
+  parallel::ScopedThread thread_;
 };
 
 }  // namespace ppdl

@@ -11,6 +11,9 @@ namespace {
 
 // -1 = not yet resolved from the environment; 0 = off; 1 = on. A racy
 // first resolution is benign: every thread parses the same environment.
+// All accesses are relaxed: the flag is an independent on/off value with
+// no data published under it, and this load is the entire disabled-path
+// cost of every recording helper (the PPDL_METRICS=off fast path).
 std::atomic<int> g_enabled{-1};
 
 int resolve_enabled_from_env() {
@@ -98,18 +101,18 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 void MetricsRegistry::add(const std::string& name, Index delta) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   data_.counters[name] += delta;
 }
 
 void MetricsRegistry::set(const std::string& name, Real value) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   data_.gauges[name] = value;
 }
 
 void MetricsRegistry::observe(const std::string& name, Real value,
                               const HistogramSpec& spec) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   auto it = data_.histograms.find(name);
   if (it == data_.histograms.end()) {
     PPDL_REQUIRE(spec.bins > 0 && spec.hi > spec.lo,
@@ -124,20 +127,20 @@ void MetricsRegistry::observe(const std::string& name, Real value,
 }
 
 void MetricsRegistry::add_span(const std::string& name, Real seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   SpanStat& stat = data_.spans[name];
   stat.seconds += seconds;
   ++stat.count;
 }
 
 Index MetricsRegistry::counter(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   const auto it = data_.counters.find(name);
   return it == data_.counters.end() ? 0 : it->second;
 }
 
 Real MetricsRegistry::gauge(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   const auto it = data_.gauges.find(name);
   return it == data_.gauges.end()
              ? std::numeric_limits<Real>::quiet_NaN()
@@ -145,12 +148,12 @@ Real MetricsRegistry::gauge(const std::string& name) const {
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return data_;
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   data_ = MetricsSnapshot{};
 }
 

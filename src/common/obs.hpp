@@ -26,10 +26,10 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "common/stats.hpp"
+#include "common/sync.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
 
@@ -76,32 +76,33 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   /// Add `delta` to a counter (created at 0 on first use).
-  void add(const std::string& name, Index delta = 1);
+  void add(const std::string& name, Index delta = 1) PPDL_EXCLUDES(mutex_);
 
   /// Set a gauge to `value` (last write wins — serial sections only).
-  void set(const std::string& name, Real value);
+  void set(const std::string& name, Real value) PPDL_EXCLUDES(mutex_);
 
   /// Record `value` into a bounded histogram. The spec is fixed by the
   /// first observation of `name`; later specs are ignored.
-  void observe(const std::string& name, Real value, const HistogramSpec& spec);
+  void observe(const std::string& name, Real value, const HistogramSpec& spec)
+      PPDL_EXCLUDES(mutex_);
 
   /// Accumulate `seconds` under a span name.
-  void add_span(const std::string& name, Real seconds);
+  void add_span(const std::string& name, Real seconds) PPDL_EXCLUDES(mutex_);
 
   /// Current counter value (0 when never recorded).
-  Index counter(const std::string& name) const;
+  Index counter(const std::string& name) const PPDL_EXCLUDES(mutex_);
 
   /// Current gauge value (NaN when never recorded).
-  Real gauge(const std::string& name) const;
+  Real gauge(const std::string& name) const PPDL_EXCLUDES(mutex_);
 
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const PPDL_EXCLUDES(mutex_);
 
   /// Drop every metric (tests and fresh process-level runs).
-  void reset();
+  void reset() PPDL_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  MetricsSnapshot data_;
+  mutable sync::Mutex mutex_;
+  MetricsSnapshot data_ PPDL_GUARDED_BY(mutex_);
 };
 
 /// Global kill-switch, resolved once from PPDL_METRICS ("off"/"0"/"false"

@@ -2,14 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <exception>
 #include <memory>
-#include <mutex>
-#include <thread>
 
 #include "common/check.hpp"
+#include "common/sync.hpp"
 
 namespace ppdl::parallel {
 
@@ -19,6 +17,9 @@ namespace {
 /// scheduling noise without throughput.
 constexpr Index kMaxThreads = 256;
 
+// relaxed: an independent config value with no data published under it;
+// readers only need atomicity, not ordering, on this warm path (polled by
+// every for_range call).
 std::atomic<Index> g_override{0};
 
 Index env_threads() {
@@ -50,10 +51,12 @@ Index hardware_threads() {
   return h > 0 ? static_cast<Index>(h) : Index{1};
 }
 
-void set_num_threads(Index n) { g_override.store(n > 0 ? n : 0); }
+void set_num_threads(Index n) {
+  g_override.store(n > 0 ? n : 0, std::memory_order_relaxed);
+}
 
 Index default_num_threads() {
-  if (const Index o = g_override.load(); o > 0) {
+  if (const Index o = g_override.load(std::memory_order_relaxed); o > 0) {
     return std::min(o, kMaxThreads);
   }
   if (const Index e = env_threads(); e > 0) {
@@ -88,26 +91,33 @@ struct ThreadPool::Job {
   Index chunks = 0;
   Index max_participants = 0;  ///< workers allowed in (caller is extra)
   Deadline deadline;
+  // relaxed fetch_add: the chunk counter only distributes indices — task
+  // inputs are published to workers by the pool-mutex handoff in run(),
+  // and partials flow back through the done_cv drain, so no ordering
+  // rides on the claim itself.
   std::atomic<Index> next{0};
+  // relaxed: advisory stop/timeout flags; late reads cost at most one
+  // extra deadline poll or chunk claim, never correctness.
   std::atomic<bool> stop{false};
   std::atomic<bool> timed_out{false};
-  // Guarded by the pool mutex.
-  Index participants = 0;
-  Index active = 0;
   // First-thrown exception, lowest chunk index kept for stable reporting.
-  std::mutex error_mutex;
-  std::exception_ptr error;
-  Index error_chunk = -1;
+  sync::Mutex error_mutex;
+  std::exception_ptr error PPDL_GUARDED_BY(error_mutex);
+  Index error_chunk PPDL_GUARDED_BY(error_mutex) = -1;
 };
 
 struct ThreadPool::State {
-  std::mutex mutex;
-  std::condition_variable work_cv;   ///< workers park here between jobs
-  std::condition_variable done_cv;   ///< caller waits for drain here
-  std::shared_ptr<Job> job;          ///< current job, null when idle
-  std::vector<std::thread> workers;
-  std::mutex submit_mutex;           ///< serializes external submitters
-  bool shutdown = false;
+  sync::Mutex mutex;
+  sync::CondVar work_cv;  ///< workers park here between jobs
+  sync::CondVar done_cv;  ///< caller waits for drain here
+  /// Current job, null when idle. One job at a time, so its participation
+  /// counters live here, next to the mutex that guards them.
+  std::shared_ptr<Job> job PPDL_GUARDED_BY(mutex);
+  Index job_participants PPDL_GUARDED_BY(mutex) = 0;
+  Index job_active PPDL_GUARDED_BY(mutex) = 0;
+  std::vector<std::thread> workers PPDL_GUARDED_BY(mutex);
+  sync::Mutex submit_mutex;  ///< serializes external submitters
+  bool shutdown PPDL_GUARDED_BY(mutex) = false;
 };
 
 ThreadPool& ThreadPool::instance() {
@@ -121,12 +131,17 @@ ThreadPool::ThreadPool() : state_(new State) {}
 
 ThreadPool::~ThreadPool() {
   State* s = state_;
+  // Swap the worker set out under the lock, then join outside it: joining
+  // while holding the mutex would deadlock with workers that need it to
+  // observe shutdown and exit.
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lk(s->mutex);
+    sync::MutexLock lk(s->mutex);
     s->shutdown = true;
+    workers.swap(s->workers);
   }
   s->work_cv.notify_all();
-  for (std::thread& w : s->workers) {
+  for (std::thread& w : workers) {
     if (w.joinable()) {
       w.join();
     }
@@ -135,13 +150,13 @@ ThreadPool::~ThreadPool() {
 }
 
 Index ThreadPool::worker_count() const {
-  std::lock_guard<std::mutex> lk(state_->mutex);
+  sync::MutexLock lk(state_->mutex);
   return static_cast<Index>(state_->workers.size());
 }
 
 void ThreadPool::ensure_workers(Index n) {
   State* s = state_;
-  std::lock_guard<std::mutex> lk(s->mutex);
+  sync::MutexLock lk(s->mutex);
   while (static_cast<Index>(s->workers.size()) < n) {
     s->workers.emplace_back([this] { worker_loop(); });
   }
@@ -150,25 +165,31 @@ void ThreadPool::ensure_workers(Index n) {
 void ThreadPool::worker_loop() {
   t_inside_parallel = true;
   State* s = state_;
-  std::unique_lock<std::mutex> lk(s->mutex);
+  sync::UniqueLock lk(s->mutex);
   for (;;) {
-    s->work_cv.wait(lk, [&] { return s->shutdown || s->job != nullptr; });
+    // Explicit predicate loops (not wait(lock, pred)): the guarded reads
+    // stay in this annotated scope where the analysis sees the lock held.
+    while (!s->shutdown && s->job == nullptr) {
+      s->work_cv.wait(lk);
+    }
     if (s->shutdown) {
       return;
     }
     const std::shared_ptr<Job> job = s->job;
-    if (job->participants >= job->max_participants) {
+    if (s->job_participants >= job->max_participants) {
       // Job already has all the help it asked for; sleep until it retires.
-      s->work_cv.wait(lk, [&] { return s->shutdown || s->job != job; });
+      while (!s->shutdown && s->job == job) {
+        s->work_cv.wait(lk);
+      }
       continue;
     }
-    ++job->participants;
-    ++job->active;
+    ++s->job_participants;
+    ++s->job_active;
     lk.unlock();
     execute(*job);
     lk.lock();
-    --job->active;
-    if (job->active == 0) {
+    --s->job_active;
+    if (s->job_active == 0) {
       s->done_cv.notify_all();
     }
   }
@@ -193,7 +214,7 @@ void ThreadPool::execute(Job& job) {
     try {
       job.task(job.ctx, c);
     } catch (...) {
-      std::lock_guard<std::mutex> g(job.error_mutex);
+      sync::MutexLock g(job.error_mutex);
       if (job.error_chunk < 0 || c < job.error_chunk) {
         job.error = std::current_exception();
         job.error_chunk = c;
@@ -223,7 +244,7 @@ bool ThreadPool::run(Index chunks, Index threads, const Deadline& deadline,
 
   State* s = state_;
   // One pooled job at a time; competing external callers run back to back.
-  std::lock_guard<std::mutex> submit(s->submit_mutex);
+  sync::MutexLock submit(s->submit_mutex);
   ensure_workers(threads - 1);
 
   auto job = std::make_shared<Job>();
@@ -233,8 +254,13 @@ bool ThreadPool::run(Index chunks, Index threads, const Deadline& deadline,
   job->max_participants = threads - 1;
   job->deadline = deadline;
   {
-    std::lock_guard<std::mutex> lk(s->mutex);
+    sync::MutexLock lk(s->mutex);
     s->job = job;
+    // The previous job fully drained before its run() returned (and
+    // submit_mutex serializes callers), so job_active is already 0 here;
+    // participants may be stale from the last job.
+    s->job_participants = 0;
+    s->job_active = 0;
   }
   s->work_cv.notify_all();
 
@@ -243,18 +269,25 @@ bool ThreadPool::run(Index chunks, Index threads, const Deadline& deadline,
   t_inside_parallel = false;
 
   {
-    std::unique_lock<std::mutex> lk(s->mutex);
+    sync::UniqueLock lk(s->mutex);
     s->job = nullptr;
     // Wake workers parked on the "job full" wait so they re-park for the
     // next job, then drain the ones still executing chunks.
     s->work_cv.notify_all();
-    s->done_cv.wait(lk, [&] { return job->active == 0; });
+    while (s->job_active != 0) {
+      s->done_cv.wait(lk);
+    }
   }
 
-  if (job->error) {
-    std::rethrow_exception(job->error);
+  std::exception_ptr error;
+  {
+    sync::MutexLock g(job->error_mutex);
+    error = job->error;
   }
-  return !job->timed_out.load();
+  if (error) {
+    std::rethrow_exception(error);
+  }
+  return !job->timed_out.load(std::memory_order_relaxed);
 }
 
 }  // namespace ppdl::parallel

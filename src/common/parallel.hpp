@@ -26,6 +26,7 @@
 // would be silently wrong.
 #pragma once
 
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -33,6 +34,41 @@
 #include "common/types.hpp"
 
 namespace ppdl::parallel {
+
+/// RAII thread: joins on destruction, never detaches. This is the only
+/// sanctioned way to start a long-lived background thread outside the
+/// pool (the ppdl-lint `detached-thread` rule bans bare std::thread
+/// elsewhere): a detached thread outlives the state it touches, which is
+/// exactly the lifetime bug the campaign/service roadmap cannot afford.
+class ScopedThread {
+ public:
+  ScopedThread() = default;
+  template <typename Fn, typename... Args>
+  explicit ScopedThread(Fn&& fn, Args&&... args)
+      : thread_(std::forward<Fn>(fn), std::forward<Args>(args)...) {}
+  ~ScopedThread() { join(); }
+
+  ScopedThread(ScopedThread&&) = default;
+  ScopedThread& operator=(ScopedThread&& other) {
+    join();
+    thread_ = std::move(other.thread_);
+    return *this;
+  }
+  ScopedThread(const ScopedThread&) = delete;
+  ScopedThread& operator=(const ScopedThread&) = delete;
+
+  bool joinable() const { return thread_.joinable(); }
+
+  /// Idempotent join (the destructor calls it too).
+  void join() {
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+  }
+
+ private:
+  std::thread thread_;
+};
 
 /// Per-call overrides; the zero value means "use the configured default".
 struct ParallelOptions {

@@ -1,0 +1,171 @@
+// ppdl::sync — annotated synchronization primitives (compile-time
+// concurrency contracts).
+//
+// Every piece of cross-thread shared state in the tree is guarded by one
+// of these wrappers and annotated with the macros below, so Clang's
+// Thread Safety Analysis (-Wthread-safety) turns lock-discipline
+// violations — an unguarded read, a call made without the required lock,
+// a lock leaked past a scope — into compile errors instead of test-time
+// hopes. The determinism contract (bit-identical results at any thread
+// count, common/parallel) only holds while the hot paths stay race-free;
+// this layer makes that a property the compiler re-proves on every build.
+//
+// Usage:
+//
+//   class Cache {
+//    public:
+//     void put(Key k, Value v) PPDL_EXCLUDES(mutex_) {
+//       MutexLock lock(mutex_);
+//       map_[k] = v;                      // ok: mutex_ held
+//     }
+//    private:
+//     Entry& slot(Key k) PPDL_REQUIRES(mutex_);   // caller must hold
+//     mutable Mutex mutex_;
+//     Map map_ PPDL_GUARDED_BY(mutex_);
+//   };
+//
+// The annotations are attributes: on GCC (and any compiler without the
+// capability attribute family) every macro expands to nothing and the
+// wrappers behave exactly like std::mutex / std::lock_guard /
+// std::unique_lock. The enforcing build is the `thread-safety` preset
+// (clang, -Wthread-safety -Werror=thread-safety); see DESIGN.md
+// "Concurrency contracts & module layering".
+//
+// Naming note: PPDL_REQUIRES (this file, a capability precondition checked
+// at compile time) is distinct from PPDL_REQUIRE (common/check.hpp, a
+// runtime contract check that throws ContractViolation).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+namespace ppdl::sync {
+
+// ---- attribute macros ------------------------------------------------------
+//
+// Clang implements the capability attribute family; everything else gets
+// no-ops. Gated on __has_attribute so a future clang that drops the
+// spelling degrades cleanly instead of erroring.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PPDL_TSA_ATTR(x) __attribute__((x))
+#endif
+#endif
+#ifndef PPDL_TSA_ATTR
+#define PPDL_TSA_ATTR(x)  // no-op on GCC and pre-capability clang
+#endif
+
+/// Marks a class as a capability (lockable) the analysis can track.
+#define PPDL_CAPABILITY(name) PPDL_TSA_ATTR(capability(name))
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define PPDL_SCOPED_CAPABILITY PPDL_TSA_ATTR(scoped_lockable)
+/// Data member readable/writable only while holding the named capability.
+#define PPDL_GUARDED_BY(x) PPDL_TSA_ATTR(guarded_by(x))
+/// Pointer member whose *pointee* is guarded by the named capability.
+#define PPDL_PT_GUARDED_BY(x) PPDL_TSA_ATTR(pt_guarded_by(x))
+/// Function precondition: caller must already hold the capabilities.
+#define PPDL_REQUIRES(...) PPDL_TSA_ATTR(requires_capability(__VA_ARGS__))
+/// Function acquires the capabilities (held on return, not on entry).
+#define PPDL_ACQUIRE(...) PPDL_TSA_ATTR(acquire_capability(__VA_ARGS__))
+/// Function releases the capabilities (held on entry, not on return).
+#define PPDL_RELEASE(...) PPDL_TSA_ATTR(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns `result`.
+#define PPDL_TRY_ACQUIRE(result, ...) \
+  PPDL_TSA_ATTR(try_acquire_capability(result, __VA_ARGS__))
+/// Function must be called WITHOUT the capabilities (deadlock guard).
+#define PPDL_EXCLUDES(...) PPDL_TSA_ATTR(locks_excluded(__VA_ARGS__))
+/// Function returns a reference to the named capability.
+#define PPDL_RETURN_CAPABILITY(x) PPDL_TSA_ATTR(lock_returned(x))
+/// Escape hatch: body is not analyzed (interface annotations still apply
+/// to callers). Every use must carry a justification comment.
+#define PPDL_NO_TSA PPDL_TSA_ATTR(no_thread_safety_analysis)
+
+// ---- primitives ------------------------------------------------------------
+
+/// std::mutex wrapped as a TSA capability. The lock/unlock bodies carry
+/// PPDL_NO_TSA because the underlying std::mutex is not a capability the
+/// analysis can see satisfy the interface contract; callers are checked
+/// against the interface annotations as usual.
+class PPDL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PPDL_ACQUIRE() PPDL_NO_TSA { m_.lock(); }
+  void unlock() PPDL_RELEASE() PPDL_NO_TSA { m_.unlock(); }
+  bool try_lock() PPDL_TRY_ACQUIRE(true) PPDL_NO_TSA { return m_.try_lock(); }
+
+  /// The wrapped std::mutex, for CondVar only (waiting needs the native
+  /// handle; everything else goes through the annotated interface).
+  std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// Scoped lock (std::lock_guard shape): acquires on construction, releases
+/// on destruction, no unlock in between.
+class PPDL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) PPDL_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex.lock();
+  }
+  ~MutexLock() PPDL_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Relockable scoped lock (std::unique_lock shape) for condition-variable
+/// waits and windows where the lock is dropped around a long operation.
+/// Starts locked; the destructor releases only if currently held. The
+/// bodies delegate to std::unique_lock (which the analysis cannot see
+/// satisfy the interface), so they carry PPDL_NO_TSA; callers are checked
+/// against the acquire/release interface as usual.
+class PPDL_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mutex) PPDL_ACQUIRE(mutex) PPDL_NO_TSA
+      : lock_(mutex.native()) {}
+  ~UniqueLock() PPDL_RELEASE() PPDL_NO_TSA {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() PPDL_ACQUIRE() PPDL_NO_TSA { lock_.lock(); }
+  void unlock() PPDL_RELEASE() PPDL_NO_TSA { lock_.unlock(); }
+
+  /// The wrapped std::unique_lock, for CondVar::wait only.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable paired with Mutex/UniqueLock. wait() atomically
+/// releases and re-acquires the lock internally; from the analysis's point
+/// of view the capability is held across the call, which matches the
+/// caller-visible contract. Always re-check the predicate in a while loop
+/// around wait() — spurious wakeups are allowed, and writing the loop
+/// inline (instead of a predicate lambda) keeps the guarded reads inside
+/// the annotated caller where the analysis can see the lock is held.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (or spuriously woken). `lock` must be held.
+  void wait(UniqueLock& lock) { cv_.wait(lock.native()); }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ppdl::sync

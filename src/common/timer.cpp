@@ -3,7 +3,7 @@
 namespace ppdl {
 
 void PhaseTimer::add(const std::string& phase, Real seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   auto [it, inserted] = totals_.try_emplace(phase, 0.0);
   if (inserted) {
     order_.push_back(phase);
@@ -12,13 +12,13 @@ void PhaseTimer::add(const std::string& phase, Real seconds) {
 }
 
 Real PhaseTimer::total(const std::string& phase) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   const auto it = totals_.find(phase);
   return it == totals_.end() ? 0.0 : it->second;
 }
 
 Real PhaseTimer::grand_total() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   // Sum in first-recorded order: unordered_map iteration order is
   // implementation-defined, and a float sum in varying order gives
   // different roundings run-to-run.
@@ -27,6 +27,11 @@ Real PhaseTimer::grand_total() const {
     sum += totals_.at(name);
   }
   return sum;
+}
+
+std::vector<std::string> PhaseTimer::phases() const {
+  sync::MutexLock lock(mutex_);
+  return order_;
 }
 
 }  // namespace ppdl

@@ -3,11 +3,11 @@
 #pragma once
 
 #include <chrono>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "common/types.hpp"
 
 namespace ppdl {
@@ -36,27 +36,29 @@ class Timer {
 /// Accumulates named phase timings, e.g. {"assemble", "solve", "widen"}.
 /// Used to report where conventional-planner time goes.
 ///
-/// add()/total()/grand_total() are synchronized so parallel workers can
-/// report into one sink; phases() returns a reference and is only safe
-/// once concurrent add() calls have finished (after-the-fact reporting).
+/// Every accessor is synchronized so parallel workers can report into one
+/// sink. phases() returns a snapshot copy taken under the lock (it used
+/// to hand out a reference into guarded state — a lock-window hole the
+/// thread-safety analysis rejects, and rightly so: a reader iterating the
+/// reference while a worker appends a new phase is a race).
 class PhaseTimer {
  public:
   /// Add `seconds` to the named phase (creates it on first use).
-  void add(const std::string& phase, Real seconds);
+  void add(const std::string& phase, Real seconds) PPDL_EXCLUDES(mutex_);
 
   /// Total seconds recorded for a phase (0 if never recorded).
-  Real total(const std::string& phase) const;
+  Real total(const std::string& phase) const PPDL_EXCLUDES(mutex_);
 
   /// Sum over all phases.
-  Real grand_total() const;
+  Real grand_total() const PPDL_EXCLUDES(mutex_);
 
-  /// Phases in first-recorded order.
-  const std::vector<std::string>& phases() const { return order_; }
+  /// Snapshot of the phase names in first-recorded order.
+  std::vector<std::string> phases() const PPDL_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, Real> totals_;
-  std::vector<std::string> order_;
+  mutable sync::Mutex mutex_;
+  std::unordered_map<std::string, Real> totals_ PPDL_GUARDED_BY(mutex_);
+  std::vector<std::string> order_ PPDL_GUARDED_BY(mutex_);
 };
 
 /// RAII helper: times a scope and adds it to a PhaseTimer on destruction.

@@ -4,6 +4,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "common/timer.hpp"
 
 namespace ppdl {
@@ -69,7 +70,7 @@ TEST(PhaseTimer, ConcurrentWritersLoseNothing) {
   PhaseTimer pt;
   constexpr int kThreads = 8;
   constexpr int kAddsPerThread = 1000;
-  std::vector<std::thread> workers;
+  std::vector<parallel::ScopedThread> workers;
   workers.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([&pt, t] {
@@ -80,7 +81,7 @@ TEST(PhaseTimer, ConcurrentWritersLoseNothing) {
       }
     });
   }
-  for (std::thread& w : workers) {
+  for (parallel::ScopedThread& w : workers) {
     w.join();
   }
   EXPECT_NEAR(pt.total("shared"), kThreads * kAddsPerThread * 0.001, 1e-9);

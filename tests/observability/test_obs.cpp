@@ -10,6 +10,7 @@
 
 #include "common/obs.hpp"
 #include "common/obs_report.hpp"
+#include "common/parallel.hpp"
 #include "common/timer.hpp"
 
 namespace ppdl::obs {
@@ -144,7 +145,7 @@ TEST_F(ObsTest, SnapshotDeltaOmitsQuietMetrics) {
 TEST_F(ObsTest, ConcurrentRecordersLoseNothing) {
   constexpr int kThreads = 8;
   constexpr int kOpsPerThread = 2000;
-  std::vector<std::thread> workers;
+  std::vector<parallel::ScopedThread> workers;
   workers.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([t] {
@@ -155,7 +156,7 @@ TEST_F(ObsTest, ConcurrentRecordersLoseNothing) {
       }
     });
   }
-  for (std::thread& w : workers) {
+  for (parallel::ScopedThread& w : workers) {
     w.join();
   }
   const MetricsSnapshot snap = MetricsRegistry::global().snapshot();

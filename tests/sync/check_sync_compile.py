@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Compile-failure harness for the ppdl::sync thread-safety contracts.
+
+Each fixtures/fail_*.cpp encodes one lock-discipline violation (unguarded
+read, missing-REQUIRES call, leaked lock) and MUST fail to compile under
+`-Werror=thread-safety`; fixtures/pass_*.cpp use the same vocabulary
+correctly and MUST compile cleanly. That proves the annotations are live —
+a regression that silently no-ops them (a broken macro gate, a lost
+attribute) flips the fail fixtures to "compiles" and trips this harness.
+
+Thread Safety Analysis is clang-only. Without a clang compiler the harness
+exits 77 (the ctest SKIP_RETURN_CODE), and the `thread-safety` CI job is
+the enforcing run.
+
+Usage:
+    check_sync_compile.py [--compiler CXX] [--src DIR] [--fixtures DIR]
+
+Exit codes: 0 all fixtures behave, 1 violations, 77 no clang available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import shutil
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+TSA_FLAGS = ["-fsyntax-only", "-std=c++20", "-Wthread-safety",
+             "-Werror=thread-safety"]
+
+
+def is_clang(compiler: str) -> bool:
+    try:
+        proc = subprocess.run(
+            [compiler, "--version"], capture_output=True, text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return False
+    return proc.returncode == 0 and "clang" in proc.stdout.lower()
+
+
+def pick_compiler(preferred: str | None) -> str | None:
+    candidates = []
+    if preferred:
+        candidates.append(preferred)
+    env = os.environ.get("CXX")
+    if env:
+        candidates.append(env)
+    candidates += ["clang++", "clang"]
+    for cand in candidates:
+        resolved = shutil.which(cand) or (cand if os.path.exists(cand) else None)
+        if resolved and is_clang(resolved):
+            return resolved
+    return None
+
+
+def compile_fixture(compiler: str, src_include: str, path: str):
+    cmd = [compiler, *TSA_FLAGS, "-I", src_include, path]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+    return proc.returncode, proc.stderr
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--compiler", default=None,
+                        help="C++ compiler (must be clang; skips otherwise)")
+    parser.add_argument(
+        "--src",
+        default=os.path.join(os.path.dirname(os.path.dirname(HERE)), "src"),
+        help="include root providing common/sync.hpp",
+    )
+    parser.add_argument("--fixtures",
+                        default=os.path.join(HERE, "fixtures"),
+                        help="directory of fail_*.cpp / pass_*.cpp fixtures")
+    args = parser.parse_args(argv)
+
+    compiler = pick_compiler(args.compiler)
+    if compiler is None:
+        print("check_sync_compile: no clang compiler available — skipping "
+              "(the thread-safety CI job is the enforcing run)")
+        return 77
+
+    fixtures = sorted(glob.glob(os.path.join(args.fixtures, "*.cpp")))
+    if not fixtures:
+        print(f"check_sync_compile: no fixtures in {args.fixtures}",
+              file=sys.stderr)
+        return 1
+
+    failures = 0
+    for path in fixtures:
+        name = os.path.basename(path)
+        expect_failure = name.startswith("fail_")
+        code, stderr = compile_fixture(compiler, args.src, path)
+        if expect_failure:
+            if code == 0:
+                print(f"FAIL {name}: compiled cleanly but encodes a "
+                      "lock-discipline violation — the thread-safety "
+                      "annotations are not live")
+                failures += 1
+            elif "thread-safety" not in stderr:
+                print(f"FAIL {name}: failed to compile, but not from "
+                      f"-Wthread-safety; first stderr lines:\n"
+                      + "\n".join(stderr.splitlines()[:5]))
+                failures += 1
+            else:
+                print(f"ok   {name}: rejected by thread-safety analysis")
+        else:
+            if code != 0:
+                print(f"FAIL {name}: expected clean compile; stderr:\n"
+                      + "\n".join(stderr.splitlines()[:10]))
+                failures += 1
+            else:
+                print(f"ok   {name}: clean")
+    if failures:
+        print(f"check_sync_compile: {failures} fixture(s) misbehaved")
+        return 1
+    print(f"check_sync_compile: {len(fixtures)} fixtures behaved "
+          f"({compiler})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+// MUST NOT COMPILE under -Werror=thread-safety: the mutex is acquired
+// manually and never released, so it is still held when the function
+// returns.
+#include "common/sync.hpp"
+
+namespace {
+ppdl::sync::Mutex g_mutex;
+}  // namespace
+
+int main() {
+  g_mutex.lock();
+  return 0;  // BAD: g_mutex still held at end of function
+}

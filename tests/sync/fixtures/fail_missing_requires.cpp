@@ -1,0 +1,25 @@
+// MUST NOT COMPILE under -Werror=thread-safety: unlocked_total() carries
+// PPDL_REQUIRES(mutex_), and main-path code calls it without the lock.
+#include "common/sync.hpp"
+
+namespace {
+
+class Ledger {
+ public:
+  int total() {
+    return unlocked_total();  // BAD: REQUIRES(mutex_) but mutex_ not held
+  }
+
+ private:
+  int unlocked_total() PPDL_REQUIRES(mutex_) { return value_; }
+
+  ppdl::sync::Mutex mutex_;
+  int value_ PPDL_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Ledger ledger;
+  return ledger.total();
+}

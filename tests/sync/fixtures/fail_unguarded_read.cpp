@@ -1,0 +1,28 @@
+// MUST NOT COMPILE under -Werror=thread-safety: value_ is guarded by
+// mutex_, and read() touches it without holding the lock.
+#include "common/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void add(int d) {
+    ppdl::sync::MutexLock lock(mutex_);
+    value_ += d;
+  }
+  int read() const {
+    return value_;  // BAD: guarded read, no lock held
+  }
+
+ private:
+  mutable ppdl::sync::Mutex mutex_;
+  int value_ PPDL_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(1);
+  return c.read();
+}

@@ -1,0 +1,46 @@
+// MUST COMPILE CLEANLY under -Werror=thread-safety: the full annotated
+// vocabulary used correctly — scoped locks, a REQUIRES helper called
+// under the lock, a relockable UniqueLock with an explicit predicate
+// loop, and an EXCLUDES method.
+#include "common/sync.hpp"
+
+namespace {
+
+class Queue {
+ public:
+  void push(int v) PPDL_EXCLUDES(mutex_) {
+    {
+      ppdl::sync::MutexLock lock(mutex_);
+      value_ = v;
+      has_value_ = true;
+      bump_version();
+    }
+    cv_.notify_one();
+  }
+
+  int pop() PPDL_EXCLUDES(mutex_) {
+    ppdl::sync::UniqueLock lock(mutex_);
+    while (!has_value_) {
+      cv_.wait(lock);
+    }
+    has_value_ = false;
+    return value_;
+  }
+
+ private:
+  void bump_version() PPDL_REQUIRES(mutex_) { ++version_; }
+
+  ppdl::sync::Mutex mutex_;
+  ppdl::sync::CondVar cv_;
+  int value_ PPDL_GUARDED_BY(mutex_) = 0;
+  bool has_value_ PPDL_GUARDED_BY(mutex_) = false;
+  long version_ PPDL_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue q;
+  q.push(7);
+  return q.pop() == 7 ? 0 : 1;
+}

@@ -1,0 +1,9 @@
+// Fixture: the injected back-edge — common (rank 0) reaching up into
+// planner (rank 6). The checker must flag this include.
+#pragma once
+
+#include "planner/plan.hpp"
+
+namespace fixture {
+int answer();
+}  // namespace fixture

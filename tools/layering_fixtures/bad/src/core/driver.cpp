@@ -1,0 +1,7 @@
+// Fixture: the TU whose include chain reaches the back-edge
+// (core/driver.cpp -> common/util.hpp -> planner/plan.hpp).
+#include "common/util.hpp"
+
+namespace fixture {
+int drive() { return answer(); }
+}  // namespace fixture

@@ -1,0 +1,6 @@
+// Fixture: innocent high-layer header dragged into the cycle.
+#pragma once
+
+namespace fixture {
+int plan();
+}  // namespace fixture

@@ -1,0 +1,6 @@
+// Fixture: a bottom-layer header with no project includes.
+#pragma once
+
+namespace fixture {
+int answer();
+}  // namespace fixture

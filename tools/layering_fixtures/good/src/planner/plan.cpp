@@ -1,0 +1,6 @@
+// Fixture: translation unit rooting the include graph.
+#include "planner/plan.hpp"
+
+namespace fixture {
+int plan() { return answer(); }
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Fixture: a high layer including a lower one — a forward edge, allowed.
+#pragma once
+
+#include "common/util.hpp"
+
+namespace fixture {
+int plan();
+}  // namespace fixture

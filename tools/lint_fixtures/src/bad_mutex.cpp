@@ -1,0 +1,24 @@
+// Fixture: raw std synchronization primitives in library code. Every
+// declaration below must be flagged by raw-mutex — the ppdl::sync
+// wrappers are the only sanctioned spelling.
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_lock;
+std::condition_variable g_cv;
+
+int locked_read(int& value) {
+  std::lock_guard<std::mutex> guard(g_lock);
+  return value;
+}
+
+void locked_wait(bool& flag) {
+  std::unique_lock<std::mutex> lk(g_lock);
+  while (!flag) {
+    g_cv.wait(lk);
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: malformed suppressions of the concurrency rules. The
+// unjustified allow(raw-mutex) must be rejected (and therefore not
+// suppress the raw-mutex finding under it); the justified allow on the
+// detach line names a rule that does not exist, so it is rejected and
+// the detached-thread finding surfaces too.
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+// ppdl-lint: allow(raw-mutex)
+std::mutex g_unjustified;
+
+void leak_worker() {
+  // ppdl-lint: allow(detached-threads) -- typo'd rule name
+  std::thread([] {}).detach();
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: bare std::thread construction and detach() in library code.
+// Both must be flagged by detached-thread.
+#include <thread>
+
+namespace fixture {
+
+void fire_and_forget() {
+  std::thread worker([] {});
+  worker.detach();
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: the thread-pool home may construct std::thread directly
+// (detached-thread's bare-thread arm is silent here), but detach() is
+// banned even in the home.
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+void spawn_workers(std::vector<std::thread>& out) {
+  out.emplace_back([] {});
+}
+
+}  // namespace fixture

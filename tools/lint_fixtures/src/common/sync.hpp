@@ -1,0 +1,18 @@
+// Fixture: the sync wrapper home itself may name the std primitives it
+// wraps — raw-mutex must stay silent here.
+#pragma once
+
+#include <mutex>
+
+namespace fixture {
+
+class Mutex {
+ public:
+  void lock() { m_.lock(); }
+  void unlock() { m_.unlock(); }
+
+ private:
+  std::mutex m_;
+};
+
+}  // namespace fixture

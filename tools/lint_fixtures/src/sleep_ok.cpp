@@ -1,0 +1,13 @@
+// Fixture: std::this_thread is not a thread handle — sleeping or
+// yielding on the current thread must stay clean under detached-thread.
+#include <chrono>
+#include <thread>
+
+namespace fixture {
+
+void nap() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  std::this_thread::yield();
+}
+
+}  // namespace fixture

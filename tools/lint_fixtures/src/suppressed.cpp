@@ -1,10 +1,20 @@
 // Fixture: both suppression forms, each with a justification — clean file.
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
+#include <thread>
 
 void sanctioned() {
   std::ofstream out("scratch.txt");  // ppdl-lint: allow(raw-file-write) -- scratch file, never an artifact
   out << 1;
   // ppdl-lint: allow(no-exit) -- fixture demonstrating the previous-line form
   exit(0);
+}
+
+// ppdl-lint: allow(raw-mutex) -- fixture: justified escape from the sync funnel
+std::mutex g_sanctioned;
+
+void sanctioned_thread() {
+  std::thread t([] {});  // ppdl-lint: allow(detached-thread) -- fixture: joined below
+  t.join();
 }

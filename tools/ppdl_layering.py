@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""Include-layering checker: enforces the module DAG under src/.
+
+The tree is layered bottom-up as
+
+    common -> linalg -> grid -> nn -> robust -> analysis -> planner
+           -> core -> campaign
+
+where "A -> B" means B may include A (headers flow downward only). A
+module may include itself and any module of strictly lower rank. An
+include that points *up* the stack (a back-edge) couples a low layer to a
+high one, which breaks incremental rebuilds and — worse — lets sync/
+threading invariants documented at one layer leak assumptions into
+another. This checker fails the build on any back-edge and prints the
+offending `#include` chain from a translation unit so the fix site is
+obvious.
+
+Note: the ordering above is the tree's *actual* topological order (robust
+sits below analysis because `analysis/` includes `robust/` headers), which
+is what a layering gate must enforce; see DESIGN.md "Concurrency
+contracts & module layering".
+
+Usage:
+    tools/ppdl_layering.py [--root DIR] [--src SUBDIR]
+                           [--compile-commands FILE]
+
+Exit codes: 0 clean, 1 back-edges found, 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from collections import deque
+
+# Bottom-up module order; rank = index. A file in module M may include
+# headers from modules with rank <= rank(M).
+LAYERS = [
+    "common",
+    "linalg",
+    "grid",
+    "nn",
+    "robust",
+    "analysis",
+    "planner",
+    "core",
+    "campaign",
+]
+
+RANK = {name: i for i, name in enumerate(LAYERS)}
+
+# Project-relative includes look like `#include "module/header.hpp"`.
+# System/library includes (`<...>`) are out of scope.
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+SOURCE_EXTS = (".hpp", ".cpp", ".h", ".cc")
+
+
+def module_of(rel_path: str) -> str | None:
+    """Module name of a src-relative path, or None for loose files."""
+    head, _, _ = rel_path.partition("/")
+    return head if head in RANK else None
+
+
+def scan_includes(path: str) -> list[tuple[int, str]]:
+    """(line_number, include_target) pairs of project-relative includes."""
+    out = []
+    try:
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                m = INCLUDE_RE.match(line)
+                if m:
+                    out.append((lineno, m.group(1)))
+    except OSError as e:
+        raise SystemExit(f"ppdl_layering: cannot read {path}: {e}")
+    return out
+
+
+def collect_sources(src_dir: str) -> list[str]:
+    """All source/header files under src_dir, src-relative, sorted."""
+    found = []
+    for dirpath, _, filenames in os.walk(src_dir):
+        for name in filenames:
+            if name.endswith(SOURCE_EXTS):
+                full = os.path.join(dirpath, name)
+                found.append(os.path.relpath(full, src_dir).replace(os.sep, "/"))
+    return sorted(found)
+
+
+def tu_roots_from_compile_commands(path: str, src_dir: str) -> list[str]:
+    """src-relative .cpp entries of a compile_commands.json, sorted."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            entries = json.load(fh)
+    except (OSError, ValueError) as e:
+        raise SystemExit(f"ppdl_layering: cannot read {path}: {e}")
+    roots = set()
+    src_abs = os.path.abspath(src_dir)
+    for entry in entries:
+        file_path = os.path.abspath(
+            os.path.join(entry.get("directory", "."), entry.get("file", ""))
+        )
+        if file_path.startswith(src_abs + os.sep):
+            roots.add(os.path.relpath(file_path, src_abs).replace(os.sep, "/"))
+    return sorted(roots)
+
+
+def build_include_graph(src_dir: str, files: list[str]):
+    """Edges file -> [(line, target_file)] over src-relative paths."""
+    known = set(files)
+    graph = {}
+    for rel in files:
+        edges = []
+        for lineno, target in scan_includes(os.path.join(src_dir, rel)):
+            if target in known:
+                edges.append((lineno, target))
+        graph[rel] = edges
+    return graph
+
+
+def find_back_edges(graph):
+    """(src_file, line, target_file) triples violating the layer order."""
+    violations = []
+    for rel, edges in sorted(graph.items()):
+        src_mod = module_of(rel)
+        if src_mod is None:
+            continue
+        for lineno, target in edges:
+            dst_mod = module_of(target)
+            if dst_mod is None:
+                continue
+            if RANK[dst_mod] > RANK[src_mod]:
+                violations.append((rel, lineno, target))
+    return violations
+
+
+def include_chain(graph, roots: list[str], to_file: str) -> list[str]:
+    """Shortest include chain from any TU root to `to_file` (BFS).
+
+    Returns [] when nothing reaches it (the back-edge is then only in a
+    header no TU pulls in — still a violation, just without a chain).
+    """
+    parent = {}
+    queue = deque()
+    for root in roots:
+        if root in graph and root not in parent:
+            parent[root] = None
+            queue.append(root)
+    while queue:
+        cur = queue.popleft()
+        if cur == to_file:
+            chain = []
+            node = cur
+            while node is not None:
+                chain.append(node)
+                node = parent[node]
+            return list(reversed(chain))
+        for _, nxt in graph.get(cur, ()):
+            if nxt not in parent:
+                parent[nxt] = cur
+                queue.append(nxt)
+    return []
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: the checkout containing this script)",
+    )
+    parser.add_argument(
+        "--src", default="src", help="source subdirectory under --root"
+    )
+    parser.add_argument(
+        "--compile-commands",
+        default=None,
+        help="optional compile_commands.json; its TUs become the chain "
+        "roots (default: every .cpp under --src)",
+    )
+    args = parser.parse_args(argv)
+
+    src_dir = os.path.join(args.root, args.src)
+    if not os.path.isdir(src_dir):
+        print(f"ppdl_layering: no such directory: {src_dir}", file=sys.stderr)
+        return 2
+
+    files = collect_sources(src_dir)
+    if not files:
+        print(f"ppdl_layering: no sources under {src_dir}", file=sys.stderr)
+        return 2
+    graph = build_include_graph(src_dir, files)
+
+    if args.compile_commands:
+        roots = tu_roots_from_compile_commands(args.compile_commands, src_dir)
+    else:
+        roots = [f for f in files if f.endswith((".cpp", ".cc"))]
+
+    violations = find_back_edges(graph)
+    if not violations:
+        print(
+            f"ppdl_layering: OK — {len(files)} files, layer order "
+            + " -> ".join(LAYERS)
+        )
+        return 0
+
+    for rel, lineno, target in violations:
+        src_mod, dst_mod = module_of(rel), module_of(target)
+        print(
+            f"{args.src}/{rel}:{lineno}: back-edge: {src_mod} "
+            f'(rank {RANK[src_mod]}) includes "{target}" from {dst_mod} '
+            f"(rank {RANK[dst_mod]})"
+        )
+        chain = include_chain(graph, roots, rel)
+        if chain:
+            hops = " -> ".join(chain + [target])
+            print(f"    via: {hops}")
+        else:
+            print("    (not reachable from any translation unit)")
+    print(
+        f"ppdl_layering: {len(violations)} back-edge(s); the layer order is "
+        + " -> ".join(LAYERS)
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -70,6 +70,8 @@ HEADER_EXTENSIONS = (".hpp", ".h")
 # Files that *implement* the funnels the rules point everyone else at.
 RNG_HOME = ("common/rng.cpp", "common/rng.hpp")
 ARTIFACT_HOME = ("common/artifact_io.cpp",)
+SYNC_HOME = ("common/sync.hpp", "common/sync.cpp")
+THREAD_HOME = ("common/parallel.hpp", "common/parallel.cpp")
 
 RULES = {
     "rng-source": "ad-hoc randomness/time seed outside common/rng",
@@ -81,6 +83,8 @@ RULES = {
     "raw-assert": "bare assert() in library code (use PPDL_ASSERT/REQUIRE/ENSURE)",
     "include-guard": "header missing #pragma once",
     "unguarded-ingest-alloc": "resize/reserve sized by an unvalidated decoded length (guard::checked_* it first)",
+    "raw-mutex": "raw std synchronization primitive outside common/sync (invisible to thread-safety analysis)",
+    "detached-thread": "std::thread::detach, or a bare std::thread outside common/parallel",
     "bad-suppression": "malformed ppdl-lint suppression (unknown rule or missing justification)",
 }
 
@@ -128,6 +132,16 @@ CHECKED_FIRST_ARG_RE = re.compile(r"\bchecked_(?:count|product)\s*\(\s*(\w+)\b")
 SIZE_DERIVED_RE = re.compile(
     r"\.\s*(?:\w+_)?(?:size|count|length|rows|cols)\s*\(\s*\)"
 )
+# --- raw-mutex / detached-thread ---
+# std::this_thread is fine (sleep_for, yield); `std::thread` with a word
+# boundary cannot match it, and jthread is listed explicitly.
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:recursive_|timed_|recursive_timed_|shared_)?mutex\b"
+    r"|\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|\bstd::condition_variable(?:_any)?\b"
+)
+BARE_THREAD_RE = re.compile(r"\bstd::j?thread\b")
+DETACH_RE = re.compile(r"\.\s*detach\s*\(\s*\)")
 
 
 @dataclass
@@ -502,6 +516,72 @@ def check_unguarded_ingest_alloc(sf: SourceFile) -> list[Finding]:
     return out
 
 
+def check_raw_mutex(sf: SourceFile) -> list[Finding]:
+    """Library code must lock through ppdl::sync, not std primitives.
+
+    The sync wrappers carry the clang thread-safety capability attributes;
+    a raw std::mutex is invisible to the analysis, so every GUARDED_BY
+    contract near it silently stops being checked. common/sync is the one
+    place allowed to name the std types (it wraps them)."""
+    if not is_library_code(sf.rel):
+        return []
+    if rel_within_src(sf.rel) in SYNC_HOME:
+        return []
+    out = []
+    for ln, line in enumerate(sf.lines, 1):
+        m = RAW_MUTEX_RE.search(line.code)
+        if m:
+            out.append(
+                Finding(
+                    sf.path,
+                    ln,
+                    "raw-mutex",
+                    f"'{m.group(0)}' bypasses ppdl::sync — use sync::Mutex / "
+                    "sync::MutexLock / sync::UniqueLock / sync::CondVar so "
+                    "thread-safety analysis sees the lock (DESIGN.md "
+                    "concurrency contracts)",
+                )
+            )
+    return out
+
+
+def check_detached_thread(sf: SourceFile) -> list[Finding]:
+    """No fire-and-forget threads, anywhere.
+
+    detach() orphans a thread past the end of main (it then races static
+    destruction, and sanitizers report it as a leak); a bare std::thread
+    outside common/parallel skips the pool's determinism contract and the
+    join-on-scope-exit guarantee. Long-lived helpers use
+    parallel::ScopedThread; work-sharing uses parallel_for."""
+    home = rel_within_src(sf.rel) in THREAD_HOME
+    out = []
+    for ln, line in enumerate(sf.lines, 1):
+        if DETACH_RE.search(line.code):
+            out.append(
+                Finding(
+                    sf.path,
+                    ln,
+                    "detached-thread",
+                    "detach() orphans the thread past scope exit — hold a "
+                    "parallel::ScopedThread and let it join",
+                )
+            )
+            continue
+        m = BARE_THREAD_RE.search(line.code)
+        if m and not home:
+            out.append(
+                Finding(
+                    sf.path,
+                    ln,
+                    "detached-thread",
+                    f"bare '{m.group(0)}' outside common/parallel — use "
+                    "parallel::ScopedThread (joins on destruction) or "
+                    "parallel_for",
+                )
+            )
+    return out
+
+
 def check_include_guard(sf: SourceFile) -> list[Finding]:
     if not sf.is_header:
         return []
@@ -585,6 +665,8 @@ def lint_file(sf: SourceFile, paired_unordered: set[str]) -> list[Finding]:
     findings += check_raw_assert(sf)
     findings += check_include_guard(sf)
     findings += check_unguarded_ingest_alloc(sf)
+    findings += check_raw_mutex(sf)
+    findings += check_detached_thread(sf)
 
     suppressed, bad = collect_suppressions(sf)
     kept = [

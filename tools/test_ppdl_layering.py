@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Unit tests for ppdl_layering.py against tools/layering_fixtures/."""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import ppdl_layering  # noqa: E402
+
+FIXTURES = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "layering_fixtures"
+)
+
+
+def run_checker(*argv):
+    """Runs main() capturing stdout; returns (exit_code, output)."""
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        code = ppdl_layering.main(list(argv))
+    return code, buf.getvalue()
+
+
+class LayeringFixtureTest(unittest.TestCase):
+    def test_good_tree_passes(self):
+        code, out = run_checker("--root", os.path.join(FIXTURES, "good"))
+        self.assertEqual(code, 0, out)
+        self.assertIn("OK", out)
+
+    def test_bad_tree_reports_back_edge(self):
+        code, out = run_checker("--root", os.path.join(FIXTURES, "bad"))
+        self.assertEqual(code, 1, out)
+        self.assertIn("back-edge", out)
+        # Names the offending include site and both module ranks.
+        self.assertIn("src/common/util.hpp:5", out)
+        self.assertIn('includes "planner/plan.hpp"', out)
+
+    def test_bad_tree_prints_include_chain(self):
+        code, out = run_checker("--root", os.path.join(FIXTURES, "bad"))
+        self.assertEqual(code, 1, out)
+        self.assertIn(
+            "via: core/driver.cpp -> common/util.hpp -> planner/plan.hpp", out
+        )
+
+    def test_compile_commands_roots(self):
+        # The same bad tree, but with the chain roots supplied by a
+        # compile_commands.json listing only the core TU.
+        bad = os.path.join(FIXTURES, "bad")
+        cc = [
+            {
+                "directory": bad,
+                "file": os.path.join("src", "core", "driver.cpp"),
+                "command": "c++ -c src/core/driver.cpp",
+            }
+        ]
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False
+        ) as fh:
+            json.dump(cc, fh)
+            cc_path = fh.name
+        try:
+            code, out = run_checker(
+                "--root", bad, "--compile-commands", cc_path
+            )
+        finally:
+            os.unlink(cc_path)
+        self.assertEqual(code, 1, out)
+        self.assertIn("via: core/driver.cpp", out)
+
+    def test_missing_root_is_usage_error(self):
+        code, _ = run_checker("--root", os.path.join(FIXTURES, "nonexistent"))
+        self.assertEqual(code, 2)
+
+    def test_real_tree_is_clean(self):
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        code, out = run_checker("--root", repo)
+        self.assertEqual(code, 0, out)
+
+
+class LayeringUnitTest(unittest.TestCase):
+    def test_module_of(self):
+        self.assertEqual(ppdl_layering.module_of("common/types.hpp"), "common")
+        self.assertEqual(ppdl_layering.module_of("campaign/shard.cpp"),
+                         "campaign")
+        self.assertIsNone(ppdl_layering.module_of("CMakeLists.txt"))
+        self.assertIsNone(ppdl_layering.module_of("vendor/x.hpp"))
+
+    def test_rank_order_matches_layer_list(self):
+        self.assertEqual(ppdl_layering.RANK["common"], 0)
+        self.assertLess(ppdl_layering.RANK["robust"],
+                        ppdl_layering.RANK["analysis"])
+        self.assertLess(ppdl_layering.RANK["analysis"],
+                        ppdl_layering.RANK["planner"])
+        self.assertEqual(ppdl_layering.RANK["campaign"],
+                         len(ppdl_layering.LAYERS) - 1)
+
+    def test_unreachable_back_edge_still_reported(self):
+        graph = {
+            "common/orphan.hpp": [(3, "planner/plan.hpp")],
+            "planner/plan.hpp": [],
+        }
+        violations = ppdl_layering.find_back_edges(graph)
+        self.assertEqual(
+            violations, [("common/orphan.hpp", 3, "planner/plan.hpp")]
+        )
+        self.assertEqual(
+            ppdl_layering.include_chain(graph, [], "common/orphan.hpp"), []
+        )
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -113,6 +113,24 @@ class RuleTriggerTests(unittest.TestCase):
         self.assertEqual(rules_hit(lines), {"unguarded-ingest-alloc"})
         self.assertEqual(len(lines), 2)  # the resize and the reserve
 
+    def test_raw_mutex_flags_every_std_primitive(self):
+        code, lines = run_lint("src/bad_mutex.cpp")
+        self.assertEqual(code, 1)
+        self.assertEqual(rules_hit(lines), {"raw-mutex"})
+        # std::mutex, std::condition_variable, std::lock_guard,
+        # std::unique_lock — four offending lines.
+        self.assertEqual(len(lines), 4)
+
+    def test_detached_thread_flags_bare_thread_and_detach(self):
+        code, lines = run_lint("src/bad_thread.cpp")
+        self.assertEqual(code, 1)
+        self.assertEqual(rules_hit(lines), {"detached-thread"})
+        self.assertEqual(len(lines), 2)  # the construction and the detach
+
+    def test_this_thread_is_clean(self):
+        code, lines = run_lint("src/sleep_ok.cpp")
+        self.assertEqual(code, 0, lines)
+
     def test_validated_or_in_memory_alloc_sizes_are_clean(self):
         # get_count assignment, checked_count-in-place, .size()-derived,
         # a *_count() accessor on a continuation line, and a justified
@@ -140,6 +158,14 @@ class ScopingTests(unittest.TestCase):
         code, lines = run_lint("src/fopen_read.cpp")
         self.assertEqual(code, 0, lines)
 
+    def test_sync_home_may_name_std_primitives(self):
+        code, lines = run_lint("src/common/sync.hpp")
+        self.assertEqual(code, 0, lines)
+
+    def test_parallel_home_may_construct_threads(self):
+        code, lines = run_lint("src/common/parallel.cpp")
+        self.assertEqual(code, 0, lines)
+
 
 class SuppressionTests(unittest.TestCase):
     def test_same_line_and_previous_line_forms(self):
@@ -154,6 +180,18 @@ class SuppressionTests(unittest.TestCase):
         # underlying no-exit finding surfaces too; the unknown-rule allow()
         # is rejected and its exit() also surfaces.
         self.assertEqual(hit, {"bad-suppression", "no-exit"})
+        bad = [ln for ln in lines if "[bad-suppression]" in ln]
+        self.assertEqual(len(bad), 2)
+
+    def test_concurrency_rule_suppressions_validate_like_any_other(self):
+        code, lines = run_lint("src/bad_suppression_sync.cpp")
+        self.assertEqual(code, 1)
+        hit = rules_hit(lines)
+        # The unjustified allow(raw-mutex) is rejected and does not
+        # suppress; the typo'd allow(detached-threads) names no known rule,
+        # so the detach finding surfaces alongside both diagnostics.
+        self.assertEqual(hit, {"bad-suppression", "raw-mutex",
+                               "detached-thread"})
         bad = [ln for ln in lines if "[bad-suppression]" in ln]
         self.assertEqual(len(bad), 2)
 
